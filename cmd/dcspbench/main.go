@@ -1,0 +1,213 @@
+// Command dcspbench regenerates the tables and the figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	dcspbench -table 1            # one table at paper scale
+//	dcspbench -all                # every table and the figure
+//	dcspbench -figure             # Figure 2 (d3s1, n=50)
+//	dcspbench -table 8 -quick     # reduced trials for a fast look
+//	dcspbench -table 1 -instances 5 -inits 2 -ns 60,90
+//
+// Paper scale runs 100 trials per cell with the cutoff at 10000 cycles and
+// can take a while for the no-learning rows; -quick or the explicit knobs
+// trade trials for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/discsp/discsp/internal/experiments"
+	"github.com/discsp/discsp/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table     = flag.Int("table", 0, "table number to regenerate (1-10)")
+		figure    = flag.Bool("figure", false, "regenerate Figure 2")
+		all       = flag.Bool("all", false, "regenerate every table and the figure")
+		quick     = flag.Bool("quick", false, "reduced trial counts (3 instances x 2 inits)")
+		instances = flag.Int("instances", 0, "override instances per cell")
+		inits     = flag.Int("inits", 0, "override initial-value sets per instance")
+		maxCycles = flag.Int("maxcycles", 0, "override the 10000-cycle cutoff")
+		seed      = flag.Int64("seed", 0, "seed base for an independent replication")
+		nsFlag    = flag.String("ns", "", "comma-separated problem sizes overriding the paper's")
+		figKind   = flag.String("figkind", "d3s1", "figure family: d3c, d3s, or d3s1")
+		figN      = flag.Int("fign", 50, "figure problem size")
+		format    = flag.String("format", "text", "output format: text or markdown")
+		sweep     = flag.String("sweep", "", "run a hardness sweep over constraint densities for this family (d3c, d3s, d3s1)")
+		sweepN    = flag.Int("sweepn", 50, "sweep problem size")
+		blocks    = flag.String("blocks", "", "run a block-size sweep of the multi-variable extension for this family")
+		runtimes  = flag.String("runtimes", "", "compare sync/async/tcp runtimes on one instance of this family")
+	)
+	flag.Parse()
+
+	scale := experiments.PaperScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *instances > 0 {
+		scale.Instances = *instances
+	}
+	if *inits > 0 {
+		scale.Inits = *inits
+	}
+	scale.MaxCycles = *maxCycles
+	scale.SeedBase = *seed
+	if *nsFlag != "" {
+		ns, err := parseNs(*nsFlag)
+		if err != nil {
+			return err
+		}
+		scale.Ns = ns
+	}
+
+	markdown := false
+	switch *format {
+	case "text":
+	case "markdown":
+		markdown = true
+	default:
+		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
+	}
+
+	switch {
+	case *runtimes != "":
+		return printRuntimes(*runtimes, *sweepN, scale)
+	case *blocks != "":
+		return printBlockSweep(*blocks, *sweepN, scale)
+	case *sweep != "":
+		return printSweep(*sweep, *sweepN, scale)
+	case *all:
+		for num := 1; num <= 10; num++ {
+			if err := printTable(num, scale, markdown); err != nil {
+				return err
+			}
+		}
+		return printFigure(*figKind, *figN, scale, markdown)
+	case *figure:
+		return printFigure(*figKind, *figN, scale, markdown)
+	case *table >= 1:
+		return printTable(*table, scale, markdown)
+	default:
+		flag.Usage()
+		return fmt.Errorf("pass -table N, -figure, -all, or -sweep FAMILY")
+	}
+}
+
+func printTable(num int, scale experiments.Scale, markdown bool) error {
+	t, err := experiments.Tables(num, scale)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		err = t.Markdown(os.Stdout)
+	} else {
+		err = t.Fprint(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(os.Stdout)
+	return err
+}
+
+func printFigure(kindName string, n int, scale experiments.Scale, markdown bool) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	fig, err := experiments.Figure2(kind, n, nil, scale)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		return fig.Markdown(os.Stdout)
+	}
+	return fig.Fprint(os.Stdout)
+}
+
+func printSweep(kindName string, n int, scale experiments.Scale) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	alg := experiments.AWC(experiments.BestLearning(kind))
+	sweep, err := experiments.RatioSweep(kind, n, alg, nil, scale)
+	if err != nil {
+		return err
+	}
+	if err := sweep.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	hardest := sweep.HardestPoint()
+	_, err = fmt.Printf("hardest density: m/n = %.2f (%.1f mean cycles)\n", hardest.Ratio, hardest.Cycle)
+	return err
+}
+
+func printRuntimes(kindName string, n int, scale experiments.Scale) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	problem, err := experiments.MakeInstance(kind, n, 1+scale.SeedBase)
+	if err != nil {
+		return err
+	}
+	initial := gen.RandomInitial(problem, 2+scale.SeedBase)
+	results, err := experiments.CompareRuntimes(problem, initial, experiments.BestLearning(kind), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Runtime comparison: %s n=%d, AWC+%s\n", kind, n, experiments.BestLearning(kind).Name())
+	return experiments.FprintRuntimes(os.Stdout, results)
+}
+
+func printBlockSweep(kindName string, n int, scale experiments.Scale) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	sweep, err := experiments.BlockSweep(kind, n, nil, scale)
+	if err != nil {
+		return err
+	}
+	return sweep.Fprint(os.Stdout)
+}
+
+func parseKind(s string) (experiments.ProblemKind, error) {
+	switch s {
+	case "d3c":
+		return experiments.D3C, nil
+	case "d3s":
+		return experiments.D3S, nil
+	case "d3s1":
+		return experiments.D3S1, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q (want d3c, d3s, or d3s1)", s)
+	}
+}
+
+func parseNs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ns := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q in -ns", p)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}

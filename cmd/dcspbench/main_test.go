@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/discsp/discsp/internal/experiments"
+)
+
+func TestParseNs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"60", []int{60}, false},
+		{"60,90, 120", []int{60, 90, 120}, false},
+		{"", nil, true},
+		{"60,x", nil, true},
+		{"-5", nil, true},
+		{"0", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseNs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseNs(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseNs(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseNs(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    experiments.ProblemKind
+		wantErr bool
+	}{
+		{"d3c", experiments.D3C, false},
+		{"d3s", experiments.D3S, false},
+		{"d3s1", experiments.D3S1, false},
+		{"nope", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseKind(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseKind(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseKind(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Command dcspsolve solves one DIMACS instance (CNF or COL) with a chosen
+// distributed algorithm and prints the paper's cost metrics.
+//
+// Usage:
+//
+//	dcspsolve -algo awc -learn rslv problem.cnf
+//	dcspsolve -algo awc -learn rslv -k 3 graph.col     # AWC+3rdRslv
+//	dcspsolve -algo db graph.col
+//	dcspsolve -algo awc -async problem.cnf             # goroutine runtime
+//	dcspsolve -algo central problem.cnf                # centralized oracle
+//
+// File type is inferred from the extension: .cnf is DIMACS CNF, .col is
+// DIMACS COL (solved as 3-coloring unless -colors overrides).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/discsp/discsp"
+	"github.com/discsp/discsp/internal/central"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcspsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo      = flag.String("algo", "awc", "algorithm: awc, db, abt, central, or wcs")
+		learn     = flag.String("learn", "rslv", "AWC learning: rslv, mcs, or none")
+		k         = flag.Int("k", 0, "size bound for kthRslv learning; 0 = unrestricted")
+		colors    = flag.Int("colors", 3, "colors for .col inputs")
+		seed      = flag.Int64("seed", 1, "seed for random initial values")
+		maxCycles = flag.Int("maxcycles", 0, "cycle cutoff; 0 = 10000")
+		useAsync  = flag.Bool("async", false, "run on the asynchronous goroutine runtime")
+		useTCP    = flag.Bool("tcp", false, "run over a loopback TCP hub (one socket per agent)")
+		timeout   = flag.Duration("timeout", 0, "async wall-clock limit; 0 = 30s")
+		verbose   = flag.Bool("v", false, "print the solution assignment")
+		traceOut  = flag.String("trace", "", "write a JSONL cycle trace to this file (sync runs only)")
+		block     = flag.Int("block", 0, "variables per agent; >1 runs the multi-variable AWC extension")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file, got %d", flag.NArg())
+	}
+
+	problem, err := load(flag.Arg(0), *colors)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("problem: %d variables, %d nogoods\n", problem.NumVars(), problem.NumNogoods())
+
+	if *algo == "central" {
+		startedAt := time.Now()
+		sol, ok := central.New(problem).Solve()
+		fmt.Printf("central: solved=%v in %v\n", ok, time.Since(startedAt))
+		if ok && *verbose {
+			printAssignment(sol)
+		}
+		return nil
+	}
+	if *algo == "wcs" {
+		startedAt := time.Now()
+		res := central.WeakCommitment(problem, nil, central.WCSOptions{})
+		fmt.Printf("wcs: solved=%v insoluble=%v restarts=%d nogoods=%d checks=%d in %v\n",
+			res.Solved, res.Insoluble, res.Restarts, res.NogoodsRecorded, res.Checks, time.Since(startedAt))
+		if res.Solved && *verbose {
+			printAssignment(res.Solution)
+		}
+		return nil
+	}
+
+	opts := discsp.Options{
+		InitialSeed: *seed,
+		MaxCycles:   *maxCycles,
+		Timeout:     *timeout,
+	}
+	switch *algo {
+	case "awc":
+		opts.Algorithm = discsp.AWC
+	case "db":
+		opts.Algorithm = discsp.DB
+	case "abt":
+		opts.Algorithm = discsp.ABT
+	default:
+		return fmt.Errorf("unknown algorithm %q (want awc, db, abt, central, or wcs)", *algo)
+	}
+	switch *learn {
+	case "rslv":
+		opts.Learning = discsp.LearnResolvent
+	case "mcs":
+		opts.Learning = discsp.LearnMCS
+	case "none":
+		opts.Learning = discsp.LearnNone
+	default:
+		return fmt.Errorf("unknown learning %q (want rslv, mcs, or none)", *learn)
+	}
+	opts.LearningSizeBound = *k
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		if *useAsync {
+			return fmt.Errorf("-trace requires a synchronous run")
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = trace.NewRecorder(f)
+		rec.Start(trace.Meta{
+			Algorithm: fmt.Sprintf("%s/%s", opts.Algorithm, *learn),
+			Vars:      problem.NumVars(),
+			Nogoods:   problem.NumNogoods(),
+		})
+		opts.Trace = rec.Hook()
+	}
+
+	var res discsp.Result
+	switch {
+	case *useTCP:
+		res, err = discsp.SolveTCP(problem, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d duration=%v\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration)
+	case *useAsync:
+		res, err = discsp.SolveAsync(problem, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (async): solved=%v insoluble=%v messages=%d checks=%d duration=%v\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks, res.Duration)
+	case *block > 1:
+		res, err = discsp.SolvePartitioned(problem, discsp.UniformPartition(problem.NumVars(), *block), discsp.PartitionedOptions{
+			LearningSizeBound: *k,
+			InitialSeed:       *seed,
+			MaxCycles:         *maxCycles,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("multiAWC (block=%d): solved=%v insoluble=%v cycle=%d maxcck=%d messages=%d\n",
+			*block, res.Solved, res.Insoluble, res.Cycles, res.MaxCCK, res.Messages)
+	default:
+		res, err = discsp.Solve(problem, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: solved=%v insoluble=%v cycle=%d maxcck=%d messages=%d\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Cycles, res.MaxCCK, res.Messages)
+	}
+	if rec != nil {
+		rec.End(sim.Result{
+			Solved:      res.Solved,
+			Insoluble:   res.Insoluble,
+			Cycles:      res.Cycles,
+			MaxCCK:      res.MaxCCK,
+			TotalChecks: res.TotalChecks,
+			Messages:    int(res.Messages),
+		})
+		if err := rec.Flush(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if *verbose && len(res.MessagesByType) > 0 {
+		kinds := make([]string, 0, len(res.MessagesByType))
+		for k := range res.MessagesByType {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("  %-18s %d\n", k, res.MessagesByType[k])
+		}
+	}
+	if res.Solved && *verbose {
+		printAssignment(res.Assignment)
+	}
+	return nil
+}
+
+func load(path string, colors int) (*discsp.Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".cnf":
+		cnf, err := csp.ParseCNF(f)
+		if err != nil {
+			return nil, err
+		}
+		return cnf.Problem()
+	case ".col":
+		g, err := csp.ParseCOL(f)
+		if err != nil {
+			return nil, err
+		}
+		return g.Problem(colors)
+	case ".json":
+		return csp.ReadProblemJSON(f)
+	default:
+		return nil, fmt.Errorf("cannot infer format of %q (want .cnf, .col, or .json)", path)
+	}
+}
+
+func printAssignment(a discsp.SliceAssignment) {
+	for v, val := range a {
+		fmt.Printf("x%d = %d\n", v, val)
+	}
+}

@@ -1,0 +1,61 @@
+// Command dcsptrace summarizes a JSONL cycle trace produced by
+// dcspsolve -trace: run outcome, busiest cycle, message peaks, and an
+// optional per-cycle table.
+//
+// Usage:
+//
+//	dcspsolve -algo awc -trace run.jsonl problem.cnf
+//	dcsptrace run.jsonl
+//	dcsptrace -cycles run.jsonl      # include the per-cycle table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/discsp/discsp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cycles := flag.Bool("cycles", false, "print the per-cycle table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("expected exactly one trace file, got %d", flag.NArg())
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(events)
+	fmt.Printf("algorithm:      %s\n", s.Algorithm)
+	fmt.Printf("outcome:        solved=%v insoluble=%v in %d cycles\n", s.Solved, s.Insoluble, s.Cycles)
+	fmt.Printf("maxcck:         %d\n", s.MaxCCK)
+	fmt.Printf("messages:       %d total, peak %d at cycle %d\n", s.TotalMessages, s.PeakMessages, s.PeakMessagesCycle)
+	fmt.Printf("busiest cycle:  %d (%d checks)\n", s.BusiestCycle, s.BusiestCycleChecks)
+
+	if !*cycles {
+		return nil
+	}
+	fmt.Printf("\n%6s  %8s  %8s  %10s\n", "cycle", "msgsIn", "msgsOut", "maxChecks")
+	for _, ev := range events {
+		if ev.Kind != trace.KindCycle {
+			continue
+		}
+		fmt.Printf("%6d  %8d  %8d  %10d\n", ev.Cycle, ev.MessagesIn, ev.MessagesOut, ev.MaxChecks)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Package discsp is a library for modeling and solving distributed
+// constraint satisfaction problems (DisCSPs), reproducing the system of
+//
+//	Katsutoshi Hirayama and Makoto Yokoo,
+//	"The Effect of Nogood Learning in Distributed Constraint Satisfaction",
+//	Proc. 20th IEEE International Conference on Distributed Computing
+//	Systems (ICDCS 2000).
+//
+// A DisCSP distributes the variables and constraints (nogoods) of a CSP
+// among autonomous agents — one variable per agent in this library — that
+// cooperate by message passing to find a globally consistent assignment.
+// The library provides:
+//
+//   - the asynchronous weak-commitment search algorithm (AWC) with the
+//     paper's nogood-learning strategies: resolvent-based learning,
+//     mcs-based (minimum conflict set) learning, size-bounded variants, and
+//     no learning;
+//   - the distributed breakout algorithm (DB) and asynchronous backtracking
+//     (ABT) as baselines;
+//   - three runtimes for the same agents: a deterministic synchronous
+//     simulator measuring the paper's cycle and maxcck costs, a
+//     goroutine-per-agent asynchronous runtime, and a loopback TCP runtime
+//     (one socket per agent);
+//   - generators for the paper's benchmark families (solvable 3-coloring,
+//     forced-satisfiable 3SAT, single-solution 3SAT) and DIMACS CNF/COL
+//     round-tripping;
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation (see the internal/experiments package and
+//     cmd/dcspbench).
+//
+// # Quick start
+//
+//	p := discsp.NewProblemUniform(3, 3) // 3 variables, 3 colors
+//	p.AddNotEqual(0, 1)
+//	p.AddNotEqual(1, 2)
+//	res, err := discsp.Solve(p, discsp.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Solved, res.Assignment)
+//
+// See the examples/ directory for complete programs.
+package discsp
+
+import (
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// Core model types. These are aliases of the library's internal model so
+// that every package operates on one representation; their methods are
+// documented here at the API boundary they are used through.
+type (
+	// Var identifies a variable (and, in the one-variable-per-agent
+	// setting, the agent that owns it). Variables are numbered 0..n-1.
+	Var = csp.Var
+	// Value is a member of a variable's finite discrete domain.
+	Value = csp.Value
+	// Lit is one variable-value pair inside a nogood or assignment.
+	Lit = csp.Lit
+	// Nogood is an immutable set of variable-value pairs stating that the
+	// combination is prohibited.
+	Nogood = csp.Nogood
+	// Problem is a CSP: variables with domains plus a set of nogoods.
+	Problem = csp.Problem
+	// Assignment is a read-only view of variable values.
+	Assignment = csp.Assignment
+	// SliceAssignment is a dense assignment indexed by variable.
+	SliceAssignment = csp.SliceAssignment
+	// SATLit is a propositional literal for Problem.AddClause.
+	SATLit = csp.SATLit
+	// CNF is a propositional formula in DIMACS clausal form.
+	CNF = csp.CNF
+	// Graph is an undirected graph for coloring problems.
+	Graph = csp.Graph
+)
+
+// Unassigned marks an absent entry in a SliceAssignment.
+const Unassigned = csp.Unassigned
+
+// NewProblem returns an empty problem; add variables with AddVar.
+func NewProblem() *Problem { return csp.NewProblem() }
+
+// NewProblemUniform returns a problem with n variables sharing the domain
+// {0..domainSize-1}.
+func NewProblemUniform(n, domainSize int) *Problem {
+	return csp.NewProblemUniform(n, domainSize)
+}
+
+// NewNogood canonicalizes literals into a Nogood. It fails if one variable
+// appears with two different values.
+func NewNogood(lits ...Lit) (Nogood, error) { return csp.NewNogood(lits...) }
+
+// MustNogood is NewNogood that panics on error; for literals known
+// consistent.
+func MustNogood(lits ...Lit) Nogood { return csp.MustNogood(lits...) }

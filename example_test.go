@@ -1,0 +1,86 @@
+package discsp_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/discsp/discsp"
+)
+
+// ExampleSolve models a small graph-coloring problem and solves it with
+// AWC + resolvent-based nogood learning on the synchronous simulator.
+func ExampleSolve() {
+	p := discsp.NewProblemUniform(4, 3) // 4 agents, 3 colors
+	for _, e := range [][2]discsp.Var{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := discsp.Solve(p, discsp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solved:", res.Solved)
+	fmt.Println("is solution:", p.IsSolution(res.Assignment))
+	// Output:
+	// solved: true
+	// is solution: true
+}
+
+// ExampleSolve_insoluble shows insolubility detection: ABT (or AWC with
+// unrestricted learning) derives the empty nogood on an over-constrained
+// problem.
+func ExampleSolve_insoluble() {
+	p := discsp.NewProblemUniform(3, 2) // a triangle cannot be 2-colored
+	for _, e := range [][2]discsp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := discsp.Solve(p, discsp.Options{Algorithm: discsp.ABT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solved:", res.Solved)
+	fmt.Println("proved insoluble:", res.Insoluble)
+	// Output:
+	// solved: false
+	// proved insoluble: true
+}
+
+// ExampleGenerateColoring generates one of the paper's benchmark instances
+// and checks the planted witness.
+func ExampleGenerateColoring() {
+	inst, err := discsp.GenerateColoring(60, 162, 3, 1) // n=60, m=2.7n
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes:", inst.Graph.NumNodes)
+	fmt.Println("arcs:", len(inst.Graph.Edges))
+	fmt.Println("witness valid:", inst.Problem.IsSolution(inst.Hidden))
+	// Output:
+	// nodes: 60
+	// arcs: 162
+	// witness valid: true
+}
+
+// ExampleSolvePartitioned runs the multi-variable-per-agent extension:
+// two agents own three variables each and solve their local CSPs while
+// negotiating the cross-boundary constraints.
+func ExampleSolvePartitioned() {
+	p := discsp.NewProblemUniform(6, 3)
+	for i := 0; i < 5; i++ {
+		if err := p.AddNotEqual(discsp.Var(i), discsp.Var(i+1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := discsp.SolvePartitioned(p, discsp.UniformPartition(6, 3), discsp.PartitionedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("solved:", res.Solved)
+	fmt.Println("is solution:", p.IsSolution(res.Assignment))
+	// Output:
+	// solved: true
+	// is solution: true
+}

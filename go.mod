@@ -1,0 +1,3 @@
+module github.com/discsp/discsp
+
+go 1.22

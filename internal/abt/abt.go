@@ -1,0 +1,300 @@
+// Package abt implements asynchronous backtracking (ABT, Yokoo et al.,
+// ICDCS-92 / TKDE-98), the ancestor of AWC cited in Section 1 of the paper.
+// Agent priorities are fixed by variable id (smaller id = higher priority)
+// and the learning method is the cheapest one the paper surveys: "an agent
+// uses an agent_view itself as a nogood. The cost of this method is
+// virtually zero ... However, the obtained nogood is not so effective."
+//
+// ABT is included as a comparison point and because it is complete: it
+// detects insolubility by deriving the empty nogood, which the test suite
+// exercises against the centralized oracle.
+package abt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Ok carries the sender's current value to a lower-priority agent.
+type Ok struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Value    csp.Value
+}
+
+// From implements sim.Message.
+func (m Ok) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Ok) To() sim.AgentID { return m.Receiver }
+
+// NogoodMsg carries a derived nogood to the lowest-priority agent in it.
+type NogoodMsg struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Nogood   csp.Nogood
+}
+
+// From implements sim.Message.
+func (m NogoodMsg) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m NogoodMsg) To() sim.AgentID { return m.Receiver }
+
+// Request asks the receiver to add the sender as an outgoing link (sent when
+// a received nogood mentions an unknown higher-priority variable).
+type Request struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+}
+
+// From implements sim.Message.
+func (m Request) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Request) To() sim.AgentID { return m.Receiver }
+
+// Stats exposes per-agent bookkeeping.
+type Stats struct {
+	Backtracks      int64
+	NogoodsRecorded int64
+	ObsoleteNogoods int64
+	ValueChanges    int64
+}
+
+// Agent is one ABT agent owning one variable. Priority is the variable id:
+// smaller id outranks larger.
+type Agent struct {
+	id     csp.Var
+	domain []csp.Value
+
+	store   *nogood.Store
+	counter nogood.Counter
+
+	value    csp.Value
+	view     map[csp.Var]csp.Value // values of higher-priority agents
+	outLinks map[csp.Var]struct{}  // lower-priority agents to send ok? to
+
+	insoluble bool
+	stats     Stats
+}
+
+var _ sim.Agent = (*Agent)(nil)
+var _ sim.InsolubleReporter = (*Agent)(nil)
+
+// NewAgent builds the ABT agent for variable id of problem. The agent
+// evaluates the nogoods in which it is the lowest-priority (largest-id)
+// participant; unary constraints on itself are always its own to evaluate.
+func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
+	a := &Agent{
+		id:       id,
+		domain:   problem.Domain(id),
+		store:    nogood.New(),
+		value:    initial,
+		view:     make(map[csp.Var]csp.Value),
+		outLinks: make(map[csp.Var]struct{}),
+	}
+	for _, ng := range problem.NogoodsOf(id) {
+		if lowest(ng) == id {
+			a.store.Add(ng)
+		}
+	}
+	for _, nb := range problem.Neighbors(id) {
+		if nb > id {
+			a.outLinks[nb] = struct{}{}
+		}
+	}
+	return a
+}
+
+// lowest returns the lowest-priority (largest-id) variable of ng.
+func lowest(ng csp.Nogood) csp.Var {
+	vars := ng.Vars()
+	return vars[len(vars)-1] // canonical order is ascending
+}
+
+// ID implements sim.Agent.
+func (a *Agent) ID() sim.AgentID { return sim.AgentID(a.id) }
+
+// CurrentValue implements sim.Agent.
+func (a *Agent) CurrentValue() csp.Value { return a.value }
+
+// Checks implements sim.Agent.
+func (a *Agent) Checks() int64 { return a.counter.Total() }
+
+// Insoluble implements sim.InsolubleReporter.
+func (a *Agent) Insoluble() bool { return a.insoluble }
+
+// Stats returns the agent's bookkeeping counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Init implements sim.Agent: repair unary-constraint violations of the
+// initial value (only unary constraints can fire against an empty view) and
+// announce the value to all lower-priority links.
+func (a *Agent) Init() []sim.Message {
+	a.checkAgentView(nil)
+	return a.broadcastOk()
+}
+
+// Step implements sim.Agent.
+func (a *Agent) Step(in []sim.Message) []sim.Message {
+	if a.insoluble {
+		return nil
+	}
+	var (
+		out           []sim.Message
+		nogoodSenders []sim.AgentID
+		changedView   bool
+	)
+	for _, m := range in {
+		switch msg := m.(type) {
+		case Ok:
+			a.view[csp.Var(msg.Sender)] = msg.Value
+			changedView = true
+		case Request:
+			v := csp.Var(msg.Sender)
+			if _, ok := a.outLinks[v]; !ok {
+				a.outLinks[v] = struct{}{}
+				out = append(out, Ok{Sender: a.ID(), Receiver: sim.AgentID(v), Value: a.value})
+			}
+		case NogoodMsg:
+			out = append(out, a.receiveNogood(msg)...)
+			nogoodSenders = append(nogoodSenders, msg.Sender)
+			changedView = true
+		default:
+			panic(fmt.Sprintf("abt: unexpected message type %T", m))
+		}
+	}
+	if !changedView {
+		return out
+	}
+	oldValue := a.value
+	out = a.checkAgentView(out)
+	if a.value == oldValue {
+		// Standard ABT rule: a nogood that did not make the recipient move
+		// is answered with an ok?, so the sender (which optimistically
+		// dropped this agent's value from its view) relearns the current
+		// value and can backtrack further.
+		for _, s := range nogoodSenders {
+			a.stats.ObsoleteNogoods++
+			out = append(out, Ok{Sender: a.ID(), Receiver: s, Value: a.value})
+		}
+	}
+	return out
+}
+
+// receiveNogood records the nogood and requests links for unknown
+// higher-priority variables. An obsolete nogood (one that prescribes a
+// value for this agent different from its current value) additionally makes
+// the agent re-announce its value to the sender, whose view is stale.
+func (a *Agent) receiveNogood(msg NogoodMsg) []sim.Message {
+	ng := msg.Nogood
+	var out []sim.Message
+	for _, l := range ng.Lits() {
+		if l.Var == a.id {
+			continue
+		}
+		if _, known := a.view[l.Var]; !known {
+			a.view[l.Var] = l.Val
+			out = append(out, Request{Sender: a.ID(), Receiver: sim.AgentID(l.Var)})
+		}
+	}
+	if a.store.Add(ng) {
+		a.stats.NogoodsRecorded++
+	}
+	return out
+}
+
+// probe is the assignment "my view with my variable set to val".
+type probe struct {
+	a   *Agent
+	val csp.Value
+}
+
+var _ csp.Assignment = probe{}
+
+// Lookup implements csp.Assignment.
+func (p probe) Lookup(v csp.Var) (csp.Value, bool) {
+	if v == p.a.id {
+		return p.val, true
+	}
+	val, ok := p.a.view[v]
+	return val, ok
+}
+
+// checkAgentView restores consistency: keep the current value if possible,
+// otherwise move to a consistent value, otherwise backtrack with the
+// agent_view as the nogood.
+func (a *Agent) checkAgentView(out []sim.Message) []sim.Message {
+	for {
+		if a.consistent(a.value) {
+			return out
+		}
+		if d, ok := a.findConsistent(); ok {
+			a.value = d
+			a.stats.ValueChanges++
+			return append(out, a.broadcastOk()...)
+		}
+
+		// Backtrack: the agent_view itself is the nogood.
+		a.stats.Backtracks++
+		lits := make([]csp.Lit, 0, len(a.view))
+		for v, val := range a.view {
+			lits = append(lits, csp.Lit{Var: v, Val: val})
+		}
+		ng := csp.MustNogood(lits...)
+		if ng.Empty() {
+			a.insoluble = true
+			return out
+		}
+		target := lowest(ng)
+		out = append(out, NogoodMsg{
+			Sender:   a.ID(),
+			Receiver: sim.AgentID(target),
+			Nogood:   ng,
+		})
+		// Assume the target changes: forget its value and retry. Without
+		// this the agent would be stuck until the target's next ok?.
+		delete(a.view, target)
+	}
+}
+
+// consistent reports whether no stored nogood is violated under view ∧
+// (own = val), charging checks.
+func (a *Agent) consistent(val csp.Value) bool {
+	return !a.store.AnyViolated(probe{a: a, val: val}, &a.counter)
+}
+
+// findConsistent scans the domain in order for a consistent value.
+func (a *Agent) findConsistent() (csp.Value, bool) {
+	for _, d := range a.domain {
+		if d == a.value {
+			continue // already known inconsistent
+		}
+		if a.consistent(d) {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+func (a *Agent) broadcastOk() []sim.Message {
+	targets := make([]csp.Var, 0, len(a.outLinks))
+	for v := range a.outLinks {
+		targets = append(targets, v)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	msgs := make([]sim.Message, 0, len(targets))
+	for _, v := range targets {
+		msgs = append(msgs, Ok{
+			Sender:   a.ID(),
+			Receiver: sim.AgentID(v),
+			Value:    a.value,
+		})
+	}
+	return msgs
+}

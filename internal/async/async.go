@@ -1,0 +1,394 @@
+// Package async runs the distributed algorithms on a genuinely asynchronous
+// system: one goroutine per agent, channel-free mailboxes with no global
+// clock, optional randomized delivery delay. Section 5 of the paper notes
+// the algorithms "are designed for a fully asynchronous distributed system,
+// and thereby can work on any type of distributed systems"; this runtime
+// demonstrates exactly that with the same Agent implementations the
+// synchronous simulator uses.
+//
+// Because there are no cycles, the paper's cycle/maxcck metrics do not
+// apply; the runtime reports wall-clock duration, total messages, and total
+// nogood checks instead. Termination is detected by an out-of-band monitor
+// that polls a lock-free snapshot of the agents' published values, plus a
+// quiescence detector (no messages in flight means no agent will ever act
+// again).
+package async
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// ErrTimeout is returned when the run's deadline expires before a solution,
+// insolubility proof, or quiescence.
+var ErrTimeout = errors.New("async: run timed out")
+
+// Options configures a run.
+type Options struct {
+	// Timeout bounds the wall-clock run time; 0 means 30 seconds.
+	Timeout time.Duration
+	// PollInterval is the monitor's snapshot period; 0 means 100µs.
+	PollInterval time.Duration
+	// MaxJitter, when positive, delays every delivery by a uniform random
+	// duration in [0, MaxJitter) — the failure-injection knob that
+	// exercises message reordering across links. Deliveries on one
+	// (sender, receiver) link stay FIFO: the algorithms' correctness model
+	// (Yokoo et al.) assumes order-preserving channels, and reordering
+	// within a link genuinely breaks them (an old ok? overwriting a newer
+	// value leaves permanently stale views).
+	MaxJitter time.Duration
+	// Seed drives the jitter; runs with jitter are *not* reproducible
+	// (goroutine interleaving is inherently nondeterministic) but the seed
+	// decorrelates repeated test runs.
+	Seed int64
+}
+
+// Result reports a completed asynchronous run.
+type Result struct {
+	// Solved reports whether the monitor observed a solution snapshot.
+	Solved bool
+	// Insoluble reports that some agent derived the empty nogood.
+	Insoluble bool
+	// Quiescent reports that the run ended because no messages were left
+	// in flight.
+	Quiescent bool
+	// Assignment is the final published global assignment.
+	Assignment csp.SliceAssignment
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// TotalChecks sums every agent's nogood checks.
+	TotalChecks int64
+	// Duration is the wall-clock time from start to stop.
+	Duration time.Duration
+}
+
+// Run executes one agent goroutine per problem variable until the monitor
+// observes a solution, an agent proves insolubility, the system quiesces, or
+// the timeout expires (which returns ErrTimeout alongside the partial
+// result). makeAgent builds the algorithm-specific agent for each variable.
+func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options) (Result, error) {
+	n := problem.NumVars()
+	if n == 0 {
+		return Result{Solved: true, Assignment: csp.SliceAssignment{}}, nil
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	poll := opts.PollInterval
+	if poll <= 0 {
+		poll = 100 * time.Microsecond
+	}
+
+	rt := &runtime{
+		problem:   problem,
+		agents:    make([]sim.Agent, n),
+		mailboxes: make([]*mailbox, n),
+		published: make([]atomic.Int64, n),
+		stop:      make(chan struct{}),
+	}
+	if opts.MaxJitter > 0 {
+		rt.jitter = opts.MaxJitter
+		rt.rng = rand.New(rand.NewSource(opts.Seed))
+		rt.linkClock = make(map[linkKey]time.Time)
+		rt.delayed = make(chan delayedMsg)
+		rt.dispDone = make(chan struct{})
+		go rt.dispatcher()
+	}
+	for v := 0; v < n; v++ {
+		rt.agents[v] = makeAgent(csp.Var(v))
+		if int(rt.agents[v].ID()) != v {
+			return Result{}, fmt.Errorf("async: agent for variable %d has id %d", v, rt.agents[v].ID())
+		}
+		rt.mailboxes[v] = newMailbox()
+	}
+
+	start := time.Now()
+	// Publish initial values and route initial messages before any
+	// goroutine starts, so the in-flight counter can never be observed at
+	// zero while startup messages remain unrouted.
+	for v, a := range rt.agents {
+		rt.published[v].Store(int64(a.CurrentValue()))
+	}
+	for _, a := range rt.agents {
+		rt.route(a.Init())
+	}
+
+	var wg sync.WaitGroup
+	for v := range rt.agents {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			rt.agentLoop(v)
+		}(v)
+	}
+
+	res := rt.monitor(timeout, poll)
+	close(rt.stop)
+	for _, mb := range rt.mailboxes {
+		mb.close()
+	}
+	wg.Wait()
+
+	if rt.dispDone != nil {
+		<-rt.dispDone
+	}
+
+	res.Duration = time.Since(start)
+	res.Messages = rt.delivered.Load()
+	if res.Assignment == nil {
+		res.Assignment = rt.snapshot()
+		res.Solved = problem.IsSolution(res.Assignment)
+	}
+	for _, a := range rt.agents {
+		res.TotalChecks += a.Checks()
+	}
+	if !res.Solved && !res.Insoluble && !res.Quiescent {
+		return res, ErrTimeout
+	}
+	return res, nil
+}
+
+type runtime struct {
+	problem   *csp.Problem
+	agents    []sim.Agent
+	mailboxes []*mailbox
+	published []atomic.Int64
+	inFlight  atomic.Int64
+	delivered atomic.Int64
+	insoluble atomic.Bool
+	stop      chan struct{}
+
+	jitter    time.Duration
+	jitterMu  sync.Mutex
+	rng       *rand.Rand
+	linkClock map[linkKey]time.Time
+	seq       int64
+	delayed   chan delayedMsg
+	dispDone  chan struct{}
+}
+
+// linkKey identifies one directed communication link.
+type linkKey struct {
+	from, to sim.AgentID
+}
+
+// delayedMsg is a message scheduled for future delivery by the dispatcher.
+type delayedMsg struct {
+	at  time.Time
+	seq int64
+	msg sim.Message
+}
+
+// agentLoop drains the agent's mailbox, steps the agent, and routes its
+// output until the runtime stops.
+func (rt *runtime) agentLoop(v int) {
+	a := rt.agents[v]
+	mb := rt.mailboxes[v]
+	for {
+		batch, ok := mb.take()
+		if !ok {
+			return
+		}
+		out := a.Step(batch)
+		rt.published[v].Store(int64(a.CurrentValue()))
+		if r, isReporter := a.(sim.InsolubleReporter); isReporter && r.Insoluble() {
+			rt.insoluble.Store(true)
+		}
+		rt.route(out)
+		rt.delivered.Add(int64(len(batch)))
+		// Decrement last: a nonzero in-flight count must cover messages
+		// being processed, or quiescence could be declared spuriously.
+		rt.inFlight.Add(-int64(len(batch)))
+	}
+}
+
+// route delivers messages, optionally after a random delay.
+func (rt *runtime) route(out []sim.Message) {
+	if len(out) == 0 {
+		return
+	}
+	rt.inFlight.Add(int64(len(out)))
+	for _, m := range out {
+		if rt.jitter <= 0 {
+			rt.mailboxes[m.To()].put(m)
+			continue
+		}
+		// Pick a random arrival instant, then push it out to at least the
+		// link's previously scheduled arrival so per-link FIFO holds; the
+		// heap's sequence tiebreak orders equal arrivals by send order.
+		rt.jitterMu.Lock()
+		arrival := time.Now().Add(time.Duration(rt.rng.Int63n(int64(rt.jitter))))
+		key := linkKey{from: m.From(), to: m.To()}
+		if last, ok := rt.linkClock[key]; ok && arrival.Before(last) {
+			arrival = last
+		}
+		rt.linkClock[key] = arrival
+		rt.seq++
+		dm := delayedMsg{at: arrival, seq: rt.seq, msg: m}
+		rt.jitterMu.Unlock()
+		select {
+		case rt.delayed <- dm:
+		case <-rt.stop:
+			// The dispatcher has exited; drop the message but keep the
+			// in-flight count honest.
+			rt.inFlight.Add(-1)
+		}
+	}
+}
+
+// dispatcher delivers jitter-delayed messages in (arrival, send-order)
+// sequence. A single goroutine owning the schedule gives a total delivery
+// order, which per-message timers cannot (close deadlines race).
+func (rt *runtime) dispatcher() {
+	defer close(rt.dispDone)
+	var h delayHeap
+	for {
+		var (
+			timerC <-chan time.Time
+			timer  *time.Timer
+		)
+		if len(h) > 0 {
+			timer = time.NewTimer(time.Until(h[0].at))
+			timerC = timer.C
+		}
+		select {
+		case dm := <-rt.delayed:
+			heap.Push(&h, dm)
+		case <-timerC:
+			now := time.Now()
+			for len(h) > 0 && !h[0].at.After(now) {
+				dm := heap.Pop(&h).(delayedMsg)
+				rt.mailboxes[dm.msg.To()].put(dm.msg)
+			}
+		case <-rt.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			// Undelivered messages die with the run.
+			rt.inFlight.Add(-int64(len(h)))
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// delayHeap orders delayed messages by arrival time, then send sequence.
+type delayHeap []delayedMsg
+
+func (h delayHeap) Len() int { return len(h) }
+
+func (h delayHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *delayHeap) Push(x any) { *h = append(*h, x.(delayedMsg)) }
+
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// monitor polls the published assignment until a terminal condition.
+func (rt *runtime) monitor(timeout, poll time.Duration) Result {
+	deadline := time.Now().Add(timeout)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for range ticker.C {
+		// A snapshot satisfying every constraint is a valid solution to the
+		// CSP even if it mixes values from slightly different instants;
+		// capture it immediately, because agents acting on stale views may
+		// still move before the runtime shuts down.
+		if snap := rt.snapshot(); rt.problem.IsSolution(snap) {
+			return Result{Solved: true, Assignment: snap}
+		}
+		if rt.insoluble.Load() {
+			return Result{Insoluble: true}
+		}
+		if rt.inFlight.Load() == 0 {
+			// Double-check after a grace period: the counter can be zero
+			// only between routing and processing when nothing is queued,
+			// which is stable, but re-reading costs little.
+			if rt.inFlight.Load() == 0 {
+				return Result{Quiescent: true}
+			}
+		}
+		if time.Now().After(deadline) {
+			return Result{}
+		}
+	}
+	return Result{}
+}
+
+func (rt *runtime) snapshot() csp.SliceAssignment {
+	s := csp.NewSliceAssignment(len(rt.published))
+	for i := range rt.published {
+		s[i] = csp.Value(rt.published[i].Load())
+	}
+	return s
+}
+
+// mailbox is an unbounded MPSC queue with blocking take.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sim.Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m sim.Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+}
+
+// take blocks until at least one message is available (returning the whole
+// queue as a batch) or the mailbox closes (returning ok=false).
+func (mb *mailbox) take() ([]sim.Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return nil, false
+	}
+	batch := mb.queue
+	mb.queue = nil
+	return batch, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}

@@ -1,0 +1,8 @@
+package async
+
+// The package declares a type named runtime, so the standard library
+// package is imported under an alias for the leak check.
+
+import goruntime "runtime"
+
+func runtimeNumGoroutine() int { return goruntime.NumGoroutine() }

@@ -1,0 +1,282 @@
+// Package breakout implements the distributed breakout algorithm (DB) of
+// Yokoo & Hirayama (ICMAS-96), the baseline of Section 4.3: concurrent
+// weighted hill-climbing in which neighbors exchange ok? and improve
+// messages in alternating waves, only the agent with the locally maximal
+// possible improvement moves, and agents trapped in a quasi-local-minimum
+// escape by increasing the weights of their violated constraints (Morris's
+// breakout strategy).
+//
+// Per the paper's footnote 7, weights are attached to individual nogoods
+// (not to variable pairs); the authors report this variant performs better
+// and it is the one their Tables 8–10 use.
+package breakout
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Ok carries the sender's current value.
+type Ok struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Value    csp.Value
+}
+
+// From implements sim.Message.
+func (m Ok) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Ok) To() sim.AgentID { return m.Receiver }
+
+// Improve carries the sender's possible improvement and current cost.
+type Improve struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Improve  int
+	Eval     int
+}
+
+// From implements sim.Message.
+func (m Improve) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Improve) To() sim.AgentID { return m.Receiver }
+
+type mode int
+
+const (
+	waitOk mode = iota + 1
+	waitImprove
+)
+
+// Stats exposes per-agent bookkeeping.
+type Stats struct {
+	// Moves counts value changes.
+	Moves int64
+	// QuasiLocalMinima counts detected quasi-local-minima (weight bumps).
+	QuasiLocalMinima int64
+	// WeightIncreases counts individual nogood-weight increments.
+	WeightIncreases int64
+}
+
+// Agent is one DB agent owning one variable.
+type Agent struct {
+	id        csp.Var
+	domain    []csp.Value
+	neighbors []csp.Var
+	nogoods   []csp.Nogood
+	weights   []int
+	counter   nogood.Counter
+
+	value csp.Value
+	view  map[csp.Var]csp.Value
+	mode  mode
+
+	myImprove int
+	myEval    int
+	bestValue csp.Value
+
+	improves map[csp.Var]int
+	oks      int
+	stats    Stats
+}
+
+var _ sim.Agent = (*Agent)(nil)
+
+// NewAgent builds the DB agent for variable id of problem starting at
+// initial. All nogood weights start at 1.
+func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
+	ngs := problem.NogoodsOf(id)
+	weights := make([]int, len(ngs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return &Agent{
+		id:        id,
+		domain:    problem.Domain(id),
+		neighbors: problem.Neighbors(id),
+		nogoods:   ngs,
+		weights:   weights,
+		value:     initial,
+		view:      make(map[csp.Var]csp.Value),
+		mode:      waitOk,
+		improves:  make(map[csp.Var]int),
+	}
+}
+
+// ID implements sim.Agent.
+func (a *Agent) ID() sim.AgentID { return sim.AgentID(a.id) }
+
+// CurrentValue implements sim.Agent.
+func (a *Agent) CurrentValue() csp.Value { return a.value }
+
+// Checks implements sim.Agent.
+func (a *Agent) Checks() int64 { return a.counter.Total() }
+
+// Stats returns the agent's bookkeeping counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Weight returns the current weight of the i-th nogood (for tests).
+func (a *Agent) Weight(i int) int { return a.weights[i] }
+
+// Init implements sim.Agent: repair unary-constraint violations of the
+// initial value (against an empty view only unary nogoods can evaluate),
+// then announce the value.
+func (a *Agent) Init() []sim.Message {
+	best := a.eval(a.value)
+	for _, d := range a.domain {
+		if d == a.value {
+			continue
+		}
+		if e := a.eval(d); e < best {
+			best = e
+			a.value = d
+		}
+	}
+	return a.sendOks(nil)
+}
+
+// Step implements sim.Agent. The synchronous lockstep guarantees each cycle
+// delivers one complete wave: all neighbors' ok? messages or all neighbors'
+// improve messages.
+func (a *Agent) Step(in []sim.Message) []sim.Message {
+	for _, m := range in {
+		switch msg := m.(type) {
+		case Ok:
+			a.view[csp.Var(msg.Sender)] = msg.Value
+			a.oks++
+		case Improve:
+			a.improves[csp.Var(msg.Sender)] = msg.Improve
+		default:
+			panic(fmt.Sprintf("breakout: unexpected message type %T", m))
+		}
+	}
+	switch a.mode {
+	case waitOk:
+		if a.oks < len(a.neighbors) {
+			return nil
+		}
+		a.oks = 0
+		return a.sendImproves()
+	case waitImprove:
+		if len(a.improves) < len(a.neighbors) {
+			return nil
+		}
+		return a.decide()
+	default:
+		panic(fmt.Sprintf("breakout: invalid mode %d", a.mode))
+	}
+}
+
+// sendImproves computes the weighted cost of the current value and the best
+// achievable cost, then broadcasts the improve message (wave 1 → wave 2).
+func (a *Agent) sendImproves() []sim.Message {
+	a.myEval = a.eval(a.value)
+	bestEval := a.myEval
+	a.bestValue = a.value
+	for _, d := range a.domain {
+		if d == a.value {
+			continue
+		}
+		e := a.eval(d)
+		if e < bestEval {
+			bestEval = e
+			a.bestValue = d
+		}
+	}
+	a.myImprove = a.myEval - bestEval
+	a.mode = waitImprove
+
+	msgs := make([]sim.Message, 0, len(a.neighbors))
+	for _, nb := range a.neighbors {
+		msgs = append(msgs, Improve{
+			Sender:   a.ID(),
+			Receiver: sim.AgentID(nb),
+			Improve:  a.myImprove,
+			Eval:     a.myEval,
+		})
+	}
+	return msgs
+}
+
+// decide resolves the value-change right, handles quasi-local-minima, and
+// broadcasts ok? (wave 2 → wave 1).
+func (a *Agent) decide() []sim.Message {
+	iWin := a.myImprove > 0
+	anyPositiveNeighbor := false
+	for nb, imp := range a.improves {
+		if imp > a.myImprove || (imp == a.myImprove && nb < a.id) {
+			iWin = false
+		}
+		if imp > 0 {
+			anyPositiveNeighbor = true
+		}
+	}
+	switch {
+	case iWin:
+		a.value = a.bestValue
+		a.stats.Moves++
+	case a.myEval > 0 && a.myImprove <= 0 && !anyPositiveNeighbor:
+		// Quasi-local-minimum: violating, cannot improve, and no neighbor
+		// can either. Break out by raising the weights of the violated
+		// nogoods.
+		a.stats.QuasiLocalMinima++
+		for i, ng := range a.nogoods {
+			if nogood.Check(ng, probe{a: a, val: a.value}, &a.counter) {
+				a.weights[i]++
+				a.stats.WeightIncreases++
+			}
+		}
+	}
+	for k := range a.improves {
+		delete(a.improves, k)
+	}
+	a.mode = waitOk
+	return a.sendOks(nil)
+}
+
+// eval is the weighted count of nogoods violated when the own variable
+// takes val; each nogood evaluation charges one check.
+func (a *Agent) eval(val csp.Value) int {
+	total := 0
+	pv := probe{a: a, val: val}
+	for i, ng := range a.nogoods {
+		if nogood.Check(ng, pv, &a.counter) {
+			total += a.weights[i]
+		}
+	}
+	return total
+}
+
+func (a *Agent) sendOks(msgs []sim.Message) []sim.Message {
+	for _, nb := range a.neighbors {
+		msgs = append(msgs, Ok{
+			Sender:   a.ID(),
+			Receiver: sim.AgentID(nb),
+			Value:    a.value,
+		})
+	}
+	return msgs
+}
+
+// probe is the assignment "neighbors' last-known values with my variable set
+// to val".
+type probe struct {
+	a   *Agent
+	val csp.Value
+}
+
+var _ csp.Assignment = probe{}
+
+// Lookup implements csp.Assignment.
+func (p probe) Lookup(v csp.Var) (csp.Value, bool) {
+	if v == p.a.id {
+		return p.val, true
+	}
+	val, ok := p.a.view[v]
+	return val, ok
+}

@@ -1,0 +1,193 @@
+package breakout
+
+import (
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// pathProblem: 0 - 1 - 2 not-equal chain over {0,1}.
+func pathProblem(t *testing.T) *csp.Problem {
+	t.Helper()
+	p := csp.NewProblemUniform(3, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNotEqual(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *csp.Problem, initial csp.SliceAssignment, maxCycles int) (sim.Result, []*Agent) {
+	t.Helper()
+	agents := make([]sim.Agent, p.NumVars())
+	dbAgents := make([]*Agent, p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		a := NewAgent(csp.Var(v), p, initial[v])
+		agents[v] = a
+		dbAgents[v] = a
+	}
+	res, err := sim.Run(p, agents, sim.Options{MaxCycles: maxCycles})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, dbAgents
+}
+
+func TestDBSolvesPath(t *testing.T) {
+	p := pathProblem(t)
+	res, _ := run(t, p, csp.SliceAssignment{0, 0, 0}, 200)
+	if !res.Solved {
+		t.Fatalf("DB did not solve the path problem: %+v", res)
+	}
+	if !p.IsSolution(res.Assignment) {
+		t.Fatalf("assignment %v is not a solution", res.Assignment)
+	}
+}
+
+func TestDBAlternatesWaves(t *testing.T) {
+	// A full move round is ok? wave + improve wave = 2 cycles, so any
+	// solved run from a violated start takes an even number ≥ 2... the
+	// solution check happens after every cycle, and a move lands at the
+	// end of an improve-processing cycle (wave 2), i.e. on even cycles.
+	p := pathProblem(t)
+	res, _ := run(t, p, csp.SliceAssignment{0, 0, 1}, 200)
+	if !res.Solved {
+		t.Fatalf("not solved")
+	}
+	if res.Cycles%2 != 0 {
+		t.Errorf("solved on odd cycle %d; moves land on improve cycles", res.Cycles)
+	}
+}
+
+func TestDBOnlyLocalMaximumMoves(t *testing.T) {
+	// Star: center 0 conflicts with leaves 1 and 2 (all value 0). The
+	// center's improve (fixing 2 violations) beats the leaves' (1 each),
+	// so after one round exactly the center has moved.
+	p := csp.NewProblemUniform(3, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNotEqual(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, agents := run(t, p, csp.SliceAssignment{0, 0, 0}, 200)
+	if !res.Solved {
+		t.Fatalf("not solved")
+	}
+	if got := agents[0].Stats().Moves; got != 1 {
+		t.Errorf("center moves = %d, want 1", got)
+	}
+	if agents[1].Stats().Moves != 0 || agents[2].Stats().Moves != 0 {
+		t.Errorf("leaves moved: %d, %d", agents[1].Stats().Moves, agents[2].Stats().Moves)
+	}
+	if v, _ := res.Assignment.Lookup(0); v != 1 {
+		t.Errorf("center value = %d, want 1", v)
+	}
+}
+
+func TestDBTieBrokenBySmallerID(t *testing.T) {
+	// Two agents in conflict with equal improve: the smaller id wins the
+	// right to change.
+	p := csp.NewProblemUniform(2, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, agents := run(t, p, csp.SliceAssignment{1, 1}, 200)
+	if !res.Solved {
+		t.Fatalf("not solved")
+	}
+	if agents[0].Stats().Moves != 1 || agents[1].Stats().Moves != 0 {
+		t.Errorf("moves = %d,%d; want agent 0 to win the tie",
+			agents[0].Stats().Moves, agents[1].Stats().Moves)
+	}
+}
+
+func TestDBBreaksOutOfQuasiLocalMinimum(t *testing.T) {
+	// A triangle over two values is insoluble, so DB must detect
+	// quasi-local-minima and raise weights (it can never solve it; run a
+	// few cycles and inspect the weight dynamics).
+	p := csp.NewProblemUniform(3, 2)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, agents := run(t, p, csp.SliceAssignment{0, 0, 0}, 40)
+	if res.Solved {
+		t.Fatalf("solved an insoluble problem")
+	}
+	totalQLM := int64(0)
+	totalWeightBumps := int64(0)
+	for _, a := range agents {
+		totalQLM += a.Stats().QuasiLocalMinima
+		totalWeightBumps += a.Stats().WeightIncreases
+	}
+	if totalQLM == 0 {
+		t.Errorf("no quasi-local-minima detected on an insoluble triangle")
+	}
+	if totalWeightBumps == 0 {
+		t.Errorf("no weights increased")
+	}
+	bumped := false
+	for _, a := range agents {
+		for i := 0; i < len(p.NogoodsOf(a.id)); i++ {
+			if a.Weight(i) > 1 {
+				bumped = true
+			}
+		}
+	}
+	if !bumped {
+		t.Errorf("all weights still 1")
+	}
+}
+
+func TestDBInitRepairsUnaryConstraints(t *testing.T) {
+	p := csp.NewProblemUniform(1, 2)
+	if err := p.AddNogood(csp.MustNogood(csp.Lit{Var: 0, Val: 0})); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(0, p, 0)
+	a.Init()
+	if a.CurrentValue() != 1 {
+		t.Errorf("Init kept unary-violated value %d", a.CurrentValue())
+	}
+}
+
+func TestDBSolvesColoringInstances(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := gen.Coloring(24, 64, 3, seed)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		init := gen.RandomInitial(inst.Problem, seed+100)
+		res, _ := run(t, inst.Problem, init, 10000)
+		if !res.Solved {
+			t.Errorf("seed %d: DB failed within 10000 cycles", seed)
+		}
+	}
+}
+
+func TestDBChecksAccounting(t *testing.T) {
+	p := pathProblem(t)
+	res, agents := run(t, p, csp.SliceAssignment{0, 0, 0}, 200)
+	if !res.Solved {
+		t.Fatalf("not solved")
+	}
+	var total int64
+	for _, a := range agents {
+		total += a.Checks()
+	}
+	if total == 0 {
+		t.Errorf("no nogood checks charged")
+	}
+	if res.TotalChecks != total {
+		t.Errorf("TotalChecks = %d, agents sum = %d", res.TotalChecks, total)
+	}
+	if res.MaxCCK <= 0 || res.MaxCCK > total {
+		t.Errorf("MaxCCK = %d out of range (total %d)", res.MaxCCK, total)
+	}
+}

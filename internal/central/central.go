@@ -1,0 +1,212 @@
+// Package central is a centralized CSP solver — chronological backtracking
+// with forward checking over k-ary nogoods and minimum-remaining-values
+// variable ordering. It is the completeness oracle the test suite compares
+// the distributed algorithms against (Section 2.2 of the paper sketches
+// exactly this kind of "gather everything at a leader" solver as the
+// strawman the distributed algorithms replace), and the verifier for
+// generated instances.
+package central
+
+import (
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// Stats counts search work.
+type Stats struct {
+	Nodes      int64
+	Backtracks int64
+	Prunings   int64
+}
+
+// Solver solves one problem. Construct with New; queries may be repeated.
+type Solver struct {
+	p       *csp.Problem
+	nogoods []csp.Nogood
+	byVar   [][]int // nogood indices per variable
+
+	domains [][]csp.Value // static domains per variable
+	live    [][]bool      // live[v][i]: domains[v][i] still allowed
+	liveCnt []int
+	assign  []csp.Value
+	done    []bool
+	trail   []pruneRecord
+	stats   Stats
+}
+
+type pruneRecord struct {
+	v   int
+	idx int
+}
+
+// New builds a solver over p. The problem is not copied; it must not be
+// mutated while the solver is in use.
+func New(p *csp.Problem) *Solver {
+	s := &Solver{
+		p:       p,
+		nogoods: p.Nogoods(),
+		byVar:   make([][]int, p.NumVars()),
+		domains: make([][]csp.Value, p.NumVars()),
+		live:    make([][]bool, p.NumVars()),
+		liveCnt: make([]int, p.NumVars()),
+		assign:  make([]csp.Value, p.NumVars()),
+		done:    make([]bool, p.NumVars()),
+	}
+	for i, ng := range s.nogoods {
+		for _, v := range ng.Vars() {
+			s.byVar[v] = append(s.byVar[v], i)
+		}
+	}
+	for v := 0; v < p.NumVars(); v++ {
+		s.domains[v] = p.Domain(csp.Var(v))
+		s.live[v] = make([]bool, len(s.domains[v]))
+	}
+	return s
+}
+
+// Stats returns cumulative counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Solve returns a solution if one exists.
+func (s *Solver) Solve() (csp.SliceAssignment, bool) {
+	sols := s.Enumerate(1)
+	if len(sols) == 0 {
+		return nil, false
+	}
+	return sols[0], true
+}
+
+// Enumerate returns up to limit solutions. Enumerate(2) is the uniqueness
+// test.
+func (s *Solver) Enumerate(limit int) []csp.SliceAssignment {
+	if limit <= 0 {
+		return nil
+	}
+	s.reset()
+	var out []csp.SliceAssignment
+	s.search(limit, &out)
+	return out
+}
+
+func (s *Solver) reset() {
+	for v := range s.live {
+		for i := range s.live[v] {
+			s.live[v][i] = true
+		}
+		s.liveCnt[v] = len(s.live[v])
+		s.done[v] = false
+	}
+	s.trail = s.trail[:0]
+	// Unary nogoods prune up front.
+	for _, ng := range s.nogoods {
+		if ng.Len() != 1 {
+			continue
+		}
+		l := ng.At(0)
+		s.pruneValue(int(l.Var), l.Val)
+	}
+}
+
+func (s *Solver) pruneValue(v int, val csp.Value) {
+	for i, d := range s.domains[v] {
+		if d == val && s.live[v][i] {
+			s.live[v][i] = false
+			s.liveCnt[v]--
+			s.trail = append(s.trail, pruneRecord{v: v, idx: i})
+			s.stats.Prunings++
+		}
+	}
+}
+
+func (s *Solver) search(limit int, out *[]csp.SliceAssignment) bool {
+	v := s.pickVar()
+	if v < 0 {
+		sol := csp.NewSliceAssignment(len(s.assign))
+		for i := range s.assign {
+			sol[i] = s.assign[i]
+		}
+		*out = append(*out, sol)
+		return len(*out) >= limit
+	}
+	s.stats.Nodes++
+	for i, d := range s.domains[v] {
+		if !s.live[v][i] {
+			continue
+		}
+		mark := len(s.trail)
+		s.assign[v] = d
+		s.done[v] = true
+		if s.forwardCheck(v) {
+			if s.search(limit, out) {
+				return true
+			}
+		} else {
+			s.stats.Backtracks++
+		}
+		s.done[v] = false
+		s.undoTo(mark)
+	}
+	return false
+}
+
+// pickVar returns the unassigned variable with the fewest live values, or
+// -1 when all are assigned (MRV; ties toward the smaller id).
+func (s *Solver) pickVar() int {
+	best, bestCnt := -1, int(^uint(0)>>1)
+	for v := range s.done {
+		if s.done[v] {
+			continue
+		}
+		if s.liveCnt[v] < bestCnt {
+			best, bestCnt = v, s.liveCnt[v]
+		}
+	}
+	return best
+}
+
+// forwardCheck propagates the assignment of v: any nogood over v whose
+// other literals are all satisfied either conflicts (fully assigned) or
+// prunes its single unassigned literal. Returns false on wipeout/conflict.
+func (s *Solver) forwardCheck(v int) bool {
+	for _, ci := range s.byVar[v] {
+		ng := s.nogoods[ci]
+		matched := true
+		unassignedVar := -1
+		var unassignedVal csp.Value
+		unassignedCount := 0
+		for _, l := range ng.Lits() {
+			if !s.done[l.Var] {
+				unassignedCount++
+				unassignedVar = int(l.Var)
+				unassignedVal = l.Val
+				if unassignedCount > 1 {
+					break
+				}
+				continue
+			}
+			if s.assign[l.Var] != l.Val {
+				matched = false
+				break
+			}
+		}
+		if !matched || unassignedCount > 1 {
+			continue
+		}
+		if unassignedCount == 0 {
+			return false // nogood fully violated
+		}
+		s.pruneValue(unassignedVar, unassignedVal)
+		if s.liveCnt[unassignedVar] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		r := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.live[r.v][r.idx] = true
+		s.liveCnt[r.v]++
+	}
+}

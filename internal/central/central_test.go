@@ -1,0 +1,274 @@
+package central
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+func TestSolveTriangle3Colors(t *testing.T) {
+	p := csp.NewProblemUniform(3, 3)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, ok := New(p).Solve()
+	if !ok {
+		t.Fatalf("triangle with 3 colors unsolved")
+	}
+	if !p.IsSolution(sol) {
+		t.Fatalf("reported non-solution %v", sol)
+	}
+}
+
+func TestSolveTriangle2ColorsUnsat(t *testing.T) {
+	p := csp.NewProblemUniform(3, 2)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := New(p).Solve(); ok {
+		t.Fatalf("2-colored a triangle")
+	}
+}
+
+func TestUnaryNogoodsPruneUpFront(t *testing.T) {
+	p := csp.NewProblemUniform(1, 3)
+	for _, v := range []csp.Value{0, 2} {
+		if err := p.AddNogood(csp.MustNogood(csp.Lit{Var: 0, Val: v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, ok := New(p).Solve()
+	if !ok {
+		t.Fatalf("unsolved")
+	}
+	if v, _ := sol.Lookup(0); v != 1 {
+		t.Errorf("x0 = %d, want 1", v)
+	}
+}
+
+func TestUnaryWipeoutUnsat(t *testing.T) {
+	p := csp.NewProblemUniform(1, 2)
+	for v := csp.Value(0); v < 2; v++ {
+		if err := p.AddNogood(csp.MustNogood(csp.Lit{Var: 0, Val: v})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := New(p).Solve(); ok {
+		t.Fatalf("solved with wiped domain")
+	}
+}
+
+func TestEnumerateExactCount(t *testing.T) {
+	// Path 0-1 over {0,1}: solutions are (0,1) and (1,0).
+	p := csp.NewProblemUniform(2, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sols := New(p).Enumerate(10)
+	if len(sols) != 2 {
+		t.Fatalf("got %d solutions, want 2", len(sols))
+	}
+	if got := len(New(p).Enumerate(1)); got != 1 {
+		t.Fatalf("limit ignored: %d", got)
+	}
+	if got := len(New(p).Enumerate(0)); got != 0 {
+		t.Fatalf("limit 0: %d", got)
+	}
+}
+
+func TestTernaryNogoods(t *testing.T) {
+	// Boolean vars with the single nogood {x0=1, x1=1, x2=1}: 7 solutions.
+	p := csp.NewProblemUniform(3, 2)
+	if err := p.AddNogood(csp.MustNogood(
+		csp.Lit{Var: 0, Val: 1}, csp.Lit{Var: 1, Val: 1}, csp.Lit{Var: 2, Val: 1},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(New(p).Enumerate(100)); got != 7 {
+		t.Fatalf("got %d solutions, want 7", got)
+	}
+}
+
+// TestAgainstBruteForce compares solution counts with exhaustive search on
+// random small problems with mixed-arity nogoods.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		domSize := 2 + rng.Intn(2)
+		p := csp.NewProblemUniform(n, domSize)
+		m := rng.Intn(10)
+		for i := 0; i < m; i++ {
+			arity := 1 + rng.Intn(3)
+			if arity > n {
+				arity = n
+			}
+			vars := rng.Perm(n)[:arity]
+			lits := make([]csp.Lit, arity)
+			for j, v := range vars {
+				lits[j] = csp.Lit{Var: csp.Var(v), Val: csp.Value(rng.Intn(domSize))}
+			}
+			if err := p.AddNogood(csp.MustNogood(lits...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := 0
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= domSize
+		}
+		assign := make(csp.SliceAssignment, n)
+		for code := 0; code < total; code++ {
+			c := code
+			for v := 0; v < n; v++ {
+				assign[v] = csp.Value(c % domSize)
+				c /= domSize
+			}
+			if p.IsSolution(assign) {
+				want++
+			}
+		}
+		got := len(New(p).Enumerate(total + 1))
+		if got != want {
+			t.Fatalf("trial %d: solver found %d solutions, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestSolverReusable(t *testing.T) {
+	p := csp.NewProblemUniform(2, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := New(p)
+	if got := len(s.Enumerate(10)); got != 2 {
+		t.Fatalf("first query: %d", got)
+	}
+	if got := len(s.Enumerate(10)); got != 2 {
+		t.Fatalf("second query: %d", got)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	p := csp.NewProblemUniform(4, 3)
+	for i := csp.Var(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := p.AddNotEqual(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := New(p)
+	if _, ok := s.Solve(); ok {
+		t.Fatalf("K4 3-colored")
+	}
+	st := s.Stats()
+	if st.Nodes == 0 || st.Backtracks == 0 {
+		t.Errorf("no search work recorded: %+v", st)
+	}
+}
+
+func TestWeakCommitmentSolvesTriangle(t *testing.T) {
+	p := csp.NewProblemUniform(3, 3)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := WeakCommitment(p, nil, WCSOptions{})
+	if !res.Solved {
+		t.Fatalf("not solved: %+v", res)
+	}
+	if !p.IsSolution(res.Solution) {
+		t.Fatalf("invalid solution %v", res.Solution)
+	}
+	if res.Checks == 0 {
+		t.Errorf("no checks recorded")
+	}
+}
+
+func TestWeakCommitmentDetectsInsolubility(t *testing.T) {
+	p := csp.NewProblemUniform(3, 2) // 2-colored triangle
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := WeakCommitment(p, nil, WCSOptions{})
+	if res.Solved {
+		t.Fatalf("solved an insoluble problem")
+	}
+	if !res.Insoluble {
+		t.Fatalf("insolubility not derived: %+v", res)
+	}
+}
+
+func TestWeakCommitmentEmptyProblem(t *testing.T) {
+	res := WeakCommitment(csp.NewProblem(), nil, WCSOptions{})
+	if !res.Solved {
+		t.Fatalf("empty problem unsolved")
+	}
+}
+
+func TestWeakCommitmentMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(4)
+		domSize := 2 + rng.Intn(2)
+		p := csp.NewProblemUniform(n, domSize)
+		m := n + rng.Intn(3*n)
+		for i := 0; i < m; i++ {
+			arity := 1 + rng.Intn(2)
+			vars := rng.Perm(n)[:arity+1]
+			lits := make([]csp.Lit, 0, arity+1)
+			for _, v := range vars {
+				lits = append(lits, csp.Lit{Var: csp.Var(v), Val: csp.Value(rng.Intn(domSize))})
+			}
+			if err := p.AddNogood(csp.MustNogood(lits...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, soluble := New(p).Solve()
+		res := WeakCommitment(p, nil, WCSOptions{})
+		if soluble {
+			if !res.Solved {
+				t.Fatalf("trial %d: soluble problem unsolved by WCS (%+v)", trial, res)
+			}
+			if !p.IsSolution(res.Solution) {
+				t.Fatalf("trial %d: WCS reported invalid solution", trial)
+			}
+		} else {
+			if res.Solved {
+				t.Fatalf("trial %d: WCS solved an insoluble problem", trial)
+			}
+			if !res.Insoluble {
+				t.Fatalf("trial %d: WCS did not derive insolubility (%+v)", trial, res)
+			}
+		}
+	}
+}
+
+func TestWeakCommitmentRestartsCounted(t *testing.T) {
+	// K4 over 3 colors forces at least one abandoned partial solution
+	// before insolubility is derived.
+	p := csp.NewProblemUniform(4, 3)
+	for i := csp.Var(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := p.AddNotEqual(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res := WeakCommitment(p, nil, WCSOptions{})
+	if !res.Insoluble {
+		t.Fatalf("K4/3 not proved insoluble: %+v", res)
+	}
+	if res.Restarts == 0 || res.NogoodsRecorded == 0 {
+		t.Errorf("restarts=%d recorded=%d, want both > 0", res.Restarts, res.NogoodsRecorded)
+	}
+}

@@ -1,0 +1,185 @@
+package central
+
+import (
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
+)
+
+// This file implements centralized weak-commitment search (Yokoo,
+// AAAI-94) — the direct ancestor of the distributed AWC this repository
+// reproduces. The algorithm grows a consistent partial solution while all
+// remaining variables hold tentative values chosen by min-conflict; at a
+// deadend it records the partial solution as a nogood and abandons the
+// whole partial solution (the "weak commitment") instead of backtracking
+// chronologically. Recording every nogood makes it complete.
+//
+// It serves as a reference point between the pure backtracker (Solver) and
+// the distributed algorithms, and as another oracle for the test suite.
+
+// WCSResult reports a weak-commitment run.
+type WCSResult struct {
+	// Solved reports whether a solution was found.
+	Solved bool
+	// Insoluble reports that the recorded nogoods prove unsatisfiability
+	// (the empty partial solution became a deadend).
+	Insoluble bool
+	// Solution is the satisfying assignment when Solved.
+	Solution csp.SliceAssignment
+	// Restarts counts abandoned partial solutions.
+	Restarts int
+	// NogoodsRecorded counts recorded deadend nogoods.
+	NogoodsRecorded int
+	// Checks counts nogood evaluations (the paper's cost unit).
+	Checks int64
+}
+
+// WCSOptions bounds a run.
+type WCSOptions struct {
+	// MaxRestarts caps abandoned partial solutions; 0 means 100000.
+	MaxRestarts int
+}
+
+// WeakCommitment runs weak-commitment search on p from the given initial
+// tentative values (nil starts every variable at its first domain value).
+func WeakCommitment(p *csp.Problem, initial csp.SliceAssignment, opts WCSOptions) WCSResult {
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 100000
+	}
+	n := p.NumVars()
+	var res WCSResult
+	if n == 0 {
+		res.Solved = true
+		res.Solution = csp.SliceAssignment{}
+		return res
+	}
+
+	values := csp.NewSliceAssignment(n)
+	for v := 0; v < n; v++ {
+		if initial != nil && initial[v] != csp.Unassigned {
+			values[v] = initial[v]
+		} else {
+			values[v] = p.Domain(csp.Var(v))[0]
+		}
+	}
+	inPartial := make([]bool, n)
+	partialSize := 0
+	learned := nogood.New()
+	var counter nogood.Counter
+
+	// consistentWith reports whether setting v=val violates any problem
+	// nogood whose other variables are all in the partial solution, or any
+	// learned nogood fully decided by the partial solution plus v=val.
+	consistentWith := func(v csp.Var, val csp.Value) bool {
+		probe := partialProbe{values: values, inPartial: inPartial, v: v, val: val}
+		for _, ng := range p.NogoodsOf(v) {
+			if nogood.Check(ng, probe, &counter) {
+				return false
+			}
+		}
+		for _, ng := range learned.All() {
+			if !ng.Contains(v) {
+				continue
+			}
+			if nogood.Check(ng, probe, &counter) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		if partialSize == n {
+			res.Solved = true
+			res.Solution = values
+			res.Checks = counter.Total()
+			return res
+		}
+		// Next variable: the smallest id not yet committed.
+		var v csp.Var = -1
+		for i := 0; i < n; i++ {
+			if !inPartial[i] {
+				v = csp.Var(i)
+				break
+			}
+		}
+
+		if consistentWith(v, values[v]) {
+			inPartial[v] = true
+			partialSize++
+			continue
+		}
+
+		// Try other values, min-conflict against the tentative rest.
+		bestVal, bestConf := csp.Unassigned, -1
+		for _, d := range p.Domain(v) {
+			if !consistentWith(v, d) {
+				continue
+			}
+			conf := 0
+			probe := csp.Override{Base: values, Var: v, Val: d}
+			for _, ng := range p.NogoodsOf(v) {
+				if nogood.Check(ng, probe, &counter) {
+					conf++
+				}
+			}
+			if bestConf < 0 || conf < bestConf {
+				bestVal, bestConf = d, conf
+			}
+		}
+		if bestVal != csp.Unassigned {
+			values[v] = bestVal
+			inPartial[v] = true
+			partialSize++
+			continue
+		}
+
+		// Deadend: record the partial solution as a nogood and abandon it.
+		lits := make([]csp.Lit, 0, partialSize)
+		for i := 0; i < n; i++ {
+			if inPartial[i] {
+				lits = append(lits, csp.Lit{Var: csp.Var(i), Val: values[i]})
+			}
+		}
+		ng := csp.MustNogood(lits...)
+		if ng.Empty() {
+			res.Insoluble = true
+			res.Checks = counter.Total()
+			return res
+		}
+		if learned.Add(ng) {
+			res.NogoodsRecorded++
+		}
+		for i := range inPartial {
+			inPartial[i] = false
+		}
+		partialSize = 0
+		res.Restarts++
+		if res.Restarts > maxRestarts {
+			res.Checks = counter.Total()
+			return res
+		}
+	}
+}
+
+// partialProbe reads committed variables from values, plus one probe
+// binding; uncommitted variables are unassigned.
+type partialProbe struct {
+	values    csp.SliceAssignment
+	inPartial []bool
+	v         csp.Var
+	val       csp.Value
+}
+
+var _ csp.Assignment = partialProbe{}
+
+// Lookup implements csp.Assignment.
+func (p partialProbe) Lookup(v csp.Var) (csp.Value, bool) {
+	if v == p.v {
+		return p.val, true
+	}
+	if int(v) < len(p.inPartial) && p.inPartial[v] {
+		return p.values[v], true
+	}
+	return 0, false
+}

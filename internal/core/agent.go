@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Stats exposes per-agent bookkeeping for the experiment harness.
+type Stats struct {
+	// Deadends counts check_agent_view invocations that found no value
+	// consistent with the higher nogoods.
+	Deadends int64
+	// NogoodsGenerated counts nogoods actually derived and sent (a deadend
+	// whose derived nogood equals the previous one is suppressed and not
+	// counted, per the paper's "the agent does nothing" rule).
+	NogoodsGenerated int64
+	// RedundantGenerations counts generations of a nogood this agent had
+	// already generated before (the Table 4 measure).
+	RedundantGenerations int64
+	// NogoodsRecorded counts received nogoods that passed the recording
+	// rules and were new to the store.
+	NogoodsRecorded int64
+	// NogoodsPruned counts stored nogoods discarded by subsumption
+	// pruning (Learning.SubsumptionPruning).
+	NogoodsPruned int64
+	// PriorityRaises counts deadend priority escalations.
+	PriorityRaises int64
+}
+
+// viewEntry is what an agent knows about another agent's variable.
+type viewEntry struct {
+	val  csp.Value
+	prio int
+}
+
+// Agent is one AWC agent owning one variable.
+type Agent struct {
+	id       csp.Var
+	domain   []csp.Value
+	learning Learning
+
+	store   *nogood.Store
+	counter nogood.Counter
+
+	value    csp.Value
+	priority int
+	view     map[csp.Var]viewEntry
+	outLinks map[csp.Var]struct{}
+
+	lastLearned   *csp.Nogood
+	generatedKeys map[string]struct{}
+	insoluble     bool
+	stats         Stats
+	rng           *rand.Rand // non-nil only under TieBreakRandom
+
+	// scratch reused across check_agent_view invocations.
+	violatedHigher [][]csp.Nogood
+	lowerViol      []int
+}
+
+var _ sim.Agent = (*Agent)(nil)
+
+// NewAgent builds the AWC agent for variable id of problem, starting at the
+// given initial value. The agent's store is seeded with the problem nogoods
+// relevant to its variable (Section 2.1: agent i knows the nogoods relevant
+// to its variable, including inter-agent nogoods).
+func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value, learning Learning) *Agent {
+	a := &Agent{
+		id:            id,
+		domain:        problem.Domain(id),
+		learning:      learning,
+		store:         nogood.NewFromSlice(problem.NogoodsOf(id)),
+		value:         initial,
+		view:          make(map[csp.Var]viewEntry),
+		outLinks:      make(map[csp.Var]struct{}),
+		generatedKeys: make(map[string]struct{}),
+	}
+	for _, nb := range problem.Neighbors(id) {
+		a.outLinks[nb] = struct{}{}
+	}
+	a.violatedHigher = make([][]csp.Nogood, len(a.domain))
+	a.lowerViol = make([]int, len(a.domain))
+	if learning.TieBreak == TieBreakRandom {
+		// Independent per-agent stream: runs stay pure functions of the
+		// configured seed.
+		a.rng = rand.New(rand.NewSource(learning.Seed*1_000_003 + int64(id)*7919 + 1))
+	}
+	return a
+}
+
+// chooseMin returns the index in [0,n) minimizing score among eligible
+// indices, resolving ties per the configured tie-break; -1 when nothing is
+// eligible.
+func (a *Agent) chooseMin(n int, eligible func(int) bool, score func(int) int) int {
+	best, bestScore := -1, 0
+	for i := 0; i < n; i++ {
+		if !eligible(i) {
+			continue
+		}
+		if s := score(i); best < 0 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 || a.rng == nil {
+		return best
+	}
+	// Reservoir-sample uniformly among the tied minima.
+	picked, ties := -1, 0
+	for i := 0; i < n; i++ {
+		if !eligible(i) || score(i) != bestScore {
+			continue
+		}
+		ties++
+		if a.rng.Intn(ties) == 0 {
+			picked = i
+		}
+	}
+	return picked
+}
+
+// ID implements sim.Agent.
+func (a *Agent) ID() sim.AgentID { return sim.AgentID(a.id) }
+
+// CurrentValue implements sim.Agent.
+func (a *Agent) CurrentValue() csp.Value { return a.value }
+
+// Checks implements sim.Agent.
+func (a *Agent) Checks() int64 { return a.counter.Total() }
+
+// Priority returns the agent's current priority value.
+func (a *Agent) Priority() int { return a.priority }
+
+// Insoluble reports whether this agent derived the empty nogood, proving the
+// problem has no solution.
+func (a *Agent) Insoluble() bool { return a.insoluble }
+
+// Stats returns the agent's bookkeeping counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// StoreSize returns the number of nogoods currently recorded (initial
+// constraints plus learned).
+func (a *Agent) StoreSize() int { return a.store.Len() }
+
+// Init implements sim.Agent: repair unary-constraint violations of the
+// initial value (with an empty agent_view only unary nogoods can fire, and
+// those are always "higher"), then announce the value to all neighbors. A
+// variable whose unary constraints wipe out its whole domain derives the
+// empty resolvent here, immediately proving insolubility.
+func (a *Agent) Init() []sim.Message {
+	if acted, msgs := a.checkAgentView(); acted {
+		return msgs
+	}
+	return a.broadcastOk(nil)
+}
+
+// Step implements sim.Agent: absorb the cycle's messages, then run
+// check_agent_view once and emit the resulting messages.
+func (a *Agent) Step(in []sim.Message) []sim.Message {
+	if a.insoluble {
+		return nil
+	}
+	var (
+		out        []sim.Message
+		mustAnswer []csp.Var // fresh requesters needing an ok? reply
+		sawTraffic bool
+	)
+	for _, m := range in {
+		sawTraffic = true
+		switch msg := m.(type) {
+		case Ok:
+			a.view[csp.Var(msg.Sender)] = viewEntry{val: msg.Value, prio: msg.Priority}
+		case Request:
+			// Always answer with the current value, even on an existing
+			// link: the requester asked because it lacks the value.
+			v := csp.Var(msg.Sender)
+			a.outLinks[v] = struct{}{}
+			mustAnswer = append(mustAnswer, v)
+		case NogoodMsg:
+			out = append(out, a.receiveNogood(msg.Nogood)...)
+		default:
+			panic(fmt.Sprintf("core: unexpected message type %T", m))
+		}
+	}
+	if !sawTraffic {
+		return nil
+	}
+	acted, actOut := a.checkAgentView()
+	out = append(out, actOut...)
+	if !acted {
+		// The agent's state did not change, but fresh requesters still
+		// need to learn the current value.
+		for _, v := range mustAnswer {
+			out = append(out, Ok{
+				Sender:   a.ID(),
+				Receiver: sim.AgentID(v),
+				Value:    a.value,
+				Priority: a.priority,
+			})
+		}
+	}
+	return out
+}
+
+// receiveNogood implements the nogood-message handler of Section 2.2:
+// record the nogood (subject to the learning configuration's recording
+// rules), and request values for unknown variables.
+func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
+	var out []sim.Message
+	for _, l := range ng.Lits() {
+		if l.Var == a.id {
+			continue
+		}
+		if _, known := a.view[l.Var]; !known {
+			// Adopt the value asserted by the nogood (it was true at the
+			// sender's view) and ask the owner to keep us posted.
+			a.view[l.Var] = viewEntry{val: l.Val, prio: 0}
+			out = append(out, Request{Sender: a.ID(), Receiver: sim.AgentID(l.Var)})
+		}
+	}
+	if a.learning.shouldRecord(ng) {
+		if a.learning.SubsumptionPruning {
+			added, removed := a.store.AddPruning(ng, &a.counter)
+			if added {
+				a.stats.NogoodsRecorded++
+			}
+			a.stats.NogoodsPruned += int64(removed)
+		} else if a.store.Add(ng) {
+			a.stats.NogoodsRecorded++
+		}
+	}
+	return out
+}
+
+// probeView is the assignment "my agent_view with my variable set to val".
+type probeView struct {
+	a   *Agent
+	val csp.Value
+}
+
+var _ csp.Assignment = probeView{}
+
+// Lookup implements csp.Assignment.
+func (p probeView) Lookup(v csp.Var) (csp.Value, bool) {
+	if v == p.a.id {
+		return p.val, true
+	}
+	e, ok := p.a.view[v]
+	if !ok {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// rank is a variable's total-order priority: larger priority value wins,
+// ties break toward the smaller variable id (the paper: "all ties in
+// priorities are broken due to the alphabetical order of variables' ids").
+type rank struct {
+	p int
+	v csp.Var
+}
+
+// outranks reports whether a is strictly higher-priority than b.
+func (a rank) outranks(b rank) bool {
+	if a.p != b.p {
+		return a.p > b.p
+	}
+	return a.v < b.v
+}
+
+func (a *Agent) rankOf(v csp.Var) rank {
+	if v == a.id {
+		return rank{p: a.priority, v: v}
+	}
+	e, ok := a.view[v]
+	if !ok {
+		return rank{p: 0, v: v}
+	}
+	return rank{p: e.prio, v: v}
+}
+
+// nogoodRank returns the nogood's priority: the lowest rank among its
+// variables excluding the owner's variable. A nogood with no other variable
+// (a unary constraint on the owner) outranks everything — it must always be
+// respected — signalled by ok=false.
+func (a *Agent) nogoodRank(ng csp.Nogood) (rank, bool) {
+	var (
+		low   rank
+		found bool
+	)
+	for _, v := range ng.Vars() {
+		if v == a.id {
+			continue
+		}
+		r := a.rankOf(v)
+		if !found || low.outranks(r) {
+			low, found = r, true
+		}
+	}
+	return low, found
+}
+
+// isHigher reports whether ng is a higher nogood for this agent: its
+// priority exceeds the owner variable's priority.
+func (a *Agent) isHigher(ng csp.Nogood) bool {
+	ngRank, ok := a.nogoodRank(ng)
+	if !ok {
+		return true // unary constraint on own variable
+	}
+	return ngRank.outranks(rank{p: a.priority, v: a.id})
+}
+
+// checkAgentView is the heart of AWC (Section 2.2). It returns whether the
+// agent acted (changed value and/or priority) and the messages to send.
+func (a *Agent) checkAgentView() (bool, []sim.Message) {
+	// Fast path: is the current value consistent with all higher nogoods?
+	// Scans until the first violated higher nogood, charging one check per
+	// evaluated nogood.
+	current := probeView{a: a, val: a.value}
+	consistent := true
+	for _, ng := range a.store.All() {
+		if !a.isHigher(ng) {
+			continue
+		}
+		if nogood.Check(ng, current, &a.counter) {
+			consistent = false
+			break
+		}
+	}
+	if consistent {
+		return false, nil
+	}
+
+	// Full evaluation: one pass per domain value over the whole store,
+	// classifying each nogood as higher or lower and recording violations.
+	for i := range a.domain {
+		a.violatedHigher[i] = a.violatedHigher[i][:0]
+		a.lowerViol[i] = 0
+	}
+	for _, ng := range a.store.All() {
+		higher := a.isHigher(ng)
+		for i, d := range a.domain {
+			if nogood.Check(ng, probeView{a: a, val: d}, &a.counter) {
+				if higher {
+					a.violatedHigher[i] = append(a.violatedHigher[i], ng)
+				} else {
+					a.lowerViol[i]++
+				}
+			}
+		}
+	}
+
+	// Candidates repair every higher violation; among them minimize
+	// violations of lower nogoods.
+	bestIdx := a.chooseMin(len(a.domain),
+		func(i int) bool { return len(a.violatedHigher[i]) == 0 },
+		func(i int) int { return a.lowerViol[i] })
+	if bestIdx >= 0 {
+		a.value = a.domain[bestIdx]
+		return true, a.broadcastOk(nil)
+	}
+
+	// Deadend: every value violates some higher nogood.
+	a.stats.Deadends++
+	var ngMsgs []sim.Message
+	if a.learning.Kind != LearnNone {
+		learned := a.deriveNogood()
+		// Generation statistics count every derivation — Table 4 measures
+		// "nogoods generated", and the derivation work happens whether or
+		// not the suppression guard below then swallows the result.
+		a.stats.NogoodsGenerated++
+		if _, seen := a.generatedKeys[learned.Key()]; seen {
+			a.stats.RedundantGenerations++
+		} else {
+			a.generatedKeys[learned.Key()] = struct{}{}
+		}
+		if a.lastLearned != nil && learned.Equal(*a.lastLearned) {
+			// Required for completeness (Section 2.2): regenerating the
+			// same nogood means nothing new was learned; do nothing.
+			return false, nil
+		}
+		cp := learned
+		a.lastLearned = &cp
+		if learned.Empty() {
+			a.insoluble = true
+			return false, nil
+		}
+		for _, v := range learned.Vars() {
+			ngMsgs = append(ngMsgs, NogoodMsg{
+				Sender:   a.ID(),
+				Receiver: sim.AgentID(v),
+				Nogood:   learned,
+			})
+		}
+	}
+
+	// Raise priority above everything currently in view, then move to the
+	// value violating the fewest nogoods overall (higher and lower).
+	maxPrio := a.priority
+	for _, e := range a.view {
+		if e.prio > maxPrio {
+			maxPrio = e.prio
+		}
+	}
+	a.priority = maxPrio + 1
+	a.stats.PriorityRaises++
+
+	bestIdx = a.chooseMin(len(a.domain),
+		func(int) bool { return true },
+		func(i int) int { return len(a.violatedHigher[i]) + a.lowerViol[i] })
+	a.value = a.domain[bestIdx]
+	return true, a.broadcastOk(ngMsgs)
+}
+
+// broadcastOk appends an ok? message for every outgoing link to msgs,
+// in deterministic (ascending id) order.
+func (a *Agent) broadcastOk(msgs []sim.Message) []sim.Message {
+	targets := make([]csp.Var, 0, len(a.outLinks))
+	for v := range a.outLinks {
+		targets = append(targets, v)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, v := range targets {
+		msgs = append(msgs, Ok{
+			Sender:   a.ID(),
+			Receiver: sim.AgentID(v),
+			Value:    a.value,
+			Priority: a.priority,
+		})
+	}
+	return msgs
+}

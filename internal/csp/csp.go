@@ -1,0 +1,139 @@
+// Package csp defines the constraint-satisfaction model shared by every
+// algorithm in this repository: variables, values, assignments, and nogoods
+// (constraints expressed as prohibited value combinations), plus the Problem
+// container that distributed algorithms operate on.
+//
+// The representation follows the paper (Hirayama & Yokoo, ICDCS 2000,
+// Section 2.1): a CSP is a set of variables with finite discrete domains and
+// a set of nogoods, where a nogood is a set of variable-value pairs stating
+// that the combination is prohibited. A solution assigns every variable a
+// value from its domain such that no nogood is violated.
+package csp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Var identifies a variable. In the distributed setting studied by the paper
+// each agent owns exactly one variable, so Var doubles as an agent
+// identifier. Variables of a Problem are numbered 0..NumVars()-1.
+type Var int
+
+// Value is a member of a variable's domain. Domains are finite and discrete;
+// for 3-coloring the values are color indices, for SAT they are 0 (false)
+// and 1 (true).
+type Value int
+
+// Lit is one variable-value pair ("literal") inside a nogood or an
+// assignment: it states "variable Var has value Val".
+type Lit struct {
+	Var Var
+	Val Value
+}
+
+// String renders the literal as "xVar=Val".
+func (l Lit) String() string {
+	return "x" + strconv.Itoa(int(l.Var)) + "=" + strconv.Itoa(int(l.Val))
+}
+
+// Assignment is a read-only view of variable values. Implementations include
+// full solutions, an agent's agent_view, and hypothetical views used during
+// value selection.
+type Assignment interface {
+	// Lookup reports the value of v and whether v is assigned.
+	Lookup(v Var) (Value, bool)
+}
+
+// MapAssignment is an Assignment backed by a map. The zero value is not
+// usable; construct with make or NewMapAssignment.
+type MapAssignment map[Var]Value
+
+var _ Assignment = MapAssignment(nil)
+
+// NewMapAssignment copies lits into a fresh MapAssignment.
+func NewMapAssignment(lits ...Lit) MapAssignment {
+	m := make(MapAssignment, len(lits))
+	for _, l := range lits {
+		m[l.Var] = l.Val
+	}
+	return m
+}
+
+// Lookup implements Assignment.
+func (m MapAssignment) Lookup(v Var) (Value, bool) {
+	val, ok := m[v]
+	return val, ok
+}
+
+// SliceAssignment is an Assignment backed by a dense slice indexed by Var;
+// entries equal to Unassigned are treated as absent. It is the cheap
+// representation used by the simulator's global solution check.
+type SliceAssignment []Value
+
+// Unassigned marks an absent entry in a SliceAssignment.
+const Unassigned Value = -1
+
+var _ Assignment = SliceAssignment(nil)
+
+// NewSliceAssignment returns a SliceAssignment of n variables, all
+// unassigned.
+func NewSliceAssignment(n int) SliceAssignment {
+	s := make(SliceAssignment, n)
+	for i := range s {
+		s[i] = Unassigned
+	}
+	return s
+}
+
+// Lookup implements Assignment.
+func (s SliceAssignment) Lookup(v Var) (Value, bool) {
+	if int(v) < 0 || int(v) >= len(s) || s[v] == Unassigned {
+		return 0, false
+	}
+	return s[v], true
+}
+
+// Override is an Assignment that reads Var as Val and defers every other
+// variable to Base. It is used to test "what if my variable took value d"
+// without copying the underlying view.
+type Override struct {
+	Base Assignment
+	Var  Var
+	Val  Value
+}
+
+var _ Assignment = Override{}
+
+// Lookup implements Assignment.
+func (o Override) Lookup(v Var) (Value, bool) {
+	if v == o.Var {
+		return o.Val, true
+	}
+	return o.Base.Lookup(v)
+}
+
+// FormatLits renders literals as "{x1=0 x2=1}". Used by error messages and
+// tracing.
+func FormatLits(lits []Lit) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range lits {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkVar panics if v is negative; used by constructors that receive
+// caller-supplied literals. Negative variables are always a programming
+// error, never a data error.
+func checkVar(v Var) {
+	if v < 0 {
+		panic(fmt.Sprintf("csp: negative variable %d", v))
+	}
+}

@@ -1,0 +1,231 @@
+package csp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the two DIMACS exchange formats the repository's CLI
+// tools speak: CNF (SAT instances, "p cnf" header) and COL (graph-coloring
+// instances, "p edge" header). The paper's 3ONESAT benchmark instances were
+// distributed as DIMACS CNF files, so round-tripping through these formats
+// lets users plug in their own instances.
+
+// CNF is a propositional formula in clausal form. Variables are numbered
+// 1..NumVars following DIMACS convention; positive literal v is v, negative
+// is -v.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// ParseCNF reads a DIMACS CNF file. Comment lines ("c ...") are ignored;
+// clauses may span lines and are terminated by 0, per the standard.
+func ParseCNF(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		cnf        *CNF
+		current    []int
+		numClauses = -1
+	)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("csp: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("csp: line %d: bad counts in %q", lineNo, line)
+			}
+			cnf = &CNF{NumVars: nv, Clauses: make([][]int, 0, nc)}
+			numClauses = nc
+			continue
+		}
+		if cnf == nil {
+			return nil, fmt.Errorf("csp: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("csp: line %d: bad literal %q", lineNo, tok)
+			}
+			if lit == 0 {
+				cl := make([]int, len(current))
+				copy(cl, current)
+				cnf.Clauses = append(cnf.Clauses, cl)
+				current = current[:0]
+				continue
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > cnf.NumVars {
+				return nil, fmt.Errorf("csp: line %d: literal %d out of range (p cnf %d)", lineNo, lit, cnf.NumVars)
+			}
+			current = append(current, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("csp: read cnf: %w", err)
+	}
+	if cnf == nil {
+		return nil, fmt.Errorf("csp: missing problem line")
+	}
+	if len(current) > 0 {
+		// Tolerate a final clause missing its 0 terminator; several
+		// benchmark archives contain such files.
+		cl := make([]int, len(current))
+		copy(cl, current)
+		cnf.Clauses = append(cnf.Clauses, cl)
+	}
+	if numClauses >= 0 && len(cnf.Clauses) != numClauses {
+		return nil, fmt.Errorf("csp: header declares %d clauses, found %d", numClauses, len(cnf.Clauses))
+	}
+	return cnf, nil
+}
+
+// WriteCNF writes the formula in DIMACS CNF format.
+func WriteCNF(w io.Writer, cnf *CNF, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", cnf.NumVars, len(cnf.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range cnf.Clauses {
+		for _, lit := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", lit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Problem converts the formula into a CSP with one Boolean variable (domain
+// {0,1}) per DIMACS variable; DIMACS variable i becomes Var(i-1).
+func (c *CNF) Problem() (*Problem, error) {
+	p := NewProblemUniform(c.NumVars, 2)
+	for _, cl := range c.Clauses {
+		lits := make([]SATLit, 0, len(cl))
+		for _, lit := range cl {
+			v := lit
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			lits = append(lits, SATLit{Var: Var(v - 1), Negated: neg})
+		}
+		if err := p.AddClause(lits...); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Graph is an undirected simple graph for coloring instances. Nodes are
+// numbered 0..NumNodes-1.
+type Graph struct {
+	NumNodes int
+	Edges    [][2]int
+}
+
+// ParseCOL reads a DIMACS COL ("p edge") graph file. Nodes in the file are
+// 1-based and are shifted to 0-based.
+func ParseCOL(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 4 || fields[1] != "edge" {
+				return nil, fmt.Errorf("csp: line %d: malformed problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("csp: line %d: bad node count", lineNo)
+			}
+			g = &Graph{NumNodes: n}
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("csp: line %d: edge before problem line", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("csp: line %d: malformed edge %q", lineNo, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 1 || v < 1 || u > g.NumNodes || v > g.NumNodes {
+				return nil, fmt.Errorf("csp: line %d: edge endpoints out of range", lineNo)
+			}
+			g.Edges = append(g.Edges, [2]int{u - 1, v - 1})
+		default:
+			return nil, fmt.Errorf("csp: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("csp: read col: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("csp: missing problem line")
+	}
+	return g, nil
+}
+
+// WriteCOL writes the graph in DIMACS COL format (1-based nodes).
+func WriteCOL(w io.Writer, g *Graph, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.NumNodes, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0]+1, e[1]+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Problem converts the graph into a k-coloring CSP: one variable per node
+// with domain {0..colors-1} and per-edge not-equal constraints expanded into
+// nogoods.
+func (g *Graph) Problem(colors int) (*Problem, error) {
+	if colors < 1 {
+		return nil, fmt.Errorf("csp: need at least one color, got %d", colors)
+	}
+	p := NewProblemUniform(g.NumNodes, colors)
+	for _, e := range g.Edges {
+		if err := p.AddNotEqual(Var(e[0]), Var(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,237 @@
+package csp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCNF(t *testing.T) {
+	input := `c a comment
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+`
+	cnf, err := ParseCNF(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseCNF: %v", err)
+	}
+	if cnf.NumVars != 3 || len(cnf.Clauses) != 2 {
+		t.Fatalf("got %d vars, %d clauses", cnf.NumVars, len(cnf.Clauses))
+	}
+	want := [][]int{{1, -2, 3}, {-1, 2}}
+	for i, cl := range want {
+		for j, lit := range cl {
+			if cnf.Clauses[i][j] != lit {
+				t.Errorf("clause %d = %v, want %v", i, cnf.Clauses[i], cl)
+			}
+		}
+	}
+}
+
+func TestParseCNFMultilineClause(t *testing.T) {
+	input := "p cnf 3 1\n1\n-2\n3 0\n"
+	cnf, err := ParseCNF(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseCNF: %v", err)
+	}
+	if len(cnf.Clauses) != 1 || len(cnf.Clauses[0]) != 3 {
+		t.Fatalf("clauses = %v", cnf.Clauses)
+	}
+}
+
+func TestParseCNFMissingTerminator(t *testing.T) {
+	// Some archives omit the trailing 0 on the last clause; tolerate it.
+	cnf, err := ParseCNF(strings.NewReader("p cnf 2 2\n1 2 0\n-1 -2"))
+	if err != nil {
+		t.Fatalf("ParseCNF: %v", err)
+	}
+	if len(cnf.Clauses) != 2 {
+		t.Fatalf("clauses = %v", cnf.Clauses)
+	}
+}
+
+func TestParseCNFErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"no header", "1 2 0\n"},
+		{"bad header", "p sat 3 1\n"},
+		{"literal out of range", "p cnf 2 1\n3 0\n"},
+		{"clause count mismatch", "p cnf 2 5\n1 0\n"},
+		{"garbage literal", "p cnf 2 1\n1 x 0\n"},
+		{"empty input", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCNF(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ParseCNF accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestCNFRoundTrip(t *testing.T) {
+	orig := &CNF{NumVars: 4, Clauses: [][]int{{1, -2, 4}, {-3, 2}, {4}}}
+	var buf bytes.Buffer
+	if err := WriteCNF(&buf, orig, "round trip"); err != nil {
+		t.Fatalf("WriteCNF: %v", err)
+	}
+	parsed, err := ParseCNF(&buf)
+	if err != nil {
+		t.Fatalf("ParseCNF: %v", err)
+	}
+	if parsed.NumVars != orig.NumVars || len(parsed.Clauses) != len(orig.Clauses) {
+		t.Fatalf("round trip shape mismatch: %+v", parsed)
+	}
+	for i := range orig.Clauses {
+		for j := range orig.Clauses[i] {
+			if parsed.Clauses[i][j] != orig.Clauses[i][j] {
+				t.Errorf("clause %d: %v != %v", i, parsed.Clauses[i], orig.Clauses[i])
+			}
+		}
+	}
+}
+
+func TestCNFProblem(t *testing.T) {
+	cnf := &CNF{NumVars: 2, Clauses: [][]int{{1, 2}, {-1, -2}}}
+	p, err := cnf.Problem()
+	if err != nil {
+		t.Fatalf("Problem: %v", err)
+	}
+	if p.NumVars() != 2 || p.NumNogoods() != 2 {
+		t.Fatalf("shape: %d vars, %d nogoods", p.NumVars(), p.NumNogoods())
+	}
+	// x0=1, x1=0 satisfies both clauses.
+	if !p.IsSolution(SliceAssignment{1, 0}) {
+		t.Errorf("valid model rejected")
+	}
+	// x0=0, x1=0 falsifies clause 1.
+	if p.IsSolution(SliceAssignment{0, 0}) {
+		t.Errorf("invalid model accepted")
+	}
+}
+
+func TestParseCOL(t *testing.T) {
+	input := `c graph
+p edge 4 3
+e 1 2
+e 2 3
+e 3 4
+`
+	g, err := ParseCOL(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseCOL: %v", err)
+	}
+	if g.NumNodes != 4 || len(g.Edges) != 3 {
+		t.Fatalf("got %d nodes, %d edges", g.NumNodes, len(g.Edges))
+	}
+	if g.Edges[0] != [2]int{0, 1} {
+		t.Errorf("edge 0 = %v (0-based expected)", g.Edges[0])
+	}
+}
+
+func TestParseCOLErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"no header", "e 1 2\n"},
+		{"bad header", "p graph 3 1\n"},
+		{"endpoint out of range", "p edge 2 1\ne 1 5\n"},
+		{"zero endpoint", "p edge 2 1\ne 0 1\n"},
+		{"unknown record", "p edge 2 1\nq 1 2\n"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCOL(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ParseCOL accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestCOLRoundTrip(t *testing.T) {
+	orig := &Graph{NumNodes: 5, Edges: [][2]int{{0, 1}, {2, 4}}}
+	var buf bytes.Buffer
+	if err := WriteCOL(&buf, orig, "round trip"); err != nil {
+		t.Fatalf("WriteCOL: %v", err)
+	}
+	parsed, err := ParseCOL(&buf)
+	if err != nil {
+		t.Fatalf("ParseCOL: %v", err)
+	}
+	if parsed.NumNodes != orig.NumNodes || len(parsed.Edges) != len(orig.Edges) {
+		t.Fatalf("shape mismatch: %+v", parsed)
+	}
+	for i := range orig.Edges {
+		if parsed.Edges[i] != orig.Edges[i] {
+			t.Errorf("edge %d: %v != %v", i, parsed.Edges[i], orig.Edges[i])
+		}
+	}
+}
+
+func TestGraphProblem(t *testing.T) {
+	g := &Graph{NumNodes: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	p, err := g.Problem(3)
+	if err != nil {
+		t.Fatalf("Problem: %v", err)
+	}
+	if p.NumNogoods() != 9 {
+		t.Errorf("NumNogoods = %d, want 9", p.NumNogoods())
+	}
+	if !p.IsSolution(SliceAssignment{0, 1, 2}) {
+		t.Errorf("proper coloring rejected")
+	}
+	if _, err := g.Problem(0); err == nil {
+		t.Errorf("Problem(0 colors) accepted")
+	}
+}
+
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(0, 1, 2)
+	p.AddVar(5, 7)
+	p.AddVar(0, 1)
+	if err := p.AddNogood(MustNogood(Lit{Var: 0, Val: 1}, Lit{Var: 1, Val: 5}, Lit{Var: 2, Val: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNogood(MustNogood(Lit{Var: 2, Val: 1})); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProblemJSON(&buf, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadProblemJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.NumVars() != 3 || back.NumNogoods() != 2 {
+		t.Fatalf("shape: %d vars %d nogoods", back.NumVars(), back.NumNogoods())
+	}
+	if got := back.Domain(1); len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Errorf("domain 1 = %v", got)
+	}
+	if !back.Nogood(0).Equal(p.Nogood(0)) || !back.Nogood(1).Equal(p.Nogood(1)) {
+		t.Errorf("nogoods changed: %v %v", back.Nogood(0), back.Nogood(1))
+	}
+}
+
+func TestReadProblemJSONErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"garbage", "nope"},
+		{"empty domain", `{"domains":[[]],"nogoods":[]}`},
+		{"unknown variable", `{"domains":[[0,1]],"nogoods":[[{"var":5,"val":0}]]}`},
+		{"negative variable", `{"domains":[[0,1]],"nogoods":[[{"var":-1,"val":0}]]}`},
+		{"contradictory nogood", `{"domains":[[0,1]],"nogoods":[[{"var":0,"val":0},{"var":0,"val":1}]]}`},
+		{"value outside domain", `{"domains":[[0,1]],"nogoods":[[{"var":0,"val":9}]]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadProblemJSON(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted %q", tc.in)
+			}
+		})
+	}
+}

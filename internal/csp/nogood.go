@@ -1,0 +1,215 @@
+package csp
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrContradictoryNogood is returned by NewNogood when the same variable
+// appears with two different values. Such a nogood can never be violated and
+// recording it would be useless.
+var ErrContradictoryNogood = errors.New("csp: nogood assigns one variable two values")
+
+// Nogood is a set of variable-value pairs stating that the combination is
+// prohibited (Section 2.1 of the paper). Nogoods are immutable and stored in
+// canonical form: literals sorted by variable, no duplicates. The zero value
+// is the empty nogood, which is violated by every assignment (it encodes
+// global insolubility).
+type Nogood struct {
+	lits []Lit // sorted by Var, unique Vars
+}
+
+// NewNogood canonicalizes lits into a Nogood: duplicates collapse, literals
+// sort by variable. It returns ErrContradictoryNogood if one variable
+// appears with conflicting values.
+func NewNogood(lits ...Lit) (Nogood, error) {
+	cp := make([]Lit, len(lits))
+	copy(cp, lits)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Var != cp[j].Var {
+			return cp[i].Var < cp[j].Var
+		}
+		return cp[i].Val < cp[j].Val
+	})
+	out := cp[:0]
+	for i, l := range cp {
+		checkVar(l.Var)
+		if i > 0 && l.Var == cp[i-1].Var {
+			if l.Val != cp[i-1].Val {
+				return Nogood{}, ErrContradictoryNogood
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	return Nogood{lits: out}, nil
+}
+
+// MustNogood is NewNogood for literals known to be consistent; it panics on
+// error. Intended for tests and for construction sites that have already
+// deduplicated by variable.
+func MustNogood(lits ...Lit) Nogood {
+	ng, err := NewNogood(lits...)
+	if err != nil {
+		panic(err)
+	}
+	return ng
+}
+
+// Len returns the number of literals.
+func (n Nogood) Len() int { return len(n.lits) }
+
+// Empty reports whether the nogood has no literals. The empty nogood is
+// violated by every assignment and therefore proves the problem insoluble.
+func (n Nogood) Empty() bool { return len(n.lits) == 0 }
+
+// Lits returns a copy of the literal list in canonical order.
+func (n Nogood) Lits() []Lit {
+	cp := make([]Lit, len(n.lits))
+	copy(cp, n.lits)
+	return cp
+}
+
+// At returns the i-th literal in canonical order.
+func (n Nogood) At(i int) Lit { return n.lits[i] }
+
+// ValueOf reports the value the nogood prescribes for v, if v appears.
+func (n Nogood) ValueOf(v Var) (Value, bool) {
+	i := sort.Search(len(n.lits), func(i int) bool { return n.lits[i].Var >= v })
+	if i < len(n.lits) && n.lits[i].Var == v {
+		return n.lits[i].Val, true
+	}
+	return 0, false
+}
+
+// Contains reports whether v appears in the nogood.
+func (n Nogood) Contains(v Var) bool {
+	_, ok := n.ValueOf(v)
+	return ok
+}
+
+// Vars returns the variables mentioned, in increasing order.
+func (n Nogood) Vars() []Var {
+	vs := make([]Var, len(n.lits))
+	for i, l := range n.lits {
+		vs[i] = l.Var
+	}
+	return vs
+}
+
+// Without returns the nogood with any literal on v removed. If v does not
+// appear, the receiver is returned unchanged (they share storage; nogoods
+// are immutable so sharing is safe).
+func (n Nogood) Without(v Var) Nogood {
+	i := sort.Search(len(n.lits), func(i int) bool { return n.lits[i].Var >= v })
+	if i >= len(n.lits) || n.lits[i].Var != v {
+		return n
+	}
+	out := make([]Lit, 0, len(n.lits)-1)
+	out = append(out, n.lits[:i]...)
+	out = append(out, n.lits[i+1:]...)
+	return Nogood{lits: out}
+}
+
+// WithoutAt returns the nogood with the i-th literal removed. It is the
+// positional form of Without, used by the mcs minimization loop.
+func (n Nogood) WithoutAt(i int) Nogood {
+	out := make([]Lit, 0, len(n.lits)-1)
+	out = append(out, n.lits[:i]...)
+	out = append(out, n.lits[i+1:]...)
+	return Nogood{lits: out}
+}
+
+// Union merges the receiver with other. It returns
+// ErrContradictoryNogood when the two prescribe different values for a
+// shared variable — in resolvent-based learning that cannot happen because
+// all operands are violated under one agent_view, but the API guards it.
+func (n Nogood) Union(other Nogood) (Nogood, error) {
+	merged := make([]Lit, 0, len(n.lits)+len(other.lits))
+	i, j := 0, 0
+	for i < len(n.lits) && j < len(other.lits) {
+		a, b := n.lits[i], other.lits[j]
+		switch {
+		case a.Var < b.Var:
+			merged = append(merged, a)
+			i++
+		case a.Var > b.Var:
+			merged = append(merged, b)
+			j++
+		default:
+			if a.Val != b.Val {
+				return Nogood{}, ErrContradictoryNogood
+			}
+			merged = append(merged, a)
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, n.lits[i:]...)
+	merged = append(merged, other.lits[j:]...)
+	return Nogood{lits: merged}, nil
+}
+
+// Equal reports literal-for-literal equality (canonical form makes this a
+// simple scan).
+func (n Nogood) Equal(other Nogood) bool {
+	if len(n.lits) != len(other.lits) {
+		return false
+	}
+	for i := range n.lits {
+		if n.lits[i] != other.lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every literal of the receiver appears in other.
+func (n Nogood) SubsetOf(other Nogood) bool {
+	if len(n.lits) > len(other.lits) {
+		return false
+	}
+	j := 0
+	for _, l := range n.lits {
+		for j < len(other.lits) && other.lits[j].Var < l.Var {
+			j++
+		}
+		if j >= len(other.lits) || other.lits[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Violated reports whether every literal of the nogood holds under a: the
+// prohibited combination is fully present. Unassigned variables make the
+// nogood not violated. One call to Violated is the unit of the paper's
+// "nogood check" cost measure; callers that account cost must count calls
+// (see the nogood package's Store and the algorithms' check counters).
+func (n Nogood) Violated(a Assignment) bool {
+	for _, l := range n.lits {
+		val, ok := a.Lookup(l.Var)
+		if !ok || val != l.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key usable in maps for deduplication.
+func (n Nogood) Key() string {
+	var b strings.Builder
+	b.Grow(len(n.lits) * 8)
+	for _, l := range n.lits {
+		b.WriteString(strconv.Itoa(int(l.Var)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(l.Val)))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// String renders the nogood for tracing and error messages.
+func (n Nogood) String() string { return FormatLits(n.lits) }

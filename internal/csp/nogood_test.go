@@ -1,0 +1,251 @@
+package csp
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNogoodCanonicalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Lit
+		want []Lit
+	}{
+		{"empty", nil, []Lit{}},
+		{"single", []Lit{{Var: 3, Val: 1}}, []Lit{{Var: 3, Val: 1}}},
+		{
+			"sorts by variable",
+			[]Lit{{Var: 5, Val: 0}, {Var: 1, Val: 2}, {Var: 3, Val: 1}},
+			[]Lit{{Var: 1, Val: 2}, {Var: 3, Val: 1}, {Var: 5, Val: 0}},
+		},
+		{
+			"collapses duplicates",
+			[]Lit{{Var: 2, Val: 1}, {Var: 2, Val: 1}, {Var: 0, Val: 0}},
+			[]Lit{{Var: 0, Val: 0}, {Var: 2, Val: 1}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ng, err := NewNogood(tt.in...)
+			if err != nil {
+				t.Fatalf("NewNogood(%v): %v", tt.in, err)
+			}
+			got := ng.Lits()
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Lits() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewNogoodContradiction(t *testing.T) {
+	_, err := NewNogood(Lit{Var: 1, Val: 0}, Lit{Var: 1, Val: 1})
+	if !errors.Is(err, ErrContradictoryNogood) {
+		t.Fatalf("err = %v, want ErrContradictoryNogood", err)
+	}
+}
+
+func TestNogoodValueOf(t *testing.T) {
+	ng := MustNogood(Lit{Var: 2, Val: 7}, Lit{Var: 9, Val: 1})
+	if v, ok := ng.ValueOf(2); !ok || v != 7 {
+		t.Errorf("ValueOf(2) = %d,%v want 7,true", v, ok)
+	}
+	if v, ok := ng.ValueOf(9); !ok || v != 1 {
+		t.Errorf("ValueOf(9) = %d,%v want 1,true", v, ok)
+	}
+	if _, ok := ng.ValueOf(5); ok {
+		t.Errorf("ValueOf(5) = _,true want false")
+	}
+	if ng.Contains(5) {
+		t.Errorf("Contains(5) = true")
+	}
+	if !ng.Contains(9) {
+		t.Errorf("Contains(9) = false")
+	}
+}
+
+func TestNogoodWithout(t *testing.T) {
+	ng := MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 2, Val: 1}, Lit{Var: 3, Val: 2})
+	got := ng.Without(2)
+	want := MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 3, Val: 2})
+	if !got.Equal(want) {
+		t.Errorf("Without(2) = %v, want %v", got, want)
+	}
+	if !ng.Without(99).Equal(ng) {
+		t.Errorf("Without(absent) changed the nogood")
+	}
+	if got := ng.WithoutAt(0); !got.Equal(MustNogood(Lit{Var: 2, Val: 1}, Lit{Var: 3, Val: 2})) {
+		t.Errorf("WithoutAt(0) = %v", got)
+	}
+	// Original untouched (immutability).
+	if ng.Len() != 3 {
+		t.Errorf("receiver mutated: %v", ng)
+	}
+}
+
+func TestNogoodUnion(t *testing.T) {
+	a := MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 2, Val: 1})
+	b := MustNogood(Lit{Var: 2, Val: 1}, Lit{Var: 4, Val: 0})
+	got, err := a.Union(b)
+	if err != nil {
+		t.Fatalf("Union: %v", err)
+	}
+	want := MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 2, Val: 1}, Lit{Var: 4, Val: 0})
+	if !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+
+	c := MustNogood(Lit{Var: 2, Val: 2})
+	if _, err := a.Union(c); !errors.Is(err, ErrContradictoryNogood) {
+		t.Errorf("Union with conflicting value: err = %v, want ErrContradictoryNogood", err)
+	}
+
+	empty := MustNogood()
+	if got, err := a.Union(empty); err != nil || !got.Equal(a) {
+		t.Errorf("Union with empty = %v, %v", got, err)
+	}
+}
+
+func TestNogoodSubsetOf(t *testing.T) {
+	big := MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 2, Val: 1}, Lit{Var: 3, Val: 2})
+	tests := []struct {
+		sub  Nogood
+		want bool
+	}{
+		{MustNogood(), true},
+		{MustNogood(Lit{Var: 2, Val: 1}), true},
+		{MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 3, Val: 2}), true},
+		{big, true},
+		{MustNogood(Lit{Var: 2, Val: 2}), false}, // same var, other value
+		{MustNogood(Lit{Var: 9, Val: 0}), false}, // absent var
+		{MustNogood(Lit{Var: 1, Val: 0}, Lit{Var: 2, Val: 1}, Lit{Var: 3, Val: 2}, Lit{Var: 4, Val: 0}), false}, // superset
+	}
+	for _, tt := range tests {
+		if got := tt.sub.SubsetOf(big); got != tt.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", tt.sub, big, got, tt.want)
+		}
+	}
+}
+
+func TestNogoodViolated(t *testing.T) {
+	ng := MustNogood(Lit{Var: 0, Val: 1}, Lit{Var: 1, Val: 2})
+	tests := []struct {
+		name string
+		a    Assignment
+		want bool
+	}{
+		{"full match", NewMapAssignment(Lit{Var: 0, Val: 1}, Lit{Var: 1, Val: 2}), true},
+		{"value differs", NewMapAssignment(Lit{Var: 0, Val: 1}, Lit{Var: 1, Val: 0}), false},
+		{"partially unassigned", NewMapAssignment(Lit{Var: 0, Val: 1}), false},
+		{"empty", NewMapAssignment(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ng.Violated(tt.a); got != tt.want {
+				t.Errorf("Violated = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// The empty nogood is violated by everything.
+	if !MustNogood().Violated(NewMapAssignment()) {
+		t.Errorf("empty nogood not violated by empty assignment")
+	}
+}
+
+func TestNogoodKeyDistinguishes(t *testing.T) {
+	a := MustNogood(Lit{Var: 1, Val: 23}, Lit{Var: 4, Val: 5})
+	b := MustNogood(Lit{Var: 1, Val: 2}, Lit{Var: 3, Val: 45})
+	c := MustNogood(Lit{Var: 14, Val: 5}, Lit{Var: 12, Val: 3})
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true}
+	if len(keys) != 3 {
+		t.Errorf("keys collide: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+	if a.Key() != MustNogood(Lit{Var: 4, Val: 5}, Lit{Var: 1, Val: 23}).Key() {
+		t.Errorf("key depends on literal order")
+	}
+}
+
+// randomLits draws literals over a small variable space so collisions and
+// duplicates are frequent.
+func randomLits(rng *rand.Rand) []Lit {
+	n := rng.Intn(8)
+	lits := make([]Lit, n)
+	for i := range lits {
+		lits[i] = Lit{Var: Var(rng.Intn(6)), Val: Value(rng.Intn(3))}
+	}
+	return lits
+}
+
+// TestNogoodCanonicalProperty checks with testing/quick-style random inputs
+// that construction is order-insensitive and idempotent.
+func TestNogoodCanonicalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		lits := randomLits(rng)
+		ng1, err1 := NewNogood(lits...)
+		shuffled := make([]Lit, len(lits))
+		copy(shuffled, lits)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		ng2, err2 := NewNogood(shuffled...)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("order-dependent error: %v vs %v for %v", err1, err2, lits)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !ng1.Equal(ng2) || ng1.Key() != ng2.Key() {
+			t.Fatalf("order-dependent canonical form: %v vs %v", ng1, ng2)
+		}
+		ng3, err := NewNogood(ng1.Lits()...)
+		if err != nil || !ng3.Equal(ng1) {
+			t.Fatalf("not idempotent: %v -> %v (%v)", ng1, ng3, err)
+		}
+	}
+}
+
+// TestNogoodUnionProperty: union is commutative and its result is violated
+// exactly when both operands are violated (under assignments covering all
+// variables).
+func TestNogoodUnionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	f := func(rawA, rawB []uint8) bool {
+		a := litsFromBytes(rawA)
+		b := litsFromBytes(rawB)
+		ngA, errA := NewNogood(a...)
+		ngB, errB := NewNogood(b...)
+		if errA != nil || errB != nil {
+			return true
+		}
+		u1, err1 := ngA.Union(ngB)
+		u2, err2 := ngB.Union(ngA)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !u1.Equal(u2) {
+			return false
+		}
+		// Every assignment extending the union violates both operands.
+		full := NewMapAssignment(u1.Lits()...)
+		return ngA.Violated(full) && ngB.Violated(full) && u1.Violated(full)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func litsFromBytes(raw []uint8) []Lit {
+	lits := make([]Lit, 0, len(raw))
+	for _, b := range raw {
+		lits = append(lits, Lit{Var: Var(b % 5), Val: Value(b / 5 % 3)})
+	}
+	return lits
+}

@@ -1,0 +1,284 @@
+package csp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Problem is a CSP: variables 0..n-1 with finite discrete domains and a set
+// of nogoods. In the distributed setting, variable i belongs to agent i and
+// agent i knows exactly the nogoods relevant to variable i (Section 2.1:
+// "P_i includes all nogoods that are relevant to variables in P_i").
+//
+// Problem is mutable during construction (AddVar / AddNogood /
+// AddAllDifferent / AddClause) and should be treated as read-only once
+// handed to a solver; solvers never mutate it.
+type Problem struct {
+	domains [][]Value
+	nogoods []Nogood
+
+	// byVar[v] lists indices into nogoods of the nogoods mentioning v.
+	// Maintained incrementally by AddNogood.
+	byVar [][]int
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// NewProblemUniform returns a problem with n variables that all share the
+// domain {0..domainSize-1}; the common case for coloring (domainSize colors)
+// and SAT (domainSize 2).
+func NewProblemUniform(n, domainSize int) *Problem {
+	p := NewProblem()
+	dom := make([]Value, domainSize)
+	for i := range dom {
+		dom[i] = Value(i)
+	}
+	for i := 0; i < n; i++ {
+		p.AddVar(dom...)
+	}
+	return p
+}
+
+// AddVar appends a variable with the given domain and returns its Var. The
+// domain is copied.
+func (p *Problem) AddVar(domain ...Value) Var {
+	dom := make([]Value, len(domain))
+	copy(dom, domain)
+	p.domains = append(p.domains, dom)
+	p.byVar = append(p.byVar, nil)
+	return Var(len(p.domains) - 1)
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.domains) }
+
+// Domain returns variable v's domain. The returned slice is shared; callers
+// must not mutate it.
+func (p *Problem) Domain(v Var) []Value { return p.domains[v] }
+
+// NumNogoods returns the number of nogoods added so far.
+func (p *Problem) NumNogoods() int { return len(p.nogoods) }
+
+// Nogood returns the i-th nogood.
+func (p *Problem) Nogood(i int) Nogood { return p.nogoods[i] }
+
+// Nogoods returns a copy of the nogood list.
+func (p *Problem) Nogoods() []Nogood {
+	cp := make([]Nogood, len(p.nogoods))
+	copy(cp, p.nogoods)
+	return cp
+}
+
+// AddNogood records ng as a constraint of the problem. Nogoods mentioning
+// variables that do not exist yet are rejected.
+func (p *Problem) AddNogood(ng Nogood) error {
+	for _, l := range ng.Lits() {
+		if int(l.Var) >= len(p.domains) {
+			return fmt.Errorf("csp: nogood %v mentions undeclared variable x%d", ng, l.Var)
+		}
+	}
+	idx := len(p.nogoods)
+	p.nogoods = append(p.nogoods, ng)
+	for _, v := range ng.Vars() {
+		p.byVar[v] = append(p.byVar[v], idx)
+	}
+	return nil
+}
+
+// NogoodsOf returns the nogoods mentioning v, in insertion order. The slice
+// is freshly allocated.
+func (p *Problem) NogoodsOf(v Var) []Nogood {
+	idxs := p.byVar[v]
+	out := make([]Nogood, len(idxs))
+	for i, idx := range idxs {
+		out[i] = p.nogoods[idx]
+	}
+	return out
+}
+
+// Neighbors returns the variables that share at least one nogood with v,
+// sorted, excluding v itself. In the one-variable-per-agent setting these
+// are exactly the agents v's agent communicates with.
+func (p *Problem) Neighbors(v Var) []Var {
+	seen := make(map[Var]struct{})
+	for _, idx := range p.byVar[v] {
+		for _, u := range p.nogoods[idx].Vars() {
+			if u != v {
+				seen[u] = struct{}{}
+			}
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddNotEqual adds the binary "u ≠ v" constraint, expanded into one nogood
+// per shared domain value — the encoding the paper uses for graph-coloring
+// arcs (Figure 1 shows the three per-arc nogoods explicitly).
+func (p *Problem) AddNotEqual(u, v Var) error {
+	if u == v {
+		return fmt.Errorf("csp: not-equal constraint on single variable x%d", u)
+	}
+	shared := make(map[Value]struct{}, len(p.domains[u]))
+	for _, val := range p.domains[u] {
+		shared[val] = struct{}{}
+	}
+	for _, val := range p.domains[v] {
+		if _, ok := shared[val]; !ok {
+			continue
+		}
+		ng, err := NewNogood(Lit{Var: u, Val: val}, Lit{Var: v, Val: val})
+		if err != nil {
+			return err
+		}
+		if err := p.AddNogood(ng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SATLit is a propositional literal for AddClause: variable index plus
+// polarity.
+type SATLit struct {
+	Var     Var
+	Negated bool
+}
+
+// ErrEmptyClause is returned by AddClause for a clause with no literals,
+// which would make the problem trivially insoluble by accident.
+var ErrEmptyClause = errors.New("csp: empty clause")
+
+// AddClause adds a propositional clause over Boolean variables (domain
+// {0,1}) as a nogood: the clause is violated exactly when every literal is
+// false, so the nogood assigns each clause variable the value falsifying its
+// literal. Tautological clauses (x ∨ ¬x ∨ ...) are skipped with no error.
+func (p *Problem) AddClause(lits ...SATLit) error {
+	if len(lits) == 0 {
+		return ErrEmptyClause
+	}
+	ngLits := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		falsifying := Value(0)
+		if l.Negated {
+			falsifying = 1
+		}
+		ngLits = append(ngLits, Lit{Var: l.Var, Val: falsifying})
+	}
+	ng, err := NewNogood(ngLits...)
+	if errors.Is(err, ErrContradictoryNogood) {
+		return nil // tautology: clause contains x and ¬x, never violated
+	}
+	if err != nil {
+		return err
+	}
+	return p.AddNogood(ng)
+}
+
+// IsSolution reports whether a assigns every variable a value in its domain
+// and violates no nogood. This is the out-of-band global check used by the
+// simulator's termination detection; it does not contribute to any agent's
+// nogood-check count.
+func (p *Problem) IsSolution(a Assignment) bool {
+	for v := range p.domains {
+		val, ok := a.Lookup(Var(v))
+		if !ok || !p.inDomain(Var(v), val) {
+			return false
+		}
+	}
+	for _, ng := range p.nogoods {
+		if ng.Violated(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountViolations returns the number of nogoods violated under a. Used by
+// tests and by the breakout cost function's verification helpers.
+func (p *Problem) CountViolations(a Assignment) int {
+	count := 0
+	for _, ng := range p.nogoods {
+		if ng.Violated(a) {
+			count++
+		}
+	}
+	return count
+}
+
+func (p *Problem) inDomain(v Var, val Value) bool {
+	for _, d := range p.domains[v] {
+		if d == val {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural sanity: every variable has a non-empty domain
+// and every nogood value is inside the corresponding domain. Generators call
+// this before returning instances.
+func (p *Problem) Validate() error {
+	for v, dom := range p.domains {
+		if len(dom) == 0 {
+			return fmt.Errorf("csp: variable x%d has empty domain", v)
+		}
+	}
+	for _, ng := range p.nogoods {
+		for _, l := range ng.Lits() {
+			if !p.inDomain(l.Var, l.Val) {
+				return fmt.Errorf("csp: nogood %v uses value outside domain of x%d", ng, l.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy; useful when an experiment mutates weights or
+// appends learned nogoods into problem-shaped scratch space.
+func (p *Problem) Clone() *Problem {
+	cp := NewProblem()
+	for _, dom := range p.domains {
+		cp.AddVar(dom...)
+	}
+	for _, ng := range p.nogoods {
+		// Nogoods are immutable, so sharing them is safe.
+		if err := cp.AddNogood(ng); err != nil {
+			// Cannot happen: the source problem already validated them.
+			panic(err)
+		}
+	}
+	return cp
+}
+
+// Stats summarizes a problem for logging and generator tests.
+type Stats struct {
+	Vars          int
+	Nogoods       int
+	MaxDomain     int
+	MaxNogoodSize int
+}
+
+// Summarize computes Stats.
+func (p *Problem) Summarize() Stats {
+	s := Stats{Vars: len(p.domains), Nogoods: len(p.nogoods)}
+	for _, dom := range p.domains {
+		if len(dom) > s.MaxDomain {
+			s.MaxDomain = len(dom)
+		}
+	}
+	for _, ng := range p.nogoods {
+		if ng.Len() > s.MaxNogoodSize {
+			s.MaxNogoodSize = ng.Len()
+		}
+	}
+	return s
+}

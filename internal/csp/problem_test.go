@@ -1,0 +1,250 @@
+package csp
+
+import (
+	"errors"
+	"testing"
+)
+
+func triangle(t *testing.T) *Problem {
+	t.Helper()
+	p := NewProblemUniform(3, 3)
+	for _, e := range [][2]Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatalf("AddNotEqual: %v", err)
+		}
+	}
+	return p
+}
+
+func TestProblemConstruction(t *testing.T) {
+	p := triangle(t)
+	if p.NumVars() != 3 {
+		t.Errorf("NumVars = %d, want 3", p.NumVars())
+	}
+	// 3 edges × 3 shared values = 9 nogoods.
+	if p.NumNogoods() != 9 {
+		t.Errorf("NumNogoods = %d, want 9", p.NumNogoods())
+	}
+	if got := len(p.Domain(0)); got != 3 {
+		t.Errorf("len(Domain(0)) = %d, want 3", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestProblemNeighbors(t *testing.T) {
+	p := NewProblemUniform(4, 2)
+	if err := p.AddNotEqual(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNotEqual(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		v    Var
+		want []Var
+	}{
+		{0, []Var{2}},
+		{1, []Var{}},
+		{2, []Var{0, 3}},
+		{3, []Var{2}},
+	}
+	for _, tt := range tests {
+		got := p.Neighbors(tt.v)
+		if len(got) != len(tt.want) {
+			t.Errorf("Neighbors(%d) = %v, want %v", tt.v, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Neighbors(%d) = %v, want %v", tt.v, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestProblemIsSolution(t *testing.T) {
+	p := triangle(t)
+	tests := []struct {
+		name string
+		a    Assignment
+		want bool
+	}{
+		{"proper coloring", SliceAssignment{0, 1, 2}, true},
+		{"conflict", SliceAssignment{0, 0, 2}, false},
+		{"incomplete", SliceAssignment{0, 1, Unassigned}, false},
+		{"out of domain", SliceAssignment{0, 1, 7}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.IsSolution(tt.a); got != tt.want {
+				t.Errorf("IsSolution = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProblemCountViolations(t *testing.T) {
+	p := triangle(t)
+	if got := p.CountViolations(SliceAssignment{0, 0, 0}); got != 3 {
+		t.Errorf("CountViolations(all same) = %d, want 3", got)
+	}
+	if got := p.CountViolations(SliceAssignment{0, 1, 2}); got != 0 {
+		t.Errorf("CountViolations(solution) = %d, want 0", got)
+	}
+}
+
+func TestAddNogoodRejectsUndeclaredVariable(t *testing.T) {
+	p := NewProblemUniform(2, 2)
+	err := p.AddNogood(MustNogood(Lit{Var: 5, Val: 0}))
+	if err == nil {
+		t.Fatal("AddNogood accepted undeclared variable")
+	}
+}
+
+func TestAddNotEqualSelfLoop(t *testing.T) {
+	p := NewProblemUniform(2, 2)
+	if err := p.AddNotEqual(1, 1); err == nil {
+		t.Fatal("AddNotEqual accepted a self loop")
+	}
+}
+
+func TestAddNotEqualDisjointDomains(t *testing.T) {
+	p := NewProblem()
+	a := p.AddVar(0, 1)
+	b := p.AddVar(2, 3)
+	if err := p.AddNotEqual(a, b); err != nil {
+		t.Fatalf("AddNotEqual: %v", err)
+	}
+	if p.NumNogoods() != 0 {
+		t.Errorf("disjoint domains produced %d nogoods, want 0", p.NumNogoods())
+	}
+}
+
+func TestAddClause(t *testing.T) {
+	p := NewProblemUniform(3, 2)
+	// (x0 ∨ ¬x1 ∨ x2) is violated exactly at x0=0, x1=1, x2=0.
+	if err := p.AddClause(
+		SATLit{Var: 0},
+		SATLit{Var: 1, Negated: true},
+		SATLit{Var: 2},
+	); err != nil {
+		t.Fatalf("AddClause: %v", err)
+	}
+	if p.NumNogoods() != 1 {
+		t.Fatalf("NumNogoods = %d, want 1", p.NumNogoods())
+	}
+	ng := p.Nogood(0)
+	if !ng.Violated(SliceAssignment{0, 1, 0}) {
+		t.Errorf("nogood %v not violated by falsifying assignment", ng)
+	}
+	if ng.Violated(SliceAssignment{1, 1, 0}) {
+		t.Errorf("nogood %v violated by satisfying assignment", ng)
+	}
+}
+
+func TestAddClauseTautologySkipped(t *testing.T) {
+	p := NewProblemUniform(2, 2)
+	if err := p.AddClause(SATLit{Var: 0}, SATLit{Var: 0, Negated: true}, SATLit{Var: 1}); err != nil {
+		t.Fatalf("AddClause(tautology): %v", err)
+	}
+	if p.NumNogoods() != 0 {
+		t.Errorf("tautology produced %d nogoods", p.NumNogoods())
+	}
+}
+
+func TestAddClauseEmpty(t *testing.T) {
+	p := NewProblemUniform(1, 2)
+	if err := p.AddClause(); !errors.Is(err, ErrEmptyClause) {
+		t.Fatalf("err = %v, want ErrEmptyClause", err)
+	}
+}
+
+func TestProblemClone(t *testing.T) {
+	p := triangle(t)
+	cp := p.Clone()
+	if cp.NumVars() != p.NumVars() || cp.NumNogoods() != p.NumNogoods() {
+		t.Fatalf("clone shape mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	if err := cp.AddNogood(MustNogood(Lit{Var: 0, Val: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNogoods() == cp.NumNogoods() {
+		t.Errorf("clone shares nogood storage with original")
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := NewProblem()
+	p.AddVar() // empty domain
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted empty domain")
+	}
+
+	p2 := NewProblemUniform(1, 2)
+	if err := p2.AddNogood(MustNogood(Lit{Var: 0, Val: 9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err == nil {
+		t.Error("Validate accepted out-of-domain nogood value")
+	}
+}
+
+func TestProblemSummarize(t *testing.T) {
+	p := triangle(t)
+	s := p.Summarize()
+	if s.Vars != 3 || s.Nogoods != 9 || s.MaxDomain != 3 || s.MaxNogoodSize != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestNogoodsOfIndex(t *testing.T) {
+	p := triangle(t)
+	for v := Var(0); v < 3; v++ {
+		ngs := p.NogoodsOf(v)
+		if len(ngs) != 6 { // 2 incident edges × 3 values
+			t.Errorf("len(NogoodsOf(%d)) = %d, want 6", v, len(ngs))
+		}
+		for _, ng := range ngs {
+			if !ng.Contains(v) {
+				t.Errorf("NogoodsOf(%d) returned %v not mentioning x%d", v, ng, v)
+			}
+		}
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	m := NewMapAssignment(Lit{Var: 1, Val: 5})
+	if v, ok := m.Lookup(1); !ok || v != 5 {
+		t.Errorf("map Lookup(1) = %d,%v", v, ok)
+	}
+	if _, ok := m.Lookup(2); ok {
+		t.Errorf("map Lookup(2) should miss")
+	}
+
+	s := NewSliceAssignment(3)
+	if _, ok := s.Lookup(0); ok {
+		t.Errorf("fresh slice assignment should be unassigned")
+	}
+	s[0] = 2
+	if v, ok := s.Lookup(0); !ok || v != 2 {
+		t.Errorf("slice Lookup(0) = %d,%v", v, ok)
+	}
+	if _, ok := s.Lookup(99); ok {
+		t.Errorf("out-of-range Lookup should miss")
+	}
+	if _, ok := s.Lookup(-1); ok {
+		t.Errorf("negative Lookup should miss")
+	}
+
+	o := Override{Base: s, Var: 1, Val: 7}
+	if v, ok := o.Lookup(1); !ok || v != 7 {
+		t.Errorf("override Lookup(1) = %d,%v", v, ok)
+	}
+	if v, ok := o.Lookup(0); !ok || v != 2 {
+		t.Errorf("override passthrough Lookup(0) = %d,%v", v, ok)
+	}
+}

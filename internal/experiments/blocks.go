@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/multi"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/stats"
+)
+
+// BlockSweepPoint measures one block size of a partitioning sweep.
+type BlockSweepPoint struct {
+	// Block is the number of variables per agent.
+	Block int
+	// Agents is the resulting agent count.
+	Agents int
+	Cycle  float64
+	MaxCCK float64
+	// Percent of trials finished within the cutoff.
+	Percent float64
+}
+
+// BlockSweepResult compares the multi-variable AWC extension across block
+// sizes on one family at one size — the extension experiment DESIGN.md
+// calls out (the paper's Section 5: "all distributed CSPs can be converted
+// into this class in principle, [but] such conversion is sometimes
+// unreasonable in real-life problems"). Larger blocks trade messages
+// (fewer, bigger agents) for local computation (block solver work).
+type BlockSweepResult struct {
+	Kind   ProblemKind
+	N      int
+	Points []BlockSweepPoint
+}
+
+// BlockSweep runs the sweep. blocks nil means {1, 2, 3, 5}.
+func BlockSweep(kind ProblemKind, n int, blocks []int, scale Scale) (*BlockSweepResult, error) {
+	if len(blocks) == 0 {
+		blocks = []int{1, 2, 3, 5}
+	}
+	instances, inits := scale.trials(kind)
+	maxCycles := scale.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = sim.DefaultMaxCycles
+	}
+	out := &BlockSweepResult{Kind: kind, N: n}
+	for _, block := range blocks {
+		if block < 1 {
+			return nil, fmt.Errorf("experiments: block size %d", block)
+		}
+		var (
+			cycle  stats.Sample
+			maxcck stats.Sample
+			solved stats.Counter
+		)
+		partition := multi.Uniform(n, block)
+		for i := 0; i < instances; i++ {
+			problem, err := MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, i))
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < inits; j++ {
+				init := gen.RandomInitial(problem, initSeed(scale.SeedBase, kind, n, i, j))
+				res, _, err := multi.Run(problem, partition, init, multi.Options{}, sim.Options{MaxCycles: maxCycles})
+				if err != nil {
+					return nil, fmt.Errorf("block sweep %v n=%d block=%d: %w", kind, n, block, err)
+				}
+				cycle.Add(float64(res.Cycles))
+				maxcck.Add(float64(res.MaxCCK))
+				solved.Observe(res.Solved)
+			}
+		}
+		out.Points = append(out.Points, BlockSweepPoint{
+			Block:   block,
+			Agents:  len(partition),
+			Cycle:   cycle.Mean(),
+			MaxCCK:  maxcck.Mean(),
+			Percent: solved.Percent(),
+		})
+	}
+	return out, nil
+}
+
+// Fprint renders the sweep as an aligned table.
+func (s *BlockSweepResult) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Block-size sweep: %s n=%d, multi-variable AWC\n", s.Kind, s.N); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-6s %-7s %-10s %-12s %-4s\n", "block", "agents", "cycle", "maxcck", "%"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "  %-6d %-7d %-10.1f %-12.1f %-4.0f\n",
+			p.Block, p.Agents, p.Cycle, p.MaxCCK, p.Percent); err != nil {
+			return err
+		}
+	}
+	return nil
+}

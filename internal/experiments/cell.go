@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/stats"
+)
+
+// Algorithm names a runnable algorithm configuration for the harness.
+type Algorithm struct {
+	// Name is the label printed in table rows ("Rslv", "3rdRslv", "DB", ...).
+	Name string
+	// Run executes one trial.
+	Run func(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) (TrialResult, error)
+}
+
+// AWC returns the Algorithm for AWC with the given learning configuration.
+func AWC(l core.Learning) Algorithm {
+	return Algorithm{
+		Name: l.Name(),
+		Run: func(p *csp.Problem, init csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+			return RunAWC(p, init, l, opts)
+		},
+	}
+}
+
+// DB returns the Algorithm for the distributed breakout baseline.
+func DB() Algorithm {
+	return Algorithm{Name: "DB", Run: RunDB}
+}
+
+// ABT returns the Algorithm for asynchronous backtracking.
+func ABT() Algorithm {
+	return Algorithm{Name: "ABT", Run: RunABT}
+}
+
+// Scale sets the trial structure of a harness run. PaperScale reproduces
+// the paper's 100-trials-per-cell setup; smaller scales keep benchmarks and
+// CI affordable while preserving the comparisons.
+type Scale struct {
+	// Ns overrides the problem sizes; nil means the family's paper sizes.
+	Ns []int
+	// Instances and Inits override the per-cell trial structure; 0 means
+	// the family's paper structure.
+	Instances int
+	Inits     int
+	// MaxCycles is the cutoff; 0 means the paper's 10000.
+	MaxCycles int
+	// SeedBase shifts every derived seed, giving independent replications.
+	SeedBase int64
+}
+
+// PaperScale is the paper's full experimental setup.
+func PaperScale() Scale { return Scale{} }
+
+// QuickScale is a reduced setup for tests and benchmarks: smallest paper n,
+// 3 instances × 2 initializations.
+func QuickScale() Scale {
+	return Scale{Instances: 3, Inits: 2}
+}
+
+func (s Scale) ns(kind ProblemKind) []int {
+	if len(s.Ns) > 0 {
+		return s.Ns
+	}
+	return kind.PaperNs()
+}
+
+func (s Scale) trials(kind ProblemKind) (int, int) {
+	instances, inits := kind.PaperTrials()
+	if s.Instances > 0 {
+		instances = s.Instances
+	}
+	if s.Inits > 0 {
+		inits = s.Inits
+	}
+	return instances, inits
+}
+
+// CellResult aggregates one table cell (one family × n × algorithm).
+type CellResult struct {
+	Kind      ProblemKind
+	N         int
+	Algorithm string
+	// Cycle is the mean cycles over all trials (cutoff trials contribute
+	// their at-cutoff value, per the paper).
+	Cycle float64
+	// MaxCCK is the mean maxcck over all trials.
+	MaxCCK float64
+	// Percent is the percentage of trials finished within the cutoff.
+	Percent float64
+	// Redundant is the mean total redundant nogood generations per trial
+	// (Table 4's measure; zero for non-AWC algorithms).
+	Redundant float64
+	// Trials is the number of trials aggregated.
+	Trials int
+}
+
+// cellRunner accumulates trial measurements for one cell.
+type cellRunner struct {
+	scale     Scale
+	maxCycles int
+	cycle     stats.Sample
+	maxcck    stats.Sample
+	redundant stats.Sample
+	solved    stats.Counter
+}
+
+func newCellRunner(scale Scale) *cellRunner {
+	maxCycles := scale.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = sim.DefaultMaxCycles
+	}
+	return &cellRunner{scale: scale, maxCycles: maxCycles}
+}
+
+// runInits runs `inits` trials of alg on problem, with per-trial seeds
+// derived from (kind, n, instance).
+func (r *cellRunner) runInits(kind ProblemKind, n, instance, inits int, problem *csp.Problem, alg Algorithm) error {
+	for j := 0; j < inits; j++ {
+		init := gen.RandomInitial(problem, initSeed(r.scale.SeedBase, kind, n, instance, j))
+		tr, err := alg.Run(problem, init, sim.Options{MaxCycles: r.maxCycles})
+		if err != nil {
+			return fmt.Errorf("cell %v n=%d instance %d init %d: %w", kind, n, instance, j, err)
+		}
+		r.cycle.Add(float64(tr.Cycles))
+		r.maxcck.Add(float64(tr.MaxCCK))
+		r.redundant.Add(float64(tr.RedundantGenerations))
+		r.solved.Observe(tr.Solved)
+	}
+	return nil
+}
+
+func (r *cellRunner) fill(cell *CellResult) {
+	cell.Cycle = r.cycle.Mean()
+	cell.MaxCCK = r.maxcck.Mean()
+	cell.Percent = r.solved.Percent()
+	cell.Redundant = r.redundant.Mean()
+	cell.Trials = r.cycle.N()
+}
+
+// RunCell measures one cell: instances × inits trials of alg on fresh
+// instances of the family at size n.
+func RunCell(kind ProblemKind, n int, alg Algorithm, scale Scale) (CellResult, error) {
+	instances, inits := scale.trials(kind)
+	runner := newCellRunner(scale)
+	for i := 0; i < instances; i++ {
+		problem, err := MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, i))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %v n=%d instance %d: %w", kind, n, i, err)
+		}
+		if err := runner.runInits(kind, n, i, inits, problem, alg); err != nil {
+			return CellResult{}, err
+		}
+	}
+	cell := CellResult{Kind: kind, N: n, Algorithm: alg.Name}
+	runner.fill(&cell)
+	return cell, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// TestRunsAreDeterministic: the synchronous simulator with any of the
+// algorithms must be a pure function of (instance, initial values) — the
+// property that makes every table cell reproducible from its seed.
+func TestRunsAreDeterministic(t *testing.T) {
+	inst, err := gen.Coloring(25, 67, 3, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := gen.RandomInitial(inst.Problem, 52)
+
+	algs := []Algorithm{
+		AWC(core.Learning{Kind: core.LearnResolvent}),
+		AWC(core.Learning{Kind: core.LearnMCS}),
+		AWC(core.Learning{Kind: core.LearnNone}),
+		AWC(core.Learning{Kind: core.LearnResolvent, SizeBound: 3}),
+		DB(),
+		ABT(),
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name, func(t *testing.T) {
+			first, err := alg.Run(inst.Problem, init, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				again, err := alg.Run(inst.Problem, init, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again.Cycles != first.Cycles || again.MaxCCK != first.MaxCCK ||
+					again.Solved != first.Solved || again.Messages != first.Messages ||
+					again.TotalChecks != first.TotalChecks {
+					t.Fatalf("rep %d diverged: %+v vs %+v", rep, again.Result, first.Result)
+				}
+				for v := range first.Assignment {
+					if first.Assignment[v] != again.Assignment[v] {
+						t.Fatalf("rep %d assignment diverged at x%d", rep, v)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,492 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// smallScale keeps the integration tests fast while preserving comparisons.
+func smallScale() Scale {
+	return Scale{Ns: []int{30}, Instances: 3, Inits: 2}
+}
+
+func TestProblemKindMetadata(t *testing.T) {
+	tests := []struct {
+		kind      ProblemKind
+		str       string
+		ratio     float64
+		instances int
+		inits     int
+	}{
+		{D3C, "d3c", 2.7, 10, 10},
+		{D3S, "d3s", 4.3, 25, 4},
+		{D3S1, "d3s1", 3.4, 4, 25},
+	}
+	for _, tt := range tests {
+		if tt.kind.String() != tt.str {
+			t.Errorf("%v.String() = %q", tt.kind, tt.kind.String())
+		}
+		if tt.kind.Ratio() != tt.ratio {
+			t.Errorf("%v.Ratio() = %v", tt.kind, tt.kind.Ratio())
+		}
+		inst, inits := tt.kind.PaperTrials()
+		if inst != tt.instances || inits != tt.inits {
+			t.Errorf("%v.PaperTrials() = %d,%d", tt.kind, inst, inits)
+		}
+		if inst*inits != 100 {
+			t.Errorf("%v: paper cells must total 100 trials", tt.kind)
+		}
+		if len(tt.kind.PaperNs()) == 0 {
+			t.Errorf("%v: no paper sizes", tt.kind)
+		}
+	}
+}
+
+func TestMakeInstanceAllFamilies(t *testing.T) {
+	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
+		p, err := MakeInstance(kind, 30, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if p.NumVars() != 30 {
+			t.Errorf("%v: vars = %d", kind, p.NumVars())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+	if _, err := MakeInstance(ProblemKind(99), 30, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSeedDerivationDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
+		for _, n := range []int{30, 60} {
+			for i := 0; i < 3; i++ {
+				s := instanceSeed(0, kind, n, i)
+				if seen[s] {
+					t.Fatalf("instance seed collision at %v n=%d i=%d", kind, n, i)
+				}
+				seen[s] = true
+				for j := 0; j < 3; j++ {
+					is := initSeed(0, kind, n, i, j)
+					if seen[is] {
+						t.Fatalf("init seed collision at %v n=%d i=%d j=%d", kind, n, i, j)
+					}
+					seen[is] = true
+				}
+			}
+		}
+	}
+}
+
+func TestRunCellDeterministic(t *testing.T) {
+	scale := smallScale()
+	a, err := RunCell(D3C, 30, AWC(core.Learning{Kind: core.LearnResolvent}), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(D3C, 30, AWC(core.Learning{Kind: core.LearnResolvent}), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycle != b.Cycle || a.MaxCCK != b.MaxCCK || a.Percent != b.Percent {
+		t.Errorf("cells differ across identical runs: %+v vs %+v", a, b)
+	}
+	if a.Trials != 6 {
+		t.Errorf("trials = %d, want 6", a.Trials)
+	}
+}
+
+// TestPaperShapeLearnerComparison is the reproduction core: at reduced
+// scale, the qualitative results of Tables 1–3 must hold — learning beats
+// no learning on cycles by a wide margin, and mcs-based learning costs more
+// checks than resolvent-based learning.
+func TestPaperShapeLearnerComparison(t *testing.T) {
+	// Problem sizes where the no-learning gap is already visible at small
+	// trial counts: n=40 suffices for d3c and d3s1, the forced-SAT family
+	// needs the paper's own smallest size n=50.
+	sizes := map[ProblemKind]int{D3C: 40, D3S: 50, D3S1: 40}
+	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
+		n := sizes[kind]
+		scale := Scale{Ns: []int{n}, Instances: 4, Inits: 2}
+		rslv, err := RunCell(kind, n, AWC(core.Learning{Kind: core.LearnResolvent}), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcs, err := RunCell(kind, n, AWC(core.Learning{Kind: core.LearnMCS}), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		none, err := RunCell(kind, n, AWC(core.Learning{Kind: core.LearnNone}), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v n=%d: Rslv cycle=%.1f maxcck=%.0f | Mcs cycle=%.1f maxcck=%.0f | No cycle=%.1f maxcck=%.0f",
+			kind, n, rslv.Cycle, rslv.MaxCCK, mcs.Cycle, mcs.MaxCCK, none.Cycle, none.MaxCCK)
+		if rslv.Percent != 100 {
+			t.Errorf("%v: Rslv solved %.0f%%, want 100%%", kind, rslv.Percent)
+		}
+		if mcs.Percent != 100 {
+			t.Errorf("%v: Mcs solved %.0f%%, want 100%%", kind, mcs.Percent)
+		}
+		if none.Cycle < 1.5*rslv.Cycle {
+			t.Errorf("%v: no-learning cycle %.1f not clearly above Rslv %.1f",
+				kind, none.Cycle, rslv.Cycle)
+		}
+		if mcs.MaxCCK <= rslv.MaxCCK {
+			t.Errorf("%v: Mcs maxcck %.0f not above Rslv %.0f", kind, mcs.MaxCCK, rslv.MaxCCK)
+		}
+	}
+}
+
+// TestPaperShapeDBComparison checks the Tables 8–10 pattern: AWC+kthRslv
+// wins on cycles, DB wins on maxcck.
+func TestPaperShapeDBComparison(t *testing.T) {
+	scale := Scale{Ns: []int{40}, Instances: 4, Inits: 2}
+	for _, kind := range []ProblemKind{D3C, D3S1} {
+		awc, err := RunCell(kind, 40, AWC(BestLearning(kind)), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := RunCell(kind, 40, DB(), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v n=40: AWC cycle=%.1f maxcck=%.0f | DB cycle=%.1f maxcck=%.0f",
+			kind, awc.Cycle, awc.MaxCCK, db.Cycle, db.MaxCCK)
+		if awc.Cycle >= db.Cycle {
+			t.Errorf("%v: AWC cycle %.1f not below DB %.1f", kind, awc.Cycle, db.Cycle)
+		}
+		// The paper's "DB wins on maxcck" holds per-cycle by construction
+		// (DB's store never grows); totals can invert when DB needs vastly
+		// more cycles, which happens on the substitute unique-solution
+		// family (its implication chains are adversarial for local
+		// search; see EXPERIMENTS.md). Assert the per-cycle direction.
+		if awc.MaxCCK/awc.Cycle <= db.MaxCCK/db.Cycle {
+			t.Errorf("%v: AWC per-cycle checks %.1f not above DB %.1f",
+				kind, awc.MaxCCK/awc.Cycle, db.MaxCCK/db.Cycle)
+		}
+	}
+}
+
+// TestPaperShapeRedundancy checks the Table 4 pattern: recording nogoods
+// dramatically reduces redundant regeneration.
+func TestPaperShapeRedundancy(t *testing.T) {
+	scale := Scale{Ns: []int{40}, Instances: 4, Inits: 2}
+	rec, err := RunCell(D3C, 40, AWC(core.Learning{Kind: core.LearnResolvent}), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norec, err := RunCell(D3C, 40, AWC(core.Learning{Kind: core.LearnResolvent, NoRecord: true}), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("d3c n=40 redundant generations: rec=%.1f norec=%.1f", rec.Redundant, norec.Redundant)
+	if norec.Redundant <= rec.Redundant {
+		t.Errorf("norec redundancy %.1f not above rec %.1f", norec.Redundant, rec.Redundant)
+	}
+}
+
+func TestTableDispatchAndFormatting(t *testing.T) {
+	scale := Scale{Ns: []int{20}, Instances: 1, Inits: 1, MaxCycles: 2000}
+	for num := 1; num <= 10; num++ {
+		tbl, err := Tables(num, scale)
+		if err != nil {
+			t.Fatalf("table %d: %v", num, err)
+		}
+		if tbl.Number != num || len(tbl.Rows) == 0 || len(tbl.Cells) == 0 {
+			t.Errorf("table %d malformed: %d rows %d cells", num, len(tbl.Rows), len(tbl.Cells))
+		}
+		var sb strings.Builder
+		if err := tbl.Fprint(&sb); err != nil {
+			t.Fatalf("table %d print: %v", num, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "Table") || !strings.Contains(out, tbl.Header[0]) {
+			t.Errorf("table %d output missing header:\n%s", num, out)
+		}
+	}
+	if _, err := Tables(11, scale); err == nil {
+		t.Error("table 11 accepted")
+	}
+}
+
+func TestBestLearningMatchesPaper(t *testing.T) {
+	if l := BestLearning(D3C); l.SizeBound != 3 {
+		t.Errorf("d3c best k = %d, want 3", l.SizeBound)
+	}
+	if l := BestLearning(D3S); l.SizeBound != 5 {
+		t.Errorf("d3s best k = %d, want 5", l.SizeBound)
+	}
+	if l := BestLearning(D3S1); l.SizeBound != 4 {
+		t.Errorf("d3s1 best k = %d, want 4", l.SizeBound)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	scale := Scale{Instances: 2, Inits: 2, MaxCycles: 5000}
+	fig, err := Figure2(D3S1, 20, nil, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Delays) != len(fig.AWCTime) || len(fig.Delays) != len(fig.DBTime) {
+		t.Fatalf("series lengths mismatch")
+	}
+	for i, d := range fig.Delays {
+		wantAWC := fig.AWCMaxCCK + fig.AWCCycle*d
+		if math.Abs(fig.AWCTime[i]-wantAWC) > 1e-9 {
+			t.Errorf("AWC time at delay %v = %v, want %v", d, fig.AWCTime[i], wantAWC)
+		}
+	}
+	// AWC wins on cycle, loses on maxcck → a finite positive crossover.
+	if fig.AWCCycle < fig.DBCycle && fig.AWCMaxCCK > fig.DBMaxCCK {
+		if math.IsInf(fig.Crossover, 1) || fig.Crossover <= 0 {
+			t.Errorf("crossover = %v with AWC faster+costlier", fig.Crossover)
+		}
+	}
+	var sb strings.Builder
+	if err := fig.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "crossover") {
+		t.Errorf("figure output missing crossover line:\n%s", sb.String())
+	}
+}
+
+func TestCrossoverCases(t *testing.T) {
+	tests := []struct {
+		name                                   string
+		awcMaxcck, awcCycle, dbMaxcck, dbCycle float64
+		want                                   float64
+	}{
+		{"standard", 1000, 10, 400, 40, 20},
+		{"awc dominates", 100, 10, 400, 40, 0},
+		{"db dominates", 1000, 50, 400, 40, math.Inf(1)},
+		{"equal slopes db cheaper", 1000, 10, 400, 10, math.Inf(1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := crossover(tt.awcMaxcck, tt.awcCycle, tt.dbMaxcck, tt.dbCycle)
+			if math.IsInf(tt.want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Errorf("crossover = %v, want +Inf", got)
+				}
+				return
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("crossover = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestAWCCompletenessAgainstOracle: AWC with unrestricted resolvent
+// learning must prove tiny insoluble problems insoluble and solve tiny
+// soluble ones, mirroring the centralized oracle.
+func TestAWCCompletenessAgainstOracle(t *testing.T) {
+	// Soluble: path over 2 values.
+	p := csp.NewProblemUniform(3, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNotEqual(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAWC(p, csp.SliceAssignment{0, 0, 0}, core.Learning{Kind: core.LearnResolvent}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Errorf("soluble path unsolved")
+	}
+
+	// Insoluble: triangle over 2 values.
+	tri := csp.NewProblemUniform(3, 2)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = RunAWC(tri, csp.SliceAssignment{0, 0, 0}, core.Learning{Kind: core.LearnResolvent}, sim.Options{MaxCycles: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Errorf("insoluble triangle 'solved'")
+	}
+	if !res.Insoluble {
+		t.Errorf("AWC+Rslv did not derive insolubility: %+v", res.Result)
+	}
+}
+
+// TestAWCSolvesUniqueInstances: the hardest family for non-systematic
+// search; AWC with learning must still find the single solution.
+func TestAWCSolvesUniqueInstances(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		inst, err := gen.UniqueSAT3(25, 85, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := gen.RandomInitial(inst.Problem, seed+30)
+		res, err := RunAWC(inst.Problem, init, core.Learning{Kind: core.LearnResolvent, SizeBound: 4}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solved {
+			t.Errorf("seed %d: unsolved", seed)
+			continue
+		}
+		// The found solution must be the planted one (uniqueness).
+		for v := 0; v < inst.Problem.NumVars(); v++ {
+			got, _ := res.Assignment.Lookup(csp.Var(v))
+			if got != inst.Hidden[v] {
+				t.Errorf("seed %d: x%d = %d, want %d (unique solution)", seed, v, got, inst.Hidden[v])
+				break
+			}
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	scale := Scale{Ns: []int{20}, Instances: 1, Inits: 1, MaxCycles: 2000}
+	tbl, err := Table1(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "**Table 1.**") || !strings.Contains(out, "| n | learn |") {
+		t.Errorf("markdown output malformed:\n%s", out)
+	}
+	fig, err := Figure2(D3S1, 20, nil, Scale{Instances: 1, Inits: 1, MaxCycles: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := fig.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "**Figure 2.**") || !strings.Contains(sb.String(), "Crossover") {
+		t.Errorf("figure markdown malformed:\n%s", sb.String())
+	}
+}
+
+func TestRatioSweep(t *testing.T) {
+	scale := Scale{Instances: 2, Inits: 1, MaxCycles: 3000}
+	sweep, err := RatioSweep(D3C, 24, AWC(core.Learning{Kind: core.LearnResolvent}), []float64{1.5, 2.7}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	// Density 2.7 (the paper's hard region) must cost more cycles than the
+	// under-constrained 1.5.
+	if sweep.Points[1].Cycle <= sweep.Points[0].Cycle {
+		t.Errorf("ratio 2.7 cycles %.1f not above ratio 1.5 cycles %.1f",
+			sweep.Points[1].Cycle, sweep.Points[0].Cycle)
+	}
+	if sweep.HardestPoint().Ratio != 2.7 {
+		t.Errorf("hardest point at ratio %.1f, want 2.7", sweep.HardestPoint().Ratio)
+	}
+	var sb strings.Builder
+	if err := sweep.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Hardness sweep") {
+		t.Errorf("sweep output malformed:\n%s", sb.String())
+	}
+}
+
+func TestDefaultRatiosIncludePaperRatio(t *testing.T) {
+	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
+		found := false
+		for _, r := range DefaultRatios(kind) {
+			if r == kind.Ratio() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: default ratios %v miss the paper ratio %v", kind, DefaultRatios(kind), kind.Ratio())
+		}
+	}
+}
+
+func TestBlockSweep(t *testing.T) {
+	scale := Scale{Instances: 2, Inits: 1, MaxCycles: 4000}
+	sweep, err := BlockSweep(D3C, 18, []int{1, 3}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	if sweep.Points[0].Agents != 18 || sweep.Points[1].Agents != 6 {
+		t.Errorf("agent counts = %d, %d", sweep.Points[0].Agents, sweep.Points[1].Agents)
+	}
+	for _, p := range sweep.Points {
+		if p.Percent != 100 {
+			t.Errorf("block %d solved %.0f%%", p.Block, p.Percent)
+		}
+	}
+	var sb strings.Builder
+	if err := sweep.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Block-size sweep") {
+		t.Errorf("output malformed:\n%s", sb.String())
+	}
+	if _, err := BlockSweep(D3C, 18, []int{0}, scale); err == nil {
+		t.Error("block 0 accepted")
+	}
+}
+
+func TestCompareRuntimes(t *testing.T) {
+	problem, err := MakeInstance(D3C, 20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := gen.RandomInitial(problem, 78)
+	results, err := CompareRuntimes(problem, initial, core.Learning{Kind: core.LearnResolvent}, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Runtime] = true
+		if !r.Solved {
+			t.Errorf("%s runtime failed", r.Runtime)
+		}
+		if r.Messages == 0 {
+			t.Errorf("%s runtime reports no messages", r.Runtime)
+		}
+	}
+	for _, want := range []string{"sync", "async", "tcp"} {
+		if !names[want] {
+			t.Errorf("missing runtime %q", want)
+		}
+	}
+	var sb strings.Builder
+	if err := FprintRuntimes(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tcp") {
+		t.Errorf("output malformed:\n%s", sb.String())
+	}
+}

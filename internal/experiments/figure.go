@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Figure2Result is the paper's Figure 2: estimated total running time of
+// AWC+kthRslv and DB as a function of the communication delay between
+// cycles, assuming one nogood check costs one time-unit. For each delay d,
+// an algorithm's total time is maxcck + cycle·d (its computation serialized
+// by the per-cycle maximum plus d time-units of messaging per cycle).
+type Figure2Result struct {
+	Kind ProblemKind
+	N    int
+	// AWCName is the AWC configuration label (e.g. "AWC+4thRslv").
+	AWCName string
+	// AWCCycle/AWCMaxCCK and DBCycle/DBMaxCCK are the measured means the
+	// curves are built from (the corresponding Tables 8–10 cell).
+	AWCCycle, AWCMaxCCK float64
+	DBCycle, DBMaxCCK   float64
+	// Delays are the swept communication delays (time-units per cycle).
+	Delays []float64
+	// AWCTime and DBTime are the estimated totals per delay.
+	AWCTime []float64
+	DBTime  []float64
+	// Crossover is the delay beyond which AWC is estimated cheaper than
+	// DB; +Inf when DB never loses, 0 when AWC always wins. The paper
+	// reads ≈50 time-units off the figure for d3s1 n=50.
+	Crossover float64
+}
+
+// Figure2 reproduces the paper's figure for the d3s1 family at n=50; kind
+// and n are parameters so the text's companion observations (≈210 for d3s
+// n=150, ≈370 for d3c n=150) can be regenerated too.
+func Figure2(kind ProblemKind, n int, delays []float64, scale Scale) (*Figure2Result, error) {
+	if len(delays) == 0 {
+		delays = DefaultDelays()
+	}
+	awc := AWC(BestLearning(kind))
+	awcCell, err := RunCell(kind, n, awc, scale)
+	if err != nil {
+		return nil, err
+	}
+	dbCell, err := RunCell(kind, n, DB(), scale)
+	if err != nil {
+		return nil, err
+	}
+	r := &Figure2Result{
+		Kind:      kind,
+		N:         n,
+		AWCName:   "AWC+" + awc.Name,
+		AWCCycle:  awcCell.Cycle,
+		AWCMaxCCK: awcCell.MaxCCK,
+		DBCycle:   dbCell.Cycle,
+		DBMaxCCK:  dbCell.MaxCCK,
+		Delays:    delays,
+	}
+	for _, d := range delays {
+		r.AWCTime = append(r.AWCTime, r.AWCMaxCCK+r.AWCCycle*d)
+		r.DBTime = append(r.DBTime, r.DBMaxCCK+r.DBCycle*d)
+	}
+	r.Crossover = crossover(r.AWCMaxCCK, r.AWCCycle, r.DBMaxCCK, r.DBCycle)
+	return r, nil
+}
+
+// DefaultDelays is the sweep rendered by the figure (the paper's x-axis
+// spans roughly 0–200 time-units).
+func DefaultDelays() []float64 {
+	delays := make([]float64, 0, 9)
+	for d := 0.0; d <= 200; d += 25 {
+		delays = append(delays, d)
+	}
+	return delays
+}
+
+// crossover solves awcMaxcck + awcCycle·d = dbMaxcck + dbCycle·d for d.
+func crossover(awcMaxcck, awcCycle, dbMaxcck, dbCycle float64) float64 {
+	slopeGap := dbCycle - awcCycle // AWC wins on cycle, so normally > 0
+	interceptGap := awcMaxcck - dbMaxcck
+	switch {
+	case slopeGap <= 0 && interceptGap >= 0:
+		return math.Inf(1) // DB never loses
+	case slopeGap <= 0:
+		return 0 // AWC cheaper everywhere
+	default:
+		d := interceptGap / slopeGap
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+}
+
+// Fprint renders the figure as a delay/time table plus the crossover point.
+func (r *Figure2Result) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Figure 2. Estimated efficiency on n=%d of %s (one nogood check = one time-unit)\n",
+		r.N, r.Kind); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %s: cycle=%.1f maxcck=%.1f\n  DB: cycle=%.1f maxcck=%.1f\n",
+		r.AWCName, r.AWCCycle, r.AWCMaxCCK, r.DBCycle, r.DBMaxCCK); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-8s  %14s  %14s\n", "delay", r.AWCName, "DB"); err != nil {
+		return err
+	}
+	for i, d := range r.Delays {
+		if _, err := fmt.Fprintf(w, "  %-8.0f  %14.0f  %14.0f\n", d, r.AWCTime[i], r.DBTime[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  crossover: AWC becomes cheaper beyond delay ≈ %.0f time-units\n", r.Crossover)
+	return err
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown renders the table as GitHub-flavored Markdown, the format
+// EXPERIMENTS.md embeds.
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "**Table %d.** %s\n\n", t.Number, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(rule, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the figure as a Markdown table plus the crossover note.
+func (r *Figure2Result) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"**Figure 2.** Estimated efficiency on n=%d of %s (one nogood check = one time-unit)\n\n",
+		r.N, r.Kind); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| delay | %s | DB |\n| --- | --- | --- |\n", r.AWCName); err != nil {
+		return err
+	}
+	for i, d := range r.Delays {
+		if _, err := fmt.Fprintf(w, "| %.0f | %.0f | %.0f |\n", d, r.AWCTime[i], r.DBTime[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"\nMeasured inputs: %s cycle=%.1f maxcck=%.1f; DB cycle=%.1f maxcck=%.1f. "+
+			"Crossover: AWC becomes cheaper beyond delay ≈ %.0f time-units.\n",
+		r.AWCName, r.AWCCycle, r.AWCMaxCCK, r.DBCycle, r.DBMaxCCK, r.Crossover)
+	return err
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/discsp/discsp/internal/central"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// TestAWCMatchesOracleOnRandomProblems is the completeness stress test:
+// on random small problems — soluble or not — AWC with unrestricted
+// resolvent learning must agree with the centralized oracle: find a valid
+// solution exactly when one exists, and derive insolubility otherwise.
+func TestAWCMatchesOracleOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	solubleSeen, insolubleSeen := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		domSize := 2 + rng.Intn(2)
+		p := csp.NewProblemUniform(n, domSize)
+		m := n + rng.Intn(3*n)
+		for i := 0; i < m; i++ {
+			arity := 1 + rng.Intn(2)
+			vars := rng.Perm(n)[:arity+1]
+			lits := make([]csp.Lit, 0, arity+1)
+			for _, v := range vars {
+				lits = append(lits, csp.Lit{Var: csp.Var(v), Val: csp.Value(rng.Intn(domSize))})
+			}
+			if err := p.AddNogood(csp.MustNogood(lits...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, soluble := central.New(p).Solve()
+
+		init := csp.NewSliceAssignment(n)
+		for v := 0; v < n; v++ {
+			init[v] = csp.Value(rng.Intn(domSize))
+		}
+		res, err := RunAWC(p, init, core.Learning{Kind: core.LearnResolvent}, sim.Options{MaxCycles: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soluble {
+			solubleSeen++
+			if !res.Solved {
+				t.Fatalf("trial %d: oracle-soluble problem unsolved by AWC (res=%+v)", trial, res.Result)
+			}
+			if !p.IsSolution(res.Assignment) {
+				t.Fatalf("trial %d: AWC reported invalid solution", trial)
+			}
+		} else {
+			insolubleSeen++
+			if res.Solved {
+				t.Fatalf("trial %d: AWC 'solved' an insoluble problem", trial)
+			}
+			if !res.Insoluble {
+				t.Fatalf("trial %d: AWC failed to prove insolubility (cycles=%d)", trial, res.Cycles)
+			}
+		}
+	}
+	if solubleSeen == 0 || insolubleSeen == 0 {
+		t.Fatalf("unbalanced trial mix: %d soluble, %d insoluble", solubleSeen, insolubleSeen)
+	}
+}

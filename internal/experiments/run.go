@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): it wires generators, agents, and the synchronous
+// simulator into trial loops, aggregates cycle / maxcck / % over trials, and
+// prints rows in the paper's layout. See DESIGN.md Section 5 for the
+// experiment-to-module index and EXPERIMENTS.md for measured-vs-paper
+// results.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// TrialResult is one trial's measurements plus algorithm-specific extras.
+type TrialResult struct {
+	sim.Result
+	// RedundantGenerations sums core.Agent redundant nogood generations
+	// over all agents (AWC runs only; the Table 4 measure).
+	RedundantGenerations int64
+	// NogoodsGenerated sums generated nogoods over all agents (AWC only).
+	NogoodsGenerated int64
+	// Deadends sums deadend hits over all agents (AWC only).
+	Deadends int64
+}
+
+// RunAWC runs AWC with the given learning configuration on problem from the
+// given initial values.
+func RunAWC(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, opts sim.Options) (TrialResult, error) {
+	agents := make([]sim.Agent, problem.NumVars())
+	awcAgents := make([]*core.Agent, problem.NumVars())
+	for v := 0; v < problem.NumVars(); v++ {
+		a := core.NewAgent(csp.Var(v), problem, initial[v], learning)
+		awcAgents[v] = a
+		agents[v] = a
+	}
+	res, err := sim.Run(problem, agents, opts)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("awc run: %w", err)
+	}
+	tr := TrialResult{Result: res}
+	for _, a := range awcAgents {
+		st := a.Stats()
+		tr.RedundantGenerations += st.RedundantGenerations
+		tr.NogoodsGenerated += st.NogoodsGenerated
+		tr.Deadends += st.Deadends
+	}
+	return tr, nil
+}
+
+// RunDB runs the distributed breakout algorithm on problem from the given
+// initial values.
+func RunDB(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+	agents := make([]sim.Agent, problem.NumVars())
+	for v := 0; v < problem.NumVars(); v++ {
+		agents[v] = breakout.NewAgent(csp.Var(v), problem, initial[v])
+	}
+	res, err := sim.Run(problem, agents, opts)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("db run: %w", err)
+	}
+	return TrialResult{Result: res}, nil
+}
+
+// RunABT runs asynchronous backtracking on problem from the given initial
+// values.
+func RunABT(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+	agents := make([]sim.Agent, problem.NumVars())
+	for v := 0; v < problem.NumVars(); v++ {
+		agents[v] = abt.NewAgent(csp.Var(v), problem, initial[v])
+	}
+	res, err := sim.Run(problem, agents, opts)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("abt run: %w", err)
+	}
+	return TrialResult{Result: res}, nil
+}

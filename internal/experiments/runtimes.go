@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/discsp/discsp/internal/async"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/netrun"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// RuntimeResult is one runtime's outcome on one instance.
+type RuntimeResult struct {
+	// Runtime names the execution substrate: "sync", "async", or "tcp".
+	Runtime string
+	Solved  bool
+	// Cycles is only meaningful for the synchronous simulator.
+	Cycles int
+	// Messages counts delivered (sync/async) or routed (tcp) messages.
+	Messages int64
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// CompareRuntimes runs AWC with the given learning on the same instance and
+// initial values across all three runtimes — the Section 5 "other types of
+// distributed systems" comparison. Wall-clock durations are inherently
+// machine-dependent; the interesting outputs are the solved flags and the
+// message counts (the async and TCP runtimes react per message instead of
+// per lockstep wave, so they typically exchange more).
+func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, timeout time.Duration) ([]RuntimeResult, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	makeAgent := func(v csp.Var) sim.Agent {
+		return core.NewAgent(v, problem, initial[v], learning)
+	}
+	var out []RuntimeResult
+
+	start := time.Now()
+	syncRes, err := sim.Run(problem, buildSimAgents(problem.NumVars(), makeAgent), sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("sync: %w", err)
+	}
+	out = append(out, RuntimeResult{
+		Runtime:  "sync",
+		Solved:   syncRes.Solved,
+		Cycles:   syncRes.Cycles,
+		Messages: int64(syncRes.Messages),
+		Duration: time.Since(start),
+	})
+
+	asyncRes, err := async.Run(problem, makeAgent, async.Options{Timeout: timeout})
+	if err != nil {
+		return nil, fmt.Errorf("async: %w", err)
+	}
+	out = append(out, RuntimeResult{
+		Runtime:  "async",
+		Solved:   asyncRes.Solved,
+		Messages: asyncRes.Messages,
+		Duration: asyncRes.Duration,
+	})
+
+	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{Timeout: timeout})
+	if err != nil {
+		return nil, fmt.Errorf("tcp: %w", err)
+	}
+	out = append(out, RuntimeResult{
+		Runtime:  "tcp",
+		Solved:   tcpRes.Solved,
+		Messages: tcpRes.Messages,
+		Duration: tcpRes.Duration,
+	})
+	return out, nil
+}
+
+func buildSimAgents(n int, makeAgent func(csp.Var) sim.Agent) []sim.Agent {
+	agents := make([]sim.Agent, n)
+	for v := 0; v < n; v++ {
+		agents[v] = makeAgent(csp.Var(v))
+	}
+	return agents
+}
+
+// FprintRuntimes renders the comparison as an aligned table.
+func FprintRuntimes(w io.Writer, results []RuntimeResult) error {
+	if _, err := fmt.Fprintf(w, "  %-6s %-7s %-8s %-10s %s\n", "rt", "solved", "cycles", "messages", "duration"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		cycles := "-"
+		if r.Runtime == "sync" {
+			cycles = fmt.Sprintf("%d", r.Cycles)
+		}
+		if _, err := fmt.Fprintf(w, "  %-6s %-7v %-8s %-10d %v\n",
+			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

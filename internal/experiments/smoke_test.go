@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// TestSmokeAWCColoring is the first end-to-end check: AWC with resolvent
+// learning must solve a small solvable 3-coloring instance well within the
+// cutoff.
+func TestSmokeAWCColoring(t *testing.T) {
+	inst, err := gen.Coloring(30, 81, 3, 1)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	init := gen.RandomInitial(inst.Problem, 2)
+	res, err := RunAWC(inst.Problem, init, core.Learning{Kind: core.LearnResolvent}, sim.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("cycles=%d maxcck=%d solved=%v deadends=%d generated=%d",
+		res.Cycles, res.MaxCCK, res.Solved, res.Deadends, res.NogoodsGenerated)
+	if !res.Solved {
+		t.Fatalf("AWC+Rslv did not solve a 30-node solvable 3-coloring in %d cycles", res.Cycles)
+	}
+	if !inst.Problem.IsSolution(res.Assignment) {
+		t.Fatalf("reported solution does not satisfy the problem")
+	}
+}
+
+func TestSmokeAWCSAT(t *testing.T) {
+	inst, err := gen.ForcedSAT3(20, 86, 3)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	init := gen.RandomInitial(inst.Problem, 4)
+	res, err := RunAWC(inst.Problem, init, core.Learning{Kind: core.LearnResolvent}, sim.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("cycles=%d maxcck=%d solved=%v", res.Cycles, res.MaxCCK, res.Solved)
+	if !res.Solved {
+		t.Fatalf("AWC+Rslv did not solve a 20-var forced 3SAT in %d cycles", res.Cycles)
+	}
+}
+
+func TestSmokeDB(t *testing.T) {
+	inst, err := gen.Coloring(30, 81, 3, 5)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	init := gen.RandomInitial(inst.Problem, 6)
+	res, err := RunDB(inst.Problem, init, sim.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("cycles=%d maxcck=%d solved=%v", res.Cycles, res.MaxCCK, res.Solved)
+	if !res.Solved {
+		t.Fatalf("DB did not solve a 30-node solvable 3-coloring in %d cycles", res.Cycles)
+	}
+}
+
+func TestSmokeABT(t *testing.T) {
+	inst, err := gen.Coloring(15, 40, 3, 7)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	init := gen.RandomInitial(inst.Problem, 8)
+	res, err := RunABT(inst.Problem, init, sim.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("cycles=%d maxcck=%d solved=%v", res.Cycles, res.MaxCCK, res.Solved)
+	if !res.Solved {
+		t.Fatalf("ABT did not solve a 15-node solvable 3-coloring in %d cycles", res.Cycles)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// SweepPoint is one constraint-density setting of a hardness sweep.
+type SweepPoint struct {
+	Ratio  float64
+	M      int
+	Cycle  float64
+	MaxCCK float64
+	// Percent of trials finished within the cutoff.
+	Percent float64
+}
+
+// SweepResult is the hardness curve of one family at one size for one
+// algorithm: the experimental backdrop for the paper's density choices
+// (m = 2.7n for 3-coloring after Cheeseman et al.'s "where the really hard
+// problems are"; m = 4.3n for 3SAT after Cha & Iwama).
+type SweepResult struct {
+	Kind      ProblemKind
+	N         int
+	Algorithm string
+	Points    []SweepPoint
+}
+
+// RatioSweep measures alg across constraint/variable ratios on the family
+// at size n. ratios nil uses a default band bracketing the family's paper
+// ratio. Coloring sweeps are capped at the densest ratio that still admits
+// solvable instances.
+func RatioSweep(kind ProblemKind, n int, alg Algorithm, ratios []float64, scale Scale) (*SweepResult, error) {
+	if len(ratios) == 0 {
+		ratios = DefaultRatios(kind)
+	}
+	out := &SweepResult{Kind: kind, N: n, Algorithm: alg.Name}
+	for _, ratio := range ratios {
+		m := int(math.Round(ratio * float64(n)))
+		point := SweepPoint{Ratio: ratio, M: m}
+		cell, err := runRatioCell(kind, n, m, alg, scale)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %v n=%d ratio=%.2f: %w", kind, n, ratio, err)
+		}
+		point.Cycle = cell.Cycle
+		point.MaxCCK = cell.MaxCCK
+		point.Percent = cell.Percent
+		out.Points = append(out.Points, point)
+	}
+	return out, nil
+}
+
+// DefaultRatios brackets the family's paper ratio.
+func DefaultRatios(kind ProblemKind) []float64 {
+	switch kind {
+	case D3C:
+		return []float64{1.5, 2.0, 2.4, 2.7, 3.0, 3.4}
+	case D3S:
+		return []float64{2.0, 3.0, 3.6, 4.3, 5.0, 6.0}
+	default:
+		// The unique-solution construction needs m ≥ n+4, i.e. ratio ≳ 1.1.
+		return []float64{1.5, 2.0, 2.7, 3.4, 4.0, 5.0}
+	}
+}
+
+// runRatioCell is RunCell with an explicit constraint count instead of the
+// family's paper ratio.
+func runRatioCell(kind ProblemKind, n, m int, alg Algorithm, scale Scale) (CellResult, error) {
+	instances, inits := scale.trials(kind)
+	cell := CellResult{Kind: kind, N: n, Algorithm: alg.Name}
+	runner := newCellRunner(scale)
+	for i := 0; i < instances; i++ {
+		problem, err := makeInstanceM(kind, n, m, instanceSeed(scale.SeedBase, kind, n, i)+int64(m)*7_000_000_000_000)
+		if err != nil {
+			return CellResult{}, err
+		}
+		if err := runner.runInits(kind, n, i, inits, problem, alg); err != nil {
+			return CellResult{}, err
+		}
+	}
+	runner.fill(&cell)
+	return cell, nil
+}
+
+// Fprint renders the sweep as an aligned table.
+func (s *SweepResult) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Hardness sweep: %s n=%d, %s\n", s.Kind, s.N, s.Algorithm); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-7s %-6s %-10s %-12s %-4s\n", "m/n", "m", "cycle", "maxcck", "%"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "  %-7.2f %-6d %-10.1f %-12.1f %-4.0f\n",
+			p.Ratio, p.M, p.Cycle, p.MaxCCK, p.Percent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HardestPoint returns the sweep point with the largest mean cycles.
+func (s *SweepResult) HardestPoint() SweepPoint {
+	var hardest SweepPoint
+	for _, p := range s.Points {
+		if p.Cycle > hardest.Cycle {
+			hardest = p
+		}
+	}
+	return hardest
+}

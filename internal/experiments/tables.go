@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/discsp/discsp/internal/core"
+)
+
+// Table is a rendered experiment result in the paper's row layout.
+type Table struct {
+	Number int
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Cells holds the raw per-cell measurements backing the rows, for
+	// programmatic consumers (tests, EXPERIMENTS.md generation).
+	Cells []CellResult
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table %d. %s\n", t.Number, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := printRow(t.Header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := printRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func fmtF(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func fmtPc(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// learnerComparison runs Tables 1–3: {Rslv, Mcs, No} over one family.
+func learnerComparison(number int, kind ProblemKind, title string, scale Scale) (*Table, error) {
+	algs := []Algorithm{
+		AWC(core.Learning{Kind: core.LearnResolvent}),
+		AWC(core.Learning{Kind: core.LearnMCS}),
+		AWC(core.Learning{Kind: core.LearnNone}),
+	}
+	return runGrid(number, kind, title, "learn", algs, scale)
+}
+
+// runGrid runs a (n × algorithm) grid and renders the paper's row layout:
+// n, algorithm label, cycle, maxcck, %.
+func runGrid(number int, kind ProblemKind, title, algColumn string, algs []Algorithm, scale Scale) (*Table, error) {
+	t := &Table{
+		Number: number,
+		Title:  title,
+		Header: []string{"n", algColumn, "cycle", "maxcck", "%"},
+	}
+	for _, n := range scale.ns(kind) {
+		for _, alg := range algs {
+			cell, err := RunCell(kind, n, alg, scale)
+			if err != nil {
+				return nil, err
+			}
+			t.Cells = append(t.Cells, cell)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				alg.Name,
+				fmtF(cell.Cycle),
+				fmtF(cell.MaxCCK),
+				fmtPc(cell.Percent),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Table1 compares learning methods on distributed 3-coloring problems.
+func Table1(scale Scale) (*Table, error) {
+	return learnerComparison(1, D3C,
+		"Comparison with other learning methods on distributed 3-coloring problems", scale)
+}
+
+// Table2 compares learning methods on distributed 3SAT problems (3SAT-GEN).
+func Table2(scale Scale) (*Table, error) {
+	return learnerComparison(2, D3S,
+		"Comparison with other learning methods on distributed 3SAT problems by 3SAT-GEN", scale)
+}
+
+// Table3 compares learning methods on distributed 3SAT problems
+// (3ONESAT-GEN).
+func Table3(scale Scale) (*Table, error) {
+	return learnerComparison(3, D3S1,
+		"Comparison with other learning methods on distributed 3SAT problems by 3ONESAT-GEN", scale)
+}
+
+// Table4 measures redundant nogood generation with and without recording
+// (Rslv/rec vs Rslv/norec) across all three families.
+func Table4(scale Scale) (*Table, error) {
+	t := &Table{
+		Number: 4,
+		Title:  "Total number of redundant nogood generation (mean per trial)",
+		Header: []string{"problem", "n", "Rslv/rec", "Rslv/norec"},
+	}
+	rec := AWC(core.Learning{Kind: core.LearnResolvent})
+	norec := AWC(core.Learning{Kind: core.LearnResolvent, NoRecord: true})
+	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
+		for _, n := range scale.ns(kind) {
+			recCell, err := RunCell(kind, n, rec, scale)
+			if err != nil {
+				return nil, err
+			}
+			norecCell, err := RunCell(kind, n, norec, scale)
+			if err != nil {
+				return nil, err
+			}
+			norecCell.Algorithm = "Rslv/norec"
+			t.Cells = append(t.Cells, recCell, norecCell)
+			t.Rows = append(t.Rows, []string{
+				kind.String(),
+				fmt.Sprintf("%d", n),
+				fmtF(recCell.Redundant),
+				fmtF(norecCell.Redundant),
+			})
+		}
+	}
+	return t, nil
+}
+
+// sizeBounded runs Tables 5–7: unrestricted Rslv against two kthRslv
+// variants over one family.
+func sizeBounded(number int, kind ProblemKind, title string, ks [2]int, scale Scale) (*Table, error) {
+	algs := []Algorithm{
+		AWC(core.Learning{Kind: core.LearnResolvent}),
+		AWC(core.Learning{Kind: core.LearnResolvent, SizeBound: ks[0]}),
+		AWC(core.Learning{Kind: core.LearnResolvent, SizeBound: ks[1]}),
+	}
+	return runGrid(number, kind, title, "learn", algs, scale)
+}
+
+// Table5 evaluates size-bounded resolvent learning on distributed
+// 3-coloring problems (Rslv vs 3rdRslv vs 4thRslv).
+func Table5(scale Scale) (*Table, error) {
+	return sizeBounded(5, D3C,
+		"AWC with size-bounded resolvent-based learning on distributed 3-coloring problems",
+		[2]int{3, 4}, scale)
+}
+
+// Table6 evaluates size-bounded resolvent learning on distributed 3SAT
+// problems by 3SAT-GEN (Rslv vs 4thRslv vs 5thRslv).
+func Table6(scale Scale) (*Table, error) {
+	return sizeBounded(6, D3S,
+		"AWC with size-bounded resolvent-based learning on distributed 3SAT problems by 3SAT-GEN",
+		[2]int{4, 5}, scale)
+}
+
+// Table7 evaluates size-bounded resolvent learning on distributed 3SAT
+// problems by 3ONESAT-GEN (Rslv vs 4thRslv vs 5thRslv).
+func Table7(scale Scale) (*Table, error) {
+	return sizeBounded(7, D3S1,
+		"AWC with size-bounded resolvent-based learning on distributed 3SAT problems by 3ONESAT-GEN",
+		[2]int{4, 5}, scale)
+}
+
+// BestLearning returns the paper's most effective size-bounded
+// configuration for a family (Section 4.3: 3rdRslv for d3c, 5thRslv for
+// d3s, 4thRslv for d3s1).
+func BestLearning(kind ProblemKind) core.Learning {
+	switch kind {
+	case D3C:
+		return core.Learning{Kind: core.LearnResolvent, SizeBound: 3}
+	case D3S:
+		return core.Learning{Kind: core.LearnResolvent, SizeBound: 5}
+	default:
+		return core.Learning{Kind: core.LearnResolvent, SizeBound: 4}
+	}
+}
+
+// dbComparison runs Tables 8–10: AWC+kthRslv against DB over one family.
+func dbComparison(number int, kind ProblemKind, title string, scale Scale) (*Table, error) {
+	awc := AWC(BestLearning(kind))
+	awc.Name = "AWC+" + awc.Name
+	return runGrid(number, kind, title, "alg", []Algorithm{awc, DB()}, scale)
+}
+
+// Table8 compares AWC+3rdRslv with DB on distributed 3-coloring problems.
+func Table8(scale Scale) (*Table, error) {
+	return dbComparison(8, D3C,
+		"Comparison with distributed breakout algorithm on distributed 3-coloring problems", scale)
+}
+
+// Table9 compares AWC+5thRslv with DB on distributed 3SAT problems by
+// 3SAT-GEN.
+func Table9(scale Scale) (*Table, error) {
+	return dbComparison(9, D3S,
+		"Comparison with distributed breakout algorithm on distributed 3SAT problems by 3SAT-GEN", scale)
+}
+
+// Table10 compares AWC+4thRslv with DB on distributed 3SAT problems by
+// 3ONESAT-GEN.
+func Table10(scale Scale) (*Table, error) {
+	return dbComparison(10, D3S1,
+		"Comparison with distributed breakout algorithm on distributed 3SAT problems by 3ONESAT-GEN", scale)
+}
+
+// Tables runs the numbered table; it is the dispatch used by cmd/dcspbench.
+func Tables(number int, scale Scale) (*Table, error) {
+	switch number {
+	case 1:
+		return Table1(scale)
+	case 2:
+		return Table2(scale)
+	case 3:
+		return Table3(scale)
+	case 4:
+		return Table4(scale)
+	case 5:
+		return Table5(scale)
+	case 6:
+		return Table6(scale)
+	case 7:
+		return Table7(scale)
+	case 8:
+		return Table8(scale)
+	case 9:
+		return Table9(scale)
+	case 10:
+		return Table10(scale)
+	default:
+		return nil, fmt.Errorf("experiments: no table %d in the paper", number)
+	}
+}

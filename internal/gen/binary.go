@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// BinaryCSPInstance is a generated random binary CSP.
+type BinaryCSPInstance struct {
+	Problem *csp.Problem
+	// Hidden is the planted solution when Forced generation was used, nil
+	// otherwise.
+	Hidden csp.SliceAssignment
+	// ConstrainedPairs is the number of variable pairs carrying a
+	// constraint.
+	ConstrainedPairs int
+}
+
+// BinaryCSPConfig parameterizes RandomBinaryCSP following the classic
+// Model B of random CSP generation: exactly p1·n(n-1)/2 constrained pairs,
+// each prohibiting exactly p2·d² value combinations.
+type BinaryCSPConfig struct {
+	// Vars is the number of variables.
+	Vars int
+	// DomainSize is the uniform domain size d.
+	DomainSize int
+	// Density p1 ∈ (0,1]: fraction of variable pairs constrained.
+	Density float64
+	// Tightness p2 ∈ (0,1): fraction of value pairs prohibited per
+	// constrained pair.
+	Tightness float64
+	// Force plants a hidden solution: prohibited pairs are drawn only
+	// among combinations that do not kill the planted assignment,
+	// guaranteeing solubility (the analogue of the paper's solvable
+	// instance generation).
+	Force bool
+}
+
+// RandomBinaryCSP generates a Model B random binary CSP. It complements the
+// paper's three benchmark families with the general workload most of the
+// CSP literature the paper builds on (Dechter, Frost & Dechter, Bayardo &
+// Miranker) evaluates against.
+func RandomBinaryCSP(cfg BinaryCSPConfig, seed int64) (*BinaryCSPInstance, error) {
+	if cfg.Vars < 2 {
+		return nil, fmt.Errorf("gen: binary CSP needs at least 2 variables, got %d", cfg.Vars)
+	}
+	if cfg.DomainSize < 2 {
+		return nil, fmt.Errorf("gen: binary CSP needs domain size at least 2, got %d", cfg.DomainSize)
+	}
+	if cfg.Density <= 0 || cfg.Density > 1 {
+		return nil, fmt.Errorf("gen: density %v outside (0,1]", cfg.Density)
+	}
+	if cfg.Tightness <= 0 || cfg.Tightness >= 1 {
+		return nil, fmt.Errorf("gen: tightness %v outside (0,1)", cfg.Tightness)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var hidden csp.SliceAssignment
+	if cfg.Force {
+		hidden = csp.NewSliceAssignment(cfg.Vars)
+		for i := range hidden {
+			hidden[i] = csp.Value(rng.Intn(cfg.DomainSize))
+		}
+	}
+
+	// Draw the constrained pairs.
+	totalPairs := cfg.Vars * (cfg.Vars - 1) / 2
+	wantPairs := int(cfg.Density * float64(totalPairs))
+	if wantPairs < 1 {
+		wantPairs = 1
+	}
+	pairs := make([][2]csp.Var, 0, totalPairs)
+	for i := 0; i < cfg.Vars; i++ {
+		for j := i + 1; j < cfg.Vars; j++ {
+			pairs = append(pairs, [2]csp.Var{csp.Var(i), csp.Var(j)})
+		}
+	}
+	rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+	pairs = pairs[:wantPairs]
+
+	// Per constrained pair, prohibit exactly p2·d² combinations.
+	d := cfg.DomainSize
+	wantNogoods := int(cfg.Tightness * float64(d*d))
+	if wantNogoods < 1 {
+		wantNogoods = 1
+	}
+	if cfg.Force && wantNogoods > d*d-1 {
+		wantNogoods = d*d - 1
+	}
+
+	p := csp.NewProblemUniform(cfg.Vars, d)
+	combos := make([][2]csp.Value, 0, d*d)
+	for _, pair := range pairs {
+		combos = combos[:0]
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				va, vb := csp.Value(a), csp.Value(b)
+				if cfg.Force && hidden[pair[0]] == va && hidden[pair[1]] == vb {
+					continue // keep the planted solution alive
+				}
+				combos = append(combos, [2]csp.Value{va, vb})
+			}
+		}
+		rng.Shuffle(len(combos), func(a, b int) { combos[a], combos[b] = combos[b], combos[a] })
+		take := wantNogoods
+		if take > len(combos) {
+			take = len(combos)
+		}
+		for _, combo := range combos[:take] {
+			ng, err := csp.NewNogood(
+				csp.Lit{Var: pair[0], Val: combo[0]},
+				csp.Lit{Var: pair[1], Val: combo[1]},
+			)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.AddNogood(ng); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Force && !p.IsSolution(hidden) {
+		return nil, fmt.Errorf("gen: planted binary-CSP solution rejected")
+	}
+	return &BinaryCSPInstance{Problem: p, Hidden: hidden, ConstrainedPairs: wantPairs}, nil
+}

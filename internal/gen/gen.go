@@ -1,0 +1,360 @@
+// Package gen generates the benchmark problem instances of Section 4:
+//
+//   - solvable distributed 3-coloring problems with m = 2.7n arcs, generated
+//     by the method of Minton et al. (hide a coloring, add arcs only between
+//     color classes);
+//   - distributed 3SAT problems in the style of 3SAT-GEN (forced satisfiable
+//     random 3SAT at a specified clause/variable ratio, m = 4.3n in the
+//     paper);
+//   - distributed 3SAT problems in the style of 3ONESAT-GEN (exactly one
+//     solution, m = 3.4n in the paper).
+//
+// The paper took its SAT instances from the AIM generators / DIMACS archive,
+// which are unavailable offline; the substitutes here preserve the defining
+// properties (ratio, guaranteed satisfiability, solution uniqueness) — see
+// DESIGN.md Section 4 for the substitution rationale. All generators are
+// deterministic functions of their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// ColoringInstance is a generated solvable graph-coloring problem.
+type ColoringInstance struct {
+	Graph   *csp.Graph
+	Problem *csp.Problem
+	// Hidden is the coloring planted by the generator (a witness solution;
+	// instances typically have many others).
+	Hidden csp.SliceAssignment
+	Colors int
+}
+
+// Coloring generates a solvable graph-coloring instance with n nodes, m
+// arcs, and the given number of colors, by the method of Minton et al.:
+// nodes are split evenly into color classes and arcs are drawn uniformly at
+// random between distinct classes, without duplicates. The paper's setting
+// is colors=3, m=2.7n ("known to be hard in 3-coloring problems").
+func Coloring(n, m, colors int, seed int64) (*ColoringInstance, error) {
+	if n < colors {
+		return nil, fmt.Errorf("gen: %d nodes cannot use %d colors", n, colors)
+	}
+	if colors < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 colors, got %d", colors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Even hidden partition over a random node order.
+	perm := rng.Perm(n)
+	hidden := csp.NewSliceAssignment(n)
+	for i, node := range perm {
+		hidden[node] = csp.Value(i % colors)
+	}
+
+	if max := maxCrossEdges(n, colors); m > max {
+		return nil, fmt.Errorf("gen: %d arcs requested but only %d cross-class pairs exist", m, max)
+	}
+
+	g := &csp.Graph{NumNodes: n, Edges: make([][2]int, 0, m)}
+	seen := make(map[[2]int]struct{}, m)
+	for len(g.Edges) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || hidden[u] == hidden[v] {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.Edges = append(g.Edges, key)
+	}
+
+	p, err := g.Problem(colors)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.IsSolution(hidden) {
+		// Cannot happen by construction; guards generator regressions.
+		return nil, fmt.Errorf("gen: planted coloring is not a solution")
+	}
+	return &ColoringInstance{Graph: g, Problem: p, Hidden: hidden, Colors: colors}, nil
+}
+
+func maxCrossEdges(n, colors int) int {
+	// Class sizes differ by at most one.
+	base := n / colors
+	extra := n % colors
+	total := n * (n - 1) / 2
+	within := 0
+	for c := 0; c < colors; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		within += size * (size - 1) / 2
+	}
+	return total - within
+}
+
+// SATInstance is a generated satisfiable 3SAT problem.
+type SATInstance struct {
+	CNF     *csp.CNF
+	Problem *csp.Problem
+	// Hidden is the planted satisfying assignment (index i is variable i,
+	// value 0 or 1).
+	Hidden csp.SliceAssignment
+	// Unique reports whether the generator guarantees Hidden is the only
+	// solution (true for UniqueSAT3).
+	Unique bool
+}
+
+// ForcedSAT3 generates a satisfiable random 3SAT instance with n variables
+// and m clauses in the style of 3SAT-GEN: a hidden assignment is planted and
+// random 3-clauses are kept only if the hidden assignment satisfies them.
+// Duplicate clauses (up to literal order) are rejected. The paper's setting
+// is m = 4.3n.
+func ForcedSAT3(n, m int, seed int64) (*SATInstance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: 3SAT needs at least 3 variables, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hidden := randomBoolAssignment(n, rng)
+
+	cnf := &csp.CNF{NumVars: n, Clauses: make([][]int, 0, m)}
+	seen := make(map[string]struct{}, m)
+	attempts := 0
+	maxAttempts := 200*m + 10000
+	for len(cnf.Clauses) < m {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: could not draw %d distinct forced clauses over %d variables", m, n)
+		}
+		cl := randomClause(n, rng)
+		if !clauseSatisfied(cl, hidden) {
+			continue
+		}
+		key := clauseKey(cl)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		cnf.Clauses = append(cnf.Clauses, cl)
+	}
+	return finishSAT(cnf, hidden, false)
+}
+
+// UniqueSAT3 generates a satisfiable 3SAT instance with exactly one
+// solution, in the style of 3ONESAT-GEN (the paper's AIM single-solution
+// instances, m = 3.4n). Construction:
+//
+//  1. Seed core: over 3 seed variables, 7 clauses each killing one of the 7
+//     non-hidden assignments of the seed triple, forcing the seeds to their
+//     hidden values.
+//  2. Implication chain: in a random variable order starting with the
+//     seeds, every later variable gets one clause "both parents correct →
+//     this variable correct" with two random earlier parents, forcing it by
+//     induction.
+//  3. Padding: random forced 3-clauses up to m total.
+//
+// Steps 1–2 make the hidden assignment the unique solution (verified by the
+// DPLL substrate in this package's tests); step 3 only removes further
+// assignments, which cannot exist. Like the AIM instances, the result is
+// "very hard for non-systematic search": a local searcher must traverse the
+// chain, while learning algorithms discover the implications as small
+// nogoods.
+func UniqueSAT3(n, m int, seed int64) (*SATInstance, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("gen: unique 3SAT needs at least 4 variables, got %d", n)
+	}
+	minClauses := 7 + (n - 3)
+	if m < minClauses {
+		return nil, fmt.Errorf("gen: unique 3SAT over %d variables needs at least %d clauses, got %d", n, minClauses, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hidden := randomBoolAssignment(n, rng)
+	order := rng.Perm(n)
+
+	cnf := &csp.CNF{NumVars: n, Clauses: make([][]int, 0, m)}
+	seen := make(map[string]struct{}, m)
+	add := func(cl []int) bool {
+		key := clauseKey(cl)
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+		cnf.Clauses = append(cnf.Clauses, cl)
+		return true
+	}
+
+	// 1. Seed core: kill the 7 wrong assignments of the seed triple.
+	seeds := order[:3]
+	for wrong := 0; wrong < 8; wrong++ {
+		cl := make([]int, 3)
+		isHidden := true
+		for i, v := range seeds {
+			bit := wrong>>i&1 == 1
+			if (hidden[v] == 1) != bit {
+				isHidden = false
+			}
+			// The literal must be false under the killed assignment.
+			if bit {
+				cl[i] = -(v + 1)
+			} else {
+				cl[i] = v + 1
+			}
+		}
+		if isHidden {
+			continue
+		}
+		add(cl)
+	}
+
+	// 2. Implication chain: parents correct → child correct.
+	for i := 3; i < n; i++ {
+		child := order[i]
+		j := rng.Intn(i)
+		k := rng.Intn(i)
+		for k == j {
+			k = rng.Intn(i)
+		}
+		cl := []int{
+			-trueLit(order[j], hidden),
+			-trueLit(order[k], hidden),
+			trueLit(child, hidden),
+		}
+		add(cl)
+	}
+
+	// 3. Padding with random forced clauses.
+	attempts := 0
+	maxAttempts := 200*m + 10000
+	for len(cnf.Clauses) < m {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: could not pad to %d distinct clauses over %d variables", m, n)
+		}
+		cl := randomClause(n, rng)
+		if !clauseSatisfied(cl, hidden) {
+			continue
+		}
+		add(cl)
+	}
+	return finishSAT(cnf, hidden, true)
+}
+
+// trueLit returns the DIMACS literal over variable v (0-based) that is true
+// under hidden.
+func trueLit(v int, hidden csp.SliceAssignment) int {
+	if hidden[v] == 1 {
+		return v + 1
+	}
+	return -(v + 1)
+}
+
+func randomBoolAssignment(n int, rng *rand.Rand) csp.SliceAssignment {
+	hidden := csp.NewSliceAssignment(n)
+	for i := range hidden {
+		hidden[i] = csp.Value(rng.Intn(2))
+	}
+	return hidden
+}
+
+// randomClause draws three distinct variables with random polarities.
+func randomClause(n int, rng *rand.Rand) []int {
+	vs := make(map[int]struct{}, 3)
+	cl := make([]int, 0, 3)
+	for len(cl) < 3 {
+		v := rng.Intn(n)
+		if _, dup := vs[v]; dup {
+			continue
+		}
+		vs[v] = struct{}{}
+		lit := v + 1
+		if rng.Intn(2) == 1 {
+			lit = -lit
+		}
+		cl = append(cl, lit)
+	}
+	return cl
+}
+
+func clauseSatisfied(cl []int, a csp.SliceAssignment) bool {
+	for _, lit := range cl {
+		v := lit
+		if v < 0 {
+			v = -v
+		}
+		val := a[v-1] == 1
+		if (lit > 0) == val {
+			return true
+		}
+	}
+	return false
+}
+
+// clauseKey canonicalizes a clause (sorted by variable then sign) for
+// duplicate detection.
+func clauseKey(cl []int) string {
+	cp := make([]int, len(cl))
+	copy(cp, cl)
+	sort.Slice(cp, func(i, j int) bool {
+		ai, aj := abs(cp[i]), abs(cp[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return cp[i] < cp[j]
+	})
+	var b strings.Builder
+	for _, lit := range cp {
+		b.WriteString(strconv.Itoa(lit))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func finishSAT(cnf *csp.CNF, hidden csp.SliceAssignment, unique bool) (*SATInstance, error) {
+	p, err := cnf.Problem()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.IsSolution(hidden) {
+		return nil, fmt.Errorf("gen: planted assignment is not a solution")
+	}
+	return &SATInstance{CNF: cnf, Problem: p, Hidden: hidden, Unique: unique}, nil
+}
+
+// RandomInitial draws a uniform random initial value for every variable of
+// p; the paper generates several such sets per instance to define trials.
+func RandomInitial(p *csp.Problem, seed int64) csp.SliceAssignment {
+	rng := rand.New(rand.NewSource(seed))
+	init := csp.NewSliceAssignment(p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		dom := p.Domain(csp.Var(v))
+		init[v] = dom[rng.Intn(len(dom))]
+	}
+	return init
+}

@@ -1,0 +1,359 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/discsp/discsp/internal/central"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sat"
+)
+
+func TestColoringShape(t *testing.T) {
+	inst, err := Coloring(30, 81, 3, 1)
+	if err != nil {
+		t.Fatalf("Coloring: %v", err)
+	}
+	if inst.Graph.NumNodes != 30 || len(inst.Graph.Edges) != 81 {
+		t.Fatalf("graph shape: %d nodes, %d edges", inst.Graph.NumNodes, len(inst.Graph.Edges))
+	}
+	if inst.Problem.NumVars() != 30 {
+		t.Fatalf("problem vars = %d", inst.Problem.NumVars())
+	}
+	// Each edge expands to 3 nogoods.
+	if inst.Problem.NumNogoods() != 81*3 {
+		t.Fatalf("nogoods = %d, want %d", inst.Problem.NumNogoods(), 81*3)
+	}
+	seen := make(map[[2]int]bool)
+	for _, e := range inst.Graph.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		if inst.Hidden[e[0]] == inst.Hidden[e[1]] {
+			t.Fatalf("edge %v within a hidden color class", e)
+		}
+	}
+}
+
+func TestColoringPlantedSolutionAndOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst, err := Coloring(20, 54, 3, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !inst.Problem.IsSolution(inst.Hidden) {
+			t.Fatalf("seed %d: planted coloring not a solution", seed)
+		}
+		if _, ok := central.New(inst.Problem).Solve(); !ok {
+			t.Fatalf("seed %d: oracle cannot solve generated instance", seed)
+		}
+	}
+}
+
+func TestColoringDeterministic(t *testing.T) {
+	a, err := Coloring(25, 60, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Coloring(25, 60, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Graph.Edges) != len(b.Graph.Edges) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != b.Graph.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Graph.Edges[i], b.Graph.Edges[i])
+		}
+	}
+	c, err := Coloring(25, 60, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != c.Graph.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical graphs")
+	}
+}
+
+func TestColoringErrors(t *testing.T) {
+	if _, err := Coloring(2, 1, 3, 1); err == nil {
+		t.Error("accepted n < colors")
+	}
+	if _, err := Coloring(10, 1, 1, 1); err == nil {
+		t.Error("accepted 1 color")
+	}
+	if _, err := Coloring(6, 1000, 3, 1); err == nil {
+		t.Error("accepted impossible edge count")
+	}
+}
+
+func TestMaxCrossEdges(t *testing.T) {
+	// n=6, 3 colors → classes of 2: total 15 pairs − 3 within = 12.
+	if got := maxCrossEdges(6, 3); got != 12 {
+		t.Errorf("maxCrossEdges(6,3) = %d, want 12", got)
+	}
+	// n=5, 2 colors → classes 3+2: 10 − (3+1) = 6.
+	if got := maxCrossEdges(5, 2); got != 6 {
+		t.Errorf("maxCrossEdges(5,2) = %d, want 6", got)
+	}
+}
+
+func TestForcedSAT3Shape(t *testing.T) {
+	inst, err := ForcedSAT3(20, 86, 2)
+	if err != nil {
+		t.Fatalf("ForcedSAT3: %v", err)
+	}
+	if inst.CNF.NumVars != 20 || len(inst.CNF.Clauses) != 86 {
+		t.Fatalf("cnf shape: %d vars %d clauses", inst.CNF.NumVars, len(inst.CNF.Clauses))
+	}
+	keys := make(map[string]bool)
+	for _, cl := range inst.CNF.Clauses {
+		if len(cl) != 3 {
+			t.Fatalf("clause %v is not ternary", cl)
+		}
+		k := clauseKey(cl)
+		if keys[k] {
+			t.Fatalf("duplicate clause %v", cl)
+		}
+		keys[k] = true
+		if !clauseSatisfied(cl, inst.Hidden) {
+			t.Fatalf("clause %v not satisfied by hidden assignment", cl)
+		}
+	}
+	if inst.Unique {
+		t.Errorf("forced instance claims uniqueness")
+	}
+}
+
+func TestForcedSAT3SatisfiableBySolver(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := ForcedSAT3(25, 107, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s, err := sat.New(inst.CNF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, ok := s.Solve()
+		if !ok {
+			t.Fatalf("seed %d: DPLL finds forced instance unsatisfiable", seed)
+		}
+		if !sat.Verify(inst.CNF, model) {
+			t.Fatalf("seed %d: DPLL model does not verify", seed)
+		}
+	}
+}
+
+func TestUniqueSAT3ExactlyOneSolution(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := UniqueSAT3(20, 68, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !inst.Unique {
+			t.Fatalf("instance not marked unique")
+		}
+		s, err := sat.New(inst.CNF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models := s.Enumerate(2)
+		if len(models) != 1 {
+			t.Fatalf("seed %d: %d solutions, want exactly 1", seed, len(models))
+		}
+		// The one solution is the planted one.
+		for v, val := range models[0] {
+			want := inst.Hidden[v] == 1
+			if val != want {
+				t.Fatalf("seed %d: solver model differs from planted at x%d", seed, v)
+			}
+		}
+	}
+}
+
+func TestUniqueSAT3OracleAgrees(t *testing.T) {
+	inst, err := UniqueSAT3(15, 51, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := central.New(inst.Problem).Enumerate(2)
+	if len(sols) != 1 {
+		t.Fatalf("central oracle finds %d solutions, want 1", len(sols))
+	}
+	if !inst.Problem.IsSolution(sols[0]) {
+		t.Fatalf("oracle solution invalid")
+	}
+}
+
+func TestUniqueSAT3PaperScaleRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale uniqueness verification is slow")
+	}
+	// The paper's smallest 3ONESAT setting: n=50, m=170.
+	inst, err := UniqueSAT3(50, 170, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sat.New(inst.CNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if models := s.Enumerate(2); len(models) != 1 {
+		t.Fatalf("n=50 instance has %d solutions", len(models))
+	}
+}
+
+func TestUniqueSAT3Errors(t *testing.T) {
+	if _, err := UniqueSAT3(3, 20, 1); err == nil {
+		t.Error("accepted n < 4")
+	}
+	if _, err := UniqueSAT3(20, 10, 1); err == nil {
+		t.Error("accepted m below the forcing core size")
+	}
+}
+
+func TestForcedSAT3Errors(t *testing.T) {
+	if _, err := ForcedSAT3(2, 5, 1); err == nil {
+		t.Error("accepted n < 3")
+	}
+	// More distinct forced clauses than exist over 4 variables.
+	if _, err := ForcedSAT3(4, 1000, 1); err == nil {
+		t.Error("accepted impossible clause count")
+	}
+}
+
+func TestRandomInitialInDomainAndDeterministic(t *testing.T) {
+	p := csp.NewProblem()
+	p.AddVar(3, 5)
+	p.AddVar(0)
+	p.AddVar(1, 2, 4)
+	a := RandomInitial(p, 42)
+	b := RandomInitial(p, 42)
+	for v := 0; v < p.NumVars(); v++ {
+		if a[v] != b[v] {
+			t.Fatalf("not deterministic at x%d", v)
+		}
+		found := false
+		for _, d := range p.Domain(csp.Var(v)) {
+			if d == a[v] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("x%d initial %d outside domain", v, a[v])
+		}
+	}
+}
+
+func TestTrueLit(t *testing.T) {
+	hidden := csp.SliceAssignment{1, 0}
+	if got := trueLit(0, hidden); got != 1 {
+		t.Errorf("trueLit(0) = %d, want 1", got)
+	}
+	if got := trueLit(1, hidden); got != -2 {
+		t.Errorf("trueLit(1) = %d, want -2", got)
+	}
+}
+
+func TestClauseKeyCanonical(t *testing.T) {
+	if clauseKey([]int{3, -1, 2}) != clauseKey([]int{-1, 2, 3}) {
+		t.Errorf("clause key depends on order")
+	}
+	if clauseKey([]int{1, 2, 3}) == clauseKey([]int{-1, 2, 3}) {
+		t.Errorf("clause key ignores polarity")
+	}
+}
+
+func TestRandomBinaryCSPShape(t *testing.T) {
+	cfg := BinaryCSPConfig{Vars: 12, DomainSize: 4, Density: 0.5, Tightness: 0.25, Force: true}
+	inst, err := RandomBinaryCSP(cfg, 3)
+	if err != nil {
+		t.Fatalf("RandomBinaryCSP: %v", err)
+	}
+	if inst.Problem.NumVars() != 12 {
+		t.Errorf("vars = %d", inst.Problem.NumVars())
+	}
+	wantPairs := int(0.5 * float64(12*11/2))
+	if inst.ConstrainedPairs != wantPairs {
+		t.Errorf("pairs = %d, want %d", inst.ConstrainedPairs, wantPairs)
+	}
+	// Exactly p2·d² = 4 nogoods per pair.
+	if got, want := inst.Problem.NumNogoods(), wantPairs*4; got != want {
+		t.Errorf("nogoods = %d, want %d", got, want)
+	}
+	if !inst.Problem.IsSolution(inst.Hidden) {
+		t.Errorf("planted solution invalid")
+	}
+}
+
+func TestRandomBinaryCSPForcedSolvableBySolver(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := RandomBinaryCSP(BinaryCSPConfig{
+			Vars: 14, DomainSize: 3, Density: 0.4, Tightness: 0.3, Force: true,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := central.New(inst.Problem).Solve(); !ok {
+			t.Fatalf("seed %d: forced instance insoluble", seed)
+		}
+	}
+}
+
+func TestRandomBinaryCSPUnforced(t *testing.T) {
+	inst, err := RandomBinaryCSP(BinaryCSPConfig{
+		Vars: 10, DomainSize: 3, Density: 0.3, Tightness: 0.3,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Hidden != nil {
+		t.Errorf("unforced instance carries a hidden solution")
+	}
+}
+
+func TestRandomBinaryCSPValidation(t *testing.T) {
+	base := BinaryCSPConfig{Vars: 10, DomainSize: 3, Density: 0.3, Tightness: 0.3}
+	bad := []BinaryCSPConfig{
+		{Vars: 1, DomainSize: 3, Density: 0.3, Tightness: 0.3},
+		{Vars: 10, DomainSize: 1, Density: 0.3, Tightness: 0.3},
+		{Vars: 10, DomainSize: 3, Density: 0, Tightness: 0.3},
+		{Vars: 10, DomainSize: 3, Density: 1.5, Tightness: 0.3},
+		{Vars: 10, DomainSize: 3, Density: 0.3, Tightness: 0},
+		{Vars: 10, DomainSize: 3, Density: 0.3, Tightness: 1},
+	}
+	if _, err := RandomBinaryCSP(base, 1); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for i, cfg := range bad {
+		if _, err := RandomBinaryCSP(cfg, 1); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRandomBinaryCSPTightForcedCaps(t *testing.T) {
+	// Tightness near 1 with Force: per-pair prohibitions are capped at
+	// d²-1 so the planted solution survives.
+	inst, err := RandomBinaryCSP(BinaryCSPConfig{
+		Vars: 6, DomainSize: 2, Density: 1, Tightness: 0.99, Force: true,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Problem.IsSolution(inst.Hidden) {
+		t.Fatalf("planted solution destroyed at high tightness")
+	}
+}

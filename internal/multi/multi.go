@@ -1,0 +1,167 @@
+// Package multi extends AWC to distributed CSPs where an agent owns several
+// variables — the extension the paper's Section 5 points to ("The authors
+// have proposed a few extended versions of the AWC to handle a problem with
+// multi-variables per agent [26]. Perhaps, it is easy to introduce our
+// learning method into these algorithms as well."), after Yokoo & Hirayama,
+// "Distributed Constraint Satisfaction Algorithm for Complex Local
+// Problems" (ICMAS-98).
+//
+// Each agent owns a block of variables forming a local CSP and holds every
+// nogood relevant to its variables; nogoods crossing the partition boundary
+// are evaluated against the agent_view of external variables. One priority
+// is attached to the whole agent. An agent repairs by re-solving its local
+// CSP (with the internal/central engine) subject to the constraints whose
+// external participants outrank it; a local deadend derives a resolvent-
+// style nogood over external variable values — the paper's learning method
+// lifted to variable blocks — which is sent to the owning agents, after
+// which the agent raises its priority.
+package multi
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Partition assigns every problem variable to exactly one agent: entry i
+// lists the variables owned by agent i. Validate before use.
+type Partition [][]csp.Var
+
+// Validate checks that the partition covers variables 0..n-1 exactly once
+// and that every agent owns at least one variable.
+func (pt Partition) Validate(numVars int) error {
+	seen := make([]bool, numVars)
+	count := 0
+	for agent, vars := range pt {
+		if len(vars) == 0 {
+			return fmt.Errorf("multi: agent %d owns no variables", agent)
+		}
+		for _, v := range vars {
+			if int(v) < 0 || int(v) >= numVars {
+				return fmt.Errorf("multi: agent %d owns out-of-range variable %d", agent, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("multi: variable %d owned twice", v)
+			}
+			seen[v] = true
+			count++
+		}
+	}
+	if count != numVars {
+		return fmt.Errorf("multi: partition covers %d of %d variables", count, numVars)
+	}
+	return nil
+}
+
+// Uniform builds the partition that gives each agent `block` consecutive
+// variables (the last agent may get fewer).
+func Uniform(numVars, block int) Partition {
+	if block < 1 {
+		block = 1
+	}
+	var pt Partition
+	for start := 0; start < numVars; start += block {
+		end := start + block
+		if end > numVars {
+			end = numVars
+		}
+		vars := make([]csp.Var, 0, end-start)
+		for v := start; v < end; v++ {
+			vars = append(vars, csp.Var(v))
+		}
+		pt = append(pt, vars)
+	}
+	return pt
+}
+
+// Singletons is the one-variable-per-agent partition, under which this
+// algorithm degenerates to (block-wise) AWC.
+func Singletons(numVars int) Partition {
+	return Uniform(numVars, 1)
+}
+
+// Owner maps each variable to its owning agent.
+func (pt Partition) Owner() map[csp.Var]sim.AgentID {
+	owner := make(map[csp.Var]sim.AgentID)
+	for agent, vars := range pt {
+		for _, v := range vars {
+			owner[v] = sim.AgentID(agent)
+		}
+	}
+	return owner
+}
+
+// Ok announces an agent's current local solution (all owned variable
+// values) and its priority.
+type Ok struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Values   []csp.Lit
+	Priority int
+}
+
+// From implements sim.Message.
+func (m Ok) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Ok) To() sim.AgentID { return m.Receiver }
+
+// NogoodMsg carries a learned nogood over variable-value pairs to an agent
+// owning at least one of its variables.
+type NogoodMsg struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+	Nogood   csp.Nogood
+}
+
+// From implements sim.Message.
+func (m NogoodMsg) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m NogoodMsg) To() sim.AgentID { return m.Receiver }
+
+// Request asks the receiver to add the sender to its ok? recipients.
+type Request struct {
+	Sender   sim.AgentID
+	Receiver sim.AgentID
+}
+
+// From implements sim.Message.
+func (m Request) From() sim.AgentID { return m.Sender }
+
+// To implements sim.Message.
+func (m Request) To() sim.AgentID { return m.Receiver }
+
+// Stats exposes per-agent bookkeeping.
+type Stats struct {
+	// Deadends counts local-CSP wipeouts under the higher constraints.
+	Deadends int64
+	// NogoodsGenerated counts derived-and-sent nogoods.
+	NogoodsGenerated int64
+	// NogoodsRecorded counts received nogoods that were new and recorded.
+	NogoodsRecorded int64
+	// PriorityRaises counts deadend escalations.
+	PriorityRaises int64
+	// LocalSolves counts local-CSP searches.
+	LocalSolves int64
+}
+
+type viewEntry struct {
+	val  csp.Value
+	prio int
+}
+
+// rank orders agents: higher priority wins, ties break toward the smaller
+// agent id (mirroring the variable-id tie-break of single-variable AWC).
+type rank struct {
+	p  int
+	id sim.AgentID
+}
+
+func (a rank) outranks(b rank) bool {
+	if a.p != b.p {
+		return a.p > b.p
+	}
+	return a.id < b.id
+}

@@ -1,0 +1,55 @@
+package multi
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Result reports a partitioned run: the simulator's cost metrics plus the
+// assembled variable-level assignment.
+type Result struct {
+	sim.Result
+	// Assignment is the global variable-level assignment assembled from
+	// the agents' blocks (shadowing the sim-level field, which RunAgents
+	// leaves empty for block agents).
+	Assignment csp.SliceAssignment
+}
+
+// Run executes block-wise AWC over the partitioned problem on the
+// synchronous simulator. initial supplies a starting value for every
+// problem variable.
+func Run(problem *csp.Problem, partition Partition, initial csp.SliceAssignment, opts Options, simOpts sim.Options) (Result, []*Agent, error) {
+	if err := partition.Validate(problem.NumVars()); err != nil {
+		return Result{}, nil, err
+	}
+	if len(initial) != problem.NumVars() {
+		return Result{}, nil, fmt.Errorf("multi: %d initial values for %d variables", len(initial), problem.NumVars())
+	}
+	agents := make([]*Agent, len(partition))
+	simAgents := make([]sim.Agent, len(partition))
+	for i := range partition {
+		agents[i] = NewAgent(sim.AgentID(i), problem, partition, initial, opts)
+		simAgents[i] = agents[i]
+	}
+	res, err := sim.RunAgents(simAgents, simOpts, func() bool {
+		return problem.IsSolution(Assemble(problem, agents))
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return Result{Result: res, Assignment: Assemble(problem, agents)}, agents, nil
+}
+
+// Assemble reconstructs the variable-level assignment from the agents'
+// current blocks.
+func Assemble(problem *csp.Problem, agents []*Agent) csp.SliceAssignment {
+	out := csp.NewSliceAssignment(problem.NumVars())
+	for _, a := range agents {
+		for _, l := range a.Values() {
+			out[l.Var] = l.Val
+		}
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+// Package netrun executes the distributed algorithms over an actual TCP
+// network: one hub process-part routes JSON-framed messages (internal/wire)
+// between agent nodes, each of which owns one agent and one TCP connection.
+// It is the strongest form of the paper's portability claim exercised in
+// this repository — the same Agent implementations that run on the
+// synchronous simulator and the in-process asynchronous runtime here cross
+// a real socket boundary, with the hub playing the network.
+//
+// The hub detects termination out-of-band, like the other runtimes: nodes
+// attach a state report (current value, insolubility flag, processed
+// count) after every step, letting the hub check for a solution snapshot,
+// an insolubility proof, or quiescence (no messages in flight).
+package netrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/wire"
+)
+
+// ErrTimeout is returned when the deadline expires before a terminal state.
+var ErrTimeout = errors.New("netrun: run timed out")
+
+// Options configures a run.
+type Options struct {
+	// Timeout bounds the wall-clock run; 0 means 30s.
+	Timeout time.Duration
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Solved reports whether the hub observed a solution snapshot.
+	Solved bool
+	// Insoluble reports that some agent derived the empty nogood.
+	Insoluble bool
+	// Quiescent reports that no messages were left in flight.
+	Quiescent bool
+	// Assignment is the last (or solving) snapshot.
+	Assignment csp.SliceAssignment
+	// Messages counts routed algorithm messages (control frames excluded).
+	Messages int64
+	// Duration is the wall-clock run time.
+	Duration time.Duration
+}
+
+// control frame types, alongside the wire message types.
+const (
+	ctlHello = "ctl.hello"
+	ctlState = "ctl.state"
+	ctlStop  = "ctl.stop"
+)
+
+// frame is the union of wire envelopes and control frames exchanged on the
+// sockets. Control fields piggyback on the envelope struct shape.
+type frame struct {
+	wire.Envelope
+	Insoluble bool `json:"insoluble,omitempty"`
+	Processed int  `json:"processed,omitempty"`
+
+	// src is the connection the frame arrived on; set by the hub's read
+	// loops, never serialized. The single-threaded route loop uses it to
+	// register connections on hello frames.
+	src *nodeConn `json:"-"`
+}
+
+// Run executes one agent node per problem variable against a loopback TCP
+// hub. makeAgent builds the algorithm-specific agent per variable.
+func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options) (Result, error) {
+	n := problem.NumVars()
+	if n == 0 {
+		return Result{Solved: true, Assignment: csp.SliceAssignment{}}, nil
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, fmt.Errorf("netrun: listen: %w", err)
+	}
+	defer ln.Close()
+
+	hub := &hub{
+		problem: problem,
+		values:  csp.NewSliceAssignment(n),
+		conns:   make([]*nodeConn, n),
+		frames:  make(chan frame, n),
+		stop:    make(chan struct{}),
+	}
+
+	// Start the nodes; each dials the hub and runs its agent.
+	var nodeWG sync.WaitGroup
+	nodeErrs := make(chan error, n)
+	for v := 0; v < n; v++ {
+		nodeWG.Add(1)
+		go func(v int) {
+			defer nodeWG.Done()
+			if err := runNode(ln.Addr().String(), csp.Var(v), makeAgent); err != nil {
+				nodeErrs <- fmt.Errorf("node %d: %w", v, err)
+			}
+		}(v)
+	}
+
+	// Accept exactly n connections and attach reader goroutines.
+	var readWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			close(hub.stop)
+			nodeWG.Wait()
+			return Result{}, fmt.Errorf("netrun: accept: %w", err)
+		}
+		nc := &nodeConn{conn: conn, w: bufio.NewWriter(conn)}
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			hub.readLoop(nc)
+		}()
+	}
+
+	start := time.Now()
+	res := hub.route(timeout)
+	res.Duration = time.Since(start)
+
+	// Shut down: tell every registered node to stop, then close sockets.
+	hub.broadcastStop()
+	for _, nc := range hub.conns {
+		if nc != nil {
+			nc.conn.Close()
+		}
+	}
+	nodeWG.Wait()
+	readWG.Wait()
+	close(nodeErrs)
+	for err := range nodeErrs {
+		// A node error after a terminal state (connection torn down by the
+		// shutdown) is expected; report only errors of failed runs.
+		if !res.Solved && !res.Insoluble && !res.Quiescent {
+			return res, err
+		}
+	}
+	if !res.Solved && !res.Insoluble && !res.Quiescent {
+		return res, ErrTimeout
+	}
+	return res, nil
+}
+
+// nodeConn is the hub's handle on one node.
+type nodeConn struct {
+	conn net.Conn
+	mu   sync.Mutex
+	w    *bufio.Writer
+}
+
+func (nc *nodeConn) send(f frame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if _, err := nc.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return nc.w.Flush()
+}
+
+// hub routes frames and watches for termination.
+type hub struct {
+	problem  *csp.Problem
+	values   csp.SliceAssignment
+	conns    []*nodeConn
+	pending  map[int][]frame
+	frames   chan frame
+	stop     chan struct{}
+	inFlight int64
+	messages int64
+}
+
+// readLoop decodes frames from one connection into the hub channel. All
+// frames — including hello — go through the channel so that connection
+// registration happens on the single-threaded route loop.
+func (h *hub) readLoop(nc *nodeConn) {
+	sc := bufio.NewScanner(nc.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var f frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return // node-side close or corruption: drop the connection
+		}
+		f.src = nc
+		select {
+		case h.frames <- f:
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// route is the hub's single-threaded event loop.
+func (h *hub) route(timeout time.Duration) Result {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	// Quiescence cannot be declared from in-flight counting alone until
+	// every node has reported in at least once.
+	reported := make(map[int]bool, len(h.values))
+	for {
+		// Quiescence: all nodes live, nothing in flight, nothing queued.
+		if len(reported) == len(h.values) && h.inFlight == 0 && len(h.frames) == 0 {
+			select {
+			case f := <-h.frames:
+				if done, res := h.handle(f, reported); done {
+					return res
+				}
+				continue
+			case <-time.After(10 * time.Millisecond):
+				if h.inFlight == 0 {
+					return Result{Quiescent: true, Assignment: h.snapshot(), Messages: h.messages}
+				}
+				continue
+			case <-deadline.C:
+				return Result{Assignment: h.snapshot(), Messages: h.messages}
+			}
+		}
+		select {
+		case f := <-h.frames:
+			if done, res := h.handle(f, reported); done {
+				return res
+			}
+		case <-deadline.C:
+			return Result{Assignment: h.snapshot(), Messages: h.messages}
+		}
+	}
+}
+
+// handle processes one frame; done reports a terminal state.
+func (h *hub) handle(f frame, reported map[int]bool) (bool, Result) {
+	if f.Type == ctlHello {
+		if f.From >= 0 && f.From < len(h.conns) {
+			h.conns[f.From] = f.src
+			// Flush messages that arrived before this node registered.
+			for _, queued := range h.pending[f.From] {
+				_ = f.src.send(queued)
+			}
+			delete(h.pending, f.From)
+		}
+		return false, Result{}
+	}
+	if f.Type == ctlState {
+		reported[f.From] = true
+		if f.From >= 0 && f.From < len(h.values) {
+			h.values[f.From] = csp.Value(f.Value)
+		}
+		h.inFlight -= int64(f.Processed)
+		if f.Insoluble {
+			return true, Result{Insoluble: true, Assignment: h.snapshot(), Messages: h.messages}
+		}
+		if h.problem.IsSolution(h.values) {
+			return true, Result{Solved: true, Assignment: h.snapshot(), Messages: h.messages}
+		}
+		return false, Result{}
+	}
+	// Algorithm message: forward to its destination, queueing it when the
+	// destination has not said hello yet.
+	h.messages++
+	h.inFlight++
+	if f.To < 0 || f.To >= len(h.conns) {
+		return false, Result{}
+	}
+	if h.conns[f.To] == nil {
+		if h.pending == nil {
+			h.pending = make(map[int][]frame)
+		}
+		h.pending[f.To] = append(h.pending[f.To], f)
+		return false, Result{}
+	}
+	// A send failure means the node is gone; the run will end by timeout,
+	// which is the honest outcome.
+	_ = h.conns[f.To].send(f)
+	return false, Result{}
+}
+
+func (h *hub) snapshot() csp.SliceAssignment {
+	cp := csp.NewSliceAssignment(len(h.values))
+	copy(cp, h.values)
+	return cp
+}
+
+func (h *hub) broadcastStop() {
+	close(h.stop)
+	for _, nc := range h.conns {
+		if nc != nil {
+			_ = nc.send(frame{Envelope: wire.Envelope{Type: ctlStop}})
+		}
+	}
+}
+
+// runNode dials the hub and runs one agent against the socket.
+func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	agent := makeAgent(v)
+	if int(agent.ID()) != int(v) {
+		return fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
+	}
+	w := bufio.NewWriter(conn)
+	writeFrame := func(f frame) error {
+		b, err := json.Marshal(f)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	sendOut := func(out []sim.Message, processed int) error {
+		for _, m := range out {
+			env, err := wire.Encode(m)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(frame{Envelope: env}); err != nil {
+				return err
+			}
+		}
+		state := frame{
+			Envelope:  wire.Envelope{Type: ctlState, From: int(v), Value: int(agent.CurrentValue())},
+			Processed: processed,
+		}
+		if r, ok := agent.(sim.InsolubleReporter); ok && r.Insoluble() {
+			state.Insoluble = true
+		}
+		return writeFrame(state)
+	}
+
+	if err := writeFrame(frame{Envelope: wire.Envelope{Type: ctlHello, From: int(v)}}); err != nil {
+		return err
+	}
+	if err := sendOut(agent.Init(), 0); err != nil {
+		return err
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var f frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return fmt.Errorf("decode: %w", err)
+		}
+		if f.Type == ctlStop {
+			return nil
+		}
+		msg, err := wire.Decode(f.Envelope)
+		if err != nil {
+			return err
+		}
+		out := agent.Step([]sim.Message{msg})
+		if err := sendOut(out, 1); err != nil {
+			return err
+		}
+	}
+	// EOF without ctl.stop: the hub tore the socket down at shutdown.
+	return nil
+}

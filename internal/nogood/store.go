@@ -1,0 +1,172 @@
+// Package nogood provides the nogood store used by the learning algorithms:
+// a deduplicated, insertion-ordered collection of nogoods with explicit
+// check accounting.
+//
+// The paper's computational cost measure is the "nogood check": one
+// evaluation of one nogood against an assignment (Section 4, the maxcck
+// metric is built from per-cycle maxima of this count). Every evaluation
+// path in this repository that models agent computation is therefore routed
+// through a Counter so the cost accounting is total and auditable.
+package nogood
+
+import (
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// Counter accumulates nogood checks. Agents own one Counter each; the
+// simulator snapshots totals around each cycle to compute per-cycle maxima.
+// The zero value is ready to use.
+type Counter struct {
+	total int64
+}
+
+// Add charges n checks.
+func (c *Counter) Add(n int) { c.total += int64(n) }
+
+// Total returns the number of checks charged so far.
+func (c *Counter) Total() int64 { return c.total }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.total = 0 }
+
+// Check evaluates ng against a, charging one check to c. This is the single
+// costed evaluation primitive; algorithm code must use it (rather than
+// calling Nogood.Violated directly) whenever the evaluation models agent
+// computation. A nil counter performs the evaluation without accounting.
+func Check(ng csp.Nogood, a csp.Assignment, c *Counter) bool {
+	if c != nil {
+		c.total++
+	}
+	return ng.Violated(a)
+}
+
+// Store is a deduplicated set of nogoods preserving insertion order. An AWC
+// agent keeps one Store holding its initial constraints followed by every
+// learned nogood it has recorded. The zero value is not usable; construct
+// with New.
+type Store struct {
+	nogoods []csp.Nogood
+	index   map[string]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{index: make(map[string]int)}
+}
+
+// NewFromSlice returns a store seeded with ngs (duplicates collapse).
+func NewFromSlice(ngs []csp.Nogood) *Store {
+	s := &Store{
+		nogoods: make([]csp.Nogood, 0, len(ngs)),
+		index:   make(map[string]int, len(ngs)),
+	}
+	for _, ng := range ngs {
+		s.Add(ng)
+	}
+	return s
+}
+
+// Add records ng unless an identical nogood is already present. It reports
+// whether the nogood was newly added.
+func (s *Store) Add(ng csp.Nogood) bool {
+	key := ng.Key()
+	if _, ok := s.index[key]; ok {
+		return false
+	}
+	s.index[key] = len(s.nogoods)
+	s.nogoods = append(s.nogoods, ng)
+	return true
+}
+
+// Contains reports whether an identical nogood is present.
+func (s *Store) Contains(ng csp.Nogood) bool {
+	_, ok := s.index[ng.Key()]
+	return ok
+}
+
+// Len returns the number of stored nogoods.
+func (s *Store) Len() int { return len(s.nogoods) }
+
+// At returns the i-th nogood in insertion order.
+func (s *Store) At(i int) csp.Nogood { return s.nogoods[i] }
+
+// All returns the underlying slice. Callers must treat it as read-only; it
+// is exposed without copying because the AWC hot loop iterates it every
+// cycle and nogoods are immutable.
+func (s *Store) All() []csp.Nogood { return s.nogoods }
+
+// AddPruning inserts ng and discards stored strict supersets of it. It
+// returns whether ng was added (false only for an exact duplicate) and how
+// many stored nogoods were removed.
+//
+// Dropping a superset is sound: any assignment violating the superset also
+// violates its subset, so the store keeps prohibiting at least the same
+// assignments with fewer checks per scan. This implements the optimization
+// the paper's Section 4.2 observation invites ("a large nogood is likely to
+// become redundant after a smaller nogood is discovered. ... such redundant
+// nogoods increase maxcck"); each subset test costs one check on c, the
+// same unit as an evaluation, so the bookkeeping cost stays visible in the
+// metric (see BenchmarkAblationSubsumption).
+//
+// Deliberately NOT pruned: a new nogood that is itself subsumed by a
+// recorded one. Rejecting those looks sound — the recipient already knows
+// something stronger — but it removes the store growth AWC's progress
+// argument rests on: a system state that regenerates the same rejected
+// nogoods repeats verbatim, and runs livelock in priority-escalation
+// cycles (observed on the single-solution family before this was fixed).
+func (s *Store) AddPruning(ng csp.Nogood, c *Counter) (added bool, removed int) {
+	if _, dup := s.index[ng.Key()]; dup {
+		return false, 0
+	}
+	// keep aliases the front of s.nogoods: it only ever writes at or before
+	// the scan position, so the unscanned tail stays intact.
+	keep := s.nogoods[:0]
+	for i := 0; i < len(s.nogoods); i++ {
+		stored := s.nogoods[i]
+		if c != nil {
+			c.total++
+		}
+		if ng.SubsetOf(stored) {
+			removed++
+			continue
+		}
+		keep = append(keep, stored)
+	}
+	s.nogoods = append(keep, ng)
+	s.reindex()
+	return true, removed
+}
+
+// reindex rebuilds the key index after pruning.
+func (s *Store) reindex() {
+	for k := range s.index {
+		delete(s.index, k)
+	}
+	for i, ng := range s.nogoods {
+		s.index[ng.Key()] = i
+	}
+}
+
+// AnyViolated reports whether any stored nogood is violated under a,
+// charging one check per evaluated nogood (short-circuiting on the first
+// violation, as an agent implementation would).
+func (s *Store) AnyViolated(a csp.Assignment, c *Counter) bool {
+	for _, ng := range s.nogoods {
+		if Check(ng, a, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountViolated returns how many stored nogoods are violated under a,
+// charging one check each.
+func (s *Store) CountViolated(a csp.Assignment, c *Counter) int {
+	count := 0
+	for _, ng := range s.nogoods {
+		if Check(ng, a, c) {
+			count++
+		}
+	}
+	return count
+}

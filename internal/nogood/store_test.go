@@ -1,0 +1,238 @@
+package nogood
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+func lit(v csp.Var, val csp.Value) csp.Lit { return csp.Lit{Var: v, Val: val} }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Total() != 0 {
+		t.Fatalf("fresh counter total = %d", c.Total())
+	}
+	c.Add(3)
+	c.Add(2)
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Errorf("Total after Reset = %d", c.Total())
+	}
+}
+
+func TestCheckChargesOne(t *testing.T) {
+	var c Counter
+	ng := csp.MustNogood(lit(0, 1))
+	a := csp.NewMapAssignment(lit(0, 1))
+	if !Check(ng, a, &c) {
+		t.Errorf("Check = false, want violated")
+	}
+	if c.Total() != 1 {
+		t.Errorf("one Check charged %d", c.Total())
+	}
+	// nil counter: no accounting, still evaluates.
+	if !Check(ng, a, nil) {
+		t.Errorf("Check with nil counter mis-evaluated")
+	}
+}
+
+func TestStoreAddDeduplicates(t *testing.T) {
+	s := New()
+	ng := csp.MustNogood(lit(0, 1), lit(1, 2))
+	if !s.Add(ng) {
+		t.Fatalf("first Add returned false")
+	}
+	if s.Add(csp.MustNogood(lit(1, 2), lit(0, 1))) {
+		t.Errorf("duplicate (reordered) Add returned true")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if !s.Contains(ng) {
+		t.Errorf("Contains = false")
+	}
+	if !s.At(0).Equal(ng) {
+		t.Errorf("At(0) = %v", s.At(0))
+	}
+}
+
+func TestStorePreservesInsertionOrder(t *testing.T) {
+	s := New()
+	ngs := []csp.Nogood{
+		csp.MustNogood(lit(3, 0)),
+		csp.MustNogood(lit(1, 1)),
+		csp.MustNogood(lit(2, 2)),
+	}
+	for _, ng := range ngs {
+		s.Add(ng)
+	}
+	for i, ng := range ngs {
+		if !s.All()[i].Equal(ng) {
+			t.Errorf("All()[%d] = %v, want %v", i, s.All()[i], ng)
+		}
+	}
+}
+
+func TestNewFromSlice(t *testing.T) {
+	ng := csp.MustNogood(lit(0, 0))
+	s := NewFromSlice([]csp.Nogood{ng, ng, csp.MustNogood(lit(1, 1))})
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (duplicates collapse)", s.Len())
+	}
+}
+
+func TestAnyViolatedShortCircuits(t *testing.T) {
+	s := New()
+	s.Add(csp.MustNogood(lit(0, 0))) // violated
+	s.Add(csp.MustNogood(lit(1, 0))) // would also be violated
+	a := csp.SliceAssignment{0, 0}
+	var c Counter
+	if !s.AnyViolated(a, &c) {
+		t.Fatalf("AnyViolated = false")
+	}
+	if c.Total() != 1 {
+		t.Errorf("short-circuit charged %d checks, want 1", c.Total())
+	}
+}
+
+func TestCountViolated(t *testing.T) {
+	s := New()
+	s.Add(csp.MustNogood(lit(0, 0)))
+	s.Add(csp.MustNogood(lit(1, 1)))
+	s.Add(csp.MustNogood(lit(0, 0), lit(1, 0)))
+	a := csp.SliceAssignment{0, 0}
+	var c Counter
+	if got := s.CountViolated(a, &c); got != 2 {
+		t.Errorf("CountViolated = %d, want 2", got)
+	}
+	if c.Total() != 3 {
+		t.Errorf("full scan charged %d checks, want 3", c.Total())
+	}
+}
+
+// TestStoreRandomized cross-checks Store against a map-based model.
+func TestStoreRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New()
+	model := make(map[string]csp.Nogood)
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(4)
+		lits := make([]csp.Lit, 0, n)
+		seen := make(map[csp.Var]bool, n)
+		for len(lits) < n {
+			v := csp.Var(rng.Intn(5))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, lit(v, csp.Value(rng.Intn(3))))
+		}
+		ng := csp.MustNogood(lits...)
+		_, dup := model[ng.Key()]
+		if added := s.Add(ng); added == dup {
+			t.Fatalf("Add(%v) = %v, model dup = %v", ng, added, dup)
+		}
+		model[ng.Key()] = ng
+		if s.Len() != len(model) {
+			t.Fatalf("Len = %d, model = %d", s.Len(), len(model))
+		}
+	}
+}
+
+func TestAddPruningKeepsSubsumedInserts(t *testing.T) {
+	// A new nogood subsumed by a recorded one is still added: rejecting it
+	// would stall AWC's progress (see the AddPruning doc comment).
+	s := New()
+	small := csp.MustNogood(lit(0, 1))
+	big := csp.MustNogood(lit(0, 1), lit(1, 2))
+	var c Counter
+	if added, _ := s.AddPruning(small, &c); !added {
+		t.Fatalf("first insert rejected")
+	}
+	if added, removed := s.AddPruning(big, &c); !added || removed != 0 {
+		t.Fatalf("subsumed insert: added=%v removed=%d, want true,0", added, removed)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if c.Total() == 0 {
+		t.Errorf("subset tests not charged")
+	}
+}
+
+func TestAddPruningDiscardsSupersets(t *testing.T) {
+	s := New()
+	s.Add(csp.MustNogood(lit(0, 1), lit(1, 2)))
+	s.Add(csp.MustNogood(lit(0, 1), lit(2, 0)))
+	s.Add(csp.MustNogood(lit(3, 0)))
+	added, removed := s.AddPruning(csp.MustNogood(lit(0, 1)), nil)
+	if !added || removed != 2 {
+		t.Fatalf("added=%v removed=%d, want true,2", added, removed)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// The survivors: the unrelated nogood and the new subsumer.
+	if !s.Contains(csp.MustNogood(lit(3, 0))) || !s.Contains(csp.MustNogood(lit(0, 1))) {
+		t.Errorf("wrong survivors: %v", s.All())
+	}
+	// The index stays consistent after pruning.
+	if s.Add(csp.MustNogood(lit(3, 0))) {
+		t.Errorf("duplicate accepted after reindex")
+	}
+}
+
+func TestAddPruningDuplicate(t *testing.T) {
+	s := New()
+	ng := csp.MustNogood(lit(0, 1))
+	s.Add(ng)
+	if added, removed := s.AddPruning(ng, nil); added || removed != 0 {
+		t.Errorf("duplicate AddPruning: %v %d", added, removed)
+	}
+}
+
+// TestAddPruningPreservesProhibitions: pruning must never change which
+// assignments the store prohibits.
+func TestAddPruningPreservesProhibitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const vars, vals = 4, 2
+	for trial := 0; trial < 200; trial++ {
+		plain := New()
+		pruned := New()
+		for i := 0; i < 12; i++ {
+			n := 1 + rng.Intn(3)
+			lits := make([]csp.Lit, 0, n)
+			seen := map[csp.Var]bool{}
+			for len(lits) < n {
+				v := csp.Var(rng.Intn(vars))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				lits = append(lits, lit(v, csp.Value(rng.Intn(vals))))
+			}
+			ng := csp.MustNogood(lits...)
+			plain.Add(ng)
+			pruned.AddPruning(ng, nil)
+		}
+		// Exhaustively compare violation behaviour.
+		assign := make(csp.SliceAssignment, vars)
+		for code := 0; code < 1<<vars; code++ {
+			for v := 0; v < vars; v++ {
+				assign[v] = csp.Value(code >> v & 1)
+			}
+			if plain.AnyViolated(assign, nil) != pruned.AnyViolated(assign, nil) {
+				t.Fatalf("trial %d: prohibition changed at %v\nplain: %v\npruned: %v",
+					trial, assign, plain.All(), pruned.All())
+			}
+		}
+		if pruned.Len() > plain.Len() {
+			t.Fatalf("trial %d: pruned store larger", trial)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package sat is a small complete SAT solver used as a verification
+// substrate: the generator tests use it to prove that generated instances
+// are satisfiable and that 3ONESAT-GEN instances have exactly one solution,
+// and the CLI uses it as a centralized baseline.
+//
+// The solver is a recursive DPLL with unit propagation and a
+// most-occurrences branching heuristic — deliberately simple, stdlib-only,
+// and fast enough for the paper's instance sizes (n ≤ 200, m ≤ 4.3n).
+package sat
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// value is a three-state assignment entry.
+type value int8
+
+const (
+	unassigned value = iota
+	vFalse
+	vTrue
+)
+
+// Solver holds one formula. Construct with New; a Solver may be reused for
+// multiple queries (each query restarts from an empty assignment).
+type Solver struct {
+	numVars int
+	clauses [][]int
+	// occur[v] lists clause indices containing variable v+1 (either sign).
+	occur [][]int
+
+	assign []value
+	trail  []int
+	stats  Stats
+}
+
+// Stats counts solver work for tests and tuning.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+}
+
+// New builds a solver for the formula. Empty clauses are legal and make the
+// formula trivially unsatisfiable.
+func New(cnf *csp.CNF) (*Solver, error) {
+	s := &Solver{
+		numVars: cnf.NumVars,
+		clauses: make([][]int, len(cnf.Clauses)),
+		occur:   make([][]int, cnf.NumVars),
+		assign:  make([]value, cnf.NumVars),
+	}
+	for i, cl := range cnf.Clauses {
+		cp := make([]int, len(cl))
+		copy(cp, cl)
+		s.clauses[i] = cp
+		for _, lit := range cl {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > cnf.NumVars {
+				return nil, fmt.Errorf("sat: literal %d out of range 1..%d", lit, cnf.NumVars)
+			}
+			s.occur[v-1] = append(s.occur[v-1], i)
+		}
+	}
+	return s, nil
+}
+
+// Stats returns cumulative work counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Solve reports satisfiability; when satisfiable, the returned slice maps
+// variable i (0-based) to its value.
+func (s *Solver) Solve() ([]bool, bool) {
+	models := s.Enumerate(1)
+	if len(models) == 0 {
+		return nil, false
+	}
+	return models[0], true
+}
+
+// Enumerate returns up to limit satisfying assignments. Enumerate(2) is the
+// uniqueness test used by the 3ONESAT-GEN verifier: exactly one model in the
+// result means exactly one solution exists.
+func (s *Solver) Enumerate(limit int) [][]bool {
+	if limit <= 0 {
+		return nil
+	}
+	for i := range s.assign {
+		s.assign[i] = unassigned
+	}
+	s.trail = s.trail[:0]
+	var models [][]bool
+	s.search(limit, &models)
+	return models
+}
+
+// search extends the current partial assignment; it appends up to
+// limit-len(*models) models and returns when the subtree is exhausted or the
+// limit is reached.
+func (s *Solver) search(limit int, models *[][]bool) {
+	mark := len(s.trail)
+	if !s.propagate() {
+		s.undoTo(mark)
+		return
+	}
+	v := s.pickBranchVar()
+	if v < 0 {
+		// All variables assigned: a model. Free variables cannot exist
+		// here because pickBranchVar found none.
+		model := make([]bool, s.numVars)
+		for i, a := range s.assign {
+			model[i] = a == vTrue
+		}
+		*models = append(*models, model)
+		s.undoTo(mark)
+		return
+	}
+	s.stats.Decisions++
+	for _, val := range [2]value{vTrue, vFalse} {
+		sub := len(s.trail)
+		s.set(v, val)
+		s.search(limit, models)
+		s.undoTo(sub)
+		if len(*models) >= limit {
+			break
+		}
+	}
+	s.undoTo(mark)
+}
+
+// propagate runs unit propagation to fixpoint. It returns false on conflict
+// (some clause has every literal false).
+func (s *Solver) propagate() bool {
+	for {
+		progress := false
+		for ci, cl := range s.clauses {
+			sat, unassignedLit, unassignedCount := s.inspect(cl)
+			if sat {
+				continue
+			}
+			switch unassignedCount {
+			case 0:
+				s.stats.Conflicts++
+				_ = ci
+				return false
+			case 1:
+				s.stats.Propagations++
+				if unassignedLit > 0 {
+					s.set(unassignedLit-1, vTrue)
+				} else {
+					s.set(-unassignedLit-1, vFalse)
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return true
+		}
+	}
+}
+
+// inspect scans a clause: whether it is satisfied, and otherwise one
+// unassigned literal and the count of unassigned literals.
+func (s *Solver) inspect(cl []int) (sat bool, unassignedLit, unassignedCount int) {
+	for _, lit := range cl {
+		v := lit
+		if v < 0 {
+			v = -v
+		}
+		switch s.assign[v-1] {
+		case unassigned:
+			unassignedLit = lit
+			unassignedCount++
+		case vTrue:
+			if lit > 0 {
+				return true, 0, 0
+			}
+		case vFalse:
+			if lit < 0 {
+				return true, 0, 0
+			}
+		}
+	}
+	return false, unassignedLit, unassignedCount
+}
+
+// pickBranchVar chooses the unassigned variable occurring in the most
+// clauses that are not yet satisfied; -1 when every variable is assigned.
+func (s *Solver) pickBranchVar() int {
+	best, bestScore := -1, -1
+	for v := 0; v < s.numVars; v++ {
+		if s.assign[v] != unassigned {
+			continue
+		}
+		score := 0
+		for _, ci := range s.occur[v] {
+			if sat, _, _ := s.inspect(s.clauses[ci]); !sat {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}
+
+func (s *Solver) set(v int, val value) {
+	s.assign[v] = val
+	s.trail = append(s.trail, v)
+}
+
+func (s *Solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[v] = unassigned
+	}
+}
+
+// Verify reports whether model satisfies the formula; used by tests to
+// cross-check solver output independently of the search.
+func Verify(cnf *csp.CNF, model []bool) bool {
+	if len(model) < cnf.NumVars {
+		return false
+	}
+	for _, cl := range cnf.Clauses {
+		sat := false
+		for _, lit := range cl {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if (lit > 0) == model[v-1] {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}

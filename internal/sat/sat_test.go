@@ -1,0 +1,176 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+func mustSolver(t *testing.T, cnf *csp.CNF) *Solver {
+	t.Helper()
+	s, err := New(cnf)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSolveTrivial(t *testing.T) {
+	// (x1) ∧ (¬x2)
+	cnf := &csp.CNF{NumVars: 2, Clauses: [][]int{{1}, {-2}}}
+	model, ok := mustSolver(t, cnf).Solve()
+	if !ok {
+		t.Fatalf("unsat")
+	}
+	if !model[0] || model[1] {
+		t.Errorf("model = %v, want [true false]", model)
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	// (x1) ∧ (¬x1)
+	cnf := &csp.CNF{NumVars: 1, Clauses: [][]int{{1}, {-1}}}
+	if _, ok := mustSolver(t, cnf).Solve(); ok {
+		t.Fatalf("sat on contradiction")
+	}
+}
+
+func TestSolveEmptyClause(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 1, Clauses: [][]int{{}}}
+	if _, ok := mustSolver(t, cnf).Solve(); ok {
+		t.Fatalf("sat with empty clause")
+	}
+}
+
+func TestSolveNoClauses(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 3, Clauses: nil}
+	model, ok := mustSolver(t, cnf).Solve()
+	if !ok || len(model) != 3 {
+		t.Fatalf("empty formula: ok=%v model=%v", ok, model)
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New(&csp.CNF{NumVars: 2, Clauses: [][]int{{3}}}); err == nil {
+		t.Fatal("accepted literal out of range")
+	}
+	if _, err := New(&csp.CNF{NumVars: 2, Clauses: [][]int{{0}}}); err == nil {
+		t.Fatal("accepted zero literal")
+	}
+}
+
+func TestEnumerateCountsModels(t *testing.T) {
+	// (x1 ∨ x2): 3 models.
+	cnf := &csp.CNF{NumVars: 2, Clauses: [][]int{{1, 2}}}
+	models := mustSolver(t, cnf).Enumerate(10)
+	if len(models) != 3 {
+		t.Fatalf("got %d models, want 3", len(models))
+	}
+	seen := make(map[[2]bool]bool)
+	for _, m := range models {
+		key := [2]bool{m[0], m[1]}
+		if seen[key] {
+			t.Fatalf("duplicate model %v", m)
+		}
+		seen[key] = true
+		if !Verify(cnf, m) {
+			t.Fatalf("model %v does not verify", m)
+		}
+	}
+	if seen[[2]bool{false, false}] {
+		t.Fatalf("enumerated the falsifying assignment")
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 4, Clauses: [][]int{{1, 2, 3, 4}}}
+	if got := len(mustSolver(t, cnf).Enumerate(2)); got != 2 {
+		t.Fatalf("limit 2 returned %d", got)
+	}
+	if got := len(mustSolver(t, cnf).Enumerate(0)); got != 0 {
+		t.Fatalf("limit 0 returned %d", got)
+	}
+}
+
+func TestSolverReusable(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 2, Clauses: [][]int{{1, 2}}}
+	s := mustSolver(t, cnf)
+	first := len(s.Enumerate(10))
+	second := len(s.Enumerate(10))
+	if first != second {
+		t.Fatalf("reuse changed result: %d vs %d", first, second)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 2, Clauses: [][]int{{1, -2}}}
+	if !Verify(cnf, []bool{true, true}) {
+		t.Errorf("satisfying model rejected")
+	}
+	if Verify(cnf, []bool{false, true}) {
+		t.Errorf("falsifying model accepted")
+	}
+	if Verify(cnf, []bool{true}) {
+		t.Errorf("short model accepted")
+	}
+}
+
+// TestAgainstBruteForce cross-checks Solve and Enumerate against exhaustive
+// enumeration on random small formulas.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(7)
+		m := rng.Intn(12)
+		cnf := &csp.CNF{NumVars: n}
+		for i := 0; i < m; i++ {
+			size := 1 + rng.Intn(3)
+			cl := make([]int, 0, size)
+			for j := 0; j < size; j++ {
+				lit := 1 + rng.Intn(n)
+				if rng.Intn(2) == 1 {
+					lit = -lit
+				}
+				cl = append(cl, lit)
+			}
+			cnf.Clauses = append(cnf.Clauses, cl)
+		}
+		wantCount := 0
+		for bits := 0; bits < 1<<n; bits++ {
+			model := make([]bool, n)
+			for v := 0; v < n; v++ {
+				model[v] = bits>>v&1 == 1
+			}
+			if Verify(cnf, model) {
+				wantCount++
+			}
+		}
+		s := mustSolver(t, cnf)
+		models := s.Enumerate(1 << n)
+		if len(models) != wantCount {
+			t.Fatalf("trial %d: enumerate found %d models, brute force %d (cnf=%v)",
+				trial, len(models), wantCount, cnf.Clauses)
+		}
+		for _, m := range models {
+			if !Verify(cnf, m) {
+				t.Fatalf("trial %d: bogus model %v", trial, m)
+			}
+		}
+		if _, ok := s.Solve(); ok != (wantCount > 0) {
+			t.Fatalf("trial %d: Solve=%v, want %v", trial, ok, wantCount > 0)
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	cnf := &csp.CNF{NumVars: 3, Clauses: [][]int{{1, 2, 3}, {-1, -2}, {-2, -3}, {2, 3}}}
+	s := mustSolver(t, cnf)
+	if _, ok := s.Solve(); !ok {
+		t.Fatalf("unsat")
+	}
+	st := s.Stats()
+	if st.Decisions == 0 && st.Propagations == 0 {
+		t.Errorf("no work recorded: %+v", st)
+	}
+}

@@ -1,0 +1,297 @@
+// Package sim implements the synchronous distributed-system simulator the
+// paper runs its experiments on (Section 4): all agents repeatedly execute
+// cycles in lockstep, where one cycle consists of reading the messages that
+// arrived since the previous cycle, doing local computation, and sending
+// messages that will be delivered at the start of the next cycle.
+//
+// The simulator measures the paper's two costs:
+//
+//   - cycle: cycles consumed until the global assignment first becomes a
+//     solution (communication cost);
+//   - maxcck: the sum over cycles of the maximum number of nogood checks any
+//     single agent performed in that cycle (computation cost under ideal
+//     parallelism).
+//
+// Solution detection is done out-of-band by the simulator (the distributed
+// algorithms themselves do not detect global termination); it is not charged
+// to any agent.
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// AgentID identifies an agent. In the one-variable-per-agent setting agent i
+// owns variable i, so AgentID values coincide with csp.Var values.
+type AgentID int
+
+// Message is one unit of communication between agents. Concrete message
+// types are defined by each algorithm package (ok?, nogood, request for AWC;
+// ok?, improve for DB).
+type Message interface {
+	// From is the sending agent.
+	From() AgentID
+	// To is the receiving agent.
+	To() AgentID
+}
+
+// Agent is a participant in a synchronous run. Implementations must be
+// deterministic: the same message batches in the same order must produce the
+// same outputs, so that a run is reproducible from its seed.
+type Agent interface {
+	// ID returns the agent's identifier.
+	ID() AgentID
+	// Init performs the agent's startup step (initial value selection) and
+	// returns its first outgoing messages. Called once, before cycle 1.
+	Init() []Message
+	// Step processes the batch of messages delivered this cycle and returns
+	// outgoing messages. The batch is sorted by (sender, arrival order) and
+	// may be empty for agents that received nothing.
+	Step(in []Message) []Message
+	// CurrentValue returns the agent's current variable value, for the
+	// simulator's out-of-band solution check.
+	CurrentValue() csp.Value
+	// Checks returns the cumulative number of nogood checks this agent has
+	// performed. The simulator differences this around each cycle.
+	Checks() int64
+}
+
+// InsolubleReporter is implemented by agents of complete algorithms that can
+// derive global insolubility (the empty nogood). The simulator polls it
+// after every cycle and stops the run when any agent reports true.
+type InsolubleReporter interface {
+	Insoluble() bool
+}
+
+// DefaultMaxCycles is the paper's cutoff: trials are stopped after 10000
+// cycles and their at-cutoff measurements are used (Section 4).
+const DefaultMaxCycles = 10000
+
+// Options configures a run.
+type Options struct {
+	// MaxCycles is the cutoff; 0 means DefaultMaxCycles.
+	MaxCycles int
+	// Trace, when non-nil, receives one event per cycle after delivery and
+	// computation. Intended for debugging and the dcspsolve -v flag.
+	Trace func(ev CycleEvent)
+}
+
+// CycleEvent describes one completed cycle for tracing.
+type CycleEvent struct {
+	Cycle         int
+	MessagesIn    int
+	MessagesOut   int
+	MaxChecks     int64
+	SolutionFound bool
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Solved reports whether a solution was reached within the cutoff.
+	Solved bool
+	// Cycles is the number of cycles consumed; at cutoff it equals the
+	// cutoff value, mirroring the paper's "use the data at that time".
+	Cycles int
+	// MaxCCK is the maxcck metric: Σ_cycle max_agent checks(agent, cycle).
+	MaxCCK int64
+	// TotalChecks is Σ_agent checks(agent) over the whole run; not a paper
+	// metric but useful for ablation analysis.
+	TotalChecks int64
+	// Messages is the total number of messages delivered.
+	Messages int
+	// MessagesByType breaks deliveries down by concrete message type name
+	// (e.g. "core.Ok", "core.NogoodMsg") — the communication-cost profile.
+	MessagesByType map[string]int
+	// Insoluble reports that some agent derived the empty nogood, proving
+	// no solution exists.
+	Insoluble bool
+	// Assignment is the final global assignment (the solution when Solved).
+	Assignment csp.SliceAssignment
+}
+
+// Run executes agents against problem until a solution appears or the cutoff
+// is hit. Agents must be in one-to-one correspondence with the problem's
+// variables (agent i owns variable i); Run returns an error otherwise. For
+// agents owning several variables (internal/multi), use RunAgents with a
+// custom solved predicate.
+func Run(problem *csp.Problem, agents []Agent, opts Options) (Result, error) {
+	if len(agents) != problem.NumVars() {
+		return Result{}, fmt.Errorf("sim: %d agents for %d variables", len(agents), problem.NumVars())
+	}
+	assignment := csp.NewSliceAssignment(problem.NumVars())
+	res, err := RunAgents(agents, opts, func() bool {
+		snapshot(agents, assignment)
+		return problem.IsSolution(assignment)
+	})
+	res.Assignment = assignment
+	return res, err
+}
+
+// RunAgents is the algorithm-agnostic cycle loop: solved is the out-of-band
+// termination predicate, polled after startup and after every cycle. The
+// Result's Assignment is left nil; callers reconstruct global state from
+// their agents.
+func RunAgents(agents []Agent, opts Options, solved func() bool) (Result, error) {
+	for i, a := range agents {
+		if int(a.ID()) != i {
+			return Result{}, fmt.Errorf("sim: agent at index %d has id %d", i, a.ID())
+		}
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	var res Result
+	prevChecks := make([]int64, len(agents))
+
+	// Startup: every agent selects an initial value and emits its first
+	// messages. Startup is not counted as a cycle (the paper counts cycles
+	// of the message-driven loop), but its checks do count toward maxcck as
+	// a cycle-0 contribution so no computation escapes accounting.
+	inbox := make(map[AgentID][]Message)
+	var startupMax int64
+	for _, a := range agents {
+		out := a.Init()
+		route(inbox, out, len(agents))
+		if c := a.Checks(); c > startupMax {
+			startupMax = c
+		}
+	}
+	for i, a := range agents {
+		prevChecks[i] = a.Checks()
+	}
+	res.MaxCCK += startupMax
+
+	if solved() {
+		res.Solved = true
+		finalizeTotals(&res, agents)
+		return res, nil
+	}
+	if anyInsoluble(agents) {
+		res.Insoluble = true
+		finalizeTotals(&res, agents)
+		return res, nil
+	}
+
+	for cycle := 1; cycle <= maxCycles; cycle++ {
+		res.Cycles = cycle
+		next := make(map[AgentID][]Message)
+		messagesIn, messagesOut := 0, 0
+		var maxDelta int64
+		for i, a := range agents {
+			in := sortBatch(inbox[a.ID()])
+			messagesIn += len(in)
+			for _, m := range in {
+				if res.MessagesByType == nil {
+					res.MessagesByType = make(map[string]int)
+				}
+				res.MessagesByType[typeName(m)]++
+			}
+			out := a.Step(in)
+			messagesOut += len(out)
+			route(next, out, len(agents))
+			delta := a.Checks() - prevChecks[i]
+			prevChecks[i] = a.Checks()
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		res.MaxCCK += maxDelta
+		res.Messages += messagesIn
+		inbox = next
+
+		done := solved()
+		if opts.Trace != nil {
+			opts.Trace(CycleEvent{
+				Cycle:         cycle,
+				MessagesIn:    messagesIn,
+				MessagesOut:   messagesOut,
+				MaxChecks:     maxDelta,
+				SolutionFound: done,
+			})
+		}
+		if done {
+			res.Solved = true
+			break
+		}
+		if anyInsoluble(agents) {
+			res.Insoluble = true
+			break
+		}
+		// Quiescence without a solution: no messages in flight means no
+		// agent will ever act again. For a complete algorithm this only
+		// happens when insolubility was derived; stop rather than spin to
+		// the cutoff.
+		if len(inbox) == 0 {
+			break
+		}
+	}
+	finalizeTotals(&res, agents)
+	return res, nil
+}
+
+// route appends each message to its recipient's queue, validating the
+// recipient. Panics on an out-of-range recipient: that is a bug in an
+// algorithm implementation, not a runtime condition.
+func route(inbox map[AgentID][]Message, out []Message, numAgents int) {
+	for _, m := range out {
+		to := m.To()
+		if int(to) < 0 || int(to) >= numAgents {
+			panic(fmt.Sprintf("sim: message %T addressed to unknown agent %d", m, to))
+		}
+		inbox[to] = append(inbox[to], m)
+	}
+}
+
+// sortBatch orders a delivery batch by sender, preserving per-sender order.
+// Agents are stepped in ID order so batches arrive already sender-sorted;
+// the stable sort is a cheap determinism safeguard should that change.
+func sortBatch(batch []Message) []Message {
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].From() < batch[j].From() })
+	return batch
+}
+
+// typeName renders a message's concrete type as "pkg.Type" for the
+// per-kind delivery counts.
+func typeName(m Message) string {
+	t := reflect.TypeOf(m)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if pkg := t.PkgPath(); pkg != "" {
+		if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+			pkg = pkg[i+1:]
+		}
+		return pkg + "." + t.Name()
+	}
+	return t.String()
+}
+
+func anyInsoluble(agents []Agent) bool {
+	for _, a := range agents {
+		if r, ok := a.(InsolubleReporter); ok && r.Insoluble() {
+			return true
+		}
+	}
+	return false
+}
+
+func snapshot(agents []Agent, into csp.SliceAssignment) {
+	for i, a := range agents {
+		into[i] = a.CurrentValue()
+	}
+}
+
+func finalizeTotals(res *Result, agents []Agent) {
+	var total int64
+	for _, a := range agents {
+		total += a.Checks()
+	}
+	res.TotalChecks = total
+}

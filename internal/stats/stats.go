@@ -1,0 +1,127 @@
+// Package stats provides the small aggregation toolkit the experiment
+// harness uses to turn per-trial measurements into the paper's table rows
+// (means over 100 trials, percentage solved within the cutoff).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations. The zero value is ready to use.
+type Sample struct {
+	values []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 when
+// fewer than two observations exist.
+func (s *Sample) StdDev() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.values)-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// sorted copy, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Counter tracks a boolean rate (e.g. trials solved within the cutoff).
+type Counter struct {
+	hits, total int
+}
+
+// Observe records one observation.
+func (c *Counter) Observe(hit bool) {
+	c.total++
+	if hit {
+		c.hits++
+	}
+}
+
+// Percent returns 100·hits/total, or 0 when nothing was observed.
+func (c *Counter) Percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.hits) / float64(c.total)
+}
+
+// Hits returns the number of positive observations.
+func (c *Counter) Hits() int { return c.hits }
+
+// Total returns the number of observations.
+func (c *Counter) Total() int { return c.total }

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Errorf("empty sample not all-zero: n=%d mean=%v", s.N(), s.Mean())
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev with n-1 denominator: variance 32/7.
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10}, {-5, 1}, {150, 10},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	s.Add(2)
+	s.Percentile(50)
+	if s.values[0] != 3 {
+		t.Errorf("Percentile sorted the underlying sample")
+	}
+}
+
+func TestSinglesAndStdDev(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if s.StdDev() != 0 {
+		t.Errorf("StdDev of single = %v", s.StdDev())
+	}
+	if s.Median() != 42 {
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Percent() != 0 {
+		t.Errorf("empty counter percent = %v", c.Percent())
+	}
+	for i := 0; i < 3; i++ {
+		c.Observe(true)
+	}
+	c.Observe(false)
+	if c.Hits() != 3 || c.Total() != 4 {
+		t.Errorf("hits/total = %d/%d", c.Hits(), c.Total())
+	}
+	if c.Percent() != 75 {
+		t.Errorf("Percent = %v, want 75", c.Percent())
+	}
+}
+
+// Property: mean is bounded by min and max; percentiles are monotone.
+func TestSampleProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				continue // avoid float summation overflow artifacts
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := s.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

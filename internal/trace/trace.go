@@ -1,0 +1,198 @@
+// Package trace records synchronous runs as JSON-lines event streams and
+// reads them back for offline analysis. A trace captures what the paper's
+// plots are made of — per-cycle message counts and per-cycle maximum nogood
+// checks — so a single run can be inspected cycle by cycle (dcspsolve
+// -trace writes one).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Kind discriminates trace events.
+type Kind string
+
+const (
+	// KindStart opens a trace with run metadata.
+	KindStart Kind = "start"
+	// KindCycle is one simulator cycle.
+	KindCycle Kind = "cycle"
+	// KindEnd closes a trace with the run's result.
+	KindEnd Kind = "end"
+)
+
+// Event is one line of a trace. Fields are populated according to Kind.
+type Event struct {
+	Kind Kind `json:"kind"`
+
+	// Start fields.
+	Algorithm string `json:"algorithm,omitempty"`
+	Vars      int    `json:"vars,omitempty"`
+	Nogoods   int    `json:"nogoods,omitempty"`
+
+	// Cycle fields.
+	Cycle       int   `json:"cycle,omitempty"`
+	MessagesIn  int   `json:"messagesIn,omitempty"`
+	MessagesOut int   `json:"messagesOut,omitempty"`
+	MaxChecks   int64 `json:"maxChecks,omitempty"`
+
+	// End fields (SolutionFound doubles as the cycle-level flag).
+	SolutionFound bool  `json:"solutionFound,omitempty"`
+	Insoluble     bool  `json:"insoluble,omitempty"`
+	Cycles        int   `json:"cycles,omitempty"`
+	MaxCCK        int64 `json:"maxcck,omitempty"`
+	TotalChecks   int64 `json:"totalChecks,omitempty"`
+	Messages      int   `json:"messages,omitempty"`
+}
+
+// Meta describes the run being traced.
+type Meta struct {
+	Algorithm string
+	Vars      int
+	Nogoods   int
+}
+
+// Recorder streams events to a writer. Use Start, pass Hook to
+// sim.Options.Trace, then End and Flush. Write errors are sticky and
+// surfaced by Flush.
+type Recorder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewRecorder wraps w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (r *Recorder) emit(ev Event) {
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(ev)
+}
+
+// Start records run metadata; call once before the run.
+func (r *Recorder) Start(meta Meta) {
+	r.emit(Event{
+		Kind:      KindStart,
+		Algorithm: meta.Algorithm,
+		Vars:      meta.Vars,
+		Nogoods:   meta.Nogoods,
+	})
+}
+
+// Hook returns the callback to install as sim.Options.Trace.
+func (r *Recorder) Hook() func(sim.CycleEvent) {
+	return func(ev sim.CycleEvent) {
+		r.emit(Event{
+			Kind:          KindCycle,
+			Cycle:         ev.Cycle,
+			MessagesIn:    ev.MessagesIn,
+			MessagesOut:   ev.MessagesOut,
+			MaxChecks:     ev.MaxChecks,
+			SolutionFound: ev.SolutionFound,
+		})
+	}
+}
+
+// End records the run's result; call once after the run.
+func (r *Recorder) End(res sim.Result) {
+	r.emit(Event{
+		Kind:          KindEnd,
+		SolutionFound: res.Solved,
+		Insoluble:     res.Insoluble,
+		Cycles:        res.Cycles,
+		MaxCCK:        res.MaxCCK,
+		TotalChecks:   res.TotalChecks,
+		Messages:      res.Messages,
+	})
+}
+
+// Flush drains the buffer and reports the first sticky error.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.bw.Flush()
+}
+
+// ErrMalformedTrace reports a structurally invalid trace stream.
+var ErrMalformedTrace = errors.New("trace: malformed trace")
+
+// Read parses a JSONL trace.
+func Read(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	for line := 1; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrMalformedTrace, line, err)
+		}
+		switch ev.Kind {
+		case KindStart, KindCycle, KindEnd:
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown kind %q", ErrMalformedTrace, line, ev.Kind)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Summary condenses a trace for reporting.
+type Summary struct {
+	Algorithm     string
+	Cycles        int
+	Solved        bool
+	Insoluble     bool
+	TotalMessages int
+	MaxCCK        int64
+	// BusiestCycle is the cycle with the largest per-cycle max checks.
+	BusiestCycle       int
+	BusiestCycleChecks int64
+	// PeakMessagesCycle is the cycle with the most deliveries.
+	PeakMessagesCycle int
+	PeakMessages      int
+}
+
+// Summarize computes a Summary from parsed events.
+func Summarize(events []Event) Summary {
+	var s Summary
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindStart:
+			s.Algorithm = ev.Algorithm
+		case KindCycle:
+			s.TotalMessages += ev.MessagesIn
+			if ev.MaxChecks > s.BusiestCycleChecks {
+				s.BusiestCycleChecks = ev.MaxChecks
+				s.BusiestCycle = ev.Cycle
+			}
+			if ev.MessagesIn > s.PeakMessages {
+				s.PeakMessages = ev.MessagesIn
+				s.PeakMessagesCycle = ev.Cycle
+			}
+		case KindEnd:
+			s.Solved = ev.SolutionFound
+			s.Insoluble = ev.Insoluble
+			s.Cycles = ev.Cycles
+			s.MaxCCK = ev.MaxCCK
+		}
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+func TestRecordReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Start(Meta{Algorithm: "AWC", Vars: 5, Nogoods: 12})
+	hook := r.Hook()
+	hook(sim.CycleEvent{Cycle: 1, MessagesIn: 4, MessagesOut: 6, MaxChecks: 30})
+	hook(sim.CycleEvent{Cycle: 2, MessagesIn: 6, MessagesOut: 0, MaxChecks: 12, SolutionFound: true})
+	r.End(sim.Result{Solved: true, Cycles: 2, MaxCCK: 42, TotalChecks: 60, Messages: 10})
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	if events[0].Kind != KindStart || events[0].Algorithm != "AWC" || events[0].Vars != 5 {
+		t.Errorf("start event = %+v", events[0])
+	}
+	if events[1].Kind != KindCycle || events[1].MaxChecks != 30 {
+		t.Errorf("cycle event = %+v", events[1])
+	}
+	if events[3].Kind != KindEnd || !events[3].SolutionFound || events[3].MaxCCK != 42 {
+		t.Errorf("end event = %+v", events[3])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: KindStart, Algorithm: "AWC"},
+		{Kind: KindCycle, Cycle: 1, MessagesIn: 3, MaxChecks: 10},
+		{Kind: KindCycle, Cycle: 2, MessagesIn: 9, MaxChecks: 50},
+		{Kind: KindCycle, Cycle: 3, MessagesIn: 2, MaxChecks: 5},
+		{Kind: KindEnd, SolutionFound: true, Cycles: 3, MaxCCK: 65},
+	}
+	s := Summarize(events)
+	if s.Algorithm != "AWC" || !s.Solved || s.Cycles != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.BusiestCycle != 2 || s.BusiestCycleChecks != 50 {
+		t.Errorf("busiest = %d/%d", s.BusiestCycle, s.BusiestCycleChecks)
+	}
+	if s.PeakMessagesCycle != 2 || s.PeakMessages != 9 {
+		t.Errorf("peak messages = %d/%d", s.PeakMessagesCycle, s.PeakMessages)
+	}
+	if s.TotalMessages != 14 {
+		t.Errorf("total messages = %d", s.TotalMessages)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); !errors.Is(err, ErrMalformedTrace) {
+		t.Errorf("err = %v, want ErrMalformedTrace", err)
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"bogus"}` + "\n")); !errors.Is(err, ErrMalformedTrace) {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+	events, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank lines: %v, %v", events, err)
+	}
+}
+
+// TestTraceLiveRun wires a Recorder into a real AWC run and sanity-checks
+// the reconstructed summary against the run's result.
+func TestTraceLiveRun(t *testing.T) {
+	inst, err := gen.Coloring(20, 54, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := gen.RandomInitial(inst.Problem, 32)
+	agents := make([]sim.Agent, inst.Problem.NumVars())
+	for v := range agents {
+		agents[v] = core.NewAgent(csp.Var(v), inst.Problem, init[v], core.Learning{Kind: core.LearnResolvent})
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Start(Meta{Algorithm: "AWC+Rslv", Vars: inst.Problem.NumVars(), Nogoods: inst.Problem.NumNogoods()})
+	res, err := sim.Run(inst.Problem, agents, sim.Options{Trace: rec.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.End(res)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.Solved != res.Solved || s.Cycles != res.Cycles || s.MaxCCK != res.MaxCCK {
+		t.Errorf("summary %+v does not match result %+v", s, res)
+	}
+	if s.TotalMessages != res.Messages {
+		t.Errorf("summary messages %d, result %d", s.TotalMessages, res.Messages)
+	}
+	// One cycle event per cycle plus start and end.
+	if len(events) != res.Cycles+2 {
+		t.Errorf("events = %d, want %d", len(events), res.Cycles+2)
+	}
+}

@@ -1,0 +1,190 @@
+// Package wire serializes the algorithms' messages for transport across
+// process or machine boundaries (the internal/netrun TCP runtime). Every
+// message type of the AWC, ABT, DB, and multi agents has a stable JSON
+// envelope representation; Encode and Decode round-trip them exactly.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/multi"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Message type tags. They are part of the wire format; do not renumber.
+const (
+	TypeCoreOk       = "core.ok"
+	TypeCoreNogood   = "core.nogood"
+	TypeCoreRequest  = "core.request"
+	TypeABTOk        = "abt.ok"
+	TypeABTNogood    = "abt.nogood"
+	TypeABTRequest   = "abt.request"
+	TypeDBOk         = "db.ok"
+	TypeDBImprove    = "db.improve"
+	TypeMultiOk      = "multi.ok"
+	TypeMultiNogood  = "multi.nogood"
+	TypeMultiRequest = "multi.request"
+)
+
+// Lit is the wire form of a variable-value pair.
+type Lit struct {
+	Var int `json:"var"`
+	Val int `json:"val"`
+}
+
+// Envelope is the wire form of one message.
+type Envelope struct {
+	Type     string `json:"type"`
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Value    int    `json:"value,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Improve  int    `json:"improve,omitempty"`
+	Eval     int    `json:"eval,omitempty"`
+	Lits     []Lit  `json:"lits,omitempty"`
+	Values   []Lit  `json:"values,omitempty"`
+}
+
+func litsOut(ng csp.Nogood) []Lit {
+	out := make([]Lit, 0, ng.Len())
+	for _, l := range ng.Lits() {
+		out = append(out, Lit{Var: int(l.Var), Val: int(l.Val)})
+	}
+	return out
+}
+
+func litsIn(lits []Lit) ([]csp.Lit, error) {
+	out := make([]csp.Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var < 0 {
+			return nil, fmt.Errorf("wire: negative variable %d", l.Var)
+		}
+		out = append(out, csp.Lit{Var: csp.Var(l.Var), Val: csp.Value(l.Val)})
+	}
+	return out, nil
+}
+
+// Encode converts a message into its envelope. It fails on message types
+// outside the four algorithm packages.
+func Encode(m sim.Message) (Envelope, error) {
+	switch msg := m.(type) {
+	case core.Ok:
+		return Envelope{Type: TypeCoreOk, From: int(msg.Sender), To: int(msg.Receiver),
+			Value: int(msg.Value), Priority: msg.Priority}, nil
+	case core.NogoodMsg:
+		return Envelope{Type: TypeCoreNogood, From: int(msg.Sender), To: int(msg.Receiver),
+			Lits: litsOut(msg.Nogood)}, nil
+	case core.Request:
+		return Envelope{Type: TypeCoreRequest, From: int(msg.Sender), To: int(msg.Receiver)}, nil
+	case abt.Ok:
+		return Envelope{Type: TypeABTOk, From: int(msg.Sender), To: int(msg.Receiver),
+			Value: int(msg.Value)}, nil
+	case abt.NogoodMsg:
+		return Envelope{Type: TypeABTNogood, From: int(msg.Sender), To: int(msg.Receiver),
+			Lits: litsOut(msg.Nogood)}, nil
+	case abt.Request:
+		return Envelope{Type: TypeABTRequest, From: int(msg.Sender), To: int(msg.Receiver)}, nil
+	case breakout.Ok:
+		return Envelope{Type: TypeDBOk, From: int(msg.Sender), To: int(msg.Receiver),
+			Value: int(msg.Value)}, nil
+	case breakout.Improve:
+		return Envelope{Type: TypeDBImprove, From: int(msg.Sender), To: int(msg.Receiver),
+			Improve: msg.Improve, Eval: msg.Eval}, nil
+	case multi.Ok:
+		vals := make([]Lit, 0, len(msg.Values))
+		for _, l := range msg.Values {
+			vals = append(vals, Lit{Var: int(l.Var), Val: int(l.Val)})
+		}
+		return Envelope{Type: TypeMultiOk, From: int(msg.Sender), To: int(msg.Receiver),
+			Priority: msg.Priority, Values: vals}, nil
+	case multi.NogoodMsg:
+		return Envelope{Type: TypeMultiNogood, From: int(msg.Sender), To: int(msg.Receiver),
+			Lits: litsOut(msg.Nogood)}, nil
+	case multi.Request:
+		return Envelope{Type: TypeMultiRequest, From: int(msg.Sender), To: int(msg.Receiver)}, nil
+	default:
+		return Envelope{}, fmt.Errorf("wire: unsupported message type %T", m)
+	}
+}
+
+// Decode converts an envelope back into the concrete message.
+func Decode(e Envelope) (sim.Message, error) {
+	from, to := sim.AgentID(e.From), sim.AgentID(e.To)
+	switch e.Type {
+	case TypeCoreOk:
+		return core.Ok{Sender: from, Receiver: to, Value: csp.Value(e.Value), Priority: e.Priority}, nil
+	case TypeCoreNogood:
+		ng, err := nogoodIn(e.Lits)
+		if err != nil {
+			return nil, err
+		}
+		return core.NogoodMsg{Sender: from, Receiver: to, Nogood: ng}, nil
+	case TypeCoreRequest:
+		return core.Request{Sender: from, Receiver: to}, nil
+	case TypeABTOk:
+		return abt.Ok{Sender: from, Receiver: to, Value: csp.Value(e.Value)}, nil
+	case TypeABTNogood:
+		ng, err := nogoodIn(e.Lits)
+		if err != nil {
+			return nil, err
+		}
+		return abt.NogoodMsg{Sender: from, Receiver: to, Nogood: ng}, nil
+	case TypeABTRequest:
+		return abt.Request{Sender: from, Receiver: to}, nil
+	case TypeDBOk:
+		return breakout.Ok{Sender: from, Receiver: to, Value: csp.Value(e.Value)}, nil
+	case TypeDBImprove:
+		return breakout.Improve{Sender: from, Receiver: to, Improve: e.Improve, Eval: e.Eval}, nil
+	case TypeMultiOk:
+		lits, err := litsIn(e.Values)
+		if err != nil {
+			return nil, err
+		}
+		return multi.Ok{Sender: from, Receiver: to, Priority: e.Priority, Values: lits}, nil
+	case TypeMultiNogood:
+		ng, err := nogoodIn(e.Lits)
+		if err != nil {
+			return nil, err
+		}
+		return multi.NogoodMsg{Sender: from, Receiver: to, Nogood: ng}, nil
+	case TypeMultiRequest:
+		return multi.Request{Sender: from, Receiver: to}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown envelope type %q", e.Type)
+	}
+}
+
+func nogoodIn(lits []Lit) (csp.Nogood, error) {
+	cl, err := litsIn(lits)
+	if err != nil {
+		return csp.Nogood{}, err
+	}
+	return csp.NewNogood(cl...)
+}
+
+// Marshal renders the envelope as one newline-terminated JSON line, the
+// framing used on the TCP transport.
+func Marshal(e Envelope) ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Unmarshal parses one JSON line.
+func Unmarshal(line []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Envelope{}, fmt.Errorf("wire: %w", err)
+	}
+	if e.Type == "" {
+		return Envelope{}, fmt.Errorf("wire: missing type")
+	}
+	return e, nil
+}

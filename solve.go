@@ -1,0 +1,232 @@
+package discsp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/async"
+	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/netrun"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// AlgorithmKind selects the distributed algorithm.
+type AlgorithmKind int
+
+const (
+	// AWC is asynchronous weak-commitment search with nogood learning —
+	// the paper's algorithm and the default.
+	AWC AlgorithmKind = iota + 1
+	// DB is the distributed breakout algorithm.
+	DB
+	// ABT is asynchronous backtracking.
+	ABT
+)
+
+// String implements fmt.Stringer.
+func (k AlgorithmKind) String() string {
+	switch k {
+	case AWC:
+		return "AWC"
+	case DB:
+		return "DB"
+	case ABT:
+		return "ABT"
+	default:
+		return fmt.Sprintf("AlgorithmKind(%d)", int(k))
+	}
+}
+
+// LearningKind selects AWC's nogood-learning strategy.
+type LearningKind int
+
+const (
+	// LearnResolvent is the paper's resolvent-based learning (default).
+	LearnResolvent LearningKind = iota + 1
+	// LearnMCS is mcs-based (minimum conflict set) learning.
+	LearnMCS
+	// LearnNone disables learning (the agent breaks deadends by raising
+	// its priority only); AWC becomes incomplete.
+	LearnNone
+)
+
+// Options configures Solve and SolveAsync. The zero value requests AWC with
+// unrestricted resolvent-based learning, the paper's 10000-cycle cutoff,
+// and all-zero initial values.
+type Options struct {
+	// Algorithm selects AWC (default), DB, or ABT.
+	Algorithm AlgorithmKind
+	// Learning selects AWC's learning strategy; ignored by DB and ABT.
+	Learning LearningKind
+	// LearningSizeBound, when positive, is the k of size-bounded learning
+	// (kthRslv): only nogoods of size ≤ k are recorded.
+	LearningSizeBound int
+	// Initial supplies per-variable initial values; nil means value 0 for
+	// every variable, and InitialSeed != 0 draws them at random.
+	Initial SliceAssignment
+	// InitialSeed, when nonzero and Initial is nil, draws uniform random
+	// initial values deterministically from this seed.
+	InitialSeed int64
+	// MaxCycles is the synchronous cutoff; 0 means 10000 (Solve only).
+	MaxCycles int
+	// Timeout bounds SolveAsync's wall-clock time; 0 means 30s.
+	Timeout time.Duration
+	// MaxJitter, when positive, randomizes SolveAsync's message delivery
+	// delay in [0, MaxJitter).
+	MaxJitter time.Duration
+	// Trace, when non-nil, receives one event per synchronous cycle
+	// (Solve only).
+	Trace func(CycleEvent)
+}
+
+// CycleEvent describes one completed synchronous cycle for tracing.
+type CycleEvent = sim.CycleEvent
+
+// Result reports a solving attempt.
+type Result struct {
+	// Solved reports whether a solution was found.
+	Solved bool
+	// Insoluble reports a proof that no solution exists (complete
+	// configurations only: AWC with unrestricted learning, or ABT).
+	Insoluble bool
+	// Assignment is the solution when Solved, otherwise the final state.
+	Assignment SliceAssignment
+	// Cycles is the synchronous cycle count (Solve only).
+	Cycles int
+	// MaxCCK is the paper's computation metric: the sum over cycles of the
+	// per-cycle maximum number of nogood checks across agents (Solve only).
+	MaxCCK int64
+	// TotalChecks sums all agents' nogood checks.
+	TotalChecks int64
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// MessagesByType breaks synchronous deliveries down by message kind
+	// (e.g. "core.Ok", "core.NogoodMsg"); nil for asynchronous runs.
+	MessagesByType map[string]int
+	// Duration is the wall-clock time (SolveAsync only).
+	Duration time.Duration
+}
+
+func (o Options) learning() core.Learning {
+	l := core.Learning{Kind: core.LearnResolvent, SizeBound: o.LearningSizeBound}
+	switch o.Learning {
+	case LearnMCS:
+		l.Kind = core.LearnMCS
+	case LearnNone:
+		l.Kind = core.LearnNone
+	}
+	return l
+}
+
+func (o Options) initial(p *Problem) (SliceAssignment, error) {
+	if o.Initial != nil {
+		if len(o.Initial) != p.NumVars() {
+			return nil, fmt.Errorf("discsp: %d initial values for %d variables", len(o.Initial), p.NumVars())
+		}
+		return o.Initial, nil
+	}
+	if o.InitialSeed != 0 {
+		return gen.RandomInitial(p, o.InitialSeed), nil
+	}
+	init := make(SliceAssignment, p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		init[v] = p.Domain(Var(v))[0]
+	}
+	return init, nil
+}
+
+func (o Options) makeAgent(p *Problem, init SliceAssignment) func(v csp.Var) sim.Agent {
+	switch o.Algorithm {
+	case DB:
+		return func(v csp.Var) sim.Agent { return breakout.NewAgent(v, p, init[v]) }
+	case ABT:
+		return func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, init[v]) }
+	default:
+		learning := o.learning()
+		return func(v csp.Var) sim.Agent { return core.NewAgent(v, p, init[v], learning) }
+	}
+}
+
+// Solve runs the selected algorithm on the deterministic synchronous
+// simulator and reports the paper's cost metrics.
+func Solve(p *Problem, opts Options) (Result, error) {
+	init, err := opts.initial(p)
+	if err != nil {
+		return Result{}, err
+	}
+	agents := buildAgents(p.NumVars(), opts.makeAgent(p, init))
+	res, err := sim.Run(p, agents, sim.Options{MaxCycles: opts.MaxCycles, Trace: opts.Trace})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Solved:         res.Solved,
+		Insoluble:      res.Insoluble,
+		Assignment:     res.Assignment,
+		Cycles:         res.Cycles,
+		MaxCCK:         res.MaxCCK,
+		TotalChecks:    res.TotalChecks,
+		Messages:       int64(res.Messages),
+		MessagesByType: res.MessagesByType,
+	}, nil
+}
+
+// SolveAsync runs the selected algorithm on the goroutine-per-agent
+// asynchronous runtime. Cycle-based metrics do not apply; Duration,
+// Messages, and TotalChecks are reported instead.
+func SolveAsync(p *Problem, opts Options) (Result, error) {
+	init, err := opts.initial(p)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := async.Run(p, opts.makeAgent(p, init), async.Options{
+		Timeout:   opts.Timeout,
+		MaxJitter: opts.MaxJitter,
+		Seed:      opts.InitialSeed,
+	})
+	out := Result{
+		Solved:      res.Solved,
+		Insoluble:   res.Insoluble,
+		Assignment:  res.Assignment,
+		TotalChecks: res.TotalChecks,
+		Messages:    res.Messages,
+		Duration:    res.Duration,
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// SolveTCP runs the selected algorithm over an actual TCP network: a
+// loopback hub routes JSON-framed messages between one node per agent. The
+// same agents as Solve and SolveAsync cross a real socket boundary —
+// the paper's "can work on any type of distributed systems" claim in its
+// strongest locally-testable form. Metrics follow SolveAsync's.
+func SolveTCP(p *Problem, opts Options) (Result, error) {
+	init, err := opts.initial(p)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{Timeout: opts.Timeout})
+	out := Result{
+		Solved:     res.Solved,
+		Insoluble:  res.Insoluble,
+		Assignment: res.Assignment,
+		Messages:   res.Messages,
+		Duration:   res.Duration,
+	}
+	return out, err
+}
+
+func buildAgents(n int, makeAgent func(v csp.Var) sim.Agent) []sim.Agent {
+	agents := make([]sim.Agent, n)
+	for v := 0; v < n; v++ {
+		agents[v] = makeAgent(csp.Var(v))
+	}
+	return agents
+}
