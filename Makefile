@@ -1,0 +1,37 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml) so local runs
+# match it exactly: `make ci` is what a green check means.
+
+GO ?= go
+
+# The concurrency-heavy packages the race job covers.
+RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
+            ./internal/sim/... ./internal/experiments/...
+
+.PHONY: all build test vet fmt-check race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -timeout 15m ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+race:
+	$(GO) test -race -timeout 20m $(RACE_PKGS)
+
+bench-smoke:
+	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .
+
+ci: build vet fmt-check test race bench-smoke

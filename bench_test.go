@@ -12,6 +12,7 @@ package discsp_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/discsp/discsp"
@@ -70,6 +71,44 @@ func benchTable(b *testing.B, num int) {
 // BenchmarkTable1 regenerates Table 1: learning methods (Rslv, Mcs, No) on
 // distributed 3-coloring problems.
 func BenchmarkTable1(b *testing.B) { benchTable(b, 1) }
+
+// BenchmarkTable1SerialVsParallel pairs the serial harness against the
+// worker pool on a Table-1-sized cell grid: identical trials, identical
+// aggregates, so the wall-clock ratio is the pool's speedup (≈ the core
+// count on a multi-core runner, 1× on a single core).
+func BenchmarkTable1SerialVsParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scale := benchScale(experiments.D3C)
+			scale.Workers = workers
+			var last *experiments.Table
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Tables(1, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = t
+			}
+			b.ReportMetric(float64(len(last.Cells)), "cells")
+		})
+	}
+}
+
+// BenchmarkRunCellSerialVsParallel is the single-cell companion pair: one
+// family × size × algorithm grid of independently seeded trials.
+func BenchmarkRunCellSerialVsParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scale := experiments.Scale{Ns: []int{40}, Instances: 2, Inits: 4, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunCell(experiments.D3C, 40,
+					experiments.AWC(core.Learning{Kind: core.LearnResolvent}), scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkTable2 regenerates Table 2: learning methods on distributed 3SAT
 // problems (3SAT-GEN style).

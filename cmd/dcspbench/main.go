@@ -8,10 +8,15 @@
 //	dcspbench -figure             # Figure 2 (d3s1, n=50)
 //	dcspbench -table 8 -quick     # reduced trials for a fast look
 //	dcspbench -table 1 -instances 5 -inits 2 -ns 60,90
+//	dcspbench -all -workers 8     # fan trials across 8 goroutines
 //
 // Paper scale runs 100 trials per cell with the cutoff at 10000 cycles and
 // can take a while for the no-learning rows; -quick or the explicit knobs
-// trade trials for speed.
+// trade trials for speed. Trials are independently seeded and fanned
+// across -workers goroutines (default: all CPUs); every -workers value
+// produces bit-identical tables, so parallel paper-scale regeneration is
+// still deterministic. A progress line (trials done/total, trials/sec)
+// goes to stderr every ~2s; -progress=false silences it.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/discsp/discsp/internal/experiments"
 	"github.com/discsp/discsp/internal/gen"
@@ -45,6 +51,8 @@ func run() error {
 		nsFlag    = flag.String("ns", "", "comma-separated problem sizes overriding the paper's")
 		figKind   = flag.String("figkind", "d3s1", "figure family: d3c, d3s, or d3s1")
 		figN      = flag.Int("fign", 50, "figure problem size")
+		workers   = flag.Int("workers", 0, "concurrent trial workers; 0 = all CPUs, 1 = serial (identical results either way)")
+		progress  = flag.Bool("progress", true, "print a periodic trials-done progress line to stderr")
 		format    = flag.String("format", "text", "output format: text or markdown")
 		sweep     = flag.String("sweep", "", "run a hardness sweep over constraint densities for this family (d3c, d3s, d3s1)")
 		sweepN    = flag.Int("sweepn", 50, "sweep problem size")
@@ -65,6 +73,10 @@ func run() error {
 	}
 	scale.MaxCycles = *maxCycles
 	scale.SeedBase = *seed
+	scale.Workers = *workers
+	if *progress {
+		scale.Progress = experiments.ProgressPrinter(os.Stderr, 2*time.Second)
+	}
 	if *nsFlag != "" {
 		ns, err := parseNs(*nsFlag)
 		if err != nil {

@@ -8,6 +8,7 @@
 //	dcspsolve -algo db graph.col
 //	dcspsolve -algo awc -async problem.cnf             # goroutine runtime
 //	dcspsolve -algo central problem.cnf                # centralized oracle
+//	dcspsolve -trials 20 -workers 8 problem.cnf        # 20 seeded trials, pooled
 //
 // File type is inferred from the extension: .cnf is DIMACS CNF, .col is
 // DIMACS COL (solved as 3-coloring unless -colors overrides).
@@ -20,12 +21,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/discsp/discsp"
 	"github.com/discsp/discsp/internal/central"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/experiments"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/stats"
 	"github.com/discsp/discsp/internal/trace"
 )
 
@@ -47,6 +51,8 @@ func run() error {
 		useAsync  = flag.Bool("async", false, "run on the asynchronous goroutine runtime")
 		useTCP    = flag.Bool("tcp", false, "run over a loopback TCP hub (one socket per agent)")
 		timeout   = flag.Duration("timeout", 0, "async wall-clock limit; 0 = 30s")
+		trials    = flag.Int("trials", 1, "random-initial-value trials (seed, seed+1, ...); >1 prints cell-style aggregates")
+		workers   = flag.Int("workers", 0, "concurrent trial workers for -trials; 0 = all CPUs, 1 = serial")
 		verbose   = flag.Bool("v", false, "print the solution assignment")
 		traceOut  = flag.String("trace", "", "write a JSONL cycle trace to this file (sync runs only)")
 		block     = flag.Int("block", 0, "variables per agent; >1 runs the multi-variable AWC extension")
@@ -108,6 +114,13 @@ func run() error {
 		return fmt.Errorf("unknown learning %q (want rslv, mcs, or none)", *learn)
 	}
 	opts.LearningSizeBound = *k
+
+	if *trials > 1 {
+		if *useAsync || *useTCP || *traceOut != "" || *block > 1 {
+			return fmt.Errorf("-trials needs the default synchronous single-variable path (no -async, -tcp, -trace, -block)")
+		}
+		return runTrials(problem, opts, *trials, *workers, *verbose)
+	}
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -189,6 +202,53 @@ func run() error {
 	if res.Solved && *verbose {
 		printAssignment(res.Assignment)
 	}
+	return nil
+}
+
+// runTrials solves the instance from `trials` different random initial
+// assignments (seeds seed, seed+1, ...), fanned across the worker pool,
+// and prints per-trial lines plus the experiment harness's cell-style
+// aggregates. Results are index-addressed, so the output is identical for
+// every worker count; a progress line goes to stderr every ~2s.
+func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int, verbose bool) error {
+	results := make([]discsp.Result, trials)
+	progress := experiments.ProgressPrinter(os.Stderr, 2*time.Second)
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	err := experiments.ForEach(workers, trials, func(i int) error {
+		o := opts
+		o.InitialSeed = opts.InitialSeed + int64(i)
+		res, err := discsp.Solve(problem, o)
+		if err != nil {
+			return fmt.Errorf("trial %d (seed %d): %w", i, o.InitialSeed, err)
+		}
+		results[i] = res
+		mu.Lock()
+		done++
+		progress(done, trials)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var (
+		cycle, maxcck stats.Sample
+		solved        stats.Counter
+	)
+	for i, res := range results {
+		if verbose {
+			fmt.Printf("  trial %-3d seed=%-6d solved=%-5v cycle=%-6d maxcck=%d\n",
+				i, opts.InitialSeed+int64(i), res.Solved, res.Cycles, res.MaxCCK)
+		}
+		cycle.Add(float64(res.Cycles))
+		maxcck.Add(float64(res.MaxCCK))
+		solved.Observe(res.Solved)
+	}
+	fmt.Printf("%s: trials=%d cycle=%.1f maxcck=%.1f %%=%.0f\n",
+		opts.Algorithm, trials, cycle.Mean(), maxcck.Mean(), solved.Percent())
 	return nil
 }
 

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/multi"
 	"github.com/discsp/discsp/internal/sim"
-	"github.com/discsp/discsp/internal/stats"
 )
 
 // BlockSweepPoint measures one block size of a partitioning sweep.
@@ -34,49 +33,44 @@ type BlockSweepResult struct {
 	Points []BlockSweepPoint
 }
 
-// BlockSweep runs the sweep. blocks nil means {1, 2, 3, 5}.
+// BlockSweep runs the sweep, fanning every block size's trial grid across
+// scale.Workers goroutines. blocks nil means {1, 2, 3, 5}.
 func BlockSweep(kind ProblemKind, n int, blocks []int, scale Scale) (*BlockSweepResult, error) {
 	if len(blocks) == 0 {
 		blocks = []int{1, 2, 3, 5}
 	}
-	instances, inits := scale.trials(kind)
-	maxCycles := scale.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = sim.DefaultMaxCycles
-	}
-	out := &BlockSweepResult{Kind: kind, N: n}
+	specs := make([]cellSpec, 0, len(blocks))
+	partitions := make([]multi.Partition, 0, len(blocks))
 	for _, block := range blocks {
 		if block < 1 {
 			return nil, fmt.Errorf("experiments: block size %d", block)
 		}
-		var (
-			cycle  stats.Sample
-			maxcck stats.Sample
-			solved stats.Counter
-		)
 		partition := multi.Uniform(n, block)
-		for i := 0; i < instances; i++ {
-			problem, err := MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, i))
-			if err != nil {
-				return nil, err
-			}
-			for j := 0; j < inits; j++ {
-				init := gen.RandomInitial(problem, initSeed(scale.SeedBase, kind, n, i, j))
-				res, _, err := multi.Run(problem, partition, init, multi.Options{}, sim.Options{MaxCycles: maxCycles})
+		partitions = append(partitions, partition)
+		alg := Algorithm{
+			Name: fmt.Sprintf("multiAWC/block=%d", block),
+			Run: func(p *csp.Problem, init csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+				res, _, err := multi.Run(p, partition, init, multi.Options{}, opts)
 				if err != nil {
-					return nil, fmt.Errorf("block sweep %v n=%d block=%d: %w", kind, n, block, err)
+					return TrialResult{}, fmt.Errorf("block sweep %v n=%d block=%d: %w", kind, n, block, err)
 				}
-				cycle.Add(float64(res.Cycles))
-				maxcck.Add(float64(res.MaxCCK))
-				solved.Observe(res.Solved)
-			}
+				return TrialResult{Result: res.Result}, nil
+			},
 		}
+		specs = append(specs, paperCell(kind, n, alg))
+	}
+	cells, err := runCells(specs, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlockSweepResult{Kind: kind, N: n}
+	for i, block := range blocks {
 		out.Points = append(out.Points, BlockSweepPoint{
 			Block:   block,
-			Agents:  len(partition),
-			Cycle:   cycle.Mean(),
-			MaxCCK:  maxcck.Mean(),
-			Percent: solved.Percent(),
+			Agents:  len(partitions[i]),
+			Cycle:   cells[i].Cycle,
+			MaxCCK:  cells[i].MaxCCK,
+			Percent: cells[i].Percent,
 		})
 	}
 	return out, nil

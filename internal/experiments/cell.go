@@ -1,11 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
-	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/stats"
 )
@@ -52,6 +49,15 @@ type Scale struct {
 	MaxCycles int
 	// SeedBase shifts every derived seed, giving independent replications.
 	SeedBase int64
+	// Workers is the number of goroutines trials are fanned across; 0
+	// means runtime.NumCPU(), 1 preserves the serial execution path.
+	// Trials are independently seeded, so every Workers value produces
+	// bit-identical aggregates (see runCells).
+	Workers int
+	// Progress, when non-nil, is called (serialized) after each completed
+	// trial of the current grid with the running and total trial counts;
+	// see ProgressPrinter for the CLI's periodic line.
+	Progress func(done, total int)
 }
 
 // PaperScale is the paper's full experimental setup.
@@ -81,6 +87,13 @@ func (s Scale) trials(kind ProblemKind) (int, int) {
 	return instances, inits
 }
 
+func (s Scale) maxCycles() int {
+	if s.MaxCycles > 0 {
+		return s.MaxCycles
+	}
+	return sim.DefaultMaxCycles
+}
+
 // CellResult aggregates one table cell (one family × n × algorithm).
 type CellResult struct {
 	Kind      ProblemKind
@@ -100,39 +113,22 @@ type CellResult struct {
 	Trials int
 }
 
-// cellRunner accumulates trial measurements for one cell.
+// cellRunner accumulates trial measurements for one cell. Trials are
+// always added in (instance, init) index order — the same floating-point
+// accumulation order as a serial run — so the filled means do not depend
+// on how the worker pool scheduled the trials.
 type cellRunner struct {
-	scale     Scale
-	maxCycles int
 	cycle     stats.Sample
 	maxcck    stats.Sample
 	redundant stats.Sample
 	solved    stats.Counter
 }
 
-func newCellRunner(scale Scale) *cellRunner {
-	maxCycles := scale.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = sim.DefaultMaxCycles
-	}
-	return &cellRunner{scale: scale, maxCycles: maxCycles}
-}
-
-// runInits runs `inits` trials of alg on problem, with per-trial seeds
-// derived from (kind, n, instance).
-func (r *cellRunner) runInits(kind ProblemKind, n, instance, inits int, problem *csp.Problem, alg Algorithm) error {
-	for j := 0; j < inits; j++ {
-		init := gen.RandomInitial(problem, initSeed(r.scale.SeedBase, kind, n, instance, j))
-		tr, err := alg.Run(problem, init, sim.Options{MaxCycles: r.maxCycles})
-		if err != nil {
-			return fmt.Errorf("cell %v n=%d instance %d init %d: %w", kind, n, instance, j, err)
-		}
-		r.cycle.Add(float64(tr.Cycles))
-		r.maxcck.Add(float64(tr.MaxCCK))
-		r.redundant.Add(float64(tr.RedundantGenerations))
-		r.solved.Observe(tr.Solved)
-	}
-	return nil
+func (r *cellRunner) add(tr TrialResult) {
+	r.cycle.Add(float64(tr.Cycles))
+	r.maxcck.Add(float64(tr.MaxCCK))
+	r.redundant.Add(float64(tr.RedundantGenerations))
+	r.solved.Observe(tr.Solved)
 }
 
 func (r *cellRunner) fill(cell *CellResult) {
@@ -144,20 +140,12 @@ func (r *cellRunner) fill(cell *CellResult) {
 }
 
 // RunCell measures one cell: instances × inits trials of alg on fresh
-// instances of the family at size n.
+// instances of the family at size n, fanned across scale.Workers
+// goroutines.
 func RunCell(kind ProblemKind, n int, alg Algorithm, scale Scale) (CellResult, error) {
-	instances, inits := scale.trials(kind)
-	runner := newCellRunner(scale)
-	for i := 0; i < instances; i++ {
-		problem, err := MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, i))
-		if err != nil {
-			return CellResult{}, fmt.Errorf("cell %v n=%d instance %d: %w", kind, n, i, err)
-		}
-		if err := runner.runInits(kind, n, i, inits, problem, alg); err != nil {
-			return CellResult{}, err
-		}
+	cells, err := runCells([]cellSpec{paperCell(kind, n, alg)}, scale)
+	if err != nil {
+		return CellResult{}, err
 	}
-	cell := CellResult{Kind: kind, N: n, Algorithm: alg.Name}
-	runner.fill(&cell)
-	return cell, nil
+	return cells[0], nil
 }

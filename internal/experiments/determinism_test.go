@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/sim"
 )
@@ -49,5 +54,110 @@ func TestRunsAreDeterministic(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelCellBitIdentical: the worker pool must not change a single
+// bit of a cell's aggregates — trials are independently seeded and the
+// aggregation order is fixed by trial index, not completion order.
+func TestParallelCellBitIdentical(t *testing.T) {
+	for _, alg := range []Algorithm{
+		AWC(core.Learning{Kind: core.LearnResolvent}),
+		DB(),
+	} {
+		t.Run(alg.Name, func(t *testing.T) {
+			serial := QuickScale()
+			serial.Workers = 1
+			parallel := QuickScale()
+			parallel.Workers = 8
+
+			want, err := RunCell(D3C, 60, alg, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunCell(D3C, 60, alg, parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Workers=8 cell diverged from Workers=1:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelTableBitIdentical covers the grid path: a whole table's
+// cells and rendered rows must match between serial and parallel runs.
+func TestParallelTableBitIdentical(t *testing.T) {
+	serial := Scale{Ns: []int{30}, Instances: 2, Inits: 2, Workers: 1}
+	parallel := serial
+	parallel.Workers = 8
+
+	want, err := Table1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Table1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Fatalf("Workers=8 cells diverged:\n got %+v\nwant %+v", got.Cells, want.Cells)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("Workers=8 rows diverged:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+}
+
+// TestParallelSweepBitIdentical covers the explicit-density path.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	alg := AWC(core.Learning{Kind: core.LearnResolvent})
+	ratios := []float64{2.0, 2.7}
+
+	serial := QuickScale()
+	serial.Workers = 1
+	parallel := QuickScale()
+	parallel.Workers = 8
+
+	want, err := RatioSweep(D3C, 30, alg, ratios, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RatioSweep(D3C, 30, alg, ratios, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Workers=8 sweep diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTrialErrorCancelsPool: a failing trial must cancel the pool (only
+// in-flight trials finish — here, at most one per worker) and surface the
+// lowest-indexed trial's error deterministically.
+func TestTrialErrorCancelsPool(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	failing := Algorithm{
+		Name: "fail",
+		Run: func(*csp.Problem, csp.SliceAssignment, sim.Options) (TrialResult, error) {
+			calls.Add(1)
+			return TrialResult{}, boom
+		},
+	}
+	const workers = 8
+	scale := Scale{Instances: 10, Inits: 10, Workers: workers}
+	_, err := RunCell(D3C, 20, failing, scale)
+	if err == nil {
+		t.Fatal("failing trials produced no error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain lost the trial error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "instance 0 init 0") {
+		t.Fatalf("surfaced error is not the lowest-indexed trial's: %v", err)
+	}
+	if got := calls.Load(); got > workers {
+		t.Fatalf("pool ran %d trials after the first error (want <= %d in flight)", got, workers)
 	}
 }

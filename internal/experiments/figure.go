@@ -39,14 +39,11 @@ func Figure2(kind ProblemKind, n int, delays []float64, scale Scale) (*Figure2Re
 		delays = DefaultDelays()
 	}
 	awc := AWC(BestLearning(kind))
-	awcCell, err := RunCell(kind, n, awc, scale)
+	cells, err := runCells([]cellSpec{paperCell(kind, n, awc), paperCell(kind, n, DB())}, scale)
 	if err != nil {
 		return nil, err
 	}
-	dbCell, err := RunCell(kind, n, DB(), scale)
-	if err != nil {
-		return nil, err
-	}
+	awcCell, dbCell := cells[0], cells[1]
 	r := &Figure2Result{
 		Kind:      kind,
 		N:         n,

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines. workers <= 0 means runtime.NumCPU(); workers == 1 runs the
+// loop inline, preserving the exact serial execution order.
+//
+// On the first error the pool's context is cancelled: in-flight calls
+// finish, queued indices are abandoned, and ForEach returns the error of
+// the lowest index that failed. Because indices are handed out in order,
+// the first worker to start always receives index 0, so a grid where the
+// earliest trial fails surfaces that trial's error deterministically
+// regardless of scheduling.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Runner executes one trial grid (the cells of a table, sweep, or figure)
+// across a pool of worker goroutines. Trials are independently seeded, so
+// the pool only changes *when* a trial runs, never its outcome; results
+// land in index-addressed slices and are aggregated in index order, making
+// every mean and percentage bit-identical to the Workers==1 serial run.
+type Runner struct {
+	// Workers is the pool size; 0 means runtime.NumCPU(), 1 is serial.
+	Workers int
+	// Progress, when non-nil, is called after every completed trial with
+	// the running count and the grid total. Calls are serialized.
+	Progress func(done, total int)
+
+	total int
+	done  atomic.Int64
+	mu    sync.Mutex
+}
+
+func newRunner(scale Scale) *Runner {
+	return &Runner{Workers: scale.Workers, Progress: scale.Progress}
+}
+
+func (r *Runner) tick() {
+	if r.Progress == nil {
+		return
+	}
+	done := int(r.done.Add(1))
+	r.mu.Lock()
+	r.Progress(done, r.total)
+	r.mu.Unlock()
+}
+
+// cellSpec is one cell of a trial grid: a family × size × algorithm plus
+// the per-instance generator (paper ratio or an explicit density).
+type cellSpec struct {
+	kind ProblemKind
+	n    int
+	alg  Algorithm
+	// makeProblem generates the cell's instance'th problem.
+	makeProblem func(scale Scale, instance int) (*csp.Problem, error)
+}
+
+// paperCell is a cell at the family's paper constraint/variable ratio.
+func paperCell(kind ProblemKind, n int, alg Algorithm) cellSpec {
+	return cellSpec{kind: kind, n: n, alg: alg,
+		makeProblem: func(scale Scale, instance int) (*csp.Problem, error) {
+			return MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, instance))
+		}}
+}
+
+// ratioCell is a cell with an explicit constraint count m (the hardness
+// sweeps); the seed salt keeps different densities on distinct RNG streams.
+func ratioCell(kind ProblemKind, n, m int, alg Algorithm) cellSpec {
+	return cellSpec{kind: kind, n: n, alg: alg,
+		makeProblem: func(scale Scale, instance int) (*csp.Problem, error) {
+			return makeInstanceM(kind, n, m, instanceSeed(scale.SeedBase, kind, n, instance)+int64(m)*7_000_000_000_000)
+		}}
+}
+
+// runCells measures every spec'd cell, fanning both phases — instance
+// generation, then every (instance, init) trial of every cell — across the
+// scale's worker pool. Results are written to preallocated index-addressed
+// slots (no two trials share one), then aggregated cell by cell in
+// (instance, init) order: the identical floating-point accumulation the
+// old serial loops performed, so aggregates do not depend on scheduling.
+func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
+	maxCycles := scale.maxCycles()
+	type cellPlan struct {
+		instances, inits int
+		problems         []*csp.Problem
+		trials           []TrialResult
+	}
+	type job struct{ cell, instance, init int }
+	plans := make([]cellPlan, len(specs))
+	var instJobs, trialJobs []job
+	for c, spec := range specs {
+		instances, inits := scale.trials(spec.kind)
+		plans[c] = cellPlan{
+			instances: instances,
+			inits:     inits,
+			problems:  make([]*csp.Problem, instances),
+			trials:    make([]TrialResult, instances*inits),
+		}
+		for i := 0; i < instances; i++ {
+			instJobs = append(instJobs, job{cell: c, instance: i})
+			for j := 0; j < inits; j++ {
+				trialJobs = append(trialJobs, job{cell: c, instance: i, init: j})
+			}
+		}
+	}
+
+	r := newRunner(scale)
+	r.total = len(trialJobs)
+
+	if err := ForEach(r.Workers, len(instJobs), func(k int) error {
+		j := instJobs[k]
+		spec := specs[j.cell]
+		problem, err := spec.makeProblem(scale, j.instance)
+		if err != nil {
+			return fmt.Errorf("cell %v n=%d instance %d: %w", spec.kind, spec.n, j.instance, err)
+		}
+		plans[j.cell].problems[j.instance] = problem
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := ForEach(r.Workers, len(trialJobs), func(k int) error {
+		j := trialJobs[k]
+		spec, plan := specs[j.cell], &plans[j.cell]
+		problem := plan.problems[j.instance]
+		init := gen.RandomInitial(problem, initSeed(scale.SeedBase, spec.kind, spec.n, j.instance, j.init))
+		tr, err := spec.alg.Run(problem, init, sim.Options{MaxCycles: maxCycles})
+		if err != nil {
+			return fmt.Errorf("cell %v n=%d instance %d init %d: %w", spec.kind, spec.n, j.instance, j.init, err)
+		}
+		plan.trials[j.instance*plan.inits+j.init] = tr
+		r.tick()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := make([]CellResult, len(specs))
+	for c, spec := range specs {
+		agg := new(cellRunner)
+		for _, tr := range plans[c].trials {
+			agg.add(tr)
+		}
+		cell := CellResult{Kind: spec.kind, N: spec.n, Algorithm: spec.alg.Name}
+		agg.fill(&cell)
+		out[c] = cell
+	}
+	return out, nil
+}
+
+// ProgressPrinter returns a Scale.Progress callback that writes a
+// done/total line with an approximate trials-per-second rate to w, at most
+// once per interval. A grid that finishes inside one interval prints
+// nothing. The runner serializes Progress calls, so the returned closure
+// needs no locking; the rate clock restarts whenever a new grid begins
+// (the count resets to 1).
+func ProgressPrinter(w io.Writer, interval time.Duration) func(done, total int) {
+	var start, last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done == 1 || start.IsZero() {
+			start, last = now, now
+		}
+		if now.Sub(last) < interval {
+			return
+		}
+		last = now
+		elapsed := now.Sub(start).Seconds()
+		if elapsed <= 0 {
+			return
+		}
+		fmt.Fprintf(w, "progress: %d/%d trials (%.1f trials/sec)\n", done, total, float64(done)/elapsed)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCoversEveryIndex: every index in [0, n) runs exactly once,
+// whatever the pool size.
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 200} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			hits := make([]atomic.Int64, n)
+			if err := ForEach(workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestForEachSerialOrder: Workers==1 must preserve the exact serial
+// execution order, not just the result set.
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	if err := ForEach(1, 10, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("position %d ran index %d; order %v", i, got, order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 indices", len(order))
+	}
+}
+
+// TestForEachEmpty: n <= 0 is a no-op.
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for an empty range")
+	}
+}
+
+// TestForEachLowestIndexError: when several indices fail, the returned
+// error is the lowest index's — index 0 is always handed out first, so a
+// grid that fails everywhere reports trial 0 regardless of scheduling.
+func TestForEachLowestIndexError(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		err := ForEach(7, 50, func(i int) error {
+			return fmt.Errorf("index %d failed", i)
+		})
+		if err == nil || err.Error() != "index 0 failed" {
+			t.Fatalf("rep %d: got %v, want the index 0 error", rep, err)
+		}
+	}
+}
+
+// TestForEachCancelsQueuedWork: after the first error, queued indices are
+// abandoned — only work already in flight (at most one call per worker)
+// completes.
+func TestForEachCancelsQueuedWork(t *testing.T) {
+	boom := errors.New("boom")
+	const (
+		workers = 4
+		n       = 100
+	)
+	var calls atomic.Int64
+	err := ForEach(workers, n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Index 0 fails while at most workers-1 other calls are in flight;
+	// each surviving worker can start at most one more before seeing the
+	// cancellation. 2×workers is a loose, scheduling-proof bound.
+	if got := calls.Load(); got > 2*workers {
+		t.Fatalf("%d calls ran after cancellation (want <= %d)", got, 2*workers)
+	}
+}

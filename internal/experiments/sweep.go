@@ -28,25 +28,34 @@ type SweepResult struct {
 }
 
 // RatioSweep measures alg across constraint/variable ratios on the family
-// at size n. ratios nil uses a default band bracketing the family's paper
+// at size n, fanning every density's trial grid across scale.Workers
+// goroutines. ratios nil uses a default band bracketing the family's paper
 // ratio. Coloring sweeps are capped at the densest ratio that still admits
 // solvable instances.
 func RatioSweep(kind ProblemKind, n int, alg Algorithm, ratios []float64, scale Scale) (*SweepResult, error) {
 	if len(ratios) == 0 {
 		ratios = DefaultRatios(kind)
 	}
-	out := &SweepResult{Kind: kind, N: n, Algorithm: alg.Name}
+	specs := make([]cellSpec, 0, len(ratios))
+	ms := make([]int, 0, len(ratios))
 	for _, ratio := range ratios {
 		m := int(math.Round(ratio * float64(n)))
-		point := SweepPoint{Ratio: ratio, M: m}
-		cell, err := runRatioCell(kind, n, m, alg, scale)
-		if err != nil {
-			return nil, fmt.Errorf("sweep %v n=%d ratio=%.2f: %w", kind, n, ratio, err)
-		}
-		point.Cycle = cell.Cycle
-		point.MaxCCK = cell.MaxCCK
-		point.Percent = cell.Percent
-		out.Points = append(out.Points, point)
+		ms = append(ms, m)
+		specs = append(specs, ratioCell(kind, n, m, alg))
+	}
+	cells, err := runCells(specs, scale)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %v n=%d: %w", kind, n, err)
+	}
+	out := &SweepResult{Kind: kind, N: n, Algorithm: alg.Name}
+	for i, ratio := range ratios {
+		out.Points = append(out.Points, SweepPoint{
+			Ratio:   ratio,
+			M:       ms[i],
+			Cycle:   cells[i].Cycle,
+			MaxCCK:  cells[i].MaxCCK,
+			Percent: cells[i].Percent,
+		})
 	}
 	return out, nil
 }
@@ -62,25 +71,6 @@ func DefaultRatios(kind ProblemKind) []float64 {
 		// The unique-solution construction needs m ≥ n+4, i.e. ratio ≳ 1.1.
 		return []float64{1.5, 2.0, 2.7, 3.4, 4.0, 5.0}
 	}
-}
-
-// runRatioCell is RunCell with an explicit constraint count instead of the
-// family's paper ratio.
-func runRatioCell(kind ProblemKind, n, m int, alg Algorithm, scale Scale) (CellResult, error) {
-	instances, inits := scale.trials(kind)
-	cell := CellResult{Kind: kind, N: n, Algorithm: alg.Name}
-	runner := newCellRunner(scale)
-	for i := 0; i < instances; i++ {
-		problem, err := makeInstanceM(kind, n, m, instanceSeed(scale.SeedBase, kind, n, i)+int64(m)*7_000_000_000_000)
-		if err != nil {
-			return CellResult{}, err
-		}
-		if err := runner.runInits(kind, n, i, inits, problem, alg); err != nil {
-			return CellResult{}, err
-		}
-	}
-	runner.fill(&cell)
-	return cell, nil
 }
 
 // Fprint renders the sweep as an aligned table.

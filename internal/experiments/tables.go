@@ -81,29 +81,34 @@ func learnerComparison(number int, kind ProblemKind, title string, scale Scale) 
 	return runGrid(number, kind, title, "learn", algs, scale)
 }
 
-// runGrid runs a (n × algorithm) grid and renders the paper's row layout:
-// n, algorithm label, cycle, maxcck, %.
+// runGrid runs a (n × algorithm) grid — every cell's trials dispatched
+// through one worker pool — and renders the paper's row layout: n,
+// algorithm label, cycle, maxcck, %.
 func runGrid(number int, kind ProblemKind, title, algColumn string, algs []Algorithm, scale Scale) (*Table, error) {
 	t := &Table{
 		Number: number,
 		Title:  title,
 		Header: []string{"n", algColumn, "cycle", "maxcck", "%"},
 	}
+	var specs []cellSpec
 	for _, n := range scale.ns(kind) {
 		for _, alg := range algs {
-			cell, err := RunCell(kind, n, alg, scale)
-			if err != nil {
-				return nil, err
-			}
-			t.Cells = append(t.Cells, cell)
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d", n),
-				alg.Name,
-				fmtF(cell.Cycle),
-				fmtF(cell.MaxCCK),
-				fmtPc(cell.Percent),
-			})
+			specs = append(specs, paperCell(kind, n, alg))
 		}
+	}
+	cells, err := runCells(specs, scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
+		t.Cells = append(t.Cells, cell)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cell.N),
+			cell.Algorithm,
+			fmtF(cell.Cycle),
+			fmtF(cell.MaxCCK),
+			fmtPc(cell.Percent),
+		})
 	}
 	return t, nil
 }
@@ -137,25 +142,26 @@ func Table4(scale Scale) (*Table, error) {
 	}
 	rec := AWC(core.Learning{Kind: core.LearnResolvent})
 	norec := AWC(core.Learning{Kind: core.LearnResolvent, NoRecord: true})
+	var specs []cellSpec
 	for _, kind := range []ProblemKind{D3C, D3S, D3S1} {
 		for _, n := range scale.ns(kind) {
-			recCell, err := RunCell(kind, n, rec, scale)
-			if err != nil {
-				return nil, err
-			}
-			norecCell, err := RunCell(kind, n, norec, scale)
-			if err != nil {
-				return nil, err
-			}
-			norecCell.Algorithm = "Rslv/norec"
-			t.Cells = append(t.Cells, recCell, norecCell)
-			t.Rows = append(t.Rows, []string{
-				kind.String(),
-				fmt.Sprintf("%d", n),
-				fmtF(recCell.Redundant),
-				fmtF(norecCell.Redundant),
-			})
+			specs = append(specs, paperCell(kind, n, rec), paperCell(kind, n, norec))
 		}
+	}
+	cells, err := runCells(specs, scale)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(cells); i += 2 {
+		recCell, norecCell := cells[i], cells[i+1]
+		norecCell.Algorithm = "Rslv/norec"
+		t.Cells = append(t.Cells, recCell, norecCell)
+		t.Rows = append(t.Rows, []string{
+			recCell.Kind.String(),
+			fmt.Sprintf("%d", recCell.N),
+			fmtF(recCell.Redundant),
+			fmtF(norecCell.Redundant),
+		})
 	}
 	return t, nil
 }
