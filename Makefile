@@ -7,7 +7,10 @@ GO ?= go
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
             ./internal/sim/... ./internal/experiments/...
 
-.PHONY: all build test vet fmt-check race bench-smoke ci
+.PHONY: all build test vet fmt-check race bench-smoke bench-json ci
+
+# The paired (ref vs dense) benchmarks bench-json compares.
+BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
 
 all: build
 
@@ -33,5 +36,13 @@ race:
 
 bench-smoke:
 	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .
+
+# Regenerates BENCH_2.json: runs the benchmarks that pair a map-backed
+# reference variant (/ref) against the dense default (/dense) and converts
+# the output into a before/after report. Informational — wall-clock numbers
+# vary by machine; the charged check counts they share do not.
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCH_PAIRED)' -benchmem -timeout 20m . \
+		| $(GO) run ./cmd/benchjson -o BENCH_2.json
 
 ci: build vet fmt-check test race bench-smoke

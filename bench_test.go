@@ -256,8 +256,160 @@ func BenchmarkNogoodCheck(b *testing.B) {
 	}
 }
 
+// benchProbe reproduces the reference representation's probe: a map-backed
+// view plus the own variable's hypothetical value, boxed into the
+// Assignment interface on every Check call (one heap allocation per check —
+// the cost the dense representation eliminates).
+type benchProbe struct {
+	view map[csp.Var]csp.Value
+	own  csp.Var
+	val  csp.Value
+}
+
+func (p benchProbe) Lookup(v csp.Var) (csp.Value, bool) {
+	if v == p.own {
+		return p.val, true
+	}
+	val, ok := p.view[v]
+	return val, ok
+}
+
+// BenchmarkProbeViewCheckLoop measures the agent hot loop: evaluate every
+// stored nogood against the agent_view for each domain value. The ref
+// variant is the map-backed probe of the reference representation; the
+// dense variant runs CheckDense against a DenseView. Same charged checks,
+// different machine cost — this is the before/after pair behind the
+// tentpole's allocs-per-check claim.
+func BenchmarkProbeViewCheckLoop(b *testing.B) {
+	inst, err := gen.Coloring(40, 108, 3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := inst.Problem
+	const own = csp.Var(0)
+	store := nogood.NewFromSlice(p.NogoodsOf(own))
+	domain := p.Domain(own)
+	neighbors := p.Neighbors(own)
+
+	b.Run("ref", func(b *testing.B) {
+		view := make(map[csp.Var]csp.Value, len(neighbors))
+		for _, nb := range neighbors {
+			view[nb] = 1
+		}
+		var c nogood.Counter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range domain {
+				probe := benchProbe{view: view, own: own, val: d}
+				for _, ng := range store.All() {
+					nogood.Check(ng, probe, &c)
+				}
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		dv := csp.NewDenseView(p.NumVars())
+		for _, nb := range neighbors {
+			dv.Assign(nb, 1)
+		}
+		var c nogood.Counter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range domain {
+				dv.Assign(own, d)
+				for _, ng := range store.All() {
+					nogood.CheckDense(ng, dv, &c)
+				}
+			}
+		}
+	})
+}
+
+// refAddPruning is the seed's unindexed AddPruning: linear dup scan via the
+// key map is replaced here by a linear key scan plus the full subset scan
+// and index rebuild the seed performed. It exists only as the benchmark's
+// "before" side.
+type refPruneStore struct {
+	ngs   []csp.Nogood
+	index map[string]int
+}
+
+func (s *refPruneStore) addPruning(ng csp.Nogood, c *nogood.Counter) (bool, int) {
+	if _, dup := s.index[ng.Key()]; dup {
+		return false, 0
+	}
+	if c != nil {
+		c.Add(len(s.ngs))
+	}
+	removed := 0
+	keep := s.ngs[:0]
+	for _, stored := range s.ngs {
+		if ng.SubsetOf(stored) {
+			removed++
+			continue
+		}
+		keep = append(keep, stored)
+	}
+	s.ngs = append(keep, ng)
+	for k := range s.index {
+		delete(s.index, k)
+	}
+	for i, stored := range s.ngs {
+		s.index[stored.Key()] = i
+	}
+	return true, removed
+}
+
+// pruningWorkload is a chain of inserts exercising both outcomes: supersets
+// recorded first, then the shorter nogoods that prune them.
+func pruningWorkload() []csp.Nogood {
+	var ngs []csp.Nogood
+	for base := csp.Var(0); base < 30; base++ {
+		ngs = append(ngs,
+			csp.MustNogood(csp.Lit{Var: base, Val: 0}, csp.Lit{Var: base + 1, Val: 0},
+				csp.Lit{Var: base + 2, Val: 0}, csp.Lit{Var: base + 3, Val: 0}),
+			csp.MustNogood(csp.Lit{Var: base, Val: 0}, csp.Lit{Var: base + 1, Val: 0},
+				csp.Lit{Var: base + 2, Val: 0}),
+			csp.MustNogood(csp.Lit{Var: base + 1, Val: 0}, csp.Lit{Var: base + 2, Val: 0}),
+		)
+	}
+	return ngs
+}
+
+// BenchmarkStoreAddPruning pairs the seed's linear-scan AddPruning (ref)
+// against the indexed store (dense). Both charge identical Counter units;
+// the indexes only cut the uncharged machine work (subset tests against
+// non-candidates, full key-map rebuilds).
+func BenchmarkStoreAddPruning(b *testing.B) {
+	workload := pruningWorkload()
+	b.Run("ref", func(b *testing.B) {
+		var c nogood.Counter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := &refPruneStore{index: make(map[string]int)}
+			for _, ng := range workload {
+				s.addPruning(ng, &c)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		var c nogood.Counter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := nogood.New()
+			for _, ng := range workload {
+				s.AddPruning(ng, &c)
+			}
+		}
+	})
+}
+
 // BenchmarkResolventDerivation measures one deadend's learning step on the
-// paper's Figure 1 scenario.
+// paper's Figure 1 scenario, under both agent-view representations.
 func BenchmarkResolventDerivation(b *testing.B) {
 	p := csp.NewProblemUniform(5, 3)
 	for other := csp.Var(0); other < 4; other++ {
@@ -271,11 +423,48 @@ func BenchmarkResolventDerivation(b *testing.B) {
 		core.Ok{Sender: 2, Receiver: 4, Value: 2, Priority: 4},
 		core.Ok{Sender: 3, Receiver: 4, Value: 0, Priority: 2},
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := core.NewAgent(4, p, 0, core.Learning{Kind: core.LearnResolvent})
-		a.Step(in)
+	for _, repr := range []struct {
+		name string
+		l    core.Learning
+	}{
+		{"ref", core.Learning{Kind: core.LearnResolvent, Reference: true}},
+		{"dense", core.Learning{Kind: core.LearnResolvent}},
+	} {
+		b.Run(repr.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := core.NewAgent(4, p, 0, repr.l)
+				a.Step(in)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Representations runs the Table 1 learner grid (Rslv, Mcs,
+// No on distributed 3-coloring) under both representations: the macro
+// before/after pair of BENCH_2.json. Search trajectories are bit-identical
+// (TestDenseMatchesReference), so the ns/op ratio is pure representation
+// cost.
+func BenchmarkTable1Representations(b *testing.B) {
+	for _, repr := range []struct {
+		name      string
+		reference bool
+	}{
+		{"ref", true},
+		{"dense", false},
+	} {
+		b.Run(repr.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, kind := range []core.LearningKind{core.LearnResolvent, core.LearnMCS, core.LearnNone} {
+					l := core.Learning{Kind: kind, Reference: repr.reference}
+					if _, err := experiments.RunCell(experiments.D3C, 40, experiments.AWC(l),
+						experiments.Scale{Ns: []int{40}, Instances: 2, Inits: 2}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

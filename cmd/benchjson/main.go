@@ -1,0 +1,190 @@
+// Command benchjson converts `go test -bench` output into a before/after
+// JSON report. Benchmarks that expose a <Name>/ref and <Name>/dense pair
+// (the map-backed reference representation against the dense default) are
+// emitted as one entry with both sides and the derived ratios; unpaired
+// benchmarks are ignored.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='...' -benchmem . | benchjson -o BENCH_2.json
+//
+// The report is what `make bench-json` commits as BENCH_2.json and what the
+// CI benchmark-comparison step uploads as an artifact. The search
+// trajectories behind each pair are bit-identical by construction (see
+// internal/experiments' cross-representation equivalence tests), so the
+// ratios measure representation cost only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Side is one benchmark variant's measurements.
+type Side struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Pair is one before/after comparison.
+type Pair struct {
+	// Name is the benchmark name without the Benchmark prefix and the
+	// /ref//dense suffix.
+	Name string `json:"name"`
+	// Before is the reference (map-backed) representation.
+	Before Side `json:"before"`
+	// After is the dense representation.
+	After Side `json:"after"`
+	// Speedup is Before.NsPerOp / After.NsPerOp.
+	Speedup float64 `json:"speedup"`
+	// AllocReduction is Before.AllocsPerOp / After.AllocsPerOp, omitted
+	// when the after side is allocation-free (JSON has no +Inf; see
+	// AfterAllocFree).
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+	// AfterAllocFree marks pairs whose dense side performs zero
+	// allocations per op (the reduction ratio would be infinite).
+	AfterAllocFree bool `json:"after_alloc_free,omitempty"`
+}
+
+// Report is the BENCH_2.json document.
+type Report struct {
+	// Unit reminds readers what one op is for each benchmark: see the
+	// benchmark's doc comment in bench_test.go.
+	Note  string `json:"note"`
+	Pairs []Pair `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+// variants collects the two sides of one benchmark while parsing.
+type variants struct {
+	ref, dense *Side
+}
+
+func parseSide(ns string, rest string) Side {
+	s := Side{}
+	s.NsPerOp, _ = strconv.ParseFloat(ns, 64)
+	fields := strings.Fields(rest)
+	for i := 1; i < len(fields); i++ {
+		val, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "B/op":
+			s.BytesPerOp = val
+		case "allocs/op":
+			s.AllocsPerOp = val
+		}
+	}
+	return s
+}
+
+func main() {
+	out := flag.String("o", "BENCH_2.json", "output file")
+	flag.Parse()
+
+	found := make(map[string]*variants)
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		full, ns, rest := m[1], m[2], m[3]
+		var which string
+		var base string
+		switch {
+		case strings.HasSuffix(full, "/ref"):
+			which, base = "ref", strings.TrimSuffix(full, "/ref")
+		case strings.HasSuffix(full, "/dense"):
+			which, base = "dense", strings.TrimSuffix(full, "/dense")
+		default:
+			continue
+		}
+		base = strings.TrimPrefix(base, "Benchmark")
+		side := parseSide(ns, rest)
+		v := found[base]
+		if v == nil {
+			v = &variants{}
+			found[base] = v
+			order = append(order, base)
+		}
+		if which == "ref" {
+			v.ref = &side
+		} else {
+			v.dense = &side
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	report := Report{
+		Note: "before = map-backed reference representation (core.Learning.Reference), " +
+			"after = dense slice-backed default; identical search trajectories and charged " +
+			"nogood checks (see TestDenseMatchesReference), so ratios are pure representation cost",
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, base := range order {
+		v := found[base]
+		if v.ref == nil || v.dense == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: missing %s side, skipping\n", base, missing(v))
+			continue
+		}
+		p := Pair{Name: base, Before: *v.ref, After: *v.dense}
+		if p.After.NsPerOp > 0 {
+			p.Speedup = round2(p.Before.NsPerOp / p.After.NsPerOp)
+		}
+		if p.After.AllocsPerOp > 0 {
+			p.AllocReduction = round2(p.Before.AllocsPerOp / p.After.AllocsPerOp)
+		} else if p.Before.AllocsPerOp > 0 {
+			p.AfterAllocFree = true
+		}
+		report.Pairs = append(report.Pairs, p)
+	}
+	if len(report.Pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no ref/dense pairs found in input")
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: close:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d pairs to %s\n", len(report.Pairs), *out)
+}
+
+func missing(v *variants) string {
+	if v.ref == nil {
+		return "ref"
+	}
+	return "dense"
+}
+
+func round2(x float64) float64 {
+	return float64(int(x*100+0.5)) / 100
+}

@@ -113,8 +113,7 @@ func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
 
 // lowest returns the lowest-priority (largest-id) variable of ng.
 func lowest(ng csp.Nogood) csp.Var {
-	vars := ng.Vars()
-	return vars[len(vars)-1] // canonical order is ascending
+	return ng.At(ng.Len() - 1).Var // canonical order is ascending
 }
 
 // ID implements sim.Agent.
@@ -194,7 +193,8 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 func (a *Agent) receiveNogood(msg NogoodMsg) []sim.Message {
 	ng := msg.Nogood
 	var out []sim.Message
-	for _, l := range ng.Lits() {
+	for i := 0; i < ng.Len(); i++ {
+		l := ng.At(i)
 		if l.Var == a.id {
 			continue
 		}

@@ -73,8 +73,13 @@ type Agent struct {
 	counter   nogood.Counter
 
 	value csp.Value
-	view  map[csp.Var]csp.Value
-	mode  mode
+	// dv holds the neighbors' last-known values plus the own variable,
+	// whose slot doubles as the probe value during eval scans (eval leaves
+	// it at the last probed value; every scan site restores it to a.value).
+	// The dense representation lets eval use nogood.CheckDense — zero
+	// allocations per check, unlike the old per-probe interface boxing.
+	dv   *csp.DenseView
+	mode mode
 
 	myImprove int
 	myEval    int
@@ -95,6 +100,8 @@ func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
 	for i := range weights {
 		weights[i] = 1
 	}
+	dv := csp.NewDenseView(problem.NumVars())
+	dv.Assign(id, initial)
 	return &Agent{
 		id:        id,
 		domain:    problem.Domain(id),
@@ -102,7 +109,7 @@ func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
 		nogoods:   ngs,
 		weights:   weights,
 		value:     initial,
-		view:      make(map[csp.Var]csp.Value),
+		dv:        dv,
 		mode:      waitOk,
 		improves:  make(map[csp.Var]int),
 	}
@@ -137,6 +144,7 @@ func (a *Agent) Init() []sim.Message {
 			a.value = d
 		}
 	}
+	a.dv.Assign(a.id, a.value)
 	return a.sendOks(nil)
 }
 
@@ -147,7 +155,7 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 	for _, m := range in {
 		switch msg := m.(type) {
 		case Ok:
-			a.view[csp.Var(msg.Sender)] = msg.Value
+			a.dv.Assign(csp.Var(msg.Sender), msg.Value)
 			a.oks++
 		case Improve:
 			a.improves[csp.Var(msg.Sender)] = msg.Improve
@@ -189,6 +197,7 @@ func (a *Agent) sendImproves() []sim.Message {
 		}
 	}
 	a.myImprove = a.myEval - bestEval
+	a.dv.Assign(a.id, a.value)
 	a.mode = waitImprove
 
 	msgs := make([]sim.Message, 0, len(a.neighbors))
@@ -219,33 +228,34 @@ func (a *Agent) decide() []sim.Message {
 	switch {
 	case iWin:
 		a.value = a.bestValue
+		a.dv.Assign(a.id, a.value)
 		a.stats.Moves++
 	case a.myEval > 0 && a.myImprove <= 0 && !anyPositiveNeighbor:
 		// Quasi-local-minimum: violating, cannot improve, and no neighbor
 		// can either. Break out by raising the weights of the violated
-		// nogoods.
+		// nogoods. The dense view already holds the current value.
 		a.stats.QuasiLocalMinima++
 		for i, ng := range a.nogoods {
-			if nogood.Check(ng, probe{a: a, val: a.value}, &a.counter) {
+			if nogood.CheckDense(ng, a.dv, &a.counter) {
 				a.weights[i]++
 				a.stats.WeightIncreases++
 			}
 		}
 	}
-	for k := range a.improves {
-		delete(a.improves, k)
-	}
+	clear(a.improves)
 	a.mode = waitOk
 	return a.sendOks(nil)
 }
 
 // eval is the weighted count of nogoods violated when the own variable
-// takes val; each nogood evaluation charges one check.
+// takes val; each nogood evaluation charges one check. It leaves the own
+// variable's dense-view slot at val; callers restore a.value when the scan
+// is done.
 func (a *Agent) eval(val csp.Value) int {
 	total := 0
-	pv := probe{a: a, val: val}
+	a.dv.Assign(a.id, val)
 	for i, ng := range a.nogoods {
-		if nogood.Check(ng, pv, &a.counter) {
+		if nogood.CheckDense(ng, a.dv, &a.counter) {
 			total += a.weights[i]
 		}
 	}
@@ -261,22 +271,4 @@ func (a *Agent) sendOks(msgs []sim.Message) []sim.Message {
 		})
 	}
 	return msgs
-}
-
-// probe is the assignment "neighbors' last-known values with my variable set
-// to val".
-type probe struct {
-	a   *Agent
-	val csp.Value
-}
-
-var _ csp.Assignment = probe{}
-
-// Lookup implements csp.Assignment.
-func (p probe) Lookup(v csp.Var) (csp.Value, bool) {
-	if v == p.a.id {
-		return p.val, true
-	}
-	val, ok := p.a.view[v]
-	return val, ok
 }

@@ -52,7 +52,8 @@ func New(p *csp.Problem) *Solver {
 		done:    make([]bool, p.NumVars()),
 	}
 	for i, ng := range s.nogoods {
-		for _, v := range ng.Vars() {
+		for j := 0; j < ng.Len(); j++ {
+			v := ng.At(j).Var
 			s.byVar[v] = append(s.byVar[v], i)
 		}
 	}
@@ -173,7 +174,8 @@ func (s *Solver) forwardCheck(v int) bool {
 		unassignedVar := -1
 		var unassignedVal csp.Value
 		unassignedCount := 0
-		for _, l := range ng.Lits() {
+		for li := 0; li < ng.Len(); li++ {
+			l := ng.At(li)
 			if !s.done[l.Var] {
 				unassignedCount++
 				unassignedVar = int(l.Var)

@@ -32,13 +32,18 @@ type Stats struct {
 	PriorityRaises int64
 }
 
-// viewEntry is what an agent knows about another agent's variable.
-type viewEntry struct {
-	val  csp.Value
-	prio int
-}
-
 // Agent is one AWC agent owning one variable.
+//
+// The agent view has two interchangeable representations. The default is
+// dense: values live in a csp.DenseView indexed by variable (with the own
+// variable's slot doubling as the probe value during evaluation), priorities
+// in a parallel slice, and every stored nogood's higher/lower classification
+// is cached and only recomputed when a priority or the store changes. The
+// map-backed representation of the paper-faithful first implementation is
+// kept verbatim behind Learning.Reference as a verification oracle (see
+// refpath.go); both representations charge bit-identical nogood checks and
+// make bit-identical decisions, which the cross-representation equivalence
+// tests enforce.
 type Agent struct {
 	id       csp.Var
 	domain   []csp.Value
@@ -49,6 +54,23 @@ type Agent struct {
 
 	value    csp.Value
 	priority int
+
+	// Dense representation (default).
+	dv     *csp.DenseView // agent_view plus own variable (= probe slot)
+	prios  []int          // prios[v] = last announced priority of v (0 unknown)
+	links  []csp.Var      // sorted ok? broadcast targets
+	linked []bool         // membership mirror of links
+	// higher caches each stored nogood's higher/lower classification, by
+	// store position. Rank depends only on priorities (not values), so the
+	// cache stays valid until a view priority, the own priority, or the
+	// store itself changes.
+	higher      []bool
+	higherValid bool
+	mcsView     *csp.DenseView // scratch assignment for conflict-set tests
+	litScratch  []csp.Lit      // scratch for resolvent assembly
+	subScratch  []csp.Lit      // scratch for mcs subset candidates
+
+	// Reference representation (Learning.Reference).
 	view     map[csp.Var]viewEntry
 	outLinks map[csp.Var]struct{}
 
@@ -76,12 +98,27 @@ func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value, learning Lear
 		learning:      learning,
 		store:         nogood.NewFromSlice(problem.NogoodsOf(id)),
 		value:         initial,
-		view:          make(map[csp.Var]viewEntry),
-		outLinks:      make(map[csp.Var]struct{}),
 		generatedKeys: make(map[string]struct{}),
 	}
-	for _, nb := range problem.Neighbors(id) {
-		a.outLinks[nb] = struct{}{}
+	neighbors := problem.Neighbors(id)
+	if learning.Reference {
+		a.view = make(map[csp.Var]viewEntry)
+		a.outLinks = make(map[csp.Var]struct{})
+		for _, nb := range neighbors {
+			a.outLinks[nb] = struct{}{}
+		}
+	} else {
+		n := problem.NumVars()
+		a.dv = csp.NewDenseView(n)
+		a.dv.Assign(id, initial)
+		a.prios = make([]int, n)
+		a.mcsView = csp.NewDenseView(n)
+		a.linked = make([]bool, n)
+		a.links = make([]csp.Var, len(neighbors))
+		copy(a.links, neighbors) // Neighbors returns sorted variables
+		for _, nb := range neighbors {
+			a.linked[nb] = true
+		}
 	}
 	a.violatedHigher = make([][]csp.Nogood, len(a.domain))
 	a.lowerViol = make([]int, len(a.domain))
@@ -173,12 +210,12 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 		sawTraffic = true
 		switch msg := m.(type) {
 		case Ok:
-			a.view[csp.Var(msg.Sender)] = viewEntry{val: msg.Value, prio: msg.Priority}
+			a.observe(csp.Var(msg.Sender), msg.Value, msg.Priority)
 		case Request:
 			// Always answer with the current value, even on an existing
 			// link: the requester asked because it lacks the value.
 			v := csp.Var(msg.Sender)
-			a.outLinks[v] = struct{}{}
+			a.addLink(v)
 			mustAnswer = append(mustAnswer, v)
 		case NogoodMsg:
 			out = append(out, a.receiveNogood(msg.Nogood)...)
@@ -206,19 +243,69 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 	return out
 }
 
+// observe records an ok? announcement in the agent_view.
+func (a *Agent) observe(v csp.Var, val csp.Value, prio int) {
+	if a.learning.Reference {
+		a.view[v] = viewEntry{val: val, prio: prio}
+		return
+	}
+	if a.prios[v] != prio {
+		a.prios[v] = prio
+		a.higherValid = false
+	}
+	a.dv.Assign(v, val)
+}
+
+// knows reports whether v appears in the agent_view.
+func (a *Agent) knows(v csp.Var) bool {
+	if a.learning.Reference {
+		_, known := a.view[v]
+		return known
+	}
+	return a.dv.Known(v)
+}
+
+// adopt enters an unknown variable's value into the agent_view at priority
+// 0 (the value asserted by a received nogood). Priority 0 equals the rank
+// an unknown variable already had, so the higher-nogood cache stays valid.
+func (a *Agent) adopt(v csp.Var, val csp.Value) {
+	if a.learning.Reference {
+		a.view[v] = viewEntry{val: val, prio: 0}
+		return
+	}
+	a.dv.Assign(v, val)
+}
+
+// addLink adds v to the ok? broadcast targets.
+func (a *Agent) addLink(v csp.Var) {
+	if a.learning.Reference {
+		a.outLinks[v] = struct{}{}
+		return
+	}
+	if a.linked[v] {
+		return
+	}
+	a.linked[v] = true
+	i := sort.Search(len(a.links), func(i int) bool { return a.links[i] >= v })
+	a.links = append(a.links, 0)
+	copy(a.links[i+1:], a.links[i:])
+	a.links[i] = v
+}
+
 // receiveNogood implements the nogood-message handler of Section 2.2:
 // record the nogood (subject to the learning configuration's recording
 // rules), and request values for unknown variables.
 func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
 	var out []sim.Message
-	for _, l := range ng.Lits() {
+	for i := 0; i < ng.Len(); i++ {
+		l := ng.At(i)
 		if l.Var == a.id {
 			continue
 		}
-		if _, known := a.view[l.Var]; !known {
+		if !a.knows(l.Var) {
 			// Adopt the value asserted by the nogood (it was true at the
 			// sender's view) and ask the owner to keep us posted.
-			a.view[l.Var] = viewEntry{val: l.Val, prio: 0}
+			a.adopt(l.Var, l.Val)
 			out = append(out, Request{Sender: a.ID(), Receiver: sim.AgentID(l.Var)})
 		}
 	}
@@ -228,32 +315,16 @@ func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
 			if added {
 				a.stats.NogoodsRecorded++
 			}
+			if added || removed > 0 {
+				a.higherValid = false
+			}
 			a.stats.NogoodsPruned += int64(removed)
 		} else if a.store.Add(ng) {
 			a.stats.NogoodsRecorded++
+			a.higherValid = false
 		}
 	}
 	return out
-}
-
-// probeView is the assignment "my agent_view with my variable set to val".
-type probeView struct {
-	a   *Agent
-	val csp.Value
-}
-
-var _ csp.Assignment = probeView{}
-
-// Lookup implements csp.Assignment.
-func (p probeView) Lookup(v csp.Var) (csp.Value, bool) {
-	if v == p.a.id {
-		return p.val, true
-	}
-	e, ok := p.a.view[v]
-	if !ok {
-		return 0, false
-	}
-	return e.val, true
 }
 
 // rank is a variable's total-order priority: larger priority value wins,
@@ -276,11 +347,16 @@ func (a *Agent) rankOf(v csp.Var) rank {
 	if v == a.id {
 		return rank{p: a.priority, v: v}
 	}
-	e, ok := a.view[v]
-	if !ok {
-		return rank{p: 0, v: v}
+	if a.learning.Reference {
+		e, ok := a.view[v]
+		if !ok {
+			return rank{p: 0, v: v}
+		}
+		return rank{p: e.prio, v: v}
 	}
-	return rank{p: e.prio, v: v}
+	// prios[v] is 0 for unknown variables — the same rank an absent view
+	// entry yields in the reference representation.
+	return rank{p: a.prios[v], v: v}
 }
 
 // nogoodRank returns the nogood's priority: the lowest rank among its
@@ -292,7 +368,8 @@ func (a *Agent) nogoodRank(ng csp.Nogood) (rank, bool) {
 		low   rank
 		found bool
 	)
-	for _, v := range ng.Vars() {
+	for i := 0; i < ng.Len(); i++ {
+		v := ng.At(i).Var
 		if v == a.id {
 			continue
 		}
@@ -314,45 +391,37 @@ func (a *Agent) isHigher(ng csp.Nogood) bool {
 	return ngRank.outranks(rank{p: a.priority, v: a.id})
 }
 
+// ensureHigher refreshes the per-nogood higher/lower classification cache.
+// Dense representation only.
+func (a *Agent) ensureHigher() {
+	all := a.store.All()
+	if a.higherValid && len(a.higher) == len(all) {
+		return
+	}
+	if cap(a.higher) < len(all) {
+		a.higher = make([]bool, len(all))
+	} else {
+		a.higher = a.higher[:len(all)]
+	}
+	for i, ng := range all {
+		a.higher[i] = a.isHigher(ng)
+	}
+	a.higherValid = true
+}
+
 // checkAgentView is the heart of AWC (Section 2.2). It returns whether the
 // agent acted (changed value and/or priority) and the messages to send.
 func (a *Agent) checkAgentView() (bool, []sim.Message) {
 	// Fast path: is the current value consistent with all higher nogoods?
 	// Scans until the first violated higher nogood, charging one check per
 	// evaluated nogood.
-	current := probeView{a: a, val: a.value}
-	consistent := true
-	for _, ng := range a.store.All() {
-		if !a.isHigher(ng) {
-			continue
-		}
-		if nogood.Check(ng, current, &a.counter) {
-			consistent = false
-			break
-		}
-	}
-	if consistent {
+	if a.consistent() {
 		return false, nil
 	}
 
 	// Full evaluation: one pass per domain value over the whole store,
 	// classifying each nogood as higher or lower and recording violations.
-	for i := range a.domain {
-		a.violatedHigher[i] = a.violatedHigher[i][:0]
-		a.lowerViol[i] = 0
-	}
-	for _, ng := range a.store.All() {
-		higher := a.isHigher(ng)
-		for i, d := range a.domain {
-			if nogood.Check(ng, probeView{a: a, val: d}, &a.counter) {
-				if higher {
-					a.violatedHigher[i] = append(a.violatedHigher[i], ng)
-				} else {
-					a.lowerViol[i]++
-				}
-			}
-		}
-	}
+	a.classifyViolations()
 
 	// Candidates repair every higher violation; among them minimize
 	// violations of lower nogoods.
@@ -360,7 +429,7 @@ func (a *Agent) checkAgentView() (bool, []sim.Message) {
 		func(i int) bool { return len(a.violatedHigher[i]) == 0 },
 		func(i int) int { return a.lowerViol[i] })
 	if bestIdx >= 0 {
-		a.value = a.domain[bestIdx]
+		a.setValue(a.domain[bestIdx])
 		return true, a.broadcastOk(nil)
 	}
 
@@ -373,10 +442,11 @@ func (a *Agent) checkAgentView() (bool, []sim.Message) {
 		// "nogoods generated", and the derivation work happens whether or
 		// not the suppression guard below then swallows the result.
 		a.stats.NogoodsGenerated++
-		if _, seen := a.generatedKeys[learned.Key()]; seen {
+		key := learned.Key()
+		if _, seen := a.generatedKeys[key]; seen {
 			a.stats.RedundantGenerations++
 		} else {
-			a.generatedKeys[learned.Key()] = struct{}{}
+			a.generatedKeys[key] = struct{}{}
 		}
 		if a.lastLearned != nil && learned.Equal(*a.lastLearned) {
 			// Required for completeness (Section 2.2): regenerating the
@@ -389,10 +459,10 @@ func (a *Agent) checkAgentView() (bool, []sim.Message) {
 			a.insoluble = true
 			return false, nil
 		}
-		for _, v := range learned.Vars() {
+		for i := 0; i < learned.Len(); i++ {
 			ngMsgs = append(ngMsgs, NogoodMsg{
 				Sender:   a.ID(),
-				Receiver: sim.AgentID(v),
+				Receiver: sim.AgentID(learned.At(i).Var),
 				Nogood:   learned,
 			})
 		}
@@ -400,31 +470,105 @@ func (a *Agent) checkAgentView() (bool, []sim.Message) {
 
 	// Raise priority above everything currently in view, then move to the
 	// value violating the fewest nogoods overall (higher and lower).
-	maxPrio := a.priority
-	for _, e := range a.view {
-		if e.prio > maxPrio {
-			maxPrio = e.prio
-		}
-	}
-	a.priority = maxPrio + 1
+	a.priority = a.maxViewPriority() + 1
+	a.higherValid = false
 	a.stats.PriorityRaises++
 
 	bestIdx = a.chooseMin(len(a.domain),
 		func(int) bool { return true },
 		func(i int) int { return len(a.violatedHigher[i]) + a.lowerViol[i] })
-	a.value = a.domain[bestIdx]
+	a.setValue(a.domain[bestIdx])
 	return true, a.broadcastOk(ngMsgs)
+}
+
+// setValue moves the own variable, keeping the dense view's probe slot in
+// sync.
+func (a *Agent) setValue(val csp.Value) {
+	a.value = val
+	if !a.learning.Reference {
+		a.dv.Assign(a.id, val)
+	}
+}
+
+// maxViewPriority returns the highest priority in the agent_view, floored
+// at the own priority.
+func (a *Agent) maxViewPriority() int {
+	maxPrio := a.priority
+	if a.learning.Reference {
+		for _, e := range a.view {
+			if e.prio > maxPrio {
+				maxPrio = e.prio
+			}
+		}
+		return maxPrio
+	}
+	// Unknown variables sit at priority 0, which can never exceed the own
+	// priority (priorities start at 0 and only rise), so scanning the whole
+	// dense slice matches the reference map scan.
+	for v, p := range a.prios {
+		if csp.Var(v) != a.id && p > maxPrio {
+			maxPrio = p
+		}
+	}
+	return maxPrio
+}
+
+// consistent reports whether the current value violates no higher nogood,
+// charging one check per evaluated nogood (short-circuiting on the first
+// violation).
+func (a *Agent) consistent() bool {
+	if a.learning.Reference {
+		return a.consistentRef()
+	}
+	a.ensureHigher()
+	dv := a.dv // holds the agent_view with the own variable at a.value
+	for i, ng := range a.store.All() {
+		if !a.higher[i] {
+			continue
+		}
+		if nogood.CheckDense(ng, dv, &a.counter) {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyViolations fills violatedHigher/lowerViol with one full pass per
+// domain value over the whole store, charging one check per evaluation.
+func (a *Agent) classifyViolations() {
+	for i := range a.domain {
+		a.violatedHigher[i] = a.violatedHigher[i][:0]
+		a.lowerViol[i] = 0
+	}
+	if a.learning.Reference {
+		a.classifyViolationsRef()
+		return
+	}
+	a.ensureHigher()
+	dv := a.dv
+	for i, ng := range a.store.All() {
+		higher := a.higher[i]
+		for j, d := range a.domain {
+			dv.Assign(a.id, d)
+			if nogood.CheckDense(ng, dv, &a.counter) {
+				if higher {
+					a.violatedHigher[j] = append(a.violatedHigher[j], ng)
+				} else {
+					a.lowerViol[j]++
+				}
+			}
+		}
+	}
+	dv.Assign(a.id, a.value) // restore the probe slot
 }
 
 // broadcastOk appends an ok? message for every outgoing link to msgs,
 // in deterministic (ascending id) order.
 func (a *Agent) broadcastOk(msgs []sim.Message) []sim.Message {
-	targets := make([]csp.Var, 0, len(a.outLinks))
-	for v := range a.outLinks {
-		targets = append(targets, v)
+	if a.learning.Reference {
+		return a.broadcastOkRef(msgs)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-	for _, v := range targets {
+	for _, v := range a.links {
 		msgs = append(msgs, Ok{
 			Sender:   a.ID(),
 			Receiver: sim.AgentID(v),

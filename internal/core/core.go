@@ -112,6 +112,16 @@ type Learning struct {
 	// minimum) conflict set at polynomial cost. 0 means
 	// DefaultMCSExhaustiveLimit.
 	MCSExhaustiveLimit int
+	// Reference, when true, runs agents on the original map-backed
+	// agent-view representation (refpath.go) instead of the dense
+	// slice-backed default. Both representations make bit-identical
+	// decisions and charge bit-identical nogood checks — the
+	// cross-representation equivalence tests enforce it — so Reference only
+	// trades speed for the simpler code path. It exists as the verification
+	// oracle and as the reproducible "before" side of the benchmark pairs.
+	// Name() deliberately ignores it: table labels must match across
+	// representations.
+	Reference bool
 }
 
 // DefaultMCSExhaustiveLimit is the default cap on exhaustive mcs subset

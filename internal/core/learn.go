@@ -10,6 +10,13 @@ import (
 // checkAgentView computed for the deadend (a.violatedHigher, indexed like
 // a.domain), so derivation itself re-checks nothing it already knows;
 // mcs-based learning pays extra checks for every subset test it performs.
+//
+// Derivation has a dense and a reference path, like the agent view itself
+// (see refpath.go): the dense path gathers resolvent literals into a reused
+// scratch slice and tests conflict-set candidates against a reused dense
+// view, where the reference path chains Union allocations and builds a map
+// assignment per candidate. Both charge identical checks and derive
+// identical nogoods.
 
 // deriveNogood dispatches on the configured learning kind. It must only be
 // called at a deadend: every a.violatedHigher[i] is non-empty.
@@ -27,18 +34,24 @@ func (a *Agent) deriveNogood() csp.Nogood {
 // removed. The result is a resolvent: it is violated under the current
 // agent_view and mentions only other agents' variables.
 func (a *Agent) resolventNogood() csp.Nogood {
-	result := csp.MustNogood()
+	if a.learning.Reference {
+		return a.resolventRef()
+	}
+	// Gather every selected literal into the scratch slice and canonicalize
+	// once: duplicates collapse in MustNogood, and a contradiction is
+	// impossible because every selected nogood is violated under the same
+	// agent_view (MustNogood would panic, as the reference Union chain
+	// does).
+	a.litScratch = a.litScratch[:0]
 	for i := range a.domain {
 		selected := a.selectNogoodForValue(a.violatedHigher[i])
-		union, err := result.Union(selected.Without(a.id))
-		if err != nil {
-			// Impossible: every selected nogood is violated under the same
-			// agent_view, so shared variables agree on their values.
-			panic("core: inconsistent resolvent operands: " + err.Error())
+		for j := 0; j < selected.Len(); j++ {
+			if l := selected.At(j); l.Var != a.id {
+				a.litScratch = append(a.litScratch, l)
+			}
 		}
-		result = union
 	}
-	return result
+	return csp.MustNogood(a.litScratch...)
 }
 
 // selectNogoodForValue picks the smallest nogood; ties break toward the
@@ -95,13 +108,14 @@ func (a *Agent) minimumConflictSet(resolvent csp.Nogood) csp.Nogood {
 	for size := resolvent.Len() - 1; size >= 0; size-- {
 		found := false
 		forEachSubset(len(lits), size, func(idxs []int) bool {
-			subset := make([]csp.Lit, 0, size)
+			a.subScratch = a.subScratch[:0]
 			for _, i := range idxs {
-				subset = append(subset, lits[i])
+				a.subScratch = append(a.subScratch, lits[i])
 			}
-			candidate := csp.MustNogood(subset...)
-			if a.isConflictSet(candidate) {
-				best = candidate
+			if a.conflictSetLits(a.subScratch) {
+				// Materialize the winning candidate only on a hit; the dense
+				// path tests candidates straight from the scratch slice.
+				best = csp.MustNogood(a.subScratch...)
 				found = true
 				return false // first hit at this size wins; move down a size
 			}
@@ -120,7 +134,7 @@ func (a *Agent) greedyConflictSet(resolvent csp.Nogood) csp.Nogood {
 	current := resolvent
 	for i := 0; i < current.Len(); {
 		candidate := current.WithoutAt(i)
-		if a.isConflictSet(candidate) {
+		if a.conflictSetNogood(candidate) {
 			current = candidate
 			// Re-test position i, which now holds the next literal.
 		} else {
@@ -130,36 +144,68 @@ func (a *Agent) greedyConflictSet(resolvent csp.Nogood) csp.Nogood {
 	return current
 }
 
-// isConflictSet reports whether the partial assignment expressed by set
-// prohibits every domain value: for each value, some higher nogood is
-// violated under set ∧ (own variable = value). Each evaluation charges one
+// conflictSetLits tests a candidate given as a literal slice (already
+// variable-deduplicated, any order).
+func (a *Agent) conflictSetLits(lits []csp.Lit) bool {
+	if a.learning.Reference {
+		return a.isConflictSetRef(csp.MustNogood(lits...))
+	}
+	return a.isConflictSetDense(lits)
+}
+
+// conflictSetNogood tests a candidate given as a Nogood.
+func (a *Agent) conflictSetNogood(ng csp.Nogood) bool {
+	if a.learning.Reference {
+		return a.isConflictSetRef(ng)
+	}
+	a.subScratch = a.subScratch[:0]
+	for i := 0; i < ng.Len(); i++ {
+		a.subScratch = append(a.subScratch, ng.At(i))
+	}
+	return a.isConflictSetDense(a.subScratch)
+}
+
+// isConflictSetDense reports whether the partial assignment expressed by
+// lits prohibits every domain value: for each value, some higher nogood is
+// violated under lits ∧ (own variable = value). Each evaluation charges one
 // check.
 //
 // By default the test scans the agent's whole store of higher nogoods —
 // the straightforward implementation of the published method, whose cost is
 // exactly what makes Mcs expensive in Tables 1–3 ("the cost of identifying
-// such a set is usually very high"). Since set is a subset of the
+// such a set is usually very high"). Since the candidate is a subset of the
 // agent_view, only nogoods already violated at the deadend can ever fire;
 // Learning.MCSRestrictScan enables that derived optimization as an ablation
 // (see BenchmarkAblationMCSScan).
-func (a *Agent) isConflictSet(set csp.Nogood) bool {
-	base := csp.NewMapAssignment(set.Lits()...)
+//
+// The candidate lives in the reused mcsView scratch (reset is one memclr),
+// so a test allocates nothing — unlike the reference path's fresh map
+// assignment per candidate (refpath.go).
+func (a *Agent) isConflictSetDense(lits []csp.Lit) bool {
+	mv := a.mcsView
+	mv.Reset()
+	for _, l := range lits {
+		mv.Assign(l.Var, l.Val)
+	}
+	if !a.learning.MCSRestrictScan {
+		a.ensureHigher()
+	}
 	for i, d := range a.domain {
-		probe := csp.Override{Base: base, Var: a.id, Val: d}
+		mv.Assign(a.id, d)
 		hit := false
 		if a.learning.MCSRestrictScan {
 			for _, ng := range a.violatedHigher[i] {
-				if nogood.Check(ng, probe, &a.counter) {
+				if nogood.CheckDense(ng, mv, &a.counter) {
 					hit = true
 					break
 				}
 			}
 		} else {
-			for _, ng := range a.store.All() {
-				if !a.isHigher(ng) {
+			for k, ng := range a.store.All() {
+				if !a.higher[k] {
 					continue
 				}
-				if nogood.Check(ng, probe, &a.counter) {
+				if nogood.CheckDense(ng, mv, &a.counter) {
 					hit = true
 					break
 				}

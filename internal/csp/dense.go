@@ -1,0 +1,57 @@
+package csp
+
+// DenseView is a mutable, slice-backed partial assignment over variables
+// 0..n-1: the cheap representation for agent views and hypothetical probes
+// on the evaluation hot path. Unlike SliceAssignment it carries an explicit
+// assigned bitmap, so it is correct for any Value range (including negative
+// values from JSON problems, which would collide with SliceAssignment's
+// Unassigned sentinel).
+//
+// DenseView exists for performance: Nogood.Violated has a concrete-type
+// fast path for *DenseView that indexes the backing slices directly, and
+// nogood.CheckDense evaluates against it without ever constructing an
+// Assignment interface value — the per-check boxing allocation that
+// dominated the map-backed view path.
+type DenseView struct {
+	vals []Value
+	set  []bool
+}
+
+var _ Assignment = (*DenseView)(nil)
+
+// NewDenseView returns a view over n variables, all unassigned.
+func NewDenseView(n int) *DenseView {
+	return &DenseView{vals: make([]Value, n), set: make([]bool, n)}
+}
+
+// Len returns the number of variables the view spans.
+func (d *DenseView) Len() int { return len(d.vals) }
+
+// Assign sets v to val.
+func (d *DenseView) Assign(v Var, val Value) {
+	d.vals[v] = val
+	d.set[v] = true
+}
+
+// Unassign clears v.
+func (d *DenseView) Unassign(v Var) {
+	d.set[v] = false
+}
+
+// Known reports whether v is assigned.
+func (d *DenseView) Known(v Var) bool {
+	return int(v) < len(d.set) && d.set[v]
+}
+
+// Lookup implements Assignment.
+func (d *DenseView) Lookup(v Var) (Value, bool) {
+	if int(v) < 0 || int(v) >= len(d.vals) || !d.set[v] {
+		return 0, false
+	}
+	return d.vals[v], true
+}
+
+// Reset unassigns every variable.
+func (d *DenseView) Reset() {
+	clear(d.set)
+}

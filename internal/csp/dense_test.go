@@ -1,0 +1,140 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseViewBasics(t *testing.T) {
+	d := NewDenseView(4)
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if d.Known(0) || d.Known(3) {
+		t.Fatal("fresh view has assigned variables")
+	}
+	d.Assign(1, 7)
+	d.Assign(2, -3) // negative values must round-trip (JSON problems)
+	if val, ok := d.Lookup(1); !ok || val != 7 {
+		t.Fatalf("Lookup(1) = %d,%v, want 7,true", val, ok)
+	}
+	if val, ok := d.Lookup(2); !ok || val != -3 {
+		t.Fatalf("Lookup(2) = %d,%v, want -3,true", val, ok)
+	}
+	if _, ok := d.Lookup(0); ok {
+		t.Fatal("Lookup(0) reported an unassigned variable")
+	}
+	if _, ok := d.Lookup(9); ok {
+		t.Fatal("Lookup out of range reported assigned")
+	}
+	d.Unassign(1)
+	if d.Known(1) {
+		t.Fatal("Unassign left the variable known")
+	}
+	d.Reset()
+	if d.Known(2) {
+		t.Fatal("Reset left a variable known")
+	}
+}
+
+// opaque hides the concrete type so Violated takes its generic
+// interface-dispatch path.
+type opaque struct{ m MapAssignment }
+
+func (o opaque) Lookup(v Var) (Value, bool) { return o.m.Lookup(v) }
+
+// TestViolatedRepresentationAgreement: Violated's concrete-type fast paths
+// (DenseView, SliceAssignment, MapAssignment) and ViolatedDense must agree
+// with the generic Lookup loop on random nogoods and random partial
+// assignments — the devirtualization must never change an answer.
+func TestViolatedRepresentationAgreement(t *testing.T) {
+	const nVars, nVals = 6, 3
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		// Random nogood over distinct variables.
+		nLits := rng.Intn(4)
+		seen := make(map[Var]bool)
+		var lits []Lit
+		for len(lits) < nLits {
+			v := Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, Lit{Var: v, Val: Value(rng.Intn(nVals))})
+		}
+		ng := MustNogood(lits...)
+
+		// Random partial assignment in all four representations.
+		m := make(MapAssignment)
+		s := make(SliceAssignment, nVars)
+		d := NewDenseView(nVars)
+		for v := 0; v < nVars; v++ {
+			s[v] = Unassigned
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			val := Value(rng.Intn(nVals))
+			m[Var(v)] = val
+			s[v] = val
+			d.Assign(Var(v), val)
+		}
+
+		want := ng.Violated(opaque{m: m})
+		if got := ng.Violated(m); got != want {
+			t.Fatalf("MapAssignment path: %v, generic: %v (ng=%v m=%v)", got, want, ng, m)
+		}
+		if got := ng.Violated(s); got != want {
+			t.Fatalf("SliceAssignment path: %v, generic: %v (ng=%v m=%v)", got, want, ng, m)
+		}
+		if got := ng.Violated(d); got != want {
+			t.Fatalf("DenseView path: %v, generic: %v (ng=%v m=%v)", got, want, ng, m)
+		}
+		if got := ng.ViolatedDense(d); got != want {
+			t.Fatalf("ViolatedDense: %v, generic: %v (ng=%v m=%v)", got, want, ng, m)
+		}
+	}
+}
+
+// TestViolatedSliceSentinelLiteral: a literal whose value equals the
+// SliceAssignment Unassigned sentinel can never hold (Lookup cannot report
+// the sentinel), and the fast path must preserve that.
+func TestViolatedSliceSentinelLiteral(t *testing.T) {
+	ng := MustNogood(Lit{Var: 0, Val: Unassigned})
+	s := SliceAssignment{Unassigned}
+	if ng.Violated(s) {
+		t.Fatal("sentinel-valued literal reported violated on unassigned slot")
+	}
+}
+
+// TestKeyInterning: NewNogood-built nogoods carry their key from
+// construction; derived nogoods compute the identical key on demand.
+func TestKeyInterning(t *testing.T) {
+	ng := MustNogood(Lit{Var: 2, Val: 1}, Lit{Var: 0, Val: 3})
+	want := "0:3;2:1;"
+	if ng.Key() != want {
+		t.Fatalf("Key = %q, want %q", ng.Key(), want)
+	}
+	if got := testing.AllocsPerRun(100, func() { _ = ng.Key() }); got != 0 {
+		t.Errorf("Key() on a constructed nogood allocates %.1f per call, want 0", got)
+	}
+
+	derived := ng.Without(2)
+	if derived.Key() != MustNogood(Lit{Var: 0, Val: 3}).Key() {
+		t.Fatalf("derived Key = %q mismatches constructed key", derived.Key())
+	}
+	u, err := ng.Union(MustNogood(Lit{Var: 5, Val: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Key() != MustNogood(Lit{Var: 0, Val: 3}, Lit{Var: 2, Val: 1}, Lit{Var: 5, Val: 0}).Key() {
+		t.Fatalf("union Key = %q mismatches constructed key", u.Key())
+	}
+	at := ng.WithoutAt(0)
+	if at.Key() != MustNogood(Lit{Var: 2, Val: 1}).Key() {
+		t.Fatalf("WithoutAt Key = %q mismatches constructed key", at.Key())
+	}
+	if (Nogood{}).Key() != "" {
+		t.Fatal("empty nogood key must be empty")
+	}
+}

@@ -42,7 +42,8 @@ func WriteProblemJSON(w io.Writer, p *Problem) error {
 	for i := 0; i < p.NumNogoods(); i++ {
 		ng := p.Nogood(i)
 		lits := make([]litJSON, 0, ng.Len())
-		for _, l := range ng.Lits() {
+		for j := 0; j < ng.Len(); j++ {
+			l := ng.At(j)
 			lits = append(lits, litJSON{Var: int(l.Var), Val: int(l.Val)})
 		}
 		out.Nogoods = append(out.Nogoods, lits)

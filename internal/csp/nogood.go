@@ -1,7 +1,9 @@
 package csp
 
 import (
+	"cmp"
 	"errors"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,6 +21,11 @@ var ErrContradictoryNogood = errors.New("csp: nogood assigns one variable two va
 // global insolubility).
 type Nogood struct {
 	lits []Lit // sorted by Var, unique Vars
+	// key is the canonical dedup key, interned at construction by NewNogood
+	// so Key() never allocates in steady state. Derived nogoods built by
+	// Union/Without/WithoutAt leave it empty and fall back to computing it
+	// on demand; Key() handles both.
+	key string
 }
 
 // NewNogood canonicalizes lits into a Nogood: duplicates collapse, literals
@@ -27,11 +34,11 @@ type Nogood struct {
 func NewNogood(lits ...Lit) (Nogood, error) {
 	cp := make([]Lit, len(lits))
 	copy(cp, lits)
-	sort.Slice(cp, func(i, j int) bool {
-		if cp[i].Var != cp[j].Var {
-			return cp[i].Var < cp[j].Var
+	slices.SortFunc(cp, func(a, b Lit) int {
+		if a.Var != b.Var {
+			return cmp.Compare(a.Var, b.Var)
 		}
-		return cp[i].Val < cp[j].Val
+		return cmp.Compare(a.Val, b.Val)
 	})
 	out := cp[:0]
 	for i, l := range cp {
@@ -44,7 +51,7 @@ func NewNogood(lits ...Lit) (Nogood, error) {
 		}
 		out = append(out, l)
 	}
-	return Nogood{lits: out}, nil
+	return Nogood{lits: out, key: litsKey(out)}, nil
 }
 
 // MustNogood is NewNogood for literals known to be consistent; it panics on
@@ -188,7 +195,34 @@ func (n Nogood) SubsetOf(other Nogood) bool {
 // nogood not violated. One call to Violated is the unit of the paper's
 // "nogood check" cost measure; callers that account cost must count calls
 // (see the nogood package's Store and the algorithms' check counters).
+//
+// The common concrete assignment types are dispatched to devirtualized
+// loops: one evaluation then costs a handful of slice (or map) reads with
+// no per-literal interface call. Hot paths that already hold a *DenseView
+// should call ViolatedDense directly, which additionally avoids
+// constructing the Assignment interface value at the call site.
 func (n Nogood) Violated(a Assignment) bool {
+	switch v := a.(type) {
+	case *DenseView:
+		return n.ViolatedDense(v)
+	case SliceAssignment:
+		for _, l := range n.lits {
+			// v[l.Var] != l.Val also rejects unassigned entries, except for
+			// a literal whose value IS the sentinel — Lookup can never
+			// report that value, so such a literal never holds.
+			if int(l.Var) >= len(v) || v[l.Var] != l.Val || l.Val == Unassigned {
+				return false
+			}
+		}
+		return true
+	case MapAssignment:
+		for _, l := range n.lits {
+			if val, ok := v[l.Var]; !ok || val != l.Val {
+				return false
+			}
+		}
+		return true
+	}
 	for _, l := range n.lits {
 		val, ok := a.Lookup(l.Var)
 		if !ok || val != l.Val {
@@ -198,11 +232,36 @@ func (n Nogood) Violated(a Assignment) bool {
 	return true
 }
 
-// Key returns a canonical string key usable in maps for deduplication.
-func (n Nogood) Key() string {
-	var b strings.Builder
-	b.Grow(len(n.lits) * 8)
+// ViolatedDense is Violated specialized to a dense view. It is the
+// zero-allocation evaluation primitive of the agent hot path: no interface
+// conversion, no per-literal dynamic dispatch.
+func (n Nogood) ViolatedDense(d *DenseView) bool {
+	vals, set := d.vals, d.set
 	for _, l := range n.lits {
+		i := int(l.Var)
+		if i >= len(vals) || vals[i] != l.Val || !set[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key usable in maps for deduplication.
+// Nogoods built by NewNogood carry the key interned from construction, so
+// calling Key on them allocates nothing; derived nogoods (Union, Without,
+// WithoutAt) compute it on demand.
+func (n Nogood) Key() string {
+	if n.key != "" || len(n.lits) == 0 {
+		return n.key
+	}
+	return litsKey(n.lits)
+}
+
+// litsKey renders canonical literals into the dedup key format.
+func litsKey(lits []Lit) string {
+	var b strings.Builder
+	b.Grow(len(lits) * 8)
+	for _, l := range lits {
 		b.WriteString(strconv.Itoa(int(l.Var)))
 		b.WriteByte(':')
 		b.WriteString(strconv.Itoa(int(l.Val)))

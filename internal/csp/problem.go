@@ -76,15 +76,15 @@ func (p *Problem) Nogoods() []Nogood {
 // AddNogood records ng as a constraint of the problem. Nogoods mentioning
 // variables that do not exist yet are rejected.
 func (p *Problem) AddNogood(ng Nogood) error {
-	for _, l := range ng.Lits() {
-		if int(l.Var) >= len(p.domains) {
+	for i := 0; i < ng.Len(); i++ {
+		if l := ng.At(i); int(l.Var) >= len(p.domains) {
 			return fmt.Errorf("csp: nogood %v mentions undeclared variable x%d", ng, l.Var)
 		}
 	}
 	idx := len(p.nogoods)
 	p.nogoods = append(p.nogoods, ng)
-	for _, v := range ng.Vars() {
-		p.byVar[v] = append(p.byVar[v], idx)
+	for i := 0; i < ng.Len(); i++ {
+		p.byVar[ng.At(i).Var] = append(p.byVar[ng.At(i).Var], idx)
 	}
 	return nil
 }
@@ -106,8 +106,9 @@ func (p *Problem) NogoodsOf(v Var) []Nogood {
 func (p *Problem) Neighbors(v Var) []Var {
 	seen := make(map[Var]struct{})
 	for _, idx := range p.byVar[v] {
-		for _, u := range p.nogoods[idx].Vars() {
-			if u != v {
+		ng := p.nogoods[idx]
+		for i := 0; i < ng.Len(); i++ {
+			if u := ng.At(i).Var; u != v {
 				seen[u] = struct{}{}
 			}
 		}
@@ -233,8 +234,8 @@ func (p *Problem) Validate() error {
 		}
 	}
 	for _, ng := range p.nogoods {
-		for _, l := range ng.Lits() {
-			if !p.inDomain(l.Var, l.Val) {
+		for i := 0; i < ng.Len(); i++ {
+			if l := ng.At(i); !p.inDomain(l.Var, l.Val) {
 				return fmt.Errorf("csp: nogood %v uses value outside domain of x%d", ng, l.Var)
 			}
 		}

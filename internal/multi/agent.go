@@ -88,8 +88,8 @@ func NewAgent(id sim.AgentID, problem *csp.Problem, partition Partition, initial
 				continue
 			}
 			a.store.Add(ng)
-			for _, u := range ng.Vars() {
-				if !a.owned[u] {
+			for i := 0; i < ng.Len(); i++ {
+				if u := ng.At(i).Var; !a.owned[u] {
 					a.outLinks[a.owner[u]] = struct{}{}
 				}
 			}
@@ -110,8 +110,8 @@ func clampToDomain(domain []csp.Value, val csp.Value) csp.Value {
 }
 
 func (a *Agent) allOwned(ng csp.Nogood) bool {
-	for _, v := range ng.Vars() {
-		if !a.owned[v] {
+	for i := 0; i < ng.Len(); i++ {
+		if !a.owned[ng.At(i).Var] {
 			return false
 		}
 	}
@@ -212,7 +212,8 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
 	var out []sim.Message
 	requested := make(map[sim.AgentID]bool)
-	for _, l := range ng.Lits() {
+	for i := 0; i < ng.Len(); i++ {
+		l := ng.At(i)
 		if a.owned[l.Var] {
 			continue
 		}
@@ -260,7 +261,8 @@ func (a *Agent) nogoodRank(ng csp.Nogood) (rank, bool) {
 		low   rank
 		found bool
 	)
-	for _, v := range ng.Vars() {
+	for i := 0; i < ng.Len(); i++ {
+		v := ng.At(i).Var
 		if a.owned[v] {
 			continue
 		}
@@ -372,8 +374,8 @@ func (a *Agent) splitStore() (higher, lower []csp.Nogood) {
 // ascending.
 func (a *Agent) nogoodOwners(ng csp.Nogood) []sim.AgentID {
 	set := make(map[sim.AgentID]struct{})
-	for _, v := range ng.Vars() {
-		set[a.owner[v]] = struct{}{}
+	for i := 0; i < ng.Len(); i++ {
+		set[a.owner[ng.At(i).Var]] = struct{}{}
 	}
 	owners := make([]sim.AgentID, 0, len(set))
 	for id := range set {

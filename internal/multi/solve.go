@@ -25,7 +25,8 @@ type projection struct {
 func (a *Agent) project(ng csp.Nogood, excluded map[csp.Var]bool) (projection, bool) {
 	var p projection
 	localLits := make([]csp.Lit, 0, ng.Len())
-	for _, l := range ng.Lits() {
+	for i := 0; i < ng.Len(); i++ {
+		l := ng.At(i)
 		if a.owned[l.Var] {
 			localLits = append(localLits, l)
 			continue

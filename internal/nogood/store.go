@@ -7,6 +7,12 @@
 // metric is built from per-cycle maxima of this count). Every evaluation
 // path in this repository that models agent computation is therefore routed
 // through a Counter so the cost accounting is total and auditable.
+//
+// The store's cost-model contract: structural indexes (the by-size buckets
+// and per-variable posting lists) may make an operation's wall-clock cost
+// cheaper, but every operation charges exactly the Counter units its
+// unindexed reference implementation would — optimizations never skip or
+// add charged checks. TestAddPruningCounterDelta pins this.
 package nogood
 
 import (
@@ -40,13 +46,37 @@ func Check(ng csp.Nogood, a csp.Assignment, c *Counter) bool {
 	return ng.Violated(a)
 }
 
+// CheckDense is Check specialized to a dense view: same accounting, but the
+// evaluation never constructs an Assignment interface value, so a steady-
+// state check performs zero allocations. Agent hot loops use this.
+func CheckDense(ng csp.Nogood, d *csp.DenseView, c *Counter) bool {
+	if c != nil {
+		c.total++
+	}
+	return ng.ViolatedDense(d)
+}
+
 // Store is a deduplicated set of nogoods preserving insertion order. An AWC
 // agent keeps one Store holding its initial constraints followed by every
 // learned nogood it has recorded. The zero value is not usable; construct
 // with New.
+//
+// Alongside the key index the store maintains two structural indexes,
+// updated incrementally on insert and repaired in place (one merge walk per
+// posting list) when pruning removes entries:
+//
+//   - bySize buckets positions by literal count, so AddPruning can prove
+//     "no stored nogood can be a strict superset" without touching any
+//     nogood;
+//   - byVar posting lists map each variable (variables are dense small
+//     ints, so the "map" is a slice grown on demand) to the positions of
+//     the nogoods mentioning it, so superset candidates are found by
+//     scanning one posting list instead of the whole store.
 type Store struct {
 	nogoods []csp.Nogood
 	index   map[string]int
+	byVar   [][]int // byVar[v] = positions of nogoods mentioning Var(v)
+	bySize  [][]int // bySize[k] = positions of nogoods with Len() == k
 }
 
 // New returns an empty store.
@@ -66,15 +96,33 @@ func NewFromSlice(ngs []csp.Nogood) *Store {
 	return s
 }
 
+// insert appends ng and updates every index incrementally. The caller has
+// already established that ng is not a duplicate.
+func (s *Store) insert(ng csp.Nogood) {
+	pos := len(s.nogoods)
+	s.nogoods = append(s.nogoods, ng)
+	s.index[ng.Key()] = pos
+	for i := 0; i < ng.Len(); i++ {
+		v := int(ng.At(i).Var)
+		for len(s.byVar) <= v {
+			s.byVar = append(s.byVar, nil)
+		}
+		s.byVar[v] = append(s.byVar[v], pos)
+	}
+	size := ng.Len()
+	for len(s.bySize) <= size {
+		s.bySize = append(s.bySize, nil)
+	}
+	s.bySize[size] = append(s.bySize[size], pos)
+}
+
 // Add records ng unless an identical nogood is already present. It reports
 // whether the nogood was newly added.
 func (s *Store) Add(ng csp.Nogood) bool {
-	key := ng.Key()
-	if _, ok := s.index[key]; ok {
+	if _, ok := s.index[ng.Key()]; ok {
 		return false
 	}
-	s.index[key] = len(s.nogoods)
-	s.nogoods = append(s.nogoods, ng)
+	s.insert(ng)
 	return true
 }
 
@@ -104,9 +152,14 @@ func (s *Store) All() []csp.Nogood { return s.nogoods }
 // assignments with fewer checks per scan. This implements the optimization
 // the paper's Section 4.2 observation invites ("a large nogood is likely to
 // become redundant after a smaller nogood is discovered. ... such redundant
-// nogoods increase maxcck"); each subset test costs one check on c, the
-// same unit as an evaluation, so the bookkeeping cost stays visible in the
-// metric (see BenchmarkAblationSubsumption).
+// nogoods increase maxcck"); the operation charges one check per stored
+// nogood — the cost of the reference linear subset scan — so the
+// bookkeeping cost stays visible in the metric (see
+// BenchmarkAblationSubsumption). The structural indexes only cut the
+// wall-clock work: a strict superset of ng must be longer than ng (bySize
+// rules that out wholesale when no longer nogood exists) and must mention
+// every variable of ng (so only one posting list needs scanning); the
+// charged units are Len() regardless.
 //
 // Deliberately NOT pruned: a new nogood that is itself subsumed by a
 // recorded one. Rejecting those looks sound — the recipient already knows
@@ -118,33 +171,126 @@ func (s *Store) AddPruning(ng csp.Nogood, c *Counter) (added bool, removed int) 
 	if _, dup := s.index[ng.Key()]; dup {
 		return false, 0
 	}
-	// keep aliases the front of s.nogoods: it only ever writes at or before
-	// the scan position, so the unscanned tail stays intact.
-	keep := s.nogoods[:0]
-	for i := 0; i < len(s.nogoods); i++ {
-		stored := s.nogoods[i]
-		if c != nil {
-			c.total++
-		}
-		if ng.SubsetOf(stored) {
-			removed++
-			continue
-		}
-		keep = append(keep, stored)
+	// Charge the reference scan: one check per stored nogood, exactly what
+	// the unindexed implementation paid.
+	if c != nil {
+		c.Add(len(s.nogoods))
 	}
-	s.nogoods = append(keep, ng)
-	s.reindex()
-	return true, removed
+
+	var doomed []int // positions of strict supersets, ascending
+	if ng.Empty() {
+		// The empty nogood subsumes everything.
+		doomed = make([]int, len(s.nogoods))
+		for i := range doomed {
+			doomed[i] = i
+		}
+	} else if s.anyLongerThan(ng.Len()) {
+		// Scan the shortest posting list among ng's variables: a strict
+		// superset mentions every variable of ng, so any single list
+		// contains all candidates. Posting lists are position-sorted, so
+		// doomed stays ascending.
+		for _, pos := range s.shortestPostingList(ng) {
+			stored := s.nogoods[pos]
+			if stored.Len() > ng.Len() && ng.SubsetOf(stored) {
+				doomed = append(doomed, pos)
+			}
+		}
+	}
+
+	if len(doomed) == 0 {
+		s.insert(ng)
+		return true, 0
+	}
+	s.removeAt(doomed)
+	s.insert(ng)
+	return true, len(doomed)
 }
 
-// reindex rebuilds the key index after pruning.
-func (s *Store) reindex() {
-	for k := range s.index {
-		delete(s.index, k)
+// anyLongerThan reports whether any stored nogood has more than n literals,
+// using the size buckets only.
+func (s *Store) anyLongerThan(n int) bool {
+	for size := n + 1; size < len(s.bySize); size++ {
+		if len(s.bySize[size]) > 0 {
+			return true
+		}
 	}
-	for i, ng := range s.nogoods {
-		s.index[ng.Key()] = i
+	return false
+}
+
+// shortestPostingList returns the positions of the nogoods mentioning the
+// variable of ng with the fewest occurrences. ng must be non-empty.
+func (s *Store) shortestPostingList(ng csp.Nogood) []int {
+	best := s.postingList(ng.At(0).Var)
+	for i := 1; i < ng.Len(); i++ {
+		if list := s.postingList(ng.At(i).Var); len(list) < len(best) {
+			best = list
+		}
 	}
+	return best
+}
+
+// postingList returns the positions of the nogoods mentioning v; the slice
+// is grown lazily, so a never-seen variable has an empty list.
+func (s *Store) postingList(v csp.Var) []int {
+	if int(v) >= len(s.byVar) {
+		return nil
+	}
+	return s.byVar[v]
+}
+
+// removeAt deletes the nogoods at the given ascending positions, compacting
+// the slice in place, and repairs the indexes: removed keys are deleted,
+// survivors after the first removal get their shifted position written
+// back, and the structural indexes are repaired in place.
+func (s *Store) removeAt(doomed []int) {
+	for _, pos := range doomed {
+		delete(s.index, s.nogoods[pos].Key())
+	}
+	kept := s.nogoods[:doomed[0]]
+	d := 0
+	for pos := doomed[0]; pos < len(s.nogoods); pos++ {
+		if d < len(doomed) && doomed[d] == pos {
+			d++
+			continue
+		}
+		s.index[s.nogoods[pos].Key()] = len(kept)
+		kept = append(kept, s.nogoods[pos])
+	}
+	s.nogoods = kept
+	s.repairStructural(doomed)
+}
+
+// repairStructural drops the doomed positions (ascending) from every
+// posting list and size bucket and shifts the survivors down, reusing each
+// list's storage. Both the lists and doomed are position-sorted, so one
+// merge walk per list does it — no per-literal map hashing, no
+// reallocation; this keeps a pruning insert's uncharged bookkeeping near
+// the cost of the compaction itself.
+func (s *Store) repairStructural(doomed []int) {
+	for v, list := range s.byVar {
+		s.byVar[v] = shiftPositions(list, doomed)
+	}
+	for i, bucket := range s.bySize {
+		s.bySize[i] = shiftPositions(bucket, doomed)
+	}
+}
+
+// shiftPositions filters the ascending position list against the ascending
+// doomed list in place: doomed positions drop out, survivors shift down by
+// the number of doomed positions before them.
+func shiftPositions(list, doomed []int) []int {
+	kept := list[:0]
+	d := 0
+	for _, p := range list {
+		for d < len(doomed) && doomed[d] < p {
+			d++
+		}
+		if d < len(doomed) && doomed[d] == p {
+			continue
+		}
+		kept = append(kept, p-d)
+	}
+	return kept
 }
 
 // AnyViolated reports whether any stored nogood is violated under a,

@@ -236,3 +236,129 @@ func TestAddPruningPreservesProhibitions(t *testing.T) {
 		}
 	}
 }
+
+// TestAddPruningCounterDelta pins the store's cost-model contract: every
+// non-duplicate AddPruning charges exactly one check per nogood stored at
+// the moment of insertion — the cost of the reference linear subset scan —
+// no matter how much wall-clock work the structural indexes saved, and no
+// matter whether the insert pruned anything. Duplicates charge nothing.
+func TestAddPruningCounterDelta(t *testing.T) {
+	s := New()
+	var c Counter
+
+	type op struct {
+		ng          csp.Nogood
+		wantAdded   bool
+		wantRemoved int
+	}
+	ops := []op{
+		{csp.MustNogood(lit(0, 1), lit(1, 1), lit(2, 1)), true, 0},
+		{csp.MustNogood(lit(0, 1), lit(3, 0)), true, 0},
+		// Strict subset of the first: prunes it.
+		{csp.MustNogood(lit(0, 1), lit(1, 1)), true, 1},
+		// Exact duplicate: rejected before any charge.
+		{csp.MustNogood(lit(0, 1), lit(3, 0)), false, 0},
+		// Subsumed by an existing nogood: still added, prunes nothing.
+		{csp.MustNogood(lit(0, 1), lit(1, 1), lit(4, 0)), true, 0},
+		// Subset of two stored supersets at once.
+		{csp.MustNogood(lit(0, 1)), true, 3},
+		// Empty nogood subsumes everything left.
+		{csp.MustNogood(), true, 1},
+	}
+	for i, o := range ops {
+		lenBefore := s.Len()
+		before := c.Total()
+		added, removed := s.AddPruning(o.ng, &c)
+		delta := c.Total() - before
+		if added != o.wantAdded || removed != o.wantRemoved {
+			t.Fatalf("op %d (%v): added=%v removed=%d, want %v %d",
+				i, o.ng, added, removed, o.wantAdded, o.wantRemoved)
+		}
+		wantDelta := int64(lenBefore)
+		if !o.wantAdded {
+			wantDelta = 0
+		}
+		if delta != wantDelta {
+			t.Fatalf("op %d (%v): charged %d checks, want %d (store had %d nogoods)",
+				i, o.ng, delta, wantDelta, lenBefore)
+		}
+	}
+}
+
+// refPruningStore is the unindexed reference implementation of AddPruning's
+// semantics: linear dup scan, linear strict-superset scan, order-preserving
+// compaction. The randomized test below drives it in lockstep with Store.
+type refPruningStore struct {
+	ngs []csp.Nogood
+}
+
+func (m *refPruningStore) addPruning(ng csp.Nogood, c *Counter) (bool, int) {
+	for _, x := range m.ngs {
+		if x.Key() == ng.Key() {
+			return false, 0
+		}
+	}
+	if c != nil {
+		c.Add(len(m.ngs))
+	}
+	kept := m.ngs[:0]
+	removed := 0
+	for _, x := range m.ngs {
+		if ng.SubsetOf(x) {
+			removed++
+			continue
+		}
+		kept = append(kept, x)
+	}
+	m.ngs = append(kept, ng)
+	return true, removed
+}
+
+// TestStoreIndexedMatchesReference drives the indexed store and the
+// unindexed reference through the same random operation sequence and
+// demands identical contents (order included), identical return values, and
+// identical charged checks after every operation.
+func TestStoreIndexedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const vars, vals = 5, 2
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		ref := &refPruningStore{}
+		var sc, refc Counter
+		for i := 0; i < 60; i++ {
+			n := rng.Intn(4)
+			lits := make([]csp.Lit, 0, n)
+			seen := map[csp.Var]bool{}
+			for len(lits) < n {
+				v := csp.Var(rng.Intn(vars))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				lits = append(lits, lit(v, csp.Value(rng.Intn(vals))))
+			}
+			ng := csp.MustNogood(lits...)
+			gotAdded, gotRemoved := s.AddPruning(ng, &sc)
+			wantAdded, wantRemoved := ref.addPruning(ng, &refc)
+			if gotAdded != wantAdded || gotRemoved != wantRemoved {
+				t.Fatalf("trial %d op %d: AddPruning(%v) = %v,%d, reference %v,%d",
+					trial, i, ng, gotAdded, gotRemoved, wantAdded, wantRemoved)
+			}
+			if sc.Total() != refc.Total() {
+				t.Fatalf("trial %d op %d: charged %d, reference %d", trial, i, sc.Total(), refc.Total())
+			}
+			if s.Len() != len(ref.ngs) {
+				t.Fatalf("trial %d op %d: Len %d, reference %d", trial, i, s.Len(), len(ref.ngs))
+			}
+			for j, want := range ref.ngs {
+				if !s.At(j).Equal(want) {
+					t.Fatalf("trial %d op %d: position %d holds %v, reference %v",
+						trial, i, j, s.At(j), want)
+				}
+				if !s.Contains(want) {
+					t.Fatalf("trial %d op %d: Contains(%v) false", trial, i, want)
+				}
+			}
+		}
+	}
+}

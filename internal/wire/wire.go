@@ -52,7 +52,8 @@ type Envelope struct {
 
 func litsOut(ng csp.Nogood) []Lit {
 	out := make([]Lit, 0, ng.Len())
-	for _, l := range ng.Lits() {
+	for i := 0; i < ng.Len(); i++ {
+		l := ng.At(i)
 		out = append(out, Lit{Var: int(l.Var), Val: int(l.Val)})
 	}
 	return out
