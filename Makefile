@@ -7,7 +7,7 @@ GO ?= go
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
             ./internal/sim/... ./internal/experiments/...
 
-.PHONY: all build test vet fmt-check race bench-smoke bench-json ci
+.PHONY: all build test vet fmt-check race chaos bench-smoke bench-json ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
 BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
@@ -34,6 +34,12 @@ fmt-check:
 race:
 	$(GO) test -race -timeout 20m $(RACE_PKGS)
 
+# The fault-injection suite under the race detector: reliable transport,
+# crash-restart recovery, and the chaos acceptance matrix (every algorithm
+# family reaching its clean-network verdict under seeded drop/dup/crash).
+chaos:
+	$(GO) test -race -timeout 20m ./internal/faults/... ./internal/async/... ./internal/netrun/...
+
 bench-smoke:
 	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .
 
@@ -45,4 +51,4 @@ bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_PAIRED)' -benchmem -timeout 20m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_2.json
 
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race chaos bench-smoke

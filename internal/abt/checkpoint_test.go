@@ -1,0 +1,59 @@
+package abt
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	// K4 with 3 colors: insoluble, so a few cycles generate backtracking,
+	// recorded nogoods, and link additions.
+	p := csp.NewProblemUniform(4, 3)
+	for i := csp.Var(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := p.AddNotEqual(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	agents := make([]*Agent, 4)
+	simAgents := make([]sim.Agent, 4)
+	for v := range agents {
+		agents[v] = NewAgent(csp.Var(v), p, 0)
+		simAgents[v] = agents[v]
+	}
+	if _, err := sim.Run(p, simAgents, sim.Options{MaxCycles: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for v, a := range agents {
+		cp := a.Checkpoint()
+		fresh := NewAgent(csp.Var(v), p, 0)
+		if err := fresh.Restore(cp); err != nil {
+			t.Fatalf("agent %d: restore: %v", v, err)
+		}
+		if got := fresh.Checkpoint(); !reflect.DeepEqual(got, cp) {
+			t.Fatalf("agent %d: restored checkpoint differs:\n got %+v\nwant %+v", v, got, cp)
+		}
+		if a.insoluble {
+			continue // a dead agent ignores further traffic either way
+		}
+		batch := []sim.Message{Ok{Sender: sim.AgentID((v + 3) % 4), Receiver: sim.AgentID(v), Value: 1}}
+		if out1, out2 := a.Step(batch), fresh.Step(batch); !reflect.DeepEqual(out1, out2) {
+			t.Fatalf("agent %d: restored agent diverged on next step", v)
+		}
+		if !reflect.DeepEqual(fresh.Checkpoint(), a.Checkpoint()) {
+			t.Fatalf("agent %d: state diverged after identical step", v)
+		}
+	}
+}
+
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	p := csp.NewProblemUniform(2, 2)
+	a := NewAgent(0, p, 0)
+	if err := a.Restore(42); err == nil {
+		t.Fatal("restore accepted a foreign snapshot")
+	}
+}

@@ -12,6 +12,14 @@
 // that polls a lock-free snapshot of the agents' published values, plus a
 // quiescence detector (no messages in flight means no agent will ever act
 // again).
+//
+// The runtime additionally accepts a deterministic fault schedule
+// (internal/faults): per-link message drop, duplication, and bounded delay,
+// plus per-agent crash points with checkpoint-based restart. Faults are
+// applied below the reliable-transport abstraction the algorithms assume —
+// a dropped message costs retransmission backoff (delay), a duplicate is
+// suppressed before delivery, and deliveries on one directed link stay
+// FIFO — so the algorithms observe a slower, but still correct, network.
 package async
 
 import (
@@ -24,12 +32,37 @@ import (
 	"time"
 
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
 )
 
 // ErrTimeout is returned when the run's deadline expires before a solution,
-// insolubility proof, or quiescence.
+// insolubility proof, or quiescence. The concrete error is a *TimeoutError
+// carrying the runtime's last observed state; errors.Is(err, ErrTimeout)
+// matches it.
 var ErrTimeout = errors.New("async: run timed out")
+
+// TimeoutError reports a run that hit its deadline, with a snapshot of the
+// runtime's final state so a stuck run is diagnosable from the error alone.
+// It wraps ErrTimeout.
+type TimeoutError struct {
+	// Timeout is the configured deadline that expired.
+	Timeout time.Duration
+	// InFlight is the number of messages routed but not yet processed.
+	InFlight int64
+	// Delivered is the total number of messages processed by agents.
+	Delivered int64
+	// Processed is the per-agent count of messages processed, indexed by
+	// variable.
+	Processed []int64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("async: run timed out after %v: %d messages in flight, %d delivered, per-agent processed %v",
+		e.Timeout, e.InFlight, e.Delivered, e.Processed)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
 
 // Options configures a run.
 type Options struct {
@@ -49,6 +82,13 @@ type Options struct {
 	// (goroutine interleaving is inherently nondeterministic) but the seed
 	// decorrelates repeated test runs.
 	Seed int64
+	// Faults, when non-nil, injects a deterministic fault schedule: message
+	// drop (modeled as retransmission delay), duplication (suppressed at
+	// delivery), bounded extra delay, and per-agent crash points. Crashed
+	// agents restart from their last checkpoint when the schedule says so;
+	// agents that implement sim.Checkpointer resume mid-search, others
+	// restart from scratch.
+	Faults *faults.Config
 }
 
 // Result reports a completed asynchronous run.
@@ -68,12 +108,24 @@ type Result struct {
 	TotalChecks int64
 	// Duration is the wall-clock time from start to stop.
 	Duration time.Duration
+
+	// Retransmits counts message transmissions repeated because a fault
+	// dropped an earlier attempt, including batches redelivered to a
+	// restarted agent.
+	Retransmits int64
+	// DuplicatesSuppressed counts injected duplicate deliveries discarded
+	// before reaching an agent.
+	DuplicatesSuppressed int64
+	// Restarts counts agents that crashed and recovered from a checkpoint.
+	Restarts int64
 }
 
 // Run executes one agent goroutine per problem variable until the monitor
 // observes a solution, an agent proves insolubility, the system quiesces, or
-// the timeout expires (which returns ErrTimeout alongside the partial
-// result). makeAgent builds the algorithm-specific agent for each variable.
+// the timeout expires (which returns a *TimeoutError alongside the partial
+// result). makeAgent builds the algorithm-specific agent for each variable;
+// it is also how a crash-scheduled agent is rebuilt before its checkpoint is
+// restored.
 func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options) (Result, error) {
 	n := problem.NumVars()
 	if n == 0 {
@@ -90,17 +142,30 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 
 	rt := &runtime{
 		problem:   problem,
+		makeAgent: makeAgent,
 		agents:    make([]sim.Agent, n),
 		mailboxes: make([]*mailbox, n),
 		published: make([]atomic.Int64, n),
+		processed: make([]atomic.Int64, n),
 		stop:      make(chan struct{}),
 	}
-	if opts.MaxJitter > 0 {
-		rt.jitter = opts.MaxJitter
-		rt.rng = rand.New(rand.NewSource(opts.Seed))
+	if opts.Faults != nil {
+		rt.inj = faults.New(*opts.Faults)
+	}
+	// The dispatcher owns every delayed delivery; it is needed whenever any
+	// fault or jitter can push a message into the future.
+	useDispatcher := opts.MaxJitter > 0 ||
+		(opts.Faults != nil && (opts.Faults.Drop > 0 || opts.Faults.Duplicate > 0 || opts.Faults.MaxDelay > 0))
+	if useDispatcher {
+		rt.dispatch = true
 		rt.linkClock = make(map[linkKey]time.Time)
+		rt.linkSeq = make(map[linkKey]int64)
 		rt.delayed = make(chan delayedMsg)
 		rt.dispDone = make(chan struct{})
+		if opts.MaxJitter > 0 {
+			rt.jitter = opts.MaxJitter
+			rt.rng = rand.New(rand.NewSource(opts.Seed))
+		}
 		go rt.dispatcher()
 	}
 	for v := 0; v < n; v++ {
@@ -131,7 +196,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		}(v)
 	}
 
-	res := rt.monitor(timeout, poll)
+	res, terr := rt.monitor(timeout, poll)
 	close(rt.stop)
 	for _, mb := range rt.mailboxes {
 		mb.close()
@@ -141,40 +206,64 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	if rt.dispDone != nil {
 		<-rt.dispDone
 	}
+	if e := rt.runErr.Load(); e != nil {
+		return res, e.(error)
+	}
 
 	res.Duration = time.Since(start)
 	res.Messages = rt.delivered.Load()
+	res.Retransmits = rt.retransmits.Load()
+	res.DuplicatesSuppressed = rt.dupsSuppressed.Load()
+	res.Restarts = rt.restarts.Load()
 	if res.Assignment == nil {
 		res.Assignment = rt.snapshot()
 		res.Solved = problem.IsSolution(res.Assignment)
 	}
-	for _, a := range rt.agents {
+	for _, a := range rt.agentsFinal() {
 		res.TotalChecks += a.Checks()
 	}
 	if !res.Solved && !res.Insoluble && !res.Quiescent {
-		return res, ErrTimeout
+		if terr == nil {
+			terr = ErrTimeout
+		}
+		return res, terr
 	}
 	return res, nil
 }
 
 type runtime struct {
 	problem   *csp.Problem
+	makeAgent func(v csp.Var) sim.Agent
 	agents    []sim.Agent
 	mailboxes []*mailbox
 	published []atomic.Int64
+	processed []atomic.Int64
 	inFlight  atomic.Int64
 	delivered atomic.Int64
 	insoluble atomic.Bool
 	stop      chan struct{}
+	runErr    atomic.Value // error
 
+	inj            *faults.Injector
+	retransmits    atomic.Int64
+	dupsSuppressed atomic.Int64
+	restarts       atomic.Int64
+
+	dispatch  bool
 	jitter    time.Duration
 	jitterMu  sync.Mutex
 	rng       *rand.Rand
 	linkClock map[linkKey]time.Time
+	linkSeq   map[linkKey]int64
 	seq       int64
 	delayed   chan delayedMsg
 	dispDone  chan struct{}
 }
+
+// agentsFinal returns the agent slice for post-run accounting. Agent loops
+// may have replaced crashed agents; wg.Wait in Run orders those writes
+// before this read.
+func (rt *runtime) agentsFinal() []sim.Agent { return rt.agents }
 
 // linkKey identifies one directed communication link.
 type linkKey struct {
@@ -186,54 +275,141 @@ type delayedMsg struct {
 	at  time.Time
 	seq int64
 	msg sim.Message
+	// dup marks an injected duplicate copy: the transport's dedup layer
+	// suppresses it at arrival instead of delivering it, so it never counts
+	// toward in-flight work.
+	dup bool
 }
 
 // agentLoop drains the agent's mailbox, steps the agent, and routes its
-// output until the runtime stops.
+// output until the runtime stops. When the fault schedule assigns this agent
+// a crash point, the loop checkpoints durable state after every step until
+// the crash fires; the crash loses the batch in hand (it was never
+// acknowledged), and on restart a fresh agent restores the checkpoint and
+// the lost batch is redelivered — the transport-level retransmission the
+// reliable protocol guarantees.
 func (rt *runtime) agentLoop(v int) {
 	a := rt.agents[v]
 	mb := rt.mailboxes[v]
+	var crash faults.Crash
+	crashPending := false
+	if rt.inj != nil {
+		crash, crashPending = rt.inj.Crash(v)
+	}
+	var ckpt any
+	steps := 0
 	for {
 		batch, ok := mb.take()
 		if !ok {
 			return
 		}
+		if crashPending && steps >= crash.AfterSteps {
+			crashPending = false
+			if !crash.Restart {
+				// The agent is gone for good. Its in-hand batch dies with
+				// it; keep the in-flight counter honest. Later arrivals
+				// keep the counter positive, so quiescence is never
+				// declared while work is stranded at a dead agent.
+				rt.inFlight.Add(-int64(len(batch)))
+				return
+			}
+			if crash.RestartDelay > 0 {
+				time.Sleep(crash.RestartDelay)
+			}
+			fresh := rt.makeAgent(csp.Var(v))
+			if c, canRestore := fresh.(sim.Checkpointer); canRestore && ckpt != nil {
+				if err := c.Restore(ckpt); err != nil {
+					rt.fail(fmt.Errorf("async: agent %d restore after crash: %w", v, err))
+					rt.inFlight.Add(-int64(len(batch)))
+					return
+				}
+			}
+			a = fresh
+			rt.agents[v] = a
+			rt.published[v].Store(int64(a.CurrentValue()))
+			rt.restarts.Add(1)
+			// The batch in hand was lost with the crash and is being
+			// redelivered by retransmission.
+			rt.retransmits.Add(int64(len(batch)))
+		}
 		out := a.Step(batch)
+		steps++
+		if crashPending {
+			if c, canSnap := a.(sim.Checkpointer); canSnap {
+				ckpt = c.Checkpoint()
+			}
+		}
 		rt.published[v].Store(int64(a.CurrentValue()))
 		if r, isReporter := a.(sim.InsolubleReporter); isReporter && r.Insoluble() {
 			rt.insoluble.Store(true)
 		}
 		rt.route(out)
 		rt.delivered.Add(int64(len(batch)))
+		rt.processed[v].Add(int64(len(batch)))
 		// Decrement last: a nonzero in-flight count must cover messages
 		// being processed, or quiescence could be declared spuriously.
 		rt.inFlight.Add(-int64(len(batch)))
 	}
 }
 
-// route delivers messages, optionally after a random delay.
+// fail records the first fatal runtime error; the monitor surfaces it.
+func (rt *runtime) fail(err error) {
+	rt.runErr.CompareAndSwap(nil, err)
+}
+
+// route delivers messages, applying the fault schedule and optional jitter.
+// Each logical message is counted in flight exactly once: a drop shows up as
+// retransmission-backoff delay (the injector bounds attempts, so the first
+// successful attempt is computable at send time), and a duplicate is an
+// extra scheduled copy that the dedup layer discards at arrival. Per-link
+// FIFO is preserved by clamping each arrival to the link's previous one.
 func (rt *runtime) route(out []sim.Message) {
 	if len(out) == 0 {
 		return
 	}
 	rt.inFlight.Add(int64(len(out)))
 	for _, m := range out {
-		if rt.jitter <= 0 {
+		if !rt.dispatch {
 			rt.mailboxes[m.To()].put(m)
 			continue
 		}
-		// Pick a random arrival instant, then push it out to at least the
-		// link's previously scheduled arrival so per-link FIFO holds; the
-		// heap's sequence tiebreak orders equal arrivals by send order.
 		rt.jitterMu.Lock()
-		arrival := time.Now().Add(time.Duration(rt.rng.Int63n(int64(rt.jitter))))
 		key := linkKey{from: m.From(), to: m.To()}
+		now := time.Now()
+		var delay time.Duration
+		if rt.jitter > 0 {
+			delay = time.Duration(rt.rng.Int63n(int64(rt.jitter)))
+		}
+		var dupAt time.Time
+		hasDup := false
+		if rt.inj != nil {
+			seq := rt.linkSeq[key] + 1
+			rt.linkSeq[key] = seq
+			from, to := int(m.From()), int(m.To())
+			attempt := 0
+			for rt.inj.Dropped(from, to, seq, attempt) {
+				delay += faults.Backoff(attempt)
+				attempt++
+			}
+			rt.retransmits.Add(int64(attempt))
+			delay += rt.inj.Delay(from, to, seq, 0)
+			if rt.inj.Duplicated(from, to, seq) {
+				hasDup = true
+				dupAt = now.Add(rt.inj.Delay(from, to, seq, 1))
+			}
+		}
+		arrival := now.Add(delay)
 		if last, ok := rt.linkClock[key]; ok && arrival.Before(last) {
 			arrival = last
 		}
 		rt.linkClock[key] = arrival
 		rt.seq++
 		dm := delayedMsg{at: arrival, seq: rt.seq, msg: m}
+		var ddm delayedMsg
+		if hasDup {
+			rt.seq++
+			ddm = delayedMsg{at: dupAt, seq: rt.seq, msg: m, dup: true}
+		}
 		rt.jitterMu.Unlock()
 		select {
 		case rt.delayed <- dm:
@@ -241,13 +417,22 @@ func (rt *runtime) route(out []sim.Message) {
 			// The dispatcher has exited; drop the message but keep the
 			// in-flight count honest.
 			rt.inFlight.Add(-1)
+			continue
+		}
+		if hasDup {
+			select {
+			case rt.delayed <- ddm:
+			case <-rt.stop:
+			}
 		}
 	}
 }
 
-// dispatcher delivers jitter-delayed messages in (arrival, send-order)
-// sequence. A single goroutine owning the schedule gives a total delivery
-// order, which per-message timers cannot (close deadlines race).
+// dispatcher delivers delayed messages in (arrival, send-order) sequence. A
+// single goroutine owning the schedule gives a total delivery order, which
+// per-message timers cannot (close deadlines race). Injected duplicates are
+// suppressed here — the dedup half of the reliable transport — so mailboxes
+// see each logical message exactly once.
 func (rt *runtime) dispatcher() {
 	defer close(rt.dispDone)
 	var h delayHeap
@@ -267,14 +452,23 @@ func (rt *runtime) dispatcher() {
 			now := time.Now()
 			for len(h) > 0 && !h[0].at.After(now) {
 				dm := heap.Pop(&h).(delayedMsg)
+				if dm.dup {
+					rt.dupsSuppressed.Add(1)
+					continue
+				}
 				rt.mailboxes[dm.msg.To()].put(dm.msg)
 			}
 		case <-rt.stop:
 			if timer != nil {
 				timer.Stop()
 			}
-			// Undelivered messages die with the run.
-			rt.inFlight.Add(-int64(len(h)))
+			// Undelivered messages die with the run; duplicates were never
+			// counted in flight.
+			for _, dm := range h {
+				if !dm.dup {
+					rt.inFlight.Add(-1)
+				}
+			}
 			return
 		}
 		if timer != nil {
@@ -307,35 +501,48 @@ func (h *delayHeap) Pop() any {
 	return item
 }
 
-// monitor polls the published assignment until a terminal condition.
-func (rt *runtime) monitor(timeout, poll time.Duration) Result {
+// monitor polls the published assignment until a terminal condition. On
+// deadline expiry it returns a *TimeoutError describing the stuck state.
+func (rt *runtime) monitor(timeout, poll time.Duration) (Result, error) {
 	deadline := time.Now().Add(timeout)
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for range ticker.C {
+		if rt.runErr.Load() != nil {
+			return Result{}, nil // Run surfaces the recorded error
+		}
 		// A snapshot satisfying every constraint is a valid solution to the
 		// CSP even if it mixes values from slightly different instants;
 		// capture it immediately, because agents acting on stale views may
 		// still move before the runtime shuts down.
 		if snap := rt.snapshot(); rt.problem.IsSolution(snap) {
-			return Result{Solved: true, Assignment: snap}
+			return Result{Solved: true, Assignment: snap}, nil
 		}
 		if rt.insoluble.Load() {
-			return Result{Insoluble: true}
+			return Result{Insoluble: true}, nil
 		}
 		if rt.inFlight.Load() == 0 {
 			// Double-check after a grace period: the counter can be zero
 			// only between routing and processing when nothing is queued,
 			// which is stable, but re-reading costs little.
 			if rt.inFlight.Load() == 0 {
-				return Result{Quiescent: true}
+				return Result{Quiescent: true}, nil
 			}
 		}
 		if time.Now().After(deadline) {
-			return Result{}
+			te := &TimeoutError{
+				Timeout:   timeout,
+				InFlight:  rt.inFlight.Load(),
+				Delivered: rt.delivered.Load(),
+				Processed: make([]int64, len(rt.processed)),
+			}
+			for i := range rt.processed {
+				te.Processed[i] = rt.processed[i].Load()
+			}
+			return Result{}, te
 		}
 	}
-	return Result{}
+	return Result{}, ErrTimeout
 }
 
 func (rt *runtime) snapshot() csp.SliceAssignment {

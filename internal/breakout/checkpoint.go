@@ -1,0 +1,108 @@
+package breakout
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// Snapshot is a DB agent's durable state for crash-restart recovery. DB is
+// a wave protocol, so beyond value and weights the snapshot carries the
+// protocol phase (mode, pending ok?/improve counts) — a restored agent must
+// resume mid-wave exactly where the checkpoint left it or the alternating
+// waves deadlock.
+type Snapshot struct {
+	Value csp.Value
+	// Weights mirror the agent's per-nogood weights (paper footnote 7).
+	Weights []int
+	Checks  int64
+	// Mode is the wave phase: 1 = waiting for ok? messages, 2 = waiting for
+	// improve messages.
+	Mode      int
+	MyImprove int
+	MyEval    int
+	BestValue csp.Value
+	// Oks counts ok? messages received in the current wave.
+	Oks int
+	// ImproveVars/ImproveVals are the improve messages received in the
+	// current wave, sorted by variable.
+	ImproveVars []csp.Var
+	ImproveVals []int
+	// ViewVars/ViewVals are the neighbors' last-known values, sorted.
+	ViewVars []csp.Var
+	ViewVals []csp.Value
+	Stats    Stats
+}
+
+var _ sim.Checkpointer = (*Agent)(nil)
+
+// Checkpoint implements sim.Checkpointer.
+func (a *Agent) Checkpoint() any {
+	s := &Snapshot{
+		Value:     a.value,
+		Weights:   append([]int(nil), a.weights...),
+		Checks:    a.counter.Total(),
+		Mode:      int(a.mode),
+		MyImprove: a.myImprove,
+		MyEval:    a.myEval,
+		BestValue: a.bestValue,
+		Oks:       a.oks,
+		Stats:     a.stats,
+	}
+	vars := make([]csp.Var, 0, len(a.improves))
+	for v := range a.improves {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		s.ImproveVars = append(s.ImproveVars, v)
+		s.ImproveVals = append(s.ImproveVals, a.improves[v])
+	}
+	for v := 0; v < a.dv.Len(); v++ {
+		if csp.Var(v) == a.id || !a.dv.Known(csp.Var(v)) {
+			continue
+		}
+		val, _ := a.dv.Lookup(csp.Var(v))
+		s.ViewVars = append(s.ViewVars, csp.Var(v))
+		s.ViewVals = append(s.ViewVals, val)
+	}
+	return s
+}
+
+// Restore implements sim.Checkpointer.
+func (a *Agent) Restore(snapshot any) error {
+	s, ok := snapshot.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("breakout: cannot restore %T into a DB agent", snapshot)
+	}
+	if len(s.Weights) != len(a.weights) {
+		return fmt.Errorf("breakout: snapshot has %d weights for %d nogoods", len(s.Weights), len(a.weights))
+	}
+	if s.Mode != int(waitOk) && s.Mode != int(waitImprove) {
+		return fmt.Errorf("breakout: corrupt snapshot: mode %d", s.Mode)
+	}
+	if len(s.ImproveVars) != len(s.ImproveVals) || len(s.ViewVars) != len(s.ViewVals) {
+		return fmt.Errorf("breakout: corrupt snapshot: slices of unequal length")
+	}
+	a.value = s.Value
+	copy(a.weights, s.Weights)
+	a.counter.Restore(s.Checks)
+	a.mode = mode(s.Mode)
+	a.myImprove = s.MyImprove
+	a.myEval = s.MyEval
+	a.bestValue = s.BestValue
+	a.oks = s.Oks
+	a.stats = s.Stats
+	a.improves = make(map[csp.Var]int, len(s.ImproveVars))
+	for i, v := range s.ImproveVars {
+		a.improves[v] = s.ImproveVals[i]
+	}
+	a.dv.Reset()
+	for i, v := range s.ViewVars {
+		a.dv.Assign(v, s.ViewVals[i])
+	}
+	a.dv.Assign(a.id, a.value)
+	return nil
+}

@@ -1,0 +1,74 @@
+package breakout
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	// A 2-colorable triangle is insoluble, so DB keeps cycling through
+	// waves and weight bumps — every protocol phase gets exercised.
+	p := csp.NewProblemUniform(3, 2)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cycles := range []int{1, 2, 3, 6} {
+		agents := make([]*Agent, 3)
+		simAgents := make([]sim.Agent, 3)
+		for v := range agents {
+			agents[v] = NewAgent(csp.Var(v), p, 0)
+			simAgents[v] = agents[v]
+		}
+		if _, err := sim.Run(p, simAgents, sim.Options{MaxCycles: cycles}); err != nil {
+			t.Fatal(err)
+		}
+		for v, a := range agents {
+			cp := a.Checkpoint()
+			fresh := NewAgent(csp.Var(v), p, 0)
+			if err := fresh.Restore(cp); err != nil {
+				t.Fatalf("cycles %d agent %d: restore: %v", cycles, v, err)
+			}
+			if got := fresh.Checkpoint(); !reflect.DeepEqual(got, cp) {
+				t.Fatalf("cycles %d agent %d: restored checkpoint differs:\n got %+v\nwant %+v", cycles, v, got, cp)
+			}
+			// Feed a full ok? wave to both; mid-wave state must carry over.
+			var batch []sim.Message
+			for _, nb := range p.Neighbors(csp.Var(v)) {
+				batch = append(batch, Ok{Sender: sim.AgentID(nb), Receiver: sim.AgentID(v), Value: 1})
+			}
+			if out1, out2 := a.Step(batch), fresh.Step(batch); !reflect.DeepEqual(out1, out2) {
+				t.Fatalf("cycles %d agent %d: restored agent diverged on next step", cycles, v)
+			}
+			if !reflect.DeepEqual(fresh.Checkpoint(), a.Checkpoint()) {
+				t.Fatalf("cycles %d agent %d: state diverged after identical step", cycles, v)
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	p := csp.NewProblemUniform(2, 2)
+	if err := p.AddNotEqual(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(0, p, 0)
+	if err := a.Restore("nope"); err == nil {
+		t.Fatal("restore accepted a foreign snapshot")
+	}
+	good := a.Checkpoint().(*Snapshot)
+	bad := *good
+	bad.Mode = 99
+	if err := a.Restore(&bad); err == nil {
+		t.Fatal("restore accepted an invalid mode")
+	}
+	bad = *good
+	bad.Weights = []int{1, 2, 3, 4, 5, 6, 7}
+	if err := a.Restore(&bad); err == nil {
+		t.Fatal("restore accepted mismatched weights")
+	}
+}

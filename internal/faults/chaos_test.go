@@ -1,0 +1,217 @@
+// Chaos suite: every algorithm family must reach its clean-network outcome
+// — the same solved/insoluble verdict, with a valid solution when solved —
+// under a seeded fault schedule of message drop, duplication, delay, and a
+// crash-restart, on both the in-process asynchronous runtime and the TCP
+// runtime. The fault schedule is deterministic per seed (hash-keyed
+// decisions, independent of goroutine interleaving), so a failure here
+// reproduces with its seed.
+//
+// The suite lives in package faults_test so it can drive internal/async and
+// internal/netrun without an import cycle.
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/async"
+	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/netrun"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// verdict is the outcome a run must reproduce under chaos.
+type verdict struct {
+	solved    bool
+	insoluble bool
+}
+
+type family struct {
+	name      string
+	problem   func(t *testing.T) *csp.Problem
+	makeAgent func(p *csp.Problem) func(csp.Var) sim.Agent
+	want      verdict
+}
+
+func solvableColoring(seed int64) func(t *testing.T) *csp.Problem {
+	return func(t *testing.T) *csp.Problem {
+		t.Helper()
+		inst, err := gen.Coloring(15, 32, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.Problem
+	}
+}
+
+func insolubleK4(t *testing.T) *csp.Problem {
+	t.Helper()
+	p := csp.NewProblemUniform(4, 3)
+	for i := csp.Var(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := p.AddNotEqual(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return p
+}
+
+func awcFactory(learning core.Learning, initSeed int64) func(p *csp.Problem) func(csp.Var) sim.Agent {
+	return func(p *csp.Problem) func(csp.Var) sim.Agent {
+		init := gen.RandomInitial(p, initSeed)
+		return func(v csp.Var) sim.Agent { return core.NewAgent(v, p, init[v], learning) }
+	}
+}
+
+func families() []family {
+	return []family{
+		{
+			name:      "awc-resolvent",
+			problem:   solvableColoring(101),
+			makeAgent: awcFactory(core.Learning{Kind: core.LearnResolvent}, 11),
+			want:      verdict{solved: true},
+		},
+		{
+			name:      "awc-mcs",
+			problem:   solvableColoring(102),
+			makeAgent: awcFactory(core.Learning{Kind: core.LearnMCS}, 12),
+			want:      verdict{solved: true},
+		},
+		{
+			name:    "db",
+			problem: solvableColoring(103),
+			makeAgent: func(p *csp.Problem) func(csp.Var) sim.Agent {
+				init := gen.RandomInitial(p, 13)
+				return func(v csp.Var) sim.Agent { return breakout.NewAgent(v, p, init[v]) }
+			},
+			want: verdict{solved: true},
+		},
+		{
+			name:    "abt-insoluble",
+			problem: insolubleK4,
+			makeAgent: func(p *csp.Problem) func(csp.Var) sim.Agent {
+				return func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, 0) }
+			},
+			want: verdict{insoluble: true},
+		},
+	}
+}
+
+// chaosConfig is the acceptance schedule: seeded 10% drop, 10% duplication,
+// bounded delay, and one crash-restart.
+func chaosConfig(seed int64) *faults.Config {
+	return &faults.Config{
+		Seed:      seed,
+		Drop:      0.10,
+		Duplicate: 0.10,
+		MaxDelay:  time.Millisecond,
+		Crashes:   []faults.Crash{{Agent: 2, AfterSteps: 1, Restart: true}},
+	}
+}
+
+func checkVerdict(t *testing.T, fam family, p *csp.Problem, solved, insoluble bool, assignment csp.SliceAssignment) {
+	t.Helper()
+	if solved != fam.want.solved || insoluble != fam.want.insoluble {
+		t.Fatalf("verdict under chaos {solved:%v insoluble:%v} differs from clean network %+v",
+			solved, insoluble, fam.want)
+	}
+	if solved && !p.IsSolution(assignment) {
+		t.Fatalf("solved run produced an invalid assignment %v", assignment)
+	}
+}
+
+// TestChaosAsync drives every family through the async runtime under the
+// acceptance fault schedule, twice per seed: the verdict must match the
+// clean-network outcome both times.
+func TestChaosAsync(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			for _, seed := range []int64{1, 2} {
+				for rep := 0; rep < 2; rep++ {
+					res, err := async.Run(p, fam.makeAgent(p), async.Options{
+						Timeout: 60 * time.Second,
+						Faults:  chaosConfig(seed),
+					})
+					if err != nil {
+						t.Fatalf("seed %d rep %d: %v (res=%+v)", seed, rep, err, res)
+					}
+					checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosNetrun drives every family through the TCP runtime under the
+// acceptance fault schedule: drop, duplication, delay, and a node crash
+// with checkpoint-restart, all crossing real sockets.
+func TestChaosNetrun(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			res, err := netrun.Run(p, fam.makeAgent(p), netrun.Options{
+				Timeout: 60 * time.Second,
+				Faults:  chaosConfig(1),
+			})
+			if err != nil {
+				t.Fatalf("%v (res=%+v)", err, res)
+			}
+			checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+			if res.Retransmits == 0 {
+				t.Errorf("10%% drop produced no retransmits: %+v", res)
+			}
+		})
+	}
+}
+
+// TestChaosDropRateSweep raises the drop rate well past the acceptance
+// level; eventual delivery (bounded attempts) must keep AWC solving.
+func TestChaosDropRateSweep(t *testing.T) {
+	fam := families()[0]
+	p := fam.problem(t)
+	for _, drop := range []float64{0.05, 0.2, 0.3} {
+		res, err := async.Run(p, fam.makeAgent(p), async.Options{
+			Timeout: 60 * time.Second,
+			Faults:  &faults.Config{Seed: 7, Drop: drop},
+		})
+		if err != nil {
+			t.Fatalf("drop %.2f: %v (res=%+v)", drop, err, res)
+		}
+		if !res.Solved {
+			t.Fatalf("drop %.2f: not solved: %+v", drop, res)
+		}
+	}
+}
+
+// TestChaosCrashPointSweep moves the crash point across the run; the ABT
+// insolubility proof must survive a restart wherever it lands (a crash
+// point past the run's natural end simply never fires).
+func TestChaosCrashPointSweep(t *testing.T) {
+	p := insolubleK4(t)
+	mk := func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, 0) }
+	for _, after := range []int{0, 2, 5} {
+		res, err := netrun.Run(p, mk, netrun.Options{
+			Timeout: 60 * time.Second,
+			Faults: &faults.Config{Seed: 8, Crashes: []faults.Crash{
+				{Agent: 1, AfterSteps: after, Restart: true},
+			}},
+		})
+		if err != nil {
+			t.Fatalf("crash after %d: %v (res=%+v)", after, err, res)
+		}
+		if !res.Insoluble {
+			t.Fatalf("crash after %d: insolubility not proven: %+v", after, res)
+		}
+	}
+}

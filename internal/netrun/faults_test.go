@@ -1,0 +1,175 @@
+package netrun
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+func insolubleTriangle(t *testing.T) *csp.Problem {
+	t.Helper()
+	p := csp.NewProblemUniform(3, 2)
+	for _, e := range [][2]csp.Var{{0, 1}, {1, 2}, {0, 2}} {
+		if err := p.AddNotEqual(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestNetrunDisconnectFastFail pins the satellite regression: a node that
+// dies mid-run without a scheduled restart must surface as a prompt
+// diagnostic error from the hub's send path, not as a silent 30-second
+// timeout. DB on an insoluble triangle keeps traffic flowing forever, so
+// retransmissions to the dead node guarantee a send failure quickly.
+func TestNetrunDisconnectFastFail(t *testing.T) {
+	p := insolubleTriangle(t)
+	init := csp.SliceAssignment{0, 0, 0}
+	start := time.Now()
+	res, err := Run(p, func(v csp.Var) sim.Agent {
+		return breakout.NewAgent(v, p, init[v])
+	}, Options{
+		Timeout: 30 * time.Second,
+		Faults: &faults.Config{Seed: 1, Crashes: []faults.Crash{
+			{Agent: 1, AfterSteps: 2, Restart: false},
+		}},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("dead node produced no error: %+v", res)
+	}
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("dead node reported as timeout: %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("fast-fail took %v; the run idled toward the timeout", elapsed)
+	}
+	if !strings.Contains(err.Error(), "node") {
+		t.Errorf("diagnostic %q does not identify the node", err)
+	}
+}
+
+// TestNetrunTimeoutErrorState pins the satellite contract: a timed-out run
+// returns a *TimeoutError carrying the hub's last snapshot.
+func TestNetrunTimeoutErrorState(t *testing.T) {
+	p := insolubleTriangle(t)
+	init := csp.SliceAssignment{0, 0, 0}
+	_, err := Run(p, func(v csp.Var) sim.Agent {
+		return breakout.NewAgent(v, p, init[v])
+	}, Options{Timeout: 500 * time.Millisecond})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TimeoutError", err, err)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("TimeoutError does not wrap ErrTimeout: %v", err)
+	}
+	if len(te.Processed) != 3 {
+		t.Fatalf("Processed = %v, want 3 entries", te.Processed)
+	}
+	if te.Messages == 0 {
+		t.Errorf("Messages = 0; DB exchanges traffic before the deadline")
+	}
+	for _, want := range []string{"in flight", "routed", "processed"} {
+		if !strings.Contains(te.Error(), want) {
+			t.Errorf("error message %q missing %q", te.Error(), want)
+		}
+	}
+}
+
+func TestNetrunAWCUnderDropAndDup(t *testing.T) {
+	inst, err := gen.Coloring(15, 35, 3, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := gen.RandomInitial(inst.Problem, 72)
+	res, err := Run(inst.Problem, func(v csp.Var) sim.Agent {
+		return core.NewAgent(v, inst.Problem, init[v], core.Learning{Kind: core.LearnResolvent})
+	}, Options{
+		Timeout: 60 * time.Second,
+		Faults:  &faults.Config{Seed: 4, Drop: 0.1, Duplicate: 0.3, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved under drop+dup: %+v", res)
+	}
+	if !inst.Problem.IsSolution(res.Assignment) {
+		t.Fatalf("assignment is not a solution")
+	}
+	if res.Retransmits == 0 {
+		t.Errorf("no retransmits at 10%% drop: %+v", res)
+	}
+	if res.DuplicatesSuppressed == 0 {
+		t.Errorf("no duplicates suppressed at 30%% dup: %+v", res)
+	}
+}
+
+func TestNetrunCrashRestartAWC(t *testing.T) {
+	inst, err := gen.Coloring(15, 35, 3, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := gen.RandomInitial(inst.Problem, 74)
+	res, err := Run(inst.Problem, func(v csp.Var) sim.Agent {
+		return core.NewAgent(v, inst.Problem, init[v], core.Learning{Kind: core.LearnResolvent})
+	}, Options{
+		Timeout: 60 * time.Second,
+		Faults: &faults.Config{Seed: 5, Crashes: []faults.Crash{
+			{Agent: 2, AfterSteps: 0, Restart: true},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved across crash-restart: %+v", res)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1: %+v", res.Restarts, res)
+	}
+}
+
+func TestNetrunCrashRestartABTInsoluble(t *testing.T) {
+	// K4 with 3 colors: the insolubility proof must survive a node crash.
+	// The restarted node resumes from its checkpoint with its nogood store
+	// intact, so no derivation restarts from scratch.
+	p := csp.NewProblemUniform(4, 3)
+	for i := csp.Var(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := p.AddNotEqual(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := Run(p, func(v csp.Var) sim.Agent {
+		return abt.NewAgent(v, p, 0)
+	}, Options{
+		Timeout: 60 * time.Second,
+		Faults: &faults.Config{Seed: 6, Crashes: []faults.Crash{
+			{Agent: 1, AfterSteps: 1, Restart: true},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("run: %v (res=%+v)", err, res)
+	}
+	if !res.Insoluble {
+		t.Fatalf("insolubility not proven across restart: %+v", res)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+}

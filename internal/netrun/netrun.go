@@ -6,6 +6,18 @@
 // synchronous simulator and the in-process asynchronous runtime here cross
 // a real socket boundary, with the hub playing the network.
 //
+// The transport is reliable end-to-end: nodes stamp per-link sequence
+// numbers (wire.SendLink), retransmit on exponential backoff until the
+// receiver's cumulative ack covers them, and dedup/reorder on arrival
+// (wire.RecvLink), restoring the FIFO-per-link, exactly-once delivery the
+// algorithms' correctness model (Yokoo et al.) assumes. The hub can play an
+// adversarial network (Options.Faults): deterministic drop, duplication,
+// and delay of algorithm frames, plus scheduled node crashes. A
+// crash-scheduled node checkpoints its durable state (agent snapshot, both
+// halves of every reliable link) before acknowledging each step, so a
+// restarted node re-registers with the hub, replays the checkpoint, and the
+// run completes exactly as on a clean network.
+//
 // The hub detects termination out-of-band, like the other runtimes: nodes
 // attach a state report (current value, insolubility flag, processed
 // count) after every step, letting the hub check for a solution snapshot,
@@ -14,25 +26,64 @@ package netrun
 
 import (
 	"bufio"
+	"container/heap"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/wire"
 )
 
 // ErrTimeout is returned when the deadline expires before a terminal state.
+// The concrete error is a *TimeoutError carrying the hub's last snapshot;
+// errors.Is(err, ErrTimeout) matches it.
 var ErrTimeout = errors.New("netrun: run timed out")
+
+// ErrNodeDown is wrapped into the error returned when the hub cannot reach
+// a node that is not scheduled to restart: the run fails fast with a
+// diagnostic instead of idling to the timeout.
+var ErrNodeDown = errors.New("netrun: node unreachable")
+
+// TimeoutError reports a run that hit its deadline, with the hub's last
+// observed state so a stuck run is diagnosable from the error alone. It
+// wraps ErrTimeout.
+type TimeoutError struct {
+	// Timeout is the configured deadline that expired.
+	Timeout time.Duration
+	// InFlight is the number of unique algorithm messages routed but not
+	// yet reported processed by their destination node.
+	InFlight int64
+	// Messages is the number of unique algorithm messages routed.
+	Messages int64
+	// Processed is the per-node count of messages processed, indexed by
+	// variable.
+	Processed []int64
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("netrun: run timed out after %v: %d messages in flight, %d routed, per-node processed %v",
+		e.Timeout, e.InFlight, e.Messages, e.Processed)
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
 
 // Options configures a run.
 type Options struct {
 	// Timeout bounds the wall-clock run; 0 means 30s.
 	Timeout time.Duration
+	// Faults, when non-nil, makes the hub an adversarial network for
+	// algorithm frames — deterministic per-link drop, duplication, and
+	// bounded delay — and schedules node crashes. Control frames (hello,
+	// state, stop) and acks are exempt: faults attack the data plane the
+	// reliable protocol defends, not the test harness's instrumentation.
+	Faults *faults.Config
 }
 
 // Result reports a completed run.
@@ -45,10 +96,20 @@ type Result struct {
 	Quiescent bool
 	// Assignment is the last (or solving) snapshot.
 	Assignment csp.SliceAssignment
-	// Messages counts routed algorithm messages (control frames excluded).
+	// Messages counts unique routed algorithm messages (retransmissions,
+	// duplicates, and control frames excluded).
 	Messages int64
 	// Duration is the wall-clock run time.
 	Duration time.Duration
+
+	// Retransmits counts frames the nodes retransmitted because no ack
+	// arrived in time.
+	Retransmits int64
+	// DuplicatesSuppressed counts frames the nodes discarded as duplicates
+	// (injected copies and spurious retransmissions).
+	DuplicatesSuppressed int64
+	// Restarts counts nodes that crashed and rejoined from a checkpoint.
+	Restarts int64
 }
 
 // control frame types, alongside the wire message types.
@@ -56,6 +117,15 @@ const (
 	ctlHello = "ctl.hello"
 	ctlState = "ctl.state"
 	ctlStop  = "ctl.stop"
+)
+
+// Reliable-transport tuning for the node loops. The base exceeds loopback
+// round-trip by orders of magnitude, so retransmissions fire only under
+// injected loss (or a genuinely dead peer), not under scheduling noise.
+const (
+	retransmitBase = 10 * time.Millisecond
+	retransmitCap  = 160 * time.Millisecond
+	retransmitTick = 5 * time.Millisecond
 )
 
 // frame is the union of wire envelopes and control frames exchanged on the
@@ -71,8 +141,18 @@ type frame struct {
 	src *nodeConn `json:"-"`
 }
 
+// nodeCounters aggregates transport statistics across all node goroutines
+// and incarnations of one run.
+type nodeCounters struct {
+	retransmits atomic.Int64
+	dups        atomic.Int64
+	restarts    atomic.Int64
+}
+
 // Run executes one agent node per problem variable against a loopback TCP
-// hub. makeAgent builds the algorithm-specific agent per variable.
+// hub. makeAgent builds the algorithm-specific agent per variable; it is
+// also how a crashed node's new incarnation is built before its checkpoint
+// is restored.
 func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options) (Result, error) {
 	n := problem.NumVars()
 	if n == 0 {
@@ -82,6 +162,12 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	var inj *faults.Injector
+	var ckpts *faults.Checkpoints
+	if opts.Faults != nil {
+		inj = faults.New(*opts.Faults)
+		ckpts = faults.NewCheckpoints()
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -90,68 +176,111 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	defer ln.Close()
 
 	hub := &hub{
-		problem: problem,
-		values:  csp.NewSliceAssignment(n),
-		conns:   make([]*nodeConn, n),
-		frames:  make(chan frame, n),
-		stop:    make(chan struct{}),
+		problem:   problem,
+		values:    csp.NewSliceAssignment(n),
+		conns:     make([]*nodeConn, n),
+		processed: make([]int64, n),
+		seqHigh:   make(map[link]int64),
+		frames:    make(chan frame, n),
+		stop:      make(chan struct{}),
+		inj:       inj,
+	}
+	if inj != nil {
+		hub.attempts = make(map[attemptKey]int)
 	}
 
-	// Start the nodes; each dials the hub and runs its agent.
+	// Accept connections for the whole run: restarted nodes dial back in.
+	var readWG sync.WaitGroup
+	var connMu sync.Mutex
+	var allConns []net.Conn
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed at shutdown
+			}
+			connMu.Lock()
+			allConns = append(allConns, conn)
+			connMu.Unlock()
+			nc := &nodeConn{conn: conn, w: bufio.NewWriter(conn)}
+			readWG.Add(1)
+			go func() {
+				defer readWG.Done()
+				hub.readLoop(nc)
+			}()
+		}
+	}()
+
+	// Start the nodes; each supervisor restarts its node per the crash
+	// schedule.
+	var ctr nodeCounters
+	runDone := make(chan struct{})
 	var nodeWG sync.WaitGroup
 	nodeErrs := make(chan error, n)
 	for v := 0; v < n; v++ {
 		nodeWG.Add(1)
 		go func(v int) {
 			defer nodeWG.Done()
-			if err := runNode(ln.Addr().String(), csp.Var(v), makeAgent); err != nil {
-				nodeErrs <- fmt.Errorf("node %d: %w", v, err)
+			for incarnation := 0; ; incarnation++ {
+				crashed, err := runNode(ln.Addr().String(), csp.Var(v), makeAgent, inj, ckpts, &ctr, incarnation, runDone)
+				if err != nil {
+					nodeErrs <- fmt.Errorf("node %d: %w", v, err)
+					return
+				}
+				if !crashed {
+					return
+				}
+				cr, _ := inj.Crash(v)
+				if !cr.Restart {
+					return
+				}
+				select {
+				case <-time.After(cr.RestartDelay):
+				case <-runDone:
+					return
+				}
+				ctr.restarts.Add(1)
 			}
 		}(v)
 	}
 
-	// Accept exactly n connections and attach reader goroutines.
-	var readWG sync.WaitGroup
-	for i := 0; i < n; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			close(hub.stop)
-			nodeWG.Wait()
-			return Result{}, fmt.Errorf("netrun: accept: %w", err)
-		}
-		nc := &nodeConn{conn: conn, w: bufio.NewWriter(conn)}
-		readWG.Add(1)
-		go func() {
-			defer readWG.Done()
-			hub.readLoop(nc)
-		}()
-	}
-
 	start := time.Now()
-	res := hub.route(timeout)
+	res, rerr := hub.route(timeout)
 	res.Duration = time.Since(start)
 
-	// Shut down: tell every registered node to stop, then close sockets.
+	// Shut down: tell every registered node to stop, then close sockets
+	// (including accepted-but-unregistered ones, so no node blocks on a
+	// read forever).
+	close(runDone)
 	hub.broadcastStop()
-	for _, nc := range hub.conns {
-		if nc != nil {
-			nc.conn.Close()
-		}
+	ln.Close()
+	connMu.Lock()
+	for _, c := range allConns {
+		c.Close()
 	}
+	connMu.Unlock()
 	nodeWG.Wait()
 	readWG.Wait()
+	<-acceptDone
 	close(nodeErrs)
+
+	res.Retransmits = ctr.retransmits.Load()
+	res.DuplicatesSuppressed = ctr.dups.Load()
+	res.Restarts = ctr.restarts.Load()
+	if res.Solved || res.Insoluble || res.Quiescent {
+		return res, nil
+	}
+	// A node error is the root cause when one exists; otherwise the route
+	// loop's own diagnostic (node unreachable or timeout) stands.
 	for err := range nodeErrs {
-		// A node error after a terminal state (connection torn down by the
-		// shutdown) is expected; report only errors of failed runs.
-		if !res.Solved && !res.Insoluble && !res.Quiescent {
-			return res, err
-		}
+		return res, err
 	}
-	if !res.Solved && !res.Insoluble && !res.Quiescent {
-		return res, ErrTimeout
+	if rerr == nil {
+		rerr = ErrTimeout
 	}
-	return res, nil
+	return res, rerr
 }
 
 // nodeConn is the hub's handle on one node.
@@ -174,16 +303,64 @@ func (nc *nodeConn) send(f frame) error {
 	return nc.w.Flush()
 }
 
+// link identifies one directed node-to-node channel.
+type link struct {
+	from, to int
+}
+
+// attemptKey identifies one delivery attempt stream at the hub.
+type attemptKey struct {
+	l   link
+	seq int64
+}
+
+// delayedFrame is a frame the fault schedule holds back until at.
+type delayedFrame struct {
+	at  time.Time
+	seq int64
+	f   frame
+}
+
+// frameHeap orders delayed frames by due time, then arrival sequence.
+type frameHeap []delayedFrame
+
+func (h frameHeap) Len() int { return len(h) }
+
+func (h frameHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h frameHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *frameHeap) Push(x any) { *h = append(*h, x.(delayedFrame)) }
+
+func (h *frameHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
 // hub routes frames and watches for termination.
 type hub struct {
-	problem  *csp.Problem
-	values   csp.SliceAssignment
-	conns    []*nodeConn
-	pending  map[int][]frame
-	frames   chan frame
-	stop     chan struct{}
-	inFlight int64
-	messages int64
+	problem   *csp.Problem
+	values    csp.SliceAssignment
+	conns     []*nodeConn
+	processed []int64
+	pending   map[int][]frame
+	seqHigh   map[link]int64
+	attempts  map[attemptKey]int
+	delayq    frameHeap
+	delaySeq  int64
+	frames    chan frame
+	stop      chan struct{}
+	inFlight  int64
+	messages  int64
+	inj       *faults.Injector
 }
 
 // readLoop decodes frames from one connection into the hub channel. All
@@ -206,87 +383,174 @@ func (h *hub) readLoop(nc *nodeConn) {
 	}
 }
 
-// route is the hub's single-threaded event loop.
-func (h *hub) route(timeout time.Duration) Result {
+// route is the hub's single-threaded event loop. All timers are managed
+// (reused and stopped on every path) rather than per-iteration time.After
+// allocations, which leaked a timer per loop when another case fired.
+func (h *hub) route(timeout time.Duration) (Result, error) {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+	probe := time.NewTimer(time.Hour)
+	probe.Stop()
+	defer probe.Stop()
+	delayT := time.NewTimer(time.Hour)
+	delayT.Stop()
+	defer delayT.Stop()
+
 	// Quiescence cannot be declared from in-flight counting alone until
 	// every node has reported in at least once.
 	reported := make(map[int]bool, len(h.values))
 	for {
-		// Quiescence: all nodes live, nothing in flight, nothing queued.
-		if len(reported) == len(h.values) && h.inFlight == 0 && len(h.frames) == 0 {
-			select {
-			case f := <-h.frames:
-				if done, res := h.handle(f, reported); done {
-					return res
-				}
-				continue
-			case <-time.After(10 * time.Millisecond):
-				if h.inFlight == 0 {
-					return Result{Quiescent: true, Assignment: h.snapshot(), Messages: h.messages}
-				}
-				continue
-			case <-deadline.C:
-				return Result{Assignment: h.snapshot(), Messages: h.messages}
-			}
+		var delayC <-chan time.Time
+		if len(h.delayq) > 0 {
+			delayT.Reset(time.Until(h.delayq[0].at))
+			delayC = delayT.C
+		}
+		// Quiescence: all nodes reported, nothing in flight, nothing queued
+		// or held back. The probe re-checks after a grace period; a stale
+		// timer tick is harmless because the condition is re-evaluated.
+		var probeC <-chan time.Time
+		if len(reported) == len(h.values) && h.inFlight == 0 && len(h.frames) == 0 && len(h.delayq) == 0 {
+			probe.Reset(10 * time.Millisecond)
+			probeC = probe.C
 		}
 		select {
 		case f := <-h.frames:
-			if done, res := h.handle(f, reported); done {
-				return res
+			done, res, err := h.handle(f, reported)
+			if err != nil {
+				return Result{Assignment: h.snapshot(), Messages: h.messages}, err
+			}
+			if done {
+				return res, nil
+			}
+		case <-delayC:
+			now := time.Now()
+			for len(h.delayq) > 0 && !h.delayq[0].at.After(now) {
+				df := heap.Pop(&h.delayq).(delayedFrame)
+				if err := h.send(df.f); err != nil {
+					return Result{Assignment: h.snapshot(), Messages: h.messages}, err
+				}
+			}
+		case <-probeC:
+			if h.inFlight == 0 && len(h.frames) == 0 && len(h.delayq) == 0 {
+				return Result{Quiescent: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 			}
 		case <-deadline.C:
-			return Result{Assignment: h.snapshot(), Messages: h.messages}
+			te := &TimeoutError{
+				Timeout:   timeout,
+				InFlight:  h.inFlight,
+				Messages:  h.messages,
+				Processed: append([]int64(nil), h.processed...),
+			}
+			return Result{Assignment: h.snapshot(), Messages: h.messages}, te
 		}
+		probe.Stop()
+		delayT.Stop()
 	}
 }
 
-// handle processes one frame; done reports a terminal state.
-func (h *hub) handle(f frame, reported map[int]bool) (bool, Result) {
-	if f.Type == ctlHello {
+// handle processes one frame; done reports a terminal state. A non-nil
+// error means a node is unreachable and not coming back.
+func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
+	switch f.Type {
+	case ctlHello:
 		if f.From >= 0 && f.From < len(h.conns) {
 			h.conns[f.From] = f.src
-			// Flush messages that arrived before this node registered.
-			for _, queued := range h.pending[f.From] {
-				_ = f.src.send(queued)
-			}
+			// Flush messages that arrived before this node (re)registered;
+			// the node's reorder buffer handles any staleness.
+			queued := h.pending[f.From]
 			delete(h.pending, f.From)
+			for _, q := range queued {
+				if err := h.send(q); err != nil {
+					return false, Result{}, err
+				}
+			}
 		}
-		return false, Result{}
-	}
-	if f.Type == ctlState {
+		return false, Result{}, nil
+	case ctlState:
 		reported[f.From] = true
 		if f.From >= 0 && f.From < len(h.values) {
 			h.values[f.From] = csp.Value(f.Value)
+			h.processed[f.From] += int64(f.Processed)
 		}
 		h.inFlight -= int64(f.Processed)
 		if f.Insoluble {
-			return true, Result{Insoluble: true, Assignment: h.snapshot(), Messages: h.messages}
+			return true, Result{Insoluble: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 		}
 		if h.problem.IsSolution(h.values) {
-			return true, Result{Solved: true, Assignment: h.snapshot(), Messages: h.messages}
+			return true, Result{Solved: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 		}
-		return false, Result{}
+		return false, Result{}, nil
+	case wire.TypeAck:
+		// Control plane: exempt from fault injection and accounting.
+		return false, Result{}, h.send(f)
 	}
-	// Algorithm message: forward to its destination, queueing it when the
-	// destination has not said hello yet.
-	h.messages++
-	h.inFlight++
+	// Algorithm frame. Count each unique (link, seq) exactly once — before
+	// the drop decision, because a dropped message is still in flight (the
+	// sender retransmits it until acked).
 	if f.To < 0 || f.To >= len(h.conns) {
-		return false, Result{}
+		return false, Result{}, nil
 	}
-	if h.conns[f.To] == nil {
-		if h.pending == nil {
-			h.pending = make(map[int][]frame)
+	k := link{from: f.From, to: f.To}
+	if f.Seq > h.seqHigh[k] {
+		h.seqHigh[k] = f.Seq
+		h.messages++
+		h.inFlight++
+	}
+	if h.inj != nil && f.Seq > 0 {
+		ak := attemptKey{l: k, seq: f.Seq}
+		attempt := h.attempts[ak]
+		h.attempts[ak] = attempt + 1
+		if h.inj.Dropped(f.From, f.To, f.Seq, attempt) {
+			return false, Result{}, nil
 		}
-		h.pending[f.To] = append(h.pending[f.To], f)
-		return false, Result{}
+		if attempt == 0 && h.inj.Duplicated(f.From, f.To, f.Seq) {
+			h.schedule(f, time.Now().Add(h.inj.Delay(f.From, f.To, f.Seq, 1)))
+		}
+		if d := h.inj.Delay(f.From, f.To, f.Seq, 0); d > 0 {
+			h.schedule(f, time.Now().Add(d))
+			return false, Result{}, nil
+		}
 	}
-	// A send failure means the node is gone; the run will end by timeout,
-	// which is the honest outcome.
-	_ = h.conns[f.To].send(f)
-	return false, Result{}
+	return false, Result{}, h.send(f)
+}
+
+// schedule holds f back until at.
+func (h *hub) schedule(f frame, at time.Time) {
+	h.delaySeq++
+	heap.Push(&h.delayq, delayedFrame{at: at, seq: h.delaySeq, f: f})
+}
+
+// send forwards a frame to its destination node, queueing it while the
+// node is unregistered. A send failure to a node that the fault schedule
+// will restart parks the frame and awaits the re-hello; any other send
+// failure is a dead node — the run fails fast with a diagnostic instead of
+// idling to the timeout.
+func (h *hub) send(f frame) error {
+	if f.To < 0 || f.To >= len(h.conns) {
+		return nil
+	}
+	nc := h.conns[f.To]
+	if nc == nil {
+		h.queue(f)
+		return nil
+	}
+	if err := nc.send(f); err != nil {
+		if h.inj.WillRestart(f.To) {
+			h.conns[f.To] = nil
+			h.queue(f)
+			return nil
+		}
+		return fmt.Errorf("send of %s frame %d→%d (seq %d) failed: %v: %w",
+			f.Type, f.From, f.To, f.Seq, err, ErrNodeDown)
+	}
+	return nil
+}
+
+func (h *hub) queue(f frame) {
+	if h.pending == nil {
+		h.pending = make(map[int][]frame)
+	}
+	h.pending[f.To] = append(h.pending[f.To], f)
 }
 
 func (h *hub) snapshot() csp.SliceAssignment {
@@ -304,17 +568,112 @@ func (h *hub) broadcastStop() {
 	}
 }
 
-// runNode dials the hub and runs one agent against the socket.
-func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent) error {
+// nodeCheckpoint is the durable state a node persists before acknowledging
+// a step: the agent snapshot plus both halves of every reliable link, so a
+// restarted incarnation resumes the seq streams exactly where the crashed
+// one durably left them.
+type nodeCheckpoint struct {
+	agent any
+	send  map[int]wire.SendLinkState
+	recv  map[int]wire.RecvLinkState
+	steps int
+	// pendingReport is the processed count of the checkpointed step whose
+	// state frame may never have reached the hub; the restarted node
+	// re-reports it so the hub's in-flight accounting stays exact.
+	pendingReport int
+}
+
+// runNode dials the hub and runs one agent against the socket. It returns
+// crashed=true when the fault schedule killed this incarnation (the
+// supervisor decides whether to restart it); a nil error otherwise means a
+// clean stop.
+func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *faults.Injector,
+	ckpts *faults.Checkpoints, ctr *nodeCounters, incarnation int, done <-chan struct{}) (bool, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return err
+		select {
+		case <-done:
+			return false, nil // run over; the listener is gone
+		default:
+			return false, err
+		}
 	}
 	defer conn.Close()
 	agent := makeAgent(v)
 	if int(agent.ID()) != int(v) {
-		return fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
+		return false, fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
 	}
+
+	sendLinks := make(map[int]*wire.SendLink)
+	recvLinks := make(map[int]*wire.RecvLink)
+	defer func() {
+		var rt, dp int64
+		for _, sl := range sendLinks {
+			rt += sl.Retransmits()
+		}
+		for _, rl := range recvLinks {
+			dp += rl.Dups()
+		}
+		ctr.retransmits.Add(rt)
+		ctr.dups.Add(dp)
+	}()
+	sendLink := func(to int) *wire.SendLink {
+		sl, ok := sendLinks[to]
+		if !ok {
+			sl = wire.NewSendLink(retransmitBase, retransmitCap)
+			sendLinks[to] = sl
+		}
+		return sl
+	}
+	recvLink := func(from int) *wire.RecvLink {
+		rl, ok := recvLinks[from]
+		if !ok {
+			rl = wire.NewRecvLink()
+			recvLinks[from] = rl
+		}
+		return rl
+	}
+
+	steps := 0
+	pendingReport := 0
+	restored := false
+	if incarnation > 0 {
+		if snap, ok := ckpts.Load(int(v)); ok {
+			cp := snap.(nodeCheckpoint)
+			if cp.agent != nil {
+				c, can := agent.(sim.Checkpointer)
+				if !can {
+					return false, fmt.Errorf("agent %d cannot restore a checkpoint", v)
+				}
+				if err := c.Restore(cp.agent); err != nil {
+					return false, fmt.Errorf("restore checkpoint: %w", err)
+				}
+			}
+			now := time.Now()
+			for peer, st := range cp.send {
+				sendLinks[peer] = wire.RestoreSendLink(st, retransmitBase, retransmitCap, now)
+			}
+			for peer, st := range cp.recv {
+				recvLinks[peer] = wire.RestoreRecvLink(st)
+			}
+			steps = cp.steps
+			pendingReport = cp.pendingReport
+			restored = true
+		}
+	}
+
+	// fail classifies an I/O error: once the run is over (done closed), the
+	// hub tears sockets down mid-write and a broken pipe is a clean exit,
+	// not a node failure.
+	fail := func(err error) (bool, error) {
+		select {
+		case <-done:
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+
 	w := bufio.NewWriter(conn)
 	writeFrame := func(f frame) error {
 		b, err := json.Marshal(f)
@@ -326,16 +685,7 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent) error {
 		}
 		return w.Flush()
 	}
-	sendOut := func(out []sim.Message, processed int) error {
-		for _, m := range out {
-			env, err := wire.Encode(m)
-			if err != nil {
-				return err
-			}
-			if err := writeFrame(frame{Envelope: env}); err != nil {
-				return err
-			}
-		}
+	writeState := func(processed int) error {
 		state := frame{
 			Envelope:  wire.Envelope{Type: ctlState, From: int(v), Value: int(agent.CurrentValue())},
 			Processed: processed,
@@ -346,32 +696,179 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent) error {
 		return writeFrame(state)
 	}
 
-	if err := writeFrame(frame{Envelope: wire.Envelope{Type: ctlHello, From: int(v)}}); err != nil {
-		return err
+	// Crash schedule: only the first incarnation crashes (the schedule is
+	// one crash per agent), and only agents that will restart pay for
+	// checkpointing.
+	var cr faults.Crash
+	hasCrash := false
+	if incarnation == 0 {
+		cr, hasCrash = inj.Crash(int(v))
 	}
-	if err := sendOut(agent.Init(), 0); err != nil {
-		return err
+	willRestart := inj.WillRestart(int(v))
+	saveCheckpoint := func() {
+		if !willRestart || ckpts == nil {
+			return
+		}
+		cp := nodeCheckpoint{
+			send:          make(map[int]wire.SendLinkState, len(sendLinks)),
+			recv:          make(map[int]wire.RecvLinkState, len(recvLinks)),
+			steps:         steps,
+			pendingReport: pendingReport,
+		}
+		if c, ok := agent.(sim.Checkpointer); ok {
+			cp.agent = c.Checkpoint()
+		}
+		for peer, sl := range sendLinks {
+			cp.send[peer] = sl.SnapshotState()
+		}
+		for peer, rl := range recvLinks {
+			cp.recv[peer] = rl.SnapshotState()
+		}
+		ckpts.Save(int(v), cp)
 	}
 
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		var f frame
-		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-			return fmt.Errorf("decode: %w", err)
+	if err := writeFrame(frame{Envelope: wire.Envelope{Type: ctlHello, From: int(v)}}); err != nil {
+		return fail(err)
+	}
+	now := time.Now()
+	if restored {
+		// The crash may have eaten anything not yet acked: retransmit the
+		// whole unacked window, then re-report the step whose state frame
+		// the crash swallowed.
+		for _, sl := range sendLinks {
+			for _, e := range sl.Due(now) {
+				if err := writeFrame(frame{Envelope: e}); err != nil {
+					return fail(err)
+				}
+			}
 		}
-		if f.Type == ctlStop {
-			return nil
+		if err := writeState(pendingReport); err != nil {
+			return fail(err)
 		}
-		msg, err := wire.Decode(f.Envelope)
-		if err != nil {
-			return err
+		pendingReport = 0
+	} else {
+		for _, m := range agent.Init() {
+			env, err := wire.Encode(m)
+			if err != nil {
+				return false, err
+			}
+			env = sendLink(env.To).Stamp(env, now)
+			if err := writeFrame(frame{Envelope: env}); err != nil {
+				return fail(err)
+			}
 		}
-		out := agent.Step([]sim.Message{msg})
-		if err := sendOut(out, 1); err != nil {
-			return err
+		if err := writeState(0); err != nil {
+			return fail(err)
 		}
 	}
-	// EOF without ctl.stop: the hub tore the socket down at shutdown.
-	return nil
+
+	// Reader goroutine: the main loop must also wake for retransmission
+	// ticks, so reads go through a channel.
+	inbound := make(chan frame, 128)
+	readerQuit := make(chan struct{})
+	defer close(readerQuit)
+	go func() {
+		defer close(inbound)
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			var f frame
+			if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+				return
+			}
+			select {
+			case inbound <- f:
+			case <-readerQuit:
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(retransmitTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case f, ok := <-inbound:
+			if !ok {
+				// EOF without ctl.stop: the hub tore the socket down.
+				return false, nil
+			}
+			switch f.Type {
+			case ctlStop:
+				return false, nil
+			case wire.TypeAck:
+				if sl, ok := sendLinks[f.From]; ok {
+					sl.Ack(f.Ack, time.Now())
+				}
+				continue
+			}
+			rl := recvLink(f.From)
+			released, _ := rl.Accept(f.Envelope)
+			now := time.Now()
+			if len(released) == 0 {
+				// Duplicate or gap: re-ack so a sender whose ack was lost
+				// stops retransmitting.
+				ack := frame{Envelope: wire.Envelope{Type: wire.TypeAck, From: int(v), To: f.From, Ack: rl.CumAck()}}
+				if err := writeFrame(ack); err != nil {
+					return fail(err)
+				}
+				continue
+			}
+			batch := make([]sim.Message, 0, len(released))
+			for _, env := range released {
+				msg, err := wire.Decode(env)
+				if err != nil {
+					return false, err
+				}
+				batch = append(batch, msg)
+			}
+			out := agent.Step(batch)
+			steps++
+			// Stamp the output into the send links BEFORE checkpointing:
+			// if the crash hits after the checkpoint, the output survives
+			// in the unacked buffers and the restart retransmits it.
+			outFrames := make([]frame, 0, len(out))
+			for _, m := range out {
+				env, err := wire.Encode(m)
+				if err != nil {
+					return false, err
+				}
+				env = sendLink(env.To).Stamp(env, now)
+				outFrames = append(outFrames, frame{Envelope: env})
+			}
+			// Checkpoint before acknowledging anything: acked must mean
+			// durable. The ack and state report for this step may then be
+			// lost to a crash; the restart re-reports them.
+			pendingReport = len(released)
+			saveCheckpoint()
+			if hasCrash && steps > cr.AfterSteps {
+				// Scheduled crash: the process dies before acking the
+				// step. Everything since the checkpoint is lost; senders
+				// retransmit, the restart replays the checkpoint.
+				return true, nil
+			}
+			for _, of := range outFrames {
+				if err := writeFrame(of); err != nil {
+					return fail(err)
+				}
+			}
+			ack := frame{Envelope: wire.Envelope{Type: wire.TypeAck, From: int(v), To: f.From, Ack: rl.CumAck()}}
+			if err := writeFrame(ack); err != nil {
+				return fail(err)
+			}
+			if err := writeState(len(released)); err != nil {
+				return fail(err)
+			}
+			pendingReport = 0
+		case <-ticker.C:
+			now := time.Now()
+			for _, sl := range sendLinks {
+				for _, e := range sl.Due(now) {
+					if err := writeFrame(frame{Envelope: e}); err != nil {
+						return fail(err)
+					}
+				}
+			}
+		}
+	}
 }

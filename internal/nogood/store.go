@@ -35,6 +35,12 @@ func (c *Counter) Total() int64 { return c.total }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.total = 0 }
 
+// Restore sets the counter to a previously observed total. It exists for
+// crash-restart recovery (a restored agent resumes its check accounting
+// where the checkpoint left it), not for algorithm code, which must only
+// ever charge checks through Check/CheckDense/Add.
+func (c *Counter) Restore(total int64) { c.total = total }
+
 // Check evaluates ng against a, charging one check to c. This is the single
 // costed evaluation primitive; algorithm code must use it (rather than
 // calling Nogood.Violated directly) whenever the evaluation models agent
@@ -142,6 +148,38 @@ func (s *Store) At(i int) csp.Nogood { return s.nogoods[i] }
 // is exposed without copying because the AWC hot loop iterates it every
 // cycle and nogoods are immutable.
 func (s *Store) All() []csp.Nogood { return s.nogoods }
+
+// Snapshot returns the stored nogoods in insertion order as a freshly
+// allocated slice. Nogoods are immutable, so sharing them between the store
+// and the snapshot is safe; the slice itself is a copy, so later inserts
+// and prunes leave the snapshot untouched. Together with Restore this is
+// the durable-state API crash-restart recovery checkpoints through.
+func (s *Store) Snapshot() []csp.Nogood {
+	cp := make([]csp.Nogood, len(s.nogoods))
+	copy(cp, s.nogoods)
+	return cp
+}
+
+// Restore replaces the store's entire contents with a snapshot, rebuilding
+// every index. Charging: none — recovery replays state that was already
+// paid for when first learned; re-charging it would double-count the
+// paper's check metric across a restart.
+func (s *Store) Restore(ngs []csp.Nogood) {
+	s.nogoods = s.nogoods[:0]
+	s.index = make(map[string]int, len(ngs))
+	for i := range s.byVar {
+		s.byVar[i] = s.byVar[i][:0]
+	}
+	for i := range s.bySize {
+		s.bySize[i] = s.bySize[i][:0]
+	}
+	for _, ng := range ngs {
+		if _, dup := s.index[ng.Key()]; dup {
+			continue
+		}
+		s.insert(ng)
+	}
+}
 
 // AddPruning inserts ng and discards stored strict supersets of it. It
 // returns whether ng was added (false only for an exact duplicate) and how

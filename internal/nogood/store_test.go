@@ -362,3 +362,65 @@ func TestStoreIndexedMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	ngs := []csp.Nogood{
+		csp.MustNogood(csp.Lit{Var: 0, Val: 1}, csp.Lit{Var: 1, Val: 2}),
+		csp.MustNogood(csp.Lit{Var: 1, Val: 0}),
+		csp.MustNogood(csp.Lit{Var: 0, Val: 1}, csp.Lit{Var: 1, Val: 2}, csp.Lit{Var: 2, Val: 0}),
+	}
+	for _, ng := range ngs {
+		s.Add(ng)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d nogoods, want 3", len(snap))
+	}
+
+	// Mutate past the snapshot: prune (the 2-lit nogood subsumes the 3-lit
+	// one) and add.
+	s.AddPruning(csp.MustNogood(csp.Lit{Var: 0, Val: 1}), nil)
+	s.Add(csp.MustNogood(csp.Lit{Var: 3, Val: 3}))
+	for i, ng := range ngs {
+		if !snap[i].Equal(ng) {
+			t.Fatalf("snapshot aliased store mutations at %d: %v", i, snap[i])
+		}
+	}
+	if s.Contains(ngs[2]) {
+		t.Fatal("pruning did not remove the superset")
+	}
+
+	s.Restore(snap)
+	if s.Len() != 3 {
+		t.Fatalf("restored store has %d nogoods, want 3", s.Len())
+	}
+	for i, ng := range ngs {
+		if !s.At(i).Equal(ng) {
+			t.Fatalf("restored order wrong at %d: %v", i, s.At(i))
+		}
+		if !s.Contains(ng) {
+			t.Fatalf("restored store lost %v", ng)
+		}
+	}
+
+	// The rebuilt indexes must still drive pruning correctly: inserting the
+	// 1-lit subset now removes both supersets, charging the reference scan.
+	var c Counter
+	added, removed := s.AddPruning(csp.MustNogood(csp.Lit{Var: 1, Val: 2}), &c)
+	if !added || removed != 2 {
+		t.Fatalf("AddPruning after restore: added=%v removed=%d, want true, 2", added, removed)
+	}
+	if c.Total() != 3 {
+		t.Fatalf("AddPruning after restore charged %d, want 3", c.Total())
+	}
+}
+
+func TestCounterRestore(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Restore(99)
+	if c.Total() != 99 {
+		t.Fatalf("restored counter = %d, want 99", c.Total())
+	}
+}

@@ -68,6 +68,20 @@ type InsolubleReporter interface {
 	Insoluble() bool
 }
 
+// Checkpointer is implemented by agents whose durable state can be saved
+// and replayed for crash-restart recovery (internal/faults, and the crash
+// handling in internal/async and internal/netrun). Checkpoint returns a
+// self-contained snapshot — current value, nogood store contents, check
+// counter, agent view, and any protocol-phase state — that shares no
+// mutable memory with the agent. Restore loads a snapshot produced by an
+// agent of the same algorithm and problem onto the receiver (typically a
+// freshly constructed instance standing in for a rebooted node), after
+// which the agent must behave exactly as the checkpointed one would.
+type Checkpointer interface {
+	Checkpoint() any
+	Restore(snapshot any) error
+}
+
 // DefaultMaxCycles is the paper's cutoff: trials are stopped after 10000
 // cycles and their at-cutoff measurements are used (Section 4).
 const DefaultMaxCycles = 10000

@@ -1,0 +1,214 @@
+// Reliable delivery over lossy links: per-link sequence numbers, cumulative
+// acks, retransmission with exponential backoff, and a receiver-side
+// dedup/reorder buffer. SendLink and RecvLink are pure state machines — no
+// goroutines, no timers of their own — driven by the transport that owns
+// them (the netrun node loops), which makes them directly unit-testable
+// under deterministic fault schedules.
+//
+// Together they restore the two transport guarantees the algorithms'
+// correctness model (Yokoo et al.) assumes and a faulty network breaks:
+// every message is eventually delivered exactly once, and deliveries on one
+// directed link arrive in send order (FIFO per link).
+package wire
+
+import (
+	"time"
+)
+
+// SendLink is the sender half of one directed reliable link: it stamps
+// outgoing envelopes with consecutive sequence numbers and retains them
+// until the receiver's cumulative ack covers them, retransmitting on an
+// exponential-backoff schedule while any frame is outstanding.
+type SendLink struct {
+	nextSeq int64
+	unacked []Envelope // seq-ascending
+
+	base, cap   time.Duration
+	backoff     time.Duration // current retransmission delay
+	deadline    time.Time     // when the oldest unacked frame is due again
+	retransmits int64
+}
+
+// NewSendLink builds a sender link with the given backoff bounds. base and
+// cap must be positive; the first retransmission fires base after the
+// original send, doubling per round up to cap until acked.
+func NewSendLink(base, cap time.Duration) *SendLink {
+	return &SendLink{nextSeq: 1, base: base, cap: cap, backoff: base}
+}
+
+// Stamp assigns the next sequence number to e, buffers the stamped frame
+// for retransmission, and returns it for transmission. now anchors the
+// retransmission deadline.
+func (l *SendLink) Stamp(e Envelope, now time.Time) Envelope {
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	if len(l.unacked) == 0 {
+		l.backoff = l.base
+		l.deadline = now.Add(l.backoff)
+	}
+	l.unacked = append(l.unacked, e)
+	return e
+}
+
+// Ack drops every buffered frame with seq ≤ cum and reports how many were
+// released. Progress resets the backoff; a stale or duplicate ack changes
+// nothing.
+func (l *SendLink) Ack(cum int64, now time.Time) int {
+	n := 0
+	for n < len(l.unacked) && l.unacked[n].Seq <= cum {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	l.unacked = append(l.unacked[:0], l.unacked[n:]...)
+	l.backoff = l.base
+	l.deadline = now.Add(l.backoff)
+	return n
+}
+
+// Due returns the frames to retransmit: every unacked frame, when now has
+// reached the retransmission deadline; nil otherwise. Each firing doubles
+// the backoff up to the cap, so a dead receiver costs bounded bandwidth.
+// The caller transmits the returned frames.
+func (l *SendLink) Due(now time.Time) []Envelope {
+	if len(l.unacked) == 0 || now.Before(l.deadline) {
+		return nil
+	}
+	if l.backoff < l.cap {
+		l.backoff *= 2
+		if l.backoff > l.cap {
+			l.backoff = l.cap
+		}
+	}
+	l.deadline = now.Add(l.backoff)
+	l.retransmits += int64(len(l.unacked))
+	out := make([]Envelope, len(l.unacked))
+	copy(out, l.unacked)
+	return out
+}
+
+// Pending returns the number of unacked frames.
+func (l *SendLink) Pending() int { return len(l.unacked) }
+
+// Retransmits returns the cumulative number of frames retransmitted.
+func (l *SendLink) Retransmits() int64 { return l.retransmits }
+
+// SendLinkState is a SendLink's durable state: everything a restarted node
+// needs to keep its outgoing seq stream consistent and resume
+// retransmitting what the receiver never acknowledged.
+type SendLinkState struct {
+	NextSeq int64
+	Unacked []Envelope
+}
+
+// SnapshotState captures the link's durable state (deep enough: envelopes
+// are value types and the slice is copied).
+func (l *SendLink) SnapshotState() SendLinkState {
+	st := SendLinkState{NextSeq: l.nextSeq}
+	if len(l.unacked) > 0 {
+		st.Unacked = make([]Envelope, len(l.unacked))
+		copy(st.Unacked, l.unacked)
+	}
+	return st
+}
+
+// RestoreSendLink rebuilds a sender link from a checkpoint. The restored
+// link is immediately due for retransmission: the crash may have eaten the
+// original transmissions, and a spurious resend is harmless (the receiver
+// dedups).
+func RestoreSendLink(st SendLinkState, base, cap time.Duration, now time.Time) *SendLink {
+	l := NewSendLink(base, cap)
+	if st.NextSeq > 0 {
+		l.nextSeq = st.NextSeq
+	}
+	if len(st.Unacked) > 0 {
+		l.unacked = make([]Envelope, len(st.Unacked))
+		copy(l.unacked, st.Unacked)
+		l.deadline = now // due now
+	}
+	return l
+}
+
+// RecvLink is the receiver half of one directed reliable link: it discards
+// duplicates, buffers out-of-order arrivals, and releases frames in exact
+// sequence order, restoring the FIFO-per-link guarantee.
+type RecvLink struct {
+	next int64 // lowest seq not yet delivered
+	buf  map[int64]Envelope
+	dups int64
+}
+
+// NewRecvLink builds a receiver link expecting seq 1 first.
+func NewRecvLink() *RecvLink {
+	return &RecvLink{next: 1}
+}
+
+// Accept feeds one arriving frame through the dedup/reorder buffer. It
+// returns the frames released for in-order processing (possibly none, when
+// e fills no gap) and whether e itself was a duplicate. Frames without a
+// sequence number are passed through untouched.
+func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool) {
+	if e.Seq == 0 {
+		return []Envelope{e}, false
+	}
+	if e.Seq < l.next {
+		l.dups++
+		return nil, true
+	}
+	if e.Seq > l.next {
+		if l.buf == nil {
+			l.buf = make(map[int64]Envelope)
+		}
+		if _, exists := l.buf[e.Seq]; exists {
+			l.dups++
+			return nil, true
+		}
+		l.buf[e.Seq] = e
+		return nil, false
+	}
+	deliver = append(deliver, e)
+	l.next++
+	for {
+		nxt, ok := l.buf[l.next]
+		if !ok {
+			break
+		}
+		delete(l.buf, l.next)
+		deliver = append(deliver, nxt)
+		l.next++
+	}
+	return deliver, false
+}
+
+// CumAck returns the cumulative acknowledgement: every seq ≤ CumAck has
+// been released in order.
+func (l *RecvLink) CumAck() int64 { return l.next - 1 }
+
+// Buffered returns the number of out-of-order frames awaiting a gap fill.
+func (l *RecvLink) Buffered() int { return len(l.buf) }
+
+// Dups returns the cumulative number of duplicate frames suppressed.
+func (l *RecvLink) Dups() int64 { return l.dups }
+
+// RecvLinkState is a RecvLink's durable state. Only the in-order frontier
+// is durable: buffered out-of-order frames die with a crash and are
+// recovered by sender retransmission, which is why the frontier must never
+// be advanced past what the owner has durably processed.
+type RecvLinkState struct {
+	Next int64
+}
+
+// SnapshotState captures the link's durable state.
+func (l *RecvLink) SnapshotState() RecvLinkState {
+	return RecvLinkState{Next: l.next}
+}
+
+// RestoreRecvLink rebuilds a receiver link from a checkpoint.
+func RestoreRecvLink(st RecvLinkState) *RecvLink {
+	l := NewRecvLink()
+	if st.Next > 0 {
+		l.next = st.Next
+	}
+	return l
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/discsp/discsp/internal/faults"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestSendLinkStampAndAck(t *testing.T) {
+	l := NewSendLink(2*time.Millisecond, 64*time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		e := l.Stamp(Envelope{Type: TypeCoreOk, From: 0, To: 1, Value: i}, t0)
+		if e.Seq != int64(i) {
+			t.Fatalf("stamp %d: seq %d", i, e.Seq)
+		}
+	}
+	if l.Pending() != 3 {
+		t.Fatalf("pending = %d", l.Pending())
+	}
+	if n := l.Ack(2, t0); n != 2 {
+		t.Fatalf("ack released %d, want 2", n)
+	}
+	if n := l.Ack(2, t0); n != 0 {
+		t.Fatalf("duplicate ack released %d", n)
+	}
+	if n := l.Ack(99, t0); n != 1 || l.Pending() != 0 {
+		t.Fatalf("final ack: released %d pending %d", n, l.Pending())
+	}
+}
+
+func TestSendLinkRetransmitBackoff(t *testing.T) {
+	base, cap := 2*time.Millisecond, 8*time.Millisecond
+	l := NewSendLink(base, cap)
+	l.Stamp(Envelope{Type: TypeCoreOk}, t0)
+	l.Stamp(Envelope{Type: TypeCoreOk}, t0)
+
+	if got := l.Due(t0.Add(base - time.Microsecond)); got != nil {
+		t.Fatalf("retransmitted before deadline: %v", got)
+	}
+	// First firing: both frames, next deadline 2*base later.
+	now := t0.Add(base)
+	if got := l.Due(now); len(got) != 2 {
+		t.Fatalf("first retransmit sent %d frames", len(got))
+	}
+	if got := l.Due(now.Add(2*base - time.Microsecond)); got != nil {
+		t.Fatal("backoff did not double")
+	}
+	now = now.Add(2 * base)
+	if got := l.Due(now); len(got) != 2 {
+		t.Fatal("second retransmit missing")
+	}
+	// Backoff is capped.
+	now = now.Add(cap)
+	if got := l.Due(now); len(got) != 2 {
+		t.Fatal("capped retransmit missing")
+	}
+	if l.Retransmits() != 6 {
+		t.Fatalf("retransmits = %d, want 6", l.Retransmits())
+	}
+	// Ack resets the backoff for the next frame.
+	l.Ack(2, now)
+	l.Stamp(Envelope{Type: TypeCoreOk}, now)
+	if got := l.Due(now.Add(base)); len(got) != 1 {
+		t.Fatal("backoff not reset after ack")
+	}
+}
+
+func TestRecvLinkInOrder(t *testing.T) {
+	l := NewRecvLink()
+	for seq := int64(1); seq <= 5; seq++ {
+		got, dup := l.Accept(Envelope{Seq: seq, Value: int(seq)})
+		if dup || len(got) != 1 || got[0].Seq != seq {
+			t.Fatalf("seq %d: got %v dup %v", seq, got, dup)
+		}
+	}
+	if l.CumAck() != 5 || l.Buffered() != 0 || l.Dups() != 0 {
+		t.Fatalf("state after in-order run: ack=%d buf=%d dups=%d", l.CumAck(), l.Buffered(), l.Dups())
+	}
+}
+
+func TestRecvLinkReorderAndDedup(t *testing.T) {
+	l := NewRecvLink()
+	// 3 and 2 arrive before 1; duplicates of delivered and buffered frames
+	// are suppressed.
+	if got, dup := l.Accept(Envelope{Seq: 3}); got != nil || dup {
+		t.Fatalf("seq 3 first: %v %v", got, dup)
+	}
+	if got, dup := l.Accept(Envelope{Seq: 2}); got != nil || dup {
+		t.Fatalf("seq 2: %v %v", got, dup)
+	}
+	if _, dup := l.Accept(Envelope{Seq: 3}); !dup {
+		t.Fatal("buffered duplicate not suppressed")
+	}
+	got, dup := l.Accept(Envelope{Seq: 1})
+	if dup || len(got) != 3 {
+		t.Fatalf("gap fill released %d frames", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("release out of order: %v", got)
+		}
+	}
+	if _, dup := l.Accept(Envelope{Seq: 2}); !dup {
+		t.Fatal("delivered duplicate not suppressed")
+	}
+	if l.CumAck() != 3 || l.Dups() != 2 {
+		t.Fatalf("ack=%d dups=%d", l.CumAck(), l.Dups())
+	}
+	// Control frames (no seq) pass through.
+	if got, _ := l.Accept(Envelope{Type: TypeAck}); len(got) != 1 {
+		t.Fatal("seqless frame not passed through")
+	}
+}
+
+func TestLinkStateRoundTrip(t *testing.T) {
+	s := NewSendLink(2*time.Millisecond, 8*time.Millisecond)
+	s.Stamp(Envelope{Type: TypeCoreOk, Value: 1}, t0)
+	s.Stamp(Envelope{Type: TypeCoreOk, Value: 2}, t0)
+	s.Ack(1, t0)
+	st := s.SnapshotState()
+	if st.NextSeq != 3 || len(st.Unacked) != 1 || st.Unacked[0].Seq != 2 {
+		t.Fatalf("send state %+v", st)
+	}
+	s.Stamp(Envelope{Type: TypeCoreOk, Value: 3}, t0)
+	if len(st.Unacked) != 1 {
+		t.Fatal("snapshot aliased live link")
+	}
+
+	r := RestoreSendLink(st, 2*time.Millisecond, 8*time.Millisecond, t0)
+	if r.Pending() != 1 {
+		t.Fatalf("restored pending = %d", r.Pending())
+	}
+	// A restored link is immediately due: the crash may have eaten the wire.
+	if got := r.Due(t0); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("restored link not due: %v", got)
+	}
+	if e := r.Stamp(Envelope{Type: TypeCoreOk}, t0); e.Seq != 3 {
+		t.Fatalf("restored link stamped seq %d, want 3", e.Seq)
+	}
+
+	rl := NewRecvLink()
+	rl.Accept(Envelope{Seq: 1})
+	rl.Accept(Envelope{Seq: 2})
+	rl.Accept(Envelope{Seq: 4}) // buffered, not durable
+	rst := rl.SnapshotState()
+	if rst.Next != 3 {
+		t.Fatalf("recv state %+v", rst)
+	}
+	rr := RestoreRecvLink(rst)
+	if rr.CumAck() != 2 {
+		t.Fatalf("restored recv ack = %d", rr.CumAck())
+	}
+	// The buffered frame was lost with the crash; its retransmission must
+	// be accepted as new, then the gap fill works as usual.
+	if got, dup := rr.Accept(Envelope{Seq: 4}); dup || got != nil {
+		t.Fatalf("retransmitted 4 after restore: %v %v", got, dup)
+	}
+	if got, _ := rr.Accept(Envelope{Seq: 3}); len(got) != 2 {
+		t.Fatalf("gap fill after restore released %d", len(got))
+	}
+}
+
+// TestReliableLinkUnderFaultSchedule drives a send/recv pair through a
+// deterministic lossy channel (drop, duplicate, reorder via delay) and
+// asserts exactly-once, in-order delivery of every message — the property
+// the runtimes build on.
+func TestReliableLinkUnderFaultSchedule(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: 11, Drop: 0.3, Duplicate: 0.3, MaxDelay: 4 * time.Millisecond})
+	s := NewSendLink(2*time.Millisecond, 16*time.Millisecond)
+	r := NewRecvLink()
+
+	type flight struct {
+		at time.Time
+		e  Envelope
+	}
+	var wireQueue []flight
+	now := t0
+	send := func(e Envelope, attempt int) {
+		if inj.Dropped(0, 1, e.Seq, attempt) {
+			return
+		}
+		wireQueue = append(wireQueue, flight{at: now.Add(inj.Delay(0, 1, e.Seq, 0)), e: e})
+		if attempt == 0 && inj.Duplicated(0, 1, e.Seq) {
+			wireQueue = append(wireQueue, flight{at: now.Add(inj.Delay(0, 1, e.Seq, 1)), e: e})
+		}
+	}
+
+	const total = 200
+	var delivered []Envelope
+	attempts := make(map[int64]int)
+	for i := 0; i < total; i++ {
+		send(s.Stamp(Envelope{Type: TypeCoreOk, Value: i}, now), 0)
+	}
+	for tick := 0; tick < 10000 && (len(delivered) < total || s.Pending() > 0); tick++ {
+		now = now.Add(time.Millisecond)
+		// Deliver everything that has arrived by now.
+		var rest []flight
+		for _, f := range wireQueue {
+			if f.at.After(now) {
+				rest = append(rest, f)
+				continue
+			}
+			got, _ := r.Accept(f.e)
+			delivered = append(delivered, got...)
+		}
+		wireQueue = rest
+		// The receiver acks; acks are lossy too but cumulative.
+		if !inj.Dropped(1, 0, int64(tick), 0) {
+			s.Ack(r.CumAck(), now)
+		}
+		for _, e := range s.Due(now) {
+			attempts[e.Seq]++
+			send(e, attempts[e.Seq])
+		}
+	}
+	if len(delivered) != total {
+		t.Fatalf("delivered %d of %d", len(delivered), total)
+	}
+	for i, e := range delivered {
+		if e.Seq != int64(i+1) || e.Value != i {
+			t.Fatalf("delivery %d out of order or corrupted: %+v", i, e)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("sender still holds %d frames", s.Pending())
+	}
+}
+
+func TestAckEnvelopeRoundTrip(t *testing.T) {
+	e := Envelope{Type: TypeAck, From: 3, To: 5, Ack: 17}
+	b, err := Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b[:len(b)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip: %+v != %+v", got, e)
+	}
+}

@@ -37,6 +37,11 @@ type Lit struct {
 	Val int `json:"val"`
 }
 
+// TypeAck is the reliable-transport control frame type: a cumulative
+// acknowledgement for one directed link, carried in Envelope.Ack. It is
+// part of the wire format alongside the algorithm message types.
+const TypeAck = "rel.ack"
+
 // Envelope is the wire form of one message.
 type Envelope struct {
 	Type     string `json:"type"`
@@ -48,6 +53,13 @@ type Envelope struct {
 	Eval     int    `json:"eval,omitempty"`
 	Lits     []Lit  `json:"lits,omitempty"`
 	Values   []Lit  `json:"values,omitempty"`
+
+	// Seq is the reliable transport's per-link sequence number, stamped by
+	// SendLink starting at 1; 0 marks a frame outside the reliable stream
+	// (control frames). Ack is the cumulative acknowledgement on TypeAck
+	// frames: every seq ≤ Ack has been durably received.
+	Seq int64 `json:"seq,omitempty"`
+	Ack int64 `json:"ack,omitempty"`
 }
 
 func litsOut(ng csp.Nogood) []Lit {
