@@ -36,9 +36,11 @@ race:
 
 # The fault-injection suite under the race detector: reliable transport,
 # crash-restart recovery, and the chaos acceptance matrix (every algorithm
-# family reaching its clean-network verdict under seeded drop/dup/crash).
+# family reaching its clean-network verdict under seeded drop/dup/crash
+# and partition windows). `make chaos CHAOS_LONG=1` additionally runs the
+# long sweeps (seeds × schedules × families) the nightly CI job uses.
 chaos:
-	$(GO) test -race -timeout 20m ./internal/faults/... ./internal/async/... ./internal/netrun/...
+	CHAOS_LONG=$(CHAOS_LONG) $(GO) test -race -timeout 40m ./internal/faults/... ./internal/async/... ./internal/netrun/...
 
 bench-smoke:
 	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .

@@ -9,6 +9,9 @@
 //	dcspbench -table 8 -quick     # reduced trials for a fast look
 //	dcspbench -table 1 -instances 5 -inits 2 -ns 60,90
 //	dcspbench -all -workers 8     # fan trials across 8 goroutines
+//	dcspbench -all -journal run.jsonl           # crash-safe: journal trials
+//	dcspbench -all -journal run.jsonl -resume   # continue an interrupted run
+//	dcspbench -runtimes d3c -faults chaos       # fault-injected comparison
 //
 // Paper scale runs 100 trials per cell with the cutoff at 10000 cycles and
 // can take a while for the no-learning rows; -quick or the explicit knobs
@@ -17,6 +20,12 @@
 // produces bit-identical tables, so parallel paper-scale regeneration is
 // still deterministic. A progress line (trials done/total, trials/sec)
 // goes to stderr every ~2s; -progress=false silences it.
+//
+// Long runs survive interruption with -journal FILE: every completed trial
+// is appended (fsync'd) to the JSONL journal, and rerunning the same
+// command with -resume skips the recorded trials and reproduces the
+// aggregate tables bit-identically. The journal pins -seed and -maxcycles;
+// resuming under different values is refused.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"github.com/discsp/discsp/internal/experiments"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
 )
 
@@ -58,6 +68,10 @@ func run() error {
 		sweepN    = flag.Int("sweepn", 50, "sweep problem size")
 		blocks    = flag.String("blocks", "", "run a block-size sweep of the multi-variable extension for this family")
 		runtimes  = flag.String("runtimes", "", "compare sync/async/tcp runtimes on one instance of this family")
+		journal   = flag.String("journal", "", "append-only trial journal (JSONL) for crash-safe runs; completed trials are recorded as they finish")
+		resume    = flag.Bool("resume", false, "resume from an existing -journal, skipping already-recorded trials (aggregates stay bit-identical)")
+		faultsArg = flag.String("faults", "", "fault profile for -runtimes (async/tcp legs): "+faults.ProfileSyntax)
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule in -faults")
 	)
 	flag.Parse()
 
@@ -94,9 +108,29 @@ func run() error {
 		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
 	}
 
+	fcfg, err := faults.ParseProfile(*faultsArg, *faultSeed)
+	if err != nil {
+		return err
+	}
+
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume needs -journal")
+	}
+	if *journal != "" {
+		j, err := experiments.OpenJournal(*journal, scale.JournalMeta(), *resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.Recovered(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dcspbench: resuming from %s, skipping %d journaled trials\n", *journal, n)
+		}
+		scale.Journal = j
+	}
+
 	switch {
 	case *runtimes != "":
-		return printRuntimes(*runtimes, *sweepN, scale)
+		return printRuntimes(*runtimes, *sweepN, scale, fcfg, markdown)
 	case *blocks != "":
 		return printBlockSweep(*blocks, *sweepN, scale)
 	case *sweep != "":
@@ -168,7 +202,7 @@ func printSweep(kindName string, n int, scale experiments.Scale) error {
 	return err
 }
 
-func printRuntimes(kindName string, n int, scale experiments.Scale) error {
+func printRuntimes(kindName string, n int, scale experiments.Scale, fcfg *faults.Config, markdown bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -178,11 +212,14 @@ func printRuntimes(kindName string, n int, scale experiments.Scale) error {
 		return err
 	}
 	initial := gen.RandomInitial(problem, 2+scale.SeedBase)
-	results, err := experiments.CompareRuntimes(problem, initial, experiments.BestLearning(kind), 0)
+	results, err := experiments.CompareRuntimes(problem, initial, experiments.BestLearning(kind), 0, fcfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Runtime comparison: %s n=%d, AWC+%s\n", kind, n, experiments.BestLearning(kind).Name())
+	if markdown {
+		return experiments.MarkdownRuntimes(os.Stdout, results)
+	}
 	return experiments.FprintRuntimes(os.Stdout, results)
 }
 

@@ -9,9 +9,20 @@
 //	dcspsolve -algo awc -async problem.cnf             # goroutine runtime
 //	dcspsolve -algo central problem.cnf                # centralized oracle
 //	dcspsolve -trials 20 -workers 8 problem.cnf        # 20 seeded trials, pooled
+//	dcspsolve -async -faults chaos problem.cnf         # adversarial network
+//	dcspsolve -trials 50 -journal t.jsonl problem.cnf  # journal trials
+//	dcspsolve -trials 50 -journal t.jsonl -resume ...  # resume after a crash
 //
 // File type is inferred from the extension: .cnf is DIMACS CNF, .col is
 // DIMACS COL (solved as 3-coloring unless -colors overrides).
+//
+// -faults injects a deterministic fault schedule into the -async and -tcp
+// runtimes (message drops, duplication, delay, agent crash-restart,
+// partition windows); the printed line then includes the transport
+// counters. -journal appends every completed trial of a -trials run to an
+// fsync'd JSONL file; rerunning with -resume replays journaled trials
+// instead of recomputing them, and the aggregate line is bit-identical to
+// an uninterrupted run's.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"github.com/discsp/discsp/internal/central"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/experiments"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/stats"
 	"github.com/discsp/discsp/internal/trace"
@@ -56,6 +68,10 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print the solution assignment")
 		traceOut  = flag.String("trace", "", "write a JSONL cycle trace to this file (sync runs only)")
 		block     = flag.Int("block", 0, "variables per agent; >1 runs the multi-variable AWC extension")
+		faultsArg = flag.String("faults", "", "fault profile for -async/-tcp runs; syntax: "+faults.ProfileSyntax)
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		journal   = flag.String("journal", "", "append each completed trial of a -trials run to this JSONL journal")
+		resume    = flag.Bool("resume", false, "replay trials already in -journal instead of recomputing them")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -115,11 +131,38 @@ func run() error {
 	}
 	opts.LearningSizeBound = *k
 
+	if *faultsArg != "" {
+		if !*useAsync && !*useTCP {
+			return fmt.Errorf("-faults needs a network runtime (-async or -tcp); the synchronous simulator has no network to break")
+		}
+		opts.FaultProfile = *faultsArg
+		opts.FaultSeed = *faultSeed
+	}
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume needs -journal")
+	}
+
 	if *trials > 1 {
 		if *useAsync || *useTCP || *traceOut != "" || *block > 1 {
 			return fmt.Errorf("-trials needs the default synchronous single-variable path (no -async, -tcp, -trace, -block)")
 		}
-		return runTrials(problem, opts, *trials, *workers, *verbose)
+		var j *experiments.Journal
+		if *journal != "" {
+			meta := experiments.JournalMeta{SeedBase: *seed, MaxCycles: *maxCycles}
+			var err error
+			j, err = experiments.OpenJournal(*journal, meta, *resume)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			if *resume {
+				fmt.Fprintf(os.Stderr, "dcspsolve: resuming from %s (%d trials journaled)\n", *journal, j.Recovered())
+			}
+		}
+		return runTrials(problem, opts, *trials, *workers, *verbose, j, *learn)
+	}
+	if *journal != "" {
+		return fmt.Errorf("-journal needs -trials > 1 (a single run has nothing to resume)")
 	}
 
 	var rec *trace.Recorder
@@ -148,15 +191,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d duration=%v\n",
-			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration)
+		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d duration=%v%s\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration, transportCounters(res))
 	case *useAsync:
 		res, err = discsp.SolveAsync(problem, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s (async): solved=%v insoluble=%v messages=%d checks=%d duration=%v\n",
-			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks, res.Duration)
+		fmt.Printf("%s (async): solved=%v insoluble=%v messages=%d checks=%d duration=%v%s\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks, res.Duration, transportCounters(res))
 	case *block > 1:
 		res, err = discsp.SolvePartitioned(problem, discsp.UniformPartition(problem.NumVars(), *block), discsp.PartitionedOptions{
 			LearningSizeBound: *k,
@@ -205,19 +248,48 @@ func run() error {
 	return nil
 }
 
+// transportCounters renders the reliability-layer counters for a network
+// run: empty when nothing happened, a compact suffix otherwise.
+func transportCounters(res discsp.Result) string {
+	if res.Retransmits == 0 && res.DuplicatesSuppressed == 0 && res.Restarts == 0 &&
+		res.Partitioned == 0 && res.PartitionHeals == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
+		res.Retransmits, res.DuplicatesSuppressed, res.Restarts, res.Partitioned, res.PartitionHeals)
+}
+
 // runTrials solves the instance from `trials` different random initial
 // assignments (seeds seed, seed+1, ...), fanned across the worker pool,
 // and prints per-trial lines plus the experiment harness's cell-style
 // aggregates. Results are index-addressed, so the output is identical for
 // every worker count; a progress line goes to stderr every ~2s.
-func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int, verbose bool) error {
+//
+// With a journal, each completed trial is durably appended under a key
+// binding the algorithm configuration and seed; on -resume, journaled
+// trials are replayed into the same slots, so the aggregate line cannot
+// depend on where the previous run died.
+func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int, verbose bool, j *experiments.Journal, learn string) error {
 	results := make([]discsp.Result, trials)
 	progress := experiments.ProgressPrinter(os.Stderr, 2*time.Second)
+	trialKey := func(i int) string {
+		return fmt.Sprintf("trial/%s/%s/k%d/seed%d", opts.Algorithm, learn, opts.LearningSizeBound, opts.InitialSeed+int64(i))
+	}
 	var (
 		mu   sync.Mutex
 		done int
 	)
 	err := experiments.ForEach(workers, trials, func(i int) error {
+		tick := func() {
+			mu.Lock()
+			done++
+			progress(done, trials)
+			mu.Unlock()
+		}
+		if j != nil && j.Lookup(trialKey(i), &results[i]) {
+			tick()
+			return nil
+		}
 		o := opts
 		o.InitialSeed = opts.InitialSeed + int64(i)
 		res, err := discsp.Solve(problem, o)
@@ -225,10 +297,12 @@ func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int
 			return fmt.Errorf("trial %d (seed %d): %w", i, o.InitialSeed, err)
 		}
 		results[i] = res
-		mu.Lock()
-		done++
-		progress(done, trials)
-		mu.Unlock()
+		if j != nil {
+			if err := j.Record(trialKey(i), res); err != nil {
+				return err
+			}
+		}
+		tick()
 		return nil
 	})
 	if err != nil {

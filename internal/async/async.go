@@ -20,6 +20,11 @@
 // a dropped message costs retransmission backoff (delay), a duplicate is
 // suppressed before delivery, and deliveries on one directed link stay
 // FIFO — so the algorithms observe a slower, but still correct, network.
+// Partition windows are modeled the same way: a message crossing the cut is
+// held (deterministic added delay) until the window heals, and a
+// never-healing window holds it forever — the message stays in flight, so
+// quiescence is never declared while traffic is stranded, and the run ends
+// at the deadline with a progress report instead.
 package async
 
 import (
@@ -33,6 +38,7 @@ import (
 
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/progress"
 	"github.com/discsp/discsp/internal/sim"
 )
 
@@ -55,11 +61,20 @@ type TimeoutError struct {
 	// Processed is the per-agent count of messages processed, indexed by
 	// variable.
 	Processed []int64
+	// Report is the stall watchdog's classification of the stuck run —
+	// stalled (no traffic), livelock (traffic without search progress), or
+	// converging (slow, not stuck) — with per-agent progress deltas. Nil
+	// only when the run died before the watchdog gathered two samples.
+	Report *progress.Report
 }
 
 func (e *TimeoutError) Error() string {
-	return fmt.Sprintf("async: run timed out after %v: %d messages in flight, %d delivered, per-agent processed %v",
+	s := fmt.Sprintf("async: run timed out after %v: %d messages in flight, %d delivered, per-agent processed %v",
 		e.Timeout, e.InFlight, e.Delivered, e.Processed)
+	if e.Report != nil {
+		s += "; " + e.Report.String()
+	}
+	return s
 }
 
 func (e *TimeoutError) Unwrap() error { return ErrTimeout }
@@ -118,6 +133,12 @@ type Result struct {
 	DuplicatesSuppressed int64
 	// Restarts counts agents that crashed and recovered from a checkpoint.
 	Restarts int64
+	// Partitioned counts messages held at a partition cut (delivered at
+	// heal, or stranded forever under a never-healing window).
+	Partitioned int64
+	// PartitionHeals counts scheduled partition windows that healed within
+	// the run's duration.
+	PartitionHeals int64
 }
 
 // Run executes one agent goroutine per problem variable until the monitor
@@ -153,9 +174,11 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		rt.inj = faults.New(*opts.Faults)
 	}
 	// The dispatcher owns every delayed delivery; it is needed whenever any
-	// fault or jitter can push a message into the future.
+	// fault or jitter can push a message into the future — including a
+	// partition window, which holds crossing messages until it heals.
 	useDispatcher := opts.MaxJitter > 0 ||
-		(opts.Faults != nil && (opts.Faults.Drop > 0 || opts.Faults.Duplicate > 0 || opts.Faults.MaxDelay > 0))
+		(opts.Faults != nil && (opts.Faults.Drop > 0 || opts.Faults.Duplicate > 0 ||
+			opts.Faults.MaxDelay > 0 || len(opts.Faults.Partitions) > 0))
 	if useDispatcher {
 		rt.dispatch = true
 		rt.linkClock = make(map[linkKey]time.Time)
@@ -177,6 +200,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	}
 
 	start := time.Now()
+	rt.start = start
 	// Publish initial values and route initial messages before any
 	// goroutine starts, so the in-flight counter can never be observed at
 	// zero while startup messages remain unrouted.
@@ -215,6 +239,8 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	res.Retransmits = rt.retransmits.Load()
 	res.DuplicatesSuppressed = rt.dupsSuppressed.Load()
 	res.Restarts = rt.restarts.Load()
+	res.Partitioned = rt.partitioned.Load()
+	res.PartitionHeals = rt.inj.HealedBy(res.Duration)
 	if res.Assignment == nil {
 		res.Assignment = rt.snapshot()
 		res.Solved = problem.IsSolution(res.Assignment)
@@ -244,10 +270,13 @@ type runtime struct {
 	stop      chan struct{}
 	runErr    atomic.Value // error
 
+	start time.Time
+
 	inj            *faults.Injector
 	retransmits    atomic.Int64
 	dupsSuppressed atomic.Int64
 	restarts       atomic.Int64
+	partitioned    atomic.Int64
 
 	dispatch  bool
 	jitter    time.Duration
@@ -269,6 +298,11 @@ func (rt *runtime) agentsFinal() []sim.Agent { return rt.agents }
 type linkKey struct {
 	from, to sim.AgentID
 }
+
+// neverHealDelay schedules a message cut by a never-healing partition: far
+// past any plausible deadline, so it stays in flight (and in the dispatch
+// heap) until the run ends.
+const neverHealDelay = 10000 * time.Hour
 
 // delayedMsg is a message scheduled for future delivery by the dispatcher.
 type delayedMsg struct {
@@ -399,6 +433,21 @@ func (rt *runtime) route(out []sim.Message) {
 			}
 		}
 		arrival := now.Add(delay)
+		if rt.inj.AnyPartition() {
+			// A message crossing a partition cut is held at the boundary: it
+			// arrives when the window heals, or — under a never-healing
+			// window — effectively never, staying in flight so quiescence is
+			// not declared while traffic is stranded.
+			from, to := int(m.From()), int(m.To())
+			if cut, heal, heals := rt.inj.PartitionedAt(from, to, arrival.Sub(rt.start)); cut {
+				rt.partitioned.Add(1)
+				if heals {
+					arrival = rt.start.Add(heal)
+				} else {
+					arrival = rt.start.Add(neverHealDelay)
+				}
+			}
+		}
 		if last, ok := rt.linkClock[key]; ok && arrival.Before(last) {
 			arrival = last
 		}
@@ -501,13 +550,48 @@ func (h *delayHeap) Pop() any {
 	return item
 }
 
+// watchdogCadence is how often the monitor feeds the stall watchdog; coarse
+// enough that the sample ring spans well past the watchdog's window.
+const watchdogCadence = 25 * time.Millisecond
+
+// observe feeds the stall watchdog one sample of the runtime's counters.
+// The frontier hash covers the published assignment and the insolubility
+// flag — what an outside observer can see of search progress.
+func (rt *runtime) observe(wd *progress.Watchdog, now time.Time) {
+	words := make([]int64, 0, len(rt.published)+1)
+	for i := range rt.published {
+		words = append(words, rt.published[i].Load())
+	}
+	if rt.insoluble.Load() {
+		words = append(words, 1)
+	}
+	proc := make([]int64, len(rt.processed))
+	for i := range rt.processed {
+		proc[i] = rt.processed[i].Load()
+	}
+	wd.Observe(progress.Sample{
+		At:        now,
+		Delivered: rt.delivered.Load(),
+		InFlight:  rt.inFlight.Load(),
+		Processed: proc,
+		Frontier:  progress.Hash64(words...),
+	})
+}
+
 // monitor polls the published assignment until a terminal condition. On
-// deadline expiry it returns a *TimeoutError describing the stuck state.
+// deadline expiry it returns a *TimeoutError describing the stuck state,
+// including the stall watchdog's progress report.
 func (rt *runtime) monitor(timeout, poll time.Duration) (Result, error) {
 	deadline := time.Now().Add(timeout)
+	wd := progress.NewWatchdog()
+	var lastObserve time.Time
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for range ticker.C {
+		if now := time.Now(); now.Sub(lastObserve) >= watchdogCadence {
+			lastObserve = now
+			rt.observe(wd, now)
+		}
 		if rt.runErr.Load() != nil {
 			return Result{}, nil // Run surfaces the recorded error
 		}
@@ -529,12 +613,14 @@ func (rt *runtime) monitor(timeout, poll time.Duration) (Result, error) {
 				return Result{Quiescent: true}, nil
 			}
 		}
-		if time.Now().After(deadline) {
+		if now := time.Now(); now.After(deadline) {
+			rt.observe(wd, now) // final sample so the report is current
 			te := &TimeoutError{
 				Timeout:   timeout,
 				InFlight:  rt.inFlight.Load(),
 				Delivered: rt.delivered.Load(),
 				Processed: make([]int64, len(rt.processed)),
+				Report:    wd.Report(now),
 			}
 			for i := range rt.processed {
 				te.Processed[i] = rt.processed[i].Load()

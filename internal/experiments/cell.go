@@ -58,6 +58,11 @@ type Scale struct {
 	// trial of the current grid with the running and total trial counts;
 	// see ProgressPrinter for the CLI's periodic line.
 	Progress func(done, total int)
+	// Journal, when non-nil, records every completed trial and skips trials
+	// it already holds — crash-safe resume for long grids. Because trials
+	// are independently seeded and aggregation order is fixed, a resumed
+	// grid produces bit-identical aggregates to an uninterrupted one.
+	Journal *Journal
 }
 
 // PaperScale is the paper's full experimental setup.
@@ -92,6 +97,12 @@ func (s Scale) maxCycles() int {
 		return s.MaxCycles
 	}
 	return sim.DefaultMaxCycles
+}
+
+// JournalMeta returns the journal metadata pinning this scale's run
+// parameters — what OpenJournal validates before a resume skips trials.
+func (s Scale) JournalMeta() JournalMeta {
+	return JournalMeta{SeedBase: s.SeedBase, MaxCycles: s.maxCycles()}
 }
 
 // CellResult aggregates one table cell (one family × n × algorithm).

@@ -8,6 +8,7 @@ import (
 
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/sim"
 )
@@ -460,7 +461,7 @@ func TestCompareRuntimes(t *testing.T) {
 		t.Fatal(err)
 	}
 	initial := gen.RandomInitial(problem, 78)
-	results, err := CompareRuntimes(problem, initial, core.Learning{Kind: core.LearnResolvent}, 20*time.Second)
+	results, err := CompareRuntimes(problem, initial, core.Learning{Kind: core.LearnResolvent}, 20*time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,7 +487,47 @@ func TestCompareRuntimes(t *testing.T) {
 	if err := FprintRuntimes(&sb, results); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "tcp") {
+	if !strings.Contains(sb.String(), "tcp") || !strings.Contains(sb.String(), "retrans") {
 		t.Errorf("output malformed:\n%s", sb.String())
+	}
+}
+
+// TestCompareRuntimesWithFaults pins that the comparison survives an
+// adversarial network — including a healing partition window — and that
+// the transport counters surface in both renderers.
+func TestCompareRuntimesWithFaults(t *testing.T) {
+	problem, err := MakeInstance(D3C, 12, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := gen.RandomInitial(problem, 78)
+	fcfg := &faults.Config{
+		Seed:       5,
+		Drop:       0.05,
+		Duplicate:  0.05,
+		Partitions: []faults.Partition{{At: 0, Dur: 100 * time.Millisecond}},
+	}
+	results, err := CompareRuntimes(problem, initial, core.Learning{Kind: core.LearnResolvent}, 30*time.Second, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Solved {
+			t.Errorf("%s runtime failed under faults", r.Runtime)
+		}
+	}
+	var sb strings.Builder
+	if err := FprintRuntimes(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "retrans") || !strings.Contains(sb.String(), "partitioned") {
+		t.Errorf("fault counters missing from text output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := MarkdownRuntimes(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| rt |") || !strings.Contains(sb.String(), "partitioned") {
+		t.Errorf("markdown runtimes table malformed:\n%s", sb.String())
 	}
 }

@@ -113,13 +113,23 @@ type cellSpec struct {
 	kind ProblemKind
 	n    int
 	alg  Algorithm
+	// key names the cell in the trial journal; it must be unique within a
+	// grid and stable across runs (algorithm names are unique per learning
+	// configuration, so they qualify).
+	key string
 	// makeProblem generates the cell's instance'th problem.
 	makeProblem func(scale Scale, instance int) (*csp.Problem, error)
+}
+
+// trialKey names one (instance, init) trial of the cell in the journal.
+func (s cellSpec) trialKey(instance, init int) string {
+	return fmt.Sprintf("%s/i%d/r%d", s.key, instance, init)
 }
 
 // paperCell is a cell at the family's paper constraint/variable ratio.
 func paperCell(kind ProblemKind, n int, alg Algorithm) cellSpec {
 	return cellSpec{kind: kind, n: n, alg: alg,
+		key: fmt.Sprintf("paper/%s/n%d/%s", kind, n, alg.Name),
 		makeProblem: func(scale Scale, instance int) (*csp.Problem, error) {
 			return MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, instance))
 		}}
@@ -129,6 +139,7 @@ func paperCell(kind ProblemKind, n int, alg Algorithm) cellSpec {
 // sweeps); the seed salt keeps different densities on distinct RNG streams.
 func ratioCell(kind ProblemKind, n, m int, alg Algorithm) cellSpec {
 	return cellSpec{kind: kind, n: n, alg: alg,
+		key: fmt.Sprintf("ratio/%s/n%d/m%d/%s", kind, n, m, alg.Name),
 		makeProblem: func(scale Scale, instance int) (*csp.Problem, error) {
 			return makeInstanceM(kind, n, m, instanceSeed(scale.SeedBase, kind, n, instance)+int64(m)*7_000_000_000_000)
 		}}
@@ -140,8 +151,16 @@ func ratioCell(kind ProblemKind, n, m int, alg Algorithm) cellSpec {
 // slots (no two trials share one), then aggregated cell by cell in
 // (instance, init) order: the identical floating-point accumulation the
 // old serial loops performed, so aggregates do not depend on scheduling.
+//
+// With scale.Journal set, trials already journaled are replayed from the
+// journal instead of re-run (and instances all of whose trials are
+// journaled are never even generated); fresh trials are journaled as they
+// complete. Replayed and live trials land in the same index-addressed
+// slots, so the aggregates of a resumed grid are bit-identical to an
+// uninterrupted run's.
 func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
 	maxCycles := scale.maxCycles()
+	journal := scale.Journal
 	type cellPlan struct {
 		instances, inits int
 		problems         []*csp.Problem
@@ -159,9 +178,15 @@ func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
 			trials:    make([]TrialResult, instances*inits),
 		}
 		for i := 0; i < instances; i++ {
-			instJobs = append(instJobs, job{cell: c, instance: i})
+			needProblem := journal == nil
 			for j := 0; j < inits; j++ {
 				trialJobs = append(trialJobs, job{cell: c, instance: i, init: j})
+				if journal != nil && !journal.Has(spec.trialKey(i, j)) {
+					needProblem = true
+				}
+			}
+			if needProblem {
+				instJobs = append(instJobs, job{cell: c, instance: i})
 			}
 		}
 	}
@@ -185,13 +210,23 @@ func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
 	if err := ForEach(r.Workers, len(trialJobs), func(k int) error {
 		j := trialJobs[k]
 		spec, plan := specs[j.cell], &plans[j.cell]
+		slot := &plan.trials[j.instance*plan.inits+j.init]
+		if journal != nil && journal.Lookup(spec.trialKey(j.instance, j.init), slot) {
+			r.tick()
+			return nil
+		}
 		problem := plan.problems[j.instance]
 		init := gen.RandomInitial(problem, initSeed(scale.SeedBase, spec.kind, spec.n, j.instance, j.init))
 		tr, err := spec.alg.Run(problem, init, sim.Options{MaxCycles: maxCycles})
 		if err != nil {
 			return fmt.Errorf("cell %v n=%d instance %d init %d: %w", spec.kind, spec.n, j.instance, j.init, err)
 		}
-		plan.trials[j.instance*plan.inits+j.init] = tr
+		*slot = tr
+		if journal != nil {
+			if err := journal.Record(spec.trialKey(j.instance, j.init), tr); err != nil {
+				return err
+			}
+		}
 		r.tick()
 		return nil
 	}); err != nil {

@@ -8,6 +8,7 @@ import (
 	"github.com/discsp/discsp/internal/async"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/netrun"
 	"github.com/discsp/discsp/internal/sim"
 )
@@ -23,6 +24,15 @@ type RuntimeResult struct {
 	Messages int64
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+
+	// Transport counters, populated by the async and tcp runtimes when a
+	// fault schedule is active (always zero for sync, which has no
+	// network to misbehave).
+	Retransmits          int64
+	DuplicatesSuppressed int64
+	Restarts             int64
+	Partitioned          int64
+	PartitionHeals       int64
 }
 
 // CompareRuntimes runs AWC with the given learning on the same instance and
@@ -31,7 +41,12 @@ type RuntimeResult struct {
 // machine-dependent; the interesting outputs are the solved flags and the
 // message counts (the async and TCP runtimes react per message instead of
 // per lockstep wave, so they typically exchange more).
-func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, timeout time.Duration) ([]RuntimeResult, error) {
+//
+// fcfg, when non-nil, injects the deterministic fault schedule into the
+// async and tcp runtimes (the synchronous simulator has no network, so it
+// runs clean either way); the per-runtime transport counters then report
+// what the faults cost.
+func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, timeout time.Duration, fcfg *faults.Config) ([]RuntimeResult, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -53,26 +68,36 @@ func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning
 		Duration: time.Since(start),
 	})
 
-	asyncRes, err := async.Run(problem, makeAgent, async.Options{Timeout: timeout})
+	asyncRes, err := async.Run(problem, makeAgent, async.Options{Timeout: timeout, Faults: fcfg})
 	if err != nil {
 		return nil, fmt.Errorf("async: %w", err)
 	}
 	out = append(out, RuntimeResult{
-		Runtime:  "async",
-		Solved:   asyncRes.Solved,
-		Messages: asyncRes.Messages,
-		Duration: asyncRes.Duration,
+		Runtime:              "async",
+		Solved:               asyncRes.Solved,
+		Messages:             asyncRes.Messages,
+		Duration:             asyncRes.Duration,
+		Retransmits:          asyncRes.Retransmits,
+		DuplicatesSuppressed: asyncRes.DuplicatesSuppressed,
+		Restarts:             asyncRes.Restarts,
+		Partitioned:          asyncRes.Partitioned,
+		PartitionHeals:       asyncRes.PartitionHeals,
 	})
 
-	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{Timeout: timeout})
+	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{Timeout: timeout, Faults: fcfg})
 	if err != nil {
 		return nil, fmt.Errorf("tcp: %w", err)
 	}
 	out = append(out, RuntimeResult{
-		Runtime:  "tcp",
-		Solved:   tcpRes.Solved,
-		Messages: tcpRes.Messages,
-		Duration: tcpRes.Duration,
+		Runtime:              "tcp",
+		Solved:               tcpRes.Solved,
+		Messages:             tcpRes.Messages,
+		Duration:             tcpRes.Duration,
+		Retransmits:          tcpRes.Retransmits,
+		DuplicatesSuppressed: tcpRes.DuplicatesSuppressed,
+		Restarts:             tcpRes.Restarts,
+		Partitioned:          tcpRes.Partitioned,
+		PartitionHeals:       tcpRes.PartitionHeals,
 	})
 	return out, nil
 }
@@ -85,9 +110,13 @@ func buildSimAgents(n int, makeAgent func(csp.Var) sim.Agent) []sim.Agent {
 	return agents
 }
 
-// FprintRuntimes renders the comparison as an aligned table.
+// FprintRuntimes renders the comparison as an aligned table, transport
+// counters included. The counters are informative even on a clean network:
+// the tcp runtime retransmits whenever congestion delays an ack past the
+// backoff base, and the dedup layer absorbs the copies.
 func FprintRuntimes(w io.Writer, results []RuntimeResult) error {
-	if _, err := fmt.Fprintf(w, "  %-6s %-7s %-8s %-10s %s\n", "rt", "solved", "cycles", "messages", "duration"); err != nil {
+	if _, err := fmt.Fprintf(w, "  %-6s %-7s %-8s %-10s %-12s %-8s %-8s %-9s %-11s %s\n",
+		"rt", "solved", "cycles", "messages", "duration", "retrans", "dups", "restarts", "partitioned", "heals"); err != nil {
 		return err
 	}
 	for _, r := range results {
@@ -95,8 +124,32 @@ func FprintRuntimes(w io.Writer, results []RuntimeResult) error {
 		if r.Runtime == "sync" {
 			cycles = fmt.Sprintf("%d", r.Cycles)
 		}
-		if _, err := fmt.Fprintf(w, "  %-6s %-7v %-8s %-10d %v\n",
-			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond)); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-6s %-7v %-8s %-10d %-12v %-8d %-8d %-9d %-11d %d\n",
+			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond),
+			r.Retransmits, r.DuplicatesSuppressed, r.Restarts, r.Partitioned, r.PartitionHeals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkdownRuntimes renders the comparison as a GitHub-flavored markdown
+// table, transport counters included.
+func MarkdownRuntimes(w io.Writer, results []RuntimeResult) error {
+	if _, err := fmt.Fprintln(w, "| rt | solved | cycles | messages | duration | retransmits | dups suppressed | restarts | partitioned | heals |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		cycles := "-"
+		if r.Runtime == "sync" {
+			cycles = fmt.Sprintf("%d", r.Cycles)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %v | %s | %d | %v | %d | %d | %d | %d | %d |\n",
+			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond),
+			r.Retransmits, r.DuplicatesSuppressed, r.Restarts, r.Partitioned, r.PartitionHeals); err != nil {
 			return err
 		}
 	}

@@ -1,8 +1,8 @@
 // Package faults provides deterministic fault injection for the distributed
 // runtimes: a seeded schedule of per-link message drop, duplication, and
-// bounded delivery delay, plus per-agent crash points, pluggable into the
-// asynchronous runtime's delivery queue (internal/async) and the TCP hub's
-// route loop (internal/netrun).
+// bounded delivery delay, per-agent crash points, and network partition
+// windows, pluggable into the asynchronous runtime's delivery queue
+// (internal/async) and the TCP hub's route loop (internal/netrun).
 //
 // Every decision is a pure function of (seed, link, sequence number,
 // attempt), computed by hashing rather than by consuming a shared PRNG
@@ -43,6 +43,25 @@ type Config struct {
 	// Crashes schedules at most one crash per agent (later entries for the
 	// same agent are ignored).
 	Crashes []Crash
+	// Partitions schedules network partition windows. During a window the
+	// agents are split into two sides — each agent's side is a pure function
+	// of (Seed, window index, agent) — and messages crossing the cut are
+	// withheld until the window heals, then drained. See Partition.
+	Partitions []Partition
+}
+
+// Partition is one network partition window, measured as offsets from the
+// run's start. While the window is open, every link between agents hashed
+// to different sides is cut: the runtimes withhold crossing traffic (the
+// reliable transport keeps retransmitting underneath) and drain it when the
+// window heals. A window with Dur <= 0 never heals; runs that need the cut
+// links then end at the stall watchdog, not at quiescence.
+type Partition struct {
+	// At is the window's start, as an offset from the run's start.
+	At time.Duration
+	// Dur is the window's length; the partition heals at At+Dur. Dur <= 0
+	// marks a permanent partition that never heals.
+	Dur time.Duration
 }
 
 // Crash schedules one node failure.
@@ -163,11 +182,76 @@ func (in *Injector) WillRestart(agent int) bool {
 // AnyCrash reports whether any crash is scheduled.
 func (in *Injector) AnyCrash() bool { return in != nil && len(in.crashes) > 0 }
 
-// decision salts keep the drop, duplicate, and delay streams independent.
+// AnyPartition reports whether any partition window is scheduled.
+func (in *Injector) AnyPartition() bool { return in != nil && len(in.cfg.Partitions) > 0 }
+
+// Partitions returns the scheduled partition windows.
+func (in *Injector) Partitions() []Partition {
+	if in == nil {
+		return nil
+	}
+	return in.cfg.Partitions
+}
+
+// Side returns agent's side (0 or 1) of partition window w. Sides are a
+// pure function of (Seed, w, agent): the same seed splits the agents the
+// same way no matter which runtime asks, or when.
+func (in *Injector) Side(w, agent int) int {
+	h := splitmix64(uint64(in.cfg.Seed) ^ saltSide)
+	h = splitmix64(h ^ uint64(w)*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(agent)*0xc2b2ae3d27d4eb4f)
+	return int(h & 1)
+}
+
+// PartitionedAt reports whether the from→to link is cut at offset at from
+// the run's start. When cut, heal is the offset at which the covering
+// window heals and drained traffic flows again; heals=false marks a
+// permanent window (the link never recovers). Overlapping windows resolve
+// to the earliest configured one covering at that actually cuts the link.
+func (in *Injector) PartitionedAt(from, to int, at time.Duration) (cut bool, heal time.Duration, heals bool) {
+	if in == nil {
+		return false, 0, false
+	}
+	for w, p := range in.cfg.Partitions {
+		if at < p.At {
+			continue
+		}
+		if p.Dur > 0 && at >= p.At+p.Dur {
+			continue
+		}
+		if in.Side(w, from) == in.Side(w, to) {
+			continue
+		}
+		if p.Dur <= 0 {
+			return true, 0, false
+		}
+		return true, p.At + p.Dur, true
+	}
+	return false, 0, false
+}
+
+// HealedBy returns how many scheduled partition windows healed within
+// elapsed: the heal count a finished run reports.
+func (in *Injector) HealedBy(elapsed time.Duration) int64 {
+	if in == nil {
+		return 0
+	}
+	var n int64
+	for _, p := range in.cfg.Partitions {
+		if p.Dur > 0 && p.At+p.Dur <= elapsed {
+			n++
+		}
+	}
+	return n
+}
+
+// decision salts keep the drop, duplicate, delay, and partition-side
+// streams independent.
 const (
 	saltDrop  = 0x9e3779b97f4a7c15
 	saltDup   = 0xc2b2ae3d27d4eb4f
 	saltDelay = 0x165667b19e3779f9
+	saltSide  = 0x27d4eb2f165667c5
 )
 
 // rand01 hashes the decision coordinates into [0, 1).

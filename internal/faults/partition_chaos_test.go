@@ -1,0 +1,308 @@
+// Partition chaos: every algorithm family must reach its clean-network
+// verdict on both network runtimes while a partition window cuts the agent
+// population in two and later heals, and a partition that never heals must
+// end at the stall watchdog with a per-agent progress report — not a bare
+// timeout. The CHAOS_LONG-gated sweeps at the bottom widen the schedules
+// for the nightly CI job.
+package faults_test
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/discsp/discsp/internal/abt"
+	"github.com/discsp/discsp/internal/async"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/netrun"
+	"github.com/discsp/discsp/internal/progress"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// healingConfig is the acceptance schedule for partition tolerance: modest
+// drop and duplication underneath a partition window that opens at the
+// start of the run and heals 120ms in.
+func healingConfig(seed int64) *faults.Config {
+	return &faults.Config{
+		Seed:      seed,
+		Drop:      0.05,
+		Duplicate: 0.05,
+		Partitions: []faults.Partition{
+			{At: 0, Dur: 120 * time.Millisecond},
+		},
+	}
+}
+
+// splitsNontrivially reports whether window w of cfg's schedule puts at
+// least one of n agents on each side. Sides are a pure function of the
+// seed, so the check is deterministic.
+func splitsNontrivially(cfg *faults.Config, w, n int) bool {
+	inj := faults.New(*cfg)
+	zeros := 0
+	for a := 0; a < n; a++ {
+		if inj.Side(w, a) == 0 {
+			zeros++
+		}
+	}
+	return zeros > 0 && zeros < n
+}
+
+// splittingSeed returns the first seed in [1, 64] whose window-0 sides
+// split n agents nontrivially. Some seed in that range always does (each
+// fails with probability 2^-(n-1)); the scan keeps the tests independent
+// of the hash function's details.
+func splittingSeed(t *testing.T, mk func(seed int64) *faults.Config, n int) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 64; seed++ {
+		if splitsNontrivially(mk(seed), 0, n) {
+			return seed
+		}
+	}
+	t.Fatal("no seed in [1,64] splits the agents; side hash broken")
+	return 0
+}
+
+// TestPartitionHealAsync drives every family through the async runtime
+// under a healing partition window: the verdict must match the clean
+// network's, and when the window splits the population nontrivially the
+// run must actually have had deliveries cut and the window counted healed.
+func TestPartitionHealAsync(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			seed := splittingSeed(t, healingConfig, p.NumVars())
+			cfg := healingConfig(seed)
+			res, err := async.Run(p, fam.makeAgent(p), async.Options{
+				Timeout: 60 * time.Second,
+				Faults:  cfg,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (res=%+v)", seed, err, res)
+			}
+			checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+			if res.Partitioned == 0 {
+				t.Errorf("seed %d: nontrivial window cut no deliveries: %+v", seed, res)
+			}
+			if res.PartitionHeals != 1 {
+				t.Errorf("seed %d: want 1 healed window, got %d", seed, res.PartitionHeals)
+			}
+		})
+	}
+}
+
+// TestPartitionHealNetrun is TestPartitionHealAsync across real sockets:
+// the hub parks crossing frames and drains them at heal.
+func TestPartitionHealNetrun(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			seed := splittingSeed(t, healingConfig, p.NumVars())
+			cfg := healingConfig(seed)
+			res, err := netrun.Run(p, fam.makeAgent(p), netrun.Options{
+				Timeout: 60 * time.Second,
+				Faults:  cfg,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (res=%+v)", seed, err, res)
+			}
+			checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+			if res.Partitioned == 0 {
+				t.Errorf("seed %d: nontrivial window parked no frames: %+v", seed, res)
+			}
+			if res.PartitionHeals != 1 {
+				t.Errorf("seed %d: want 1 healed window, got %d", seed, res.PartitionHeals)
+			}
+		})
+	}
+}
+
+func neverHealConfig(seed int64) *faults.Config {
+	return &faults.Config{
+		Seed:       seed,
+		Partitions: []faults.Partition{{At: 0}}, // Dur <= 0: never heals
+	}
+}
+
+// checkStallReport asserts a never-healing partition produced a watchdog
+// verdict, not a bare timeout: a per-agent progress report attached to the
+// error, classified as stuck, and rendered into the error text.
+func checkStallReport(t *testing.T, r *progress.Report, errText string, n int) {
+	t.Helper()
+	if r == nil {
+		t.Fatal("timeout carries no progress report")
+	}
+	if r.State == progress.StateConverging || r.State == progress.StateUnknown {
+		t.Errorf("permanent partition classified %q, want stalled or livelock", r.State)
+	}
+	if len(r.Agents) != n {
+		t.Errorf("report covers %d agents, want %d", len(r.Agents), n)
+	}
+	if !strings.Contains(errText, "agents") {
+		t.Errorf("error text lacks the per-agent report: %q", errText)
+	}
+}
+
+// TestPartitionNeverHealsAsync pins the watchdog path: the ABT
+// insolubility proof needs nogood traffic across the whole population, so
+// a permanent cut stalls it and the deadline must surface a classified
+// per-agent progress report.
+func TestPartitionNeverHealsAsync(t *testing.T) {
+	t.Parallel()
+	p := insolubleK4(t)
+	seed := splittingSeed(t, neverHealConfig, p.NumVars())
+	mk := func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, 0) }
+	_, err := async.Run(p, mk, async.Options{
+		Timeout: 3 * time.Second,
+		Faults:  neverHealConfig(seed),
+	})
+	var te *async.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *async.TimeoutError, got %v", err)
+	}
+	checkStallReport(t, te.Report, te.Error(), p.NumVars())
+}
+
+// TestPartitionNeverHealsNetrun is the same stall across real sockets: the
+// hub kills crossing frames for good, the nodes retransmit into the void,
+// and the deadline must carry the watchdog's report.
+func TestPartitionNeverHealsNetrun(t *testing.T) {
+	t.Parallel()
+	p := insolubleK4(t)
+	seed := splittingSeed(t, neverHealConfig, p.NumVars())
+	mk := func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, 0) }
+	_, err := netrun.Run(p, mk, netrun.Options{
+		Timeout: 3 * time.Second,
+		Faults:  neverHealConfig(seed),
+	})
+	var te *netrun.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *netrun.TimeoutError, got %v", err)
+	}
+	checkStallReport(t, te.Report, te.Error(), p.NumVars())
+}
+
+// overlapConfig layers a crash-restart inside a healing partition window:
+// the restarted node recovers from its checkpoint while half its links are
+// still cut, then the drained traffic catches it up.
+func overlapConfig(seed int64) *faults.Config {
+	return &faults.Config{
+		Seed:      seed,
+		Drop:      0.05,
+		Duplicate: 0.05,
+		Partitions: []faults.Partition{
+			{At: 0, Dur: 100 * time.Millisecond},
+		},
+		Crashes: []faults.Crash{
+			{Agent: 2, AfterSteps: 1, Restart: true},
+		},
+	}
+}
+
+// TestPartitionOverlapsCrashAsync runs every family with a crash-restart
+// inside the partition window on the async runtime.
+func TestPartitionOverlapsCrashAsync(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			seed := splittingSeed(t, overlapConfig, p.NumVars())
+			res, err := async.Run(p, fam.makeAgent(p), async.Options{
+				Timeout: 60 * time.Second,
+				Faults:  overlapConfig(seed),
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (res=%+v)", seed, err, res)
+			}
+			checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+		})
+	}
+}
+
+// TestPartitionOverlapsCrashNetrun runs the overlap schedule across real
+// sockets: the crashed node's checkpoint restart and the hub's parked
+// frames interact, and the verdict must still match the clean network.
+func TestPartitionOverlapsCrashNetrun(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			seed := splittingSeed(t, overlapConfig, p.NumVars())
+			res, err := netrun.Run(p, fam.makeAgent(p), netrun.Options{
+				Timeout: 60 * time.Second,
+				Faults:  overlapConfig(seed),
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (res=%+v)", seed, err, res)
+			}
+			checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+		})
+	}
+}
+
+// chaosLong skips unless the CHAOS_LONG environment variable is set (the
+// nightly CI job and `make chaos CHAOS_LONG=1` set it).
+func chaosLong(t *testing.T) {
+	t.Helper()
+	if os.Getenv("CHAOS_LONG") == "" {
+		t.Skip("long chaos sweep; set CHAOS_LONG=1 to run")
+	}
+}
+
+// TestChaosLongAsync is the nightly sweep: every family × several seeds ×
+// partition-plus-crash schedules on the async runtime.
+func TestChaosLongAsync(t *testing.T) {
+	chaosLong(t)
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			for seed := int64(1); seed <= 6; seed++ {
+				for _, mk := range []func(int64) *faults.Config{chaosConfig, healingConfig, overlapConfig} {
+					res, err := async.Run(p, fam.makeAgent(p), async.Options{
+						Timeout: 120 * time.Second,
+						Faults:  mk(seed),
+					})
+					if err != nil {
+						t.Fatalf("seed %d cfg %+v: %v (res=%+v)", seed, mk(seed), err, res)
+					}
+					checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosLongNetrun is the nightly sweep across real sockets; fewer
+// seeds than the async sweep because every run boots a TCP hub.
+func TestChaosLongNetrun(t *testing.T) {
+	chaosLong(t)
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			p := fam.problem(t)
+			for seed := int64(1); seed <= 3; seed++ {
+				for _, mk := range []func(int64) *faults.Config{chaosConfig, healingConfig, overlapConfig} {
+					res, err := netrun.Run(p, fam.makeAgent(p), netrun.Options{
+						Timeout: 120 * time.Second,
+						Faults:  mk(seed),
+					})
+					if err != nil {
+						t.Fatalf("seed %d cfg %+v: %v (res=%+v)", seed, mk(seed), err, res)
+					}
+					checkVerdict(t, fam, p, res.Solved, res.Insoluble, res.Assignment)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPartitionSidesDeterministic pins that sides are a pure function of
+// (seed, window, agent): stable across injectors and insensitive to query
+// order.
+func TestPartitionSidesDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, Partitions: []Partition{{At: 0, Dur: time.Second}, {At: 2 * time.Second, Dur: time.Second}}}
+	a, b := New(cfg), New(cfg)
+	for w := 0; w < 2; w++ {
+		for agent := 0; agent < 32; agent++ {
+			sa, sb := a.Side(w, agent), b.Side(w, agent)
+			if sa != sb {
+				t.Fatalf("window %d agent %d: sides differ (%d vs %d)", w, agent, sa, sb)
+			}
+			if sa != 0 && sa != 1 {
+				t.Fatalf("window %d agent %d: side %d out of range", w, agent, sa)
+			}
+		}
+	}
+	// Different windows of the same schedule must be able to split
+	// differently (independent streams); check the two windows are not
+	// forced identical for every agent.
+	same := true
+	for agent := 0; agent < 32; agent++ {
+		if a.Side(0, agent) != a.Side(1, agent) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("both windows split all 32 agents identically; side streams look correlated")
+	}
+}
+
+func TestPartitionedAt(t *testing.T) {
+	cfg := Config{Seed: 3, Partitions: []Partition{{At: 100 * time.Millisecond, Dur: 200 * time.Millisecond}}}
+	in := New(cfg)
+	// Find a pair of agents on opposite sides of window 0.
+	from, to := -1, -1
+	for agent := 1; agent < 64; agent++ {
+		if in.Side(0, agent) != in.Side(0, 0) {
+			from, to = 0, agent
+			break
+		}
+	}
+	if from < 0 {
+		t.Fatal("seed 3 put 64 agents on one side; pick another seed")
+	}
+	if cut, _, _ := in.PartitionedAt(from, to, 50*time.Millisecond); cut {
+		t.Error("cut before the window opened")
+	}
+	cut, heal, heals := in.PartitionedAt(from, to, 150*time.Millisecond)
+	if !cut || !heals || heal != 300*time.Millisecond {
+		t.Errorf("inside window: cut=%v heal=%v heals=%v", cut, heal, heals)
+	}
+	if cut, _, _ := in.PartitionedAt(to, from, 150*time.Millisecond); !cut {
+		t.Error("cut must be symmetric in link direction")
+	}
+	if cut, _, _ := in.PartitionedAt(from, to, 300*time.Millisecond); cut {
+		t.Error("cut after the window healed")
+	}
+	// Same-side agents are never cut.
+	for agent := 1; agent < 64; agent++ {
+		if in.Side(0, agent) == in.Side(0, from) && agent != from {
+			if cut, _, _ := in.PartitionedAt(from, agent, 150*time.Millisecond); cut {
+				t.Errorf("same-side link %d→%d cut", from, agent)
+			}
+			break
+		}
+	}
+}
+
+func TestPartitionNeverHeals(t *testing.T) {
+	in := New(Config{Seed: 3, Partitions: []Partition{{At: 0}}})
+	from, to := -1, -1
+	for agent := 1; agent < 64; agent++ {
+		if in.Side(0, agent) != in.Side(0, 0) {
+			from, to = 0, agent
+			break
+		}
+	}
+	if from < 0 {
+		t.Fatal("seed 3 put 64 agents on one side; pick another seed")
+	}
+	cut, _, heals := in.PartitionedAt(from, to, time.Hour)
+	if !cut || heals {
+		t.Errorf("permanent window at 1h: cut=%v heals=%v; want cut, never healing", cut, heals)
+	}
+	if got := in.HealedBy(time.Hour); got != 0 {
+		t.Errorf("HealedBy counted a permanent window: %d", got)
+	}
+}
+
+func TestHealedBy(t *testing.T) {
+	in := New(Config{Seed: 1, Partitions: []Partition{
+		{At: 0, Dur: 100 * time.Millisecond},
+		{At: 0, Dur: 500 * time.Millisecond},
+		{At: time.Second}, // never heals
+	}})
+	if got := in.HealedBy(200 * time.Millisecond); got != 1 {
+		t.Errorf("HealedBy(200ms) = %d, want 1", got)
+	}
+	if got := in.HealedBy(time.Minute); got != 2 {
+		t.Errorf("HealedBy(1m) = %d, want 2", got)
+	}
+	var nilIn *Injector
+	if nilIn.AnyPartition() || nilIn.HealedBy(time.Hour) != 0 {
+		t.Error("nil injector must report no partitions")
+	}
+	if cut, _, _ := nilIn.PartitionedAt(0, 1, 0); cut {
+		t.Error("nil injector cut a link")
+	}
+}

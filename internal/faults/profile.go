@@ -1,0 +1,164 @@
+// Fault profiles: a compact textual syntax for Config so chaos
+// configurations are reproducible from the command line (dcspsolve -faults,
+// dcspbench -faults) instead of only from Go tests.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ProfileSyntax documents the -faults grammar for CLI usage strings.
+const ProfileSyntax = "drop=P,dup=P,delay=DUR,attempts=N," +
+	"crash=AGENT@STEPS[r[DUR]],partition=AT+DUR|AT+never  (or the preset 'chaos')"
+
+// ParseProfile parses a comma-separated fault profile into a Config with
+// the given schedule seed. The empty profile returns nil (no faults).
+// Tokens:
+//
+//	drop=0.1          per-attempt delivery loss probability
+//	dup=0.05          per-message duplication probability
+//	delay=2ms         bound on injected extra delivery delay
+//	attempts=8        drop-streak cap (MaxAttempts)
+//	crash=2@1         agent 2 crashes after 1 step, for good
+//	crash=2@1r        ... and restarts after the default downtime
+//	crash=2@1r20ms    ... and restarts after 20ms
+//	partition=50ms+200ms   partition window opening at 50ms, healing at 250ms
+//	partition=0s+never     permanent partition from the start
+//
+// crash= and partition= may repeat. The preset name "chaos" expands to the
+// acceptance schedule used by the chaos test suite: 10% drop, 10%
+// duplication, 1ms delay bound, and one crash-restart of agent 2.
+func ParseProfile(profile string, seed int64) (*Config, error) {
+	profile = strings.TrimSpace(profile)
+	if profile == "" {
+		return nil, nil
+	}
+	if profile == "chaos" {
+		return &Config{
+			Seed:      seed,
+			Drop:      0.10,
+			Duplicate: 0.10,
+			MaxDelay:  time.Millisecond,
+			Crashes:   []Crash{{Agent: 2, AfterSteps: 1, Restart: true}},
+		}, nil
+	}
+	cfg := &Config{Seed: seed}
+	for _, tok := range strings.Split(profile, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: token %q is not key=value", tok)
+		}
+		var err error
+		switch key {
+		case "drop":
+			err = parseProb(val, &cfg.Drop)
+		case "dup":
+			err = parseProb(val, &cfg.Duplicate)
+		case "delay":
+			cfg.MaxDelay, err = parsePositiveDuration(val)
+		case "attempts":
+			cfg.MaxAttempts, err = strconv.Atoi(val)
+			if err == nil && cfg.MaxAttempts <= 0 {
+				err = fmt.Errorf("want a positive count")
+			}
+		case "crash":
+			var c Crash
+			c, err = parseCrash(val)
+			if err == nil {
+				cfg.Crashes = append(cfg.Crashes, c)
+			}
+		case "partition":
+			var p Partition
+			p, err = parsePartition(val)
+			if err == nil {
+				cfg.Partitions = append(cfg.Partitions, p)
+			}
+		default:
+			return nil, fmt.Errorf("faults: unknown profile key %q (syntax: %s)", key, ProfileSyntax)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad %s=%s: %v", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string, out *float64) error {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("want a probability in [0, 1)")
+	}
+	*out = p
+	return nil
+}
+
+func parsePositiveDuration(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("want a positive duration")
+	}
+	return d, nil
+}
+
+// parseCrash parses AGENT@STEPS, with an optional trailing r[DUR] marking a
+// restart (after DUR downtime; default downtime when DUR is omitted).
+func parseCrash(s string) (Crash, error) {
+	agentStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("want AGENT@STEPS[r[DUR]]")
+	}
+	agent, err := strconv.Atoi(agentStr)
+	if err != nil || agent < 0 {
+		return Crash{}, fmt.Errorf("bad agent %q", agentStr)
+	}
+	c := Crash{Agent: agent}
+	stepsStr := rest
+	if i := strings.IndexByte(rest, 'r'); i >= 0 {
+		stepsStr = rest[:i]
+		c.Restart = true
+		if delay := rest[i+1:]; delay != "" {
+			c.RestartDelay, err = parsePositiveDuration(delay)
+			if err != nil {
+				return Crash{}, fmt.Errorf("bad restart delay %q: %v", delay, err)
+			}
+		}
+	}
+	c.AfterSteps, err = strconv.Atoi(stepsStr)
+	if err != nil || c.AfterSteps < 0 {
+		return Crash{}, fmt.Errorf("bad step count %q", stepsStr)
+	}
+	return c, nil
+}
+
+// parsePartition parses AT+DUR or AT+never.
+func parsePartition(s string) (Partition, error) {
+	atStr, durStr, ok := strings.Cut(s, "+")
+	if !ok {
+		return Partition{}, fmt.Errorf("want AT+DUR or AT+never")
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return Partition{}, fmt.Errorf("bad start offset %q", atStr)
+	}
+	if durStr == "never" {
+		return Partition{At: at}, nil
+	}
+	dur, err := parsePositiveDuration(durStr)
+	if err != nil {
+		return Partition{}, fmt.Errorf("bad duration %q: %v", durStr, err)
+	}
+	return Partition{At: at, Dur: dur}, nil
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	cfg, err := ParseProfile("drop=0.2,dup=0.1,delay=2ms,attempts=5,crash=3@2r20ms,partition=50ms+200ms,partition=1s+never", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.Drop != 0.2 || cfg.Duplicate != 0.1 ||
+		cfg.MaxDelay != 2*time.Millisecond || cfg.MaxAttempts != 5 {
+		t.Fatalf("scalar fields wrong: %+v", cfg)
+	}
+	if len(cfg.Crashes) != 1 {
+		t.Fatalf("crashes = %+v", cfg.Crashes)
+	}
+	c := cfg.Crashes[0]
+	if c.Agent != 3 || c.AfterSteps != 2 || !c.Restart || c.RestartDelay != 20*time.Millisecond {
+		t.Fatalf("crash = %+v", c)
+	}
+	if len(cfg.Partitions) != 2 {
+		t.Fatalf("partitions = %+v", cfg.Partitions)
+	}
+	if p := cfg.Partitions[0]; p.At != 50*time.Millisecond || p.Dur != 200*time.Millisecond {
+		t.Fatalf("partition 0 = %+v", p)
+	}
+	if p := cfg.Partitions[1]; p.At != time.Second || p.Dur != 0 {
+		t.Fatalf("never-healing partition = %+v", p)
+	}
+}
+
+func TestParseProfileCrashForms(t *testing.T) {
+	cfg, err := ParseProfile("crash=0@4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cfg.Crashes[0]; c.Agent != 0 || c.AfterSteps != 4 || c.Restart {
+		t.Fatalf("crash = %+v", c)
+	}
+	cfg, err = ParseProfile("crash=1@0r", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cfg.Crashes[0]; !c.Restart || c.RestartDelay != 0 {
+		t.Fatalf("crash = %+v (RestartDelay should default at New)", c)
+	}
+}
+
+func TestParseProfilePreset(t *testing.T) {
+	cfg, err := ParseProfile("chaos", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Drop != 0.10 || cfg.Duplicate != 0.10 || len(cfg.Crashes) != 1 {
+		t.Fatalf("chaos preset = %+v", cfg)
+	}
+}
+
+func TestParseProfileEmpty(t *testing.T) {
+	cfg, err := ParseProfile("  ", 1)
+	if err != nil || cfg != nil {
+		t.Fatalf("empty profile = %+v, %v; want nil, nil", cfg, err)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"drop=1.5", "drop=x", "dup=-0.1", "delay=-2ms", "delay=bogus",
+		"attempts=0", "crash=5", "crash=x@1", "crash=1@-2", "crash=1@1rxx",
+		"partition=50ms", "partition=x+1s", "partition=1s+-5ms",
+		"nonsense", "wat=1",
+	} {
+		if _, err := ParseProfile(bad, 1); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}

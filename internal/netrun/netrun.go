@@ -18,6 +18,15 @@
 // restarted node re-registers with the hub, replays the checkpoint, and the
 // run completes exactly as on a clean network.
 //
+// Partition windows sever node-to-node traffic (algorithm frames and acks
+// both) across a seeded two-sided split: frames crossing an open cut are
+// held at the hub and drained when the window heals, with the nodes' dedup
+// layer absorbing the retransmitted copies. A partitioned node is *not* a
+// dead node — its socket stays up and it keeps retransmitting — so
+// partition traffic never takes the ErrNodeDown fail-fast path; a
+// never-healing cut instead strands messages in flight until the deadline,
+// which reports the stall watchdog's per-agent progress diagnosis.
+//
 // The hub detects termination out-of-band, like the other runtimes: nodes
 // attach a state report (current value, insolubility flag, processed
 // count) after every step, letting the hub check for a solution snapshot,
@@ -37,6 +46,7 @@ import (
 
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/progress"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/wire"
 )
@@ -65,11 +75,20 @@ type TimeoutError struct {
 	// Processed is the per-node count of messages processed, indexed by
 	// variable.
 	Processed []int64
+	// Report is the stall watchdog's classification of the stuck run —
+	// stalled (no traffic), livelock (traffic without search progress), or
+	// converging (slow, not stuck) — with per-agent progress deltas. Nil
+	// only when the run died before the watchdog gathered two samples.
+	Report *progress.Report
 }
 
 func (e *TimeoutError) Error() string {
-	return fmt.Sprintf("netrun: run timed out after %v: %d messages in flight, %d routed, per-node processed %v",
+	s := fmt.Sprintf("netrun: run timed out after %v: %d messages in flight, %d routed, per-node processed %v",
 		e.Timeout, e.InFlight, e.Messages, e.Processed)
+	if e.Report != nil {
+		s += "; " + e.Report.String()
+	}
+	return s
 }
 
 func (e *TimeoutError) Unwrap() error { return ErrTimeout }
@@ -110,6 +129,12 @@ type Result struct {
 	DuplicatesSuppressed int64
 	// Restarts counts nodes that crashed and rejoined from a checkpoint.
 	Restarts int64
+	// Partitioned counts frames intercepted at a partition cut (held to the
+	// heal, or killed by a never-healing window).
+	Partitioned int64
+	// PartitionHeals counts scheduled partition windows that healed within
+	// the run's duration.
+	PartitionHeals int64
 }
 
 // control frame types, alongside the wire message types.
@@ -247,6 +272,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	}
 
 	start := time.Now()
+	hub.start = start
 	res, rerr := hub.route(timeout)
 	res.Duration = time.Since(start)
 
@@ -269,6 +295,8 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	res.Retransmits = ctr.retransmits.Load()
 	res.DuplicatesSuppressed = ctr.dups.Load()
 	res.Restarts = ctr.restarts.Load()
+	res.Partitioned = hub.partitioned
+	res.PartitionHeals = inj.HealedBy(res.Duration)
 	if res.Solved || res.Insoluble || res.Quiescent {
 		return res, nil
 	}
@@ -361,6 +389,9 @@ type hub struct {
 	inFlight  int64
 	messages  int64
 	inj       *faults.Injector
+
+	start       time.Time // run start; partition windows are offsets from it
+	partitioned int64
 }
 
 // readLoop decodes frames from one connection into the hub channel. All
@@ -395,6 +426,9 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 	delayT := time.NewTimer(time.Hour)
 	delayT.Stop()
 	defer delayT.Stop()
+	wd := progress.NewWatchdog()
+	watch := time.NewTicker(watchdogCadence)
+	defer watch.Stop()
 
 	// Quiescence cannot be declared from in-flight counting alone until
 	// every node has reported in at least once.
@@ -426,6 +460,11 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 			now := time.Now()
 			for len(h.delayq) > 0 && !h.delayq[0].at.After(now) {
 				df := heap.Pop(&h.delayq).(delayedFrame)
+				// A held frame popping mid-window (an injected duplicate, or
+				// an overlapping later window) goes back behind the cut.
+				if h.partitionHold(df.f) {
+					continue
+				}
 				if err := h.send(df.f); err != nil {
 					return Result{Assignment: h.snapshot(), Messages: h.messages}, err
 				}
@@ -434,12 +473,17 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 			if h.inFlight == 0 && len(h.frames) == 0 && len(h.delayq) == 0 {
 				return Result{Quiescent: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 			}
+		case now := <-watch.C:
+			h.observe(wd, now)
 		case <-deadline.C:
+			now := time.Now()
+			h.observe(wd, now) // final sample so the report is current
 			te := &TimeoutError{
 				Timeout:   timeout,
 				InFlight:  h.inFlight,
 				Messages:  h.messages,
 				Processed: append([]int64(nil), h.processed...),
+				Report:    wd.Report(now),
 			}
 			return Result{Assignment: h.snapshot(), Messages: h.messages}, te
 		}
@@ -481,7 +525,13 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 		}
 		return false, Result{}, nil
 	case wire.TypeAck:
-		// Control plane: exempt from fault injection and accounting.
+		// Exempt from drop/dup/delay injection (control plane), but not
+		// from a partition: a cut severs acknowledgements like any other
+		// node-to-node traffic, which is what keeps the far side
+		// retransmitting until the heal.
+		if h.partitionHold(f) {
+			return false, Result{}, nil
+		}
 		return false, Result{}, h.send(f)
 	}
 	// Algorithm frame. Count each unique (link, seq) exactly once — before
@@ -495,6 +545,9 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 		h.seqHigh[k] = f.Seq
 		h.messages++
 		h.inFlight++
+	}
+	if h.partitionHold(f) {
+		return false, Result{}, nil
 	}
 	if h.inj != nil && f.Seq > 0 {
 		ak := attemptKey{l: k, seq: f.Seq}
@@ -518,6 +571,53 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 func (h *hub) schedule(f frame, at time.Time) {
 	h.delaySeq++
 	heap.Push(&h.delayq, delayedFrame{at: at, seq: h.delaySeq, f: f})
+}
+
+// watchdogCadence is how often the route loop feeds the stall watchdog.
+const watchdogCadence = 25 * time.Millisecond
+
+// observe feeds the stall watchdog one sample of the hub's counters. The
+// frontier hash covers the nodes' published values — what the hub can see
+// of search progress.
+func (h *hub) observe(wd *progress.Watchdog, now time.Time) {
+	words := make([]int64, len(h.values))
+	var delivered int64
+	for i, v := range h.values {
+		words[i] = int64(v)
+	}
+	for _, p := range h.processed {
+		delivered += p
+	}
+	wd.Observe(progress.Sample{
+		At:        now,
+		Delivered: delivered,
+		InFlight:  h.inFlight,
+		Processed: h.processed, // Observe copies
+		Frontier:  progress.Hash64(words...),
+	})
+}
+
+// partitionHold applies the partition schedule to one node-to-node frame.
+// A frame crossing an open cut is held at the hub until the window heals
+// (the nodes' dedup layer absorbs the retransmitted copies that pile up
+// behind it), or killed outright by a never-healing window — the message
+// stays in flight, so the run cannot quiesce and the deadline reports the
+// stall. It reports whether f was intercepted. This path is distinct from
+// a dead node: partitioned traffic never reaches send()'s ErrNodeDown
+// fail-fast, because the frame is parked before any socket write.
+func (h *hub) partitionHold(f frame) bool {
+	if !h.inj.AnyPartition() {
+		return false
+	}
+	cut, heal, heals := h.inj.PartitionedAt(f.From, f.To, time.Since(h.start))
+	if !cut {
+		return false
+	}
+	h.partitioned++
+	if heals {
+		h.schedule(f, h.start.Add(heal))
+	}
+	return true
 }
 
 // send forwards a frame to its destination node, queueing it while the
@@ -752,7 +852,10 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *fau
 			if err != nil {
 				return false, err
 			}
-			env = sendLink(env.To).Stamp(env, now)
+			env, err = sendLink(env.To).Stamp(env, now)
+			if err != nil {
+				return false, err
+			}
 			if err := writeFrame(frame{Envelope: env}); err != nil {
 				return fail(err)
 			}
@@ -803,7 +906,10 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *fau
 				continue
 			}
 			rl := recvLink(f.From)
-			released, _ := rl.Accept(f.Envelope)
+			released, _, err := rl.Accept(f.Envelope)
+			if err != nil {
+				return false, err
+			}
 			now := time.Now()
 			if len(released) == 0 {
 				// Duplicate or gap: re-ack so a sender whose ack was lost
@@ -833,7 +939,10 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *fau
 				if err != nil {
 					return false, err
 				}
-				env = sendLink(env.To).Stamp(env, now)
+				env, err = sendLink(env.To).Stamp(env, now)
+				if err != nil {
+					return false, err
+				}
 				outFrames = append(outFrames, frame{Envelope: env})
 			}
 			// Checkpoint before acknowledging anything: acked must mean

@@ -416,6 +416,76 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 }
 
+// TestRestoreAfterPruningChurn checkpoints a store whose positions and
+// posting lists have been shifted by superset pruning, keeps mutating, and
+// restores — the crash-recovery path a node takes when the crash lands
+// between pruning operations. The restored store must reproduce the
+// checkpoint exactly and its rebuilt indexes must keep pruning correctly,
+// with no phantom state left from either the pre-restore churn or the
+// post-snapshot mutations.
+func TestRestoreAfterPruningChurn(t *testing.T) {
+	s := New()
+	// Three supersets of {x0=1}, interleaved with unrelated nogoods so the
+	// pruning removals shift positions in the middle of the slice.
+	s.Add(csp.MustNogood(lit(0, 1), lit(1, 0), lit(2, 0)))
+	s.Add(csp.MustNogood(lit(4, 2)))
+	s.Add(csp.MustNogood(lit(0, 1), lit(3, 1)))
+	s.Add(csp.MustNogood(lit(5, 0), lit(6, 1)))
+	s.Add(csp.MustNogood(lit(0, 1), lit(6, 2)))
+
+	// Prune: {x0=1} subsumes the three supersets, leaving shifted survivors.
+	if _, removed := s.AddPruning(csp.MustNogood(lit(0, 1)), nil); removed != 3 {
+		t.Fatalf("setup pruning removed %d, want 3", removed)
+	}
+	want := s.Snapshot() // {4=2}, {5=0,6=1}, {0=1}
+
+	// Post-snapshot churn: new variables enter the posting lists, another
+	// pruning pass removes a survivor, the empty-adjacent case runs.
+	s.Add(csp.MustNogood(lit(7, 0), lit(5, 0)))
+	if _, removed := s.AddPruning(csp.MustNogood(lit(5, 0)), nil); removed != 2 {
+		t.Fatalf("churn pruning removed %d, want 2", removed)
+	}
+
+	s.Restore(want)
+	if s.Len() != len(want) {
+		t.Fatalf("restored Len = %d, want %d", s.Len(), len(want))
+	}
+	for i, ng := range want {
+		if !s.At(i).Equal(ng) || !s.Contains(ng) {
+			t.Fatalf("restored position %d holds %v, want %v", i, s.At(i), ng)
+		}
+	}
+	// Post-snapshot state must be gone: no phantom membership, and a scan
+	// keyed on the churn-only variable x7 must find nothing.
+	if s.Contains(csp.MustNogood(lit(7, 0), lit(5, 0))) || s.Contains(csp.MustNogood(lit(5, 0))) {
+		t.Fatal("restore kept post-snapshot nogoods")
+	}
+	if added, removed := s.AddPruning(csp.MustNogood(lit(7, 0)), nil); !added || removed != 0 {
+		t.Fatalf("AddPruning on churn-only variable: added=%v removed=%d, want true, 0", added, removed)
+	}
+
+	// The rebuilt indexes must drive pruning over the restored contents:
+	// {x5=0} again subsumes the restored {x5=0, x6=1} — exactly once.
+	if added, removed := s.AddPruning(csp.MustNogood(lit(5, 0)), nil); !added || removed != 1 {
+		t.Fatalf("AddPruning after restore: added=%v removed=%d, want true, 1", added, removed)
+	}
+
+	// A snapshot with duplicates restores each nogood once.
+	s.Restore([]csp.Nogood{want[0], want[0], want[1]})
+	if s.Len() != 2 {
+		t.Fatalf("duplicate-bearing snapshot restored %d nogoods, want 2", s.Len())
+	}
+
+	// The empty snapshot clears the store and every index.
+	s.Restore(nil)
+	if s.Len() != 0 {
+		t.Fatalf("empty restore left %d nogoods", s.Len())
+	}
+	if added, removed := s.AddPruning(csp.MustNogood(lit(0, 1)), nil); !added || removed != 0 {
+		t.Fatalf("AddPruning into cleared store: added=%v removed=%d, want true, 0", added, removed)
+	}
+}
+
 func TestCounterRestore(t *testing.T) {
 	var c Counter
 	c.Add(5)

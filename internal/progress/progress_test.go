@@ -1,0 +1,151 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func at(ms int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func TestReportNeedsTwoSamples(t *testing.T) {
+	w := NewWatchdog()
+	if r := w.Report(at(0)); r != nil {
+		t.Fatalf("report from zero samples: %+v", r)
+	}
+	w.Observe(Sample{At: at(0), Delivered: 1, Processed: []int64{1}})
+	if r := w.Report(at(10)); r != nil {
+		t.Fatalf("report from one sample: %+v", r)
+	}
+}
+
+func TestStalled(t *testing.T) {
+	w := NewWatchdog()
+	// Deliveries advance early, then freeze with work still in flight.
+	w.Observe(Sample{At: at(0), Delivered: 10, InFlight: 4, Processed: []int64{6, 4}, Frontier: 1})
+	w.Observe(Sample{At: at(1500), Delivered: 10, InFlight: 4, Processed: []int64{6, 4}, Frontier: 1})
+	w.Observe(Sample{At: at(2500), Delivered: 10, InFlight: 4, Processed: []int64{6, 4}, Frontier: 1})
+	r := w.Report(at(2500))
+	if r.State != StateStalled {
+		t.Fatalf("state = %s, want stalled (report: %s)", r.State, r)
+	}
+	if r.InFlight != 4 || r.Delivered != 10 || r.DeliveredDelta != 0 {
+		t.Errorf("counters wrong: %+v", r)
+	}
+	if len(r.Agents) != 2 || r.Agents[1].Processed != 4 || r.Agents[1].Delta != 0 {
+		t.Errorf("agents wrong: %+v", r.Agents)
+	}
+}
+
+func TestLivelock(t *testing.T) {
+	w := NewWatchdog()
+	// Deliveries keep climbing; the frontier froze at the first sample.
+	for i := 0; i <= 30; i++ {
+		w.Observe(Sample{
+			At:        at(i * 100),
+			Delivered: int64(10 * i),
+			InFlight:  2,
+			Processed: []int64{int64(5 * i), int64(5 * i)},
+			Frontier:  7,
+		})
+	}
+	r := w.Report(at(3000))
+	if r.State != StateLivelock {
+		t.Fatalf("state = %s, want livelock (report: %s)", r.State, r)
+	}
+	if r.DeliveredDelta <= 0 {
+		t.Errorf("delivered delta = %d, want > 0", r.DeliveredDelta)
+	}
+	if r.SinceFrontier < 2900*time.Millisecond {
+		t.Errorf("since-frontier = %v, want ≈3s", r.SinceFrontier)
+	}
+	if r.Agents[0].Delta <= 0 {
+		t.Errorf("agent deltas should advance under livelock: %+v", r.Agents[0])
+	}
+}
+
+func TestConverging(t *testing.T) {
+	w := NewWatchdog()
+	for i := 0; i <= 30; i++ {
+		w.Observe(Sample{
+			At:        at(i * 100),
+			Delivered: int64(10 * i),
+			Processed: []int64{int64(10 * i)},
+			Frontier:  uint64(i), // frontier moves every sample
+		})
+	}
+	r := w.Report(at(3000))
+	if r.State != StateConverging {
+		t.Fatalf("state = %s, want converging (report: %s)", r.State, r)
+	}
+}
+
+// TestWindowBaseline pins that deltas cover roughly the configured window,
+// not the whole run.
+func TestWindowBaseline(t *testing.T) {
+	w := NewWatchdog()
+	w.Window = 500 * time.Millisecond
+	for i := 0; i <= 20; i++ {
+		w.Observe(Sample{At: at(i * 100), Delivered: int64(i), Processed: []int64{int64(i)}, Frontier: uint64(i)})
+	}
+	r := w.Report(at(2000))
+	if r.Window > 700*time.Millisecond {
+		t.Errorf("window = %v, want ≈500ms", r.Window)
+	}
+	if r.DeliveredDelta > 7 {
+		t.Errorf("delivered delta = %d spans more than the window", r.DeliveredDelta)
+	}
+}
+
+// TestRingBounded pins constant memory under long observation.
+func TestRingBounded(t *testing.T) {
+	w := NewWatchdog()
+	for i := 0; i < 10*maxSamples; i++ {
+		w.Observe(Sample{At: at(i), Delivered: int64(i)})
+	}
+	if len(w.ring) != maxSamples {
+		t.Fatalf("ring length = %d, want %d", len(w.ring), maxSamples)
+	}
+	if w.ring[0].Delivered != int64(10*maxSamples-maxSamples) {
+		t.Errorf("oldest retained sample = %+v; ring did not slide", w.ring[0])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	w := NewWatchdog()
+	w.Observe(Sample{At: at(0), Delivered: 5, InFlight: 3, Processed: []int64{2, 3}, Frontier: 1})
+	w.Observe(Sample{At: at(2000), Delivered: 5, InFlight: 3, Processed: []int64{2, 3}, Frontier: 1})
+	s := w.Report(at(2000)).String()
+	for _, want := range []string{"stalled", "3 in flight", "0:+0/2", "1:+0/3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+	var nilReport *Report
+	if nilReport.String() == "" {
+		t.Error("nil report must render a placeholder")
+	}
+}
+
+func TestReportStringTruncatesAgents(t *testing.T) {
+	w := NewWatchdog()
+	many := make([]int64, 40)
+	w.Observe(Sample{At: at(0), Delivered: 1, Processed: many})
+	w.Observe(Sample{At: at(1000), Delivered: 1, Processed: many})
+	s := w.Report(at(1000)).String()
+	if !strings.Contains(s, "more)") {
+		t.Errorf("report over 40 agents should truncate the list: %q", s)
+	}
+}
+
+func TestHash64(t *testing.T) {
+	a := Hash64(1, 2, 3)
+	if a != Hash64(1, 2, 3) {
+		t.Error("Hash64 not deterministic")
+	}
+	if a == Hash64(1, 2, 4) || a == Hash64(3, 2, 1) || a == Hash64(1, 2) {
+		t.Error("Hash64 collides on trivially different inputs")
+	}
+}

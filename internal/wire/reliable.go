@@ -12,8 +12,35 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
 	"time"
 )
+
+// Buffer caps. Both halves of a reliable link hold memory proportional to
+// how far the peer has fallen behind — the sender's unacked window, the
+// receiver's out-of-order buffer. Under a long partition that growth is
+// unbounded, so both are capped: hitting a cap is a hard, diagnosable
+// error (wrapping ErrSendBufferFull / ErrReorderBufferFull), never silent
+// growth. The receiver's buffer can in fact never legitimately outgrow the
+// sender's window — an overflow there is a protocol violation, not load.
+const (
+	// DefaultMaxUnacked is the sender-side cap on buffered unacked frames.
+	DefaultMaxUnacked = 4096
+	// DefaultMaxReorder is the receiver-side cap on buffered out-of-order
+	// frames.
+	DefaultMaxReorder = 4096
+)
+
+// ErrSendBufferFull is wrapped by Stamp when the unacked buffer is at its
+// cap: the receiver has not acked for so long (dead peer, never-healing
+// partition) that buffering more would grow without bound.
+var ErrSendBufferFull = errors.New("wire: send buffer full")
+
+// ErrReorderBufferFull is wrapped by Accept when the out-of-order buffer is
+// at its cap. A well-behaved sender's unacked window can never outrun it,
+// so this marks a protocol violation.
+var ErrReorderBufferFull = errors.New("wire: reorder buffer full")
 
 // SendLink is the sender half of one directed reliable link: it stamps
 // outgoing envelopes with consecutive sequence numbers and retains them
@@ -22,6 +49,7 @@ import (
 type SendLink struct {
 	nextSeq int64
 	unacked []Envelope // seq-ascending
+	limit   int
 
 	base, cap   time.Duration
 	backoff     time.Duration // current retransmission delay
@@ -31,15 +59,30 @@ type SendLink struct {
 
 // NewSendLink builds a sender link with the given backoff bounds. base and
 // cap must be positive; the first retransmission fires base after the
-// original send, doubling per round up to cap until acked.
+// original send, doubling per round up to cap until acked. The unacked
+// buffer is capped at DefaultMaxUnacked; SetLimit overrides.
 func NewSendLink(base, cap time.Duration) *SendLink {
-	return &SendLink{nextSeq: 1, base: base, cap: cap, backoff: base}
+	return &SendLink{nextSeq: 1, limit: DefaultMaxUnacked, base: base, cap: cap, backoff: base}
+}
+
+// SetLimit overrides the unacked-buffer cap; n <= 0 restores the default.
+func (l *SendLink) SetLimit(n int) {
+	if n <= 0 {
+		n = DefaultMaxUnacked
+	}
+	l.limit = n
 }
 
 // Stamp assigns the next sequence number to e, buffers the stamped frame
 // for retransmission, and returns it for transmission. now anchors the
-// retransmission deadline.
-func (l *SendLink) Stamp(e Envelope, now time.Time) Envelope {
+// retransmission deadline. It fails, without consuming a sequence number,
+// when the unacked buffer is at its cap (the error wraps
+// ErrSendBufferFull).
+func (l *SendLink) Stamp(e Envelope, now time.Time) (Envelope, error) {
+	if len(l.unacked) >= l.limit {
+		return Envelope{}, fmt.Errorf("%w: %d frames to node %d unacked (oldest seq %d): peer dead or partitioned beyond the buffer cap",
+			ErrSendBufferFull, len(l.unacked), e.To, l.unacked[0].Seq)
+	}
 	e.Seq = l.nextSeq
 	l.nextSeq++
 	if len(l.unacked) == 0 {
@@ -47,7 +90,7 @@ func (l *SendLink) Stamp(e Envelope, now time.Time) Envelope {
 		l.deadline = now.Add(l.backoff)
 	}
 	l.unacked = append(l.unacked, e)
-	return e
+	return e, nil
 }
 
 // Ack drops every buffered frame with seq ≤ cum and reports how many were
@@ -134,27 +177,39 @@ func RestoreSendLink(st SendLinkState, base, cap time.Duration, now time.Time) *
 // duplicates, buffers out-of-order arrivals, and releases frames in exact
 // sequence order, restoring the FIFO-per-link guarantee.
 type RecvLink struct {
-	next int64 // lowest seq not yet delivered
-	buf  map[int64]Envelope
-	dups int64
+	next  int64 // lowest seq not yet delivered
+	buf   map[int64]Envelope
+	limit int
+	dups  int64
 }
 
-// NewRecvLink builds a receiver link expecting seq 1 first.
+// NewRecvLink builds a receiver link expecting seq 1 first. The
+// out-of-order buffer is capped at DefaultMaxReorder; SetLimit overrides.
 func NewRecvLink() *RecvLink {
-	return &RecvLink{next: 1}
+	return &RecvLink{next: 1, limit: DefaultMaxReorder}
+}
+
+// SetLimit overrides the reorder-buffer cap; n <= 0 restores the default.
+func (l *RecvLink) SetLimit(n int) {
+	if n <= 0 {
+		n = DefaultMaxReorder
+	}
+	l.limit = n
 }
 
 // Accept feeds one arriving frame through the dedup/reorder buffer. It
 // returns the frames released for in-order processing (possibly none, when
 // e fills no gap) and whether e itself was a duplicate. Frames without a
-// sequence number are passed through untouched.
-func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool) {
+// sequence number are passed through untouched. Buffering a new
+// out-of-order frame past the cap fails (the error wraps
+// ErrReorderBufferFull); duplicates and in-order frames never fail.
+func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool, err error) {
 	if e.Seq == 0 {
-		return []Envelope{e}, false
+		return []Envelope{e}, false, nil
 	}
 	if e.Seq < l.next {
 		l.dups++
-		return nil, true
+		return nil, true, nil
 	}
 	if e.Seq > l.next {
 		if l.buf == nil {
@@ -162,10 +217,14 @@ func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool) {
 		}
 		if _, exists := l.buf[e.Seq]; exists {
 			l.dups++
-			return nil, true
+			return nil, true, nil
+		}
+		if len(l.buf) >= l.limit {
+			return nil, false, fmt.Errorf("%w: %d frames buffered from node %d waiting for seq %d (got seq %d)",
+				ErrReorderBufferFull, len(l.buf), e.From, l.next, e.Seq)
 		}
 		l.buf[e.Seq] = e
-		return nil, false
+		return nil, false, nil
 	}
 	deliver = append(deliver, e)
 	l.next++
@@ -178,7 +237,7 @@ func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool) {
 		deliver = append(deliver, nxt)
 		l.next++
 	}
-	return deliver, false
+	return deliver, false, nil
 }
 
 // CumAck returns the cumulative acknowledgement: every seq ≤ CumAck has

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -10,10 +11,30 @@ import (
 
 var t0 = time.Unix(1000, 0)
 
+// mustStamp / mustAccept keep the happy-path tests readable; cap behavior
+// has its own tests below.
+func mustStamp(t *testing.T, l *SendLink, e Envelope, now time.Time) Envelope {
+	t.Helper()
+	out, err := l.Stamp(e, now)
+	if err != nil {
+		t.Fatalf("Stamp(%+v): %v", e, err)
+	}
+	return out
+}
+
+func mustAccept(t *testing.T, l *RecvLink, e Envelope) ([]Envelope, bool) {
+	t.Helper()
+	got, dup, err := l.Accept(e)
+	if err != nil {
+		t.Fatalf("Accept(%+v): %v", e, err)
+	}
+	return got, dup
+}
+
 func TestSendLinkStampAndAck(t *testing.T) {
 	l := NewSendLink(2*time.Millisecond, 64*time.Millisecond)
 	for i := 1; i <= 3; i++ {
-		e := l.Stamp(Envelope{Type: TypeCoreOk, From: 0, To: 1, Value: i}, t0)
+		e := mustStamp(t, l, Envelope{Type: TypeCoreOk, From: 0, To: 1, Value: i}, t0)
 		if e.Seq != int64(i) {
 			t.Fatalf("stamp %d: seq %d", i, e.Seq)
 		}
@@ -35,8 +56,8 @@ func TestSendLinkStampAndAck(t *testing.T) {
 func TestSendLinkRetransmitBackoff(t *testing.T) {
 	base, cap := 2*time.Millisecond, 8*time.Millisecond
 	l := NewSendLink(base, cap)
-	l.Stamp(Envelope{Type: TypeCoreOk}, t0)
-	l.Stamp(Envelope{Type: TypeCoreOk}, t0)
+	mustStamp(t, l, Envelope{Type: TypeCoreOk}, t0)
+	mustStamp(t, l, Envelope{Type: TypeCoreOk}, t0)
 
 	if got := l.Due(t0.Add(base - time.Microsecond)); got != nil {
 		t.Fatalf("retransmitted before deadline: %v", got)
@@ -63,7 +84,7 @@ func TestSendLinkRetransmitBackoff(t *testing.T) {
 	}
 	// Ack resets the backoff for the next frame.
 	l.Ack(2, now)
-	l.Stamp(Envelope{Type: TypeCoreOk}, now)
+	mustStamp(t, l, Envelope{Type: TypeCoreOk}, now)
 	if got := l.Due(now.Add(base)); len(got) != 1 {
 		t.Fatal("backoff not reset after ack")
 	}
@@ -72,7 +93,7 @@ func TestSendLinkRetransmitBackoff(t *testing.T) {
 func TestRecvLinkInOrder(t *testing.T) {
 	l := NewRecvLink()
 	for seq := int64(1); seq <= 5; seq++ {
-		got, dup := l.Accept(Envelope{Seq: seq, Value: int(seq)})
+		got, dup := mustAccept(t, l, Envelope{Seq: seq, Value: int(seq)})
 		if dup || len(got) != 1 || got[0].Seq != seq {
 			t.Fatalf("seq %d: got %v dup %v", seq, got, dup)
 		}
@@ -86,16 +107,16 @@ func TestRecvLinkReorderAndDedup(t *testing.T) {
 	l := NewRecvLink()
 	// 3 and 2 arrive before 1; duplicates of delivered and buffered frames
 	// are suppressed.
-	if got, dup := l.Accept(Envelope{Seq: 3}); got != nil || dup {
+	if got, dup := mustAccept(t, l, Envelope{Seq: 3}); got != nil || dup {
 		t.Fatalf("seq 3 first: %v %v", got, dup)
 	}
-	if got, dup := l.Accept(Envelope{Seq: 2}); got != nil || dup {
+	if got, dup := mustAccept(t, l, Envelope{Seq: 2}); got != nil || dup {
 		t.Fatalf("seq 2: %v %v", got, dup)
 	}
-	if _, dup := l.Accept(Envelope{Seq: 3}); !dup {
+	if _, dup := mustAccept(t, l, Envelope{Seq: 3}); !dup {
 		t.Fatal("buffered duplicate not suppressed")
 	}
-	got, dup := l.Accept(Envelope{Seq: 1})
+	got, dup := mustAccept(t, l, Envelope{Seq: 1})
 	if dup || len(got) != 3 {
 		t.Fatalf("gap fill released %d frames", len(got))
 	}
@@ -104,28 +125,28 @@ func TestRecvLinkReorderAndDedup(t *testing.T) {
 			t.Fatalf("release out of order: %v", got)
 		}
 	}
-	if _, dup := l.Accept(Envelope{Seq: 2}); !dup {
+	if _, dup := mustAccept(t, l, Envelope{Seq: 2}); !dup {
 		t.Fatal("delivered duplicate not suppressed")
 	}
 	if l.CumAck() != 3 || l.Dups() != 2 {
 		t.Fatalf("ack=%d dups=%d", l.CumAck(), l.Dups())
 	}
 	// Control frames (no seq) pass through.
-	if got, _ := l.Accept(Envelope{Type: TypeAck}); len(got) != 1 {
+	if got, _ := mustAccept(t, l, Envelope{Type: TypeAck}); len(got) != 1 {
 		t.Fatal("seqless frame not passed through")
 	}
 }
 
 func TestLinkStateRoundTrip(t *testing.T) {
 	s := NewSendLink(2*time.Millisecond, 8*time.Millisecond)
-	s.Stamp(Envelope{Type: TypeCoreOk, Value: 1}, t0)
-	s.Stamp(Envelope{Type: TypeCoreOk, Value: 2}, t0)
+	mustStamp(t, s, Envelope{Type: TypeCoreOk, Value: 1}, t0)
+	mustStamp(t, s, Envelope{Type: TypeCoreOk, Value: 2}, t0)
 	s.Ack(1, t0)
 	st := s.SnapshotState()
 	if st.NextSeq != 3 || len(st.Unacked) != 1 || st.Unacked[0].Seq != 2 {
 		t.Fatalf("send state %+v", st)
 	}
-	s.Stamp(Envelope{Type: TypeCoreOk, Value: 3}, t0)
+	mustStamp(t, s, Envelope{Type: TypeCoreOk, Value: 3}, t0)
 	if len(st.Unacked) != 1 {
 		t.Fatal("snapshot aliased live link")
 	}
@@ -138,14 +159,14 @@ func TestLinkStateRoundTrip(t *testing.T) {
 	if got := r.Due(t0); len(got) != 1 || got[0].Seq != 2 {
 		t.Fatalf("restored link not due: %v", got)
 	}
-	if e := r.Stamp(Envelope{Type: TypeCoreOk}, t0); e.Seq != 3 {
+	if e := mustStamp(t, r, Envelope{Type: TypeCoreOk}, t0); e.Seq != 3 {
 		t.Fatalf("restored link stamped seq %d, want 3", e.Seq)
 	}
 
 	rl := NewRecvLink()
-	rl.Accept(Envelope{Seq: 1})
-	rl.Accept(Envelope{Seq: 2})
-	rl.Accept(Envelope{Seq: 4}) // buffered, not durable
+	mustAccept(t, rl, Envelope{Seq: 1})
+	mustAccept(t, rl, Envelope{Seq: 2})
+	mustAccept(t, rl, Envelope{Seq: 4}) // buffered, not durable
 	rst := rl.SnapshotState()
 	if rst.Next != 3 {
 		t.Fatalf("recv state %+v", rst)
@@ -156,10 +177,10 @@ func TestLinkStateRoundTrip(t *testing.T) {
 	}
 	// The buffered frame was lost with the crash; its retransmission must
 	// be accepted as new, then the gap fill works as usual.
-	if got, dup := rr.Accept(Envelope{Seq: 4}); dup || got != nil {
+	if got, dup := mustAccept(t, rr, Envelope{Seq: 4}); dup || got != nil {
 		t.Fatalf("retransmitted 4 after restore: %v %v", got, dup)
 	}
-	if got, _ := rr.Accept(Envelope{Seq: 3}); len(got) != 2 {
+	if got, _ := mustAccept(t, rr, Envelope{Seq: 3}); len(got) != 2 {
 		t.Fatalf("gap fill after restore released %d", len(got))
 	}
 }
@@ -193,7 +214,7 @@ func TestReliableLinkUnderFaultSchedule(t *testing.T) {
 	var delivered []Envelope
 	attempts := make(map[int64]int)
 	for i := 0; i < total; i++ {
-		send(s.Stamp(Envelope{Type: TypeCoreOk, Value: i}, now), 0)
+		send(mustStamp(t, s, Envelope{Type: TypeCoreOk, Value: i}, now), 0)
 	}
 	for tick := 0; tick < 10000 && (len(delivered) < total || s.Pending() > 0); tick++ {
 		now = now.Add(time.Millisecond)
@@ -204,7 +225,7 @@ func TestReliableLinkUnderFaultSchedule(t *testing.T) {
 				rest = append(rest, f)
 				continue
 			}
-			got, _ := r.Accept(f.e)
+			got, _ := mustAccept(t, r, f.e)
 			delivered = append(delivered, got...)
 		}
 		wireQueue = rest
@@ -227,6 +248,70 @@ func TestReliableLinkUnderFaultSchedule(t *testing.T) {
 	}
 	if s.Pending() != 0 {
 		t.Fatalf("sender still holds %d frames", s.Pending())
+	}
+}
+
+// TestSendLinkCap pins the unacked-buffer cap: stamping past the limit is a
+// hard error wrapping ErrSendBufferFull, consumes no sequence number, and
+// acking frees capacity again.
+func TestSendLinkCap(t *testing.T) {
+	l := NewSendLink(2*time.Millisecond, 8*time.Millisecond)
+	l.SetLimit(3)
+	for i := 0; i < 3; i++ {
+		mustStamp(t, l, Envelope{Type: TypeCoreOk, To: 1, Value: i}, t0)
+	}
+	if _, err := l.Stamp(Envelope{Type: TypeCoreOk, To: 1, Value: 3}, t0); !errors.Is(err, ErrSendBufferFull) {
+		t.Fatalf("stamp over cap: err = %v, want ErrSendBufferFull", err)
+	}
+	if l.Pending() != 3 {
+		t.Fatalf("failed stamp changed pending: %d", l.Pending())
+	}
+	// Ack one frame; the next stamp must succeed and continue the seq stream
+	// (the failed attempt consumed nothing).
+	l.Ack(1, t0)
+	e := mustStamp(t, l, Envelope{Type: TypeCoreOk, To: 1, Value: 3}, t0)
+	if e.Seq != 4 {
+		t.Fatalf("seq after failed stamp = %d, want 4", e.Seq)
+	}
+	// SetLimit(0) restores the default.
+	l.SetLimit(0)
+	if l.limit != DefaultMaxUnacked {
+		t.Fatalf("SetLimit(0) left limit %d", l.limit)
+	}
+}
+
+// TestRecvLinkCap pins the reorder-buffer cap: buffering a new out-of-order
+// frame past the limit is a hard error wrapping ErrReorderBufferFull, while
+// duplicates and the gap-filling in-order frame still succeed.
+func TestRecvLinkCap(t *testing.T) {
+	l := NewRecvLink()
+	l.SetLimit(2)
+	mustAccept(t, l, Envelope{Seq: 3})
+	mustAccept(t, l, Envelope{Seq: 4})
+	if _, _, err := l.Accept(Envelope{From: 7, Seq: 5}); !errors.Is(err, ErrReorderBufferFull) {
+		t.Fatalf("accept over cap: err = %v, want ErrReorderBufferFull", err)
+	}
+	if l.Buffered() != 2 {
+		t.Fatalf("failed accept changed buffer: %d", l.Buffered())
+	}
+	// Duplicates of buffered frames are still suppressed, not errors.
+	if _, dup := mustAccept(t, l, Envelope{Seq: 3}); !dup {
+		t.Fatal("duplicate at cap not suppressed")
+	}
+	// Seqless control frames pass through regardless.
+	if got, _ := mustAccept(t, l, Envelope{Type: TypeAck}); len(got) != 1 {
+		t.Fatal("seqless frame blocked at cap")
+	}
+	// The gap fill drains the buffer; afterwards there is room again.
+	if got, _ := mustAccept(t, l, Envelope{Seq: 1}); len(got) != 1 {
+		t.Fatalf("gap fill at cap released %d", len(got))
+	}
+	if got, _ := mustAccept(t, l, Envelope{Seq: 2}); len(got) != 3 {
+		t.Fatalf("drain released %d frames, want 3", len(got))
+	}
+	mustAccept(t, l, Envelope{Seq: 6})
+	if l.Buffered() != 1 {
+		t.Fatalf("buffer after drain = %d", l.Buffered())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/discsp/discsp/internal/breakout"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/netrun"
 	"github.com/discsp/discsp/internal/sim"
@@ -78,6 +79,16 @@ type Options struct {
 	// MaxJitter, when positive, randomizes SolveAsync's message delivery
 	// delay in [0, MaxJitter).
 	MaxJitter time.Duration
+	// FaultProfile, when non-empty, injects a deterministic fault schedule
+	// into SolveAsync and SolveTCP (Solve has no network). The syntax is
+	// faults.ProfileSyntax: comma-separated drop=P, dup=P, delay=DUR,
+	// crash=AGENT@STEPS[rDUR], partition=AT+DUR (or AT+never), or the
+	// "chaos" preset. The algorithms ride out every profile the transport
+	// can survive; the Result transport counters report what it cost.
+	FaultProfile string
+	// FaultSeed seeds the fault schedule's hash-keyed decisions; 0 means 1.
+	// Same profile + same seed = same faults, independent of scheduling.
+	FaultSeed int64
 	// Trace, when non-nil, receives one event per synchronous cycle
 	// (Solve only).
 	Trace func(CycleEvent)
@@ -109,6 +120,19 @@ type Result struct {
 	MessagesByType map[string]int
 	// Duration is the wall-clock time (SolveAsync only).
 	Duration time.Duration
+
+	// Transport counters (SolveAsync and SolveTCP). Nonzero counts mean the
+	// reliability layer did work: frames resent past a drop or partition,
+	// duplicate deliveries suppressed, crashed agents restarted from their
+	// checkpoints. A clean TCP run may still retransmit under congestion.
+	Retransmits          int64
+	DuplicatesSuppressed int64
+	Restarts             int64
+	// Partitioned counts deliveries cut (and, for healing windows,
+	// deferred) by a partition; PartitionHeals counts windows that healed
+	// within the run.
+	Partitioned    int64
+	PartitionHeals int64
 }
 
 func (o Options) learning() core.Learning {
@@ -137,6 +161,21 @@ func (o Options) initial(p *Problem) (SliceAssignment, error) {
 		init[v] = p.Domain(Var(v))[0]
 	}
 	return init, nil
+}
+
+func (o Options) faults() (*faults.Config, error) {
+	if o.FaultProfile == "" {
+		return nil, nil
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg, err := faults.ParseProfile(o.FaultProfile, seed)
+	if err != nil {
+		return nil, fmt.Errorf("discsp: fault profile: %w", err)
+	}
+	return cfg, nil
 }
 
 func (o Options) makeAgent(p *Problem, init SliceAssignment) func(v csp.Var) sim.Agent {
@@ -183,18 +222,28 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	fcfg, err := opts.faults()
+	if err != nil {
+		return Result{}, err
+	}
 	res, err := async.Run(p, opts.makeAgent(p, init), async.Options{
 		Timeout:   opts.Timeout,
 		MaxJitter: opts.MaxJitter,
 		Seed:      opts.InitialSeed,
+		Faults:    fcfg,
 	})
 	out := Result{
-		Solved:      res.Solved,
-		Insoluble:   res.Insoluble,
-		Assignment:  res.Assignment,
-		TotalChecks: res.TotalChecks,
-		Messages:    res.Messages,
-		Duration:    res.Duration,
+		Solved:               res.Solved,
+		Insoluble:            res.Insoluble,
+		Assignment:           res.Assignment,
+		TotalChecks:          res.TotalChecks,
+		Messages:             res.Messages,
+		Duration:             res.Duration,
+		Retransmits:          res.Retransmits,
+		DuplicatesSuppressed: res.DuplicatesSuppressed,
+		Restarts:             res.Restarts,
+		Partitioned:          res.Partitioned,
+		PartitionHeals:       res.PartitionHeals,
 	}
 	if err != nil {
 		return out, err
@@ -212,13 +261,22 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{Timeout: opts.Timeout})
+	fcfg, err := opts.faults()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{Timeout: opts.Timeout, Faults: fcfg})
 	out := Result{
-		Solved:     res.Solved,
-		Insoluble:  res.Insoluble,
-		Assignment: res.Assignment,
-		Messages:   res.Messages,
-		Duration:   res.Duration,
+		Solved:               res.Solved,
+		Insoluble:            res.Insoluble,
+		Assignment:           res.Assignment,
+		Messages:             res.Messages,
+		Duration:             res.Duration,
+		Retransmits:          res.Retransmits,
+		DuplicatesSuppressed: res.DuplicatesSuppressed,
+		Restarts:             res.Restarts,
+		Partitioned:          res.Partitioned,
+		PartitionHeals:       res.PartitionHeals,
 	}
 	return out, err
 }
