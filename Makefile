@@ -7,7 +7,7 @@ GO ?= go
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
             ./internal/sim/... ./internal/experiments/...
 
-.PHONY: all build test vet fmt-check race chaos bench-smoke bench-json ci
+.PHONY: all build test vet fmt-check race chaos telemetry bench-smoke bench-json ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
 BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
@@ -42,6 +42,15 @@ race:
 chaos:
 	CHAOS_LONG=$(CHAOS_LONG) $(GO) test -race -timeout 40m ./internal/faults/... ./internal/async/... ./internal/netrun/...
 
+# The telemetry job's gating half: the on/off bit-identical inertness
+# tests (results, trace bytes, cell aggregates across all three runtimes)
+# and the store-hook accounting tests, under the race detector. The CI job
+# additionally smoke-tests the live /metrics endpoint and captures a
+# Table-1 telemetry stream.
+telemetry:
+	$(GO) test -race -timeout 10m -run 'TestTelemetryInert|TestServeMetrics' .
+	$(GO) test -race -timeout 5m -run 'TestStore.*Instrument|TestStoreRestore' ./internal/nogood/
+
 bench-smoke:
 	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .
 
@@ -53,4 +62,4 @@ bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_PAIRED)' -benchmem -timeout 20m . \
 		| $(GO) run ./cmd/benchjson -o BENCH_2.json
 
-ci: build vet fmt-check test race chaos bench-smoke
+ci: build vet fmt-check test race chaos telemetry bench-smoke

@@ -22,6 +22,7 @@ import (
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // benchScale trades the paper's 100 trials per cell for 4, and evaluates
@@ -320,6 +321,34 @@ func BenchmarkProbeViewCheckLoop(b *testing.B) {
 			for _, d := range domain {
 				dv.Assign(own, d)
 				for _, ng := range store.All() {
+					nogood.CheckDense(ng, dv, &c)
+				}
+			}
+		}
+	})
+	// dense+telemetry runs the identical loop on a store carrying live
+	// telemetry hooks (the -telemetry configuration): the checking path never
+	// touches them, so allocs/op must stay at the dense variant's zero. This
+	// is the tentpole's inertness claim at the machine level — metrics hang
+	// off mutation edges (Add/Restore), never the per-check hot loop.
+	b.Run("dense+telemetry", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		instrumented := nogood.NewFromSlice(p.NogoodsOf(own))
+		instrumented.Instrument(
+			reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", "0")),
+			reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", "0"), telemetry.NogoodLenBuckets),
+		)
+		dv := csp.NewDenseView(p.NumVars())
+		for _, nb := range neighbors {
+			dv.Assign(nb, 1)
+		}
+		var c nogood.Counter
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range domain {
+				dv.Assign(own, d)
+				for _, ng := range instrumented.All() {
 					nogood.CheckDense(ng, dv, &c)
 				}
 			}

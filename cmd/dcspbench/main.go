@@ -31,7 +31,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +42,7 @@ import (
 	"github.com/discsp/discsp/internal/experiments"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 func main() {
@@ -72,8 +76,32 @@ func run() error {
 		resume    = flag.Bool("resume", false, "resume from an existing -journal, skipping already-recorded trials (aggregates stay bit-identical)")
 		faultsArg = flag.String("faults", "", "fault profile for -runtimes (async/tcp legs): "+faults.ProfileSyntax)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule in -faults")
+
+		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream (per-trial events + metrics snapshots) to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address while the run is live")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspbench: heap profile:", err)
+			}
+		}()
+	}
 
 	scale := experiments.PaperScale()
 	if *quick {
@@ -111,6 +139,38 @@ func run() error {
 	fcfg, err := faults.ParseProfile(*faultsArg, *faultSeed)
 	if err != nil {
 		return err
+	}
+
+	// Telemetry: the grids emit one trial event per completed trial (in
+	// deterministic aggregation order) plus a metrics snapshot per grid;
+	// attaching it never changes trial results or table aggregates.
+	if *telemetryOut != "" || *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		var stream io.Writer
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			stream = f
+		}
+		tel := telemetry.NewRun(reg, stream)
+		tel.Emit(telemetry.Event{Kind: telemetry.KindMeta, Runtime: "bench"})
+		if *metricsAddr != "" {
+			srv, err := telemetry.Serve(*metricsAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "dcspbench: serving metrics at http://%s/metrics\n", srv.Addr)
+		}
+		defer func() {
+			if err := tel.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspbench: telemetry stream:", err)
+			}
+		}()
+		scale.Telemetry = tel
 	}
 
 	if *resume && *journal == "" {
@@ -233,6 +293,18 @@ func printBlockSweep(kindName string, n int, scale experiments.Scale) error {
 		return err
 	}
 	return sweep.Fprint(os.Stdout)
+}
+
+// writeMemProfile snapshots the heap (after a GC, so the profile reflects
+// live objects) into path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func parseKind(s string) (experiments.ProblemKind, error) {

@@ -28,8 +28,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -42,6 +45,7 @@ import (
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/stats"
+	"github.com/discsp/discsp/internal/telemetry"
 	"github.com/discsp/discsp/internal/trace"
 )
 
@@ -72,10 +76,36 @@ func run() error {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		journal   = flag.String("journal", "", "append each completed trial of a -trials run to this JSONL journal")
 		resume    = flag.Bool("resume", false, "replay trials already in -journal instead of recomputing them")
+
+		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address (e.g. :9090, or :0 for an ephemeral port)")
+		metricsHold  = flag.Duration("metrics-hold", 0, "keep the -metrics-addr endpoint up this long after the run finishes (for scrapers)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		watchdog     = flag.Duration("watchdog-cadence", 0, "stall-watchdog sampling period for -async/-tcp; 0 = 25ms")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("expected exactly one input file, got %d", flag.NArg())
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspsolve: heap profile:", err)
+			}
+		}()
 	}
 
 	problem, err := load(flag.Arg(0), *colors)
@@ -141,6 +171,41 @@ func run() error {
 	if *resume && *journal == "" {
 		return fmt.Errorf("-resume needs -journal")
 	}
+	opts.WatchdogCadence = *watchdog
+
+	// Telemetry: one registry backs both the optional JSONL stream and the
+	// optional live metrics endpoint; attaching either never changes run
+	// results (the layer is observationally inert).
+	var tel *discsp.Telemetry
+	if *telemetryOut != "" || *metricsAddr != "" {
+		reg := discsp.NewMetricsRegistry()
+		var stream io.Writer
+		if *telemetryOut != "" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			stream = f
+		}
+		tel = discsp.NewTelemetry(reg, stream)
+		if *metricsAddr != "" {
+			srv, err := discsp.ServeMetrics(*metricsAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "dcspsolve: serving metrics at http://%s/metrics\n", srv.Addr)
+			if *metricsHold > 0 {
+				defer time.Sleep(*metricsHold)
+			}
+		}
+		defer func() {
+			if err := tel.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspsolve: telemetry stream:", err)
+			}
+		}()
+	}
 
 	if *trials > 1 {
 		if *useAsync || *useTCP || *traceOut != "" || *block > 1 {
@@ -159,11 +224,12 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "dcspsolve: resuming from %s (%d trials journaled)\n", *journal, j.Recovered())
 			}
 		}
-		return runTrials(problem, opts, *trials, *workers, *verbose, j, *learn)
+		return runTrials(problem, opts, *trials, *workers, *verbose, j, *learn, tel)
 	}
 	if *journal != "" {
 		return fmt.Errorf("-journal needs -trials > 1 (a single run has nothing to resume)")
 	}
+	opts.Telemetry = tel
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -192,14 +258,14 @@ func run() error {
 			return err
 		}
 		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d duration=%v%s\n",
-			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration, transportCounters(res))
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration, res.Transport().Suffix())
 	case *useAsync:
 		res, err = discsp.SolveAsync(problem, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%s (async): solved=%v insoluble=%v messages=%d checks=%d duration=%v%s\n",
-			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks, res.Duration, transportCounters(res))
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks, res.Duration, res.Transport().Suffix())
 	case *block > 1:
 		res, err = discsp.SolvePartitioned(problem, discsp.UniformPartition(problem.NumVars(), *block), discsp.PartitionedOptions{
 			LearningSizeBound: *k,
@@ -248,15 +314,16 @@ func run() error {
 	return nil
 }
 
-// transportCounters renders the reliability-layer counters for a network
-// run: empty when nothing happened, a compact suffix otherwise.
-func transportCounters(res discsp.Result) string {
-	if res.Retransmits == 0 && res.DuplicatesSuppressed == 0 && res.Restarts == 0 &&
-		res.Partitioned == 0 && res.PartitionHeals == 0 {
-		return ""
+// writeMemProfile snapshots the heap (after a GC, so the profile reflects
+// live objects) into path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	return fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
-		res.Retransmits, res.DuplicatesSuppressed, res.Restarts, res.Partitioned, res.PartitionHeals)
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // runTrials solves the instance from `trials` different random initial
@@ -269,7 +336,21 @@ func transportCounters(res discsp.Result) string {
 // binding the algorithm configuration and seed; on -resume, journaled
 // trials are replayed into the same slots, so the aggregate line cannot
 // depend on where the previous run died.
-func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int, verbose bool, j *experiments.Journal, learn string) error {
+func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int, verbose bool, j *experiments.Journal, learn string, tel *discsp.Telemetry) error {
+	// Trials run concurrently, so the workers share only the (atomic)
+	// metrics registry; the JSONL stream is written here, one trial event
+	// per slot in index order, so it is identical for every worker count.
+	var regOnly *discsp.Telemetry
+	if tel != nil {
+		regOnly = discsp.NewTelemetry(tel.Registry(), nil)
+		tel.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "sync",
+			Algorithm: opts.AlgorithmName(),
+			Vars:      problem.NumVars(),
+			Nogoods:   problem.NumNogoods(),
+		})
+	}
 	results := make([]discsp.Result, trials)
 	progress := experiments.ProgressPrinter(os.Stderr, 2*time.Second)
 	trialKey := func(i int) string {
@@ -292,6 +373,7 @@ func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int
 		}
 		o := opts
 		o.InitialSeed = opts.InitialSeed + int64(i)
+		o.Telemetry = regOnly
 		res, err := discsp.Solve(problem, o)
 		if err != nil {
 			return fmt.Errorf("trial %d (seed %d): %w", i, o.InitialSeed, err)
@@ -312,15 +394,26 @@ func runTrials(problem *discsp.Problem, opts discsp.Options, trials, workers int
 		cycle, maxcck stats.Sample
 		solved        stats.Counter
 	)
+	cell := fmt.Sprintf("%s/%s/k%d", opts.Algorithm, learn, opts.LearningSizeBound)
 	for i, res := range results {
 		if verbose {
 			fmt.Printf("  trial %-3d seed=%-6d solved=%-5v cycle=%-6d maxcck=%d\n",
 				i, opts.InitialSeed+int64(i), res.Solved, res.Cycles, res.MaxCCK)
 		}
+		tel.Emit(telemetry.Event{
+			Kind:   telemetry.KindTrial,
+			Cell:   cell,
+			Trial:  i,
+			Seed:   opts.InitialSeed + int64(i),
+			Solved: res.Solved,
+			Cycles: res.Cycles,
+			MaxCCK: res.MaxCCK,
+		})
 		cycle.Add(float64(res.Cycles))
 		maxcck.Add(float64(res.MaxCCK))
 		solved.Observe(res.Solved)
 	}
+	tel.EmitSnapshot()
 	fmt.Printf("%s: trials=%d cycle=%.1f maxcck=%.1f %%=%.0f\n",
 		opts.Algorithm, trials, cycle.Mean(), maxcck.Mean(), solved.Percent())
 	return nil

@@ -1,19 +1,27 @@
-// Command dcsptrace summarizes a JSONL cycle trace produced by
-// dcspsolve -trace: run outcome, busiest cycle, message peaks, and an
-// optional per-cycle table.
+// Command dcsptrace summarizes the JSONL streams the solvers write: the
+// legacy v1 cycle trace (dcspsolve -trace) and the schema-2 telemetry
+// stream (dcspsolve/dcspbench -telemetry). The format is detected from the
+// stream's first event; feeding the wrong reader yields a versioned error
+// naming the producing flag instead of a raw JSON field error.
 //
 // Usage:
 //
 //	dcspsolve -algo awc -trace run.jsonl problem.cnf
 //	dcsptrace run.jsonl
 //	dcsptrace -cycles run.jsonl      # include the per-cycle table
+//
+//	dcspsolve -async -telemetry t.jsonl problem.cnf
+//	dcsptrace t.jsonl                # verdict, store growth, agent table
+//	dcsptrace -agents t.jsonl        # per-agent progress timelines
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"github.com/discsp/discsp/internal/telemetry"
 	"github.com/discsp/discsp/internal/trace"
 )
 
@@ -26,6 +34,7 @@ func main() {
 
 func run() error {
 	cycles := flag.Bool("cycles", false, "print the per-cycle table")
+	agents := flag.Bool("agents", false, "print per-agent progress timelines (telemetry streams)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("expected exactly one trace file, got %d", flag.NArg())
@@ -36,6 +45,22 @@ func run() error {
 	}
 	defer f.Close()
 
+	events, err := telemetry.Read(f)
+	switch {
+	case err == nil:
+		return printTelemetry(events, *cycles, *agents)
+	case errors.Is(err, telemetry.ErrLegacyTrace):
+		if _, err := f.Seek(0, 0); err != nil {
+			return err
+		}
+		return printTrace(f, *cycles)
+	default:
+		return err
+	}
+}
+
+// printTrace summarizes a v1 cycle trace.
+func printTrace(f *os.File, cycles bool) error {
 	events, err := trace.Read(f)
 	if err != nil {
 		return err
@@ -47,7 +72,7 @@ func run() error {
 	fmt.Printf("messages:       %d total, peak %d at cycle %d\n", s.TotalMessages, s.PeakMessages, s.PeakMessagesCycle)
 	fmt.Printf("busiest cycle:  %d (%d checks)\n", s.BusiestCycle, s.BusiestCycleChecks)
 
-	if !*cycles {
+	if !cycles {
 		return nil
 	}
 	fmt.Printf("\n%6s  %8s  %8s  %10s\n", "cycle", "msgsIn", "msgsOut", "maxChecks")
@@ -58,4 +83,60 @@ func run() error {
 		fmt.Printf("%6d  %8d  %8d  %10d\n", ev.Cycle, ev.MessagesIn, ev.MessagesOut, ev.MaxChecks)
 	}
 	return nil
+}
+
+// printTelemetry summarizes a schema-2 telemetry stream.
+func printTelemetry(events []telemetry.Event, cycles, agents bool) error {
+	s := telemetry.Summarize(events)
+	if err := s.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if cycles {
+		fmt.Printf("\n%6s  %8s  %8s  %10s  %10s\n", "cycle", "msgsIn", "msgsOut", "maxChecks", "storeTotal")
+		for _, ev := range events {
+			if ev.Kind != telemetry.KindCycle {
+				continue
+			}
+			fmt.Printf("%6d  %8d  %8d  %10d  %10d\n", ev.Cycle, ev.MessagesIn, ev.MessagesOut, ev.MaxChecks, ev.StoreTotal)
+		}
+	}
+	if agents {
+		printAgentTimelines(events)
+	}
+	return nil
+}
+
+// printAgentTimelines renders each agent's processed-message count across
+// the stream's watchdog samples: one row per sample, one column per agent —
+// the async/tcp analogue of the per-cycle table.
+func printAgentTimelines(events []telemetry.Event) {
+	agents := 0
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindSample && len(ev.Processed) > agents {
+			agents = len(ev.Processed)
+		}
+	}
+	if agents == 0 {
+		fmt.Println("\nno progress samples in stream (run too short for the watchdog cadence, or a sync run)")
+		return
+	}
+	fmt.Printf("\n%10s  %9s  %8s", "elapsed", "delivered", "inFlight")
+	for a := 0; a < agents; a++ {
+		fmt.Printf("  a%-5d", a)
+	}
+	fmt.Println()
+	for _, ev := range events {
+		if ev.Kind != telemetry.KindSample {
+			continue
+		}
+		fmt.Printf("%8dus  %9d  %8d", ev.ElapsedUS, ev.Delivered, ev.InFlight)
+		for a := 0; a < agents; a++ {
+			var p int64
+			if a < len(ev.Processed) {
+				p = ev.Processed[a]
+			}
+			fmt.Printf("  %-6d", p)
+		}
+		fmt.Println()
+	}
 }

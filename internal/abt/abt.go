@@ -17,6 +17,7 @@ import (
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // Ok carries the sender's current value to a lower-priority agent.
@@ -127,6 +128,18 @@ func (a *Agent) Checks() int64 { return a.counter.Total() }
 
 // Insoluble implements sim.InsolubleReporter.
 func (a *Agent) Insoluble() bool { return a.insoluble }
+
+// StoreSize returns the number of nogoods currently recorded (the agent's
+// own constraints plus learned backtrack nogoods).
+func (a *Agent) StoreSize() int { return a.store.Len() }
+
+// Instrument attaches telemetry to the agent's nogood store: size tracks
+// the live store size, lengths the literal counts of learned nogoods.
+// Called after construction so the seeded constraints stay out of the
+// length histogram.
+func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
+	a.store.Instrument(size, lengths)
+}
 
 // Stats returns the agent's bookkeeping counters.
 func (a *Agent) Stats() Stats { return a.stats }

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/progress"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // ErrTimeout is returned when the run's deadline expires before a solution,
@@ -104,6 +106,17 @@ type Options struct {
 	// agents that implement sim.Checkpointer resume mid-search, others
 	// restart from scratch.
 	Faults *faults.Config
+	// WatchdogCadence is the stall watchdog's sampling period; 0 means
+	// progress.DefaultCadence. Each sample also lands in the telemetry
+	// stream when one is attached, so healthy runs record frontier-hash
+	// progress, not only timed-out ones.
+	WatchdogCadence time.Duration
+	// Telemetry, when non-nil, receives the run's event stream (watchdog
+	// samples, per-agent totals at the end-of-run quiescence point) and
+	// metrics (deliveries, queue depths, transport counters, per-agent
+	// nogood-store sizes). Nil disables all instrumentation; the runtime
+	// behaves identically either way apart from the observation itself.
+	Telemetry *telemetry.Run
 }
 
 // Result reports a completed asynchronous run.
@@ -160,6 +173,10 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	if poll <= 0 {
 		poll = 100 * time.Microsecond
 	}
+	cadence := opts.WatchdogCadence
+	if cadence <= 0 {
+		cadence = progress.DefaultCadence
+	}
 
 	rt := &runtime{
 		problem:   problem,
@@ -169,6 +186,29 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		published: make([]atomic.Int64, n),
 		processed: make([]atomic.Int64, n),
 		stop:      make(chan struct{}),
+		tel:       opts.Telemetry,
+	}
+	if reg := opts.Telemetry.Registry(); reg != nil {
+		// Resolve per-agent metrics up front (lookups mutate the registry
+		// and must not race the monitor), then wrap makeAgent so restarted
+		// agents re-attach to the same gauges. The gauges are atomics: the
+		// monitor samples live store sizes without touching agent state.
+		rt.storeGauges = make([]*telemetry.Gauge, n)
+		hists := make([]*telemetry.Histogram, n)
+		for v := 0; v < n; v++ {
+			label := strconv.Itoa(v)
+			rt.storeGauges[v] = reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", label))
+			hists[v] = reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets)
+		}
+		rt.queueHist = reg.Histogram("discsp_queue_depth", telemetry.QueueDepthBuckets)
+		orig := makeAgent
+		rt.makeAgent = func(v csp.Var) sim.Agent {
+			a := orig(v)
+			if ia, ok := a.(instrumented); ok {
+				ia.Instrument(rt.storeGauges[v], hists[v])
+			}
+			return a
+		}
 	}
 	if opts.Faults != nil {
 		rt.inj = faults.New(*opts.Faults)
@@ -192,7 +232,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		go rt.dispatcher()
 	}
 	for v := 0; v < n; v++ {
-		rt.agents[v] = makeAgent(csp.Var(v))
+		rt.agents[v] = rt.makeAgent(csp.Var(v))
 		if int(rt.agents[v].ID()) != v {
 			return Result{}, fmt.Errorf("async: agent for variable %d has id %d", v, rt.agents[v].ID())
 		}
@@ -220,7 +260,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		}(v)
 	}
 
-	res, terr := rt.monitor(timeout, poll)
+	res, terr := rt.monitor(timeout, poll, cadence)
 	close(rt.stop)
 	for _, mb := range rt.mailboxes {
 		mb.close()
@@ -248,6 +288,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	for _, a := range rt.agentsFinal() {
 		res.TotalChecks += a.Checks()
 	}
+	rt.emitFinal(res)
 	if !res.Solved && !res.Insoluble && !res.Quiescent {
 		if terr == nil {
 			terr = ErrTimeout
@@ -278,6 +319,10 @@ type runtime struct {
 	restarts       atomic.Int64
 	partitioned    atomic.Int64
 
+	tel         *telemetry.Run
+	storeGauges []*telemetry.Gauge
+	queueHist   *telemetry.Histogram
+
 	dispatch  bool
 	jitter    time.Duration
 	jitterMu  sync.Mutex
@@ -293,6 +338,48 @@ type runtime struct {
 // may have replaced crashed agents; wg.Wait in Run orders those writes
 // before this read.
 func (rt *runtime) agentsFinal() []sim.Agent { return rt.agents }
+
+// instrumented is implemented by agents whose nogood store accepts
+// telemetry hooks (core, abt, breakout).
+type instrumented interface {
+	Instrument(*telemetry.Gauge, *telemetry.Histogram)
+}
+
+// storeSizer is implemented by agents exposing their nogood-store size.
+type storeSizer interface{ StoreSize() int }
+
+// emitFinal records the run's totals: one agent event per variable at the
+// end-of-run quiescence point (every agent goroutine has stopped, so the
+// non-atomic Checks counters are safe to read), the delivery/check/transport
+// counters, and the closing end + snapshot events. Called after wg.Wait and
+// after res's counter fields are filled; no-op without telemetry.
+func (rt *runtime) emitFinal(res Result) {
+	if rt.tel == nil {
+		return
+	}
+	reg := rt.tel.Registry()
+	for v, a := range rt.agentsFinal() {
+		ev := telemetry.Event{
+			Kind:           telemetry.KindAgent,
+			Agent:          v,
+			Checks:         a.Checks(),
+			AgentProcessed: rt.processed[v].Load(),
+		}
+		if ss, ok := a.(storeSizer); ok {
+			ev.StoreSize = int64(ss.StoreSize())
+		}
+		rt.tel.Emit(ev)
+	}
+	reg.Counter("discsp_deliveries_total").Add(res.Messages)
+	reg.Counter("discsp_checks_total").Add(res.TotalChecks)
+	telemetry.Transport{
+		Retransmits:          res.Retransmits,
+		DuplicatesSuppressed: res.DuplicatesSuppressed,
+		Restarts:             res.Restarts,
+		Partitioned:          res.Partitioned,
+		PartitionHeals:       res.PartitionHeals,
+	}.Record(reg)
+}
 
 // linkKey identifies one directed communication link.
 type linkKey struct {
@@ -550,13 +637,11 @@ func (h *delayHeap) Pop() any {
 	return item
 }
 
-// watchdogCadence is how often the monitor feeds the stall watchdog; coarse
-// enough that the sample ring spans well past the watchdog's window.
-const watchdogCadence = 25 * time.Millisecond
-
-// observe feeds the stall watchdog one sample of the runtime's counters.
-// The frontier hash covers the published assignment and the insolubility
-// flag — what an outside observer can see of search progress.
+// observe feeds the stall watchdog one sample of the runtime's counters and
+// tees the same sample into the telemetry stream, so healthy runs record
+// frontier-hash progress too — not only the *TimeoutError path. The frontier
+// hash covers the published assignment and the insolubility flag — what an
+// outside observer can see of search progress.
 func (rt *runtime) observe(wd *progress.Watchdog, now time.Time) {
 	words := make([]int64, 0, len(rt.published)+1)
 	for i := range rt.published {
@@ -569,26 +654,49 @@ func (rt *runtime) observe(wd *progress.Watchdog, now time.Time) {
 	for i := range rt.processed {
 		proc[i] = rt.processed[i].Load()
 	}
-	wd.Observe(progress.Sample{
+	sample := progress.Sample{
 		At:        now,
 		Delivered: rt.delivered.Load(),
 		InFlight:  rt.inFlight.Load(),
 		Processed: proc,
 		Frontier:  progress.Hash64(words...),
+	}
+	wd.Observe(sample) // copies Processed; sharing proc below is safe
+	if rt.tel == nil {
+		return
+	}
+	var storeTotal int64
+	for _, g := range rt.storeGauges {
+		storeTotal += g.Value()
+	}
+	var depth int64
+	for _, mb := range rt.mailboxes {
+		depth += int64(mb.depth())
+	}
+	rt.queueHist.Observe(depth)
+	rt.tel.Emit(telemetry.Event{
+		Kind:       telemetry.KindSample,
+		ElapsedUS:  now.Sub(rt.start).Microseconds(),
+		Delivered:  sample.Delivered,
+		InFlight:   sample.InFlight,
+		Processed:  proc,
+		Frontier:   strconv.FormatUint(sample.Frontier, 16),
+		StoreTotal: storeTotal,
+		QueueDepth: depth,
 	})
 }
 
 // monitor polls the published assignment until a terminal condition. On
 // deadline expiry it returns a *TimeoutError describing the stuck state,
 // including the stall watchdog's progress report.
-func (rt *runtime) monitor(timeout, poll time.Duration) (Result, error) {
+func (rt *runtime) monitor(timeout, poll, cadence time.Duration) (Result, error) {
 	deadline := time.Now().Add(timeout)
 	wd := progress.NewWatchdog()
 	var lastObserve time.Time
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for range ticker.C {
-		if now := time.Now(); now.Sub(lastObserve) >= watchdogCadence {
+		if now := time.Now(); now.Sub(lastObserve) >= cadence {
 			lastObserve = now
 			rt.observe(wd, now)
 		}
@@ -651,6 +759,14 @@ func newMailbox() *mailbox {
 	mb := &mailbox{}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
+}
+
+// depth reports the queued message count; the telemetry sampler sums it
+// across mailboxes.
+func (mb *mailbox) depth() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
 }
 
 func (mb *mailbox) put(m sim.Message) {

@@ -17,6 +17,7 @@ import (
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // Ok carries the sender's current value.
@@ -126,6 +127,17 @@ func (a *Agent) Checks() int64 { return a.counter.Total() }
 
 // Stats returns the agent's bookkeeping counters.
 func (a *Agent) Stats() Stats { return a.stats }
+
+// StoreSize returns the number of nogoods this agent evaluates. DB does not
+// learn, so the count is fixed at construction; it is exposed so the
+// telemetry layer reports a uniform per-agent store size across algorithms.
+func (a *Agent) StoreSize() int { return len(a.nogoods) }
+
+// Instrument attaches telemetry. DB's nogood set never grows, so the size
+// gauge is set once and the length histogram is unused (no learning).
+func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
+	size.Set(int64(len(a.nogoods)))
+}
 
 // Weight returns the current weight of the i-th nogood (for tests).
 func (a *Agent) Weight(i int) int { return a.weights[i] }

@@ -8,6 +8,7 @@ import (
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // Stats exposes per-agent bookkeeping for the experiment harness.
@@ -182,6 +183,15 @@ func (a *Agent) Stats() Stats { return a.stats }
 // StoreSize returns the number of nogoods currently recorded (initial
 // constraints plus learned).
 func (a *Agent) StoreSize() int { return a.store.Len() }
+
+// Instrument attaches telemetry to the agent's nogood store: size tracks
+// the live store size, lengths the distribution of learned-nogood
+// (resolvent) literal counts. Called after construction so the initial
+// constraints do not pollute the length histogram. Observationally inert:
+// the hooks only read state the agent already maintains.
+func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
+	a.store.Instrument(size, lengths)
+}
 
 // Init implements sim.Agent: repair unary-constraint violations of the
 // initial value (with an empty agent_view only unary nogoods can fire, and

@@ -5,6 +5,7 @@ import (
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/stats"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // Algorithm names a runnable algorithm configuration for the harness.
@@ -63,6 +64,11 @@ type Scale struct {
 	// are independently seeded and aggregation order is fixed, a resumed
 	// grid produces bit-identical aggregates to an uninterrupted one.
 	Journal *Journal
+	// Telemetry, when non-nil, receives one trial event per completed trial
+	// of every grid, emitted during the index-ordered aggregation pass (so
+	// the stream is identical for every Workers value), plus a metrics
+	// snapshot per grid. It never changes trial results or aggregates.
+	Telemetry *telemetry.Run
 }
 
 // PaperScale is the paper's full experimental setup.

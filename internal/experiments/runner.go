@@ -12,6 +12,7 @@ import (
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across a pool of workers
@@ -234,15 +235,41 @@ func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
 	}
 
 	out := make([]CellResult, len(specs))
+	reg := scale.Telemetry.Registry()
+	cycleHist := reg.Histogram("discsp_trial_cycles", telemetry.CycleBuckets)
+	maxcckHist := reg.Histogram("discsp_trial_maxcck", telemetry.ChecksBuckets)
+	checksCtr := reg.Counter("discsp_checks_total")
+	msgsCtr := reg.Counter("discsp_messages_total")
 	for c, spec := range specs {
 		agg := new(cellRunner)
-		for _, tr := range plans[c].trials {
+		solvedCtr := reg.Counter(telemetry.Name("discsp_trials_solved_total", "cell", spec.key))
+		trialCtr := reg.Counter(telemetry.Name("discsp_trials_total", "cell", spec.key))
+		for t, tr := range plans[c].trials {
 			agg.add(tr)
+			trialCtr.Inc()
+			if tr.Solved {
+				solvedCtr.Inc()
+			}
+			cycleHist.Observe(int64(tr.Cycles))
+			maxcckHist.Observe(tr.MaxCCK)
+			checksCtr.Add(tr.TotalChecks)
+			msgsCtr.Add(int64(tr.Messages))
+			scale.Telemetry.Emit(telemetry.Event{
+				Kind:        telemetry.KindTrial,
+				Cell:        spec.key,
+				Trial:       t,
+				Solved:      tr.Solved,
+				Cycles:      tr.Cycles,
+				MaxCCK:      tr.MaxCCK,
+				TotalChecks: tr.TotalChecks,
+				Messages:    int64(tr.Messages),
+			})
 		}
 		cell := CellResult{Kind: spec.kind, N: spec.n, Algorithm: spec.alg.Name}
 		agg.fill(&cell)
 		out[c] = cell
 	}
+	scale.Telemetry.EmitSnapshot()
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"github.com/discsp/discsp/internal/async"
@@ -11,6 +12,7 @@ import (
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/netrun"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // RuntimeResult is one runtime's outcome on one instance.
@@ -25,14 +27,10 @@ type RuntimeResult struct {
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 
-	// Transport counters, populated by the async and tcp runtimes when a
-	// fault schedule is active (always zero for sync, which has no
-	// network to misbehave).
-	Retransmits          int64
-	DuplicatesSuppressed int64
-	Restarts             int64
-	Partitioned          int64
-	PartitionHeals       int64
+	// Transport is the shared reliability-layer counter block, populated by
+	// the async and tcp runtimes when a fault schedule is active (always
+	// zero for sync, which has no network to misbehave).
+	Transport telemetry.Transport
 }
 
 // CompareRuntimes runs AWC with the given learning on the same instance and
@@ -73,15 +71,17 @@ func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning
 		return nil, fmt.Errorf("async: %w", err)
 	}
 	out = append(out, RuntimeResult{
-		Runtime:              "async",
-		Solved:               asyncRes.Solved,
-		Messages:             asyncRes.Messages,
-		Duration:             asyncRes.Duration,
-		Retransmits:          asyncRes.Retransmits,
-		DuplicatesSuppressed: asyncRes.DuplicatesSuppressed,
-		Restarts:             asyncRes.Restarts,
-		Partitioned:          asyncRes.Partitioned,
-		PartitionHeals:       asyncRes.PartitionHeals,
+		Runtime:  "async",
+		Solved:   asyncRes.Solved,
+		Messages: asyncRes.Messages,
+		Duration: asyncRes.Duration,
+		Transport: telemetry.Transport{
+			Retransmits:          asyncRes.Retransmits,
+			DuplicatesSuppressed: asyncRes.DuplicatesSuppressed,
+			Restarts:             asyncRes.Restarts,
+			Partitioned:          asyncRes.Partitioned,
+			PartitionHeals:       asyncRes.PartitionHeals,
+		},
 	})
 
 	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{Timeout: timeout, Faults: fcfg})
@@ -89,15 +89,17 @@ func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning
 		return nil, fmt.Errorf("tcp: %w", err)
 	}
 	out = append(out, RuntimeResult{
-		Runtime:              "tcp",
-		Solved:               tcpRes.Solved,
-		Messages:             tcpRes.Messages,
-		Duration:             tcpRes.Duration,
-		Retransmits:          tcpRes.Retransmits,
-		DuplicatesSuppressed: tcpRes.DuplicatesSuppressed,
-		Restarts:             tcpRes.Restarts,
-		Partitioned:          tcpRes.Partitioned,
-		PartitionHeals:       tcpRes.PartitionHeals,
+		Runtime:  "tcp",
+		Solved:   tcpRes.Solved,
+		Messages: tcpRes.Messages,
+		Duration: tcpRes.Duration,
+		Transport: telemetry.Transport{
+			Retransmits:          tcpRes.Retransmits,
+			DuplicatesSuppressed: tcpRes.DuplicatesSuppressed,
+			Restarts:             tcpRes.Restarts,
+			Partitioned:          tcpRes.Partitioned,
+			PartitionHeals:       tcpRes.PartitionHeals,
+		},
 	})
 	return out, nil
 }
@@ -110,48 +112,64 @@ func buildSimAgents(n int, makeAgent func(csp.Var) sim.Agent) []sim.Agent {
 	return agents
 }
 
+// transportWidths aligns the text table's transport columns; indexed like
+// telemetry.TransportColumns.
+var transportWidths = []int{8, 8, 9, 11, 0}
+
 // FprintRuntimes renders the comparison as an aligned table, transport
-// counters included. The counters are informative even on a clean network:
-// the tcp runtime retransmits whenever congestion delays an ack past the
-// backoff base, and the dedup layer absorbs the copies.
+// counters included via the shared telemetry.TransportColumns /
+// Transport.Values pairing. The counters are informative even on a clean
+// network: the tcp runtime retransmits whenever congestion delays an ack
+// past the backoff base, and the dedup layer absorbs the copies.
 func FprintRuntimes(w io.Writer, results []RuntimeResult) error {
-	if _, err := fmt.Fprintf(w, "  %-6s %-7s %-8s %-10s %-12s %-8s %-8s %-9s %-11s %s\n",
-		"rt", "solved", "cycles", "messages", "duration", "retrans", "dups", "restarts", "partitioned", "heals"); err != nil {
-		return err
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-6s %-7s %-8s %-10s %-12s", "rt", "solved", "cycles", "messages", "duration")
+	for i, col := range telemetry.TransportColumns {
+		fmt.Fprintf(&b, " %-*s", transportWidths[i], col)
 	}
+	b.WriteByte('\n')
 	for _, r := range results {
 		cycles := "-"
 		if r.Runtime == "sync" {
 			cycles = fmt.Sprintf("%d", r.Cycles)
 		}
-		if _, err := fmt.Fprintf(w, "  %-6s %-7v %-8s %-10d %-12v %-8d %-8d %-9d %-11d %d\n",
-			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond),
-			r.Retransmits, r.DuplicatesSuppressed, r.Restarts, r.Partitioned, r.PartitionHeals); err != nil {
-			return err
+		fmt.Fprintf(&b, "  %-6s %-7v %-8s %-10d %-12v",
+			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond))
+		for i, v := range r.Transport.Values() {
+			fmt.Fprintf(&b, " %-*d", transportWidths[i], v)
 		}
+		b.WriteByte('\n')
 	}
-	return nil
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // MarkdownRuntimes renders the comparison as a GitHub-flavored markdown
-// table, transport counters included.
+// table, transport counters included via the same shared column set as
+// FprintRuntimes.
 func MarkdownRuntimes(w io.Writer, results []RuntimeResult) error {
-	if _, err := fmt.Fprintln(w, "| rt | solved | cycles | messages | duration | retransmits | dups suppressed | restarts | partitioned | heals |"); err != nil {
-		return err
+	var b strings.Builder
+	b.WriteString("| rt | solved | cycles | messages | duration |")
+	for _, col := range telemetry.TransportColumns {
+		fmt.Fprintf(&b, " %s |", col)
 	}
-	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|"); err != nil {
-		return err
+	b.WriteString("\n|---|---|---|---|---|")
+	for range telemetry.TransportColumns {
+		b.WriteString("---|")
 	}
+	b.WriteByte('\n')
 	for _, r := range results {
 		cycles := "-"
 		if r.Runtime == "sync" {
 			cycles = fmt.Sprintf("%d", r.Cycles)
 		}
-		if _, err := fmt.Fprintf(w, "| %s | %v | %s | %d | %v | %d | %d | %d | %d | %d |\n",
-			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond),
-			r.Retransmits, r.DuplicatesSuppressed, r.Restarts, r.Partitioned, r.PartitionHeals); err != nil {
-			return err
+		fmt.Fprintf(&b, "| %s | %v | %s | %d | %v |",
+			r.Runtime, r.Solved, cycles, r.Messages, r.Duration.Round(time.Microsecond))
+		for _, v := range r.Transport.Values() {
+			fmt.Fprintf(&b, " %d |", v)
 		}
+		b.WriteByte('\n')
 	}
-	return nil
+	_, err := io.WriteString(w, b.String())
+	return err
 }

@@ -40,6 +40,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,7 @@ import (
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/progress"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 	"github.com/discsp/discsp/internal/wire"
 )
 
@@ -103,6 +106,15 @@ type Options struct {
 	// state, stop) and acks are exempt: faults attack the data plane the
 	// reliable protocol defends, not the test harness's instrumentation.
 	Faults *faults.Config
+	// WatchdogCadence is the stall watchdog's sampling period; 0 means
+	// progress.DefaultCadence. Samples also land in the telemetry stream
+	// when one is attached.
+	WatchdogCadence time.Duration
+	// Telemetry, when non-nil, receives the run's event stream (watchdog
+	// samples, per-agent totals, per-link seq/ack/retransmit/partition
+	// counters observed at the hub) and metrics. Nil disables all
+	// instrumentation without any other behavioral difference.
+	Telemetry *telemetry.Run
 }
 
 // Result reports a completed run.
@@ -172,7 +184,22 @@ type nodeCounters struct {
 	retransmits atomic.Int64
 	dups        atomic.Int64
 	restarts    atomic.Int64
+
+	// Per-agent end-of-run totals for telemetry, written by each node's
+	// final incarnation as it exits and read after nodeWG.Wait. Nil when
+	// telemetry is disabled.
+	checks []atomic.Int64
+	stores []atomic.Int64
 }
+
+// instrumented is implemented by agents whose nogood store accepts
+// telemetry hooks (core, abt, breakout).
+type instrumented interface {
+	Instrument(*telemetry.Gauge, *telemetry.Histogram)
+}
+
+// storeSizer is implemented by agents exposing their nogood-store size.
+type storeSizer interface{ StoreSize() int }
 
 // Run executes one agent node per problem variable against a loopback TCP
 // hub. makeAgent builds the algorithm-specific agent per variable; it is
@@ -186,6 +213,10 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
+	}
+	cadence := opts.WatchdogCadence
+	if cadence <= 0 {
+		cadence = progress.DefaultCadence
 	}
 	var inj *faults.Injector
 	var ckpts *faults.Checkpoints
@@ -209,9 +240,40 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		frames:    make(chan frame, n),
 		stop:      make(chan struct{}),
 		inj:       inj,
+		cadence:   cadence,
+		tel:       opts.Telemetry,
 	}
 	if inj != nil {
 		hub.attempts = make(map[attemptKey]int)
+	}
+	var ctr nodeCounters
+	if hub.tel != nil {
+		hub.ackHigh = make(map[link]int64)
+		hub.linkRetrans = make(map[link]int64)
+		hub.linkPart = make(map[link]int64)
+		ctr.checks = make([]atomic.Int64, n)
+		ctr.stores = make([]atomic.Int64, n)
+	}
+	if reg := opts.Telemetry.Registry(); reg != nil {
+		// The nodes run in-process, so instrumented agents share the hub's
+		// registry; the gauges are atomics, letting the route loop sample
+		// live store sizes without touching node state. Resolve them up
+		// front and wrap makeAgent so restarted incarnations re-attach.
+		hub.storeGauges = make([]*telemetry.Gauge, n)
+		hists := make([]*telemetry.Histogram, n)
+		for v := 0; v < n; v++ {
+			label := strconv.Itoa(v)
+			hub.storeGauges[v] = reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", label))
+			hists[v] = reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets)
+		}
+		orig := makeAgent
+		makeAgent = func(v csp.Var) sim.Agent {
+			a := orig(v)
+			if ia, ok := a.(instrumented); ok {
+				ia.Instrument(hub.storeGauges[v], hists[v])
+			}
+			return a
+		}
 	}
 
 	// Accept connections for the whole run: restarted nodes dial back in.
@@ -240,7 +302,6 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 
 	// Start the nodes; each supervisor restarts its node per the crash
 	// schedule.
-	var ctr nodeCounters
 	runDone := make(chan struct{})
 	var nodeWG sync.WaitGroup
 	nodeErrs := make(chan error, n)
@@ -297,6 +358,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	res.Restarts = ctr.restarts.Load()
 	res.Partitioned = hub.partitioned
 	res.PartitionHeals = inj.HealedBy(res.Duration)
+	hub.emitFinal(res, &ctr)
 	if res.Solved || res.Insoluble || res.Quiescent {
 		return res, nil
 	}
@@ -392,6 +454,72 @@ type hub struct {
 
 	start       time.Time // run start; partition windows are offsets from it
 	partitioned int64
+
+	cadence     time.Duration
+	tel         *telemetry.Run
+	storeGauges []*telemetry.Gauge
+	// Per-link counters observed at the hub, keyed by the data link
+	// (sender → receiver); touched only on the single-threaded route loop
+	// and only when telemetry is attached.
+	ackHigh     map[link]int64
+	linkRetrans map[link]int64
+	linkPart    map[link]int64
+}
+
+// emitFinal records the run's totals after every node has stopped: one
+// agent event per variable (final-incarnation check totals and store
+// sizes from the node goroutines, processed counts from the hub), one link
+// event per directed link the hub routed, and the delivery/check/transport
+// counters. No-op without telemetry.
+func (h *hub) emitFinal(res Result, ctr *nodeCounters) {
+	if h.tel == nil {
+		return
+	}
+	reg := h.tel.Registry()
+	var totalChecks int64
+	for v := range h.processed {
+		ev := telemetry.Event{
+			Kind:           telemetry.KindAgent,
+			Agent:          v,
+			AgentProcessed: h.processed[v],
+		}
+		if ctr.checks != nil {
+			ev.Checks = ctr.checks[v].Load()
+			ev.StoreSize = ctr.stores[v].Load()
+			totalChecks += ev.Checks
+		}
+		h.tel.Emit(ev)
+	}
+	links := make([]link, 0, len(h.seqHigh))
+	for k := range h.seqHigh {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].from != links[j].from {
+			return links[i].from < links[j].from
+		}
+		return links[i].to < links[j].to
+	})
+	for _, k := range links {
+		h.tel.Emit(telemetry.Event{
+			Kind:        telemetry.KindLink,
+			From:        k.from,
+			To:          k.to,
+			SeqHigh:     h.seqHigh[k],
+			AckHigh:     h.ackHigh[k],
+			Retransmits: h.linkRetrans[k],
+			Partitioned: h.linkPart[k],
+		})
+	}
+	reg.Counter("discsp_deliveries_total").Add(res.Messages)
+	reg.Counter("discsp_checks_total").Add(totalChecks)
+	telemetry.Transport{
+		Retransmits:          res.Retransmits,
+		DuplicatesSuppressed: res.DuplicatesSuppressed,
+		Restarts:             res.Restarts,
+		Partitioned:          res.Partitioned,
+		PartitionHeals:       res.PartitionHeals,
+	}.Record(reg)
 }
 
 // readLoop decodes frames from one connection into the hub channel. All
@@ -427,7 +555,7 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 	delayT.Stop()
 	defer delayT.Stop()
 	wd := progress.NewWatchdog()
-	watch := time.NewTicker(watchdogCadence)
+	watch := time.NewTicker(h.cadence)
 	defer watch.Stop()
 
 	// Quiescence cannot be declared from in-flight counting alone until
@@ -529,6 +657,14 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 		// from a partition: a cut severs acknowledgements like any other
 		// node-to-node traffic, which is what keeps the far side
 		// retransmitting until the heal.
+		if h.tel != nil {
+			// The ack travels receiver → sender; record it against the
+			// data link it acknowledges.
+			dl := link{from: f.To, to: f.From}
+			if f.Ack > h.ackHigh[dl] {
+				h.ackHigh[dl] = f.Ack
+			}
+		}
 		if h.partitionHold(f) {
 			return false, Result{}, nil
 		}
@@ -545,6 +681,10 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 		h.seqHigh[k] = f.Seq
 		h.messages++
 		h.inFlight++
+	} else if h.tel != nil && f.Seq > 0 {
+		// A seq at or below the link's high-water mark is a retransmitted
+		// (or injected-duplicate) copy arriving at the hub.
+		h.linkRetrans[k]++
 	}
 	if h.partitionHold(f) {
 		return false, Result{}, nil
@@ -573,12 +713,10 @@ func (h *hub) schedule(f frame, at time.Time) {
 	heap.Push(&h.delayq, delayedFrame{at: at, seq: h.delaySeq, f: f})
 }
 
-// watchdogCadence is how often the route loop feeds the stall watchdog.
-const watchdogCadence = 25 * time.Millisecond
-
-// observe feeds the stall watchdog one sample of the hub's counters. The
-// frontier hash covers the nodes' published values — what the hub can see
-// of search progress.
+// observe feeds the stall watchdog one sample of the hub's counters and
+// tees the same sample into the telemetry stream, so healthy runs record
+// frontier-hash progress too. The frontier hash covers the nodes' published
+// values — what the hub can see of search progress.
 func (h *hub) observe(wd *progress.Watchdog, now time.Time) {
 	words := make([]int64, len(h.values))
 	var delivered int64
@@ -588,12 +726,30 @@ func (h *hub) observe(wd *progress.Watchdog, now time.Time) {
 	for _, p := range h.processed {
 		delivered += p
 	}
+	frontier := progress.Hash64(words...)
 	wd.Observe(progress.Sample{
 		At:        now,
 		Delivered: delivered,
 		InFlight:  h.inFlight,
 		Processed: h.processed, // Observe copies
-		Frontier:  progress.Hash64(words...),
+		Frontier:  frontier,
+	})
+	if h.tel == nil {
+		return
+	}
+	var storeTotal int64
+	for _, g := range h.storeGauges {
+		storeTotal += g.Value()
+	}
+	h.tel.Emit(telemetry.Event{
+		Kind:       telemetry.KindSample,
+		ElapsedUS:  now.Sub(h.start).Microseconds(),
+		Delivered:  delivered,
+		InFlight:   h.inFlight,
+		Processed:  append([]int64(nil), h.processed...),
+		Frontier:   strconv.FormatUint(frontier, 16),
+		StoreTotal: storeTotal,
+		QueueDepth: int64(len(h.delayq)),
 	})
 }
 
@@ -614,6 +770,9 @@ func (h *hub) partitionHold(f frame) bool {
 		return false
 	}
 	h.partitioned++
+	if h.tel != nil {
+		h.linkPart[link{from: f.From, to: f.To}]++
+	}
 	if heals {
 		h.schedule(f, h.start.Add(heal))
 	}
@@ -716,6 +875,14 @@ func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *fau
 		}
 		ctr.retransmits.Add(rt)
 		ctr.dups.Add(dp)
+		if ctr.checks != nil {
+			// Final incarnation wins: a restarted agent restored its
+			// counter from the checkpoint, so its total is cumulative.
+			ctr.checks[int(v)].Store(agent.Checks())
+			if ss, ok := agent.(storeSizer); ok {
+				ctr.stores[int(v)].Store(int64(ss.StoreSize()))
+			}
+		}
 	}()
 	sendLink := func(to int) *wire.SendLink {
 		sl, ok := sendLinks[to]

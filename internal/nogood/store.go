@@ -17,6 +17,7 @@ package nogood
 
 import (
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // Counter accumulates nogood checks. Agents own one Counter each; the
@@ -83,6 +84,26 @@ type Store struct {
 	index   map[string]int
 	byVar   [][]int // byVar[v] = positions of nogoods mentioning Var(v)
 	bySize  [][]int // bySize[k] = positions of nogoods with Len() == k
+
+	// Telemetry hooks, attached by Instrument. Both are nil in the
+	// default (uninstrumented) configuration; the telemetry metric
+	// methods no-op on nil receivers, so the store pays one branch per
+	// mutation and nothing per check. The gauge is an atomic, which is
+	// what lets the async runtimes' monitor goroutine sample store sizes
+	// mid-run without racing agent goroutines.
+	sizeGauge *telemetry.Gauge
+	lenHist   *telemetry.Histogram
+}
+
+// Instrument attaches telemetry to the store: size tracks the live nogood
+// count across inserts, prunes, and restores; lengths observes the literal
+// count of each newly recorded nogood (for AWC, the resolvent-length
+// distribution — initial constraints seeded before Instrument are not
+// observed). Either argument may be nil.
+func (s *Store) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
+	s.sizeGauge = size
+	s.lenHist = lengths
+	size.Set(int64(len(s.nogoods)))
 }
 
 // New returns an empty store.
@@ -120,6 +141,8 @@ func (s *Store) insert(ng csp.Nogood) {
 		s.bySize = append(s.bySize, nil)
 	}
 	s.bySize[size] = append(s.bySize[size], pos)
+	s.sizeGauge.Set(int64(len(s.nogoods)))
+	s.lenHist.Observe(int64(ng.Len()))
 }
 
 // Add records ng unless an identical nogood is already present. It reports
@@ -173,12 +196,20 @@ func (s *Store) Restore(ngs []csp.Nogood) {
 	for i := range s.bySize {
 		s.bySize[i] = s.bySize[i][:0]
 	}
+	// Replayed nogoods were observed in the length histogram when first
+	// learned; re-observing them across a restart would double-count, so
+	// the histogram hook is parked for the replay. The size gauge is kept
+	// live — it tracks current state, not accumulation.
+	hist := s.lenHist
+	s.lenHist = nil
 	for _, ng := range ngs {
 		if _, dup := s.index[ng.Key()]; dup {
 			continue
 		}
 		s.insert(ng)
 	}
+	s.lenHist = hist
+	s.sizeGauge.Set(int64(len(s.nogoods)))
 }
 
 // AddPruning inserts ng and discards stored strict supersets of it. It
@@ -296,6 +327,7 @@ func (s *Store) removeAt(doomed []int) {
 	}
 	s.nogoods = kept
 	s.repairStructural(doomed)
+	s.sizeGauge.Set(int64(len(s.nogoods)))
 }
 
 // repairStructural drops the doomed positions (ascending) from every

@@ -45,6 +45,12 @@ const (
 // Watchdog.Window is zero.
 const DefaultWindow = time.Second
 
+// DefaultCadence is the sampling period the runtimes feed their watchdogs
+// at when no cadence is configured: coarse enough that the sample ring
+// spans well past DefaultWindow, fine enough to catch short stalls. The
+// async and tcp runtimes expose it as Options.WatchdogCadence.
+const DefaultCadence = 25 * time.Millisecond
+
 // maxSamples bounds the sample ring. At the runtimes' observation cadence
 // the ring spans well past DefaultWindow; memory stays fixed regardless of
 // run length.

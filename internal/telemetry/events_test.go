@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	run := NewRun(NewRegistry(), &buf)
+	run.Registry().Counter("discsp_checks_total").Add(11)
+	run.Emit(Event{Kind: KindMeta, Runtime: "async", Algorithm: "AWC-rslv", Vars: 10, Nogoods: 27})
+	run.Emit(Event{Kind: KindSample, ElapsedUS: 40, Delivered: 3, Frontier: "00ff", Processed: []int64{1, 2, 0}})
+	run.Emit(Event{Kind: KindAgent, Agent: 0, Checks: 100, StoreSize: 4})
+	run.Emit(Event{Kind: KindAgent, Agent: 2, Checks: 50, AgentProcessed: 9})
+	run.Emit(Event{Kind: KindEnd, Solved: true, TotalChecks: 150, Messages: 12,
+		Transport: &Transport{Retransmits: 2}})
+	run.EmitSnapshot()
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Kind != KindMeta || events[0].Schema != SchemaVersion {
+		t.Fatalf("stream does not open with schema meta: %+v", events[0])
+	}
+	var end *Event
+	var snap *Event
+	agents := 0
+	for i := range events {
+		switch events[i].Kind {
+		case KindEnd:
+			end = &events[i]
+		case KindSnapshot:
+			snap = &events[i]
+		case KindAgent:
+			agents++
+		}
+	}
+	if end == nil || !end.Solved || end.Transport == nil || end.Transport.Retransmits != 2 {
+		t.Fatalf("end event wrong: %+v", end)
+	}
+	if agents != 2 {
+		t.Fatalf("agents=%d", agents)
+	}
+	if snap == nil || snap.Metrics == nil || len(snap.Metrics.Counters) != 1 || snap.Metrics.Counters[0].Value != 11 {
+		t.Fatalf("snapshot event wrong: %+v", snap)
+	}
+	// Agent 0's zero-valued Agent field must survive omitempty.
+	sum := Summarize(events)
+	if len(sum.Agents) != 2 || sum.Agents[0].Agent != 0 || sum.Agents[0].Checks != 100 {
+		t.Fatalf("summary agents: %+v", sum.Agents)
+	}
+}
+
+func TestReadRejectsLegacyTrace(t *testing.T) {
+	v1 := `{"kind":"start","algorithm":"AWC-rslv","vars":10}
+{"kind":"cycle","cycle":1}
+{"kind":"end","solved":true}
+`
+	_, err := Read(strings.NewReader(v1))
+	if !errors.Is(err, ErrLegacyTrace) {
+		t.Fatalf("want ErrLegacyTrace, got %v", err)
+	}
+}
+
+func TestReadRejectsNewerSchema(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"kind":"meta","schema":3}` + "\n"))
+	if !errors.Is(err, ErrSchemaUnsupported) {
+		t.Fatalf("want ErrSchemaUnsupported, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "schema 3") {
+		t.Fatalf("error does not name the offending schema: %v", err)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json\n",
+		`{"kind":"mystery"}` + "\n",
+		`{"kind":"meta","schema":2}` + "\n" + `{"kind":"mystery"}` + "\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); !errors.Is(err, ErrMalformedStream) {
+			t.Errorf("input %q: want ErrMalformedStream, got %v", bad, err)
+		}
+	}
+}
+
+func TestSummarizeStoreGrowthAndFrontier(t *testing.T) {
+	events := []Event{
+		{Kind: KindMeta, Schema: 2, Runtime: "tcp"},
+		{Kind: KindSample, Frontier: "aa", StoreTotal: 3},
+		{Kind: KindSample, Frontier: "aa", StoreTotal: 9},
+		{Kind: KindSample, Frontier: "bb", StoreTotal: 5},
+		{Kind: KindEnd, Solved: true},
+	}
+	s := Summarize(events)
+	if s.Runtime != "tcp" || !s.Ended || !s.Solved {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Samples != 3 || s.FrontierTransitions != 1 {
+		t.Fatalf("samples=%d transitions=%d", s.Samples, s.FrontierTransitions)
+	}
+	if s.StoreFirst != 3 || s.StorePeak != 9 || s.StoreLast != 5 {
+		t.Fatalf("store growth: %+v", s)
+	}
+	var b strings.Builder
+	if err := s.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"runtime=tcp", "verdict=solved", "first=3 peak=9 last=5"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("Fprint missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRecorderStickyError(t *testing.T) {
+	w := &failWriter{}
+	rec := NewRecorder(w)
+	for i := 0; i < 10000; i++ { // force past the bufio buffer
+		rec.Emit(Event{Kind: KindCycle, Cycle: i})
+	}
+	if err := rec.Flush(); err == nil {
+		t.Fatal("flush did not surface the write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }

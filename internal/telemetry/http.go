@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar registration: expvar.Publish
+// panics on duplicate names, and tests (or a CLI retrying a bind) may build
+// more than one server per process.
+var (
+	publishOnce sync.Once
+	exposedReg  *Registry
+	exposedMu   sync.Mutex
+)
+
+// NewMux builds an http.ServeMux exposing the registry:
+//
+//	/metrics        Prometheus text exposition of a live snapshot
+//	/metrics.json   the same snapshot as JSON
+//	/debug/vars     expvar (Go runtime memstats + a discsp snapshot var)
+//	/debug/pprof/   the standard pprof handlers
+//
+// A fresh mux (not http.DefaultServeMux) keeps the profiling surface
+// opt-in: nothing is exposed unless the caller asked for -metrics-addr.
+func NewMux(reg *Registry) *http.ServeMux {
+	exposedMu.Lock()
+	exposedReg = reg
+	exposedMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("discsp", expvar.Func(func() any {
+			exposedMu.Lock()
+			r := exposedReg
+			exposedMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	// Addr is the bound address, useful when the caller asked for :0.
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves NewMux(reg) until Close. It returns after
+// the listener is bound, so the endpoint is immediately curl-able; serving
+// errors after Close are swallowed.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("discsp_checks_total").Add(99)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "discsp_checks_total 99") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.Contains(body, "# TYPE discsp_checks_total counter") {
+		t.Fatalf("/metrics missing TYPE line: %q", body)
+	}
+
+	code, body = get("/metrics.json")
+	var snap Snapshot
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/metrics.json: code=%d body=%q", code, body)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 99 {
+		t.Fatalf("/metrics.json snapshot: %+v", snap)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"discsp"`) {
+		t.Fatalf("/debug/vars: code=%d body=%.200q", code, body)
+	}
+
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+func TestServeTwicePerProcess(t *testing.T) {
+	// expvar.Publish panics on duplicate names; a second server (e.g. a
+	// test after TestServeEndpoints, or a CLI retry) must not trip it, and
+	// the expvar snapshot must follow the newest registry.
+	reg := NewRegistry()
+	reg.Gauge("second_registry_marker").Set(1)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "second_registry_marker") {
+		t.Fatalf("expvar not following newest registry: %.300s", body)
+	}
+}

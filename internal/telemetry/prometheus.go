@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names carry labels inline in the registry
+// (see Name); this writer splits them back apart so labeled series of one
+// family share a single # TYPE header, and merges the le label into any
+// existing histogram labels. Output order follows the snapshot's sorted
+// order and is therefore deterministic.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	emitType := func(family, kind string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		family, labels := splitName(c.Name)
+		if err := emitType(family, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, labels, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		family, labels := splitName(g.Name)
+		if err := emitType(family, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, labels, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		family, labels := splitName(h.Name)
+		if err := emitType(family, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := fmt.Sprintf("%d", bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", family, labels, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitName separates a registry name into its family and the literal
+// label block (including braces), e.g. `x{a="1"}` -> ("x", `{a="1"}`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// mergeLabel appends key="value" to a literal label block.
+func mergeLabel(labels, key, value string) string {
+	if labels == "" {
+		return fmt.Sprintf("{%s=%q}", key, value)
+	}
+	return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(labels, "}"), key, value)
+}

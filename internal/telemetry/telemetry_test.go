@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every metric op and every Run op must be a no-op on nil: this is the
+	// disabled-telemetry configuration instrumented code relies on.
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", CycleBuckets) != nil {
+		t.Fatal("nil registry minted metrics")
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var run *Run
+	run.Emit(Event{Kind: KindEnd})
+	run.EmitSnapshot()
+	if run.Registry() != nil {
+		t.Fatal("nil run has a registry")
+	}
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 2, 2} // <=1: {0,1}; <=2: {2}; <=4: {3,4}; +Inf: {5,100}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d: got %d want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 115 {
+		t.Errorf("count=%d sum=%d, want 7/115", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryIdentityAndSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order differs run to run below; snapshots must not.
+		r.Counter("b_total").Add(2)
+		r.Counter("a_total").Add(1)
+		r.Gauge(Name("g", "agent", "1")).Set(10)
+		r.Gauge(Name("g", "agent", "0")).Set(5)
+		r.Histogram("h", NogoodLenBuckets).Observe(3)
+		return r
+	}
+	r := build()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Fatal("counter lookup not stable")
+	}
+	var s1, s2 strings.Builder
+	if err := r.Snapshot().WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	snap := r.Snapshot()
+	if snap.Counters[0].Name != "a_total" || snap.Counters[1].Name != "b_total" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+	if snap.Gauges[0].Name != `g{agent="0"}` {
+		t.Fatalf("gauges not sorted: %+v", snap.Gauges)
+	}
+}
+
+func TestHistogramRedefinitionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bounds mismatch")
+		}
+	}()
+	r.Histogram("h", []int64{1, 3})
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("discsp_checks_total").Add(42)
+	r.Gauge(Name("discsp_store_nogoods", "agent", "0")).Set(7)
+	r.Gauge(Name("discsp_store_nogoods", "agent", "1")).Set(9)
+	h := r.Histogram(Name("discsp_learned_nogood_len", "agent", "0"), []int64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE discsp_checks_total counter\n",
+		"discsp_checks_total 42\n",
+		"# TYPE discsp_store_nogoods gauge\n",
+		`discsp_store_nogoods{agent="0"} 7` + "\n",
+		`discsp_store_nogoods{agent="1"} 9` + "\n",
+		"# TYPE discsp_learned_nogood_len histogram\n",
+		`discsp_learned_nogood_len_bucket{agent="0",le="1"} 1` + "\n",
+		`discsp_learned_nogood_len_bucket{agent="0",le="2"} 2` + "\n",
+		`discsp_learned_nogood_len_bucket{agent="0",le="+Inf"} 3` + "\n",
+		`discsp_learned_nogood_len_sum{agent="0"} 8` + "\n",
+		`discsp_learned_nogood_len_count{agent="0"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with multiple labeled series.
+	if strings.Count(out, "# TYPE discsp_store_nogoods ") != 1 {
+		t.Errorf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestTransportSuffix(t *testing.T) {
+	if got := (Transport{}).Suffix(); got != "" {
+		t.Fatalf("zero transport suffix %q", got)
+	}
+	tr := Transport{Retransmits: 1, DuplicatesSuppressed: 2, Restarts: 3, Partitioned: 4, PartitionHeals: 5}
+	want := " retrans=1 dups=2 restarts=3 partitioned=4 heals=5"
+	if got := tr.Suffix(); got != want {
+		t.Fatalf("suffix %q, want %q", got, want)
+	}
+	reg := NewRegistry()
+	tr.Record(reg)
+	if v := reg.Counter("discsp_transport_partitioned_total").Value(); v != 4 {
+		t.Fatalf("recorded partitioned=%d", v)
+	}
+	tr.Record(nil) // must not panic
+}

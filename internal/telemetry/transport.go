@@ -1,0 +1,58 @@
+package telemetry
+
+import "fmt"
+
+// Transport is the reliability-layer counter block shared by every surface
+// that reports it: dcspsolve/dcspbench output, FprintRuntimes and
+// MarkdownRuntimes tables, the Prometheus snapshot, and end events in the
+// telemetry stream. Before this type each of those carried its own copy of
+// the five fields and its own formatter.
+type Transport struct {
+	// Retransmits counts frames resent past a drop, partition, or slow ack.
+	Retransmits int64 `json:"retransmits,omitempty"`
+	// DuplicatesSuppressed counts deliveries absorbed by the dedup layer.
+	DuplicatesSuppressed int64 `json:"duplicatesSuppressed,omitempty"`
+	// Restarts counts crashed agents restarted from their checkpoints.
+	Restarts int64 `json:"restarts,omitempty"`
+	// Partitioned counts deliveries cut or deferred by a partition.
+	Partitioned int64 `json:"partitioned,omitempty"`
+	// PartitionHeals counts partition windows that healed within the run.
+	PartitionHeals int64 `json:"partitionHeals,omitempty"`
+}
+
+// IsZero reports whether every counter is zero (a clean run).
+func (t Transport) IsZero() bool {
+	return t == Transport{}
+}
+
+// Suffix renders the counters as the one-line " retrans=… dups=…" block
+// dcspsolve and dcspbench append to verdict lines, or "" when all zero.
+func (t Transport) Suffix() string {
+	if t.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
+		t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals)
+}
+
+// TransportColumns is the canonical column order used by the table
+// renderers, aligned with Transport.Values.
+var TransportColumns = []string{"retrans", "dups", "restarts", "partitioned", "heals"}
+
+// Values returns the counters in TransportColumns order.
+func (t Transport) Values() []int64 {
+	return []int64{t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals}
+}
+
+// Record adds the counters into reg under the canonical metric names.
+// No-op on a nil registry.
+func (t Transport) Record(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("discsp_transport_retransmits_total").Add(t.Retransmits)
+	reg.Counter("discsp_transport_dups_suppressed_total").Add(t.DuplicatesSuppressed)
+	reg.Counter("discsp_transport_restarts_total").Add(t.Restarts)
+	reg.Counter("discsp_transport_partitioned_total").Add(t.Partitioned)
+	reg.Counter("discsp_transport_partition_heals_total").Add(t.PartitionHeals)
+}

@@ -128,7 +128,14 @@ func (r *Recorder) Flush() error {
 // ErrMalformedTrace reports a structurally invalid trace stream.
 var ErrMalformedTrace = errors.New("trace: malformed trace")
 
-// Read parses a JSONL trace.
+// ErrTelemetryStream marks a schema-2 telemetry stream (dcspsolve
+// -telemetry) fed to this v1 trace reader; read it with the telemetry
+// reader instead.
+var ErrTelemetryStream = errors.New("trace: schema-2 telemetry stream (dcspsolve -telemetry format); read it with the telemetry reader")
+
+// Read parses a JSONL trace. A telemetry stream (recognized by its opening
+// meta event) returns ErrTelemetryStream so callers can dispatch to the
+// telemetry reader instead of surfacing a confusing field-level error.
 func Read(rd io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -143,6 +150,11 @@ func Read(rd io.Reader) ([]Event, error) {
 		}
 		switch ev.Kind {
 		case KindStart, KindCycle, KindEnd:
+		case "meta":
+			if len(events) == 0 {
+				return nil, ErrTelemetryStream
+			}
+			return nil, fmt.Errorf("%w: line %d: unknown kind %q", ErrMalformedTrace, line, ev.Kind)
 		default:
 			return nil, fmt.Errorf("%w: line %d: unknown kind %q", ErrMalformedTrace, line, ev.Kind)
 		}

@@ -2,6 +2,7 @@ package discsp
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/discsp/discsp/internal/abt"
@@ -13,6 +14,7 @@ import (
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/netrun"
 	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 // AlgorithmKind selects the distributed algorithm.
@@ -92,6 +94,17 @@ type Options struct {
 	// Trace, when non-nil, receives one event per synchronous cycle
 	// (Solve only).
 	Trace func(CycleEvent)
+	// WatchdogCadence overrides the stall watchdog's sampling period in
+	// SolveAsync and SolveTCP; 0 means progress.DefaultCadence (25ms).
+	// Sampling is observational only — it never changes run results.
+	WatchdogCadence time.Duration
+	// Telemetry, when non-nil, attaches the unified observability layer:
+	// metrics accumulate in its registry and, when it carries an event
+	// stream, the run emits the schema-2 JSONL telemetry stream (meta,
+	// per-cycle / per-sample progress, per-agent totals, end verdict,
+	// metrics snapshot). Telemetry is observationally inert: enabling it
+	// never changes cycles, maxcck, traces, or any other result.
+	Telemetry *Telemetry
 }
 
 // CycleEvent describes one completed synchronous cycle for tracing.
@@ -198,11 +211,24 @@ func Solve(p *Problem, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	agents := buildAgents(p.NumVars(), opts.makeAgent(p, init))
-	res, err := sim.Run(p, agents, sim.Options{MaxCycles: opts.MaxCycles, Trace: opts.Trace})
+	trace := opts.Trace
+	tel := opts.Telemetry
+	if tel != nil {
+		tel.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "sync",
+			Algorithm: opts.AlgorithmName(),
+			Vars:      p.NumVars(),
+			Nogoods:   p.NumNogoods(),
+		})
+		instrumentAgents(tel.Registry(), agents)
+		trace = teeCycleEvents(tel, agents, opts.Trace)
+	}
+	res, err := sim.Run(p, agents, sim.Options{MaxCycles: opts.MaxCycles, Trace: trace})
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	out := Result{
 		Solved:         res.Solved,
 		Insoluble:      res.Insoluble,
 		Assignment:     res.Assignment,
@@ -211,7 +237,115 @@ func Solve(p *Problem, opts Options) (Result, error) {
 		TotalChecks:    res.TotalChecks,
 		Messages:       int64(res.Messages),
 		MessagesByType: res.MessagesByType,
-	}, nil
+	}
+	if tel != nil {
+		emitSyncFinal(tel, agents, out)
+	}
+	return out, nil
+}
+
+// instrumentAgents attaches per-agent store gauges and learned-nogood
+// length histograms. Called once before the run starts, so the sampling
+// paths never touch the registry's maps.
+func instrumentAgents(reg *MetricsRegistry, agents []sim.Agent) {
+	if reg == nil {
+		return
+	}
+	for i, a := range agents {
+		ia, ok := a.(instrumented)
+		if !ok {
+			continue
+		}
+		id := strconv.Itoa(i)
+		ia.Instrument(
+			reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", id)),
+			reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", id), telemetry.NogoodLenBuckets),
+		)
+	}
+}
+
+// teeCycleEvents chains the caller's trace hook (if any) with a telemetry
+// tee that emits one cycle event per synchronous cycle, carrying the summed
+// nogood-store size alongside the simulator's message and check counters.
+// Histograms are resolved here, once, before the run.
+func teeCycleEvents(tel *Telemetry, agents []sim.Agent, inner func(CycleEvent)) func(CycleEvent) {
+	storeAgents := make([]storeSizer, 0, len(agents))
+	for _, a := range agents {
+		if s, ok := a.(storeSizer); ok {
+			storeAgents = append(storeAgents, s)
+		}
+	}
+	reg := tel.Registry()
+	msgHist := reg.Histogram("discsp_cycle_messages", telemetry.MessageBuckets)
+	checksHist := reg.Histogram("discsp_cycle_max_checks", telemetry.ChecksBuckets)
+	return func(ev CycleEvent) {
+		if inner != nil {
+			inner(ev)
+		}
+		var storeTotal int64
+		for _, s := range storeAgents {
+			storeTotal += int64(s.StoreSize())
+		}
+		tel.Emit(telemetry.Event{
+			Kind:        telemetry.KindCycle,
+			Cycle:       ev.Cycle,
+			MessagesIn:  ev.MessagesIn,
+			MessagesOut: ev.MessagesOut,
+			MaxChecks:   ev.MaxChecks,
+			StoreTotal:  storeTotal,
+		})
+		msgHist.Observe(int64(ev.MessagesIn))
+		checksHist.Observe(ev.MaxChecks)
+	}
+}
+
+// emitSyncFinal closes a synchronous run's telemetry: per-agent totals, run
+// counters, the end verdict, and a metrics snapshot.
+func emitSyncFinal(tel *Telemetry, agents []sim.Agent, out Result) {
+	for i, a := range agents {
+		ev := telemetry.Event{Kind: telemetry.KindAgent, Agent: i, Checks: a.Checks()}
+		if s, ok := a.(storeSizer); ok {
+			ev.StoreSize = int64(s.StoreSize())
+		}
+		tel.Emit(ev)
+	}
+	reg := tel.Registry()
+	reg.Counter("discsp_cycles_total").Add(int64(out.Cycles))
+	reg.Counter("discsp_checks_total").Add(out.TotalChecks)
+	reg.Counter("discsp_messages_total").Add(out.Messages)
+	tel.Emit(telemetry.Event{
+		Kind:        telemetry.KindEnd,
+		Solved:      out.Solved,
+		Insoluble:   out.Insoluble,
+		Cycles:      out.Cycles,
+		MaxCCK:      out.MaxCCK,
+		TotalChecks: out.TotalChecks,
+		Messages:    out.Messages,
+	})
+	tel.EmitSnapshot()
+}
+
+// emitNetFinal closes an async or tcp run's telemetry stream with the end
+// verdict (including transport counters when any are nonzero) and a metrics
+// snapshot. The runtimes have already emitted their per-agent and per-link
+// events and folded their counters into the registry.
+func emitNetFinal(tel *Telemetry, out Result) {
+	if tel == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Kind:        telemetry.KindEnd,
+		Solved:      out.Solved,
+		Insoluble:   out.Insoluble,
+		TotalChecks: out.TotalChecks,
+		Messages:    out.Messages,
+		DurationUS:  out.Duration.Microseconds(),
+	}
+	if t := out.Transport(); !t.IsZero() {
+		ev.Transport = &t
+	}
+	tel.Emit(ev)
+	tel.EmitSnapshot()
 }
 
 // SolveAsync runs the selected algorithm on the goroutine-per-agent
@@ -226,11 +360,22 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "async",
+			Algorithm: opts.AlgorithmName(),
+			Vars:      p.NumVars(),
+			Nogoods:   p.NumNogoods(),
+		})
+	}
 	res, err := async.Run(p, opts.makeAgent(p, init), async.Options{
-		Timeout:   opts.Timeout,
-		MaxJitter: opts.MaxJitter,
-		Seed:      opts.InitialSeed,
-		Faults:    fcfg,
+		Timeout:         opts.Timeout,
+		MaxJitter:       opts.MaxJitter,
+		Seed:            opts.InitialSeed,
+		Faults:          fcfg,
+		WatchdogCadence: opts.WatchdogCadence,
+		Telemetry:       opts.Telemetry,
 	})
 	out := Result{
 		Solved:               res.Solved,
@@ -245,10 +390,8 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
 	}
-	if err != nil {
-		return out, err
-	}
-	return out, nil
+	emitNetFinal(opts.Telemetry, out)
+	return out, err
 }
 
 // SolveTCP runs the selected algorithm over an actual TCP network: a
@@ -265,7 +408,21 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{Timeout: opts.Timeout, Faults: fcfg})
+	if opts.Telemetry != nil {
+		opts.Telemetry.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "tcp",
+			Algorithm: opts.AlgorithmName(),
+			Vars:      p.NumVars(),
+			Nogoods:   p.NumNogoods(),
+		})
+	}
+	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{
+		Timeout:         opts.Timeout,
+		Faults:          fcfg,
+		WatchdogCadence: opts.WatchdogCadence,
+		Telemetry:       opts.Telemetry,
+	})
 	out := Result{
 		Solved:               res.Solved,
 		Insoluble:            res.Insoluble,
@@ -278,6 +435,7 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
 	}
+	emitNetFinal(opts.Telemetry, out)
 	return out, err
 }
 
