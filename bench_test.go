@@ -334,10 +334,11 @@ func BenchmarkProbeViewCheckLoop(b *testing.B) {
 	b.Run("dense+telemetry", func(b *testing.B) {
 		reg := telemetry.NewRegistry()
 		instrumented := nogood.NewFromSlice(p.NogoodsOf(own))
-		instrumented.Instrument(
-			reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", "0")),
-			reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", "0"), telemetry.NogoodLenBuckets),
-		)
+		instrumented.Instrument(telemetry.StoreMetrics{
+			Size:      reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", "0")),
+			Lengths:   reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", "0"), telemetry.NogoodLenBuckets),
+			Evictions: reg.Counter(telemetry.Name("discsp_store_evictions", "agent", "0")),
+		})
 		dv := csp.NewDenseView(p.NumVars())
 		for _, nb := range neighbors {
 			dv.Assign(nb, 1)

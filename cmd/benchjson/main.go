@@ -7,12 +7,23 @@
 // Usage:
 //
 //	go test -run='^$' -bench='...' -benchmem . | benchjson -o BENCH_2.json
+//	go test -run='^$' -bench='...' -benchmem . | benchjson -o new.json -baseline BENCH_2.json
 //
 // The report is what `make bench-json` commits as BENCH_2.json and what the
 // CI benchmark-comparison step uploads as an artifact. The search
 // trajectories behind each pair are bit-identical by construction (see
 // internal/experiments' cross-representation equivalence tests), so the
 // ratios measure representation cost only.
+//
+// With -baseline the command becomes the CI regression gate: after writing
+// the fresh report it compares every baseline pair against the fresh run
+// and exits non-zero on a regression. Raw ns/op is machine-dependent, so
+// the wall-clock gate compares *speedups* (before/after measured on the
+// same machine in the same run — the machine cancels out): a pair fails if
+// its fresh speedup falls more than -tolerance below the committed one.
+// Allocations are deterministic for a pinned toolchain, so the probe-view
+// check loop (the solver's hot path) additionally fails on ANY allocs/op
+// increase, including losing its alloc-free status.
 package main
 
 import (
@@ -90,6 +101,9 @@ func parseSide(ns string, rest string) Side {
 
 func main() {
 	out := flag.String("o", "BENCH_2.json", "output file")
+	baseline := flag.String("baseline", "", "gate mode: compare the fresh report against this committed baseline and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "relative speedup drop tolerated by -baseline before failing")
+	allocGate := flag.String("alloc-gate", "ProbeViewCheckLoop", "pair name whose dense side fails the gate on any allocs/op increase")
 	flag.Parse()
 
 	found := make(map[string]*variants)
@@ -176,6 +190,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d pairs to %s\n", len(report.Pairs), *out)
+
+	if *baseline != "" {
+		if failures := gate(report, *baseline, *tolerance, *allocGate); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed against %s\n", *baseline)
+	}
+}
+
+// gate compares the fresh report against the committed baseline and returns
+// one message per regression. Rules:
+//
+//   - every baseline pair must still exist (a deleted benchmark silently
+//     unguards its hot path);
+//   - the fresh speedup must not fall more than tolerance below the
+//     baseline's — speedup is before/after on one machine in one run, so
+//     this wall-clock gate transfers across runner hardware;
+//   - the allocGate pair's dense side must not allocate more per op than
+//     the baseline records, and must stay alloc-free if the baseline says
+//     so (allocation counts are exact for a pinned toolchain).
+func gate(fresh Report, baselinePath string, tolerance float64, allocGate string) []string {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return []string{fmt.Sprintf("read baseline: %v", err)}
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return []string{fmt.Sprintf("parse baseline %s: %v", baselinePath, err)}
+	}
+	byName := make(map[string]Pair, len(fresh.Pairs))
+	for _, p := range fresh.Pairs {
+		byName[p.Name] = p
+	}
+	var failures []string
+	for _, want := range base.Pairs {
+		got, ok := byName[want.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", want.Name))
+			continue
+		}
+		if floor := want.Speedup * (1 - tolerance); got.Speedup < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: speedup %.2fx fell below %.2fx (baseline %.2fx - %.0f%% tolerance)",
+				want.Name, got.Speedup, floor, want.Speedup, tolerance*100))
+		}
+		if want.Name == allocGate {
+			if want.AfterAllocFree && !got.AfterAllocFree && got.After.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: dense side allocates %.0f allocs/op; baseline is alloc-free",
+					want.Name, got.After.AllocsPerOp))
+			} else if got.After.AllocsPerOp > want.After.AllocsPerOp {
+				failures = append(failures, fmt.Sprintf(
+					"%s: dense side allocs/op rose %.0f -> %.0f",
+					want.Name, want.After.AllocsPerOp, got.After.AllocsPerOp))
+			}
+		}
+	}
+	return failures
 }
 
 func missing(v *variants) string {

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ import (
 	"github.com/discsp/discsp/internal/experiments"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/telemetry"
 )
 
@@ -72,6 +74,9 @@ func run() error {
 		sweepN    = flag.Int("sweepn", 50, "sweep problem size")
 		blocks    = flag.String("blocks", "", "run a block-size sweep of the multi-variable extension for this family")
 		runtimes  = flag.String("runtimes", "", "compare sync/async/tcp runtimes on one instance of this family")
+		retention = flag.String("retention", "all", "nogood retention policy for every agent store: all, lru:CAP, or activity:CAP")
+		warmstart = flag.String("warmstart", "", "run the warm-start repeat-solve workload for these families (comma-separated d3c,d3s,d3s1, or all)")
+		warmOut   = flag.String("warmout", "", "write the warm-start measurements as JSON to this file (with -warmstart)")
 		journal   = flag.String("journal", "", "append-only trial journal (JSONL) for crash-safe runs; completed trials are recorded as they finish")
 		resume    = flag.Bool("resume", false, "resume from an existing -journal, skipping already-recorded trials (aggregates stay bit-identical)")
 		faultsArg = flag.String("faults", "", "fault profile for -runtimes (async/tcp legs): "+faults.ProfileSyntax)
@@ -126,6 +131,11 @@ func run() error {
 		}
 		scale.Ns = ns
 	}
+	ret, err := nogood.ParseRetention(*retention)
+	if err != nil {
+		return err
+	}
+	scale.Retention = ret
 
 	markdown := false
 	switch *format {
@@ -139,6 +149,9 @@ func run() error {
 	fcfg, err := faults.ParseProfile(*faultsArg, *faultSeed)
 	if err != nil {
 		return err
+	}
+	if *warmOut != "" && *warmstart == "" {
+		return fmt.Errorf("-warmout needs -warmstart")
 	}
 
 	// Telemetry: the grids emit one trial event per completed trial (in
@@ -189,6 +202,8 @@ func run() error {
 	}
 
 	switch {
+	case *warmstart != "":
+		return printWarmStart(*warmstart, scale, *warmOut)
 	case *runtimes != "":
 		return printRuntimes(*runtimes, *sweepN, scale, fcfg, markdown)
 	case *blocks != "":
@@ -281,6 +296,99 @@ func printRuntimes(kindName string, n int, scale experiments.Scale, fcfg *faults
 		return experiments.MarkdownRuntimes(os.Stdout, results)
 	}
 	return experiments.FprintRuntimes(os.Stdout, results)
+}
+
+// warmRow is one family × n line of the warm-start JSON report.
+type warmRow struct {
+	Kind           string  `json:"kind"`
+	N              int     `json:"n"`
+	Pairs          int     `json:"pairs"`
+	ColdCycles     float64 `json:"cold_cycles"`
+	WarmCycles     float64 `json:"warm_cycles"`
+	CycleReduction float64 `json:"cycle_reduction"`
+	ColdChecks     float64 `json:"cold_checks"`
+	WarmChecks     float64 `json:"warm_checks"`
+	CheckReduction float64 `json:"check_reduction"`
+	ColdSolvedPct  float64 `json:"cold_solved_pct"`
+	WarmSolvedPct  float64 `json:"warm_solved_pct"`
+	CacheNogoods   int     `json:"cache_nogoods"`
+	SeededPairs    int     `json:"seeded_pairs"`
+}
+
+type warmReport struct {
+	Note      string    `json:"note"`
+	Retention string    `json:"retention"`
+	SeedBase  int64     `json:"seed_base"`
+	Rows      []warmRow `json:"rows"`
+}
+
+// printWarmStart runs the repeat-solve workload for every requested family
+// at its paper sizes (or -ns), prints a table, and optionally writes the
+// JSON report consumed by BENCH_6.json.
+func printWarmStart(families string, scale experiments.Scale, outPath string) error {
+	var kinds []experiments.ProblemKind
+	if families == "all" {
+		kinds = []experiments.ProblemKind{experiments.D3C, experiments.D3S, experiments.D3S1}
+	} else {
+		for _, name := range strings.Split(families, ",") {
+			kind, err := parseKind(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			kinds = append(kinds, kind)
+		}
+	}
+	report := warmReport{
+		Note:      "warm-start repeat-solve workload: same instance and initial assignment, cold (empty store) vs warm (store seeded from a cache harvested off one prior solve of the instance)",
+		Retention: scale.Retention.String(),
+		SeedBase:  scale.SeedBase,
+	}
+	fmt.Printf("Warm-start repeat-solve (retention=%s)\n", scale.Retention)
+	fmt.Println("family  n    pairs  cold-cyc  warm-cyc  cyc-red  cold-cck   warm-cck   cck-red  seeded")
+	for _, kind := range kinds {
+		ns := scale.Ns
+		if len(ns) == 0 {
+			ns = kind.PaperNs()
+		}
+		for _, n := range ns {
+			r, err := experiments.WarmStart(kind, n, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-6s  %-3d  %-5d  %-8.1f  %-8.1f  %6.1f%%  %-9.1f  %-9.1f  %6.1f%%  %d/%d\n",
+				r.Kind, r.N, r.Pairs, r.ColdCycles, r.WarmCycles, 100*r.CycleReduction(),
+				r.ColdChecks, r.WarmChecks, 100*r.CheckReduction(), r.SeededPairs, r.Pairs)
+			report.Rows = append(report.Rows, warmRow{
+				Kind:           r.Kind.String(),
+				N:              r.N,
+				Pairs:          r.Pairs,
+				ColdCycles:     r.ColdCycles,
+				WarmCycles:     r.WarmCycles,
+				CycleReduction: r.CycleReduction(),
+				ColdChecks:     r.ColdChecks,
+				WarmChecks:     r.WarmChecks,
+				CheckReduction: r.CheckReduction(),
+				ColdSolvedPct:  r.ColdSolved,
+				WarmSolvedPct:  r.WarmSolved,
+				CacheNogoods:   r.CacheNogoods,
+				SeededPairs:    r.SeededPairs,
+			})
+		}
+	}
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printBlockSweep(kindName string, n int, scale experiments.Scale) error {

@@ -76,6 +76,8 @@ func run() error {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		journal   = flag.String("journal", "", "append each completed trial of a -trials run to this JSONL journal")
 		resume    = flag.Bool("resume", false, "replay trials already in -journal instead of recomputing them")
+		retention = flag.String("retention", "all", "nogood-store retention policy: all, lru:<cap>, or activity:<cap> (cap bounds learned nogoods per agent)")
+		warmCache = flag.String("warm-cache", "", "persistent warm-start nogood cache file: seed AWC from it before solving, harvest survivors into it after (sync runs)")
 
 		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address (e.g. :9090, or :0 for an ephemeral port)")
@@ -160,6 +162,31 @@ func run() error {
 		return fmt.Errorf("unknown learning %q (want rslv, mcs, or none)", *learn)
 	}
 	opts.LearningSizeBound = *k
+	ret, err := discsp.ParseRetention(*retention)
+	if err != nil {
+		return err
+	}
+	opts.Retention = ret
+	var cache *discsp.NogoodCache
+	if *warmCache != "" {
+		if opts.Algorithm != discsp.AWC {
+			return fmt.Errorf("-warm-cache applies to AWC only")
+		}
+		if *useAsync || *useTCP {
+			return fmt.Errorf("-warm-cache needs the synchronous runtime (harvesting is sync-only)")
+		}
+		cache, err = discsp.LoadNogoodCache(*warmCache)
+		if err != nil {
+			return err
+		}
+		opts.WarmCache = cache
+		fmt.Fprintf(os.Stderr, "dcspsolve: warm cache %s holds %d nogoods\n", *warmCache, cache.Len())
+		defer func() {
+			if err := cache.Save(*warmCache); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspsolve: warm cache save:", err)
+			}
+		}()
+	}
 
 	if *faultsArg != "" {
 		if !*useAsync && !*useTCP {
@@ -224,7 +251,11 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "dcspsolve: resuming from %s (%d trials journaled)\n", *journal, j.Recovered())
 			}
 		}
-		return runTrials(problem, opts, *trials, *workers, *verbose, j, *learn, tel)
+		// A bounded retention policy is part of the configuration a journal
+		// key binds, so resumed runs never mix policies; the unbounded
+		// default keeps the legacy key format.
+		learnLabel := *learn + ret.Suffix()
+		return runTrials(problem, opts, *trials, *workers, *verbose, j, learnLabel, tel)
 	}
 	if *journal != "" {
 		return fmt.Errorf("-journal needs -trials > 1 (a single run has nothing to resume)")

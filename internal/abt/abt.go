@@ -91,17 +91,28 @@ var _ sim.InsolubleReporter = (*Agent)(nil)
 // evaluates the nogoods in which it is the lowest-priority (largest-id)
 // participant; unary constraints on itself are always its own to evaluate.
 func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value) *Agent {
+	return NewAgentRetention(id, problem, initial, nogood.Retention{})
+}
+
+// NewAgentRetention is NewAgent with a bounded nogood store. The agent's
+// own constraints are pinned; learned backtrack nogoods are evictable.
+// Forgetting never changes a reached verdict (learned nogoods are implied
+// by the constraints), but ABT's termination argument leans on recorded
+// nogoods, so aggressive caps can make a run exhaust its cycle budget
+// instead of finishing — the cap trades completeness pressure for memory,
+// exactly the knob the knowledge-base management literature studies.
+func NewAgentRetention(id csp.Var, problem *csp.Problem, initial csp.Value, ret nogood.Retention) *Agent {
 	a := &Agent{
 		id:       id,
 		domain:   problem.Domain(id),
-		store:    nogood.New(),
+		store:    nogood.NewRetention(ret),
 		value:    initial,
 		view:     make(map[csp.Var]csp.Value),
 		outLinks: make(map[csp.Var]struct{}),
 	}
 	for _, ng := range problem.NogoodsOf(id) {
 		if lowest(ng) == id {
-			a.store.Add(ng)
+			a.store.AddPinned(ng)
 		}
 	}
 	for _, nb := range problem.Neighbors(id) {
@@ -133,12 +144,23 @@ func (a *Agent) Insoluble() bool { return a.insoluble }
 // own constraints plus learned backtrack nogoods).
 func (a *Agent) StoreSize() int { return a.store.Len() }
 
-// Instrument attaches telemetry to the agent's nogood store: size tracks
-// the live store size, lengths the literal counts of learned nogoods.
-// Called after construction so the seeded constraints stay out of the
-// length histogram.
-func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
-	a.store.Instrument(size, lengths)
+// LearnedNogoods returns the surviving learned (unpinned) nogoods, for
+// warm-start harvesting.
+func (a *Agent) LearnedNogoods() []csp.Nogood { return a.store.Learned() }
+
+// StoreEvictions returns the number of retention evictions so far.
+func (a *Agent) StoreEvictions() int64 { return a.store.Evictions() }
+
+// StoreLearnedLen returns the number of learned (unpinned, evictable)
+// nogoods currently stored — the population a retention cap bounds.
+func (a *Agent) StoreLearnedLen() int { return a.store.LearnedLen() }
+
+// Instrument attaches telemetry to the agent's nogood store: Size tracks
+// the live store size, Lengths the literal counts of learned nogoods,
+// Evictions the retention evictions. Called after construction so the
+// seeded constraints stay out of the length histogram.
+func (a *Agent) Instrument(m telemetry.StoreMetrics) {
+	a.store.Instrument(m)
 }
 
 // Stats returns the agent's bookkeeping counters.

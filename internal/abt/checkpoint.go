@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 )
 
@@ -13,8 +14,12 @@ import (
 type Snapshot struct {
 	Value csp.Value
 	// Nogoods is the full store in insertion order (initial constraints the
-	// agent evaluates plus recorded nogoods).
-	Nogoods  []csp.Nogood
+	// agent evaluates plus recorded nogoods). Kept alongside Store for
+	// older consumers; Store is authoritative when populated.
+	Nogoods []csp.Nogood
+	// Store carries the retention metadata (pinned flags, stamps, hits) so
+	// bounded-store runs resume eviction decisions exactly.
+	Store    nogood.State
 	Checks   int64
 	ViewVars []csp.Var
 	ViewVals []csp.Value
@@ -31,6 +36,7 @@ func (a *Agent) Checkpoint() any {
 	s := &Snapshot{
 		Value:     a.value,
 		Nogoods:   a.store.Snapshot(),
+		Store:     a.store.State(),
 		Checks:    a.counter.Total(),
 		Insoluble: a.insoluble,
 		Stats:     a.stats,
@@ -62,7 +68,11 @@ func (a *Agent) Restore(snapshot any) error {
 		return fmt.Errorf("abt: corrupt snapshot: view slices of unequal length")
 	}
 	a.value = s.Value
-	a.store.Restore(s.Nogoods)
+	if s.Store.Nogoods != nil {
+		a.store.RestoreState(s.Store)
+	} else {
+		a.store.Restore(s.Nogoods)
+	}
 	a.counter.Restore(s.Checks)
 	a.insoluble = s.Insoluble
 	a.stats = s.Stats

@@ -194,18 +194,22 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		// agents re-attach to the same gauges. The gauges are atomics: the
 		// monitor samples live store sizes without touching agent state.
 		rt.storeGauges = make([]*telemetry.Gauge, n)
-		hists := make([]*telemetry.Histogram, n)
+		metrics := make([]telemetry.StoreMetrics, n)
 		for v := 0; v < n; v++ {
 			label := strconv.Itoa(v)
 			rt.storeGauges[v] = reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", label))
-			hists[v] = reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets)
+			metrics[v] = telemetry.StoreMetrics{
+				Size:      rt.storeGauges[v],
+				Lengths:   reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets),
+				Evictions: reg.Counter(telemetry.Name("discsp_store_evictions", "agent", label)),
+			}
 		}
 		rt.queueHist = reg.Histogram("discsp_queue_depth", telemetry.QueueDepthBuckets)
 		orig := makeAgent
 		rt.makeAgent = func(v csp.Var) sim.Agent {
 			a := orig(v)
 			if ia, ok := a.(instrumented); ok {
-				ia.Instrument(rt.storeGauges[v], hists[v])
+				ia.Instrument(metrics[v])
 			}
 			return a
 		}
@@ -342,7 +346,7 @@ func (rt *runtime) agentsFinal() []sim.Agent { return rt.agents }
 // instrumented is implemented by agents whose nogood store accepts
 // telemetry hooks (core, abt, breakout).
 type instrumented interface {
-	Instrument(*telemetry.Gauge, *telemetry.Histogram)
+	Instrument(telemetry.StoreMetrics)
 }
 
 // storeSizer is implemented by agents exposing their nogood-store size.

@@ -134,9 +134,10 @@ func (a *Agent) Stats() Stats { return a.stats }
 func (a *Agent) StoreSize() int { return len(a.nogoods) }
 
 // Instrument attaches telemetry. DB's nogood set never grows, so the size
-// gauge is set once and the length histogram is unused (no learning).
-func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
-	size.Set(int64(len(a.nogoods)))
+// gauge is set once; the length histogram and evictions counter are unused
+// (no learning, nothing to evict).
+func (a *Agent) Instrument(m telemetry.StoreMetrics) {
+	m.Size.Set(int64(len(a.nogoods)))
 }
 
 // Weight returns the current weight of the i-th nogood (for tests).

@@ -64,9 +64,12 @@ type Agent struct {
 	// higher caches each stored nogood's higher/lower classification, by
 	// store position. Rank depends only on priorities (not values), so the
 	// cache stays valid until a view priority, the own priority, or the
-	// store itself changes.
+	// store itself changes. Store changes are detected by generation, not
+	// length: under a bounded retention policy an evict+insert pair leaves
+	// the length unchanged while shifting positions.
 	higher      []bool
 	higherValid bool
+	higherGen   int64
 	mcsView     *csp.DenseView // scratch assignment for conflict-set tests
 	litScratch  []csp.Lit      // scratch for resolvent assembly
 	subScratch  []csp.Lit      // scratch for mcs subset candidates
@@ -84,6 +87,11 @@ type Agent struct {
 	// scratch reused across check_agent_view invocations.
 	violatedHigher [][]csp.Nogood
 	lowerViol      []int
+
+	// seedRequests are the non-neighbor variables mentioned by warm-start
+	// nogoods (SeedNogoods); Init asks each for its current value instead
+	// of adopting the stale values the previous run saw.
+	seedRequests []csp.Var
 }
 
 var _ sim.Agent = (*Agent)(nil)
@@ -97,7 +105,7 @@ func NewAgent(id csp.Var, problem *csp.Problem, initial csp.Value, learning Lear
 		id:            id,
 		domain:        problem.Domain(id),
 		learning:      learning,
-		store:         nogood.NewFromSlice(problem.NogoodsOf(id)),
+		store:         nogood.NewFromSliceRetention(problem.NogoodsOf(id), learning.Retention),
 		value:         initial,
 		generatedKeys: make(map[string]struct{}),
 	}
@@ -184,25 +192,97 @@ func (a *Agent) Stats() Stats { return a.stats }
 // constraints plus learned).
 func (a *Agent) StoreSize() int { return a.store.Len() }
 
-// Instrument attaches telemetry to the agent's nogood store: size tracks
-// the live store size, lengths the distribution of learned-nogood
-// (resolvent) literal counts. Called after construction so the initial
-// constraints do not pollute the length histogram. Observationally inert:
-// the hooks only read state the agent already maintains.
-func (a *Agent) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
-	a.store.Instrument(size, lengths)
+// LearnedNogoods returns the surviving learned (unpinned) nogoods, for
+// warm-start harvesting.
+func (a *Agent) LearnedNogoods() []csp.Nogood { return a.store.Learned() }
+
+// StoreEvictions returns the number of retention evictions so far.
+func (a *Agent) StoreEvictions() int64 { return a.store.Evictions() }
+
+// StoreLearnedLen returns the number of learned (unpinned, evictable)
+// nogoods currently stored — the population a retention cap bounds.
+func (a *Agent) StoreLearnedLen() int { return a.store.LearnedLen() }
+
+// Instrument attaches telemetry to the agent's nogood store: Size tracks
+// the live store size, Lengths the distribution of learned-nogood
+// (resolvent) literal counts, Evictions the retention evictions. Called
+// after construction so the initial constraints do not pollute the length
+// histogram. Observationally inert: the hooks only read state the agent
+// already maintains.
+func (a *Agent) Instrument(m telemetry.StoreMetrics) {
+	a.store.Instrument(m)
+}
+
+// SeedNogoods warm-starts the store with nogoods learned by a previous run
+// on a compatible problem (see nogood.Cache for the admissibility rule the
+// caller enforces). Called after construction, before the run begins.
+// Seeding charges no checks — the knowledge was paid for when it was first
+// learned — and honours the learning configuration's recording rules
+// (size bound, no-record). Unlike receiveNogood, the values a seeded
+// nogood asserts are NOT adopted into the agent_view: they were true at
+// some view of the previous run and are meaningless now. Mentioned
+// variables outside the constraint neighborhood are remembered and asked
+// for their current value at Init (the add-link mechanism); until an owner
+// answers, the seeded nogood simply cannot fire, which is exactly the
+// semantics of an unknown variable.
+func (a *Agent) SeedNogoods(ngs []csp.Nogood) {
+	requested := make(map[csp.Var]bool)
+	for _, ng := range ngs {
+		if ng.Empty() || !a.learning.shouldRecord(ng) {
+			continue
+		}
+		if !a.store.Add(ng) {
+			continue
+		}
+		for i := 0; i < ng.Len(); i++ {
+			v := ng.At(i).Var
+			if v == a.id || requested[v] || a.isNeighbor(v) {
+				continue
+			}
+			requested[v] = true
+			a.seedRequests = append(a.seedRequests, v)
+		}
+	}
+	sort.Slice(a.seedRequests, func(i, j int) bool { return a.seedRequests[i] < a.seedRequests[j] })
+	a.higherValid = false
+}
+
+// isNeighbor reports whether v is already an ok? broadcast target (a
+// constraint-graph neighbor, whose value will arrive in the first cycle
+// without being asked).
+func (a *Agent) isNeighbor(v csp.Var) bool {
+	if a.learning.Reference {
+		_, ok := a.outLinks[v]
+		return ok
+	}
+	return a.linked[v]
+}
+
+// seedRequestMsgs emits one Request per warm-start variable (see
+// SeedNogoods), in ascending order.
+func (a *Agent) seedRequestMsgs() []sim.Message {
+	if len(a.seedRequests) == 0 {
+		return nil
+	}
+	msgs := make([]sim.Message, 0, len(a.seedRequests))
+	for _, v := range a.seedRequests {
+		msgs = append(msgs, Request{Sender: a.ID(), Receiver: sim.AgentID(v)})
+	}
+	return msgs
 }
 
 // Init implements sim.Agent: repair unary-constraint violations of the
 // initial value (with an empty agent_view only unary nogoods can fire, and
 // those are always "higher"), then announce the value to all neighbors. A
 // variable whose unary constraints wipe out its whole domain derives the
-// empty resolvent here, immediately proving insolubility.
+// empty resolvent here, immediately proving insolubility. Warm-start value
+// requests (SeedNogoods) ride along in front.
 func (a *Agent) Init() []sim.Message {
-	if acted, msgs := a.checkAgentView(); acted {
-		return msgs
+	msgs := a.seedRequestMsgs()
+	if acted, more := a.checkAgentView(); acted {
+		return append(msgs, more...)
 	}
-	return a.broadcastOk(nil)
+	return a.broadcastOk(msgs)
 }
 
 // Step implements sim.Agent: absorb the cycle's messages, then run
@@ -405,7 +485,7 @@ func (a *Agent) isHigher(ng csp.Nogood) bool {
 // Dense representation only.
 func (a *Agent) ensureHigher() {
 	all := a.store.All()
-	if a.higherValid && len(a.higher) == len(all) {
+	if a.higherValid && a.higherGen == a.store.Gen() {
 		return
 	}
 	if cap(a.higher) < len(all) {
@@ -417,6 +497,7 @@ func (a *Agent) ensureHigher() {
 		a.higher[i] = a.isHigher(ng)
 	}
 	a.higherValid = true
+	a.higherGen = a.store.Gen()
 }
 
 // checkAgentView is the heart of AWC (Section 2.2). It returns whether the
@@ -537,6 +618,7 @@ func (a *Agent) consistent() bool {
 			continue
 		}
 		if nogood.CheckDense(ng, dv, &a.counter) {
+			a.store.Bump(i)
 			return false
 		}
 	}
@@ -561,6 +643,7 @@ func (a *Agent) classifyViolations() {
 		for j, d := range a.domain {
 			dv.Assign(a.id, d)
 			if nogood.CheckDense(ng, dv, &a.counter) {
+				a.store.Bump(i)
 				if higher {
 					a.violatedHigher[j] = append(a.violatedHigher[j], ng)
 				} else {

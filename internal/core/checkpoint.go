@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 )
 
@@ -17,9 +18,14 @@ type Snapshot struct {
 	Value    csp.Value
 	Priority int
 	// Nogoods is the full store in insertion order: the initial constraints
-	// plus everything learned.
+	// plus everything learned. Kept alongside Store for older consumers;
+	// Store is authoritative when populated.
 	Nogoods []csp.Nogood
-	Checks  int64
+	// Store is the full store state including retention metadata (pinned
+	// flags, recency stamps, hit counts), so bounded-store runs resume
+	// their eviction decisions exactly where the checkpoint left them.
+	Store  nogood.State
+	Checks int64
 	// ViewVars/ViewVals/ViewPrios are the agent_view, sorted by variable.
 	ViewVars  []csp.Var
 	ViewVals  []csp.Value
@@ -43,6 +49,7 @@ func (a *Agent) Checkpoint() any {
 		Value:     a.value,
 		Priority:  a.priority,
 		Nogoods:   a.store.Snapshot(),
+		Store:     a.store.State(),
 		Checks:    a.counter.Total(),
 		Insoluble: a.insoluble,
 		Stats:     a.stats,
@@ -102,7 +109,11 @@ func (a *Agent) Restore(snapshot any) error {
 		return fmt.Errorf("core: corrupt snapshot: view slices of unequal length")
 	}
 	a.priority = s.Priority
-	a.store.Restore(s.Nogoods)
+	if s.Store.Nogoods != nil {
+		a.store.RestoreState(s.Store)
+	} else {
+		a.store.Restore(s.Nogoods)
+	}
 	a.counter.Restore(s.Checks)
 	a.insoluble = s.Insoluble
 	a.stats = s.Stats

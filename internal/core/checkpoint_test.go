@@ -94,6 +94,9 @@ func TestCheckpointCanonicalAcrossRepresentations(t *testing.T) {
 		for i, ng := range s.Nogoods {
 			s.Nogoods[i] = csp.MustNogood(ng.Lits()...)
 		}
+		for i, ng := range s.Store.Nogoods {
+			s.Store.Nogoods[i] = csp.MustNogood(ng.Lits()...)
+		}
 		if s.LastLearned != nil {
 			cp := csp.MustNogood(s.LastLearned.Lits()...)
 			s.LastLearned = &cp

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 )
 
@@ -122,6 +123,13 @@ type Learning struct {
 	// Name() deliberately ignores it: table labels must match across
 	// representations.
 	Reference bool
+	// Retention bounds each agent's nogood store (initial constraints are
+	// pinned and exempt). The zero value is the unbounded reference policy
+	// of the paper's experiments. Any bounded policy is sound — learned
+	// nogoods are consequences of the initial constraints, so forgetting
+	// one never changes a verdict, only (possibly) the work to reach it —
+	// which the retention oracle tests in internal/experiments pin.
+	Retention nogood.Retention
 }
 
 // DefaultMCSExhaustiveLimit is the default cap on exhaustive mcs subset
@@ -142,6 +150,7 @@ func (l Learning) Name() string {
 	if l.SubsumptionPruning {
 		name += "/prune"
 	}
+	name += l.Retention.Suffix()
 	return name
 }
 

@@ -49,11 +49,12 @@ func (p probeView) Lookup(v csp.Var) (csp.Value, bool) {
 // current value, charging one check per evaluated nogood.
 func (a *Agent) consistentRef() bool {
 	current := probeView{a: a, val: a.value}
-	for _, ng := range a.store.All() {
+	for pos, ng := range a.store.All() {
 		if !a.isHigher(ng) {
 			continue
 		}
 		if nogood.Check(ng, current, &a.counter) {
+			a.store.Bump(pos)
 			return false
 		}
 	}
@@ -63,10 +64,11 @@ func (a *Agent) consistentRef() bool {
 // classifyViolationsRef is the reference full evaluation; caller has already
 // reset the scratch slices.
 func (a *Agent) classifyViolationsRef() {
-	for _, ng := range a.store.All() {
+	for pos, ng := range a.store.All() {
 		higher := a.isHigher(ng)
 		for i, d := range a.domain {
 			if nogood.Check(ng, probeView{a: a, val: d}, &a.counter) {
+				a.store.Bump(pos)
 				if higher {
 					a.violatedHigher[i] = append(a.violatedHigher[i], ng)
 				} else {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/stats"
 	"github.com/discsp/discsp/internal/telemetry"
@@ -14,6 +15,11 @@ type Algorithm struct {
 	Name string
 	// Run executes one trial.
 	Run func(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) (TrialResult, error)
+	// WithRetention, when non-nil, returns this algorithm running under the
+	// given nogood retention policy. runCells applies it to every cell when
+	// Scale.Retention is bounded; algorithms without a nogood store (DB)
+	// leave it nil and run unchanged.
+	WithRetention func(nogood.Retention) Algorithm
 }
 
 // AWC returns the Algorithm for AWC with the given learning configuration.
@@ -22,6 +28,11 @@ func AWC(l core.Learning) Algorithm {
 		Name: l.Name(),
 		Run: func(p *csp.Problem, init csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
 			return RunAWC(p, init, l, opts)
+		},
+		WithRetention: func(ret nogood.Retention) Algorithm {
+			bounded := l
+			bounded.Retention = ret
+			return AWC(bounded)
 		},
 	}
 }
@@ -33,7 +44,18 @@ func DB() Algorithm {
 
 // ABT returns the Algorithm for asynchronous backtracking.
 func ABT() Algorithm {
-	return Algorithm{Name: "ABT", Run: RunABT}
+	return Algorithm{
+		Name: "ABT",
+		Run:  RunABT,
+		WithRetention: func(ret nogood.Retention) Algorithm {
+			return Algorithm{
+				Name: "ABT" + ret.Suffix(),
+				Run: func(p *csp.Problem, init csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+					return RunABTRetention(p, init, ret, opts)
+				},
+			}
+		},
+	}
 }
 
 // Scale sets the trial structure of a harness run. PaperScale reproduces
@@ -69,6 +91,11 @@ type Scale struct {
 	// the stream is identical for every Workers value), plus a metrics
 	// snapshot per grid. It never changes trial results or aggregates.
 	Telemetry *telemetry.Run
+	// Retention bounds every agent's nogood store. The zero value keeps
+	// stores unbounded (the paper's setup). Bounded retention reshapes each
+	// algorithm via Algorithm.WithRetention and suffixes cell keys, so
+	// journals never mix trials across retention policies.
+	Retention nogood.Retention
 }
 
 // PaperScale is the paper's full experimental setup.

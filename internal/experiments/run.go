@@ -13,6 +13,7 @@ import (
 	"github.com/discsp/discsp/internal/breakout"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 )
 
@@ -69,9 +70,15 @@ func RunDB(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) 
 // RunABT runs asynchronous backtracking on problem from the given initial
 // values.
 func RunABT(problem *csp.Problem, initial csp.SliceAssignment, opts sim.Options) (TrialResult, error) {
+	return RunABTRetention(problem, initial, nogood.Retention{}, opts)
+}
+
+// RunABTRetention runs ABT with every agent's nogood store bounded by the
+// given retention policy (the zero value is unbounded).
+func RunABTRetention(problem *csp.Problem, initial csp.SliceAssignment, ret nogood.Retention, opts sim.Options) (TrialResult, error) {
 	agents := make([]sim.Agent, problem.NumVars())
 	for v := 0; v < problem.NumVars(); v++ {
-		agents[v] = abt.NewAgent(csp.Var(v), problem, initial[v])
+		agents[v] = abt.NewAgentRetention(csp.Var(v), problem, initial[v], ret)
 	}
 	res, err := sim.Run(problem, agents, opts)
 	if err != nil {

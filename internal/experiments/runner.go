@@ -146,6 +146,29 @@ func ratioCell(kind ProblemKind, n, m int, alg Algorithm) cellSpec {
 		}}
 }
 
+// applyRetention rebuilds a grid's algorithms under scale.Retention when it
+// is bounded. Each supporting algorithm is re-wrapped via WithRetention, and
+// the display name and journal key both gain the policy suffix: row labels
+// read "3rdRslv/lru512" and a resumed journal can never replay a trial run
+// under a different eviction policy. Algorithms without a store (DB) pass
+// through unchanged. With unbounded retention the specs are returned as-is.
+func applyRetention(specs []cellSpec, scale Scale) []cellSpec {
+	if !scale.Retention.Bounded() {
+		return specs
+	}
+	out := append([]cellSpec(nil), specs...)
+	for i := range out {
+		if out[i].alg.WithRetention == nil {
+			continue
+		}
+		wrapped := out[i].alg.WithRetention(scale.Retention)
+		wrapped.Name = out[i].alg.Name + scale.Retention.Suffix()
+		out[i].alg = wrapped
+		out[i].key += scale.Retention.Suffix()
+	}
+	return out
+}
+
 // runCells measures every spec'd cell, fanning both phases — instance
 // generation, then every (instance, init) trial of every cell — across the
 // scale's worker pool. Results are written to preallocated index-addressed
@@ -160,6 +183,7 @@ func ratioCell(kind ProblemKind, n, m int, alg Algorithm) cellSpec {
 // slots, so the aggregates of a resumed grid are bit-identical to an
 // uninterrupted run's.
 func runCells(specs []cellSpec, scale Scale) ([]CellResult, error) {
+	specs = applyRetention(specs, scale)
 	maxCycles := scale.maxCycles()
 	journal := scale.Journal
 	type cellPlan struct {

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/discsp/discsp/internal/core"
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/gen"
+	"github.com/discsp/discsp/internal/nogood"
+	"github.com/discsp/discsp/internal/sim"
+)
+
+// WarmStartResult aggregates the repeat-solve workload for one family × n:
+// the same instances solved cold (empty store) and warm (store seeded from a
+// cross-run nogood cache harvested off an earlier solve of the same
+// instance). Cold and warm trials share problem, initial assignment, and
+// learning configuration — the seeded nogoods are the only difference — so
+// the deltas isolate the value of remembering.
+type WarmStartResult struct {
+	Kind ProblemKind
+	N    int
+	// Pairs is the number of cold/warm trial pairs measured.
+	Pairs int
+	// ColdCycles and WarmCycles are mean cycles to termination.
+	ColdCycles, WarmCycles float64
+	// ColdChecks and WarmChecks are mean total charged checks.
+	ColdChecks, WarmChecks float64
+	// ColdSolved and WarmSolved are the percentage of trials finished
+	// within the cutoff.
+	ColdSolved, WarmSolved float64
+	// CacheNogoods is the total number of nogoods harvested into the
+	// per-instance caches by the priming runs.
+	CacheNogoods int
+	// SeededPairs counts pairs whose warm run actually received seeds (a
+	// priming run that learned nothing leaves its cache empty).
+	SeededPairs int
+}
+
+// CycleReduction is the relative mean-cycle saving of warm over cold
+// (positive = warm cheaper).
+func (r WarmStartResult) CycleReduction() float64 { return reduction(r.ColdCycles, r.WarmCycles) }
+
+// CheckReduction is the relative mean-check saving of warm over cold.
+func (r WarmStartResult) CheckReduction() float64 { return reduction(r.ColdChecks, r.WarmChecks) }
+
+func reduction(cold, warm float64) float64 {
+	if cold == 0 {
+		return 0
+	}
+	return (cold - warm) / cold
+}
+
+// WarmStart measures the warm-start benefit on a repeat-solve workload.
+//
+// For each (instance, initialization) trial of the scale: the cold run
+// solves the instance from scratch and its surviving learned nogoods are
+// harvested into a nogood.Cache keyed by the instance's signature — exactly
+// the Solve/harvest/Save/Load/seed path the discsp facade runs across
+// processes, minus the disk round-trip. The warm run then re-solves the
+// *same* instance from the *same* initial assignment with every agent's
+// store seeded from the cache: the crash-restart / re-verification scenario
+// the resumable-experiment machinery exists for, where the second solve
+// should not pay to re-derive what the first one learned. Seeding is
+// uncharged (structural bookkeeping, like receiving a NogoodMsg before the
+// clock starts), so warm checks are directly comparable to cold.
+//
+// Learning is the family's best size-bounded configuration (BestLearning),
+// matching how a user would actually run a repeat-solve workload. Retention
+// from the scale is applied to both sides of every pair.
+func WarmStart(kind ProblemKind, n int, scale Scale) (WarmStartResult, error) {
+	instances, inits := scale.trials(kind)
+	maxCycles := scale.maxCycles()
+	learning := BestLearning(kind)
+	learning.Retention = scale.Retention
+
+	type pair struct {
+		cold, warm TrialResult
+		seeded     bool
+	}
+	type instResult struct {
+		pairs      []pair
+		cacheCount int
+	}
+	results := make([]instResult, instances)
+
+	if err := ForEach(scale.Workers, instances, func(i int) error {
+		problem, err := MakeInstance(kind, n, instanceSeed(scale.SeedBase, kind, n, i))
+		if err != nil {
+			return fmt.Errorf("warmstart %v n=%d instance %d: %w", kind, n, i, err)
+		}
+		opts := sim.Options{MaxCycles: maxCycles}
+		for j := 0; j < inits; j++ {
+			init := gen.RandomInitial(problem, initSeed(scale.SeedBase, kind, n, i, j))
+			cold, agents, err := runSeededAWC(problem, init, learning, nil, opts)
+			if err != nil {
+				return fmt.Errorf("warmstart %v n=%d instance %d init %d cold: %w", kind, n, i, j, err)
+			}
+			cache := nogood.NewCache()
+			cache.Put(problem, harvestLearned(agents))
+			results[i].cacheCount += cache.Len()
+			seeds := seedsPerVar(problem, cache)
+			warm, _, err := runSeededAWC(problem, init, learning, seeds, opts)
+			if err != nil {
+				return fmt.Errorf("warmstart %v n=%d instance %d init %d warm: %w", kind, n, i, j, err)
+			}
+			results[i].pairs = append(results[i].pairs, pair{cold: cold, warm: warm, seeded: seeds != nil})
+		}
+		return nil
+	}); err != nil {
+		return WarmStartResult{}, err
+	}
+
+	// Aggregate in instance order: means independent of worker scheduling.
+	out := WarmStartResult{Kind: kind, N: n}
+	var coldSolved, warmSolved int
+	for i := range results {
+		out.CacheNogoods += results[i].cacheCount
+		for _, p := range results[i].pairs {
+			out.Pairs++
+			if p.seeded {
+				out.SeededPairs++
+			}
+			out.ColdCycles += float64(p.cold.Cycles)
+			out.WarmCycles += float64(p.warm.Cycles)
+			out.ColdChecks += float64(p.cold.TotalChecks)
+			out.WarmChecks += float64(p.warm.TotalChecks)
+			if p.cold.Solved {
+				coldSolved++
+			}
+			if p.warm.Solved {
+				warmSolved++
+			}
+		}
+	}
+	if out.Pairs > 0 {
+		np := float64(out.Pairs)
+		out.ColdCycles /= np
+		out.WarmCycles /= np
+		out.ColdChecks /= np
+		out.WarmChecks /= np
+		out.ColdSolved = 100 * float64(coldSolved) / np
+		out.WarmSolved = 100 * float64(warmSolved) / np
+	}
+	return out, nil
+}
+
+// runSeededAWC runs one AWC trial, seeding each agent's store from seeds
+// (per-variable grouping; nil = cold) before the first cycle.
+func runSeededAWC(p *csp.Problem, init csp.SliceAssignment, l core.Learning, seeds [][]csp.Nogood, opts sim.Options) (TrialResult, []*core.Agent, error) {
+	agents := make([]sim.Agent, p.NumVars())
+	awcAgents := make([]*core.Agent, p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		a := core.NewAgent(csp.Var(v), p, init[v], l)
+		if seeds != nil {
+			a.SeedNogoods(seeds[v])
+		}
+		awcAgents[v] = a
+		agents[v] = a
+	}
+	res, err := sim.Run(p, agents, opts)
+	if err != nil {
+		return TrialResult{}, nil, err
+	}
+	tr := TrialResult{Result: res}
+	for _, a := range awcAgents {
+		st := a.Stats()
+		tr.RedundantGenerations += st.RedundantGenerations
+		tr.NogoodsGenerated += st.NogoodsGenerated
+		tr.Deadends += st.Deadends
+	}
+	return tr, awcAgents, nil
+}
+
+// harvestLearned collects the surviving learned nogoods across agents,
+// deduplicated by canonical key — the in-process mirror of the facade's
+// post-Solve warm-cache harvest.
+func harvestLearned(agents []*core.Agent) []csp.Nogood {
+	var all []csp.Nogood
+	seen := make(map[string]struct{})
+	for _, a := range agents {
+		for _, ng := range a.LearnedNogoods() {
+			if _, dup := seen[ng.Key()]; dup {
+				continue
+			}
+			seen[ng.Key()] = struct{}{}
+			all = append(all, ng)
+		}
+	}
+	return all
+}
+
+// seedsPerVar resolves the cache against p and groups the admissible
+// nogoods per variable they mention — the same fan-out Options.warmSeeds
+// performs in the facade. Nil when the cache has nothing admissible.
+func seedsPerVar(p *csp.Problem, cache *nogood.Cache) [][]csp.Nogood {
+	cached := cache.Seed(p)
+	if len(cached) == 0 {
+		return nil
+	}
+	seeds := make([][]csp.Nogood, p.NumVars())
+	for _, ng := range cached {
+		for i := 0; i < ng.Len(); i++ {
+			v := ng.At(i).Var
+			seeds[v] = append(seeds[v], ng)
+		}
+	}
+	return seeds
+}

@@ -87,7 +87,7 @@ func NewAgent(id sim.AgentID, problem *csp.Problem, partition Partition, initial
 				a.localNogoods = append(a.localNogoods, ng)
 				continue
 			}
-			a.store.Add(ng)
+			a.store.AddPinned(ng)
 			for i := 0; i < ng.Len(); i++ {
 				if u := ng.At(i).Var; !a.owned[u] {
 					a.outLinks[a.owner[u]] = struct{}{}

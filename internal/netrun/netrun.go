@@ -195,7 +195,7 @@ type nodeCounters struct {
 // instrumented is implemented by agents whose nogood store accepts
 // telemetry hooks (core, abt, breakout).
 type instrumented interface {
-	Instrument(*telemetry.Gauge, *telemetry.Histogram)
+	Instrument(telemetry.StoreMetrics)
 }
 
 // storeSizer is implemented by agents exposing their nogood-store size.
@@ -260,17 +260,21 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		// live store sizes without touching node state. Resolve them up
 		// front and wrap makeAgent so restarted incarnations re-attach.
 		hub.storeGauges = make([]*telemetry.Gauge, n)
-		hists := make([]*telemetry.Histogram, n)
+		metrics := make([]telemetry.StoreMetrics, n)
 		for v := 0; v < n; v++ {
 			label := strconv.Itoa(v)
 			hub.storeGauges[v] = reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", label))
-			hists[v] = reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets)
+			metrics[v] = telemetry.StoreMetrics{
+				Size:      hub.storeGauges[v],
+				Lengths:   reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", label), telemetry.NogoodLenBuckets),
+				Evictions: reg.Counter(telemetry.Name("discsp_store_evictions", "agent", label)),
+			}
 		}
 		orig := makeAgent
 		makeAgent = func(v csp.Var) sim.Agent {
 			a := orig(v)
 			if ia, ok := a.(instrumented); ok {
-				ia.Instrument(hub.storeGauges[v], hists[v])
+				ia.Instrument(metrics[v])
 			}
 			return a
 		}

@@ -1,0 +1,246 @@
+package nogood
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/discsp/discsp/internal/csp"
+)
+
+// Cache is the cross-run nogood cache: learned nogoods harvested from a
+// finished run, keyed by the problem's structural signature, reusable to
+// warm-start a later run on the same or an incrementally-grown instance.
+//
+// Soundness is the whole design. A learned nogood is a logical consequence
+// of the constraint set it was learned under; seeding it into a different
+// problem is sound only if that problem implies at least the same
+// constraints. The cache therefore records, per entry, the *constraint key
+// set* in force at harvest time, and Seed hands out an entry only when its
+// recorded constraint keys are a subset of the target problem's constraint
+// keys (admissible for additive mutations: adding constraints keeps every
+// cached nogood valid; removing or changing one voids the entry). Variables
+// and domains must match exactly — the signature pins them — because a
+// literal (var, val) only means anything against the same variable space.
+//
+// Cache is not safe for concurrent use; callers serialize access (the CLIs
+// load, solve, save sequentially).
+type Cache struct {
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	constraints map[string]struct{} // constraint keys in force at harvest
+	nogoods     []csp.Nogood        // learned nogoods, insertion order
+	seen        map[string]struct{} // dedup index over nogoods
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Len returns the total number of cached nogoods across all entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, e := range c.entries {
+		n += len(e.nogoods)
+	}
+	return n
+}
+
+// signature canonically identifies a problem's variable space: variable
+// count and every domain, verbatim. Two problems with equal signatures
+// interpret every literal identically. The full string is kept (not a
+// hash): a hash collision would seed a foreign problem's nogoods, which is
+// unsound, and signatures for the instance sizes this repo studies are
+// small.
+func signature(p *csp.Problem) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d", p.NumVars())
+	for v := 0; v < p.NumVars(); v++ {
+		b.WriteByte('|')
+		for i, val := range p.Domain(csp.Var(v)) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", int(val))
+		}
+	}
+	return b.String()
+}
+
+// constraintKeys returns the set of the problem's constraint keys.
+func constraintKeys(p *csp.Problem) map[string]struct{} {
+	keys := make(map[string]struct{}, p.NumNogoods())
+	for i := 0; i < p.NumNogoods(); i++ {
+		keys[p.Nogood(i).Key()] = struct{}{}
+	}
+	return keys
+}
+
+// Put merges learned nogoods from a finished run on p into the cache.
+// The entry's constraint set becomes the union of the previous and current
+// constraint sets: every cached nogood is implied by the constraint set it
+// was harvested under, so a target problem admitting the union admits each.
+func (c *Cache) Put(p *csp.Problem, learned []csp.Nogood) {
+	sig := signature(p)
+	e := c.entries[sig]
+	if e == nil {
+		e = &cacheEntry{
+			constraints: make(map[string]struct{}),
+			seen:        make(map[string]struct{}),
+		}
+		c.entries[sig] = e
+	}
+	for k := range constraintKeys(p) {
+		e.constraints[k] = struct{}{}
+	}
+	for _, ng := range learned {
+		if ng.Empty() {
+			continue // insolubility is not transferable knowledge here
+		}
+		key := ng.Key()
+		if _, dup := e.seen[key]; dup {
+			continue
+		}
+		e.seen[key] = struct{}{}
+		e.nogoods = append(e.nogoods, ng)
+	}
+}
+
+// Seed returns the cached nogoods admissible for p: the entry under p's
+// signature, provided every constraint key recorded at harvest time is
+// still among p's constraints. Inadmissible or missing entries return nil
+// — a cold start, never an unsound one. The returned slice is shared;
+// callers must not mutate it.
+func (c *Cache) Seed(p *csp.Problem) []csp.Nogood {
+	e := c.entries[signature(p)]
+	if e == nil {
+		return nil
+	}
+	have := constraintKeys(p)
+	for k := range e.constraints {
+		if _, ok := have[k]; !ok {
+			return nil
+		}
+	}
+	return e.nogoods
+}
+
+// cacheRecord is the JSONL persistence form of one cache entry.
+type cacheRecord struct {
+	Sig         string      `json:"sig"`
+	Constraints []string    `json:"constraints"`
+	Nogoods     [][]litJSON `json:"nogoods"`
+}
+
+type litJSON struct {
+	V int `json:"v"`
+	A int `json:"a"`
+}
+
+// Save writes the cache as JSONL (one entry per line) to path, atomically
+// via a temp-file rename. Entries are written in sorted signature order so
+// identical caches serialize to identical bytes.
+func (c *Cache) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	sigs := make([]string, 0, len(c.entries))
+	for sig := range c.entries {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		e := c.entries[sig]
+		rec := cacheRecord{Sig: sig}
+		rec.Constraints = make([]string, 0, len(e.constraints))
+		for k := range e.constraints {
+			rec.Constraints = append(rec.Constraints, k)
+		}
+		sort.Strings(rec.Constraints)
+		for _, ng := range e.nogoods {
+			lits := make([]litJSON, ng.Len())
+			for i := 0; i < ng.Len(); i++ {
+				l := ng.At(i)
+				lits[i] = litJSON{V: int(l.Var), A: int(l.Val)}
+			}
+			rec.Nogoods = append(rec.Nogoods, lits)
+		}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCache reads a cache previously written by Save. A missing file is an
+// empty cache, not an error — the first run of a workflow has nothing to
+// warm from.
+func LoadCache(path string) (*Cache, error) {
+	c := NewCache()
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return c, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var rec cacheRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return c, nil
+			}
+			return nil, fmt.Errorf("nogood cache %s: %w", path, err)
+		}
+		e := &cacheEntry{
+			constraints: make(map[string]struct{}, len(rec.Constraints)),
+			seen:        make(map[string]struct{}, len(rec.Nogoods)),
+		}
+		for _, k := range rec.Constraints {
+			e.constraints[k] = struct{}{}
+		}
+		for _, lits := range rec.Nogoods {
+			cl := make([]csp.Lit, len(lits))
+			for i, l := range lits {
+				cl[i] = csp.Lit{Var: csp.Var(l.V), Val: csp.Value(l.A)}
+			}
+			ng, err := csp.NewNogood(cl...)
+			if err != nil {
+				return nil, fmt.Errorf("nogood cache %s: %w", path, err)
+			}
+			key := ng.Key()
+			if _, dup := e.seen[key]; dup {
+				continue
+			}
+			e.seen[key] = struct{}{}
+			e.nogoods = append(e.nogoods, ng)
+		}
+		c.entries[rec.Sig] = e
+	}
+}

@@ -17,7 +17,7 @@ func TestStoreInstrumentTracksSize(t *testing.T) {
 
 	s := New()
 	s.Add(csp.MustNogood(lit(0, 1)))
-	s.Instrument(size, lens)
+	s.Instrument(telemetry.StoreMetrics{Size: size, Lengths: lens})
 	if size.Value() != 1 {
 		t.Fatalf("gauge after Instrument = %d, want 1 (pre-existing nogood)", size.Value())
 	}
@@ -64,7 +64,7 @@ func TestStoreRestoreDoesNotDoubleCountLengths(t *testing.T) {
 	lens := reg.Histogram("len", telemetry.NogoodLenBuckets)
 
 	s := New()
-	s.Instrument(size, lens)
+	s.Instrument(telemetry.StoreMetrics{Size: size, Lengths: lens})
 	s.Add(csp.MustNogood(lit(0, 1)))
 	s.Add(csp.MustNogood(lit(1, 0), lit(2, 1)))
 	snap := s.Snapshot()

@@ -85,7 +85,23 @@ type Store struct {
 	byVar   [][]int // byVar[v] = positions of nogoods mentioning Var(v)
 	bySize  [][]int // bySize[k] = positions of nogoods with Len() == k
 
-	// Telemetry hooks, attached by Instrument. Both are nil in the
+	// Retention state. meta is parallel to nogoods; pinnedLen counts the
+	// pinned entries (initial constraints, never evicted, exempt from the
+	// cap). clock is a logical timestamp advanced on every insert and Bump
+	// — stamps are therefore unique, which is what makes eviction
+	// tie-breaking deterministic at any worker count. gen increments on
+	// every structural change (insert or removal) so callers caching
+	// per-position derived state (the agents' higher-priority bitmaps)
+	// can detect staleness; a bare length comparison cannot, because an
+	// evict+insert pair leaves the length unchanged.
+	ret       Retention
+	meta      []entryMeta
+	pinnedLen int
+	clock     int64
+	gen       int64
+	evicted   int64
+
+	// Telemetry hooks, attached by Instrument. All are nil in the
 	// default (uninstrumented) configuration; the telemetry metric
 	// methods no-op on nil receivers, so the store pays one branch per
 	// mutation and nothing per check. The gauge is an atomic, which is
@@ -93,41 +109,96 @@ type Store struct {
 	// mid-run without racing agent goroutines.
 	sizeGauge *telemetry.Gauge
 	lenHist   *telemetry.Histogram
+	evictCtr  *telemetry.Counter
 }
 
-// Instrument attaches telemetry to the store: size tracks the live nogood
-// count across inserts, prunes, and restores; lengths observes the literal
-// count of each newly recorded nogood (for AWC, the resolvent-length
-// distribution — initial constraints seeded before Instrument are not
-// observed). Either argument may be nil.
-func (s *Store) Instrument(size *telemetry.Gauge, lengths *telemetry.Histogram) {
-	s.sizeGauge = size
-	s.lenHist = lengths
-	size.Set(int64(len(s.nogoods)))
+// entryMeta is the per-nogood retention bookkeeping, parallel to
+// Store.nogoods. None of it is consulted under RetainAll.
+type entryMeta struct {
+	pinned bool  // initial constraint: never evicted, exempt from cap
+	stamp  int64 // logical time of insert or last Bump (unique)
+	hits   int64 // violation hits recorded by Bump
 }
 
-// New returns an empty store.
+// Instrument attaches telemetry to the store: Size tracks the live nogood
+// count across inserts, prunes, evictions, and restores; Lengths observes
+// the literal count of each newly recorded nogood (for AWC, the
+// resolvent-length distribution — initial constraints seeded before
+// Instrument are not observed); Evictions counts retention evictions. Any
+// field may be nil.
+func (s *Store) Instrument(m telemetry.StoreMetrics) {
+	s.sizeGauge = m.Size
+	s.lenHist = m.Lengths
+	s.evictCtr = m.Evictions
+	m.Size.Set(int64(len(s.nogoods)))
+}
+
+// New returns an empty unbounded store.
 func New() *Store {
-	return &Store{index: make(map[string]int)}
+	return NewRetention(Retention{})
 }
 
-// NewFromSlice returns a store seeded with ngs (duplicates collapse).
+// NewRetention returns an empty store with the given retention policy.
+func NewRetention(ret Retention) *Store {
+	return &Store{index: make(map[string]int), ret: ret}
+}
+
+// NewFromSlice returns an unbounded store seeded with ngs (duplicates
+// collapse). Seeds are pinned: they are the problem's own constraints.
 func NewFromSlice(ngs []csp.Nogood) *Store {
+	return NewFromSliceRetention(ngs, Retention{})
+}
+
+// NewFromSliceRetention returns a store with the given retention policy,
+// seeded with ngs as pinned entries (duplicates collapse). Pinned entries
+// are never evicted and do not count against the cap — forgetting an
+// initial constraint would change the problem, not the search.
+func NewFromSliceRetention(ngs []csp.Nogood, ret Retention) *Store {
 	s := &Store{
 		nogoods: make([]csp.Nogood, 0, len(ngs)),
 		index:   make(map[string]int, len(ngs)),
+		ret:     ret,
 	}
 	for _, ng := range ngs {
-		s.Add(ng)
+		s.AddPinned(ng)
 	}
 	return s
 }
 
-// insert appends ng and updates every index incrementally. The caller has
-// already established that ng is not a duplicate.
-func (s *Store) insert(ng csp.Nogood) {
+// Retention returns the store's retention policy.
+func (s *Store) Retention() Retention { return s.ret }
+
+// Gen returns the structural generation: it changes whenever the mapping
+// from positions to nogoods may have changed (any insert or removal).
+// Callers holding per-position caches compare generations, not lengths.
+func (s *Store) Gen() int64 { return s.gen }
+
+// LearnedLen returns the number of unpinned (learned) entries — the
+// population the retention cap bounds.
+func (s *Store) LearnedLen() int { return len(s.nogoods) - s.pinnedLen }
+
+// PinnedLen returns the number of pinned entries.
+func (s *Store) PinnedLen() int { return s.pinnedLen }
+
+// Evictions returns the total number of retention evictions so far.
+func (s *Store) Evictions() int64 { return s.evicted }
+
+// tick advances the logical clock and returns the new stamp.
+func (s *Store) tick() int64 {
+	s.clock++
+	return s.clock
+}
+
+// insert appends ng with the given retention metadata and updates every
+// index incrementally. The caller has already established that ng is not a
+// duplicate and enforces the cap afterwards if the insert was unpinned.
+func (s *Store) insert(ng csp.Nogood, m entryMeta) {
 	pos := len(s.nogoods)
 	s.nogoods = append(s.nogoods, ng)
+	s.meta = append(s.meta, m)
+	if m.pinned {
+		s.pinnedLen++
+	}
 	s.index[ng.Key()] = pos
 	for i := 0; i < ng.Len(); i++ {
 		v := int(ng.At(i).Var)
@@ -141,18 +212,114 @@ func (s *Store) insert(ng csp.Nogood) {
 		s.bySize = append(s.bySize, nil)
 	}
 	s.bySize[size] = append(s.bySize[size], pos)
+	s.gen++
 	s.sizeGauge.Set(int64(len(s.nogoods)))
 	s.lenHist.Observe(int64(ng.Len()))
 }
 
-// Add records ng unless an identical nogood is already present. It reports
-// whether the nogood was newly added.
+// Add records ng as a learned (evictable) nogood unless an identical one is
+// already present. It reports whether the nogood was newly added — true
+// even if the retention policy evicts it (or, under a zero cap, ng itself)
+// immediately: the learning event happened and was observed.
 func (s *Store) Add(ng csp.Nogood) bool {
 	if _, ok := s.index[ng.Key()]; ok {
 		return false
 	}
-	s.insert(ng)
+	s.insert(ng, entryMeta{stamp: s.tick()})
+	s.enforceCap()
 	return true
+}
+
+// AddPinned records ng as a pinned entry: never evicted, exempt from the
+// retention cap. Initial constraints are seeded this way. If an identical
+// nogood is already present it is promoted to pinned and false is
+// returned.
+func (s *Store) AddPinned(ng csp.Nogood) bool {
+	if pos, ok := s.index[ng.Key()]; ok {
+		if !s.meta[pos].pinned {
+			s.meta[pos].pinned = true
+			s.pinnedLen++
+		}
+		return false
+	}
+	s.insert(ng, entryMeta{pinned: true, stamp: s.tick()})
+	return true
+}
+
+// Bump records that the nogood at pos fired during a consistency check:
+// it refreshes the entry's recency stamp and increments its hit count,
+// feeding the LRU and activity eviction orders. No-op under RetainAll, so
+// the reference configuration pays one branch. Bump is uncharged — it is
+// bookkeeping about a check that was already charged by Check/CheckDense.
+func (s *Store) Bump(pos int) {
+	if s.ret.Kind == RetainAll {
+		return
+	}
+	m := &s.meta[pos]
+	m.stamp = s.tick()
+	m.hits++
+}
+
+// enforceCap evicts learned entries until the learned population fits the
+// cap. Eviction charges no checks: choosing a victim reads bookkeeping the
+// store maintains anyway, and the paper's metric counts constraint
+// evaluations, not memory management (DESIGN.md §11 discusses why — the
+// *cost* of forgetting shows up as re-derivation checks, which are
+// charged). Victim choice is fully deterministic: stamps are unique, and
+// the final position tie-break is unreachable in practice but keeps the
+// order total.
+func (s *Store) enforceCap() {
+	if !s.ret.Bounded() {
+		return
+	}
+	for s.LearnedLen() > s.ret.Cap {
+		victim := s.chooseVictim()
+		if victim < 0 {
+			return
+		}
+		s.removeAt([]int{victim})
+		s.evicted++
+		s.evictCtr.Inc()
+	}
+}
+
+// chooseVictim returns the position of the next entry to evict, or -1 if
+// every entry is pinned.
+func (s *Store) chooseVictim() int {
+	best := -1
+	for i := range s.meta {
+		if s.meta[i].pinned {
+			continue
+		}
+		if best < 0 || s.evictBefore(i, best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// evictBefore reports whether entry i is a better eviction victim than
+// entry j under the store's policy. LRU: smallest stamp (least recently
+// inserted or bumped). Activity: fewest hits, then longest nogood (least
+// general), then smallest stamp. Stamps are unique so the comparison is a
+// total order; the position fallback is belt-and-braces.
+func (s *Store) evictBefore(i, j int) bool {
+	a, b := s.meta[i], s.meta[j]
+	switch s.ret.Kind {
+	case RetainActivity:
+		if a.hits != b.hits {
+			return a.hits < b.hits
+		}
+		if li, lj := s.nogoods[i].Len(), s.nogoods[j].Len(); li != lj {
+			return li > lj
+		}
+		fallthrough
+	default: // RetainLRU
+		if a.stamp != b.stamp {
+			return a.stamp < b.stamp
+		}
+	}
+	return i < j
 }
 
 // Contains reports whether an identical nogood is present.
@@ -172,11 +339,27 @@ func (s *Store) At(i int) csp.Nogood { return s.nogoods[i] }
 // cycle and nogoods are immutable.
 func (s *Store) All() []csp.Nogood { return s.nogoods }
 
+// Learned returns the unpinned (learned) entries in insertion order as a
+// fresh slice: the surviving knowledge a warm-start cache harvests after a
+// run. Pinned entries are the problem's own constraints and are excluded —
+// the target problem supplies its own.
+func (s *Store) Learned() []csp.Nogood {
+	out := make([]csp.Nogood, 0, s.LearnedLen())
+	for i, ng := range s.nogoods {
+		if !s.meta[i].pinned {
+			out = append(out, ng)
+		}
+	}
+	return out
+}
+
 // Snapshot returns the stored nogoods in insertion order as a freshly
 // allocated slice. Nogoods are immutable, so sharing them between the store
 // and the snapshot is safe; the slice itself is a copy, so later inserts
 // and prunes leave the snapshot untouched. Together with Restore this is
 // the durable-state API crash-restart recovery checkpoints through.
+// Bounded stores should checkpoint through State/RestoreState instead,
+// which also carry the retention metadata.
 func (s *Store) Snapshot() []csp.Nogood {
 	cp := make([]csp.Nogood, len(s.nogoods))
 	copy(cp, s.nogoods)
@@ -187,15 +370,14 @@ func (s *Store) Snapshot() []csp.Nogood {
 // every index. Charging: none — recovery replays state that was already
 // paid for when first learned; re-charging it would double-count the
 // paper's check metric across a restart.
+//
+// Restored entries are conservatively pinned: a bare nogood slice does not
+// say which entries were initial constraints, and evicting an initial
+// constraint would be unsound, so a plain Restore trades eviction
+// eligibility for safety. Checkpoints that must round-trip retention
+// bookkeeping use State/RestoreState.
 func (s *Store) Restore(ngs []csp.Nogood) {
-	s.nogoods = s.nogoods[:0]
-	s.index = make(map[string]int, len(ngs))
-	for i := range s.byVar {
-		s.byVar[i] = s.byVar[i][:0]
-	}
-	for i := range s.bySize {
-		s.bySize[i] = s.bySize[i][:0]
-	}
+	s.reset(len(ngs))
 	// Replayed nogoods were observed in the length histogram when first
 	// learned; re-observing them across a restart would double-count, so
 	// the histogram hook is parked for the replay. The size gauge is kept
@@ -206,9 +388,88 @@ func (s *Store) Restore(ngs []csp.Nogood) {
 		if _, dup := s.index[ng.Key()]; dup {
 			continue
 		}
-		s.insert(ng)
+		s.insert(ng, entryMeta{pinned: true, stamp: s.tick()})
 	}
 	s.lenHist = hist
+	s.sizeGauge.Set(int64(len(s.nogoods)))
+}
+
+// reset empties the store in place, keeping allocated index storage.
+func (s *Store) reset(sizeHint int) {
+	s.nogoods = s.nogoods[:0]
+	s.meta = s.meta[:0]
+	s.pinnedLen = 0
+	s.index = make(map[string]int, sizeHint)
+	for i := range s.byVar {
+		s.byVar[i] = s.byVar[i][:0]
+	}
+	for i := range s.bySize {
+		s.bySize[i] = s.bySize[i][:0]
+	}
+	s.gen++
+}
+
+// State is the store's complete checkpointable state: the nogoods plus the
+// retention metadata needed to resume eviction decisions exactly where the
+// checkpoint left them. The parallel slices (Pinned/Stamps/Hits) index
+// Nogoods.
+type State struct {
+	Nogoods []csp.Nogood
+	Pinned  []bool
+	Stamps  []int64
+	Hits    []int64
+	Clock   int64
+	Evicted int64
+}
+
+// State captures the store's full state, including retention metadata.
+// Like Snapshot, the returned slices are fresh copies.
+func (s *Store) State() State {
+	st := State{
+		Nogoods: make([]csp.Nogood, len(s.nogoods)),
+		Pinned:  make([]bool, len(s.meta)),
+		Stamps:  make([]int64, len(s.meta)),
+		Hits:    make([]int64, len(s.meta)),
+		Clock:   s.clock,
+		Evicted: s.evicted,
+	}
+	copy(st.Nogoods, s.nogoods)
+	for i, m := range s.meta {
+		st.Pinned[i] = m.pinned
+		st.Stamps[i] = m.stamp
+		st.Hits[i] = m.hits
+	}
+	return st
+}
+
+// RestoreState replaces the store's contents with a State, rebuilding every
+// index and resuming the retention clock. Charging and histogram parking
+// follow Restore: recovery replays already-paid-for state. The retention
+// policy itself is not part of the state — it belongs to the store (the
+// run's configuration), not the checkpoint.
+func (s *Store) RestoreState(st State) {
+	s.reset(len(st.Nogoods))
+	hist := s.lenHist
+	s.lenHist = nil
+	for i, ng := range st.Nogoods {
+		if _, dup := s.index[ng.Key()]; dup {
+			continue
+		}
+		m := entryMeta{}
+		if i < len(st.Pinned) {
+			m.pinned = st.Pinned[i]
+		}
+		if i < len(st.Stamps) {
+			m.stamp = st.Stamps[i]
+		}
+		if i < len(st.Hits) {
+			m.hits = st.Hits[i]
+		}
+		s.insert(ng, m)
+	}
+	s.lenHist = hist
+	s.clock = st.Clock
+	s.evicted = st.Evicted
 	s.sizeGauge.Set(int64(len(s.nogoods)))
 }
 
@@ -267,11 +528,27 @@ func (s *Store) AddPruning(ng csp.Nogood, c *Counter) (added bool, removed int) 
 	}
 
 	if len(doomed) == 0 {
-		s.insert(ng)
+		s.insert(ng, entryMeta{stamp: s.tick()})
+		s.enforceCap()
 		return true, 0
 	}
+	// Pinnedness transfers: if any doomed superset was an initial
+	// constraint, the subsuming subset inherits its pinned status —
+	// otherwise a later eviction of the subset would silently drop a
+	// problem constraint, which is unsound (the subset is the only
+	// remaining entry prohibiting those assignments).
+	pinned := false
+	for _, pos := range doomed {
+		if s.meta[pos].pinned {
+			pinned = true
+			break
+		}
+	}
 	s.removeAt(doomed)
-	s.insert(ng)
+	s.insert(ng, entryMeta{pinned: pinned, stamp: s.tick()})
+	if !pinned {
+		s.enforceCap()
+	}
 	return true, len(doomed)
 }
 
@@ -314,8 +591,12 @@ func (s *Store) postingList(v csp.Var) []int {
 func (s *Store) removeAt(doomed []int) {
 	for _, pos := range doomed {
 		delete(s.index, s.nogoods[pos].Key())
+		if s.meta[pos].pinned {
+			s.pinnedLen--
+		}
 	}
 	kept := s.nogoods[:doomed[0]]
+	keptMeta := s.meta[:doomed[0]]
 	d := 0
 	for pos := doomed[0]; pos < len(s.nogoods); pos++ {
 		if d < len(doomed) && doomed[d] == pos {
@@ -324,9 +605,12 @@ func (s *Store) removeAt(doomed []int) {
 		}
 		s.index[s.nogoods[pos].Key()] = len(kept)
 		kept = append(kept, s.nogoods[pos])
+		keptMeta = append(keptMeta, s.meta[pos])
 	}
 	s.nogoods = kept
+	s.meta = keptMeta
 	s.repairStructural(doomed)
+	s.gen++
 	s.sizeGauge.Set(int64(len(s.nogoods)))
 }
 
@@ -365,10 +649,12 @@ func shiftPositions(list, doomed []int) []int {
 
 // AnyViolated reports whether any stored nogood is violated under a,
 // charging one check per evaluated nogood (short-circuiting on the first
-// violation, as an agent implementation would).
+// violation, as an agent implementation would). A hit bumps the violated
+// entry's retention activity.
 func (s *Store) AnyViolated(a csp.Assignment, c *Counter) bool {
-	for _, ng := range s.nogoods {
+	for pos, ng := range s.nogoods {
 		if Check(ng, a, c) {
+			s.Bump(pos)
 			return true
 		}
 	}
@@ -376,11 +662,13 @@ func (s *Store) AnyViolated(a csp.Assignment, c *Counter) bool {
 }
 
 // CountViolated returns how many stored nogoods are violated under a,
-// charging one check each.
+// charging one check each and bumping each violated entry's retention
+// activity.
 func (s *Store) CountViolated(a csp.Assignment, c *Counter) int {
 	count := 0
-	for _, ng := range s.nogoods {
+	for pos, ng := range s.nogoods {
 		if Check(ng, a, c) {
+			s.Bump(pos)
 			count++
 		}
 	}

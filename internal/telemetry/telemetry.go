@@ -145,6 +145,16 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// StoreMetrics bundles the per-store instruments a nogood store accepts:
+// a live size gauge, a learned-length histogram, and an evictions counter.
+// Any field may be nil (and the whole struct zero) — the store's hooks
+// no-op through the nil-receiver fast paths.
+type StoreMetrics struct {
+	Size      *Gauge
+	Lengths   *Histogram
+	Evictions *Counter
+}
+
 // Fixed bucket layouts. Every histogram in the repo uses one of these, so
 // streams from different runs and runtimes are structurally comparable.
 var (

@@ -13,6 +13,7 @@ import (
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/netrun"
+	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/telemetry"
 )
@@ -105,7 +106,52 @@ type Options struct {
 	// metrics snapshot). Telemetry is observationally inert: enabling it
 	// never changes cycles, maxcck, traces, or any other result.
 	Telemetry *Telemetry
+	// Retention bounds each agent's learned-nogood store (AWC and ABT; DB
+	// does not learn). The zero value is the paper's unbounded reference.
+	// Parse CLI syntax ("all", "lru:512", "activity:512") with
+	// ParseRetention. Bounded policies reach the same verdicts as the
+	// reference — learned nogoods are implied by the problem's constraints
+	// — at the possible cost of re-deriving forgotten knowledge.
+	Retention Retention
+	// WarmCache, when non-nil, warm-starts AWC from nogoods learned by
+	// previous runs: before the run each agent is seeded with the cached
+	// nogoods mentioning its variable (when the cache holds an entry
+	// admissible for p — same variables and domains, constraint keys a
+	// subset of p's), and after a synchronous Solve the surviving learned
+	// nogoods are harvested back into the cache. Seeding charges no
+	// checks; the measured effect is the cycles/checks delta BENCH_6.json
+	// reports. Ignored by DB and ABT.
+	WarmCache *NogoodCache
 }
+
+// Retention is a nogood-store retention policy; see the nogood package for
+// the policy semantics (RetainAll / RetainLRU / RetainActivity).
+type Retention = nogood.Retention
+
+// Retention policy kinds, re-exported for Options.Retention construction.
+const (
+	// RetainAll never evicts (the reference).
+	RetainAll = nogood.RetainAll
+	// RetainLRU evicts the least-recently-used learned nogood over the cap.
+	RetainLRU = nogood.RetainLRU
+	// RetainActivity evicts the lowest-value learned nogood over the cap
+	// (fewest violation hits, then longest, then stalest).
+	RetainActivity = nogood.RetainActivity
+)
+
+// ParseRetention parses the -retention flag syntax: "all", "lru:<cap>", or
+// "activity:<cap>".
+func ParseRetention(s string) (Retention, error) { return nogood.ParseRetention(s) }
+
+// NogoodCache is the persistent cross-run nogood cache; see Options.WarmCache.
+type NogoodCache = nogood.Cache
+
+// NewNogoodCache returns an empty warm-start cache.
+func NewNogoodCache() *NogoodCache { return nogood.NewCache() }
+
+// LoadNogoodCache reads a cache written by its Save method; a missing file
+// yields an empty cache.
+func LoadNogoodCache(path string) (*NogoodCache, error) { return nogood.LoadCache(path) }
 
 // CycleEvent describes one completed synchronous cycle for tracing.
 type CycleEvent = sim.CycleEvent
@@ -149,7 +195,7 @@ type Result struct {
 }
 
 func (o Options) learning() core.Learning {
-	l := core.Learning{Kind: core.LearnResolvent, SizeBound: o.LearningSizeBound}
+	l := core.Learning{Kind: core.LearnResolvent, SizeBound: o.LearningSizeBound, Retention: o.Retention}
 	switch o.Learning {
 	case LearnMCS:
 		l.Kind = core.LearnMCS
@@ -196,11 +242,68 @@ func (o Options) makeAgent(p *Problem, init SliceAssignment) func(v csp.Var) sim
 	case DB:
 		return func(v csp.Var) sim.Agent { return breakout.NewAgent(v, p, init[v]) }
 	case ABT:
-		return func(v csp.Var) sim.Agent { return abt.NewAgent(v, p, init[v]) }
+		return func(v csp.Var) sim.Agent { return abt.NewAgentRetention(v, p, init[v], o.Retention) }
 	default:
 		learning := o.learning()
-		return func(v csp.Var) sim.Agent { return core.NewAgent(v, p, init[v], learning) }
+		seeds := o.warmSeeds(p)
+		return func(v csp.Var) sim.Agent {
+			a := core.NewAgent(v, p, init[v], learning)
+			if seeds != nil {
+				a.SeedNogoods(seeds[v])
+			}
+			return a
+		}
 	}
+}
+
+// warmSeeds resolves the warm-start cache against p once: the admissible
+// cached nogoods, grouped per variable they mention — the same fan-out a
+// NogoodMsg would have had. Nil when there is no cache or no admissible
+// entry (cold start).
+func (o Options) warmSeeds(p *Problem) [][]csp.Nogood {
+	if o.WarmCache == nil {
+		return nil
+	}
+	cached := o.WarmCache.Seed(p)
+	if len(cached) == 0 {
+		return nil
+	}
+	seeds := make([][]csp.Nogood, p.NumVars())
+	for _, ng := range cached {
+		for i := 0; i < ng.Len(); i++ {
+			v := ng.At(i).Var
+			seeds[v] = append(seeds[v], ng)
+		}
+	}
+	return seeds
+}
+
+// learnedNogooder is implemented by agents exposing their surviving learned
+// nogoods for warm-start harvesting.
+type learnedNogooder interface{ LearnedNogoods() []csp.Nogood }
+
+// harvestWarmCache folds every agent's surviving learned nogoods back into
+// the warm-start cache after a run.
+func harvestWarmCache(cache *NogoodCache, p *Problem, agents []sim.Agent) {
+	if cache == nil {
+		return
+	}
+	var all []csp.Nogood
+	seen := make(map[string]struct{})
+	for _, a := range agents {
+		ln, ok := a.(learnedNogooder)
+		if !ok {
+			continue
+		}
+		for _, ng := range ln.LearnedNogoods() {
+			if _, dup := seen[ng.Key()]; dup {
+				continue
+			}
+			seen[ng.Key()] = struct{}{}
+			all = append(all, ng)
+		}
+	}
+	cache.Put(p, all)
 }
 
 // Solve runs the selected algorithm on the deterministic synchronous
@@ -241,6 +344,9 @@ func Solve(p *Problem, opts Options) (Result, error) {
 	if tel != nil {
 		emitSyncFinal(tel, agents, out)
 	}
+	if opts.Algorithm == AWC || opts.Algorithm == 0 {
+		harvestWarmCache(opts.WarmCache, p, agents)
+	}
 	return out, nil
 }
 
@@ -257,10 +363,11 @@ func instrumentAgents(reg *MetricsRegistry, agents []sim.Agent) {
 			continue
 		}
 		id := strconv.Itoa(i)
-		ia.Instrument(
-			reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", id)),
-			reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", id), telemetry.NogoodLenBuckets),
-		)
+		ia.Instrument(telemetry.StoreMetrics{
+			Size:      reg.Gauge(telemetry.Name("discsp_store_nogoods", "agent", id)),
+			Lengths:   reg.Histogram(telemetry.Name("discsp_learned_nogood_len", "agent", id), telemetry.NogoodLenBuckets),
+			Evictions: reg.Counter(telemetry.Name("discsp_store_evictions", "agent", id)),
+		})
 	}
 }
 

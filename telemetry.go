@@ -66,7 +66,7 @@ func (o Options) AlgorithmName() string {
 // instrumented is implemented by the algorithm agents whose nogood store
 // accepts telemetry hooks.
 type instrumented interface {
-	Instrument(*telemetry.Gauge, *telemetry.Histogram)
+	Instrument(telemetry.StoreMetrics)
 }
 
 // storeSizer is implemented by agents exposing their nogood-store size.
