@@ -8,10 +8,24 @@ RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
             ./internal/sim/... ./internal/experiments/...
 
 .PHONY: all build test vet fmt-check race chaos telemetry bench-smoke bench-json \
-        bench-gate bench-warm soak staticcheck govulncheck ci
+        bench-gate bench-warm bench-wire scale-smoke soak staticcheck govulncheck ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
 BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
+
+# The wire-throughput pairings and baseline-free invariants shared by
+# bench-wire and its slice of bench-gate: each pair measures
+# BenchmarkWireThroughput's plain-JSON leg against one upgrade (binary
+# codec, frame batching, or both). The headline binary+batched pair must
+# beat plain JSON by at least 2x and stay allocation-free per op, and the
+# binary codec alone must also clear 2x; json-only batching is reported but
+# not floored (it trades latency for fewer syscalls, not raw per-op time).
+BENCH_WIRE_FLAGS = -pair codec=json_plain:binary_plain \
+	-pair batch=json_plain:json_batch \
+	-pair binary_batch=json_plain:binary_batch \
+	-min-speedup 'WireThroughput/codec=2,WireThroughput/binary_batch=2' \
+	-alloc-free WireThroughput/binary_batch \
+	-note 'before = plain JSON framing, after = the named wire upgrade (binary codec, frame batching, or both) over a TCP loopback echo; one op is one envelope round trip'
 
 all: build
 
@@ -72,6 +86,29 @@ bench-json:
 bench-gate:
 	$(GO) test -run='^$$' -bench='$(BENCH_PAIRED)' -benchmem -timeout 20m . \
 		| $(GO) run ./cmd/benchjson -o bench-new.json -baseline BENCH_2.json
+	$(GO) test -run='^$$' -bench=BenchmarkWireThroughput -benchmem -timeout 20m ./internal/wire/ \
+		| $(GO) run ./cmd/benchjson -o bench-wire-new.json $(BENCH_WIRE_FLAGS) \
+			-baseline BENCH_7.json -tolerance 0.5
+
+# Regenerates BENCH_7.json: the wire-throughput report comparing JSON vs
+# binary framing and plain vs batched delivery over a TCP loopback echo.
+# The baseline-free floors in BENCH_WIRE_FLAGS apply here too, so a
+# regenerated baseline can never launder the headline speedup away. The
+# gate slice above recompares against the committed report with a loose 50%
+# tolerance — loopback round-trip ratios drift more across runners than the
+# pure-CPU BENCH_2 loops, and the absolute 2x floors are the hard invariant.
+bench-wire:
+	$(GO) test -run='^$$' -bench=BenchmarkWireThroughput -benchmem -timeout 20m ./internal/wire/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_7.json $(BENCH_WIRE_FLAGS)
+
+# The CI scale-smoke job: a 1024-agent solve over 4 sharded relays with
+# the binary codec (gated behind SCALE_SMOKE because it opens ~2k real TCP
+# connections), then a short coverage-guided fuzz pass over the binary
+# codec round trip and the batch splitter.
+scale-smoke:
+	SCALE_SMOKE=1 $(GO) test -run TestScaleSmoke1k -v -timeout 10m ./internal/netrun/
+	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeRoundTrip -fuzztime=10s -timeout 5m ./internal/wire/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchSplit -fuzztime=10s -timeout 5m ./internal/wire/
 
 # Regenerates BENCH_6.json: the warm-start repeat-solve workload (cold vs
 # cache-seeded solves of the same instance) across all three families at
@@ -104,4 +141,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build vet fmt-check staticcheck govulncheck test race chaos telemetry bench-smoke bench-gate
+ci: build vet fmt-check staticcheck govulncheck test race chaos telemetry bench-smoke bench-gate scale-smoke

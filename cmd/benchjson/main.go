@@ -1,19 +1,25 @@
 // Command benchjson converts `go test -bench` output into a before/after
-// JSON report. Benchmarks that expose a <Name>/ref and <Name>/dense pair
-// (the map-backed reference representation against the dense default) are
-// emitted as one entry with both sides and the derived ratios; unpaired
-// benchmarks are ignored.
+// JSON report. By default, benchmarks that expose a <Name>/ref and
+// <Name>/dense pair (the map-backed reference representation against the
+// dense default) are emitted as one entry with both sides and the derived
+// ratios; unpaired benchmarks are ignored. Repeatable -pair flags replace
+// the default pairing with arbitrary sub-benchmark suffixes, which is how
+// the wire-codec report (BENCH_7.json) compares JSON against binary and
+// plain against batched framing from one benchmark's variants.
 //
 // Usage:
 //
 //	go test -run='^$' -bench='...' -benchmem . | benchjson -o BENCH_2.json
 //	go test -run='^$' -bench='...' -benchmem . | benchjson -o new.json -baseline BENCH_2.json
+//	go test -run='^$' -bench=Wire -benchmem ./internal/wire/ | benchjson \
+//	    -o BENCH_7.json -pair binary_batch=json_plain:binary_batch -min-speedup 2
 //
-// The report is what `make bench-json` commits as BENCH_2.json and what the
-// CI benchmark-comparison step uploads as an artifact. The search
-// trajectories behind each pair are bit-identical by construction (see
-// internal/experiments' cross-representation equivalence tests), so the
-// ratios measure representation cost only.
+// The report is what `make bench-json` commits as BENCH_2.json (and `make
+// bench-wire` as BENCH_7.json) and what the CI benchmark-comparison step
+// uploads as an artifact. For the ref/dense pairs the search trajectories
+// are bit-identical by construction (see internal/experiments'
+// cross-representation equivalence tests), so the ratios measure
+// representation cost only.
 //
 // With -baseline the command becomes the CI regression gate: after writing
 // the fresh report it compares every baseline pair against the fresh run
@@ -24,6 +30,12 @@
 // Allocations are deterministic for a pinned toolchain, so the probe-view
 // check loop (the solver's hot path) additionally fails on ANY allocs/op
 // increase, including losing its alloc-free status.
+//
+// Two gates need no baseline, because they assert machine-independent
+// invariants of the fresh run itself: -min-speedup fails pairs whose
+// within-run speedup falls below an absolute floor (a bare number floors
+// every pair; NAME=FLOOR entries floor only the named pairs), and
+// -alloc-free fails any named pair whose after side allocates at all.
 package main
 
 import (
@@ -75,9 +87,35 @@ type Report struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
 
-// variants collects the two sides of one benchmark while parsing.
-type variants struct {
-	ref, dense *Side
+// pairSpec names one before/after pairing of sub-benchmark suffixes. The
+// default (ref/dense) spec has an empty name, keeping the legacy report's
+// pair names; explicit -pair specs emit "<Base>/<name>".
+type pairSpec struct {
+	name, before, after string
+}
+
+// pairFlags accumulates repeated -pair NAME=BEFORE:AFTER flags.
+type pairFlags []pairSpec
+
+func (p *pairFlags) String() string {
+	var parts []string
+	for _, s := range *p {
+		parts = append(parts, fmt.Sprintf("%s=%s:%s", s.name, s.before, s.after))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pairFlags) Set(v string) error {
+	name, suffixes, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=BEFORE:AFTER, got %q", v)
+	}
+	before, after, ok := strings.Cut(suffixes, ":")
+	if !ok || name == "" || before == "" || after == "" {
+		return fmt.Errorf("want NAME=BEFORE:AFTER, got %q", v)
+	}
+	*p = append(*p, pairSpec{name: name, before: "/" + before, after: "/" + after})
+	return nil
 }
 
 func parseSide(ns string, rest string) Side {
@@ -103,12 +141,19 @@ func main() {
 	out := flag.String("o", "BENCH_2.json", "output file")
 	baseline := flag.String("baseline", "", "gate mode: compare the fresh report against this committed baseline and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.15, "relative speedup drop tolerated by -baseline before failing")
-	allocGate := flag.String("alloc-gate", "ProbeViewCheckLoop", "pair name whose dense side fails the gate on any allocs/op increase")
+	allocGate := flag.String("alloc-gate", "ProbeViewCheckLoop", "pair name whose after side fails the -baseline gate on any allocs/op increase")
+	note := flag.String("note", "", "report note overriding the default ref/dense explanation")
+	minSpeedup := flag.String("min-speedup", "", "baseline-free gate: a bare floor applied to every pair, or comma-separated NAME=FLOOR entries applied to the named pairs")
+	allocFree := flag.String("alloc-free", "", "baseline-free gate: comma-separated pair names whose after side must be allocation-free")
+	var pairs pairFlags
+	flag.Var(&pairs, "pair", "pair sub-benchmark suffixes as NAME=BEFORE:AFTER (repeatable); replaces the default ref:dense pairing")
 	flag.Parse()
+	if len(pairs) == 0 {
+		pairs = pairFlags{{name: "", before: "/ref", after: "/dense"}}
+	}
 
-	found := make(map[string]*variants)
+	sides := make(map[string]Side)
 	var order []string
-
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -116,61 +161,55 @@ func main() {
 		if m == nil {
 			continue
 		}
-		full, ns, rest := m[1], m[2], m[3]
-		var which string
-		var base string
-		switch {
-		case strings.HasSuffix(full, "/ref"):
-			which, base = "ref", strings.TrimSuffix(full, "/ref")
-		case strings.HasSuffix(full, "/dense"):
-			which, base = "dense", strings.TrimSuffix(full, "/dense")
-		default:
-			continue
+		full := strings.TrimPrefix(m[1], "Benchmark")
+		if _, dup := sides[full]; !dup {
+			order = append(order, full)
 		}
-		base = strings.TrimPrefix(base, "Benchmark")
-		side := parseSide(ns, rest)
-		v := found[base]
-		if v == nil {
-			v = &variants{}
-			found[base] = v
-			order = append(order, base)
-		}
-		if which == "ref" {
-			v.ref = &side
-		} else {
-			v.dense = &side
-		}
+		sides[full] = parseSide(m[2], m[3])
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
 
-	report := Report{
-		Note: "before = map-backed reference representation (core.Learning.Reference), " +
+	report := Report{Note: *note}
+	if report.Note == "" {
+		report.Note = "before = map-backed reference representation (core.Learning.Reference), " +
 			"after = dense slice-backed default; identical search trajectories and charged " +
-			"nogood checks (see TestDenseMatchesReference), so ratios are pure representation cost",
+			"nogood checks (see TestDenseMatchesReference), so ratios are pure representation cost"
 	}
-	sort.SliceStable(order, func(i, j int) bool { return order[i] < order[j] })
-	for _, base := range order {
-		v := found[base]
-		if v.ref == nil || v.dense == nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: missing %s side, skipping\n", base, missing(v))
-			continue
+	// Pairs are matched against the benchmarks' appearance order, then
+	// sorted by name, so the report is stable for any -bench interleaving.
+	for _, spec := range pairs {
+		for _, full := range order {
+			if !strings.HasSuffix(full, spec.before) {
+				continue
+			}
+			base := strings.TrimSuffix(full, spec.before)
+			after, ok := sides[base+spec.after]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: missing %s side, skipping\n", base, spec.after)
+				continue
+			}
+			name := base
+			if spec.name != "" {
+				name = base + "/" + spec.name
+			}
+			p := Pair{Name: name, Before: sides[full], After: after}
+			if p.After.NsPerOp > 0 {
+				p.Speedup = round2(p.Before.NsPerOp / p.After.NsPerOp)
+			}
+			if p.After.AllocsPerOp > 0 {
+				p.AllocReduction = round2(p.Before.AllocsPerOp / p.After.AllocsPerOp)
+			} else if p.Before.AllocsPerOp > 0 {
+				p.AfterAllocFree = true
+			}
+			report.Pairs = append(report.Pairs, p)
 		}
-		p := Pair{Name: base, Before: *v.ref, After: *v.dense}
-		if p.After.NsPerOp > 0 {
-			p.Speedup = round2(p.Before.NsPerOp / p.After.NsPerOp)
-		}
-		if p.After.AllocsPerOp > 0 {
-			p.AllocReduction = round2(p.Before.AllocsPerOp / p.After.AllocsPerOp)
-		} else if p.Before.AllocsPerOp > 0 {
-			p.AfterAllocFree = true
-		}
-		report.Pairs = append(report.Pairs, p)
 	}
+	sort.SliceStable(report.Pairs, func(i, j int) bool { return report.Pairs[i].Name < report.Pairs[j].Name })
 	if len(report.Pairs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no ref/dense pairs found in input")
+		fmt.Fprintln(os.Stderr, "benchjson: no before/after pairs found in input")
 		os.Exit(1)
 	}
 
@@ -191,15 +230,79 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d pairs to %s\n", len(report.Pairs), *out)
 
+	var failures []string
+	failures = append(failures, freshGate(report, *minSpeedup, *allocFree)...)
 	if *baseline != "" {
-		if failures := gate(report, *baseline, *tolerance, *allocGate); len(failures) > 0 {
-			for _, f := range failures {
-				fmt.Fprintln(os.Stderr, "benchjson: GATE FAIL:", f)
-			}
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: gate passed against %s\n", *baseline)
+		failures = append(failures, gate(report, *baseline, *tolerance, *allocGate)...)
 	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: GATE FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	if *minSpeedup != "" || *allocFree != "" || *baseline != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: gate passed")
+	}
+}
+
+// freshGate applies the baseline-free invariants to the fresh report:
+// absolute within-run speedup floors (global or per-pair) and zero
+// allocs/op on the after side of the named pairs. Both are
+// machine-independent — speedup is a same-run ratio and allocation counts
+// are exact for a pinned toolchain — so they hold on any runner without a
+// committed reference.
+func freshGate(fresh Report, minSpeedup, allocFree string) []string {
+	byName := make(map[string]Pair, len(fresh.Pairs))
+	for _, p := range fresh.Pairs {
+		byName[p.Name] = p
+	}
+	var failures []string
+	check := func(p Pair, floor float64) {
+		if p.Speedup < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: speedup %.2fx below the %.2fx floor", p.Name, p.Speedup, floor))
+		}
+	}
+	if minSpeedup != "" {
+		if floor, err := strconv.ParseFloat(minSpeedup, 64); err == nil {
+			for _, p := range fresh.Pairs {
+				check(p, floor)
+			}
+		} else {
+			for _, entry := range strings.Split(minSpeedup, ",") {
+				name, val, ok := strings.Cut(entry, "=")
+				floor, err := strconv.ParseFloat(val, 64)
+				if !ok || err != nil {
+					failures = append(failures, fmt.Sprintf(
+						"bad -min-speedup entry %q (want a floor or NAME=FLOOR)", entry))
+					continue
+				}
+				p, found := byName[name]
+				if !found {
+					failures = append(failures, fmt.Sprintf(
+						"%s: named in -min-speedup but not in this run", name))
+					continue
+				}
+				check(p, floor)
+			}
+		}
+	}
+	if allocFree != "" {
+		for _, name := range strings.Split(allocFree, ",") {
+			p, ok := byName[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: named in -alloc-free but not in this run", name))
+				continue
+			}
+			if p.After.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: after side allocates %.0f allocs/op; must be allocation-free",
+					name, p.After.AllocsPerOp))
+			}
+		}
+	}
+	return failures
 }
 
 // gate compares the fresh report against the committed baseline and returns
@@ -251,13 +354,6 @@ func gate(fresh Report, baselinePath string, tolerance float64, allocGate string
 		}
 	}
 	return failures
-}
-
-func missing(v *variants) string {
-	if v.ref == nil {
-		return "ref"
-	}
-	return "dense"
 }
 
 func round2(x float64) float64 {

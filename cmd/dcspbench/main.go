@@ -45,6 +45,7 @@ import (
 	"github.com/discsp/discsp/internal/gen"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/telemetry"
+	"github.com/discsp/discsp/internal/wire"
 )
 
 func main() {
@@ -81,6 +82,8 @@ func run() error {
 		resume    = flag.Bool("resume", false, "resume from an existing -journal, skipping already-recorded trials (aggregates stay bit-identical)")
 		faultsArg = flag.String("faults", "", "fault profile for -runtimes (async/tcp legs): "+faults.ProfileSyntax)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule in -faults")
+		shards    = flag.Int("shards", 0, "shard the -runtimes tcp leg's hub across N relay listeners; 0 = one")
+		wireCodec = flag.String("wire-codec", "binary", "-runtimes tcp leg wire codec: binary or json")
 
 		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream (per-trial events + metrics snapshots) to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address while the run is live")
@@ -205,7 +208,12 @@ func run() error {
 	case *warmstart != "":
 		return printWarmStart(*warmstart, scale, *warmOut)
 	case *runtimes != "":
-		return printRuntimes(*runtimes, *sweepN, scale, fcfg, markdown)
+		codec, err := wire.ParseCodec(*wireCodec)
+		if err != nil {
+			return err
+		}
+		tcp := experiments.TCPOptions{Shards: *shards, Codec: codec}
+		return printRuntimes(*runtimes, *sweepN, scale, fcfg, tcp, markdown)
 	case *blocks != "":
 		return printBlockSweep(*blocks, *sweepN, scale)
 	case *sweep != "":
@@ -277,7 +285,7 @@ func printSweep(kindName string, n int, scale experiments.Scale) error {
 	return err
 }
 
-func printRuntimes(kindName string, n int, scale experiments.Scale, fcfg *faults.Config, markdown bool) error {
+func printRuntimes(kindName string, n int, scale experiments.Scale, fcfg *faults.Config, tcp experiments.TCPOptions, markdown bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -287,7 +295,7 @@ func printRuntimes(kindName string, n int, scale experiments.Scale, fcfg *faults
 		return err
 	}
 	initial := gen.RandomInitial(problem, 2+scale.SeedBase)
-	results, err := experiments.CompareRuntimes(problem, initial, experiments.BestLearning(kind), 0, fcfg)
+	results, err := experiments.CompareRuntimesWith(problem, initial, experiments.BestLearning(kind), 0, fcfg, tcp)
 	if err != nil {
 		return err
 	}

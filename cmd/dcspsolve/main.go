@@ -66,6 +66,11 @@ func run() error {
 		maxCycles = flag.Int("maxcycles", 0, "cycle cutoff; 0 = 10000")
 		useAsync  = flag.Bool("async", false, "run on the asynchronous goroutine runtime")
 		useTCP    = flag.Bool("tcp", false, "run over a loopback TCP hub (one socket per agent)")
+		shards    = flag.Int("shards", 0, "split the -tcp hub across N relay listeners; 0 = one")
+		wireCodec = flag.String("wire-codec", "binary", "-tcp wire codec: binary or json (negotiated per connection)")
+		noBatch   = flag.Bool("wire-nobatch", false, "disable -tcp frame batching")
+		tcpListen = flag.String("tcp-listen", "", "bind the -tcp relays to these comma-separated host:port addresses (implies the shard count)")
+		tcpExt    = flag.Bool("tcp-external", false, "-tcp hub only: agents live in external dcspnode workers")
 		timeout   = flag.Duration("timeout", 0, "async wall-clock limit; 0 = 30s")
 		trials    = flag.Int("trials", 1, "random-initial-value trials (seed, seed+1, ...); >1 prints cell-style aggregates")
 		workers   = flag.Int("workers", 0, "concurrent trial workers for -trials; 0 = all CPUs, 1 = serial")
@@ -198,6 +203,22 @@ func run() error {
 	if *resume && *journal == "" {
 		return fmt.Errorf("-resume needs -journal")
 	}
+	if (*shards != 0 || *tcpListen != "" || *tcpExt) && !*useTCP {
+		return fmt.Errorf("-shards, -tcp-listen, and -tcp-external need -tcp")
+	}
+	opts.TCPShards = *shards
+	opts.WireCodec = *wireCodec
+	opts.WireNoBatch = *noBatch
+	opts.TCPExternal = *tcpExt
+	if *tcpListen != "" {
+		opts.TCPListen = strings.Split(*tcpListen, ",")
+	}
+	if *tcpExt {
+		opts.TCPOnListen = func(addrs []string) {
+			fmt.Fprintf(os.Stderr, "dcspsolve: relays listening on %s; waiting for dcspnode workers\n",
+				strings.Join(addrs, ","))
+		}
+	}
 	opts.WatchdogCadence = *watchdog
 
 	// Telemetry: one registry backs both the optional JSONL stream and the
@@ -288,8 +309,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d duration=%v%s\n",
-			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.Duration, res.Transport().Suffix())
+		fmt.Printf("%s (tcp): solved=%v insoluble=%v messages=%d checks=%d duration=%v binary_conns=%d%s\n",
+			opts.Algorithm, res.Solved, res.Insoluble, res.Messages, res.TotalChecks,
+			res.Duration, res.BinaryConns, res.Transport().Suffix())
 	case *useAsync:
 		res, err = discsp.SolveAsync(problem, opts)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/discsp/discsp/internal/netrun"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/telemetry"
+	"github.com/discsp/discsp/internal/wire"
 )
 
 // RuntimeResult is one runtime's outcome on one instance.
@@ -45,6 +46,21 @@ type RuntimeResult struct {
 // runs clean either way); the per-runtime transport counters then report
 // what the faults cost.
 func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, timeout time.Duration, fcfg *faults.Config) ([]RuntimeResult, error) {
+	return CompareRuntimesWith(problem, initial, learning, timeout, fcfg, TCPOptions{})
+}
+
+// TCPOptions carries the tcp leg's wire-scaling knobs: relay shard count,
+// wire codec (zero value = binary), and the batching kill-switch. The
+// verdict and message count are invariant across all of them; the transport
+// byte/batch counters show what each choice costs.
+type TCPOptions struct {
+	Shards  int
+	Codec   wire.Codec
+	NoBatch bool
+}
+
+// CompareRuntimesWith is CompareRuntimes with explicit tcp wire options.
+func CompareRuntimesWith(problem *csp.Problem, initial csp.SliceAssignment, learning core.Learning, timeout time.Duration, fcfg *faults.Config, tcp TCPOptions) ([]RuntimeResult, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -84,7 +100,13 @@ func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning
 		},
 	})
 
-	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{Timeout: timeout, Faults: fcfg})
+	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{
+		Timeout: timeout,
+		Faults:  fcfg,
+		Shards:  tcp.Shards,
+		Codec:   tcp.Codec,
+		NoBatch: tcp.NoBatch,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("tcp: %w", err)
 	}
@@ -99,6 +121,9 @@ func CompareRuntimes(problem *csp.Problem, initial csp.SliceAssignment, learning
 			Restarts:             tcpRes.Restarts,
 			Partitioned:          tcpRes.Partitioned,
 			PartitionHeals:       tcpRes.PartitionHeals,
+			BytesSent:            tcpRes.BytesSent,
+			BytesRecv:            tcpRes.BytesRecv,
+			BatchedFrames:        tcpRes.BatchedFrames,
 		},
 	})
 	return out, nil
@@ -114,7 +139,7 @@ func buildSimAgents(n int, makeAgent func(csp.Var) sim.Agent) []sim.Agent {
 
 // transportWidths aligns the text table's transport columns; indexed like
 // telemetry.TransportColumns.
-var transportWidths = []int{8, 8, 9, 11, 0}
+var transportWidths = []int{8, 8, 9, 11, 6, 10, 10, 0}
 
 // FprintRuntimes renders the comparison as an aligned table, transport
 // counters included via the shared telemetry.TransportColumns /

@@ -1,10 +1,26 @@
 // Package netrun executes the distributed algorithms over an actual TCP
-// network: one hub process-part routes JSON-framed messages (internal/wire)
-// between agent nodes, each of which owns one agent and one TCP connection.
-// It is the strongest form of the paper's portability claim exercised in
-// this repository — the same Agent implementations that run on the
-// synchronous simulator and the in-process asynchronous runtime here cross
-// a real socket boundary, with the hub playing the network.
+// network: a hub routes wire-encoded frames between agent nodes, each of
+// which owns one agent and one TCP connection. It is the strongest form of
+// the paper's portability claim exercised in this repository — the same
+// Agent implementations that run on the synchronous simulator and the
+// in-process asynchronous runtime here cross a real socket boundary, with
+// the hub playing the network.
+//
+// The hub's listening plane is sharded: Options.Shards (or Options.Listen)
+// splits the accept/read load across N relay listeners, with the consistent
+// assignment node v → shard v mod N. All routing, fault injection, and
+// accounting still serialize through one coordinator loop, so a sharded run
+// is frame-for-frame identical to a single-shard run — the shards
+// parallelize socket I/O and decoding, not decisions. Nodes may live in the
+// hub process (the default) or in external worker processes (RunWorker,
+// cmd/dcspnode) that dial the relay addresses.
+//
+// Frames travel in a negotiated codec: each node's hello names the codec it
+// wants, the hub's welcome names the result (binary unless either side asks
+// for the JSON fallback), and both directions switch after the JSON
+// handshake. Steady-state frames are batched: writers coalesce frames into
+// size-bounded batch frames carrying one cumulative-ack watermark per link,
+// flushed whenever the sender's queue drains (see internal/wire).
 //
 // The transport is reliable end-to-end: nodes stamp per-link sequence
 // numbers (wire.SendLink), retransmit on exponential backoff until the
@@ -12,11 +28,13 @@
 // (wire.RecvLink), restoring the FIFO-per-link, exactly-once delivery the
 // algorithms' correctness model (Yokoo et al.) assumes. The hub can play an
 // adversarial network (Options.Faults): deterministic drop, duplication,
-// and delay of algorithm frames, plus scheduled node crashes. A
-// crash-scheduled node checkpoints its durable state (agent snapshot, both
-// halves of every reliable link) before acknowledging each step, so a
-// restarted node re-registers with the hub, replays the checkpoint, and the
-// run completes exactly as on a clean network.
+// and delay of algorithm frames, plus scheduled node crashes. The fault
+// schedule is keyed on logical links (from, to, seq, attempt), so it is
+// invariant under sharding and codec choice. A crash-scheduled node
+// checkpoints its durable state (agent snapshot, both halves of every
+// reliable link) before acknowledging each step, so a restarted node
+// re-registers with the hub, replays the checkpoint, and the run completes
+// exactly as on a clean network.
 //
 // Partition windows sever node-to-node traffic (algorithm frames and acks
 // both) across a seeded two-sided split: frames crossing an open cut are
@@ -34,9 +52,7 @@
 package netrun
 
 import (
-	"bufio"
 	"container/heap"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -112,9 +128,37 @@ type Options struct {
 	WatchdogCadence time.Duration
 	// Telemetry, when non-nil, receives the run's event stream (watchdog
 	// samples, per-agent totals, per-link seq/ack/retransmit/partition
-	// counters observed at the hub) and metrics. Nil disables all
-	// instrumentation without any other behavioral difference.
+	// counters and per-shard relay totals observed at the hub) and metrics.
+	// Nil disables all instrumentation without any other behavioral
+	// difference.
 	Telemetry *telemetry.Run
+
+	// Shards is the number of relay listeners the hub splits its socket
+	// plane across; 0 or 1 means a single listener. Node v connects to
+	// shard v mod Shards. Sharding changes no routing decision: the verdict
+	// and every message counter are identical across shard counts.
+	Shards int
+	// Codec is the wire codec the hub offers (zero value = binary). A node
+	// requesting JSON always gets it — negotiation falls back per
+	// connection — and CodecJSON here forces the fallback hub-wide.
+	Codec wire.Codec
+	// NoBatch disables frame batching on hub and in-process node writers;
+	// every frame is written and flushed individually, the pre-batching
+	// behavior.
+	NoBatch bool
+	// Listen binds each relay to a fixed address ("host:port") instead of a
+	// loopback ephemeral port; required for external worker processes on
+	// known addresses. When non-empty it determines the shard count, which
+	// must match Shards if both are set.
+	Listen []string
+	// External suppresses the in-process nodes: the hub listens, and
+	// external workers (RunWorker / cmd/dcspnode) own the agents. The run
+	// then solves only once every variable's worker has dialed in.
+	External bool
+	// OnListen, when non-nil, is called once with the bound relay addresses
+	// in shard order, before any node starts. Tests and in-process callers
+	// use it to learn ephemeral addresses; cmd binaries print them.
+	OnListen func(addrs []string)
 }
 
 // Result reports a completed run.
@@ -130,6 +174,10 @@ type Result struct {
 	// Messages counts unique routed algorithm messages (retransmissions,
 	// duplicates, and control frames excluded).
 	Messages int64
+	// TotalChecks sums constraint checks across the in-process nodes' final
+	// incarnations. Zero when Options.External (the workers own the
+	// agents).
+	TotalChecks int64
 	// Duration is the wall-clock run time.
 	Duration time.Duration
 
@@ -147,14 +195,18 @@ type Result struct {
 	// PartitionHeals counts scheduled partition windows that healed within
 	// the run's duration.
 	PartitionHeals int64
-}
 
-// control frame types, alongside the wire message types.
-const (
-	ctlHello = "ctl.hello"
-	ctlState = "ctl.state"
-	ctlStop  = "ctl.stop"
-)
+	// BytesSent and BytesRecv count wire bytes crossing the hub's sockets
+	// (framing included): hub→nodes and nodes→hub respectively.
+	BytesSent int64
+	BytesRecv int64
+	// BatchedFrames counts frames that crossed the hub's sockets inside
+	// coalesced batch frames, both directions summed.
+	BatchedFrames int64
+	// BinaryConns counts node connections whose negotiated codec was
+	// binary; the rest fell back to JSON.
+	BinaryConns int64
+}
 
 // Reliable-transport tuning for the node loops. The base exceeds loopback
 // round-trip by orders of magnitude, so retransmissions fire only under
@@ -165,17 +217,20 @@ const (
 	retransmitTick = 5 * time.Millisecond
 )
 
-// frame is the union of wire envelopes and control frames exchanged on the
-// sockets. Control fields piggyback on the envelope struct shape.
-type frame struct {
-	wire.Envelope
-	Insoluble bool `json:"insoluble,omitempty"`
-	Processed int  `json:"processed,omitempty"`
+// Frame-batching bounds for hub and node writers. Latency is bounded by
+// flush-on-idle (senders flush whenever their queue drains), so the size
+// bounds only matter under sustained load.
+const (
+	batchMaxFrames = 32
+	batchMaxBytes  = 16 << 10
+)
 
-	// src is the connection the frame arrived on; set by the hub's read
-	// loops, never serialized. The single-threaded route loop uses it to
-	// register connections on hello frames.
-	src *nodeConn `json:"-"`
+// inFrame is one envelope arriving at the hub, tagged with the connection
+// it came in on (set by the shard read loops, consumed by the route loop to
+// register connections and count inter-shard forwards).
+type inFrame struct {
+	env wire.Envelope
+	src *relayConn
 }
 
 // nodeCounters aggregates transport statistics across all node goroutines
@@ -185,9 +240,9 @@ type nodeCounters struct {
 	dups        atomic.Int64
 	restarts    atomic.Int64
 
-	// Per-agent end-of-run totals for telemetry, written by each node's
-	// final incarnation as it exits and read after nodeWG.Wait. Nil when
-	// telemetry is disabled.
+	// Per-agent end-of-run totals, written by each node's final incarnation
+	// as it exits and read after nodeWG.Wait. checks is always allocated
+	// (Result.TotalChecks needs it); stores only when telemetry is on.
 	checks []atomic.Int64
 	stores []atomic.Int64
 }
@@ -218,6 +273,19 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	if cadence <= 0 {
 		cadence = progress.DefaultCadence
 	}
+	nShards := opts.Shards
+	if len(opts.Listen) > 0 {
+		if nShards > 0 && nShards != len(opts.Listen) {
+			return Result{}, fmt.Errorf("netrun: %d shards but %d listen addresses", nShards, len(opts.Listen))
+		}
+		nShards = len(opts.Listen)
+	}
+	if nShards <= 0 {
+		nShards = 1
+	}
+	if len(opts.Listen) == 0 && nShards > n {
+		nShards = n
+	}
 	var inj *faults.Injector
 	var ckpts *faults.Checkpoints
 	if opts.Faults != nil {
@@ -225,36 +293,56 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		ckpts = faults.NewCheckpoints()
 	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return Result{}, fmt.Errorf("netrun: listen: %w", err)
+	relays := make([]*relay, nShards)
+	addrs := make([]string, nShards)
+	for s := range relays {
+		bind := "127.0.0.1:0"
+		if len(opts.Listen) > 0 {
+			bind = opts.Listen[s]
+		}
+		ln, err := net.Listen("tcp", bind)
+		if err != nil {
+			for _, r := range relays[:s] {
+				r.ln.Close()
+			}
+			return Result{}, fmt.Errorf("netrun: listen shard %d: %w", s, err)
+		}
+		relays[s] = &relay{index: s, ln: ln}
+		addrs[s] = ln.Addr().String()
 	}
-	defer ln.Close()
+	defer func() {
+		for _, r := range relays {
+			r.ln.Close()
+		}
+	}()
 
 	hub := &hub{
 		problem:   problem,
 		values:    csp.NewSliceAssignment(n),
-		conns:     make([]*nodeConn, n),
+		conns:     make([]*relayConn, n),
 		processed: make([]int64, n),
 		seqHigh:   make(map[link]int64),
-		frames:    make(chan frame, n),
+		frames:    make(chan inFrame, n),
 		stop:      make(chan struct{}),
 		inj:       inj,
 		cadence:   cadence,
 		tel:       opts.Telemetry,
+		codec:     opts.Codec,
+		noBatch:   opts.NoBatch,
+		nShards:   nShards,
+		forwarded: make([]int64, nShards),
 	}
 	if inj != nil {
 		hub.attempts = make(map[attemptKey]int)
 	}
-	var ctr nodeCounters
+	ctr := nodeCounters{checks: make([]atomic.Int64, n)}
 	if hub.tel != nil {
 		hub.ackHigh = make(map[link]int64)
 		hub.linkRetrans = make(map[link]int64)
 		hub.linkPart = make(map[link]int64)
-		ctr.checks = make([]atomic.Int64, n)
 		ctr.stores = make([]atomic.Int64, n)
 	}
-	if reg := opts.Telemetry.Registry(); reg != nil {
+	if reg := opts.Telemetry.Registry(); reg != nil && !opts.External {
 		// The nodes run in-process, so instrumented agents share the hub's
 		// registry; the gauges are atomics, letting the route loop sample
 		// live store sizes without touching node state. Resolve them up
@@ -280,60 +368,63 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		}
 	}
 
-	// Accept connections for the whole run: restarted nodes dial back in.
-	var readWG sync.WaitGroup
-	var connMu sync.Mutex
-	var allConns []net.Conn
-	acceptDone := make(chan struct{})
-	go func() {
-		defer close(acceptDone)
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed at shutdown
-			}
-			connMu.Lock()
-			allConns = append(allConns, conn)
-			connMu.Unlock()
-			nc := &nodeConn{conn: conn, w: bufio.NewWriter(conn)}
-			readWG.Add(1)
-			go func() {
-				defer readWG.Done()
-				hub.readLoop(nc)
-			}()
-		}
-	}()
+	// Accept connections for the whole run on every relay: restarted nodes
+	// and late external workers dial back in.
+	var readWG, acceptWG sync.WaitGroup
+	for _, r := range relays {
+		acceptWG.Add(1)
+		go func(r *relay) {
+			defer acceptWG.Done()
+			hub.acceptLoop(r, &readWG)
+		}(r)
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(addrs)
+	}
 
-	// Start the nodes; each supervisor restarts its node per the crash
-	// schedule.
+	// Start the in-process nodes; each supervisor restarts its node per the
+	// crash schedule. External runs leave the agents to worker processes.
 	runDone := make(chan struct{})
 	var nodeWG sync.WaitGroup
 	nodeErrs := make(chan error, n)
-	for v := 0; v < n; v++ {
-		nodeWG.Add(1)
-		go func(v int) {
-			defer nodeWG.Done()
-			for incarnation := 0; ; incarnation++ {
-				crashed, err := runNode(ln.Addr().String(), csp.Var(v), makeAgent, inj, ckpts, &ctr, incarnation, runDone)
-				if err != nil {
-					nodeErrs <- fmt.Errorf("node %d: %w", v, err)
-					return
+	if !opts.External {
+		for v := 0; v < n; v++ {
+			nodeWG.Add(1)
+			go func(v int) {
+				defer nodeWG.Done()
+				cfg := nodeConfig{
+					addr:      addrs[shardOf(v, nShards)],
+					v:         csp.Var(v),
+					makeAgent: makeAgent,
+					codec:     opts.Codec,
+					noBatch:   opts.NoBatch,
+					inj:       inj,
+					ckpts:     ckpts,
+					ctr:       &ctr,
+					done:      runDone,
 				}
-				if !crashed {
-					return
+				for incarnation := 0; ; incarnation++ {
+					crashed, err := runNode(cfg, incarnation)
+					if err != nil {
+						nodeErrs <- fmt.Errorf("node %d: %w", v, err)
+						return
+					}
+					if !crashed {
+						return
+					}
+					cr, _ := inj.Crash(v)
+					if !cr.Restart {
+						return
+					}
+					select {
+					case <-time.After(cr.RestartDelay):
+					case <-runDone:
+						return
+					}
+					ctr.restarts.Add(1)
 				}
-				cr, _ := inj.Crash(v)
-				if !cr.Restart {
-					return
-				}
-				select {
-				case <-time.After(cr.RestartDelay):
-				case <-runDone:
-					return
-				}
-				ctr.restarts.Add(1)
-			}
-		}(v)
+			}(v)
+		}
 	}
 
 	start := time.Now()
@@ -346,15 +437,17 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	// read forever).
 	close(runDone)
 	hub.broadcastStop()
-	ln.Close()
-	connMu.Lock()
-	for _, c := range allConns {
-		c.Close()
+	for _, r := range relays {
+		r.ln.Close()
 	}
-	connMu.Unlock()
+	hub.connMu.Lock()
+	for _, rc := range hub.allConns {
+		rc.conn.Close()
+	}
+	hub.connMu.Unlock()
 	nodeWG.Wait()
 	readWG.Wait()
-	<-acceptDone
+	acceptWG.Wait()
 	close(nodeErrs)
 
 	res.Retransmits = ctr.retransmits.Load()
@@ -362,6 +455,17 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	res.Restarts = ctr.restarts.Load()
 	res.Partitioned = hub.partitioned
 	res.PartitionHeals = inj.HealedBy(res.Duration)
+	res.BinaryConns = hub.binaryConns
+	for v := range ctr.checks {
+		res.TotalChecks += ctr.checks[v].Load()
+	}
+	// Every accept, read, and node goroutine has exited: the per-connection
+	// stream counters are quiescent.
+	for _, rc := range hub.allConns {
+		res.BytesSent += rc.fw.BytesWritten
+		res.BytesRecv += rc.fr.BytesRead
+		res.BatchedFrames += rc.fw.BatchedFrames + rc.fr.BatchedFrames
+	}
 	hub.emitFinal(res, &ctr)
 	if res.Solved || res.Insoluble || res.Quiescent {
 		return res, nil
@@ -375,26 +479,6 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		rerr = ErrTimeout
 	}
 	return res, rerr
-}
-
-// nodeConn is the hub's handle on one node.
-type nodeConn struct {
-	conn net.Conn
-	mu   sync.Mutex
-	w    *bufio.Writer
-}
-
-func (nc *nodeConn) send(f frame) error {
-	b, err := json.Marshal(f)
-	if err != nil {
-		return err
-	}
-	nc.mu.Lock()
-	defer nc.mu.Unlock()
-	if _, err := nc.w.Write(append(b, '\n')); err != nil {
-		return err
-	}
-	return nc.w.Flush()
 }
 
 // link identifies one directed node-to-node channel.
@@ -412,7 +496,7 @@ type attemptKey struct {
 type delayedFrame struct {
 	at  time.Time
 	seq int64
-	f   frame
+	env wire.Envelope
 }
 
 // frameHeap orders delayed frames by due time, then arrival sequence.
@@ -439,22 +523,44 @@ func (h *frameHeap) Pop() any {
 	return item
 }
 
-// hub routes frames and watches for termination.
+// hub routes frames and watches for termination. Routing, fault injection,
+// and every write are owned by the single-threaded route loop; the sharded
+// relays only accept, read, and decode.
 type hub struct {
 	problem   *csp.Problem
 	values    csp.SliceAssignment
-	conns     []*nodeConn
+	conns     []*relayConn
 	processed []int64
-	pending   map[int][]frame
+	pending   map[int][]wire.Envelope
 	seqHigh   map[link]int64
 	attempts  map[attemptKey]int
 	delayq    frameHeap
 	delaySeq  int64
-	frames    chan frame
+	frames    chan inFrame
 	stop      chan struct{}
 	inFlight  int64
 	messages  int64
 	inj       *faults.Injector
+
+	codec   wire.Codec
+	noBatch bool
+	nShards int
+	// dirty tracks connections with unflushed writes; the route loop
+	// flushes them whenever its queue drains, which is the batching
+	// deadline bound.
+	dirty []*relayConn
+	// forwarded counts frames that arrived on one shard's relay bound for a
+	// node homed on another shard, indexed by the arrival shard. The route
+	// loop sees every frame exactly once, so a forwarded frame can never be
+	// double-counted into messages or the retransmit/duplicate counters.
+	forwarded   []int64
+	binaryConns int64
+
+	// allConns is every accepted connection (including replaced ones after
+	// a crash), appended by the accept loops and swept for byte totals
+	// after all I/O goroutines exit.
+	connMu   sync.Mutex
+	allConns []*relayConn
 
 	start       time.Time // run start; partition windows are offsets from it
 	partitioned int64
@@ -473,24 +579,22 @@ type hub struct {
 // emitFinal records the run's totals after every node has stopped: one
 // agent event per variable (final-incarnation check totals and store
 // sizes from the node goroutines, processed counts from the hub), one link
-// event per directed link the hub routed, and the delivery/check/transport
-// counters. No-op without telemetry.
+// event per directed link the hub routed, one shard event per relay, and
+// the delivery/check/transport counters. No-op without telemetry.
 func (h *hub) emitFinal(res Result, ctr *nodeCounters) {
 	if h.tel == nil {
 		return
 	}
 	reg := h.tel.Registry()
-	var totalChecks int64
 	for v := range h.processed {
 		ev := telemetry.Event{
 			Kind:           telemetry.KindAgent,
 			Agent:          v,
 			AgentProcessed: h.processed[v],
+			Checks:         ctr.checks[v].Load(),
 		}
-		if ctr.checks != nil {
-			ev.Checks = ctr.checks[v].Load()
+		if ctr.stores != nil {
 			ev.StoreSize = ctr.stores[v].Load()
-			totalChecks += ev.Checks
 		}
 		h.tel.Emit(ev)
 	}
@@ -515,35 +619,29 @@ func (h *hub) emitFinal(res Result, ctr *nodeCounters) {
 			Partitioned: h.linkPart[k],
 		})
 	}
+	for s := 0; s < h.nShards; s++ {
+		ev := telemetry.Event{Kind: telemetry.KindShard, Shard: s, Forwarded: h.forwarded[s]}
+		for _, rc := range h.allConns {
+			if rc.shard == s {
+				ev.FramesIn += rc.fr.Frames
+				ev.BytesIn += rc.fr.BytesRead
+				ev.BytesOut += rc.fw.BytesWritten
+			}
+		}
+		h.tel.Emit(ev)
+	}
 	reg.Counter("discsp_deliveries_total").Add(res.Messages)
-	reg.Counter("discsp_checks_total").Add(totalChecks)
+	reg.Counter("discsp_checks_total").Add(res.TotalChecks)
 	telemetry.Transport{
 		Retransmits:          res.Retransmits,
 		DuplicatesSuppressed: res.DuplicatesSuppressed,
 		Restarts:             res.Restarts,
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
+		BytesSent:            res.BytesSent,
+		BytesRecv:            res.BytesRecv,
+		BatchedFrames:        res.BatchedFrames,
 	}.Record(reg)
-}
-
-// readLoop decodes frames from one connection into the hub channel. All
-// frames — including hello — go through the channel so that connection
-// registration happens on the single-threaded route loop.
-func (h *hub) readLoop(nc *nodeConn) {
-	sc := bufio.NewScanner(nc.conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		var f frame
-		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-			return // node-side close or corruption: drop the connection
-		}
-		f.src = nc
-		select {
-		case h.frames <- f:
-		case <-h.stop:
-			return
-		}
-	}
 }
 
 // route is the hub's single-threaded event loop. All timers are managed
@@ -566,6 +664,14 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 	// every node has reported in at least once.
 	reported := make(map[int]bool, len(h.values))
 	for {
+		// The queue is (about to be) idle: push every buffered write to the
+		// sockets. This is the batching deadline bound — batches never wait
+		// on a timer, only on the loop having more frames to route.
+		if len(h.frames) == 0 && len(h.dirty) > 0 {
+			if err := h.flushDirty(); err != nil {
+				return Result{Assignment: h.snapshot(), Messages: h.messages}, err
+			}
+		}
 		var delayC <-chan time.Time
 		if len(h.delayq) > 0 {
 			delayT.Reset(time.Until(h.delayq[0].at))
@@ -594,10 +700,10 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 				df := heap.Pop(&h.delayq).(delayedFrame)
 				// A held frame popping mid-window (an injected duplicate, or
 				// an overlapping later window) goes back behind the cut.
-				if h.partitionHold(df.f) {
+				if h.partitionHold(df.env) {
 					continue
 				}
-				if err := h.send(df.f); err != nil {
+				if err := h.send(df.env); err != nil {
 					return Result{Assignment: h.snapshot(), Messages: h.messages}, err
 				}
 			}
@@ -626,30 +732,24 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 
 // handle processes one frame; done reports a terminal state. A non-nil
 // error means a node is unreachable and not coming back.
-func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
-	switch f.Type {
-	case ctlHello:
-		if f.From >= 0 && f.From < len(h.conns) {
-			h.conns[f.From] = f.src
-			// Flush messages that arrived before this node (re)registered;
-			// the node's reorder buffer handles any staleness.
-			queued := h.pending[f.From]
-			delete(h.pending, f.From)
-			for _, q := range queued {
-				if err := h.send(q); err != nil {
-					return false, Result{}, err
-				}
+func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
+	e := f.env
+	switch e.Type {
+	case wire.TypeHello:
+		if e.From >= 0 && e.From < len(h.conns) {
+			if err := h.register(f.src, e); err != nil {
+				return false, Result{}, err
 			}
 		}
 		return false, Result{}, nil
-	case ctlState:
-		reported[f.From] = true
-		if f.From >= 0 && f.From < len(h.values) {
-			h.values[f.From] = csp.Value(f.Value)
-			h.processed[f.From] += int64(f.Processed)
+	case wire.TypeState:
+		reported[e.From] = true
+		if e.From >= 0 && e.From < len(h.values) {
+			h.values[e.From] = csp.Value(e.Value)
+			h.processed[e.From] += int64(e.Processed)
 		}
-		h.inFlight -= int64(f.Processed)
-		if f.Insoluble {
+		h.inFlight -= int64(e.Processed)
+		if e.Insoluble {
 			return true, Result{Insoluble: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 		}
 		if h.problem.IsSolution(h.values) {
@@ -661,60 +761,109 @@ func (h *hub) handle(f frame, reported map[int]bool) (bool, Result, error) {
 		// from a partition: a cut severs acknowledgements like any other
 		// node-to-node traffic, which is what keeps the far side
 		// retransmitting until the heal.
+		h.noteForward(f)
 		if h.tel != nil {
 			// The ack travels receiver → sender; record it against the
 			// data link it acknowledges.
-			dl := link{from: f.To, to: f.From}
-			if f.Ack > h.ackHigh[dl] {
-				h.ackHigh[dl] = f.Ack
+			dl := link{from: e.To, to: e.From}
+			if e.Ack > h.ackHigh[dl] {
+				h.ackHigh[dl] = e.Ack
 			}
 		}
-		if h.partitionHold(f) {
+		if h.partitionHold(e) {
 			return false, Result{}, nil
 		}
-		return false, Result{}, h.send(f)
+		return false, Result{}, h.send(e)
 	}
 	// Algorithm frame. Count each unique (link, seq) exactly once — before
 	// the drop decision, because a dropped message is still in flight (the
 	// sender retransmits it until acked).
-	if f.To < 0 || f.To >= len(h.conns) {
+	if e.To < 0 || e.To >= len(h.conns) {
 		return false, Result{}, nil
 	}
-	k := link{from: f.From, to: f.To}
-	if f.Seq > h.seqHigh[k] {
-		h.seqHigh[k] = f.Seq
+	h.noteForward(f)
+	k := link{from: e.From, to: e.To}
+	if e.Seq > h.seqHigh[k] {
+		h.seqHigh[k] = e.Seq
 		h.messages++
 		h.inFlight++
-	} else if h.tel != nil && f.Seq > 0 {
+	} else if h.tel != nil && e.Seq > 0 {
 		// A seq at or below the link's high-water mark is a retransmitted
 		// (or injected-duplicate) copy arriving at the hub.
 		h.linkRetrans[k]++
 	}
-	if h.partitionHold(f) {
+	if h.partitionHold(e) {
 		return false, Result{}, nil
 	}
-	if h.inj != nil && f.Seq > 0 {
-		ak := attemptKey{l: k, seq: f.Seq}
+	if h.inj != nil && e.Seq > 0 {
+		ak := attemptKey{l: k, seq: e.Seq}
 		attempt := h.attempts[ak]
 		h.attempts[ak] = attempt + 1
-		if h.inj.Dropped(f.From, f.To, f.Seq, attempt) {
+		if h.inj.Dropped(e.From, e.To, e.Seq, attempt) {
 			return false, Result{}, nil
 		}
-		if attempt == 0 && h.inj.Duplicated(f.From, f.To, f.Seq) {
-			h.schedule(f, time.Now().Add(h.inj.Delay(f.From, f.To, f.Seq, 1)))
+		if attempt == 0 && h.inj.Duplicated(e.From, e.To, e.Seq) {
+			h.schedule(e, time.Now().Add(h.inj.Delay(e.From, e.To, e.Seq, 1)))
 		}
-		if d := h.inj.Delay(f.From, f.To, f.Seq, 0); d > 0 {
-			h.schedule(f, time.Now().Add(d))
+		if d := h.inj.Delay(e.From, e.To, e.Seq, 0); d > 0 {
+			h.schedule(e, time.Now().Add(d))
 			return false, Result{}, nil
 		}
 	}
-	return false, Result{}, h.send(f)
+	return false, Result{}, h.send(e)
 }
 
-// schedule holds f back until at.
-func (h *hub) schedule(f frame, at time.Time) {
+// register completes one node's handshake on the route loop: reply with the
+// negotiated codec (still in JSON, the handshake encoding), switch the
+// writer, enable batching, record the connection, and drain any frames that
+// queued while the node was unregistered (the node's reorder buffer handles
+// staleness).
+func (h *hub) register(rc *relayConn, hello wire.Envelope) error {
+	neg, err := wire.ParseCodec(hello.Codec)
+	if err != nil {
+		neg = wire.CodecJSON // unknown request: the safe common ground
+	}
+	welcome := wire.Envelope{Type: wire.TypeWelcome, To: hello.From, Codec: neg.String()}
+	if err := rc.fw.Send(&welcome); err != nil {
+		return h.writeFailed(rc, hello.From, err)
+	}
+	if err := rc.fw.SetCodec(neg); err != nil {
+		return h.writeFailed(rc, hello.From, err)
+	}
+	if !h.noBatch {
+		rc.fw.EnableBatching(batchMaxFrames, batchMaxBytes)
+	}
+	if neg == wire.CodecBinary {
+		h.binaryConns++
+	}
+	rc.node = hello.From
+	h.conns[hello.From] = rc
+	h.markDirty(rc)
+	queued := h.pending[hello.From]
+	delete(h.pending, hello.From)
+	for _, q := range queued {
+		if err := h.send(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteForward counts a node-to-node frame whose destination is homed on a
+// different shard than the relay it arrived on. Counting happens here, on
+// the frame's single pass through the route loop, so inter-shard forwarding
+// can never inflate messages, retransmit, or duplicate counters.
+func (h *hub) noteForward(f inFrame) {
+	if h.nShards > 1 && f.src != nil && f.env.To >= 0 &&
+		f.src.shard != shardOf(f.env.To, h.nShards) {
+		h.forwarded[f.src.shard]++
+	}
+}
+
+// schedule holds e back until at.
+func (h *hub) schedule(e wire.Envelope, at time.Time) {
 	h.delaySeq++
-	heap.Push(&h.delayq, delayedFrame{at: at, seq: h.delaySeq, f: f})
+	heap.Push(&h.delayq, delayedFrame{at: at, seq: h.delaySeq, env: e})
 }
 
 // observe feeds the stall watchdog one sample of the hub's counters and
@@ -762,23 +911,23 @@ func (h *hub) observe(wd *progress.Watchdog, now time.Time) {
 // (the nodes' dedup layer absorbs the retransmitted copies that pile up
 // behind it), or killed outright by a never-healing window — the message
 // stays in flight, so the run cannot quiesce and the deadline reports the
-// stall. It reports whether f was intercepted. This path is distinct from
+// stall. It reports whether e was intercepted. This path is distinct from
 // a dead node: partitioned traffic never reaches send()'s ErrNodeDown
 // fail-fast, because the frame is parked before any socket write.
-func (h *hub) partitionHold(f frame) bool {
+func (h *hub) partitionHold(e wire.Envelope) bool {
 	if !h.inj.AnyPartition() {
 		return false
 	}
-	cut, heal, heals := h.inj.PartitionedAt(f.From, f.To, time.Since(h.start))
+	cut, heal, heals := h.inj.PartitionedAt(e.From, e.To, time.Since(h.start))
 	if !cut {
 		return false
 	}
 	h.partitioned++
 	if h.tel != nil {
-		h.linkPart[link{from: f.From, to: f.To}]++
+		h.linkPart[link{from: e.From, to: e.To}]++
 	}
 	if heals {
-		h.schedule(f, h.start.Add(heal))
+		h.schedule(e, h.start.Add(heal))
 	}
 	return true
 }
@@ -788,32 +937,75 @@ func (h *hub) partitionHold(f frame) bool {
 // will restart parks the frame and awaits the re-hello; any other send
 // failure is a dead node — the run fails fast with a diagnostic instead of
 // idling to the timeout.
-func (h *hub) send(f frame) error {
-	if f.To < 0 || f.To >= len(h.conns) {
+func (h *hub) send(e wire.Envelope) error {
+	if e.To < 0 || e.To >= len(h.conns) {
 		return nil
 	}
-	nc := h.conns[f.To]
-	if nc == nil {
-		h.queue(f)
+	rc := h.conns[e.To]
+	if rc == nil {
+		h.queue(e)
 		return nil
 	}
-	if err := nc.send(f); err != nil {
-		if h.inj.WillRestart(f.To) {
-			h.conns[f.To] = nil
-			h.queue(f)
+	if err := rc.fw.Send(&e); err != nil {
+		if h.inj.WillRestart(e.To) {
+			h.conns[e.To] = nil
+			h.queue(e)
 			return nil
 		}
 		return fmt.Errorf("send of %s frame %d→%d (seq %d) failed: %v: %w",
-			f.Type, f.From, f.To, f.Seq, err, ErrNodeDown)
+			e.Type, e.From, e.To, e.Seq, err, ErrNodeDown)
 	}
+	h.markDirty(rc)
 	return nil
 }
 
-func (h *hub) queue(f frame) {
-	if h.pending == nil {
-		h.pending = make(map[int][]frame)
+// writeFailed classifies a non-Send write failure (welcome, codec switch,
+// flush) on a node's connection: survivable when the fault schedule will
+// restart the node — the connection is deregistered, frames queue for the
+// re-hello, and anything batched on the dead socket is recovered by sender
+// retransmission — fatal otherwise.
+func (h *hub) writeFailed(rc *relayConn, node int, err error) error {
+	if h.inj.WillRestart(node) {
+		if node >= 0 && node < len(h.conns) && h.conns[node] == rc {
+			h.conns[node] = nil
+		}
+		return nil
 	}
-	h.pending[f.To] = append(h.pending[f.To], f)
+	return fmt.Errorf("write to node %d failed: %v: %w", node, err, ErrNodeDown)
+}
+
+// markDirty records that rc has buffered writes awaiting the idle flush.
+func (h *hub) markDirty(rc *relayConn) {
+	if !rc.dirty {
+		rc.dirty = true
+		h.dirty = append(h.dirty, rc)
+	}
+}
+
+// flushDirty pushes every buffered batch and byte to the sockets.
+func (h *hub) flushDirty() error {
+	var failed error
+	for i, rc := range h.dirty {
+		h.dirty[i] = nil
+		rc.dirty = false
+		if err := rc.fw.Flush(); err != nil && failed == nil {
+			// Only a connection still registered to a live node matters; a
+			// replaced connection from a crashed incarnation flushes into
+			// a closed socket harmlessly.
+			if rc.node >= 0 && rc.node < len(h.conns) && h.conns[rc.node] == rc {
+				failed = h.writeFailed(rc, rc.node, err)
+			}
+		}
+	}
+	h.dirty = h.dirty[:0]
+	return failed
+}
+
+func (h *hub) queue(e wire.Envelope) {
+	if h.pending == nil {
+		h.pending = make(map[int][]wire.Envelope)
+	}
+	h.pending[e.To] = append(h.pending[e.To], e)
 }
 
 func (h *hub) snapshot() csp.SliceAssignment {
@@ -824,331 +1016,11 @@ func (h *hub) snapshot() csp.SliceAssignment {
 
 func (h *hub) broadcastStop() {
 	close(h.stop)
-	for _, nc := range h.conns {
-		if nc != nil {
-			_ = nc.send(frame{Envelope: wire.Envelope{Type: ctlStop}})
-		}
-	}
-}
-
-// nodeCheckpoint is the durable state a node persists before acknowledging
-// a step: the agent snapshot plus both halves of every reliable link, so a
-// restarted incarnation resumes the seq streams exactly where the crashed
-// one durably left them.
-type nodeCheckpoint struct {
-	agent any
-	send  map[int]wire.SendLinkState
-	recv  map[int]wire.RecvLinkState
-	steps int
-	// pendingReport is the processed count of the checkpointed step whose
-	// state frame may never have reached the hub; the restarted node
-	// re-reports it so the hub's in-flight accounting stays exact.
-	pendingReport int
-}
-
-// runNode dials the hub and runs one agent against the socket. It returns
-// crashed=true when the fault schedule killed this incarnation (the
-// supervisor decides whether to restart it); a nil error otherwise means a
-// clean stop.
-func runNode(addr string, v csp.Var, makeAgent func(csp.Var) sim.Agent, inj *faults.Injector,
-	ckpts *faults.Checkpoints, ctr *nodeCounters, incarnation int, done <-chan struct{}) (bool, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		select {
-		case <-done:
-			return false, nil // run over; the listener is gone
-		default:
-			return false, err
-		}
-	}
-	defer conn.Close()
-	agent := makeAgent(v)
-	if int(agent.ID()) != int(v) {
-		return false, fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
-	}
-
-	sendLinks := make(map[int]*wire.SendLink)
-	recvLinks := make(map[int]*wire.RecvLink)
-	defer func() {
-		var rt, dp int64
-		for _, sl := range sendLinks {
-			rt += sl.Retransmits()
-		}
-		for _, rl := range recvLinks {
-			dp += rl.Dups()
-		}
-		ctr.retransmits.Add(rt)
-		ctr.dups.Add(dp)
-		if ctr.checks != nil {
-			// Final incarnation wins: a restarted agent restored its
-			// counter from the checkpoint, so its total is cumulative.
-			ctr.checks[int(v)].Store(agent.Checks())
-			if ss, ok := agent.(storeSizer); ok {
-				ctr.stores[int(v)].Store(int64(ss.StoreSize()))
-			}
-		}
-	}()
-	sendLink := func(to int) *wire.SendLink {
-		sl, ok := sendLinks[to]
-		if !ok {
-			sl = wire.NewSendLink(retransmitBase, retransmitCap)
-			sendLinks[to] = sl
-		}
-		return sl
-	}
-	recvLink := func(from int) *wire.RecvLink {
-		rl, ok := recvLinks[from]
-		if !ok {
-			rl = wire.NewRecvLink()
-			recvLinks[from] = rl
-		}
-		return rl
-	}
-
-	steps := 0
-	pendingReport := 0
-	restored := false
-	if incarnation > 0 {
-		if snap, ok := ckpts.Load(int(v)); ok {
-			cp := snap.(nodeCheckpoint)
-			if cp.agent != nil {
-				c, can := agent.(sim.Checkpointer)
-				if !can {
-					return false, fmt.Errorf("agent %d cannot restore a checkpoint", v)
-				}
-				if err := c.Restore(cp.agent); err != nil {
-					return false, fmt.Errorf("restore checkpoint: %w", err)
-				}
-			}
-			now := time.Now()
-			for peer, st := range cp.send {
-				sendLinks[peer] = wire.RestoreSendLink(st, retransmitBase, retransmitCap, now)
-			}
-			for peer, st := range cp.recv {
-				recvLinks[peer] = wire.RestoreRecvLink(st)
-			}
-			steps = cp.steps
-			pendingReport = cp.pendingReport
-			restored = true
-		}
-	}
-
-	// fail classifies an I/O error: once the run is over (done closed), the
-	// hub tears sockets down mid-write and a broken pipe is a clean exit,
-	// not a node failure.
-	fail := func(err error) (bool, error) {
-		select {
-		case <-done:
-			return false, nil
-		default:
-			return false, err
-		}
-	}
-
-	w := bufio.NewWriter(conn)
-	writeFrame := func(f frame) error {
-		b, err := json.Marshal(f)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
-			return err
-		}
-		return w.Flush()
-	}
-	writeState := func(processed int) error {
-		state := frame{
-			Envelope:  wire.Envelope{Type: ctlState, From: int(v), Value: int(agent.CurrentValue())},
-			Processed: processed,
-		}
-		if r, ok := agent.(sim.InsolubleReporter); ok && r.Insoluble() {
-			state.Insoluble = true
-		}
-		return writeFrame(state)
-	}
-
-	// Crash schedule: only the first incarnation crashes (the schedule is
-	// one crash per agent), and only agents that will restart pay for
-	// checkpointing.
-	var cr faults.Crash
-	hasCrash := false
-	if incarnation == 0 {
-		cr, hasCrash = inj.Crash(int(v))
-	}
-	willRestart := inj.WillRestart(int(v))
-	saveCheckpoint := func() {
-		if !willRestart || ckpts == nil {
-			return
-		}
-		cp := nodeCheckpoint{
-			send:          make(map[int]wire.SendLinkState, len(sendLinks)),
-			recv:          make(map[int]wire.RecvLinkState, len(recvLinks)),
-			steps:         steps,
-			pendingReport: pendingReport,
-		}
-		if c, ok := agent.(sim.Checkpointer); ok {
-			cp.agent = c.Checkpoint()
-		}
-		for peer, sl := range sendLinks {
-			cp.send[peer] = sl.SnapshotState()
-		}
-		for peer, rl := range recvLinks {
-			cp.recv[peer] = rl.SnapshotState()
-		}
-		ckpts.Save(int(v), cp)
-	}
-
-	if err := writeFrame(frame{Envelope: wire.Envelope{Type: ctlHello, From: int(v)}}); err != nil {
-		return fail(err)
-	}
-	now := time.Now()
-	if restored {
-		// The crash may have eaten anything not yet acked: retransmit the
-		// whole unacked window, then re-report the step whose state frame
-		// the crash swallowed.
-		for _, sl := range sendLinks {
-			for _, e := range sl.Due(now) {
-				if err := writeFrame(frame{Envelope: e}); err != nil {
-					return fail(err)
-				}
-			}
-		}
-		if err := writeState(pendingReport); err != nil {
-			return fail(err)
-		}
-		pendingReport = 0
-	} else {
-		for _, m := range agent.Init() {
-			env, err := wire.Encode(m)
-			if err != nil {
-				return false, err
-			}
-			env, err = sendLink(env.To).Stamp(env, now)
-			if err != nil {
-				return false, err
-			}
-			if err := writeFrame(frame{Envelope: env}); err != nil {
-				return fail(err)
-			}
-		}
-		if err := writeState(0); err != nil {
-			return fail(err)
-		}
-	}
-
-	// Reader goroutine: the main loop must also wake for retransmission
-	// ticks, so reads go through a channel.
-	inbound := make(chan frame, 128)
-	readerQuit := make(chan struct{})
-	defer close(readerQuit)
-	go func() {
-		defer close(inbound)
-		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-		for sc.Scan() {
-			var f frame
-			if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-				return
-			}
-			select {
-			case inbound <- f:
-			case <-readerQuit:
-				return
-			}
-		}
-	}()
-
-	ticker := time.NewTicker(retransmitTick)
-	defer ticker.Stop()
-	for {
-		select {
-		case f, ok := <-inbound:
-			if !ok {
-				// EOF without ctl.stop: the hub tore the socket down.
-				return false, nil
-			}
-			switch f.Type {
-			case ctlStop:
-				return false, nil
-			case wire.TypeAck:
-				if sl, ok := sendLinks[f.From]; ok {
-					sl.Ack(f.Ack, time.Now())
-				}
-				continue
-			}
-			rl := recvLink(f.From)
-			released, _, err := rl.Accept(f.Envelope)
-			if err != nil {
-				return false, err
-			}
-			now := time.Now()
-			if len(released) == 0 {
-				// Duplicate or gap: re-ack so a sender whose ack was lost
-				// stops retransmitting.
-				ack := frame{Envelope: wire.Envelope{Type: wire.TypeAck, From: int(v), To: f.From, Ack: rl.CumAck()}}
-				if err := writeFrame(ack); err != nil {
-					return fail(err)
-				}
-				continue
-			}
-			batch := make([]sim.Message, 0, len(released))
-			for _, env := range released {
-				msg, err := wire.Decode(env)
-				if err != nil {
-					return false, err
-				}
-				batch = append(batch, msg)
-			}
-			out := agent.Step(batch)
-			steps++
-			// Stamp the output into the send links BEFORE checkpointing:
-			// if the crash hits after the checkpoint, the output survives
-			// in the unacked buffers and the restart retransmits it.
-			outFrames := make([]frame, 0, len(out))
-			for _, m := range out {
-				env, err := wire.Encode(m)
-				if err != nil {
-					return false, err
-				}
-				env, err = sendLink(env.To).Stamp(env, now)
-				if err != nil {
-					return false, err
-				}
-				outFrames = append(outFrames, frame{Envelope: env})
-			}
-			// Checkpoint before acknowledging anything: acked must mean
-			// durable. The ack and state report for this step may then be
-			// lost to a crash; the restart re-reports them.
-			pendingReport = len(released)
-			saveCheckpoint()
-			if hasCrash && steps > cr.AfterSteps {
-				// Scheduled crash: the process dies before acking the
-				// step. Everything since the checkpoint is lost; senders
-				// retransmit, the restart replays the checkpoint.
-				return true, nil
-			}
-			for _, of := range outFrames {
-				if err := writeFrame(of); err != nil {
-					return fail(err)
-				}
-			}
-			ack := frame{Envelope: wire.Envelope{Type: wire.TypeAck, From: int(v), To: f.From, Ack: rl.CumAck()}}
-			if err := writeFrame(ack); err != nil {
-				return fail(err)
-			}
-			if err := writeState(len(released)); err != nil {
-				return fail(err)
-			}
-			pendingReport = 0
-		case <-ticker.C:
-			now := time.Now()
-			for _, sl := range sendLinks {
-				for _, e := range sl.Due(now) {
-					if err := writeFrame(frame{Envelope: e}); err != nil {
-						return fail(err)
-					}
-				}
-			}
+	for _, rc := range h.conns {
+		if rc != nil {
+			stop := wire.Envelope{Type: wire.TypeStop}
+			_ = rc.fw.Send(&stop)
+			_ = rc.fw.Flush()
 		}
 	}
 }

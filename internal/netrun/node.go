@@ -1,0 +1,436 @@
+// The node side of the transport: one goroutine (or worker process) per
+// agent, dialing its shard's relay, negotiating a codec, and running the
+// agent against the socket with reliable links and crash checkpoints.
+package netrun
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/faults"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/wire"
+)
+
+// nodeConfig carries one node's invariant wiring across incarnations.
+type nodeConfig struct {
+	addr      string // the node's shard relay address
+	v         csp.Var
+	makeAgent func(v csp.Var) sim.Agent
+	codec     wire.Codec // requested in the hello; the welcome decides
+	noBatch   bool
+	inj       *faults.Injector
+	ckpts     *faults.Checkpoints
+	ctr       *nodeCounters
+	done      <-chan struct{}
+	// onStop, when non-nil, runs when the hub's stop frame arrives —
+	// workers use it to classify their sibling nodes' subsequent socket
+	// errors as a clean shutdown.
+	onStop func()
+}
+
+// nodeCheckpoint is the durable state a node persists before acknowledging
+// a step: the agent snapshot plus both halves of every reliable link, so a
+// restarted incarnation resumes the seq streams exactly where the crashed
+// one durably left them.
+type nodeCheckpoint struct {
+	agent any
+	send  map[int]wire.SendLinkState
+	recv  map[int]wire.RecvLinkState
+	steps int
+	// pendingReport is the processed count of the checkpointed step whose
+	// state frame may never have reached the hub; the restarted node
+	// re-reports it so the hub's in-flight accounting stays exact.
+	pendingReport int
+}
+
+// runNode dials the hub and runs one agent against the socket. It returns
+// crashed=true when the fault schedule killed this incarnation (the
+// supervisor decides whether to restart it); a nil error otherwise means a
+// clean stop.
+func runNode(cfg nodeConfig, incarnation int) (bool, error) {
+	v := cfg.v
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		select {
+		case <-cfg.done:
+			return false, nil // run over; the listener is gone
+		default:
+			return false, err
+		}
+	}
+	defer conn.Close()
+	agent := cfg.makeAgent(v)
+	if int(agent.ID()) != int(v) {
+		return false, fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
+	}
+
+	sendLinks := make(map[int]*wire.SendLink)
+	recvLinks := make(map[int]*wire.RecvLink)
+	ctr := cfg.ctr
+	defer func() {
+		var rt, dp int64
+		for _, sl := range sendLinks {
+			rt += sl.Retransmits()
+		}
+		for _, rl := range recvLinks {
+			dp += rl.Dups()
+		}
+		ctr.retransmits.Add(rt)
+		ctr.dups.Add(dp)
+		// Final incarnation wins: a restarted agent restored its counter
+		// from the checkpoint, so its total is cumulative.
+		if int(v) < len(ctr.checks) {
+			ctr.checks[int(v)].Store(agent.Checks())
+		}
+		if ctr.stores != nil && int(v) < len(ctr.stores) {
+			if ss, ok := agent.(storeSizer); ok {
+				ctr.stores[int(v)].Store(int64(ss.StoreSize()))
+			}
+		}
+	}()
+	sendLink := func(to int) *wire.SendLink {
+		sl, ok := sendLinks[to]
+		if !ok {
+			sl = wire.NewSendLink(retransmitBase, retransmitCap)
+			sendLinks[to] = sl
+		}
+		return sl
+	}
+	recvLink := func(from int) *wire.RecvLink {
+		rl, ok := recvLinks[from]
+		if !ok {
+			rl = wire.NewRecvLink()
+			recvLinks[from] = rl
+		}
+		return rl
+	}
+
+	steps := 0
+	pendingReport := 0
+	restored := false
+	if incarnation > 0 {
+		if snap, ok := cfg.ckpts.Load(int(v)); ok {
+			cp := snap.(nodeCheckpoint)
+			if cp.agent != nil {
+				c, can := agent.(sim.Checkpointer)
+				if !can {
+					return false, fmt.Errorf("agent %d cannot restore a checkpoint", v)
+				}
+				if err := c.Restore(cp.agent); err != nil {
+					return false, fmt.Errorf("restore checkpoint: %w", err)
+				}
+			}
+			now := time.Now()
+			for peer, st := range cp.send {
+				sendLinks[peer] = wire.RestoreSendLink(st, retransmitBase, retransmitCap, now)
+			}
+			for peer, st := range cp.recv {
+				recvLinks[peer] = wire.RestoreRecvLink(st)
+			}
+			steps = cp.steps
+			pendingReport = cp.pendingReport
+			restored = true
+		}
+	}
+
+	// fail classifies an I/O error: once the run is over (done closed), the
+	// hub tears sockets down mid-write and a broken pipe is a clean exit,
+	// not a node failure.
+	fail := func(err error) (bool, error) {
+		select {
+		case <-cfg.done:
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+
+	// One writer and one reader own the socket. Both start in JSON (the
+	// handshake encoding) and switch together once the welcome names the
+	// negotiated codec. Every write group below ends with a Flush — that is
+	// the batch boundary: a step's outputs, ack, and state report coalesce
+	// into one batch frame.
+	fw := wire.NewFrameWriter(conn)
+	fr := wire.NewFrameReader(conn)
+	send := func(e wire.Envelope) error { return fw.Send(&e) }
+	writeState := func(processed int) error {
+		state := wire.Envelope{Type: wire.TypeState, From: int(v), Value: int(agent.CurrentValue()), Processed: processed}
+		if r, ok := agent.(sim.InsolubleReporter); ok && r.Insoluble() {
+			state.Insoluble = true
+		}
+		return send(state)
+	}
+
+	// Crash schedule: only the first incarnation crashes (the schedule is
+	// one crash per agent), and only agents that will restart pay for
+	// checkpointing.
+	var cr faults.Crash
+	hasCrash := false
+	if incarnation == 0 {
+		cr, hasCrash = cfg.inj.Crash(int(v))
+	}
+	willRestart := cfg.inj.WillRestart(int(v))
+	saveCheckpoint := func() {
+		if !willRestart || cfg.ckpts == nil {
+			return
+		}
+		cp := nodeCheckpoint{
+			send:          make(map[int]wire.SendLinkState, len(sendLinks)),
+			recv:          make(map[int]wire.RecvLinkState, len(recvLinks)),
+			steps:         steps,
+			pendingReport: pendingReport,
+		}
+		if c, ok := agent.(sim.Checkpointer); ok {
+			cp.agent = c.Checkpoint()
+		}
+		for peer, sl := range sendLinks {
+			cp.send[peer] = sl.SnapshotState()
+		}
+		for peer, rl := range recvLinks {
+			cp.recv[peer] = rl.SnapshotState()
+		}
+		cfg.ckpts.Save(int(v), cp)
+	}
+
+	// Handshake: hello (with the requested codec), then block on the
+	// welcome before anything else crosses the socket, so the codec switch
+	// point is unambiguous on both sides.
+	if err := send(wire.Envelope{Type: wire.TypeHello, From: int(v), Codec: cfg.codec.String()}); err != nil {
+		return fail(err)
+	}
+	if err := fw.Flush(); err != nil {
+		return fail(err)
+	}
+	welcome, err := fr.Next()
+	if err != nil {
+		return fail(err)
+	}
+	switch welcome.Type {
+	case wire.TypeWelcome:
+	case wire.TypeStop:
+		if cfg.onStop != nil {
+			cfg.onStop()
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("node %d: expected welcome, got %q", v, welcome.Type)
+	}
+	neg, err := wire.ParseCodec(welcome.Codec)
+	if err != nil {
+		return false, fmt.Errorf("node %d: welcome names unknown codec: %w", v, err)
+	}
+	fr.SetCodec(neg)
+	if err := fw.SetCodec(neg); err != nil {
+		return fail(err)
+	}
+	if !cfg.noBatch {
+		fw.EnableBatching(batchMaxFrames, batchMaxBytes)
+	}
+
+	now := time.Now()
+	if restored {
+		// The crash may have eaten anything not yet acked: retransmit the
+		// whole unacked window, then re-report the step whose state frame
+		// the crash swallowed.
+		for _, sl := range sendLinks {
+			for _, e := range sl.Due(now) {
+				if err := send(e); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		if err := writeState(pendingReport); err != nil {
+			return fail(err)
+		}
+		pendingReport = 0
+	} else {
+		for _, m := range agent.Init() {
+			env, err := wire.Encode(m)
+			if err != nil {
+				return false, err
+			}
+			env, err = sendLink(env.To).Stamp(env, now)
+			if err != nil {
+				return false, err
+			}
+			if err := send(env); err != nil {
+				return fail(err)
+			}
+		}
+		if err := writeState(0); err != nil {
+			return fail(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		return fail(err)
+	}
+
+	// Reader goroutine: the main loop must also wake for retransmission
+	// ticks, so reads go through a channel. Envelopes are detached — they
+	// sit in the channel (and the reorder buffer) past the next read.
+	inbound := make(chan wire.Envelope, 128)
+	readerQuit := make(chan struct{})
+	defer close(readerQuit)
+	go func() {
+		defer close(inbound)
+		for {
+			e, err := fr.Next()
+			if err != nil {
+				return
+			}
+			e.Detach()
+			select {
+			case inbound <- e:
+			case <-readerQuit:
+				return
+			}
+		}
+	}()
+
+	// failRW classifies a write error once the reader is running. A write
+	// failure races with the hub's shutdown: the stop frame — or the
+	// hub-side close — may already be in flight on the read side while this
+	// node was mid-write (external workers hit this, having no other
+	// shutdown signal). Drain the inbound side briefly before declaring the
+	// hub dead.
+	failRW := func(err error) (bool, error) {
+		select {
+		case <-cfg.done:
+			return false, nil
+		default:
+		}
+		deadline := time.NewTimer(time.Second)
+		defer deadline.Stop()
+		for {
+			select {
+			case e, ok := <-inbound:
+				if !ok {
+					return false, nil // EOF: the hub tore the socket down
+				}
+				if e.Type == wire.TypeStop {
+					if cfg.onStop != nil {
+						cfg.onStop()
+					}
+					return false, nil
+				}
+				// Any other frame is abandoned: this node is exiting either
+				// way, and the sender's retransmission covers a restart.
+			case <-cfg.done:
+				return false, nil
+			case <-deadline.C:
+				return false, err
+			}
+		}
+	}
+
+	ticker := time.NewTicker(retransmitTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case e, ok := <-inbound:
+			if !ok {
+				// EOF without ctl.stop: the hub tore the socket down.
+				return false, nil
+			}
+			switch e.Type {
+			case wire.TypeStop:
+				if cfg.onStop != nil {
+					cfg.onStop()
+				}
+				return false, nil
+			case wire.TypeAck:
+				if sl, ok := sendLinks[e.From]; ok {
+					sl.Ack(e.Ack, time.Now())
+				}
+				continue
+			}
+			rl := recvLink(e.From)
+			released, _, err := rl.Accept(e)
+			if err != nil {
+				return false, err
+			}
+			now := time.Now()
+			if len(released) == 0 {
+				// Duplicate or gap: re-ack so a sender whose ack was lost
+				// stops retransmitting.
+				if err := send(wire.Envelope{Type: wire.TypeAck, From: int(v), To: e.From, Ack: rl.CumAck()}); err != nil {
+					return failRW(err)
+				}
+				if err := fw.Flush(); err != nil {
+					return failRW(err)
+				}
+				continue
+			}
+			batch := make([]sim.Message, 0, len(released))
+			for _, env := range released {
+				msg, err := wire.Decode(env)
+				if err != nil {
+					return false, err
+				}
+				batch = append(batch, msg)
+			}
+			out := agent.Step(batch)
+			steps++
+			// Stamp the output into the send links BEFORE checkpointing:
+			// if the crash hits after the checkpoint, the output survives
+			// in the unacked buffers and the restart retransmits it.
+			outFrames := make([]wire.Envelope, 0, len(out))
+			for _, m := range out {
+				env, err := wire.Encode(m)
+				if err != nil {
+					return false, err
+				}
+				env, err = sendLink(env.To).Stamp(env, now)
+				if err != nil {
+					return false, err
+				}
+				outFrames = append(outFrames, env)
+			}
+			// Checkpoint before acknowledging anything: acked must mean
+			// durable. The ack and state report for this step may then be
+			// lost to a crash; the restart re-reports them.
+			pendingReport = len(released)
+			saveCheckpoint()
+			if hasCrash && steps > cr.AfterSteps {
+				// Scheduled crash: the process dies before acking the
+				// step. Everything since the checkpoint is lost; senders
+				// retransmit, the restart replays the checkpoint.
+				return true, nil
+			}
+			for _, of := range outFrames {
+				if err := send(of); err != nil {
+					return failRW(err)
+				}
+			}
+			if err := send(wire.Envelope{Type: wire.TypeAck, From: int(v), To: e.From, Ack: rl.CumAck()}); err != nil {
+				return failRW(err)
+			}
+			if err := writeState(len(released)); err != nil {
+				return failRW(err)
+			}
+			if err := fw.Flush(); err != nil {
+				return failRW(err)
+			}
+			pendingReport = 0
+		case <-ticker.C:
+			now := time.Now()
+			wrote := false
+			for _, sl := range sendLinks {
+				for _, e := range sl.Due(now) {
+					if err := send(e); err != nil {
+						return failRW(err)
+					}
+					wrote = true
+				}
+			}
+			if wrote {
+				if err := fw.Flush(); err != nil {
+					return failRW(err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package netrun
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/wire"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Addrs are the hub's relay addresses in shard order. Node v dials
+	// Addrs[v mod len(Addrs)] — the same consistent assignment the hub
+	// uses, so each node lands on its home shard.
+	Addrs []string
+	// Vars are the variables this worker owns; each becomes one node.
+	Vars []int
+	// Codec is the wire codec to request (zero value = binary); the hub's
+	// welcome decides per connection.
+	Codec wire.Codec
+	// NoBatch disables frame batching on the worker's writers.
+	NoBatch bool
+}
+
+// RunWorker runs agent nodes against an external hub — a Run with
+// Options.External on another goroutine, process, or machine (cmd/dcspnode
+// is the process form). It blocks until the hub broadcasts stop or tears
+// the connections down; once any node observes the stop, its siblings'
+// subsequent socket errors count as the same clean shutdown. Faults are
+// hub-side configuration, so worker nodes never crash-restart.
+func RunWorker(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts WorkerOptions) error {
+	if len(opts.Addrs) == 0 {
+		return errors.New("netrun: worker needs at least one relay address")
+	}
+	if len(opts.Vars) == 0 {
+		return errors.New("netrun: worker owns no variables")
+	}
+	n := problem.NumVars()
+	for _, v := range opts.Vars {
+		if v < 0 || v >= n {
+			return fmt.Errorf("netrun: worker variable %d out of range [0,%d)", v, n)
+		}
+	}
+	ctr := nodeCounters{checks: make([]atomic.Int64, n)}
+	done := make(chan struct{})
+	var once sync.Once
+	stopped := func() { once.Do(func() { close(done) }) }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(opts.Vars))
+	for _, v := range opts.Vars {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			cfg := nodeConfig{
+				addr:      opts.Addrs[shardOf(v, len(opts.Addrs))],
+				v:         csp.Var(v),
+				makeAgent: makeAgent,
+				codec:     opts.Codec,
+				noBatch:   opts.NoBatch,
+				ctr:       &ctr,
+				done:      done,
+				onStop:    stopped,
+			}
+			if _, err := runNode(cfg, 0); err != nil {
+				errs <- fmt.Errorf("node %d: %w", v, err)
+			}
+		}(v)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}

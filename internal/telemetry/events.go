@@ -34,6 +34,10 @@ const (
 	KindAgent Kind = "agent"
 	// KindLink reports one hub link's counters (tcp runtime only).
 	KindLink Kind = "link"
+	// KindShard reports one hub relay shard's totals at end of run (tcp
+	// runtime only): frames read, frames forwarded across shards, and wire
+	// bytes in/out on the shard's connections.
+	KindShard Kind = "shard"
 	// KindSnapshot embeds a full metrics snapshot.
 	KindSnapshot Kind = "snapshot"
 	// KindEnd closes the stream with the run verdict.
@@ -88,6 +92,13 @@ type Event struct {
 	AckHigh     int64 `json:"ackHigh,omitempty"`
 	Retransmits int64 `json:"retransmits,omitempty"`
 	Partitioned int64 `json:"partitioned,omitempty"`
+
+	// shard
+	Shard     int   `json:"shard,omitempty"`
+	FramesIn  int64 `json:"framesIn,omitempty"`
+	Forwarded int64 `json:"forwarded,omitempty"`
+	BytesIn   int64 `json:"bytesIn,omitempty"`
+	BytesOut  int64 `json:"bytesOut,omitempty"`
 
 	// snapshot
 	Metrics *Snapshot `json:"metrics,omitempty"`
@@ -166,7 +177,7 @@ var (
 
 var knownKinds = map[Kind]bool{
 	KindMeta: true, KindCycle: true, KindSample: true, KindTrial: true,
-	KindAgent: true, KindLink: true, KindSnapshot: true, KindEnd: true,
+	KindAgent: true, KindLink: true, KindShard: true, KindSnapshot: true, KindEnd: true,
 }
 
 // v1 trace kinds, used to recognize a legacy stream by its first event.

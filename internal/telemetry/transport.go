@@ -18,6 +18,15 @@ type Transport struct {
 	Partitioned int64 `json:"partitioned,omitempty"`
 	// PartitionHeals counts partition windows that healed within the run.
 	PartitionHeals int64 `json:"partitionHeals,omitempty"`
+
+	// BytesSent and BytesRecv count wire bytes crossing the hub's sockets
+	// (framing included): hub→nodes and nodes→hub respectively. TCP runtime
+	// only; zero elsewhere.
+	BytesSent int64 `json:"bytesSent,omitempty"`
+	BytesRecv int64 `json:"bytesRecv,omitempty"`
+	// BatchedFrames counts frames that crossed the sockets inside coalesced
+	// batch frames rather than as individual writes, both directions summed.
+	BatchedFrames int64 `json:"batchedFrames,omitempty"`
 }
 
 // IsZero reports whether every counter is zero (a clean run).
@@ -27,21 +36,30 @@ func (t Transport) IsZero() bool {
 
 // Suffix renders the counters as the one-line " retrans=… dups=…" block
 // dcspsolve and dcspbench append to verdict lines, or "" when all zero.
+// The reliability block appears when any reliability counter is nonzero and
+// the wire block when any byte counter is, so a clean TCP run shows its
+// traffic volume without dragging in five zeros.
 func (t Transport) Suffix() string {
-	if t.IsZero() {
-		return ""
+	var s string
+	if t.Retransmits|t.DuplicatesSuppressed|t.Restarts|t.Partitioned|t.PartitionHeals != 0 {
+		s = fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
+			t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals)
 	}
-	return fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
-		t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals)
+	if t.BytesSent|t.BytesRecv|t.BatchedFrames != 0 {
+		s += fmt.Sprintf(" bytes_out=%d bytes_in=%d batched=%d",
+			t.BytesSent, t.BytesRecv, t.BatchedFrames)
+	}
+	return s
 }
 
 // TransportColumns is the canonical column order used by the table
 // renderers, aligned with Transport.Values.
-var TransportColumns = []string{"retrans", "dups", "restarts", "partitioned", "heals"}
+var TransportColumns = []string{"retrans", "dups", "restarts", "partitioned", "heals", "bytes_out", "bytes_in", "batched"}
 
 // Values returns the counters in TransportColumns order.
 func (t Transport) Values() []int64 {
-	return []int64{t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals}
+	return []int64{t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals,
+		t.BytesSent, t.BytesRecv, t.BatchedFrames}
 }
 
 // Record adds the counters into reg under the canonical metric names.
@@ -55,4 +73,7 @@ func (t Transport) Record(reg *Registry) {
 	reg.Counter("discsp_transport_restarts_total").Add(t.Restarts)
 	reg.Counter("discsp_transport_partitioned_total").Add(t.Partitioned)
 	reg.Counter("discsp_transport_partition_heals_total").Add(t.PartitionHeals)
+	reg.Counter("discsp_transport_bytes_sent_total").Add(t.BytesSent)
+	reg.Counter("discsp_transport_bytes_recv_total").Add(t.BytesRecv)
+	reg.Counter("discsp_transport_batched_frames_total").Add(t.BatchedFrames)
 }

@@ -1,0 +1,40 @@
+// Frame batching: many envelopes coalesced into one wire frame per link
+// flush, with per-link acknowledgements collapsed to a single cumulative
+// watermark each. Batching changes how bytes are grouped on the socket and
+// nothing else — the receiver expands a batch back into the identical
+// envelope sequence (acks first, then data frames in enqueue order), so the
+// reliable-delivery state machines and the fault injector keep operating on
+// logical per-link frames.
+//
+// Collapsing acks to the per-link maximum is sound because acks are
+// cumulative: an ack for seq n acknowledges every seq ≤ n, so delivering
+// only the watermark is indistinguishable from delivering every
+// intermediate ack. Data frames are never reordered, dropped, or merged.
+package wire
+
+// TypeBatch tags the JSON form of a coalesced frame batch. It is part of
+// the wire format. (The binary form is a distinct frame kind, see
+// stream.go, and never carries this string.)
+const TypeBatch = "wire.batch"
+
+// AckWatermark is one directed link's cumulative acknowledgement inside a
+// batch: every seq ≤ Ack on the From→To link has been durably received.
+type AckWatermark struct {
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	Ack  int64 `json:"ack"`
+}
+
+// Envelope returns the watermark as the synthetic TypeAck envelope the
+// receiver delivers, identical to the unbatched ack frame it replaces.
+func (a AckWatermark) Envelope() Envelope {
+	return Envelope{Type: TypeAck, From: a.From, To: a.To, Ack: a.Ack}
+}
+
+// Batch is the JSON wire form of a coalesced frame batch. The binary codec
+// encodes the same payload as a frameBatch frame without this wrapper.
+type Batch struct {
+	Type   string         `json:"type"`
+	Acks   []AckWatermark `json:"acks,omitempty"`
+	Frames []Envelope     `json:"frames,omitempty"`
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"net"
+	"testing"
+)
+
+// The encode/decode micro-benchmarks pin the zero-alloc claim: the
+// steady-state frame kinds carry no slices, so with a reused buffer both
+// encoders and the binary decoder run at 0 allocs/op (the bench gate
+// enforces it on the binary pair).
+
+func BenchmarkWireEncode(b *testing.B) {
+	e := Envelope{Type: TypeCoreOk, From: 12, To: 34, Value: 5, Priority: 2, Seq: 1234567}
+	for _, c := range []Codec{CodecBinary, CodecJSON} {
+		c := c
+		b.Run(c.String(), func(b *testing.B) {
+			buf := make([]byte, 0, 256)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = e.AppendTo(buf[:0], c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	e := Envelope{Type: TypeCoreOk, From: 12, To: 34, Value: 5, Priority: 2, Seq: 1234567}
+	b.Run("binary", func(b *testing.B) {
+		enc, err := e.AppendTo(nil, CodecBinary)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dec Decoder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dec.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		enc, err := Marshal(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Unmarshal(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireThroughput measures end-to-end messages through a real TCP
+// loopback socket: a writer pumping the netrun steady-state mix (four data
+// frames per ack) against a reader draining it. The *_plain variants flush
+// per frame — the pre-batching transport's behavior — and the *_batch
+// variants let size-bounded batches drive the flushing. The bench gate
+// compares json_plain (the old wire path) against binary_batch (the new
+// default) and requires ≥2x.
+func BenchmarkWireThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		codec Codec
+		batch bool
+	}{
+		{"json_plain", CodecJSON, false},
+		{"json_batch", CodecJSON, true},
+		{"binary_plain", CodecBinary, false},
+		{"binary_batch", CodecBinary, true},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			benchmarkThroughput(b, bc.codec, bc.batch)
+		})
+	}
+}
+
+func benchmarkThroughput(b *testing.B, codec Codec, batch bool) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan int64, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer conn.Close()
+		fr := NewFrameReader(conn)
+		fr.SetCodec(codec)
+		var n int64
+		for {
+			e, err := fr.Next()
+			if err != nil || e.Type == TypeStop {
+				done <- n
+				return
+			}
+			n++
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	fw := NewFrameWriter(conn)
+	if err := fw.SetCodec(codec); err != nil {
+		b.Fatal(err)
+	}
+	if batch {
+		fw.EnableBatching(32, 32<<10)
+	}
+	env := Envelope{Type: TypeCoreOk, From: 1, To: 2, Value: 3, Priority: 1}
+	ack := Envelope{Type: TypeAck, From: 2, To: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Seq = int64(i + 1)
+		if err := fw.Send(&env); err != nil {
+			b.Fatal(err)
+		}
+		if i%4 == 3 {
+			ack.Ack = int64(i + 1)
+			if err := fw.Send(&ack); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !batch {
+			if err := fw.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	stop := Envelope{Type: TypeStop}
+	if err := fw.Send(&stop); err != nil {
+		b.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if n := <-done; n < int64(b.N) {
+		b.Fatalf("reader saw %d of %d data frames", n, b.N)
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+var fuzzTypes = []string{
+	TypeCoreOk, TypeCoreNogood, TypeCoreRequest,
+	TypeABTOk, TypeABTNogood, TypeABTRequest,
+	TypeDBOk, TypeDBImprove,
+	TypeMultiOk, TypeMultiNogood, TypeMultiRequest,
+	TypeAck, TypeHello, TypeWelcome, TypeState, TypeStop,
+}
+
+// litsFrom turns fuzz bytes into a literal list (pairs of signed bytes), so
+// the fuzzer controls list length and values without a structured input.
+func litsFrom(raw []byte) []Lit {
+	if len(raw) < 2 {
+		return nil
+	}
+	lits := make([]Lit, 0, len(raw)/2)
+	for i := 0; i+1 < len(raw); i += 2 {
+		lits = append(lits, Lit{Var: int(int8(raw[i])), Val: int(int8(raw[i+1]))})
+	}
+	return lits
+}
+
+// FuzzEnvelopeRoundTrip checks, for arbitrary envelope contents: the
+// hand-rolled JSON encoder is byte-identical to encoding/json; the binary
+// codec round-trips exactly; and both codecs decode to the same envelope
+// (cross-decode equality), which is what lets a binary hub interoperate
+// with a JSON-only peer.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), 1, 2, 3, 0, 0, 0, 0, int64(9), int64(0), false, "", []byte{})
+	f.Add(uint8(1), 2, 1, 0, 0, 0, 0, 0, int64(5), int64(0), false, "", []byte{1, 2, 3, 4})
+	f.Add(uint8(12), 7, -1, 0, 0, 0, 0, 0, int64(0), int64(0), false, "binary", []byte{})
+	f.Add(uint8(14), 4, -1, 1, 0, 0, 0, 12345, int64(0), int64(0), true, "", []byte{})
+	f.Add(uint8(11), 2, 3, 0, 0, 0, 0, 0, int64(0), int64(99), false, "we\"ird\x00<&>\xff", []byte{255, 0})
+	f.Fuzz(func(t *testing.T, ti uint8, from, to, value, priority, improve, eval, processed int,
+		seq, ack int64, insoluble bool, codec string, raw []byte) {
+		e := Envelope{
+			Type: fuzzTypes[int(ti)%len(fuzzTypes)],
+			From: from, To: to, Value: value, Priority: priority,
+			Improve: improve, Eval: eval, Processed: processed,
+			Seq: seq, Ack: ack, Insoluble: insoluble, Codec: codec,
+		}
+		lits := litsFrom(raw)
+		if e.Type == TypeMultiOk {
+			e.Values = lits
+		} else {
+			e.Lits = lits
+		}
+
+		// JSON: hand-rolled encoder must match encoding/json byte for byte.
+		// The one divergence across toolchains is \b and \f, which Go
+		// ≥ 1.24 escapes as two characters and older Go as \u00xx; strings
+		// containing them are checked semantically instead.
+		gotJSON := e.appendJSON(nil)
+		wantJSON, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		if strings.ContainsAny(codec, "\b\f") {
+			var a, bb Envelope
+			if err := json.Unmarshal(gotJSON, &a); err != nil {
+				t.Fatalf("appendJSON output invalid: %v\n%q", err, gotJSON)
+			}
+			if err := json.Unmarshal(wantJSON, &bb); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, bb) {
+				t.Fatalf("appendJSON semantic drift:\n got %q\nwant %q", gotJSON, wantJSON)
+			}
+		} else if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("appendJSON drift:\n got %q\nwant %q", gotJSON, wantJSON)
+		}
+
+		// Binary: exact round trip, including non-UTF-8 codec strings.
+		bbuf, err := e.AppendTo(nil, CodecBinary)
+		if err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		var dec Decoder
+		fromBinary, n, err := dec.Decode(bbuf)
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if n != len(bbuf) {
+			t.Fatalf("binary decode consumed %d of %d", n, len(bbuf))
+		}
+		fromBinary.Detach()
+		if !reflect.DeepEqual(fromBinary, e) {
+			t.Fatalf("binary round trip:\n got %+v\nwant %+v", fromBinary, e)
+		}
+
+		// Cross-decode equality. JSON strings are lossy for invalid UTF-8
+		// (encoding/json substitutes U+FFFD), so the comparison needs a
+		// valid codec string; everything else is exact either way.
+		if utf8.ValidString(codec) {
+			fromJSON, err := Unmarshal(gotJSON)
+			if err != nil {
+				t.Fatalf("json decode: %v", err)
+			}
+			if !reflect.DeepEqual(fromJSON, fromBinary) {
+				t.Fatalf("codecs disagree:\n json   %+v\n binary %+v", fromJSON, fromBinary)
+			}
+		}
+	})
+}
+
+// fuzzStream renders a small frame sequence so the fuzzer starts from
+// well-formed batch bytes it can mutate.
+func fuzzStream(codec Codec, batch bool) []byte {
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	fw.SetCodec(codec)
+	if batch {
+		fw.EnableBatching(4, 1<<10)
+	}
+	envs := []Envelope{
+		{Type: TypeAck, From: 1, To: 2, Ack: 3},
+		{Type: TypeCoreOk, From: 1, To: 2, Value: 5, Seq: 4},
+		{Type: TypeCoreNogood, From: 2, To: 1, Lits: []Lit{{Var: 1, Val: 0}, {Var: 0, Val: 2}}, Seq: 2},
+		{Type: TypeAck, From: 1, To: 2, Ack: 9},
+		{Type: TypeState, From: 2, To: -1, Value: 1, Processed: 7},
+	}
+	for i := range envs {
+		fw.Send(&envs[i])
+	}
+	fw.Flush()
+	return sock.Bytes()
+}
+
+// chunkedReader yields its parts one Read each, simulating arbitrary TCP
+// segmentation.
+type chunkedReader struct{ parts [][]byte }
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	for len(c.parts) > 0 && len(c.parts[0]) == 0 {
+		c.parts = c.parts[1:]
+	}
+	if len(c.parts) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.parts[0])
+	c.parts[0] = c.parts[0][n:]
+	return n, nil
+}
+
+// drainStream reads every envelope it can, returning the decoded sequence
+// and the terminal error text.
+func drainStream(r io.Reader, codec Codec) ([]Envelope, string) {
+	fr := NewFrameReader(r)
+	fr.SetCodec(codec)
+	var out []Envelope
+	for len(out) < 4096 {
+		e, err := fr.Next()
+		if err != nil {
+			return out, err.Error()
+		}
+		e.Detach()
+		out = append(out, e)
+	}
+	return out, "frame limit"
+}
+
+// FuzzBatchSplit feeds arbitrary bytes — seeded with real batch streams —
+// to the frame reader whole and torn at an arbitrary boundary (TCP
+// segmentation), in both codecs. Decoding must never panic, and the torn
+// read must produce exactly the same envelope sequence and terminal error
+// as the contiguous read. Concatenated inputs (seed corpus doubles) cover
+// back-to-back batches.
+func FuzzBatchSplit(f *testing.F) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, batch := range []bool{false, true} {
+			s := fuzzStream(codec, batch)
+			f.Add(s, uint16(0), codec == CodecBinary)
+			f.Add(append(append([]byte{}, s...), s...), uint16(len(s)/2), codec == CodecBinary)
+			f.Add(s[:len(s)/2], uint16(3), codec == CodecBinary)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, split uint16, binaryCodec bool) {
+		codec := CodecJSON
+		if binaryCodec {
+			codec = CodecBinary
+		}
+		whole, wholeErr := drainStream(bytes.NewReader(data), codec)
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % len(data)
+		}
+		torn, tornErr := drainStream(&chunkedReader{parts: [][]byte{
+			append([]byte{}, data[:cut]...),
+			append([]byte{}, data[cut:]...),
+		}}, codec)
+		if wholeErr != tornErr {
+			t.Fatalf("terminal error differs: whole=%q torn=%q", wholeErr, tornErr)
+		}
+		if !reflect.DeepEqual(whole, torn) {
+			t.Fatalf("torn read diverges after %d/%d frames", len(torn), len(whole))
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// pump writes every envelope through a FrameWriter configured with (codec,
+// batching), flushes, and reads the stream back with a FrameReader.
+func pump(t *testing.T, codec Codec, batch bool, envs []Envelope) []Envelope {
+	t.Helper()
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	if err := fw.SetCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	if batch {
+		fw.EnableBatching(8, 4<<10)
+	}
+	for i := range envs {
+		if err := fw.Send(&envs[i]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&sock)
+	fr.SetCodec(codec)
+	var got []Envelope
+	for {
+		e, err := fr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatalf("next after %d frames: %v", len(got), err)
+		}
+		e.Detach()
+		got = append(got, e)
+	}
+	if fr.BytesRead != fw.BytesWritten {
+		t.Fatalf("reader consumed %d bytes, writer produced %d", fr.BytesRead, fw.BytesWritten)
+	}
+	return got
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	envs := sampleEnvelopes()
+	// Batching moves a batch's acks ahead of its data frames (sound: acks
+	// are cumulative and link-independent), so the order-exact check uses
+	// the ack-free subset when batching; TestAckCoalescing pins the ack
+	// behavior.
+	var noAcks []Envelope
+	for _, e := range envs {
+		if e.Type != TypeAck {
+			noAcks = append(noAcks, e)
+		}
+	}
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		for _, batch := range []bool{false, true} {
+			want := envs
+			if batch {
+				want = noAcks
+			}
+			got := pump(t, codec, batch, want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v batch=%v: stream round trip mismatch\n got %+v\nwant %+v", codec, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestAckCoalescing: repeated acks on one link collapse to a single
+// watermark at the link's maximum, delivered as a synthetic ack frame.
+func TestAckCoalescing(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		envs := []Envelope{
+			{Type: TypeAck, From: 1, To: 2, Ack: 3},
+			{Type: TypeCoreOk, From: 1, To: 2, Value: 5, Seq: 4},
+			{Type: TypeAck, From: 1, To: 2, Ack: 7},
+			{Type: TypeAck, From: 2, To: 1, Ack: 1},
+			{Type: TypeAck, From: 1, To: 2, Ack: 6}, // stale: below the watermark
+		}
+		got := pump(t, codec, true, envs)
+		want := []Envelope{
+			{Type: TypeAck, From: 1, To: 2, Ack: 7},
+			{Type: TypeAck, From: 2, To: 1, Ack: 1},
+			{Type: TypeCoreOk, From: 1, To: 2, Value: 5, Seq: 4},
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: coalesced stream\n got %+v\nwant %+v", codec, got, want)
+		}
+	}
+}
+
+// TestCodecSwitchMidStream writes a JSON handshake followed by binary
+// frames into one buffer and reads both back through a single FrameReader,
+// the property that makes hello/welcome negotiation safe.
+func TestCodecSwitchMidStream(t *testing.T) {
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	hello := Envelope{Type: TypeHello, From: 3, Codec: "binary"}
+	if err := fw.Send(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.SetCodec(CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	data := Envelope{Type: TypeCoreOk, From: 3, To: 4, Value: 1, Seq: 1}
+	if err := fw.Send(&data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFrameReader(&sock)
+	got, err := fr.Next()
+	if err != nil || got.Type != TypeHello {
+		t.Fatalf("handshake read: %+v, %v", got, err)
+	}
+	fr.SetCodec(CodecBinary)
+	got, err = fr.Next()
+	if err != nil || !reflect.DeepEqual(got, data) {
+		t.Fatalf("post-switch read: %+v, %v", got, err)
+	}
+}
+
+// TestJSONBatchShape: the JSON batch frame is a plain JSON object that
+// encoding/json can parse into Batch — the cross-implementation contract.
+func TestJSONBatchShape(t *testing.T) {
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	fw.EnableBatching(64, 1<<20)
+	envs := []Envelope{
+		{Type: TypeAck, From: 1, To: 2, Ack: 9},
+		{Type: TypeCoreOk, From: 2, To: 1, Value: 4, Seq: 2},
+		{Type: TypeCoreNogood, From: 2, To: 1, Lits: []Lit{{Var: 1, Val: 0}}, Seq: 3},
+	}
+	for i := range envs {
+		if err := fw.Send(&envs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if err := json.Unmarshal(sock.Bytes(), &b); err != nil {
+		t.Fatalf("batch is not one JSON object: %v\n%s", err, sock.Bytes())
+	}
+	if b.Type != TypeBatch || len(b.Acks) != 1 || len(b.Frames) != 2 {
+		t.Fatalf("batch shape: %+v", b)
+	}
+	if fw.Batches != 1 || fw.BatchedFrames != 3 {
+		t.Fatalf("writer counters: batches=%d batched=%d", fw.Batches, fw.BatchedFrames)
+	}
+}
+
+// TestBatchSizeFlush: the batch flushes itself once maxFrames accumulate,
+// before any explicit Flush.
+func TestBatchSizeFlush(t *testing.T) {
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	if err := fw.SetCodec(CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	fw.EnableBatching(4, 1<<20)
+	e := Envelope{Type: TypeCoreOk, From: 1, To: 2, Value: 1}
+	for i := 0; i < 4; i++ {
+		e.Seq = int64(i + 1)
+		if err := fw.Send(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Batches != 1 {
+		t.Fatalf("size-bounded flush did not fire: batches=%d", fw.Batches)
+	}
+}
+
+// TestBatchedFramesCounters: reader-side BatchedFrames matches writer-side.
+func TestBatchedFramesCounters(t *testing.T) {
+	var sock bytes.Buffer
+	fw := NewFrameWriter(&sock)
+	if err := fw.SetCodec(CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	fw.EnableBatching(8, 4<<10)
+	for i := 0; i < 10; i++ {
+		e := Envelope{Type: TypeCoreOk, From: 1, To: 2, Value: i, Seq: int64(i + 1)}
+		if err := fw.Send(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&sock)
+	fr.SetCodec(CodecBinary)
+	n := 0
+	for {
+		if _, err := fr.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 10 || fr.BatchedFrames != fw.BatchedFrames || fr.BatchedFrames != 10 {
+		t.Fatalf("frames=%d, reader batched=%d, writer batched=%d", n, fr.BatchedFrames, fw.BatchedFrames)
+	}
+}
+
+// TestSteadyStateZeroAlloc is the tentpole's core claim: encoding and
+// decoding a steady-state frame (no literal lists) through reused buffers
+// allocates nothing, in both codecs for encode and in binary for decode.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	e := Envelope{Type: TypeCoreOk, From: 12, To: 34, Value: 5, Priority: 2, Seq: 777, Ack: 0}
+	buf := make([]byte, 0, 256)
+	for _, codec := range []Codec{CodecBinary, CodecJSON} {
+		codec := codec
+		n := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = e.AppendTo(buf[:0], codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if n != 0 {
+			t.Errorf("%v encode: %v allocs/op, want 0", codec, n)
+		}
+	}
+	enc, err := e.AppendTo(nil, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	if _, _, err := dec.Decode(enc); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if _, _, err := dec.Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("binary decode: %v allocs/op, want 0", n)
+	}
+}

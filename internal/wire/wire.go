@@ -2,6 +2,13 @@
 // process or machine boundaries (the internal/netrun TCP runtime). Every
 // message type of the AWC, ABT, DB, and multi agents has a stable JSON
 // envelope representation; Encode and Decode round-trip them exactly.
+//
+// Two codecs share the envelope: the legacy newline-delimited JSON encoding
+// (the negotiated fallback, and the handshake encoding) and a
+// length-prefixed binary encoding built for zero allocations on the
+// steady-state encode and decode paths (see binary.go). FrameReader and
+// FrameWriter (stream.go) speak both over one connection and can coalesce
+// frames into ack-carrying batches (batch.go).
 package wire
 
 import (
@@ -42,7 +49,26 @@ type Lit struct {
 // part of the wire format alongside the algorithm message types.
 const TypeAck = "rel.ack"
 
-// Envelope is the wire form of one message.
+// Control frame types used by the netrun hub/node protocol. They live here,
+// next to the algorithm types, because the binary codec's type table must
+// cover every frame that crosses a socket.
+const (
+	// TypeHello is a node's registration frame; its Codec field names the
+	// wire codec the node requests.
+	TypeHello = "ctl.hello"
+	// TypeWelcome is the hub's handshake reply; its Codec field names the
+	// negotiated codec both directions switch to after this frame.
+	TypeWelcome = "ctl.welcome"
+	// TypeState is a node's post-step state report (value, insolubility,
+	// processed count).
+	TypeState = "ctl.state"
+	// TypeStop is the hub's shutdown broadcast.
+	TypeStop = "ctl.stop"
+)
+
+// Envelope is the wire form of one message. Algorithm messages use the
+// message fields; the reliable transport and the netrun control plane
+// piggyback on the same struct so one codec covers every frame on a socket.
 type Envelope struct {
 	Type     string `json:"type"`
 	From     int    `json:"from"`
@@ -60,6 +86,28 @@ type Envelope struct {
 	// frames: every seq ≤ Ack has been durably received.
 	Seq int64 `json:"seq,omitempty"`
 	Ack int64 `json:"ack,omitempty"`
+
+	// Control-plane fields (TypeHello/TypeWelcome/TypeState), carried on the
+	// envelope so control frames share the codecs with the data plane.
+	// Insoluble and Processed are a TypeState report's payload; Codec is the
+	// handshake's requested (hello) or negotiated (welcome) codec name.
+	Insoluble bool   `json:"insoluble,omitempty"`
+	Processed int    `json:"processed,omitempty"`
+	Codec     string `json:"codec,omitempty"`
+}
+
+// Detach deep-copies the envelope's slice fields so it no longer aliases a
+// decoder's reusable scratch buffers. Frames that outlive the next decode
+// (queued, delayed, or checkpointed frames) must be detached first; the
+// steady-state frame kinds (ok?, ack, state) carry no slices and detach for
+// free.
+func (e *Envelope) Detach() {
+	if len(e.Lits) > 0 {
+		e.Lits = append([]Lit(nil), e.Lits...)
+	}
+	if len(e.Values) > 0 {
+		e.Values = append([]Lit(nil), e.Values...)
+	}
 }
 
 func litsOut(ng csp.Nogood) []Lit {
@@ -181,9 +229,11 @@ func nogoodIn(lits []Lit) (csp.Nogood, error) {
 }
 
 // Marshal renders the envelope as one newline-terminated JSON line, the
-// framing used on the TCP transport.
+// framing used on the TCP transport's JSON fallback. It allocates a fresh
+// buffer per call; hot paths append into a reusable buffer with AppendTo
+// instead.
 func Marshal(e Envelope) ([]byte, error) {
-	b, err := json.Marshal(e)
+	b, err := e.AppendTo(nil, CodecJSON)
 	if err != nil {
 		return nil, err
 	}

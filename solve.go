@@ -16,6 +16,7 @@ import (
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/telemetry"
+	"github.com/discsp/discsp/internal/wire"
 )
 
 // AlgorithmKind selects the distributed algorithm.
@@ -113,6 +114,32 @@ type Options struct {
 	// reference — learned nogoods are implied by the problem's constraints
 	// — at the possible cost of re-deriving forgotten knowledge.
 	Retention Retention
+	// TCPShards splits SolveTCP's hub across N relay listeners (node v
+	// connects to shard v mod N); 0 or 1 means a single listener. Sharding
+	// scales socket I/O and decoding without changing any routing decision:
+	// verdicts and message counts are identical across shard counts.
+	TCPShards int
+	// TCPListen binds SolveTCP's relays to fixed "host:port" addresses
+	// instead of loopback ephemeral ports; required for external worker
+	// processes. When non-empty it determines the shard count, which must
+	// match TCPShards if both are set.
+	TCPListen []string
+	// TCPExternal suppresses SolveTCP's in-process nodes: the hub listens
+	// and external workers (SolveTCPWorker, cmd/dcspnode) own the agents.
+	TCPExternal bool
+	// TCPOnListen, when non-nil, is called once with the bound relay
+	// addresses in shard order before any node starts.
+	TCPOnListen func(addrs []string)
+	// WireCodec selects SolveTCP's wire format: "" or "binary" for the
+	// length-prefixed zero-copy binary codec (default), "json" for the
+	// newline-delimited JSON fallback. Negotiation is per connection — a
+	// JSON-only peer always gets the fallback — and the verdict is
+	// codec-independent.
+	WireCodec string
+	// WireNoBatch disables SolveTCP's frame batching: every frame is
+	// written and flushed individually instead of coalescing into
+	// size-bounded batches with one ack watermark per link.
+	WireNoBatch bool
 	// WarmCache, when non-nil, warm-starts AWC from nogoods learned by
 	// previous runs: before the run each agent is seeded with the cached
 	// nogoods mentioning its variable (when the cache holds an entry
@@ -192,6 +219,16 @@ type Result struct {
 	// within the run.
 	Partitioned    int64
 	PartitionHeals int64
+
+	// Wire-level counters (SolveTCP only). BytesSent and BytesRecv count
+	// bytes crossing the hub's sockets (hub→nodes and nodes→hub);
+	// BatchedFrames counts frames that traveled inside coalesced batches;
+	// BinaryConns counts node connections that negotiated the binary codec
+	// (the rest fell back to JSON).
+	BytesSent     int64
+	BytesRecv     int64
+	BatchedFrames int64
+	BinaryConns   int64
 }
 
 func (o Options) learning() core.Learning {
@@ -501,17 +538,33 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 	return out, err
 }
 
-// SolveTCP runs the selected algorithm over an actual TCP network: a
-// loopback hub routes JSON-framed messages between one node per agent. The
-// same agents as Solve and SolveAsync cross a real socket boundary —
+// wireCodec parses Options.WireCodec ("" = binary).
+func (o Options) wireCodec() (wire.Codec, error) {
+	c, err := wire.ParseCodec(o.WireCodec)
+	if err != nil {
+		return c, fmt.Errorf("discsp: %w", err)
+	}
+	return c, nil
+}
+
+// SolveTCP runs the selected algorithm over an actual TCP network: a hub of
+// sharded relays routes wire-framed messages between one node per agent.
+// The same agents as Solve and SolveAsync cross a real socket boundary —
 // the paper's "can work on any type of distributed systems" claim in its
-// strongest locally-testable form. Metrics follow SolveAsync's.
+// strongest locally-testable form. Metrics follow SolveAsync's, plus the
+// wire-level byte/batch counters. Frames travel in the negotiated codec
+// (binary by default, JSON fallback; see Options.WireCodec) and coalesce
+// into batches unless Options.WireNoBatch.
 func SolveTCP(p *Problem, opts Options) (Result, error) {
 	init, err := opts.initial(p)
 	if err != nil {
 		return Result{}, err
 	}
 	fcfg, err := opts.faults()
+	if err != nil {
+		return Result{}, err
+	}
+	codec, err := opts.wireCodec()
 	if err != nil {
 		return Result{}, err
 	}
@@ -529,11 +582,18 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		Faults:          fcfg,
 		WatchdogCadence: opts.WatchdogCadence,
 		Telemetry:       opts.Telemetry,
+		Shards:          opts.TCPShards,
+		Codec:           codec,
+		NoBatch:         opts.WireNoBatch,
+		Listen:          opts.TCPListen,
+		External:        opts.TCPExternal,
+		OnListen:        opts.TCPOnListen,
 	})
 	out := Result{
 		Solved:               res.Solved,
 		Insoluble:            res.Insoluble,
 		Assignment:           res.Assignment,
+		TotalChecks:          res.TotalChecks,
 		Messages:             res.Messages,
 		Duration:             res.Duration,
 		Retransmits:          res.Retransmits,
@@ -541,9 +601,47 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		Restarts:             res.Restarts,
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
+		BytesSent:            res.BytesSent,
+		BytesRecv:            res.BytesRecv,
+		BatchedFrames:        res.BatchedFrames,
+		BinaryConns:          res.BinaryConns,
 	}
 	emitNetFinal(opts.Telemetry, out)
 	return out, err
+}
+
+// TCPWorkerOptions configures SolveTCPWorker.
+type TCPWorkerOptions struct {
+	// Addrs are the hub's relay addresses in shard order (the hub's
+	// Options.TCPListen, or what its TCPOnListen callback reported). Node v
+	// dials Addrs[v mod len(Addrs)] — the hub's shard assignment.
+	Addrs []string
+	// Vars are the variables this worker owns; each becomes one node.
+	Vars []int
+}
+
+// SolveTCPWorker runs agent nodes for a subset of p's variables against an
+// external SolveTCP hub (one started with Options.TCPExternal — in another
+// goroutine, process, or machine; cmd/dcspnode is the process form). opts
+// supplies the algorithm configuration, which must match the hub's problem,
+// and the wire options (WireCodec, WireNoBatch) for this worker's
+// connections. It blocks until the hub finishes the run and tears the
+// connections down; the hub's SolveTCP result carries the verdict.
+func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) error {
+	init, err := opts.initial(p)
+	if err != nil {
+		return err
+	}
+	codec, err := opts.wireCodec()
+	if err != nil {
+		return err
+	}
+	return netrun.RunWorker(p, opts.makeAgent(p, init), netrun.WorkerOptions{
+		Addrs:   w.Addrs,
+		Vars:    w.Vars,
+		Codec:   codec,
+		NoBatch: opts.WireNoBatch,
+	})
 }
 
 func buildAgents(n int, makeAgent func(v csp.Var) sim.Agent) []sim.Agent {
