@@ -5,10 +5,11 @@ GO ?= go
 
 # The concurrency-heavy packages the race job covers.
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
-            ./internal/sim/... ./internal/experiments/...
+            ./internal/sim/... ./internal/experiments/... ./internal/service/...
 
 .PHONY: all build test vet fmt-check race chaos telemetry bench-smoke bench-json \
-        bench-gate bench-warm bench-wire scale-smoke soak staticcheck govulncheck ci
+        bench-gate bench-warm bench-wire scale-smoke service-smoke soak \
+        staticcheck govulncheck ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
 BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
@@ -110,6 +111,14 @@ scale-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEnvelopeRoundTrip -fuzztime=10s -timeout 5m ./internal/wire/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchSplit -fuzztime=10s -timeout 5m ./internal/wire/
 
+# The dcspd acceptance sequence against the real binary (gated behind
+# SERVICE_SMOKE because it builds, kills, and restarts daemon processes):
+# overload shedding with 429s, SIGKILL mid-run, restart replaying every
+# journaled job to a verdict, SIGTERM drain exiting 0, and a third start
+# serving the drained results from the journal.
+service-smoke:
+	SERVICE_SMOKE=1 $(GO) test -run TestServiceSmoke -v -timeout 10m ./cmd/dcspd/
+
 # Regenerates BENCH_6.json: the warm-start repeat-solve workload (cold vs
 # cache-seeded solves of the same instance) across all three families at
 # paper sizes, 10 instances x 3 initializations per cell.
@@ -141,4 +150,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build vet fmt-check staticcheck govulncheck test race chaos telemetry bench-smoke bench-gate scale-smoke
+ci: build vet fmt-check staticcheck govulncheck test race chaos telemetry bench-smoke bench-gate scale-smoke service-smoke

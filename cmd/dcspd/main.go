@@ -1,0 +1,151 @@
+// Command dcspd is the solver daemon: a long-lived, multi-tenant HTTP
+// service that accepts DisCSP jobs, runs them on a bounded worker pool, and
+// survives crashes without losing accepted work.
+//
+// Usage:
+//
+//	dcspd -listen 127.0.0.1:7433 -journal /var/lib/dcspd/jobs.journal
+//
+//	# submit a job (native problem JSON)
+//	curl -s -d @job.json http://127.0.0.1:7433/v1/jobs
+//	# poll it
+//	curl -s http://127.0.0.1:7433/v1/jobs/j00000001
+//	# follow its progress events
+//	curl -sN 'http://127.0.0.1:7433/v1/jobs/j00000001/events?follow=1'
+//
+// Robustness contract (see DESIGN.md §13):
+//
+//   - A 202 response means the job is fsync'd to the journal: a crash at
+//     any later point replays it — completed jobs serve their recorded
+//     results, interrupted jobs re-run.
+//   - Overload is shed, never buffered: past the queue bounds the daemon
+//     answers 429 + Retry-After immediately.
+//   - SIGTERM/SIGINT drains: admission stops (503), the backlog and
+//     in-flight jobs finish, the warm cache is saved, and the process
+//     exits 0. A second signal abandons the backlog (still journaled).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/discsp/discsp"
+	"github.com/discsp/discsp/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcspd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7433", "HTTP listen address")
+		journal      = flag.String("journal", "", "append-only job log path; empty disables durability")
+		workers      = flag.Int("workers", 0, "solver pool size; 0 = GOMAXPROCS")
+		maxQueue     = flag.Int("max-queue", 64, "global queue bound (admission control)")
+		tenantQueue  = flag.Int("max-queue-tenant", 0, "per-tenant queue bound; 0 = max-queue/4")
+		tenantSlots  = flag.Int("max-running-tenant", 0, "per-tenant concurrency quota; 0 = workers/2")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-job deadline")
+		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "deadline ceiling (requests above are clamped)")
+		maxCycles    = flag.Int("max-cycles", 100000, "cap on a job's synchronous cycle cutoff")
+		maxVars      = flag.Int("max-vars", 4096, "largest instance this daemon accepts")
+		retryMax     = flag.Int("retry-max", 2, "retries for transient (crashed-worker) failures")
+		retention    = flag.String("retention", "all", "default nogood retention policy: all, lru:<cap>, or activity:<cap>")
+		warmCache    = flag.String("warm-cache", "", "warm-start nogood cache path (persisted on drain); empty disables")
+		warmStart    = flag.Bool("warm-start", false, "share an in-memory warm-start nogood cache across jobs")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long SIGTERM waits for the backlog before abandoning")
+		synthetic    = flag.Bool("synthetic-delay", false, "accept synthetic_delay_ms in specs (load/crash testing)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (configuration is all flags)", flag.Args())
+	}
+	ret, err := discsp.ParseRetention(*retention)
+	if err != nil {
+		return err
+	}
+
+	d, err := service.New(service.Config{
+		Workers:             *workers,
+		MaxQueue:            *maxQueue,
+		MaxQueuePerTenant:   *tenantQueue,
+		MaxRunningPerTenant: *tenantSlots,
+		DefaultDeadline:     *deadline,
+		MaxDeadline:         *maxDeadline,
+		MaxCyclesCap:        *maxCycles,
+		MaxVars:             *maxVars,
+		RetryMax:            *retryMax,
+		Retention:           ret,
+		WarmStart:           *warmStart,
+		WarmCachePath:       *warmCache,
+		JournalPath:         *journal,
+		AllowSyntheticDelay: *synthetic,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.Handler(d)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("dcspd: serving on http://%s (journal %q, %s)",
+		ln.Addr(), *journal, describePool(*workers, *maxQueue))
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		d.Close()
+		return err
+	case s := <-sig:
+		log.Printf("dcspd: %v: draining (in-flight and queued jobs will finish; signal again to abandon)", s)
+	}
+
+	// Graceful drain: stop admitting, finish the backlog, then stop serving.
+	// A second signal or the drain timeout abandons the rest — journaled as
+	// accepted, so a restart resumes them.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case s := <-sig:
+			log.Printf("dcspd: %v again: abandoning the backlog (it stays journaled)", s)
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+	drainErr := d.Drain(drainCtx)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dcspd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("dcspd: drained clean, exiting")
+	return nil
+}
+
+func describePool(workers, maxQueue int) string {
+	if workers == 0 {
+		return fmt.Sprintf("worker pool GOMAXPROCS, queue bound %d", maxQueue)
+	}
+	return fmt.Sprintf("worker pool %d, queue bound %d", workers, maxQueue)
+}

@@ -1,0 +1,272 @@
+// Process-level smoke test for dcspd: builds the real binary, drives it
+// over HTTP, SIGKILLs it mid-job, restarts it, and proves the journal
+// replays the interrupted work. Gated behind SERVICE_SMOKE=1 (CI's
+// service-smoke job and `make service-smoke`) because it builds a binary
+// and owns real processes — too heavy for the default `go test ./...`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const smokeTenantJobs = 8
+
+func smokeEnabled(t *testing.T) {
+	t.Helper()
+	if os.Getenv("SERVICE_SMOKE") == "" {
+		t.Skip("set SERVICE_SMOKE=1 to run the dcspd process smoke test")
+	}
+}
+
+// buildDaemon compiles dcspd once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dcspd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type daemonProc struct {
+	cmd  *exec.Cmd
+	url  string
+	logs *bytes.Buffer
+}
+
+// startDaemon launches dcspd and waits for /healthz.
+func startDaemon(t *testing.T, bin string, args ...string) *daemonProc {
+	t.Helper()
+	logs := &bytes.Buffer{}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start dcspd: %v", err)
+	}
+	p := &daemonProc{cmd: cmd, logs: logs}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return p
+}
+
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("dcspd at %s never became healthy", url)
+}
+
+// problemJSON is a fixed tiny 3-coloring instance: a 4-cycle plus chords —
+// solvable, and identical across restarts so verdicts must match.
+const problemJSON = `{
+  "domains": [[0,1,2],[0,1,2],[0,1,2],[0,1,2]],
+  "nogoods": [
+    [{"var":0,"val":0},{"var":1,"val":0}], [{"var":0,"val":1},{"var":1,"val":1}], [{"var":0,"val":2},{"var":1,"val":2}],
+    [{"var":1,"val":0},{"var":2,"val":0}], [{"var":1,"val":1},{"var":2,"val":1}], [{"var":1,"val":2},{"var":2,"val":2}],
+    [{"var":2,"val":0},{"var":3,"val":0}], [{"var":2,"val":1},{"var":3,"val":1}], [{"var":2,"val":2},{"var":3,"val":2}],
+    [{"var":3,"val":0},{"var":0,"val":0}], [{"var":3,"val":1},{"var":0,"val":1}], [{"var":3,"val":2},{"var":0,"val":2}]
+  ]
+}`
+
+type smokeStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict"`
+	Solved  bool   `json:"solved"`
+}
+
+func submit(t *testing.T, url string, body string) (smokeStatus, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var st smokeStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode
+}
+
+func getStatus(t *testing.T, url, id string) smokeStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("get %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st smokeStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st
+}
+
+func waitVerdict(t *testing.T, url, id string, timeout time.Duration) smokeStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, url, id)
+		if st.State == "done" {
+			return st
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return smokeStatus{}
+}
+
+func jobBody(extra string) string {
+	if extra != "" {
+		extra = "," + extra
+	}
+	return fmt.Sprintf(`{"problem": %s%s}`, problemJSON, extra)
+}
+
+func TestServiceSmoke(t *testing.T) {
+	smokeEnabled(t)
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "jobs.journal")
+	addr := "127.0.0.1:7981"
+	url := "http://" + addr
+
+	args := []string{
+		"-listen", addr,
+		"-journal", journal,
+		"-workers", "1",
+		"-max-queue", "2",
+		"-max-queue-tenant", "2",
+		"-synthetic-delay",
+	}
+	p := startDaemon(t, bin, args...)
+	waitHealthy(t, url)
+
+	// --- Overload: one slow job occupies the only worker, the queue bound
+	// is 2, so concurrent submissions past it must see a 429 shed.
+	slow, code := submit(t, url, jobBody(`"synthetic_delay_ms": 3000, "deadline_ms": 60000`))
+	if code != http.StatusAccepted {
+		t.Fatalf("slow submit = %d", code)
+	}
+	var (
+		mu       sync.Mutex
+		accepted []string
+		sheds    int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < smokeTenantJobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, code := submit(t, url, jobBody(`"deadline_ms": 60000`))
+			mu.Lock()
+			defer mu.Unlock()
+			switch code {
+			case http.StatusAccepted:
+				accepted = append(accepted, st.ID)
+			case http.StatusTooManyRequests:
+				sheds++
+			default:
+				t.Errorf("unexpected submit status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	if sheds == 0 {
+		t.Fatalf("no submission was shed past the queue bound (accepted %d)", len(accepted))
+	}
+	if len(accepted) == 0 {
+		t.Fatalf("every submission was shed; admission control is over-rejecting")
+	}
+	t.Logf("overload: %d accepted, %d shed with 429", len(accepted), sheds)
+
+	// --- SIGKILL mid-job: the slow job is running (synthetic delay keeps it
+	// observably in-flight). Kill -9, restart on the same journal, and the
+	// accepted jobs must all reach verdicts — the slow one re-run, the done
+	// ones replayed without execution.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, url, slow.ID).State != "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow job never started running")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	p.cmd.Wait()
+
+	p2 := startDaemon(t, bin, args...)
+	waitHealthy(t, url)
+	st := waitVerdict(t, url, slow.ID, 60*time.Second)
+	if st.Verdict != "solved" || !st.Solved {
+		t.Fatalf("killed-mid-run job after restart = %+v, want solved", st)
+	}
+	for _, id := range accepted {
+		if st := waitVerdict(t, url, id, 60*time.Second); st.Verdict != "solved" {
+			t.Fatalf("replayed job %s verdict = %q, want solved", id, st.Verdict)
+		}
+	}
+	t.Logf("restart: %d journaled jobs reached verdicts", 1+len(accepted))
+
+	// --- Graceful drain: SIGTERM with an in-flight job; the daemon must
+	// finish it and exit 0.
+	running, code := submit(t, url, jobBody(`"synthetic_delay_ms": 1500, "deadline_ms": 60000`))
+	if code != http.StatusAccepted {
+		t.Fatalf("drain-test submit = %d", code)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for getStatus(t, url, running.ID).State != "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain-test job never started")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v\n%s", err, p2.logs.String())
+	}
+	if !p2.cmd.ProcessState.Success() {
+		t.Fatalf("drain exit status = %v, want 0", p2.cmd.ProcessState)
+	}
+
+	// The drained job's verdict is durable: a third start serves it from
+	// the journal.
+	p3 := startDaemon(t, bin, args...)
+	waitHealthy(t, url)
+	if st := waitVerdict(t, url, running.ID, 30*time.Second); st.Verdict != "solved" {
+		t.Fatalf("drained job verdict after restart = %q, want solved", st.Verdict)
+	}
+	if err := p3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := p3.cmd.Wait(); err != nil {
+		t.Fatalf("final drain exit: %v\n%s", err, p3.logs.String())
+	}
+}

@@ -54,6 +54,7 @@ func run() error {
 		retention = flag.String("retention", "all", "nogood-store retention policy: all, lru:<cap>, or activity:<cap>")
 		wireCodec = flag.String("wire-codec", "binary", "wire codec to request: binary or json")
 		noBatch   = flag.Bool("wire-nobatch", false, "disable frame batching on this worker's connections")
+		drainWin  = flag.Duration("drain-window", 0, "how long a node with a failed write drains inbound frames for the hub's stop before reporting a hub death; 0 = 1s default (raise on slow links)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -111,8 +112,9 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "dcspnode: %d nodes (%s) dialing %d relays\n",
 		len(vars), *varsArg, len(addrs))
 	if err := discsp.SolveTCPWorker(problem, opts, discsp.TCPWorkerOptions{
-		Addrs: addrs,
-		Vars:  vars,
+		Addrs:       addrs,
+		Vars:        vars,
+		DrainWindow: *drainWin,
 	}); err != nil {
 		return err
 	}

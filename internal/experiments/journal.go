@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -45,9 +46,16 @@ var ErrJournalMeta = errors.New("experiments: journal metadata does not match th
 // JournalMeta pins the run parameters a journal's entries depend on. Resume
 // validates it so a journal recorded under one seed or cutoff is never
 // replayed into a run using another.
+//
+// Format discriminates uses of the journal machinery beyond trial grids:
+// the experiment harness leaves it empty (so every pre-existing journal
+// still validates), while other subsystems — the dcspd job log — pin their
+// own format-and-version string there, which keeps a job log from ever
+// being resumed as a trial journal or vice versa.
 type JournalMeta struct {
-	SeedBase  int64 `json:"seed_base"`
-	MaxCycles int   `json:"max_cycles"`
+	SeedBase  int64  `json:"seed_base"`
+	MaxCycles int    `json:"max_cycles"`
+	Format    string `json:"format,omitempty"`
 }
 
 type journalHeader struct {
@@ -137,8 +145,8 @@ func (j *Journal) load(meta JournalMeta) error {
 		return fmt.Errorf("experiments: journal version %d, this binary writes %d", h.Version, journalVersion)
 	}
 	if h.Meta != meta {
-		return fmt.Errorf("%w: journal has seed_base=%d max_cycles=%d, run has seed_base=%d max_cycles=%d",
-			ErrJournalMeta, h.Meta.SeedBase, h.Meta.MaxCycles, meta.SeedBase, meta.MaxCycles)
+		return fmt.Errorf("%w: journal has seed_base=%d max_cycles=%d format=%q, run has seed_base=%d max_cycles=%d format=%q",
+			ErrJournalMeta, h.Meta.SeedBase, h.Meta.MaxCycles, h.Meta.Format, meta.SeedBase, meta.MaxCycles, meta.Format)
 	}
 	off := nl + 1
 	good := off
@@ -226,6 +234,20 @@ func (j *Journal) Has(key string) bool {
 	defer j.mu.Unlock()
 	_, ok := j.entries[key]
 	return ok
+}
+
+// Keys returns every journaled key in sorted order. Grid runs never need
+// it (they probe with Has/Lookup); replay-style consumers like the dcspd
+// job log use it to walk everything the crashed process had accepted.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	j.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Recovered returns the number of entries loaded from disk at open — the

@@ -29,6 +29,22 @@ type nodeConfig struct {
 	// workers use it to classify their sibling nodes' subsequent socket
 	// errors as a clean shutdown.
 	onStop func()
+	// drainWindow bounds how long a node whose write failed keeps draining
+	// inbound frames looking for the hub's stop (the clean-shutdown race in
+	// failRW); 0 means defaultDrainWindow. Workers on slow or contended
+	// links raise it to avoid misclassifying a shutdown as a hub death.
+	drainWindow time.Duration
+}
+
+// defaultDrainWindow is the write-error classifier's inbound-drain bound.
+const defaultDrainWindow = time.Second
+
+// drainWindowOrDefault resolves the configured drain window.
+func (cfg nodeConfig) drainWindowOrDefault() time.Duration {
+	if cfg.drainWindow > 0 {
+		return cfg.drainWindow
+	}
+	return defaultDrainWindow
 }
 
 // nodeCheckpoint is the durable state a node persists before acknowledging
@@ -302,7 +318,7 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			return false, nil
 		default:
 		}
-		deadline := time.NewTimer(time.Second)
+		deadline := time.NewTimer(cfg.drainWindowOrDefault())
 		defer deadline.Stop()
 		for {
 			select {

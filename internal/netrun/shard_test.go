@@ -406,6 +406,9 @@ func TestExternalWorkersSharded(t *testing.T) {
 					Addrs: addrs,
 					Vars:  vars,
 					Codec: codec,
+					// A non-default drain window must plumb through without
+					// changing a clean run.
+					DrainWindow: 250 * time.Millisecond,
 				}); err != nil {
 					workerErrs <- err
 				}
@@ -440,6 +443,20 @@ func TestExternalWorkersSharded(t *testing.T) {
 	}
 	if res.BytesRecv == 0 || res.BytesSent == 0 {
 		t.Errorf("byte counters not populated: %+v", res)
+	}
+}
+
+// TestDrainWindowResolution pins the write-error classifier's inbound-drain
+// bound: configurable per node, 1s when unset.
+func TestDrainWindowResolution(t *testing.T) {
+	if got := (nodeConfig{}).drainWindowOrDefault(); got != time.Second {
+		t.Fatalf("default drain window = %v, want 1s", got)
+	}
+	if got := (nodeConfig{drainWindow: 5 * time.Second}).drainWindowOrDefault(); got != 5*time.Second {
+		t.Fatalf("configured drain window = %v, want 5s", got)
+	}
+	if got := (nodeConfig{drainWindow: -1}).drainWindowOrDefault(); got != time.Second {
+		t.Fatalf("negative drain window = %v, want the 1s default", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/sim"
@@ -24,6 +25,11 @@ type WorkerOptions struct {
 	Codec wire.Codec
 	// NoBatch disables frame batching on the worker's writers.
 	NoBatch bool
+	// DrainWindow bounds how long a node with a failed write drains inbound
+	// frames for the hub's stop before classifying the error as a hub
+	// death; 0 means the 1s default. External workers on slow links raise
+	// it so a graceful hub shutdown is not mistaken for a crash.
+	DrainWindow time.Duration
 }
 
 // RunWorker runs agent nodes against an external hub — a Run with
@@ -57,14 +63,15 @@ func RunWorker(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts W
 		go func(v int) {
 			defer wg.Done()
 			cfg := nodeConfig{
-				addr:      opts.Addrs[shardOf(v, len(opts.Addrs))],
-				v:         csp.Var(v),
-				makeAgent: makeAgent,
-				codec:     opts.Codec,
-				noBatch:   opts.NoBatch,
-				ctr:       &ctr,
-				done:      done,
-				onStop:    stopped,
+				addr:        opts.Addrs[shardOf(v, len(opts.Addrs))],
+				v:           csp.Var(v),
+				makeAgent:   makeAgent,
+				codec:       opts.Codec,
+				noBatch:     opts.NoBatch,
+				ctr:         &ctr,
+				done:        done,
+				onStop:      stopped,
+				drainWindow: opts.DrainWindow,
 			}
 			if _, err := runNode(cfg, 0); err != nil {
 				errs <- fmt.Errorf("node %d: %w", v, err)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/discsp/discsp/internal/csp"
 )
@@ -29,9 +30,12 @@ import (
 // and domains must match exactly — the signature pins them — because a
 // literal (var, val) only means anything against the same variable space.
 //
-// Cache is not safe for concurrent use; callers serialize access (the CLIs
-// load, solve, save sequentially).
+// Cache is safe for concurrent use: the dcspd daemon's solver pool seeds
+// and harvests one shared cache from many worker goroutines. Mutation is
+// append-only under the lock, so the slice Seed hands out stays valid —
+// elements below its length are never rewritten.
 type Cache struct {
+	mu      sync.Mutex
 	entries map[string]*cacheEntry
 }
 
@@ -48,6 +52,8 @@ func NewCache() *Cache {
 
 // Len returns the total number of cached nogoods across all entries.
 func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, e := range c.entries {
 		n += len(e.nogoods)
@@ -91,6 +97,8 @@ func constraintKeys(p *csp.Problem) map[string]struct{} {
 // was harvested under, so a target problem admitting the union admits each.
 func (c *Cache) Put(p *csp.Problem, learned []csp.Nogood) {
 	sig := signature(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.entries[sig]
 	if e == nil {
 		e = &cacheEntry{
@@ -121,7 +129,10 @@ func (c *Cache) Put(p *csp.Problem, learned []csp.Nogood) {
 // — a cold start, never an unsound one. The returned slice is shared;
 // callers must not mutate it.
 func (c *Cache) Seed(p *csp.Problem) []csp.Nogood {
-	e := c.entries[signature(p)]
+	sig := signature(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[sig]
 	if e == nil {
 		return nil
 	}
@@ -157,6 +168,8 @@ func (c *Cache) Save(path string) error {
 	}
 	w := bufio.NewWriter(f)
 	enc := json.NewEncoder(w)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	sigs := make([]string, 0, len(c.entries))
 	for sig := range c.entries {
 		sigs = append(sigs, sig)

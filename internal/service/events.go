@@ -1,0 +1,81 @@
+// Per-job progress-event capture: each job's schema-2 telemetry stream is
+// recorded into a bounded in-memory log that GET /v1/jobs/{id}/events can
+// replay and follow live. The bound is part of the robustness story — a
+// pathological run cannot grow daemon memory through its own telemetry;
+// once the cap is hit, later events are dropped and the job's status
+// reports events_truncated (the run itself is unaffected: telemetry is
+// observationally inert).
+package service
+
+import "sync"
+
+// defaultEventLimit bounds one job's captured event bytes.
+const defaultEventLimit = 256 << 10
+
+// eventLog is an append-only byte log with follow semantics. It implements
+// io.Writer so a telemetry Recorder can write JSONL into it directly.
+type eventLog struct {
+	mu        sync.Mutex
+	buf       []byte
+	limit     int
+	truncated bool
+	closed    bool
+	change    chan struct{} // closed-and-replaced on every append/close
+}
+
+func newEventLog(limit int) *eventLog {
+	if limit <= 0 {
+		limit = defaultEventLimit
+	}
+	return &eventLog{limit: limit, change: make(chan struct{})}
+}
+
+// Write appends p, dropping it (without error — telemetry must never fail a
+// job) once the log is closed or the cap is reached. Events are dropped
+// whole, never split, so the log stays valid JSONL.
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.truncated {
+		return len(p), nil
+	}
+	if len(l.buf)+len(p) > l.limit {
+		l.truncated = true
+		return len(p), nil
+	}
+	l.buf = append(l.buf, p...)
+	l.signalLocked()
+	return len(p), nil
+}
+
+// closeLog marks the stream complete and wakes followers.
+func (l *eventLog) closeLog() {
+	l.mu.Lock()
+	l.closed = true
+	l.signalLocked()
+	l.mu.Unlock()
+}
+
+func (l *eventLog) signalLocked() {
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// Truncated reports whether the cap dropped any events.
+func (l *eventLog) Truncated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// snapshot returns the bytes past off, the new offset, whether the log is
+// complete, and a channel that closes on the next change — everything a
+// follower needs to stream without polling.
+func (l *eventLog) snapshot(off int) (chunk []byte, next int, closed bool, change <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off < len(l.buf) {
+		chunk = append([]byte(nil), l.buf[off:]...)
+	}
+	return chunk, len(l.buf), l.closed, l.change
+}

@@ -1,0 +1,177 @@
+// The HTTP surface: a small JSON API over the Daemon, plus the PR-5
+// telemetry mux mounted under the same listener. Error mapping is the
+// admission-control contract made visible:
+//
+//	400  *SpecError            permanent — fix the request
+//	429  ErrQueueFull / tenant  shed — back off Retry-After seconds, resubmit
+//	503  errDraining            the daemon is shutting down — find another
+//	                            instance or wait for the restart
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/discsp/discsp/internal/telemetry"
+)
+
+// Handler mounts the service API on a fresh mux:
+//
+//	POST   /v1/jobs            submit → 202 + JobStatus
+//	GET    /v1/jobs            list (optional ?tenant=)
+//	GET    /v1/jobs/{id}       status
+//	GET    /v1/jobs/{id}/events  stream the job's JSONL progress events
+//	                             (?follow=1 keeps the stream open until done)
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/stats           queue shape
+//	GET    /healthz            200 serving / 503 draining
+//	/metrics, /metrics.json, /debug/vars, /debug/pprof/*  (telemetry mux)
+func Handler(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad submit body: %v", err))
+			return
+		}
+		st, err := d.Submit(spec)
+		if err != nil {
+			submitError(w, d, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{d.List(r.URL.Query().Get("tenant"))})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(d, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := d.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if d.Draining() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	// The PR-5 observability surface rides the same listener.
+	mux.Handle("/metrics", telemetry.NewMux(d.Registry()))
+	mux.Handle("/metrics.json", telemetry.NewMux(d.Registry()))
+	mux.Handle("/debug/", telemetry.NewMux(d.Registry()))
+	return mux
+}
+
+// serveEvents streams a job's captured schema-2 JSONL events. Without
+// ?follow=1 it returns the buffer as-is; with it, the response stays open
+// and flushes new events until the job completes or the client goes away.
+func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	log, ok := d.events(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	follow := r.URL.Query().Get("follow") != ""
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if log.Truncated() {
+		w.Header().Set("X-Events-Truncated", "true")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: a follower of a job with no events yet
+		// must see the 200 immediately, not when the first event lands.
+		flusher.Flush()
+	}
+	off := 0
+	for {
+		chunk, next, closed, change := log.snapshot(off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		off = next
+		if !follow || closed {
+			return
+		}
+		select {
+		case <-change:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// submitError maps a Submit failure to its status code and backoff hint.
+func submitError(w http.ResponseWriter, d *Daemon, err error) {
+	var spec *SpecError
+	switch {
+	case errors.As(err, &spec):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.RetryAfter())))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.RetryAfter())))
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// retryAfterSeconds renders a backoff hint in whole seconds, minimum 1 (a
+// Retry-After of 0 reads as "immediately", which defeats the point).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	return resp
+}
+
+func decodeStatus(t *testing.T, resp *http.Response) JobStatus {
+	t.Helper()
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+func TestHTTPSubmitPollCancelStats(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 2})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	resp := postJob(t, srv, coloringSpec(t, 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.ID == "" {
+		t.Fatalf("submit returned no id: %+v", st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		got := decodeStatus(t, r)
+		if got.State == StateDone {
+			if got.Verdict != VerdictSolved {
+				t.Fatalf("verdict = %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Malformed body and malformed spec are both 400s.
+	r, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d", r.StatusCode)
+	}
+	bad := coloringSpec(t, 1)
+	bad.Runtime = "quantum"
+	if r := postJob(t, srv, bad); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec status = %d", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+
+	// Unknown job: 404 on status, events, and cancel.
+	for _, path := range []string{"/v1/jobs/zzz", "/v1/jobs/zzz/events"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s status = %d", path, r.StatusCode)
+		}
+	}
+
+	// Stats and the jobs listing see the completed job.
+	r, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	r.Body.Close()
+	if stats.Jobs == 0 || stats.Draining {
+		t.Fatalf("stats = %+v", stats)
+	}
+	r, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET jobs: %v", err)
+	}
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	r.Body.Close()
+	if len(listing.Jobs) == 0 {
+		t.Fatalf("listing empty")
+	}
+}
+
+func TestHTTPShedsWithRetryAfter(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1, MaxQueue: 1, MaxQueuePerTenant: 1,
+		RetryAfter: 2 * time.Second})
+	started, release := blockWorkers(t, d)
+	defer release()
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	// One job occupies the worker, one fills the queue; the third is shed.
+	if r := postJob(t, srv, coloringSpec(t, 1)); r.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+	<-started
+	if r := postJob(t, srv, coloringSpec(t, 2)); r.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d", r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+	r := postJob(t, srv, coloringSpec(t, 3))
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit = %d, want 429", r.StatusCode)
+	}
+	if ra := r.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("shed body = %+v (err %v)", e, err)
+	}
+}
+
+func TestHTTPEventsStreamFollow(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	started, release := blockWorkers(t, d)
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	resp := postJob(t, srv, coloringSpec(t, 1))
+	st := decodeStatus(t, resp)
+	<-started
+
+	// Follow the stream while the job is still running; release it and the
+	// stream must terminate on completion with the full event log.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+st.ID+"/events?follow=1", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	release()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatalf("read events: %v", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	var kinds []string
+	for _, line := range lines {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "meta") || !strings.Contains(joined, "end") {
+		t.Fatalf("stream kinds = %v, want meta…end", kinds)
+	}
+}
+
+func TestHTTPDrainSurface(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d before drain", r.StatusCode)
+	}
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d after drain, want 503", r.StatusCode)
+	}
+	sub := postJob(t, srv, coloringSpec(t, 1))
+	sub.Body.Close()
+	if sub.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain = %d, want 503", sub.StatusCode)
+	}
+	if sub.Header.Get("Retry-After") == "" {
+		t.Fatalf("drain response missing Retry-After")
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+	st := decodeStatus(t, postJob(t, srv, coloringSpec(t, 1)))
+	waitDone(t, d, st.ID)
+
+	r, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	for _, want := range []string{
+		"dcspd_jobs_accepted_total 1",
+		"dcspd_queue_depth",
+		`dcspd_jobs_done_total{tenant="default"} 1`,
+		"dcspd_queue_wait_ms",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

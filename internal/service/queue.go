@@ -1,0 +1,249 @@
+// Admission and scheduling: a bounded, weighted-fair, per-tenant queue.
+//
+// Admission is load shedding by construction — the global and per-tenant
+// bounds are checked at enqueue and an over-limit submission fails
+// immediately (the HTTP layer turns that into 429 + Retry-After), so queue
+// depth can never grow without bound no matter how fast clients submit.
+//
+// Dispatch is stride scheduling: each tenant holds a pass value advanced by
+// stride = strideScale/weight per dispatched job, and the dispatcher picks
+// the backlogged tenant with the smallest pass (ties broken by tenant name,
+// so the schedule is deterministic given the submission sequence). A tenant
+// at its concurrency quota is skipped without advancing its pass — the
+// quota caps a tenant's parallelism, fair share decides who goes next among
+// those under it. New or returning tenants join at the current virtual
+// time, which prevents both banked credit and starvation.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// strideScale is the stride numerator; weight w gives stride strideScale/w.
+const strideScale = 1 << 16
+
+// maxTenantWeight caps fair-share weights (and keeps strides non-zero).
+const maxTenantWeight = 16
+
+// ErrQueueFull is returned by Submit when the global queue bound is hit;
+// the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrTenantQueueFull is the per-tenant flavor of ErrQueueFull: one tenant
+// has hit its backlog bound while the global queue still has room, so other
+// tenants keep being admitted.
+var ErrTenantQueueFull = errors.New("service: tenant queue full")
+
+type tenantQ struct {
+	name    string
+	weight  int
+	stride  int64
+	pass    int64
+	fifo    []*job
+	running int
+}
+
+// scheduler is the daemon's run queue. All methods are safe for concurrent
+// use; next blocks until a job is dispatchable.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxQueue       int // global backlog bound
+	maxTenantQueue int // per-tenant backlog bound
+	tenantSlots    int // per-tenant concurrency quota
+
+	tenants  map[string]*tenantQ
+	queued   int
+	running  int
+	vtime    int64
+	draining bool // next returns false once the backlog is empty
+	stopped  bool // next returns false immediately (abandon)
+}
+
+func newScheduler(maxQueue, maxTenantQueue, tenantSlots int) *scheduler {
+	s := &scheduler{
+		maxQueue:       maxQueue,
+		maxTenantQueue: maxTenantQueue,
+		tenantSlots:    tenantSlots,
+		tenants:        make(map[string]*tenantQ),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue admits j or fails with ErrQueueFull / ErrTenantQueueFull. The
+// tenant's weight is refreshed from the spec (last submission wins).
+func (s *scheduler) enqueue(j *job) error { return s.add(j, false) }
+
+// enqueueReplay re-queues a journaled job, bypassing the admission bounds:
+// they cap new submissions, and this job was already admitted by a previous
+// process (a crash can leave queued + running > maxQueue, since running
+// jobs rejoin the queue on replay).
+func (s *scheduler) enqueueReplay(j *job) { s.add(j, true) }
+
+func (s *scheduler) add(j *job, replay bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !replay && s.queued >= s.maxQueue {
+		return fmt.Errorf("%w: %d jobs queued (bound %d)", ErrQueueFull, s.queued, s.maxQueue)
+	}
+	t := s.tenant(j.spec.Tenant)
+	if !replay && len(t.fifo) >= s.maxTenantQueue {
+		return fmt.Errorf("%w: tenant %q has %d jobs queued (bound %d)", ErrTenantQueueFull, t.name, len(t.fifo), s.maxTenantQueue)
+	}
+	if j.spec.Weight != t.weight {
+		t.weight = j.spec.Weight
+		t.stride = strideScale / int64(t.weight)
+	}
+	t.fifo = append(t.fifo, j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// tenant returns (creating if needed) the tenant's queue state. A tenant
+// with no backlog and no running jobs re-joins at the current virtual time.
+func (s *scheduler) tenant(name string) *tenantQ {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantQ{name: name, weight: 1, stride: strideScale, pass: s.vtime}
+		s.tenants[name] = t
+		return t
+	}
+	if len(t.fifo) == 0 && t.running == 0 && t.pass < s.vtime {
+		t.pass = s.vtime
+	}
+	return t
+}
+
+// next blocks until a job is dispatchable and claims it (the tenant's
+// running count is incremented; the worker must pair it with release). It
+// returns false when the scheduler is stopped, or is draining with an empty
+// backlog — the worker-exit signal.
+func (s *scheduler) next() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return nil, false
+		}
+		if best := s.pick(); best != nil {
+			j := best.fifo[0]
+			best.fifo = best.fifo[:copy(best.fifo, best.fifo[1:])]
+			s.queued--
+			best.running++
+			s.running++
+			s.vtime = best.pass
+			best.pass += best.stride
+			return j, true
+		}
+		if s.draining && s.queued == 0 {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// pick selects the minimum-pass tenant with backlog and a free quota slot.
+func (s *scheduler) pick() *tenantQ {
+	var best *tenantQ
+	for _, t := range s.tenants {
+		if len(t.fifo) == 0 || t.running >= s.tenantSlots {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// release returns a tenant's concurrency slot after a job finishes.
+func (s *scheduler) release(tenant string) {
+	s.mu.Lock()
+	if t, ok := s.tenants[tenant]; ok && t.running > 0 {
+		t.running--
+		s.running--
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// remove withdraws a queued job (cancel); false when it is not queued here
+// (already dispatched or unknown).
+func (s *scheduler) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		for i, j := range t.fifo {
+			if j.id == id {
+				t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+				s.queued--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// drain flips the scheduler into drain mode: next keeps dispatching the
+// backlog but returns false once it is empty.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// stop abandons the backlog: next returns false immediately. Queued jobs
+// stay journaled as accepted, so a restart re-runs them — stop is the
+// crash-shaped shutdown, drain the graceful one.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// depth reports the global backlog and the running count.
+func (s *scheduler) depth() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.running
+}
+
+// tenantDepths reports per-tenant backlog sizes (omitting idle tenants).
+func (s *scheduler) tenantDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for name, t := range s.tenants {
+		if len(t.fifo) > 0 {
+			out[name] = len(t.fifo)
+		}
+	}
+	return out
+}
+
+// oldestAge returns how long the oldest queued job has been waiting as of
+// now; zero when the backlog is empty.
+func (s *scheduler) oldestAge(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	for _, t := range s.tenants {
+		if len(t.fifo) > 0 {
+			if oldest.IsZero() || t.fifo[0].submitted.Before(oldest) {
+				oldest = t.fifo[0].submitted
+			}
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}

@@ -1,6 +1,7 @@
 package discsp
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -618,6 +619,12 @@ type TCPWorkerOptions struct {
 	Addrs []string
 	// Vars are the variables this worker owns; each becomes one node.
 	Vars []int
+	// DrainWindow bounds how long a node whose write failed keeps draining
+	// inbound frames for the hub's stop before classifying the failure as
+	// a hub death; 0 means the 1s default. Raise it for workers on slow or
+	// congested links so a graceful hub shutdown racing a write is not
+	// reported as a crash.
+	DrainWindow time.Duration
 }
 
 // SolveTCPWorker runs agent nodes for a subset of p's variables against an
@@ -637,11 +644,36 @@ func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) error {
 		return err
 	}
 	return netrun.RunWorker(p, opts.makeAgent(p, init), netrun.WorkerOptions{
-		Addrs:   w.Addrs,
-		Vars:    w.Vars,
-		Codec:   codec,
-		NoBatch: opts.WireNoBatch,
+		Addrs:       w.Addrs,
+		Vars:        w.Vars,
+		Codec:       codec,
+		NoBatch:     opts.WireNoBatch,
+		DrainWindow: w.DrainWindow,
 	})
+}
+
+// IsTimeout reports whether err is (or wraps) a runtime deadline expiry
+// from SolveAsync or SolveTCP. Solve has no wall-clock deadline; its cutoff
+// is MaxCycles, reported as an unsolved Result, not an error.
+func IsTimeout(err error) bool {
+	return errors.Is(err, async.ErrTimeout) || errors.Is(err, netrun.ErrTimeout)
+}
+
+// TimeoutReport extracts the stall watchdog's diagnosis from a timeout
+// error: the stalled / livelock / converging classification with per-agent
+// progress that SolveAsync and SolveTCP attach when their deadline expires.
+// ok is false when err carries no report (not a timeout, or the run died
+// before the watchdog sampled).
+func TimeoutReport(err error) (report string, ok bool) {
+	var aerr *async.TimeoutError
+	if errors.As(err, &aerr) && aerr.Report != nil {
+		return aerr.Report.String(), true
+	}
+	var nerr *netrun.TimeoutError
+	if errors.As(err, &nerr) && nerr.Report != nil {
+		return nerr.Report.String(), true
+	}
+	return "", false
 }
 
 func buildAgents(n int, makeAgent func(v csp.Var) sim.Agent) []sim.Agent {
