@@ -7,8 +7,8 @@ GO ?= go
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
             ./internal/sim/... ./internal/experiments/... ./internal/service/...
 
-.PHONY: all build test vet fmt-check race chaos telemetry bench-smoke bench-json \
-        bench-gate bench-warm bench-wire scale-smoke service-smoke soak \
+.PHONY: all build test vet fmt-check race chaos chaos-proc telemetry bench-smoke \
+        bench-json bench-gate bench-warm bench-wire scale-smoke service-smoke soak \
         staticcheck govulncheck ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
@@ -21,12 +21,15 @@ BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkRes
 # beat plain JSON by at least 2x and stay allocation-free per op, and the
 # binary codec alone must also clear 2x; json-only batching is reported but
 # not floored (it trades latency for fewer syscalls, not raw per-op time).
+# The crc pair holds the checksummed binary+batched path to the same 2x
+# floor and zero allocs, so frame integrity stays effectively free.
 BENCH_WIRE_FLAGS = -pair codec=json_plain:binary_plain \
 	-pair batch=json_plain:json_batch \
 	-pair binary_batch=json_plain:binary_batch \
-	-min-speedup 'WireThroughput/codec=2,WireThroughput/binary_batch=2' \
-	-alloc-free WireThroughput/binary_batch \
-	-note 'before = plain JSON framing, after = the named wire upgrade (binary codec, frame batching, or both) over a TCP loopback echo; one op is one envelope round trip'
+	-pair crc=json_plain:binary_batch_crc \
+	-min-speedup 'WireThroughput/codec=2,WireThroughput/binary_batch=2,WireThroughput/crc=2' \
+	-alloc-free 'WireThroughput/binary_batch,WireThroughput/crc' \
+	-note 'before = plain JSON framing, after = the named wire upgrade (binary codec, frame batching, CRC32C trailers, or a combination) over a TCP loopback echo; one op is one envelope round trip'
 
 all: build
 
@@ -57,6 +60,16 @@ race:
 # long sweeps (seeds × schedules × families) the nightly CI job uses.
 chaos:
 	CHAOS_LONG=$(CHAOS_LONG) $(GO) test -race -timeout 40m ./internal/faults/... ./internal/async/... ./internal/netrun/...
+
+# The process-level chaos job: the liveness/reconnection suite under the
+# race detector, then the acceptance harness that SIGKILLs a real dcspnode
+# worker mid-solve, relaunches it cold, and requires the verdict and
+# assignment to match a clean run of the same seed (gated behind
+# CHAOS_PROC because it builds and kills real processes).
+chaos-proc:
+	$(GO) test -race -timeout 20m -run 'TestWorker|TestDeadPeer|TestReconnect|TestNegativeGrace|TestCorrupt|TestLiveness' ./internal/netrun/
+	$(GO) test -race -timeout 10m ./internal/wire/ ./internal/faults/ ./internal/backoff/
+	CHAOS_PROC=1 $(GO) test -race -run TestChaosProc -v -timeout 15m ./cmd/dcspnode/
 
 # The telemetry job's gating half: the on/off bit-identical inertness
 # tests (results, trace bytes, cell aggregates across all three runtimes)
@@ -150,4 +163,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build vet fmt-check staticcheck govulncheck test race chaos telemetry bench-smoke bench-gate scale-smoke service-smoke
+ci: build vet fmt-check staticcheck govulncheck test race chaos chaos-proc telemetry bench-smoke bench-gate scale-smoke service-smoke

@@ -54,7 +54,11 @@ func run() error {
 		retention = flag.String("retention", "all", "nogood-store retention policy: all, lru:<cap>, or activity:<cap>")
 		wireCodec = flag.String("wire-codec", "binary", "wire codec to request: binary or json")
 		noBatch   = flag.Bool("wire-nobatch", false, "disable frame batching on this worker's connections")
+		wireCRC   = flag.Bool("wire-crc", false, "request the CRC32C frame trailer on binary connections (effective only when the hub armed -wire-crc too)")
 		drainWin  = flag.Duration("drain-window", 0, "how long a node with a failed write drains inbound frames for the hub's stop before reporting a hub death; 0 = 1s default (raise on slow links)")
+		connTO    = flag.Duration("connect-timeout", 0, "how long each node keeps retrying its dial — at startup before the hub listens, and when redialing after a severed connection; 0 = 15s default")
+		heartbeat = flag.Duration("heartbeat", 0, "idle-link liveness beacon period, matching the hub's; 0 = 500ms default, negative disables")
+		deadPeer  = flag.Duration("dead-peer", 0, "hub silence after which a node abandons its connection and redials; 0 = 4x the heartbeat period")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -111,14 +115,20 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "dcspnode: %d nodes (%s) dialing %d relays\n",
 		len(vars), *varsArg, len(addrs))
-	if err := discsp.SolveTCPWorker(problem, opts, discsp.TCPWorkerOptions{
-		Addrs:       addrs,
-		Vars:        vars,
-		DrainWindow: *drainWin,
-	}); err != nil {
+	stats, err := discsp.SolveTCPWorker(problem, opts, discsp.TCPWorkerOptions{
+		Addrs:           addrs,
+		Vars:            vars,
+		DrainWindow:     *drainWin,
+		ConnectTimeout:  *connTO,
+		Checksum:        *wireCRC,
+		Heartbeat:       *heartbeat,
+		DeadPeerTimeout: *deadPeer,
+	})
+	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "dcspnode: hub reported run over")
+	fmt.Fprintf(os.Stderr, "dcspnode: hub reported run over (reconnects=%d retrans=%d dups=%d corrupt_frames=%d)\n",
+		stats.Reconnects, stats.Retransmits, stats.DuplicatesSuppressed, stats.CorruptFrames)
 	return nil
 }
 

@@ -1,0 +1,207 @@
+// Process-level chaos harness: build the real dcspsolve and dcspnode
+// binaries, split an instance across two worker processes, SIGKILL one
+// mid-solve, relaunch it, and require the verdict and assignment to match a
+// clean run of the same seed. This is the strongest form of the
+// reconnection claim — nothing survives the kill except the hub's parked
+// frames and the cold-reset protocol.
+//
+// The harness spawns processes and runs for seconds, so it is gated behind
+// CHAOS_PROC=1 (wired to `make chaos-proc` and the CI chaos job).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainCNF writes an n-variable implication chain with a unique solution:
+// x1 ∧ (¬x1∨x2) ∧ … ∧ (¬x(n-1)∨xn) forces every variable true. Uniqueness
+// is what lets the harness compare assignments across runs — any solved
+// verdict must carry the all-ones assignment.
+func chainCNF(t *testing.T, dir string, n int) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n1 0\n", n, n)
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "-%d %d 0\n", i, i+1)
+	}
+	path := filepath.Join(dir, "chain.cnf")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// reservePorts grabs n distinct loopback ports by binding and releasing
+// them; the hub rebinds them moments later. The workers' dial retry rides
+// out the gap (and any unlucky theft shows up as a clear connect error).
+func reservePorts(t *testing.T, n int) []int {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	ports := make([]int, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+var assignRe = regexp.MustCompile(`(?m)^x(\d+) = (\d+)$`)
+
+// parseAssignment extracts the -v assignment lines from hub output.
+func parseAssignment(out string) map[int]int {
+	a := make(map[int]int)
+	for _, m := range assignRe.FindAllStringSubmatch(out, -1) {
+		v, _ := strconv.Atoi(m[1])
+		val, _ := strconv.Atoi(m[2])
+		a[v] = val
+	}
+	return a
+}
+
+// chaosRun executes one multi-process solve of the chain instance: two
+// dcspnode workers (launched before the hub listens, exercising the dial
+// retry), one dcspsolve hub with a seeded delay+drop schedule to stretch
+// the run, and — when kill is set — a SIGKILL of the odd-variables worker
+// mid-solve followed by a cold relaunch. It returns the hub's stdout.
+func chaosRun(t *testing.T, solveBin, nodeBin, cnf string, nVars int, kill bool) string {
+	t.Helper()
+	ports := reservePorts(t, 2)
+	listen := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d", ports[0], ports[1])
+	oddVars := fmt.Sprintf("1-%d:2", nVars-1)
+	workerCmd := func(vars string) *exec.Cmd {
+		cmd := exec.Command(nodeBin,
+			"-connect", listen, "-vars", vars,
+			"-connect-timeout", "30s", "-seed", "2",
+			cnf)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+
+	// Workers first: until the hub binds the reserved ports every dial is
+	// refused, which is exactly the startup race the retry loop absorbs.
+	wEven := workerCmd(fmt.Sprintf("0-%d:2", nVars-2))
+	wOdd := workerCmd(oddVars)
+	for _, w := range []*exec.Cmd{wEven, wOdd} {
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hub := exec.Command(solveBin,
+		"-tcp", "-tcp-external", "-shards", "2", "-tcp-listen", listen,
+		"-faults", "delay=900ms,drop=0.25", "-fault-seed", "3",
+		"-reconnect-grace", "20s", "-timeout", "120s",
+		"-seed", "2", "-v",
+		cnf)
+	var hubOut bytes.Buffer
+	hub.Stdout = &hubOut
+	hub.Stderr = os.Stderr
+	if err := hub.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wOdd2 *exec.Cmd
+	if kill {
+		// Mid-solve (the delay/drop schedule stretches the run well past
+		// this): kill the odd worker dead — no signal handler, no flush —
+		// then relaunch it cold.
+		time.Sleep(1200 * time.Millisecond)
+		if err := wOdd.Process.Kill(); err != nil {
+			t.Fatalf("SIGKILL worker: %v", err)
+		}
+		wOdd.Wait()
+		time.Sleep(200 * time.Millisecond)
+		wOdd2 = workerCmd(oddVars)
+		if err := wOdd2.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := hub.Wait(); err != nil {
+		t.Fatalf("hub: %v\n%s", err, hubOut.String())
+	}
+	if err := wEven.Wait(); err != nil {
+		t.Fatalf("even worker: %v", err)
+	}
+	if kill {
+		if err := wOdd2.Wait(); err != nil {
+			t.Fatalf("relaunched worker: %v", err)
+		}
+	} else {
+		if err := wOdd.Wait(); err != nil {
+			t.Fatalf("odd worker: %v", err)
+		}
+	}
+	return hubOut.String()
+}
+
+// TestChaosProcKillWorker is the acceptance harness for the survivable
+// multi-process runtime: a worker SIGKILLed and relaunched mid-solve must
+// leave the verdict and assignment identical to a clean run of the same
+// seed, with the hub's reconnect counter proving the kill landed mid-run.
+func TestChaosProcKillWorker(t *testing.T) {
+	if os.Getenv("CHAOS_PROC") == "" {
+		t.Skip("set CHAOS_PROC=1 to run the process-level chaos harness")
+	}
+	dir := t.TempDir()
+	solveBin := filepath.Join(dir, "dcspsolve")
+	nodeBin := filepath.Join(dir, "dcspnode")
+	for bin, pkg := range map[string]string{solveBin: "../dcspsolve", nodeBin: "."} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	const nVars = 64
+	cnf := chainCNF(t, dir, nVars)
+
+	clean := chaosRun(t, solveBin, nodeBin, cnf, nVars, false)
+	if !strings.Contains(clean, "solved=true") {
+		t.Fatalf("clean run not solved:\n%s", clean)
+	}
+	chaos := chaosRun(t, solveBin, nodeBin, cnf, nVars, true)
+	if !strings.Contains(chaos, "solved=true") {
+		t.Fatalf("chaos run not solved:\n%s", chaos)
+	}
+
+	// The reconnect counter in the verdict suffix proves the kill landed
+	// mid-run (a kill after the run ended would make this a clean rerun,
+	// not a chaos test).
+	recon := regexp.MustCompile(`reconnects=(\d+)`).FindStringSubmatch(chaos)
+	if recon == nil || recon[1] == "0" {
+		t.Fatalf("chaos run reports no reconnects; the kill missed the run:\n%s", chaos)
+	}
+
+	cleanA, chaosA := parseAssignment(clean), parseAssignment(chaos)
+	if len(cleanA) != nVars || len(chaosA) != nVars {
+		t.Fatalf("assignments incomplete: clean %d vars, chaos %d vars (want %d)",
+			len(cleanA), len(chaosA), nVars)
+	}
+	for v := 0; v < nVars; v++ {
+		if cleanA[v] != chaosA[v] {
+			t.Errorf("assignment diverged at x%d: clean %d, chaos %d", v, cleanA[v], chaosA[v])
+		}
+		// The chain has exactly one model — all true — so "same assignment"
+		// is also checkable in absolute terms.
+		if chaosA[v] != 1 {
+			t.Errorf("x%d = %d in the unique all-ones model", v, chaosA[v])
+		}
+	}
+}

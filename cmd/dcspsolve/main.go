@@ -69,6 +69,10 @@ func run() error {
 		shards    = flag.Int("shards", 0, "split the -tcp hub across N relay listeners; 0 = one")
 		wireCodec = flag.String("wire-codec", "binary", "-tcp wire codec: binary or json (negotiated per connection)")
 		noBatch   = flag.Bool("wire-nobatch", false, "disable -tcp frame batching")
+		wireCRC   = flag.Bool("wire-crc", false, "arm the CRC32C frame trailer on -tcp binary connections (workers opt in with dcspnode -wire-crc)")
+		heartbeat = flag.Duration("heartbeat", 0, "-tcp liveness beacon period on every hub-node link; 0 = 500ms default, negative disables")
+		deadPeer  = flag.Duration("dead-peer", 0, "-tcp silence after which the hub declares a node dead; 0 = 4x the heartbeat period")
+		reconGr   = flag.Duration("reconnect-grace", 0, "how long the -tcp hub parks a dead node's frames awaiting its reconnection before failing the run; 0 = 3s default, negative fails immediately")
 		tcpListen = flag.String("tcp-listen", "", "bind the -tcp relays to these comma-separated host:port addresses (implies the shard count)")
 		tcpExt    = flag.Bool("tcp-external", false, "-tcp hub only: agents live in external dcspnode workers")
 		timeout   = flag.Duration("timeout", 0, "async wall-clock limit; 0 = 30s")
@@ -209,6 +213,10 @@ func run() error {
 	opts.TCPShards = *shards
 	opts.WireCodec = *wireCodec
 	opts.WireNoBatch = *noBatch
+	opts.WireChecksum = *wireCRC
+	opts.TCPHeartbeat = *heartbeat
+	opts.TCPDeadPeerTimeout = *deadPeer
+	opts.TCPReconnectGrace = *reconGr
 	opts.TCPExternal = *tcpExt
 	if *tcpListen != "" {
 		opts.TCPListen = strings.Split(*tcpListen, ",")

@@ -174,6 +174,16 @@ func (a *Agent) Init() []sim.Message {
 	return a.broadcastOk()
 }
 
+// Reannounce implements sim.Reannouncer: restate the current value to one
+// lower-priority peer whose process relaunched without memory. Higher-
+// priority peers never receive ok? in ABT, so they get nothing here either.
+func (a *Agent) Reannounce(peer sim.AgentID) []sim.Message {
+	if _, ok := a.outLinks[csp.Var(peer)]; !ok {
+		return nil
+	}
+	return []sim.Message{Ok{Sender: a.ID(), Receiver: peer, Value: a.value}}
+}
+
 // Step implements sim.Agent.
 func (a *Agent) Step(in []sim.Message) []sim.Message {
 	if a.insoluble {

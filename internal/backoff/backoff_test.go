@@ -1,0 +1,107 @@
+package backoff
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		policy  Policy
+		attempt int
+		want    time.Duration
+	}{
+		{"first retry is base", Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond}, 0, 10 * time.Millisecond},
+		{"doubles per attempt", Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond}, 1, 20 * time.Millisecond},
+		{"keeps doubling", Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond}, 3, 80 * time.Millisecond},
+		{"hits the cap exactly", Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond}, 4, 160 * time.Millisecond},
+		{"stays at the cap", Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond}, 20, 160 * time.Millisecond},
+		{"cap below base clamps", Policy{Base: 10 * time.Millisecond, Cap: 5 * time.Millisecond}, 0, 5 * time.Millisecond},
+		{"uncapped pure doubling", Policy{Base: 50 * time.Millisecond}, 4, 800 * time.Millisecond},
+		{"negative attempt treated as zero", Policy{Base: 2 * time.Millisecond, Cap: 64 * time.Millisecond}, -3, 2 * time.Millisecond},
+		{"zero base yields zero", Policy{Cap: time.Second}, 5, 0},
+		{"capped overflow saturates at cap", Policy{Base: time.Second, Cap: time.Minute}, 80, time.Minute},
+		{"uncapped overflow saturates at max", Policy{Base: time.Second}, 80, math.MaxInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.policy.Delay(tc.attempt); got != tc.want {
+				t.Fatalf("Policy{%v,%v}.Delay(%d) = %v, want %v",
+					tc.policy.Base, tc.policy.Cap, tc.attempt, got, tc.want)
+			}
+		})
+	}
+}
+
+// The service retry loop historically computed RetryBackoff << (attempt-1)
+// with no cap; the faults injector computed base << attempt clamped at its
+// cap. Both must reproduce exactly through Policy so the unification is a
+// refactor, not a behavior change.
+func TestDelayMatchesLegacySchedules(t *testing.T) {
+	svc := Policy{Base: 50 * time.Millisecond}
+	for attempt := 1; attempt <= 8; attempt++ {
+		legacy := 50 * time.Millisecond << (attempt - 1)
+		if got := svc.Delay(attempt - 1); got != legacy {
+			t.Fatalf("service schedule attempt %d: got %v, want %v", attempt, got, legacy)
+		}
+	}
+	inj := Policy{Base: 2 * time.Millisecond, Cap: 64 * time.Millisecond}
+	for attempt := 0; attempt <= 10; attempt++ {
+		legacy := 2 * time.Millisecond << attempt
+		if legacy > 64*time.Millisecond || legacy <= 0 {
+			legacy = 64 * time.Millisecond
+		}
+		if got := inj.Delay(attempt); got != legacy {
+			t.Fatalf("injector schedule attempt %d: got %v, want %v", attempt, got, legacy)
+		}
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	p := Policy{Base: 25 * time.Millisecond, Cap: time.Second}
+	for seed := int64(0); seed < 20; seed++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			full := p.Delay(attempt)
+			got := p.Jittered(attempt, seed)
+			if got < full/2 || got >= full {
+				t.Fatalf("Jittered(%d, seed %d) = %v outside [%v, %v)", attempt, seed, got, full/2, full)
+			}
+		}
+	}
+}
+
+func TestJitteredDeterministic(t *testing.T) {
+	p := Policy{Base: 25 * time.Millisecond, Cap: time.Second}
+	for attempt := 0; attempt < 6; attempt++ {
+		a := p.Jittered(attempt, 42)
+		b := p.Jittered(attempt, 42)
+		if a != b {
+			t.Fatalf("Jittered not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// Distinct seeds must actually decorrelate: if every worker of a severed
+// fleet redialed on an identical schedule the jitter would be decorative.
+func TestJitteredSeedsDiffer(t *testing.T) {
+	p := Policy{Base: 25 * time.Millisecond, Cap: time.Second}
+	distinct := map[time.Duration]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		distinct[p.Jittered(3, seed)] = true
+	}
+	if len(distinct) < 16 {
+		t.Fatalf("32 seeds produced only %d distinct delays", len(distinct))
+	}
+}
+
+func TestJitteredTinyDelays(t *testing.T) {
+	p := Policy{Base: 1}
+	if got := p.Jittered(0, 7); got != 1 {
+		t.Fatalf("1ns delay must pass through unjittered, got %v", got)
+	}
+	if got := (Policy{}).Jittered(3, 7); got != 0 {
+		t.Fatalf("zero policy must yield 0, got %v", got)
+	}
+}

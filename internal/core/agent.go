@@ -285,6 +285,22 @@ func (a *Agent) Init() []sim.Message {
 	return a.broadcastOk(msgs)
 }
 
+// Reannounce implements sim.Reannouncer: restate the current value and
+// priority to one peer whose process relaunched without memory. Only ok?
+// broadcast targets get an announcement — a non-neighbor that wants the
+// value will ask for it with a Request, exactly as in a fresh run.
+func (a *Agent) Reannounce(peer sim.AgentID) []sim.Message {
+	if !a.isNeighbor(csp.Var(peer)) {
+		return nil
+	}
+	return []sim.Message{Ok{
+		Sender:   a.ID(),
+		Receiver: peer,
+		Value:    a.value,
+		Priority: a.priority,
+	}}
+}
+
 // Step implements sim.Agent: absorb the cycle's messages, then run
 // check_agent_view once and emit the resulting messages.
 func (a *Agent) Step(in []sim.Message) []sim.Message {

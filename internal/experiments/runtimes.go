@@ -121,6 +121,9 @@ func CompareRuntimesWith(problem *csp.Problem, initial csp.SliceAssignment, lear
 			Restarts:             tcpRes.Restarts,
 			Partitioned:          tcpRes.Partitioned,
 			PartitionHeals:       tcpRes.PartitionHeals,
+			Reconnects:           tcpRes.Reconnects,
+			HeartbeatTimeouts:    tcpRes.HeartbeatTimeouts,
+			CorruptFrames:        tcpRes.CorruptFrames,
 			BytesSent:            tcpRes.BytesSent,
 			BytesRecv:            tcpRes.BytesRecv,
 			BatchedFrames:        tcpRes.BatchedFrames,
@@ -139,7 +142,7 @@ func buildSimAgents(n int, makeAgent func(csp.Var) sim.Agent) []sim.Agent {
 
 // transportWidths aligns the text table's transport columns; indexed like
 // telemetry.TransportColumns.
-var transportWidths = []int{8, 8, 9, 11, 6, 10, 10, 0}
+var transportWidths = []int{8, 8, 9, 11, 6, 10, 11, 7, 10, 10, 0}
 
 // FprintRuntimes renders the comparison as an aligned table, transport
 // counters included via the shared telemetry.TransportColumns /

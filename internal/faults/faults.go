@@ -19,6 +19,8 @@ package faults
 import (
 	"sync"
 	"time"
+
+	"github.com/discsp/discsp/internal/backoff"
 )
 
 // Config describes one fault schedule.
@@ -32,6 +34,13 @@ type Config struct {
 	Drop float64
 	// Duplicate is the per-message probability of delivering one extra copy.
 	Duplicate float64
+	// Corrupt is the per-attempt probability of delivering one copy of a
+	// message with its payload bit-flipped instead of intact. On connections
+	// that negotiated the CRC32C trailer the receiver detects and drops the
+	// frame (counting it); elsewhere the corruption degrades to a drop —
+	// either way the retransmit machinery recovers, and MaxAttempts bounds
+	// the streak exactly like Drop.
+	Corrupt float64
 	// MaxDelay bounds the extra delivery delay injected per copy; each copy
 	// is delayed by a deterministic duration in [0, MaxDelay). Zero injects
 	// no delay.
@@ -99,14 +108,7 @@ const (
 // Backoff returns the exponential retransmission delay after attempt
 // consecutive failures: BackoffBase << attempt, capped at BackoffCap.
 func Backoff(attempt int) time.Duration {
-	d := BackoffBase
-	for i := 0; i < attempt && d < BackoffCap; i++ {
-		d *= 2
-	}
-	if d > BackoffCap {
-		d = BackoffCap
-	}
-	return d
+	return backoff.Policy{Base: BackoffBase, Cap: BackoffCap}.Delay(attempt)
 }
 
 // Injector answers fault-schedule queries. A nil *Injector is a valid
@@ -142,6 +144,20 @@ func (in *Injector) Dropped(from, to int, seq int64, attempt int) bool {
 	}
 	return in.rand01(from, to, seq, int64(attempt), saltDrop) < in.cfg.Drop
 }
+
+// Corrupted reports whether the attempt-th delivery of message seq on the
+// from→to link has its payload damaged in flight. Attempts at or beyond
+// MaxAttempts are never corrupted, so every message eventually arrives
+// intact.
+func (in *Injector) Corrupted(from, to int, seq int64, attempt int) bool {
+	if in == nil || in.cfg.Corrupt <= 0 || attempt >= in.cfg.MaxAttempts {
+		return false
+	}
+	return in.rand01(from, to, seq, int64(attempt), saltCorrupt) < in.cfg.Corrupt
+}
+
+// AnyCorrupt reports whether the schedule can corrupt frames at all.
+func (in *Injector) AnyCorrupt() bool { return in != nil && in.cfg.Corrupt > 0 }
 
 // Duplicated reports whether message seq on the from→to link is delivered
 // twice.
@@ -248,10 +264,11 @@ func (in *Injector) HealedBy(elapsed time.Duration) int64 {
 // decision salts keep the drop, duplicate, delay, and partition-side
 // streams independent.
 const (
-	saltDrop  = 0x9e3779b97f4a7c15
-	saltDup   = 0xc2b2ae3d27d4eb4f
-	saltDelay = 0x165667b19e3779f9
-	saltSide  = 0x27d4eb2f165667c5
+	saltDrop    = 0x9e3779b97f4a7c15
+	saltDup     = 0xc2b2ae3d27d4eb4f
+	saltDelay   = 0x165667b19e3779f9
+	saltSide    = 0x27d4eb2f165667c5
+	saltCorrupt = 0x85ebca77c2b2ae63
 )
 
 // rand01 hashes the decision coordinates into [0, 1).

@@ -112,6 +112,46 @@ func TestCrashSchedule(t *testing.T) {
 	}
 }
 
+func TestCorruptSchedule(t *testing.T) {
+	cfg := Config{Seed: 11, Corrupt: 0.15, MaxAttempts: 4}
+	a, b := New(cfg), New(cfg)
+	hits := 0
+	const n = 20000
+	for seq := int64(1); seq <= n; seq++ {
+		if a.Corrupted(0, 1, seq, 0) != b.Corrupted(0, 1, seq, 0) {
+			t.Fatalf("corrupt decision diverged at seq %d", seq)
+		}
+		if a.Corrupted(0, 1, seq, 0) {
+			hits++
+		}
+		if a.Corrupted(0, 1, seq, 4) {
+			t.Fatalf("seq %d: attempt at MaxAttempts was corrupted", seq)
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.11 || rate > 0.19 {
+		t.Fatalf("corrupt rate %.3f, want ≈0.15", rate)
+	}
+	// Corruption and drop schedules must be independent streams.
+	both := New(Config{Seed: 11, Drop: 0.15, Corrupt: 0.15, MaxAttempts: 4})
+	same := 0
+	for seq := int64(1); seq <= 200; seq++ {
+		if both.Dropped(0, 1, seq, 0) == both.Corrupted(0, 1, seq, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("drop and corrupt schedules are identical")
+	}
+	var nilIn *Injector
+	if nilIn.Corrupted(0, 1, 1, 0) || nilIn.AnyCorrupt() {
+		t.Fatal("nil injector corrupts frames")
+	}
+	if !New(cfg).AnyCorrupt() {
+		t.Fatal("AnyCorrupt false with Corrupt set")
+	}
+}
+
 func TestBackoff(t *testing.T) {
 	if Backoff(0) != BackoffBase {
 		t.Fatalf("Backoff(0) = %v", Backoff(0))

@@ -11,7 +11,7 @@ import (
 )
 
 // ProfileSyntax documents the -faults grammar for CLI usage strings.
-const ProfileSyntax = "drop=P,dup=P,delay=DUR,attempts=N," +
+const ProfileSyntax = "drop=P,dup=P,corrupt=P,delay=DUR,attempts=N," +
 	"crash=AGENT@STEPS[r[DUR]],partition=AT+DUR|AT+never  (or the preset 'chaos')"
 
 // ParseProfile parses a comma-separated fault profile into a Config with
@@ -20,6 +20,7 @@ const ProfileSyntax = "drop=P,dup=P,delay=DUR,attempts=N," +
 //
 //	drop=0.1          per-attempt delivery loss probability
 //	dup=0.05          per-message duplication probability
+//	corrupt=0.05      per-attempt payload corruption probability
 //	delay=2ms         bound on injected extra delivery delay
 //	attempts=8        drop-streak cap (MaxAttempts)
 //	crash=2@1         agent 2 crashes after 1 step, for good
@@ -61,6 +62,8 @@ func ParseProfile(profile string, seed int64) (*Config, error) {
 			err = parseProb(val, &cfg.Drop)
 		case "dup":
 			err = parseProb(val, &cfg.Duplicate)
+		case "corrupt":
+			err = parseProb(val, &cfg.Corrupt)
 		case "delay":
 			cfg.MaxDelay, err = parsePositiveDuration(val)
 		case "attempts":

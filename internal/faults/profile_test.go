@@ -6,11 +6,11 @@ import (
 )
 
 func TestParseProfile(t *testing.T) {
-	cfg, err := ParseProfile("drop=0.2,dup=0.1,delay=2ms,attempts=5,crash=3@2r20ms,partition=50ms+200ms,partition=1s+never", 42)
+	cfg, err := ParseProfile("drop=0.2,dup=0.1,corrupt=0.05,delay=2ms,attempts=5,crash=3@2r20ms,partition=50ms+200ms,partition=1s+never", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Seed != 42 || cfg.Drop != 0.2 || cfg.Duplicate != 0.1 ||
+	if cfg.Seed != 42 || cfg.Drop != 0.2 || cfg.Duplicate != 0.1 || cfg.Corrupt != 0.05 ||
 		cfg.MaxDelay != 2*time.Millisecond || cfg.MaxAttempts != 5 {
 		t.Fatalf("scalar fields wrong: %+v", cfg)
 	}

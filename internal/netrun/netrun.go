@@ -155,6 +155,27 @@ type Options struct {
 	// external workers (RunWorker / cmd/dcspnode) own the agents. The run
 	// then solves only once every variable's worker has dialed in.
 	External bool
+	// Heartbeat is the liveness beacon period: the hub beats every
+	// registered connection and expects some traffic (a beat at minimum)
+	// from every node within DeadPeerTimeout. 0 means 500ms; negative
+	// disables liveness entirely.
+	Heartbeat time.Duration
+	// DeadPeerTimeout is how long a registered node may stay silent before
+	// the hub declares it dead — severing the connection and starting the
+	// reconnect grace clock on external runs, recording a heartbeat timeout
+	// for the watchdog either way. 0 means 4× the heartbeat period.
+	DeadPeerTimeout time.Duration
+	// ReconnectGrace is how long the hub parks an unreachable node's
+	// frames awaiting its re-hello before failing the run with ErrNodeDown.
+	// 0 means 3s; negative fails immediately on the first failed write
+	// (the pre-reconnection behavior). Nodes the fault schedule will
+	// restart are exempt — their frames park until the scheduled rejoin.
+	ReconnectGrace time.Duration
+	// Checksum arms the CRC32C frame trailer on binary connections whose
+	// hello requests it: every steady-state frame carries a 4-byte trailer,
+	// and a frame damaged in flight is detected, dropped, and recovered by
+	// the sender's retransmission instead of corrupting the decode.
+	Checksum bool
 	// OnListen, when non-nil, is called once with the bound relay addresses
 	// in shard order, before any node starts. Tests and in-process callers
 	// use it to learn ephemeral addresses; cmd binaries print them.
@@ -189,6 +210,18 @@ type Result struct {
 	DuplicatesSuppressed int64
 	// Restarts counts nodes that crashed and rejoined from a checkpoint.
 	Restarts int64
+	// Reconnects counts re-hellos: node connections the hub replaced
+	// mid-run, whether from a checkpoint restart, a worker redial after a
+	// severed socket, or a cold process relaunch.
+	Reconnects int64
+	// HeartbeatTimeouts counts dead-peer declarations: registered nodes
+	// that went silent past DeadPeerTimeout.
+	HeartbeatTimeouts int64
+	// CorruptFrames counts frames rejected by the CRC32C trailer —
+	// injected by the fault schedule or damaged in flight — and recovered
+	// by retransmission. Sums the hub's readers and the in-process nodes';
+	// external workers count their own.
+	CorruptFrames int64
 	// Partitioned counts frames intercepted at a partition cut (held to the
 	// heal, or killed by a never-healing window).
 	Partitioned int64
@@ -217,6 +250,15 @@ const (
 	retransmitTick = 5 * time.Millisecond
 )
 
+// Liveness defaults: the hub and every node beat their links each
+// defaultHeartbeat of idleness, a peer silent for 4 heartbeats is declared
+// dead, and a dead external node's frames park for defaultReconnectGrace
+// awaiting its re-hello before the run fails with ErrNodeDown.
+const (
+	defaultHeartbeat      = 500 * time.Millisecond
+	defaultReconnectGrace = 3 * time.Second
+)
+
 // Frame-batching bounds for hub and node writers. Latency is bounded by
 // flush-on-idle (senders flush whenever their queue drains), so the size
 // bounds only matter under sustained load.
@@ -239,6 +281,8 @@ type nodeCounters struct {
 	retransmits atomic.Int64
 	dups        atomic.Int64
 	restarts    atomic.Int64
+	reconnects  atomic.Int64
+	corrupt     atomic.Int64
 
 	// Per-agent end-of-run totals, written by each node's final incarnation
 	// as it exits and read after nodeWG.Wait. checks is always allocated
@@ -292,6 +336,21 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		inj = faults.New(*opts.Faults)
 		ckpts = faults.NewCheckpoints()
 	}
+	heartbeat := opts.Heartbeat
+	if heartbeat == 0 {
+		heartbeat = defaultHeartbeat
+	}
+	if heartbeat < 0 {
+		heartbeat = 0 // liveness off
+	}
+	deadPeer := opts.DeadPeerTimeout
+	if deadPeer <= 0 {
+		deadPeer = 4 * heartbeat
+	}
+	grace := opts.ReconnectGrace
+	if grace == 0 {
+		grace = defaultReconnectGrace
+	}
 
 	relays := make([]*relay, nShards)
 	addrs := make([]string, nShards)
@@ -331,6 +390,17 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		noBatch:   opts.NoBatch,
 		nShards:   nShards,
 		forwarded: make([]int64, nShards),
+
+		heartbeat:      heartbeat,
+		deadPeer:       deadPeer,
+		reconnectGrace: grace,
+		checksum:       opts.Checksum,
+		external:       opts.External,
+		lastSeen:       make([]time.Time, n),
+		deadNotified:   make([]bool, n),
+		everRegistered: make([]bool, n),
+		down:           make(map[int]time.Time),
+		resetPending:   make(map[[2]int]bool),
 	}
 	if inj != nil {
 		hub.attempts = make(map[attemptKey]int)
@@ -398,6 +468,8 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 					makeAgent: makeAgent,
 					codec:     opts.Codec,
 					noBatch:   opts.NoBatch,
+					crc:       opts.Checksum,
+					hb:        heartbeat,
 					inj:       inj,
 					ckpts:     ckpts,
 					ctr:       &ctr,
@@ -453,6 +525,8 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	res.Retransmits = ctr.retransmits.Load()
 	res.DuplicatesSuppressed = ctr.dups.Load()
 	res.Restarts = ctr.restarts.Load()
+	res.Reconnects = hub.reconnects
+	res.HeartbeatTimeouts = hub.hbTimeouts
 	res.Partitioned = hub.partitioned
 	res.PartitionHeals = inj.HealedBy(res.Duration)
 	res.BinaryConns = hub.binaryConns
@@ -461,10 +535,12 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 	}
 	// Every accept, read, and node goroutine has exited: the per-connection
 	// stream counters are quiescent.
+	res.CorruptFrames = ctr.corrupt.Load()
 	for _, rc := range hub.allConns {
 		res.BytesSent += rc.fw.BytesWritten
 		res.BytesRecv += rc.fr.BytesRead
 		res.BatchedFrames += rc.fw.BatchedFrames + rc.fr.BatchedFrames
+		res.CorruptFrames += rc.fr.CorruptFrames
 	}
 	hub.emitFinal(res, &ctr)
 	if res.Solved || res.Insoluble || res.Quiescent {
@@ -541,6 +617,26 @@ type hub struct {
 	inFlight  int64
 	messages  int64
 	inj       *faults.Injector
+
+	// Liveness and reconnection state, all owned by the route loop.
+	// heartbeat 0 disables the beacon; reconnectGrace < 0 restores the
+	// immediate ErrNodeDown fail-fast.
+	heartbeat      time.Duration
+	deadPeer       time.Duration
+	reconnectGrace time.Duration
+	checksum       bool
+	external       bool
+	lastSeen       []time.Time       // last inbound frame per node
+	deadNotified   []bool            // dead-peer already counted (in-process runs)
+	everRegistered []bool            // node has completed at least one hello
+	down           map[int]time.Time // unreachable nodes: when the grace clock started
+	// resetPending[{x, b}] marks that node x has not yet confirmed the
+	// link reset for cold-restarted node b; until the echo arrives, x's
+	// data and ack frames toward b still carry the old numbering and are
+	// dropped (x keeps retransmitting, so nothing is lost).
+	resetPending map[[2]int]bool
+	reconnects   int64
+	hbTimeouts   int64
 
 	codec   wire.Codec
 	noBatch bool
@@ -638,6 +734,9 @@ func (h *hub) emitFinal(res Result, ctr *nodeCounters) {
 		Restarts:             res.Restarts,
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
+		Reconnects:           res.Reconnects,
+		HeartbeatTimeouts:    res.HeartbeatTimeouts,
+		CorruptFrames:        res.CorruptFrames,
 		BytesSent:            res.BytesSent,
 		BytesRecv:            res.BytesRecv,
 		BatchedFrames:        res.BatchedFrames,
@@ -659,6 +758,12 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 	wd := progress.NewWatchdog()
 	watch := time.NewTicker(h.cadence)
 	defer watch.Stop()
+	hbPeriod := h.heartbeat
+	if hbPeriod <= 0 {
+		hbPeriod = time.Hour // liveness off; the ticker still must exist
+	}
+	hb := time.NewTicker(hbPeriod)
+	defer hb.Stop()
 
 	// Quiescence cannot be declared from in-flight counting alone until
 	// every node has reported in at least once.
@@ -711,17 +816,28 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 			if h.inFlight == 0 && len(h.frames) == 0 && len(h.delayq) == 0 {
 				return Result{Quiescent: true, Assignment: h.snapshot(), Messages: h.messages}, nil
 			}
+		case now := <-hb.C:
+			if err := h.liveness(now); err != nil {
+				return Result{Assignment: h.snapshot(), Messages: h.messages}, err
+			}
 		case now := <-watch.C:
 			h.observe(wd, now)
+			if err := h.expireGrace(now); err != nil {
+				return Result{Assignment: h.snapshot(), Messages: h.messages}, err
+			}
 		case <-deadline.C:
 			now := time.Now()
 			h.observe(wd, now) // final sample so the report is current
+			rep := wd.Report(now)
+			if rep != nil {
+				rep.Down = h.downList(now)
+			}
 			te := &TimeoutError{
 				Timeout:   timeout,
 				InFlight:  h.inFlight,
 				Messages:  h.messages,
 				Processed: append([]int64(nil), h.processed...),
-				Report:    wd.Report(now),
+				Report:    rep,
 			}
 			return Result{Assignment: h.snapshot(), Messages: h.messages}, te
 		}
@@ -734,6 +850,9 @@ func (h *hub) route(timeout time.Duration) (Result, error) {
 // error means a node is unreachable and not coming back.
 func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 	e := f.env
+	if e.From >= 0 && e.From < len(h.lastSeen) && e.Type != wire.TypeHello {
+		h.noteSeen(e.From)
+	}
 	switch e.Type {
 	case wire.TypeHello:
 		if e.From >= 0 && e.From < len(h.conns) {
@@ -741,6 +860,14 @@ func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 				return false, Result{}, err
 			}
 		}
+		return false, Result{}, nil
+	case wire.TypeHeartbeat:
+		// Pure liveness: the side effect is the noteSeen above.
+		return false, Result{}, nil
+	case wire.TypeReset:
+		// A node confirming it reset its links with a cold-restarted peer;
+		// its renumbered frames may flow again. The echo is not forwarded.
+		delete(h.resetPending, [2]int{e.From, e.To})
 		return false, Result{}, nil
 	case wire.TypeState:
 		reported[e.From] = true
@@ -762,6 +889,12 @@ func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 		// node-to-node traffic, which is what keeps the far side
 		// retransmitting until the heal.
 		h.noteForward(f)
+		if h.stale(f) || h.resetPending[[2]int{e.From, e.To}] {
+			// A dead incarnation's late ack, or an ack predating a link
+			// reset: its cumulative watermark is in the old numbering and
+			// would falsely acknowledge the renumbered stream.
+			return false, Result{}, nil
+		}
 		if h.tel != nil {
 			// The ack travels receiver → sender; record it against the
 			// data link it acknowledges.
@@ -782,6 +915,13 @@ func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 		return false, Result{}, nil
 	}
 	h.noteForward(f)
+	if h.stale(f) || h.resetPending[[2]int{e.From, e.To}] {
+		// Late frames from a replaced connection, or frames stamped before
+		// the sender processed a link reset: the old numbering is
+		// meaningless now, and the live connection retransmits anything
+		// unacked — drop before any counting.
+		return false, Result{}, nil
+	}
 	k := link{from: e.From, to: e.To}
 	if e.Seq > h.seqHigh[k] {
 		h.seqHigh[k] = e.Seq
@@ -802,6 +942,9 @@ func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 		if h.inj.Dropped(e.From, e.To, e.Seq, attempt) {
 			return false, Result{}, nil
 		}
+		if h.inj.Corrupted(e.From, e.To, e.Seq, attempt) {
+			return false, Result{}, h.corruptSend(e)
+		}
 		if attempt == 0 && h.inj.Duplicated(e.From, e.To, e.Seq) {
 			h.schedule(e, time.Now().Add(h.inj.Delay(e.From, e.To, e.Seq, 1)))
 		}
@@ -814,21 +957,29 @@ func (h *hub) handle(f inFrame, reported map[int]bool) (bool, Result, error) {
 }
 
 // register completes one node's handshake on the route loop: reply with the
-// negotiated codec (still in JSON, the handshake encoding), switch the
-// writer, enable batching, record the connection, and drain any frames that
-// queued while the node was unregistered (the node's reorder buffer handles
-// staleness).
+// negotiated codec and checksum decision (still in JSON, the handshake
+// encoding), switch the writer, enable batching, record the connection, and
+// drain any frames that queued while the node was unregistered (the node's
+// reorder buffer handles staleness). A re-hello replaces the node's old
+// connection; one without the resume flag is a cold process relaunch, which
+// additionally resets the node's links everywhere (see coldReset).
 func (h *hub) register(rc *relayConn, hello wire.Envelope) error {
+	from := hello.From
 	neg, err := wire.ParseCodec(hello.Codec)
 	if err != nil {
 		neg = wire.CodecJSON // unknown request: the safe common ground
 	}
-	welcome := wire.Envelope{Type: wire.TypeWelcome, To: hello.From, Codec: neg.String()}
+	crcOn := h.checksum && hello.Crc && neg == wire.CodecBinary
+	welcome := wire.Envelope{Type: wire.TypeWelcome, To: from, Codec: neg.String(), Crc: crcOn}
 	if err := rc.fw.Send(&welcome); err != nil {
-		return h.writeFailed(rc, hello.From, err)
+		return h.writeFailed(rc, from, err)
 	}
 	if err := rc.fw.SetCodec(neg); err != nil {
-		return h.writeFailed(rc, hello.From, err)
+		return h.writeFailed(rc, from, err)
+	}
+	if crcOn {
+		rc.fw.EnableChecksum()
+		rc.crcOn = true
 	}
 	if !h.noBatch {
 		rc.fw.EnableBatching(batchMaxFrames, batchMaxBytes)
@@ -836,14 +987,177 @@ func (h *hub) register(rc *relayConn, hello wire.Envelope) error {
 	if neg == wire.CodecBinary {
 		h.binaryConns++
 	}
-	rc.node = hello.From
-	h.conns[hello.From] = rc
+	rc.node = from
+	old := h.conns[from]
+	h.conns[from] = rc
+	h.noteSeen(from)
+	delete(h.down, from)
+	if h.everRegistered[from] {
+		h.reconnects++
+		if old != nil && old != rc {
+			old.conn.Close()
+		}
+		if !hello.Resume {
+			if err := h.coldReset(from); err != nil {
+				return err
+			}
+		}
+	}
+	h.everRegistered[from] = true
 	h.markDirty(rc)
-	queued := h.pending[hello.From]
-	delete(h.pending, hello.From)
+	queued := h.pending[from]
+	delete(h.pending, from)
 	for _, q := range queued {
 		if err := h.send(q); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// coldReset handles a node rejoining without any in-memory or checkpointed
+// state (a relaunched worker process): everything keyed on b's old sequence
+// numbering is discarded — parked and delayed frames, seq high-water marks,
+// fault attempt counts — and every other registered node is told to reset
+// both halves of its links with b (renumbering its unacked frames from 1)
+// and echo. Until a peer echoes, its frames toward b are dropped. The
+// in-flight ledger keeps whatever b's dead incarnation never processed, so
+// quiescence detection is conservatively unavailable after a cold restart;
+// solution and insolubility detection are unaffected.
+func (h *hub) coldReset(b int) error {
+	delete(h.pending, b)
+	if len(h.delayq) > 0 {
+		kept := h.delayq[:0]
+		for _, df := range h.delayq {
+			if df.env.From != b && df.env.To != b {
+				kept = append(kept, df)
+			}
+		}
+		h.delayq = kept
+		heap.Init(&h.delayq)
+	}
+	for k := range h.seqHigh {
+		if k.from == b || k.to == b {
+			delete(h.seqHigh, k)
+		}
+	}
+	for k := range h.attempts {
+		if k.l.from == b || k.l.to == b {
+			delete(h.attempts, k)
+		}
+	}
+	for k := range h.resetPending {
+		// b's own links are fresh; any reset it owed a previously restarted
+		// peer is moot.
+		if k[0] == b {
+			delete(h.resetPending, k)
+		}
+	}
+	for x, ever := range h.everRegistered {
+		if x == b || !ever {
+			continue
+		}
+		h.resetPending[[2]int{x, b}] = true
+		if err := h.send(wire.Envelope{Type: wire.TypeReset, From: b, To: x}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteSeen records inbound traffic from a node for dead-peer detection.
+func (h *hub) noteSeen(node int) {
+	h.lastSeen[node] = time.Now()
+	h.deadNotified[node] = false
+}
+
+// noteDown starts (or continues) a node's reconnect grace clock.
+func (h *hub) noteDown(node int) {
+	if _, ok := h.down[node]; !ok {
+		h.down[node] = time.Now()
+	}
+}
+
+// downList returns the nodes currently considered unreachable, sorted.
+func (h *hub) downList(now time.Time) []int {
+	var out []int
+	for node := range h.down {
+		out = append(out, node)
+	}
+	if h.deadPeer > 0 {
+		for node, rc := range h.conns {
+			if rc != nil && !h.lastSeen[node].IsZero() && now.Sub(h.lastSeen[node]) > h.deadPeer {
+				out = append(out, node)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stale reports a frame arriving on a connection the hub has already
+// replaced — a late read from a dead incarnation's socket. Its sequence
+// numbering may predate a link reset, so data and acks from it are dropped;
+// the live connection retransmits anything that mattered.
+func (h *hub) stale(f inFrame) bool {
+	from := f.env.From
+	if f.src == nil || from < 0 || from >= len(h.conns) {
+		return false
+	}
+	cur := h.conns[from]
+	return cur != nil && cur != f.src
+}
+
+// liveness is the heartbeat tick: expire reconnect grace windows, declare
+// silent peers dead, and beat every registered connection so the nodes'
+// hub-silence detectors stay fed.
+func (h *hub) liveness(now time.Time) error {
+	if err := h.expireGrace(now); err != nil {
+		return err
+	}
+	for node, rc := range h.conns {
+		if rc == nil {
+			continue
+		}
+		if h.deadPeer > 0 && !h.lastSeen[node].IsZero() && now.Sub(h.lastSeen[node]) > h.deadPeer {
+			if h.external {
+				// A dead worker: sever the socket so its eventual relaunch
+				// re-registers cleanly, and start the grace clock.
+				h.hbTimeouts++
+				rc.conn.Close()
+				h.conns[node] = nil
+				h.noteDown(node)
+				continue
+			}
+			// In-process nodes share our fate; a silent one is a stuck
+			// goroutine worth counting (once) and reporting, not severing.
+			if !h.deadNotified[node] {
+				h.deadNotified[node] = true
+				h.hbTimeouts++
+			}
+		}
+		beat := wire.Envelope{Type: wire.TypeHeartbeat, From: -1, To: node}
+		if err := rc.fw.Send(&beat); err != nil {
+			if h.survivableDown(node, rc) {
+				continue
+			}
+			return fmt.Errorf("heartbeat to node %d failed: %v: %w", node, err, ErrNodeDown)
+		}
+		h.markDirty(rc)
+	}
+	return nil
+}
+
+// expireGrace fails the run once an unreachable node has overstayed the
+// reconnect grace window.
+func (h *hub) expireGrace(now time.Time) error {
+	if h.reconnectGrace < 0 {
+		return nil
+	}
+	for node, since := range h.down {
+		if now.Sub(since) > h.reconnectGrace {
+			return fmt.Errorf("node %d unreachable for %v awaiting reconnection: %w",
+				node, now.Sub(since).Round(time.Millisecond), ErrNodeDown)
 		}
 	}
 	return nil
@@ -933,10 +1247,10 @@ func (h *hub) partitionHold(e wire.Envelope) bool {
 }
 
 // send forwards a frame to its destination node, queueing it while the
-// node is unregistered. A send failure to a node that the fault schedule
-// will restart parks the frame and awaits the re-hello; any other send
-// failure is a dead node — the run fails fast with a diagnostic instead of
-// idling to the timeout.
+// node is unregistered. A send failure parks the frame and awaits a
+// re-hello when something can bring the node back — a scheduled
+// crash-restart, or the reconnect grace window; otherwise the run fails
+// fast with a diagnostic instead of idling to the timeout.
 func (h *hub) send(e wire.Envelope) error {
 	if e.To < 0 || e.To >= len(h.conns) {
 		return nil
@@ -947,8 +1261,7 @@ func (h *hub) send(e wire.Envelope) error {
 		return nil
 	}
 	if err := rc.fw.Send(&e); err != nil {
-		if h.inj.WillRestart(e.To) {
-			h.conns[e.To] = nil
+		if h.survivableDown(e.To, rc) {
 			h.queue(e)
 			return nil
 		}
@@ -959,19 +1272,55 @@ func (h *hub) send(e wire.Envelope) error {
 	return nil
 }
 
-// writeFailed classifies a non-Send write failure (welcome, codec switch,
-// flush) on a node's connection: survivable when the fault schedule will
-// restart the node — the connection is deregistered, frames queue for the
-// re-hello, and anything batched on the dead socket is recovered by sender
-// retransmission — fatal otherwise.
-func (h *hub) writeFailed(rc *relayConn, node int, err error) error {
+// survivableDown deregisters a node's failed connection when something can
+// bring the node back, and reports whether the run should keep going. A
+// node the fault schedule will restart parks frames until its scheduled
+// rejoin (no grace clock: the schedule's restart delay governs); otherwise
+// a non-negative reconnect grace starts the clock expireGrace enforces.
+func (h *hub) survivableDown(node int, rc *relayConn) bool {
+	if node >= 0 && node < len(h.conns) && h.conns[node] == rc {
+		h.conns[node] = nil
+	}
 	if h.inj.WillRestart(node) {
-		if node >= 0 && node < len(h.conns) && h.conns[node] == rc {
-			h.conns[node] = nil
-		}
+		return true
+	}
+	if h.reconnectGrace >= 0 {
+		h.noteDown(node)
+		return true
+	}
+	return false
+}
+
+// writeFailed classifies a non-Send write failure (welcome, codec switch,
+// flush) on a node's connection: survivable when the node can come back —
+// the connection is deregistered, frames queue for the re-hello, and
+// anything batched on the dead socket is recovered by sender retransmission
+// — fatal otherwise.
+func (h *hub) writeFailed(rc *relayConn, node int, err error) error {
+	if h.survivableDown(node, rc) {
 		return nil
 	}
 	return fmt.Errorf("write to node %d failed: %v: %w", node, err, ErrNodeDown)
+}
+
+// corruptSend delivers a deliberately damaged copy of e: on a checksummed
+// connection the frame is written with one payload bit flipped, so the
+// receiver's CRC check rejects and counts it; without a trailer the damage
+// would be undetectable, so the fault degrades to a drop. Either way the
+// message stays in flight and the sender's retransmission recovers it.
+func (h *hub) corruptSend(e wire.Envelope) error {
+	rc := h.conns[e.To]
+	if rc == nil || !rc.crcOn {
+		return nil
+	}
+	if err := rc.fw.WriteCorrupted(&e); err != nil {
+		if h.survivableDown(e.To, rc) {
+			return nil // not queued: the retransmission re-attempts
+		}
+		return fmt.Errorf("corrupt delivery to node %d failed: %v: %w", e.To, err, ErrNodeDown)
+	}
+	h.markDirty(rc)
+	return nil
 }
 
 // markDirty records that rc has buffered writes awaiting the idle flush.

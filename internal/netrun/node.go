@@ -1,13 +1,20 @@
 // The node side of the transport: one goroutine (or worker process) per
-// agent, dialing its shard's relay, negotiating a codec, and running the
-// agent against the socket with reliable links and crash checkpoints.
+// agent, dialing its shard's relay, negotiating a codec (and optionally the
+// CRC32C frame trailer), and running the agent against the socket with
+// reliable links, crash checkpoints, and — for external workers —
+// reconnection: a node that loses its connection mid-solve redials on
+// jittered backoff, re-hellos with the resume flag, and replays its unacked
+// window, exactly like the in-process crash-restart path but with the state
+// still in memory.
 package netrun
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
+	"github.com/discsp/discsp/internal/backoff"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
@@ -21,6 +28,8 @@ type nodeConfig struct {
 	makeAgent func(v csp.Var) sim.Agent
 	codec     wire.Codec // requested in the hello; the welcome decides
 	noBatch   bool
+	crc       bool          // request the CRC32C frame trailer in the hello
+	hb        time.Duration // idle-link heartbeat period; 0 disables
 	inj       *faults.Injector
 	ckpts     *faults.Checkpoints
 	ctr       *nodeCounters
@@ -34,10 +43,27 @@ type nodeConfig struct {
 	// failRW); 0 means defaultDrainWindow. Workers on slow or contended
 	// links raise it to avoid misclassifying a shutdown as a hub death.
 	drainWindow time.Duration
+	// reconnect makes connection loss survivable: the node redials (with
+	// jittered backoff, bounded by connectTimeout), re-hellos with the
+	// resume flag, and replays its unacked window. External workers set it;
+	// in-process nodes rely on the crash-restart supervisor instead.
+	reconnect bool
+	// connectTimeout bounds each dial-with-retry loop (startup and
+	// reconnection) when reconnect is set; 0 means defaultConnectTimeout.
+	connectTimeout time.Duration
+	// deadPeer is the node-side hub-silence bound: a reconnect-enabled
+	// node that hears nothing (not even a heartbeat) for this long
+	// abandons its connection and redials. 0 disables.
+	deadPeer time.Duration
 }
 
 // defaultDrainWindow is the write-error classifier's inbound-drain bound.
 const defaultDrainWindow = time.Second
+
+// defaultConnectTimeout bounds a worker node's dial-with-retry loop: long
+// enough to ride out a hub that launches after the worker or rebinds after
+// a restart, short enough that a genuinely absent hub fails the worker.
+const defaultConnectTimeout = 15 * time.Second
 
 // drainWindowOrDefault resolves the configured drain window.
 func (cfg nodeConfig) drainWindowOrDefault() time.Duration {
@@ -45,6 +71,13 @@ func (cfg nodeConfig) drainWindowOrDefault() time.Duration {
 		return cfg.drainWindow
 	}
 	return defaultDrainWindow
+}
+
+func (cfg nodeConfig) connectTimeoutOrDefault() time.Duration {
+	if cfg.connectTimeout > 0 {
+		return cfg.connectTimeout
+	}
+	return defaultConnectTimeout
 }
 
 // nodeCheckpoint is the durable state a node persists before acknowledging
@@ -62,40 +95,91 @@ type nodeCheckpoint struct {
 	pendingReport int
 }
 
-// runNode dials the hub and runs one agent against the socket. It returns
+// nodeState is the state that survives a session: the agent, both halves of
+// every reliable link, and the step/report bookkeeping. A reconnecting
+// node carries it across sockets; a crash-restarted node rebuilds it from
+// the checkpoint.
+type nodeState struct {
+	agent         sim.Agent
+	sendLinks     map[int]*wire.SendLink
+	recvLinks     map[int]*wire.RecvLink
+	steps         int
+	pendingReport int
+	restored      bool  // a checkpoint was replayed into this state
+	corrupt       int64 // CRC-rejected inbound frames, summed across sessions
+}
+
+// sessionEnd classifies how one socket session finished.
+type sessionEnd int
+
+const (
+	endStop    sessionEnd = iota // clean: stop frame, run over, or hub teardown
+	endCrashed                   // the fault schedule killed this incarnation
+	endLost                      // connection failed; redial and resume
+)
+
+// errRunOver marks a dial abandoned because the run already ended.
+var errRunOver = errors.New("netrun: run over")
+
+// dialNode connects to the node's relay. Reconnect-enabled nodes retry
+// refused dials on jittered backoff until connectTimeout — both at startup,
+// where a worker process may launch before the hub listens, and on
+// reconnection, where the hub may still be tearing down the old socket.
+// In-process nodes dial once: their hub listens before any node starts.
+func dialNode(cfg nodeConfig) (net.Conn, error) {
+	pol := backoff.Policy{Base: 25 * time.Millisecond, Cap: time.Second}
+	deadline := time.Now().Add(cfg.connectTimeoutOrDefault())
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", cfg.addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-cfg.done:
+			return nil, errRunOver
+		default:
+		}
+		if !cfg.reconnect {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("netrun: connect %s: %w", cfg.addr, err)
+		}
+		select {
+		case <-time.After(pol.Jittered(attempt, int64(cfg.v)+1)):
+		case <-cfg.done:
+			return nil, errRunOver
+		}
+	}
+}
+
+// runNode runs one agent across one or more socket sessions. It returns
 // crashed=true when the fault schedule killed this incarnation (the
 // supervisor decides whether to restart it); a nil error otherwise means a
 // clean stop.
 func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 	v := cfg.v
-	conn, err := net.Dial("tcp", cfg.addr)
-	if err != nil {
-		select {
-		case <-cfg.done:
-			return false, nil // run over; the listener is gone
-		default:
-			return false, err
-		}
-	}
-	defer conn.Close()
 	agent := cfg.makeAgent(v)
 	if int(agent.ID()) != int(v) {
 		return false, fmt.Errorf("agent for variable %d has id %d", v, agent.ID())
 	}
-
-	sendLinks := make(map[int]*wire.SendLink)
-	recvLinks := make(map[int]*wire.RecvLink)
+	st := &nodeState{
+		agent:     agent,
+		sendLinks: make(map[int]*wire.SendLink),
+		recvLinks: make(map[int]*wire.RecvLink),
+	}
 	ctr := cfg.ctr
 	defer func() {
 		var rt, dp int64
-		for _, sl := range sendLinks {
+		for _, sl := range st.sendLinks {
 			rt += sl.Retransmits()
 		}
-		for _, rl := range recvLinks {
+		for _, rl := range st.recvLinks {
 			dp += rl.Dups()
 		}
 		ctr.retransmits.Add(rt)
 		ctr.dups.Add(dp)
+		ctr.corrupt.Add(st.corrupt)
 		// Final incarnation wins: a restarted agent restored its counter
 		// from the checkpoint, so its total is cumulative.
 		if int(v) < len(ctr.checks) {
@@ -107,26 +191,7 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			}
 		}
 	}()
-	sendLink := func(to int) *wire.SendLink {
-		sl, ok := sendLinks[to]
-		if !ok {
-			sl = wire.NewSendLink(retransmitBase, retransmitCap)
-			sendLinks[to] = sl
-		}
-		return sl
-	}
-	recvLink := func(from int) *wire.RecvLink {
-		rl, ok := recvLinks[from]
-		if !ok {
-			rl = wire.NewRecvLink()
-			recvLinks[from] = rl
-		}
-		return rl
-	}
 
-	steps := 0
-	pendingReport := 0
-	restored := false
 	if incarnation > 0 {
 		if snap, ok := cfg.ckpts.Load(int(v)); ok {
 			cp := snap.(nodeCheckpoint)
@@ -140,28 +205,80 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 				}
 			}
 			now := time.Now()
-			for peer, st := range cp.send {
-				sendLinks[peer] = wire.RestoreSendLink(st, retransmitBase, retransmitCap, now)
+			for peer, lst := range cp.send {
+				st.sendLinks[peer] = wire.RestoreSendLink(lst, retransmitBase, retransmitCap, now)
 			}
-			for peer, st := range cp.recv {
-				recvLinks[peer] = wire.RestoreRecvLink(st)
+			for peer, lst := range cp.recv {
+				st.recvLinks[peer] = wire.RestoreRecvLink(lst)
 			}
-			steps = cp.steps
-			pendingReport = cp.pendingReport
-			restored = true
+			st.steps = cp.steps
+			st.pendingReport = cp.pendingReport
+			st.restored = true
 		}
 	}
 
-	// fail classifies an I/O error: once the run is over (done closed), the
-	// hub tears sockets down mid-write and a broken pipe is a clean exit,
-	// not a node failure.
-	fail := func(err error) (bool, error) {
-		select {
-		case <-cfg.done:
-			return false, nil
-		default:
+	for session := 0; ; session++ {
+		conn, err := dialNode(cfg)
+		if err != nil {
+			if errors.Is(err, errRunOver) {
+				return false, nil
+			}
 			return false, err
 		}
+		end, err := runSession(cfg, st, conn, incarnation, session)
+		conn.Close()
+		if err != nil {
+			return false, err
+		}
+		switch end {
+		case endStop:
+			return false, nil
+		case endCrashed:
+			return true, nil
+		}
+		// endLost: the link died mid-solve. Redial and resume — the links
+		// keep their numbering, so the hub treats the re-hello like a
+		// checkpoint restart with the state still warm.
+		ctr.reconnects.Add(1)
+	}
+}
+
+// runSession drives one socket's lifetime: handshake, replay (after a
+// restore or reconnect), then the step loop until stop, crash, or
+// connection loss.
+func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, session int) (sessionEnd, error) {
+	v := cfg.v
+	agent := st.agent
+	sendLink := func(to int) *wire.SendLink {
+		sl, ok := st.sendLinks[to]
+		if !ok {
+			sl = wire.NewSendLink(retransmitBase, retransmitCap)
+			st.sendLinks[to] = sl
+		}
+		return sl
+	}
+	recvLink := func(from int) *wire.RecvLink {
+		rl, ok := st.recvLinks[from]
+		if !ok {
+			rl = wire.NewRecvLink()
+			st.recvLinks[from] = rl
+		}
+		return rl
+	}
+
+	// fail classifies an I/O error before the reader goroutine exists: the
+	// run being over makes it a clean exit; a reconnect-enabled node treats
+	// it as a lost connection and redials; in-process nodes report it.
+	fail := func(err error) (sessionEnd, error) {
+		select {
+		case <-cfg.done:
+			return endStop, nil
+		default:
+		}
+		if cfg.reconnect {
+			return endLost, nil
+		}
+		return endStop, err
 	}
 
 	// One writer and one reader own the socket. Both start in JSON (the
@@ -194,27 +311,33 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			return
 		}
 		cp := nodeCheckpoint{
-			send:          make(map[int]wire.SendLinkState, len(sendLinks)),
-			recv:          make(map[int]wire.RecvLinkState, len(recvLinks)),
-			steps:         steps,
-			pendingReport: pendingReport,
+			send:          make(map[int]wire.SendLinkState, len(st.sendLinks)),
+			recv:          make(map[int]wire.RecvLinkState, len(st.recvLinks)),
+			steps:         st.steps,
+			pendingReport: st.pendingReport,
 		}
 		if c, ok := agent.(sim.Checkpointer); ok {
 			cp.agent = c.Checkpoint()
 		}
-		for peer, sl := range sendLinks {
+		for peer, sl := range st.sendLinks {
 			cp.send[peer] = sl.SnapshotState()
 		}
-		for peer, rl := range recvLinks {
+		for peer, rl := range st.recvLinks {
 			cp.recv[peer] = rl.SnapshotState()
 		}
 		cfg.ckpts.Save(int(v), cp)
 	}
 
-	// Handshake: hello (with the requested codec), then block on the
-	// welcome before anything else crosses the socket, so the codec switch
-	// point is unambiguous on both sides.
-	if err := send(wire.Envelope{Type: wire.TypeHello, From: int(v), Codec: cfg.codec.String()}); err != nil {
+	// Handshake: hello (with the requested codec, checksum bid, and — when
+	// this node carries live state from a checkpoint or a previous session
+	// — the resume flag), then block on the welcome before anything else
+	// crosses the socket, so the codec and checksum switch points are
+	// unambiguous on both sides. A hello without resume after a previous
+	// registration tells the hub this is a cold relaunch: it resets the
+	// node's links everywhere.
+	resume := st.restored || session > 0
+	hello := wire.Envelope{Type: wire.TypeHello, From: int(v), Codec: cfg.codec.String(), Crc: cfg.crc, Resume: resume}
+	if err := send(hello); err != nil {
 		return fail(err)
 	}
 	if err := fw.Flush(); err != nil {
@@ -230,47 +353,52 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 		if cfg.onStop != nil {
 			cfg.onStop()
 		}
-		return false, nil
+		return endStop, nil
 	default:
-		return false, fmt.Errorf("node %d: expected welcome, got %q", v, welcome.Type)
+		return endStop, fmt.Errorf("node %d: expected welcome, got %q", v, welcome.Type)
 	}
 	neg, err := wire.ParseCodec(welcome.Codec)
 	if err != nil {
-		return false, fmt.Errorf("node %d: welcome names unknown codec: %w", v, err)
+		return endStop, fmt.Errorf("node %d: welcome names unknown codec: %w", v, err)
 	}
 	fr.SetCodec(neg)
 	if err := fw.SetCodec(neg); err != nil {
 		return fail(err)
+	}
+	if welcome.Crc {
+		fr.EnableChecksum()
+		fw.EnableChecksum()
 	}
 	if !cfg.noBatch {
 		fw.EnableBatching(batchMaxFrames, batchMaxBytes)
 	}
 
 	now := time.Now()
-	if restored {
-		// The crash may have eaten anything not yet acked: retransmit the
-		// whole unacked window, then re-report the step whose state frame
-		// the crash swallowed.
-		for _, sl := range sendLinks {
+	if resume {
+		// The crash or disconnect may have eaten anything not yet acked:
+		// retransmit the whole unacked window, then re-report the step
+		// whose state frame may have been swallowed.
+		for _, sl := range st.sendLinks {
+			sl.MarkDue(now)
 			for _, e := range sl.Due(now) {
 				if err := send(e); err != nil {
 					return fail(err)
 				}
 			}
 		}
-		if err := writeState(pendingReport); err != nil {
+		if err := writeState(st.pendingReport); err != nil {
 			return fail(err)
 		}
-		pendingReport = 0
+		st.pendingReport = 0
 	} else {
 		for _, m := range agent.Init() {
 			env, err := wire.Encode(m)
 			if err != nil {
-				return false, err
+				return endStop, err
 			}
 			env, err = sendLink(env.To).Stamp(env, now)
 			if err != nil {
-				return false, err
+				return endStop, err
 			}
 			if err := send(env); err != nil {
 				return fail(err)
@@ -283,18 +411,28 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 	if err := fw.Flush(); err != nil {
 		return fail(err)
 	}
+	lastWrite := time.Now()
+	lastRecv := lastWrite
 
 	// Reader goroutine: the main loop must also wake for retransmission
 	// ticks, so reads go through a channel. Envelopes are detached — they
-	// sit in the channel (and the reorder buffer) past the next read.
+	// sit in the channel (and the reorder buffer) past the next read. A
+	// checksum-rejected frame is consumed, counted, and skipped; the
+	// sender's retransmission recovers it.
 	inbound := make(chan wire.Envelope, 128)
 	readerQuit := make(chan struct{})
-	defer close(readerQuit)
+	defer func() {
+		close(readerQuit)
+		st.corrupt += fr.CorruptFrames
+	}()
 	go func() {
 		defer close(inbound)
 		for {
 			e, err := fr.Next()
 			if err != nil {
+				if errors.Is(err, wire.ErrCorruptFrame) {
+					continue
+				}
 				return
 			}
 			e.Detach()
@@ -310,12 +448,11 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 	// failure races with the hub's shutdown: the stop frame — or the
 	// hub-side close — may already be in flight on the read side while this
 	// node was mid-write (external workers hit this, having no other
-	// shutdown signal). Drain the inbound side briefly before declaring the
-	// hub dead.
-	failRW := func(err error) (bool, error) {
+	// shutdown signal). Drain the inbound side briefly before classifying.
+	failRW := func(err error) (sessionEnd, error) {
 		select {
 		case <-cfg.done:
-			return false, nil
+			return endStop, nil
 		default:
 		}
 		deadline := time.NewTimer(cfg.drainWindowOrDefault())
@@ -324,20 +461,26 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			select {
 			case e, ok := <-inbound:
 				if !ok {
-					return false, nil // EOF: the hub tore the socket down
+					// EOF. For a reconnect-enabled node the hub may still be
+					// alive (a severed socket looks the same); redial. For an
+					// in-process node the hub tore the socket down: run over.
+					if cfg.reconnect {
+						return endLost, nil
+					}
+					return endStop, nil
 				}
 				if e.Type == wire.TypeStop {
 					if cfg.onStop != nil {
 						cfg.onStop()
 					}
-					return false, nil
+					return endStop, nil
 				}
-				// Any other frame is abandoned: this node is exiting either
-				// way, and the sender's retransmission covers a restart.
+				// Any other frame is abandoned: this session is ending
+				// either way, and retransmission covers a resumed one.
 			case <-cfg.done:
-				return false, nil
+				return endStop, nil
 			case <-deadline.C:
-				return false, err
+				return fail(err)
 			}
 		}
 	}
@@ -348,17 +491,71 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 		select {
 		case e, ok := <-inbound:
 			if !ok {
-				// EOF without ctl.stop: the hub tore the socket down.
-				return false, nil
+				// EOF without ctl.stop: severed connection or hub teardown.
+				select {
+				case <-cfg.done:
+					return endStop, nil
+				default:
+				}
+				if cfg.reconnect {
+					return endLost, nil
+				}
+				return endStop, nil
 			}
+			lastRecv = time.Now()
 			switch e.Type {
 			case wire.TypeStop:
 				if cfg.onStop != nil {
 					cfg.onStop()
 				}
-				return false, nil
+				return endStop, nil
+			case wire.TypeHeartbeat:
+				// Pure liveness: the hub is up; lastRecv just advanced.
+				continue
+			case wire.TypeReset:
+				// A peer relaunched cold: renumber the unacked window
+				// toward it from 1, rewind the receive frontier, and echo
+				// so the hub lifts its hold on our frames toward the peer.
+				b := e.From
+				now := time.Now()
+				if sl, ok := st.sendLinks[b]; ok {
+					sl.Reset(now)
+				}
+				if rl, ok := st.recvLinks[b]; ok {
+					rl.Reset()
+				}
+				if err := send(wire.Envelope{Type: wire.TypeReset, From: int(v), To: b}); err != nil {
+					return failRW(err)
+				}
+				// The relaunched peer lost its agent_view with its process,
+				// and every frame its dead incarnation acknowledged is gone
+				// from both sides' buffers — retransmission cannot restate
+				// this node's value. Re-announce it explicitly (stamped into
+				// the renumbered link, after the echo so the hub has lifted
+				// its hold); without this, both sides idle believing they
+				// are mutually consistent and the run stalls to timeout.
+				if ra, ok := agent.(sim.Reannouncer); ok {
+					for _, m := range ra.Reannounce(sim.AgentID(b)) {
+						env, err := wire.Encode(m)
+						if err != nil {
+							return endStop, err
+						}
+						env, err = sendLink(env.To).Stamp(env, now)
+						if err != nil {
+							return endStop, err
+						}
+						if err := send(env); err != nil {
+							return failRW(err)
+						}
+					}
+				}
+				if err := fw.Flush(); err != nil {
+					return failRW(err)
+				}
+				lastWrite = now
+				continue
 			case wire.TypeAck:
-				if sl, ok := sendLinks[e.From]; ok {
+				if sl, ok := st.sendLinks[e.From]; ok {
 					sl.Ack(e.Ack, time.Now())
 				}
 				continue
@@ -366,7 +563,7 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			rl := recvLink(e.From)
 			released, _, err := rl.Accept(e)
 			if err != nil {
-				return false, err
+				return endStop, err
 			}
 			now := time.Now()
 			if len(released) == 0 {
@@ -378,18 +575,19 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 				if err := fw.Flush(); err != nil {
 					return failRW(err)
 				}
+				lastWrite = now
 				continue
 			}
 			batch := make([]sim.Message, 0, len(released))
 			for _, env := range released {
 				msg, err := wire.Decode(env)
 				if err != nil {
-					return false, err
+					return endStop, err
 				}
 				batch = append(batch, msg)
 			}
 			out := agent.Step(batch)
-			steps++
+			st.steps++
 			// Stamp the output into the send links BEFORE checkpointing:
 			// if the crash hits after the checkpoint, the output survives
 			// in the unacked buffers and the restart retransmits it.
@@ -397,24 +595,24 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			for _, m := range out {
 				env, err := wire.Encode(m)
 				if err != nil {
-					return false, err
+					return endStop, err
 				}
 				env, err = sendLink(env.To).Stamp(env, now)
 				if err != nil {
-					return false, err
+					return endStop, err
 				}
 				outFrames = append(outFrames, env)
 			}
 			// Checkpoint before acknowledging anything: acked must mean
 			// durable. The ack and state report for this step may then be
 			// lost to a crash; the restart re-reports them.
-			pendingReport = len(released)
+			st.pendingReport = len(released)
 			saveCheckpoint()
-			if hasCrash && steps > cr.AfterSteps {
+			if hasCrash && st.steps > cr.AfterSteps {
 				// Scheduled crash: the process dies before acking the
 				// step. Everything since the checkpoint is lost; senders
 				// retransmit, the restart replays the checkpoint.
-				return true, nil
+				return endCrashed, nil
 			}
 			for _, of := range outFrames {
 				if err := send(of); err != nil {
@@ -430,11 +628,12 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 			if err := fw.Flush(); err != nil {
 				return failRW(err)
 			}
-			pendingReport = 0
+			lastWrite = time.Now()
+			st.pendingReport = 0
 		case <-ticker.C:
 			now := time.Now()
 			wrote := false
-			for _, sl := range sendLinks {
+			for _, sl := range st.sendLinks {
 				for _, e := range sl.Due(now) {
 					if err := send(e); err != nil {
 						return failRW(err)
@@ -442,10 +641,25 @@ func runNode(cfg nodeConfig, incarnation int) (bool, error) {
 					wrote = true
 				}
 			}
+			if !wrote && cfg.hb > 0 && now.Sub(lastWrite) >= cfg.hb {
+				// Idle link: beat it so the hub's dead-peer detector knows
+				// this node is alive, not gone.
+				if err := send(wire.Envelope{Type: wire.TypeHeartbeat, From: int(v), To: -1}); err != nil {
+					return failRW(err)
+				}
+				wrote = true
+			}
 			if wrote {
 				if err := fw.Flush(); err != nil {
 					return failRW(err)
 				}
+				lastWrite = now
+			}
+			if cfg.reconnect && cfg.deadPeer > 0 && now.Sub(lastRecv) > cfg.deadPeer {
+				// Hub silence past the dead-peer bound: the connection is
+				// a black hole (the hub beats every registered link, so a
+				// healthy one is never this quiet). Abandon it and redial.
+				return endLost, nil
 			}
 		}
 	}

@@ -7,6 +7,7 @@
 package netrun
 
 import (
+	"errors"
 	"net"
 	"sync"
 
@@ -40,6 +41,7 @@ type relayConn struct {
 	fr    *wire.FrameReader
 	node  int  // registered node id; -1 until the hello is processed
 	dirty bool // buffered writes awaiting the route loop's idle flush
+	crcOn bool // CRC32C trailer negotiated on this connection
 }
 
 // acceptLoop accepts connections on one relay until its listener closes,
@@ -79,11 +81,22 @@ func (h *hub) readLoop(rc *relayConn) {
 	for {
 		env, err := rc.fr.Next()
 		if err != nil {
-			return // node-side close or corruption: drop the connection
+			if errors.Is(err, wire.ErrCorruptFrame) {
+				// A checksum-rejected frame is consumed and counted; the
+				// stream stays aligned and the sender retransmits.
+				continue
+			}
+			return // node-side close or framing damage: drop the connection
 		}
 		if env.Type == wire.TypeHello {
 			neg := negotiate(h.codec, env.Codec)
 			rc.fr.SetCodec(neg)
+			if h.checksum && env.Crc && neg == wire.CodecBinary {
+				// The node sends nothing after its hello until the welcome
+				// confirms the trailer, so arming the reader here is safe —
+				// exactly like the codec switch above.
+				rc.fr.EnableChecksum()
+			}
 			env.Codec = neg.String()
 		}
 		// Frames outlive the next Next call (queues, delays, checkpoints):

@@ -402,7 +402,7 @@ func TestExternalWorkersSharded(t *testing.T) {
 			inner.Add(1)
 			go func(vars []int, codec wire.Codec) {
 				defer inner.Done()
-				if err := RunWorker(inst.Problem, maker, WorkerOptions{
+				if _, err := RunWorker(inst.Problem, maker, WorkerOptions{
 					Addrs: addrs,
 					Vars:  vars,
 					Codec: codec,
@@ -464,13 +464,13 @@ func TestDrainWindowResolution(t *testing.T) {
 func TestWorkerOptionValidation(t *testing.T) {
 	p, init := ringProblem(t, 4)
 	maker := awcMaker(p, init)
-	if err := RunWorker(p, maker, WorkerOptions{Vars: []int{0}}); err == nil {
+	if _, err := RunWorker(p, maker, WorkerOptions{Vars: []int{0}}); err == nil {
 		t.Error("no addresses accepted")
 	}
-	if err := RunWorker(p, maker, WorkerOptions{Addrs: []string{"127.0.0.1:1"}}); err == nil {
+	if _, err := RunWorker(p, maker, WorkerOptions{Addrs: []string{"127.0.0.1:1"}}); err == nil {
 		t.Error("no variables accepted")
 	}
-	if err := RunWorker(p, maker, WorkerOptions{Addrs: []string{"127.0.0.1:1"}, Vars: []int{9}}); err == nil {
+	if _, err := RunWorker(p, maker, WorkerOptions{Addrs: []string{"127.0.0.1:1"}, Vars: []int{9}}); err == nil {
 		t.Error("out-of-range variable accepted")
 	}
 }

@@ -99,6 +99,10 @@ type Report struct {
 	SinceFrontier time.Duration
 	// Agents is the per-agent progress, indexed by variable.
 	Agents []AgentProgress
+	// Down lists agents the runtime considers unreachable at report time
+	// (dead-peer detections and unexpired reconnect grace windows). Only
+	// runtimes with liveness tracking fill it; nil means "none known".
+	Down []int
 }
 
 // String renders the report in one line, agents compacted as
@@ -108,9 +112,13 @@ func (r *Report) String() string {
 		return "no progress report"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %+d deliveries over %v (total %d, %d in flight), frontier last moved %v ago; agents",
+	fmt.Fprintf(&b, "%s: %+d deliveries over %v (total %d, %d in flight), frontier last moved %v ago",
 		r.State, r.DeliveredDelta, r.Window.Round(time.Millisecond), r.Delivered, r.InFlight,
 		r.SinceFrontier.Round(time.Millisecond))
+	if len(r.Down) > 0 {
+		fmt.Fprintf(&b, "; down %v", r.Down)
+	}
+	b.WriteString("; agents")
 	const maxListed = 16
 	for i, a := range r.Agents {
 		if i == maxListed {

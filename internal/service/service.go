@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/discsp/discsp"
+	backoffpkg "github.com/discsp/discsp/internal/backoff"
 	"github.com/discsp/discsp/internal/telemetry"
 )
 
@@ -517,7 +518,7 @@ func (d *Daemon) runJob(j *job) {
 		// Transient failure: a crashed worker goroutine. Retry with
 		// exponential backoff while the deadline and retry budget allow.
 		d.m.retries.Inc()
-		backoff := d.cfg.RetryBackoff << (attempt - 1)
+		backoff := backoffpkg.Policy{Base: d.cfg.RetryBackoff}.Delay(attempt - 1)
 		if attempt > d.cfg.RetryMax || time.Now().Add(backoff).After(j.deadline) {
 			st.Verdict = VerdictFailed
 			st.Recoverable = true

@@ -68,6 +68,20 @@ type InsolubleReporter interface {
 	Insoluble() bool
 }
 
+// Reannouncer is implemented by agents that can re-send their current
+// assignment to one peer on demand. The networked runtime (internal/netrun)
+// uses it when a peer's process relaunches with no memory: every frame the
+// dead incarnation acknowledged is unrecoverable — both sides' buffers are
+// gone — so the only way the fresh agent's empty view converges is for live
+// neighbors to announce their values again. Agents that do not implement it
+// still work under warm restarts (checkpoint restore and reconnection), but
+// a cold peer relaunch can stall their runs.
+type Reannouncer interface {
+	// Reannounce returns the messages that restate this agent's current
+	// assignment to peer, or nil when peer is not an announcement target.
+	Reannounce(peer AgentID) []Message
+}
+
 // Checkpointer is implemented by agents whose durable state can be saved
 // and replayed for crash-restart recovery (internal/faults, and the crash
 // handling in internal/async and internal/netrun). Checkpoint returns a

@@ -18,6 +18,15 @@ type Transport struct {
 	Partitioned int64 `json:"partitioned,omitempty"`
 	// PartitionHeals counts partition windows that healed within the run.
 	PartitionHeals int64 `json:"partitionHeals,omitempty"`
+	// Reconnects counts node connections re-established mid-run (worker
+	// redials and cold process relaunches). TCP runtime only.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	// HeartbeatTimeouts counts dead-peer declarations: links silent past
+	// the dead-peer timeout. TCP runtime only.
+	HeartbeatTimeouts int64 `json:"heartbeatTimeouts,omitempty"`
+	// CorruptFrames counts frames rejected by the CRC32C trailer and
+	// recovered by retransmission. TCP runtime only.
+	CorruptFrames int64 `json:"corruptFrames,omitempty"`
 
 	// BytesSent and BytesRecv count wire bytes crossing the hub's sockets
 	// (framing included): hub→nodes and nodes→hub respectively. TCP runtime
@@ -45,6 +54,10 @@ func (t Transport) Suffix() string {
 		s = fmt.Sprintf(" retrans=%d dups=%d restarts=%d partitioned=%d heals=%d",
 			t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals)
 	}
+	if t.Reconnects|t.HeartbeatTimeouts|t.CorruptFrames != 0 {
+		s += fmt.Sprintf(" reconnects=%d hb_timeouts=%d corrupt=%d",
+			t.Reconnects, t.HeartbeatTimeouts, t.CorruptFrames)
+	}
 	if t.BytesSent|t.BytesRecv|t.BatchedFrames != 0 {
 		s += fmt.Sprintf(" bytes_out=%d bytes_in=%d batched=%d",
 			t.BytesSent, t.BytesRecv, t.BatchedFrames)
@@ -54,11 +67,13 @@ func (t Transport) Suffix() string {
 
 // TransportColumns is the canonical column order used by the table
 // renderers, aligned with Transport.Values.
-var TransportColumns = []string{"retrans", "dups", "restarts", "partitioned", "heals", "bytes_out", "bytes_in", "batched"}
+var TransportColumns = []string{"retrans", "dups", "restarts", "partitioned", "heals",
+	"reconnects", "hb_timeouts", "corrupt", "bytes_out", "bytes_in", "batched"}
 
 // Values returns the counters in TransportColumns order.
 func (t Transport) Values() []int64 {
 	return []int64{t.Retransmits, t.DuplicatesSuppressed, t.Restarts, t.Partitioned, t.PartitionHeals,
+		t.Reconnects, t.HeartbeatTimeouts, t.CorruptFrames,
 		t.BytesSent, t.BytesRecv, t.BatchedFrames}
 }
 
@@ -73,6 +88,9 @@ func (t Transport) Record(reg *Registry) {
 	reg.Counter("discsp_transport_restarts_total").Add(t.Restarts)
 	reg.Counter("discsp_transport_partitioned_total").Add(t.Partitioned)
 	reg.Counter("discsp_transport_partition_heals_total").Add(t.PartitionHeals)
+	reg.Counter("discsp_transport_reconnects_total").Add(t.Reconnects)
+	reg.Counter("discsp_transport_heartbeat_timeouts_total").Add(t.HeartbeatTimeouts)
+	reg.Counter("discsp_transport_corrupt_frames_total").Add(t.CorruptFrames)
 	reg.Counter("discsp_transport_bytes_sent_total").Add(t.BytesSent)
 	reg.Counter("discsp_transport_bytes_recv_total").Add(t.BytesRecv)
 	reg.Counter("discsp_transport_batched_frames_total").Add(t.BatchedFrames)

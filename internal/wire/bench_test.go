@@ -61,28 +61,32 @@ func BenchmarkWireDecode(b *testing.B) {
 // loopback socket: a writer pumping the netrun steady-state mix (four data
 // frames per ack) against a reader draining it. The *_plain variants flush
 // per frame — the pre-batching transport's behavior — and the *_batch
-// variants let size-bounded batches drive the flushing. The bench gate
-// compares json_plain (the old wire path) against binary_batch (the new
-// default) and requires ≥2x.
+// variants let size-bounded batches drive the flushing. The _crc variant
+// adds the negotiated CRC32C frame trailer on top of the batched binary
+// path. The bench gate compares json_plain (the old wire path) against
+// binary_batch (the new default) and requires ≥2x, with the same floor on
+// the checksummed leg so integrity stays effectively free.
 func BenchmarkWireThroughput(b *testing.B) {
 	for _, bc := range []struct {
 		name  string
 		codec Codec
 		batch bool
+		crc   bool
 	}{
-		{"json_plain", CodecJSON, false},
-		{"json_batch", CodecJSON, true},
-		{"binary_plain", CodecBinary, false},
-		{"binary_batch", CodecBinary, true},
+		{"json_plain", CodecJSON, false, false},
+		{"json_batch", CodecJSON, true, false},
+		{"binary_plain", CodecBinary, false, false},
+		{"binary_batch", CodecBinary, true, false},
+		{"binary_batch_crc", CodecBinary, true, true},
 	} {
 		bc := bc
 		b.Run(bc.name, func(b *testing.B) {
-			benchmarkThroughput(b, bc.codec, bc.batch)
+			benchmarkThroughput(b, bc.codec, bc.batch, bc.crc)
 		})
 	}
 }
 
-func benchmarkThroughput(b *testing.B, codec Codec, batch bool) {
+func benchmarkThroughput(b *testing.B, codec Codec, batch, crc bool) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -98,6 +102,9 @@ func benchmarkThroughput(b *testing.B, codec Codec, batch bool) {
 		defer conn.Close()
 		fr := NewFrameReader(conn)
 		fr.SetCodec(codec)
+		if crc {
+			fr.EnableChecksum()
+		}
 		var n int64
 		for {
 			e, err := fr.Next()
@@ -116,6 +123,9 @@ func benchmarkThroughput(b *testing.B, codec Codec, batch bool) {
 	fw := NewFrameWriter(conn)
 	if err := fw.SetCodec(codec); err != nil {
 		b.Fatal(err)
+	}
+	if crc {
+		fw.EnableChecksum()
 	}
 	if batch {
 		fw.EnableBatching(32, 32<<10)

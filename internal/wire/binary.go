@@ -78,6 +78,8 @@ const (
 	codeWelcome
 	codeState
 	codeStop
+	codeHeartbeat
+	codeReset
 )
 
 var typeCodes = map[string]byte{
@@ -97,6 +99,8 @@ var typeCodes = map[string]byte{
 	TypeWelcome:      codeWelcome,
 	TypeState:        codeState,
 	TypeStop:         codeStop,
+	TypeHeartbeat:    codeHeartbeat,
+	TypeReset:        codeReset,
 }
 
 var typeNames = func() map[byte]string {
@@ -107,7 +111,13 @@ var typeNames = func() map[byte]string {
 	return m
 }()
 
-const flagInsoluble = 1 << 0
+// Envelope flag bits. Part of the wire format; new boolean fields claim the
+// next free bit rather than growing the layout.
+const (
+	flagInsoluble = 1 << 0
+	flagCrc       = 1 << 1
+	flagResume    = 1 << 2
+)
 
 // appendZig appends v as a zigzag-encoded uvarint.
 func appendZig(buf []byte, v int64) []byte {
@@ -134,6 +144,12 @@ func (e *Envelope) appendBinary(buf []byte) ([]byte, error) {
 	var flags byte
 	if e.Insoluble {
 		flags |= flagInsoluble
+	}
+	if e.Crc {
+		flags |= flagCrc
+	}
+	if e.Resume {
+		flags |= flagResume
 	}
 	buf = append(buf, flags)
 	buf = appendZig(buf, int64(e.From))
@@ -251,6 +267,8 @@ func (d *Decoder) Decode(b []byte) (Envelope, int, error) {
 		e.Type = name
 	}
 	e.Insoluble = flags&flagInsoluble != 0
+	e.Crc = flags&flagCrc != 0
+	e.Resume = flags&flagResume != 0
 	e.From = int(r.zig())
 	e.To = int(r.zig())
 	e.Value = int(r.zig())

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"reflect"
 	"strings"
@@ -16,6 +17,7 @@ var fuzzTypes = []string{
 	TypeDBOk, TypeDBImprove,
 	TypeMultiOk, TypeMultiNogood, TypeMultiRequest,
 	TypeAck, TypeHello, TypeWelcome, TypeState, TypeStop,
+	TypeHeartbeat, TypeReset,
 }
 
 // litsFrom turns fuzz bytes into a literal list (pairs of signed bytes), so
@@ -37,18 +39,21 @@ func litsFrom(raw []byte) []Lit {
 // (cross-decode equality), which is what lets a binary hub interoperate
 // with a JSON-only peer.
 func FuzzEnvelopeRoundTrip(f *testing.F) {
-	f.Add(uint8(0), 1, 2, 3, 0, 0, 0, 0, int64(9), int64(0), false, "", []byte{})
-	f.Add(uint8(1), 2, 1, 0, 0, 0, 0, 0, int64(5), int64(0), false, "", []byte{1, 2, 3, 4})
-	f.Add(uint8(12), 7, -1, 0, 0, 0, 0, 0, int64(0), int64(0), false, "binary", []byte{})
-	f.Add(uint8(14), 4, -1, 1, 0, 0, 0, 12345, int64(0), int64(0), true, "", []byte{})
-	f.Add(uint8(11), 2, 3, 0, 0, 0, 0, 0, int64(0), int64(99), false, "we\"ird\x00<&>\xff", []byte{255, 0})
+	f.Add(uint8(0), 1, 2, 3, 0, 0, 0, 0, int64(9), int64(0), false, false, false, "", []byte{})
+	f.Add(uint8(1), 2, 1, 0, 0, 0, 0, 0, int64(5), int64(0), false, false, false, "", []byte{1, 2, 3, 4})
+	f.Add(uint8(12), 7, -1, 0, 0, 0, 0, 0, int64(0), int64(0), false, true, false, "binary", []byte{})
+	f.Add(uint8(14), 4, -1, 1, 0, 0, 0, 12345, int64(0), int64(0), true, false, false, "", []byte{})
+	f.Add(uint8(11), 2, 3, 0, 0, 0, 0, 0, int64(0), int64(99), false, false, false, "we\"ird\x00<&>\xff", []byte{255, 0})
+	f.Add(uint8(12), 5, -1, 0, 0, 0, 0, 0, int64(0), int64(0), false, true, true, "binary", []byte{})
+	f.Add(uint8(17), 3, 9, 0, 0, 0, 0, 0, int64(0), int64(0), false, false, false, "", []byte{})
 	f.Fuzz(func(t *testing.T, ti uint8, from, to, value, priority, improve, eval, processed int,
-		seq, ack int64, insoluble bool, codec string, raw []byte) {
+		seq, ack int64, insoluble, crc, resume bool, codec string, raw []byte) {
 		e := Envelope{
 			Type: fuzzTypes[int(ti)%len(fuzzTypes)],
 			From: from, To: to, Value: value, Priority: priority,
 			Improve: improve, Eval: eval, Processed: processed,
 			Seq: seq, Ack: ack, Insoluble: insoluble, Codec: codec,
+			Crc: crc, Resume: resume,
 		}
 		lits := litsFrom(raw)
 		if e.Type == TypeMultiOk {
@@ -117,9 +122,16 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 // fuzzStream renders a small frame sequence so the fuzzer starts from
 // well-formed batch bytes it can mutate.
 func fuzzStream(codec Codec, batch bool) []byte {
+	return fuzzStreamCrc(codec, batch, false)
+}
+
+func fuzzStreamCrc(codec Codec, batch, crc bool) []byte {
 	var sock bytes.Buffer
 	fw := NewFrameWriter(&sock)
 	fw.SetCodec(codec)
+	if crc {
+		fw.EnableChecksum()
+	}
 	if batch {
 		fw.EnableBatching(4, 1<<10)
 	}
@@ -154,13 +166,22 @@ func (c *chunkedReader) Read(p []byte) (int, error) {
 }
 
 // drainStream reads every envelope it can, returning the decoded sequence
-// and the terminal error text.
-func drainStream(r io.Reader, codec Codec) ([]Envelope, string) {
+// and the terminal error text. With checksums armed, corrupt frames are
+// skipped the way the runtime's readers skip them — they consume input but
+// never terminate the stream — so the fuzzer exercises recovery, not just
+// detection.
+func drainStream(r io.Reader, codec Codec, crc bool) ([]Envelope, string) {
 	fr := NewFrameReader(r)
 	fr.SetCodec(codec)
+	if crc {
+		fr.EnableChecksum()
+	}
 	var out []Envelope
-	for len(out) < 4096 {
+	for len(out)+int(fr.CorruptFrames) < 4096 {
 		e, err := fr.Next()
+		if errors.Is(err, ErrCorruptFrame) {
+			continue
+		}
 		if err != nil {
 			return out, err.Error()
 		}
@@ -180,17 +201,32 @@ func FuzzBatchSplit(f *testing.F) {
 	for _, codec := range []Codec{CodecJSON, CodecBinary} {
 		for _, batch := range []bool{false, true} {
 			s := fuzzStream(codec, batch)
-			f.Add(s, uint16(0), codec == CodecBinary)
-			f.Add(append(append([]byte{}, s...), s...), uint16(len(s)/2), codec == CodecBinary)
-			f.Add(s[:len(s)/2], uint16(3), codec == CodecBinary)
+			f.Add(s, uint16(0), codec == CodecBinary, false)
+			f.Add(append(append([]byte{}, s...), s...), uint16(len(s)/2), codec == CodecBinary, false)
+			f.Add(s[:len(s)/2], uint16(3), codec == CodecBinary, false)
 		}
 	}
-	f.Fuzz(func(t *testing.T, data []byte, split uint16, binaryCodec bool) {
+	// Corruption seeds: checksummed binary streams, clean and with single
+	// bit flips landing in a payload (CRC must reject the frame and the
+	// reader must keep going) and in a length prefix (framing damage is a
+	// terminal error, identically whole or torn).
+	for _, batch := range []bool{false, true} {
+		s := fuzzStreamCrc(CodecBinary, batch, true)
+		f.Add(s, uint16(0), true, true)
+		for _, bit := range []int{9, 20, len(s) - 3} {
+			flipped := append([]byte{}, s...)
+			flipped[bit/8] ^= 1 << (bit % 8)
+			f.Add(flipped, uint16(7), true, true)
+		}
+		truncated := append([]byte{}, s[:len(s)-5]...)
+		f.Add(truncated, uint16(2), true, true)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, split uint16, binaryCodec, crc bool) {
 		codec := CodecJSON
 		if binaryCodec {
 			codec = CodecBinary
 		}
-		whole, wholeErr := drainStream(bytes.NewReader(data), codec)
+		whole, wholeErr := drainStream(bytes.NewReader(data), codec, crc)
 		cut := 0
 		if len(data) > 0 {
 			cut = int(split) % len(data)
@@ -198,7 +234,7 @@ func FuzzBatchSplit(f *testing.F) {
 		torn, tornErr := drainStream(&chunkedReader{parts: [][]byte{
 			append([]byte{}, data[:cut]...),
 			append([]byte{}, data[cut:]...),
-		}}, codec)
+		}}, codec, crc)
 		if wholeErr != tornErr {
 			t.Fatalf("terminal error differs: whole=%q torn=%q", wholeErr, tornErr)
 		}

@@ -34,6 +34,12 @@ func (e *Envelope) appendJSON(buf []byte) []byte {
 		buf = append(buf, `,"codec":`...)
 		buf = appendJSONString(buf, e.Codec)
 	}
+	if e.Crc {
+		buf = append(buf, `,"crc":true`...)
+	}
+	if e.Resume {
+		buf = append(buf, `,"resume":true`...)
+	}
 	return append(buf, '}')
 }
 

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"github.com/discsp/discsp/internal/backoff"
 )
 
 // Buffer caps. Both halves of a reliable link hold memory proportional to
@@ -51,9 +53,9 @@ type SendLink struct {
 	unacked []Envelope // seq-ascending
 	limit   int
 
-	base, cap   time.Duration
-	backoff     time.Duration // current retransmission delay
-	deadline    time.Time     // when the oldest unacked frame is due again
+	policy      backoff.Policy
+	attempt     int       // consecutive retransmission rounds without progress
+	deadline    time.Time // when the oldest unacked frame is due again
 	retransmits int64
 }
 
@@ -62,7 +64,7 @@ type SendLink struct {
 // original send, doubling per round up to cap until acked. The unacked
 // buffer is capped at DefaultMaxUnacked; SetLimit overrides.
 func NewSendLink(base, cap time.Duration) *SendLink {
-	return &SendLink{nextSeq: 1, limit: DefaultMaxUnacked, base: base, cap: cap, backoff: base}
+	return &SendLink{nextSeq: 1, limit: DefaultMaxUnacked, policy: backoff.Policy{Base: base, Cap: cap}}
 }
 
 // SetLimit overrides the unacked-buffer cap; n <= 0 restores the default.
@@ -86,8 +88,8 @@ func (l *SendLink) Stamp(e Envelope, now time.Time) (Envelope, error) {
 	e.Seq = l.nextSeq
 	l.nextSeq++
 	if len(l.unacked) == 0 {
-		l.backoff = l.base
-		l.deadline = now.Add(l.backoff)
+		l.attempt = 0
+		l.deadline = now.Add(l.policy.Delay(0))
 	}
 	l.unacked = append(l.unacked, e)
 	return e, nil
@@ -105,8 +107,8 @@ func (l *SendLink) Ack(cum int64, now time.Time) int {
 		return 0
 	}
 	l.unacked = append(l.unacked[:0], l.unacked[n:]...)
-	l.backoff = l.base
-	l.deadline = now.Add(l.backoff)
+	l.attempt = 0
+	l.deadline = now.Add(l.policy.Delay(0))
 	return n
 }
 
@@ -118,17 +120,40 @@ func (l *SendLink) Due(now time.Time) []Envelope {
 	if len(l.unacked) == 0 || now.Before(l.deadline) {
 		return nil
 	}
-	if l.backoff < l.cap {
-		l.backoff *= 2
-		if l.backoff > l.cap {
-			l.backoff = l.cap
-		}
-	}
-	l.deadline = now.Add(l.backoff)
+	l.attempt++
+	l.deadline = now.Add(l.policy.Delay(l.attempt))
 	l.retransmits += int64(len(l.unacked))
 	out := make([]Envelope, len(l.unacked))
 	copy(out, l.unacked)
 	return out
+}
+
+// MarkDue makes every unacked frame immediately due for retransmission
+// without advancing the backoff round — used when the owning node has just
+// re-established its connection and the in-flight window must be replayed
+// at once rather than on the next scheduled deadline.
+func (l *SendLink) MarkDue(now time.Time) {
+	if len(l.unacked) > 0 {
+		l.attempt = 0
+		l.deadline = now
+	}
+}
+
+// Reset renumbers the link for a peer that restarted from scratch (a
+// relaunched worker process with no durable checkpoint): the unacked window
+// is restamped from seq 1 in order, the next fresh frame follows it, and
+// everything is immediately due — so the fresh peer's receive frontier
+// (expecting seq 1) lines up with this sender's stream and no frame in the
+// window is lost.
+func (l *SendLink) Reset(now time.Time) {
+	for i := range l.unacked {
+		l.unacked[i].Seq = int64(i + 1)
+	}
+	l.nextSeq = int64(len(l.unacked)) + 1
+	l.attempt = 0
+	if len(l.unacked) > 0 {
+		l.deadline = now
+	}
 }
 
 // Pending returns the number of unacked frames.
@@ -238,6 +263,17 @@ func (l *RecvLink) Accept(e Envelope) (deliver []Envelope, dup bool, err error) 
 		l.next++
 	}
 	return deliver, false, nil
+}
+
+// Reset rewinds the link for a peer that restarted from scratch: the
+// frontier returns to seq 1 and every buffered out-of-order frame from the
+// peer's previous incarnation is discarded (the peer renumbers and resends
+// its window, so stale high-seq frames must not squat on slots the new
+// stream will reach). The duplicate counter survives — it is cumulative
+// accounting, not link state.
+func (l *RecvLink) Reset() {
+	l.next = 1
+	l.buf = nil
 }
 
 // CumAck returns the cumulative acknowledgement: every seq ≤ CumAck has

@@ -25,9 +25,24 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
+
+// ErrCorruptFrame marks a binary frame whose CRC32C trailer failed
+// verification. The reader has already consumed the frame's bytes, so the
+// stream stays parseable: callers drop the frame (counting it) and let the
+// reliable layer's retransmission recover the payload. Match with
+// errors.Is.
+var ErrCorruptFrame = errors.New("wire: frame failed checksum")
+
+// castagnoli is the CRC32C polynomial table. Castagnoli rather than IEEE
+// because it is the stronger polynomial for short frames and is
+// hardware-accelerated (SSE4.2 / ARMv8 CRC instructions) on every platform
+// this runs on.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Binary frame kinds. Part of the wire format; do not renumber.
 const (
@@ -45,6 +60,7 @@ const streamBufSize = 64 << 10
 type FrameReader struct {
 	r     *bufio.Reader
 	codec Codec
+	crc   bool
 	dec   Decoder
 	buf   []byte
 
@@ -60,10 +76,12 @@ type FrameReader struct {
 
 	// BytesRead counts every wire byte consumed, including framing.
 	// BatchedFrames counts envelopes (acks and data) that arrived inside
-	// batch frames.
+	// batch frames. CorruptFrames counts frames dropped for a failed
+	// checksum (each also surfaced as an ErrCorruptFrame from Next).
 	BytesRead     int64
 	Frames        int64
 	BatchedFrames int64
+	CorruptFrames int64
 }
 
 // NewFrameReader wraps r. The reader starts in the JSON codec — the
@@ -76,6 +94,13 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // reader's single buffered reader keeps bytes that arrived before the
 // switch.
 func (f *FrameReader) SetCodec(c Codec) { f.codec = c }
+
+// EnableChecksum arms CRC32C verification for subsequent binary frames:
+// each frame's payload must carry the 4-byte little-endian trailer the
+// peer's FrameWriter appends after the matching negotiation. The trailer is
+// a binary-framing extension; the JSON codec has no slot for it, which is
+// why the handshake only negotiates checksums onto binary connections.
+func (f *FrameReader) EnableChecksum() { f.crc = true }
 
 // Next returns the next envelope, expanding batches transparently. The
 // returned envelope's slices may alias reader scratch until the next call;
@@ -194,7 +219,23 @@ func (f *FrameReader) nextBinary() (Envelope, bool, error) {
 		return Envelope{}, false, err
 	}
 	f.BytesRead += int64(n)
-	kind, body := f.buf[0], f.buf[1:]
+	payload := f.buf
+	if f.crc {
+		// The frame's bytes are fully consumed before verification, so a
+		// corrupt frame costs exactly one frame: the stream stays framed and
+		// the next read starts at the next length prefix.
+		if n < 5 {
+			f.CorruptFrames++
+			return Envelope{}, false, fmt.Errorf("%w: %d-byte frame shorter than its trailer", ErrCorruptFrame, n)
+		}
+		body, trailer := payload[:n-4], payload[n-4:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+			f.CorruptFrames++
+			return Envelope{}, false, fmt.Errorf("%w: %d-byte frame", ErrCorruptFrame, n)
+		}
+		payload = body
+	}
+	kind, body := payload[0], payload[1:]
 	switch kind {
 	case frameEnvelope:
 		e, used, err := f.dec.Decode(body)
@@ -259,6 +300,7 @@ func (f *FrameReader) readUvarint() (uint64, error) {
 type FrameWriter struct {
 	w     *bufio.Writer
 	codec Codec
+	crc   bool
 	batch bool
 
 	maxFrames int
@@ -268,6 +310,10 @@ type FrameWriter struct {
 	pframes int
 	fbuf    []byte // encoded pending data frames (binary bodies, or JSON objects joined by commas)
 	buf     []byte // per-write scratch
+	// lenb is the length-prefix scratch. A field rather than a local so the
+	// slice handed to the io.Writer interface never escapes to the heap —
+	// a stack array here costs one allocation per frame.
+	lenb [binary.MaxVarintLen64]byte
 
 	// BytesWritten counts every wire byte produced, including framing.
 	// FramesWritten counts envelopes submitted (coalesced-away acks
@@ -294,6 +340,12 @@ func (f *FrameWriter) SetCodec(c Codec) error {
 	f.codec = c
 	return nil
 }
+
+// EnableChecksum arms the CRC32C trailer on subsequent binary frames: each
+// length-prefixed frame carries crc32c(payload) as 4 little-endian bytes
+// inside the prefixed length. Call only after negotiating it with the peer
+// (hello/welcome Crc) on a binary connection.
+func (f *FrameWriter) EnableChecksum() { f.crc = true }
 
 // EnableBatching turns on frame coalescing: pending frames are flushed as
 // one batch once maxFrames envelopes or maxBytes encoded bytes accumulate,
@@ -367,14 +419,20 @@ func (f *FrameWriter) writeFrame(e *Envelope) error {
 	if err != nil {
 		return err
 	}
-	return f.writeFramed(f.buf)
+	return f.writeFramed()
 }
 
-// writeFramed writes a binary payload with its uvarint length prefix.
-func (f *FrameWriter) writeFramed(payload []byte) error {
-	var lenb [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenb[:], uint64(len(payload)))
-	m, err := f.w.Write(lenb[:n])
+// writeFramed writes the scratch buffer f.buf as one binary frame with its
+// uvarint length prefix, appending the CRC32C trailer first when checksums
+// are armed. The trailer grows through f.buf so its capacity persists
+// across calls and the steady state stays allocation-free.
+func (f *FrameWriter) writeFramed() error {
+	if f.crc {
+		f.buf = binary.LittleEndian.AppendUint32(f.buf, crc32.Checksum(f.buf, castagnoli))
+	}
+	payload := f.buf
+	n := binary.PutUvarint(f.lenb[:], uint64(len(payload)))
+	m, err := f.w.Write(f.lenb[:n])
 	f.BytesWritten += int64(m)
 	if err != nil {
 		return err
@@ -382,6 +440,39 @@ func (f *FrameWriter) writeFramed(payload []byte) error {
 	m, err = f.w.Write(payload)
 	f.BytesWritten += int64(m)
 	return err
+}
+
+// WriteCorrupted writes e as a standalone checksummed binary frame with one
+// payload bit deliberately flipped after the trailer was computed, so the
+// receiver's CRC check must reject it. It exists for the fault injector's
+// corrupt fault: the frame is framed correctly (the stream stays
+// parseable), only its payload lies. Any pending batch is flushed first so
+// no healthy frame shares the poisoned write.
+func (f *FrameWriter) WriteCorrupted(e *Envelope) error {
+	if f.codec != CodecBinary || !f.crc {
+		return fmt.Errorf("wire: WriteCorrupted needs a checksummed binary connection")
+	}
+	if err := f.flushBatch(); err != nil {
+		return err
+	}
+	f.FramesWritten++
+	f.buf = append(f.buf[:0], frameEnvelope)
+	var err error
+	f.buf, err = e.appendBinary(f.buf)
+	if err != nil {
+		return err
+	}
+	payload := binary.LittleEndian.AppendUint32(f.buf, crc32.Checksum(f.buf, castagnoli))
+	payload[len(payload)-5] ^= 0x40 // flip a bit in the last payload byte, not the trailer
+	n := binary.PutUvarint(f.lenb[:], uint64(len(payload)))
+	m, werr := f.w.Write(f.lenb[:n])
+	f.BytesWritten += int64(m)
+	if werr != nil {
+		return werr
+	}
+	m, werr = f.w.Write(payload)
+	f.BytesWritten += int64(m)
+	return werr
 }
 
 // flushBatch writes the pending batch, if any, as one frame.
@@ -402,7 +493,7 @@ func (f *FrameWriter) flushBatch() error {
 		}
 		f.buf = binary.AppendUvarint(f.buf, uint64(f.pframes))
 		f.buf = append(f.buf, f.fbuf...)
-		err = f.writeFramed(f.buf)
+		err = f.writeFramed()
 	} else {
 		f.buf = append(f.buf[:0], `{"type":"wire.batch"`...)
 		if len(f.acks) > 0 {

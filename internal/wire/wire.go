@@ -64,6 +64,18 @@ const (
 	TypeState = "ctl.state"
 	// TypeStop is the hub's shutdown broadcast.
 	TypeStop = "ctl.stop"
+	// TypeHeartbeat is the liveness probe both hub and nodes emit on an
+	// otherwise idle link. It carries no payload and never enters the
+	// reliable stream (Seq 0): its only meaning is "this peer was alive when
+	// it sent this".
+	TypeHeartbeat = "ctl.beat"
+	// TypeReset announces that the node named in From restarted from scratch
+	// (a relaunched worker process with no in-memory transport state). The
+	// hub broadcasts it to every other node, which resets both halves of its
+	// reliable link with From (RecvLink.Reset, SendLink.Reset) and echoes
+	// the frame back (From: itself, To: the restarted node) so the hub knows
+	// exactly where the pre-reset traffic on that connection ends.
+	TypeReset = "ctl.reset"
 )
 
 // Envelope is the wire form of one message. Algorithm messages use the
@@ -94,6 +106,19 @@ type Envelope struct {
 	Insoluble bool   `json:"insoluble,omitempty"`
 	Processed int    `json:"processed,omitempty"`
 	Codec     string `json:"codec,omitempty"`
+
+	// Crc is the checksum half of the handshake: a hello sets it to request
+	// the CRC32C frame trailer, the welcome sets it to confirm. Both sides
+	// enable the trailer only after a confirming welcome on a binary
+	// connection (the JSON codec has no trailer slot).
+	Crc bool `json:"crc,omitempty"`
+	// Resume distinguishes a re-hello from a node that kept its in-memory
+	// transport state (a worker redialing after connection loss, or an
+	// in-process crash restart replaying its checkpoint) from a fresh-start
+	// registration. A repeat hello with Resume false means the process was
+	// relaunched cold, and the hub triggers the TypeReset link-renumbering
+	// protocol.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // Detach deep-copies the envelope's slice fields so it no longer aliases a

@@ -141,6 +141,21 @@ type Options struct {
 	// written and flushed individually instead of coalescing into
 	// size-bounded batches with one ack watermark per link.
 	WireNoBatch bool
+	// WireChecksum arms the CRC32C frame trailer on SolveTCP's binary
+	// connections (hub side; workers request it in their hellos): damaged
+	// frames are detected, dropped, counted, and recovered by
+	// retransmission instead of corrupting the decode.
+	WireChecksum bool
+	// TCPHeartbeat is SolveTCP's liveness beacon period on every hub↔node
+	// link; 0 means 500ms, negative disables liveness.
+	TCPHeartbeat time.Duration
+	// TCPDeadPeerTimeout is how long a node may stay silent before the hub
+	// declares it dead; 0 means 4× the heartbeat period.
+	TCPDeadPeerTimeout time.Duration
+	// TCPReconnectGrace is how long the hub parks an unreachable node's
+	// frames awaiting its re-hello (a worker redial or process relaunch)
+	// before failing the run; 0 means 3s, negative fails immediately.
+	TCPReconnectGrace time.Duration
 	// WarmCache, when non-nil, warm-starts AWC from nogoods learned by
 	// previous runs: before the run each agent is seeded with the cached
 	// nogoods mentioning its variable (when the cache holds an entry
@@ -220,6 +235,13 @@ type Result struct {
 	// within the run.
 	Partitioned    int64
 	PartitionHeals int64
+	// Reconnects counts node connections re-established mid-run (worker
+	// redials and cold process relaunches); HeartbeatTimeouts counts
+	// dead-peer declarations; CorruptFrames counts frames rejected by the
+	// CRC32C trailer and recovered by retransmission (SolveTCP only).
+	Reconnects        int64
+	HeartbeatTimeouts int64
+	CorruptFrames     int64
 
 	// Wire-level counters (SolveTCP only). BytesSent and BytesRecv count
 	// bytes crossing the hub's sockets (hub→nodes and nodes→hub);
@@ -586,6 +608,10 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		Shards:          opts.TCPShards,
 		Codec:           codec,
 		NoBatch:         opts.WireNoBatch,
+		Checksum:        opts.WireChecksum,
+		Heartbeat:       opts.TCPHeartbeat,
+		DeadPeerTimeout: opts.TCPDeadPeerTimeout,
+		ReconnectGrace:  opts.TCPReconnectGrace,
 		Listen:          opts.TCPListen,
 		External:        opts.TCPExternal,
 		OnListen:        opts.TCPOnListen,
@@ -602,6 +628,9 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		Restarts:             res.Restarts,
 		Partitioned:          res.Partitioned,
 		PartitionHeals:       res.PartitionHeals,
+		Reconnects:           res.Reconnects,
+		HeartbeatTimeouts:    res.HeartbeatTimeouts,
+		CorruptFrames:        res.CorruptFrames,
 		BytesSent:            res.BytesSent,
 		BytesRecv:            res.BytesRecv,
 		BatchedFrames:        res.BatchedFrames,
@@ -625,6 +654,36 @@ type TCPWorkerOptions struct {
 	// congested links so a graceful hub shutdown racing a write is not
 	// reported as a crash.
 	DrainWindow time.Duration
+	// ConnectTimeout bounds each node's dial-with-retry loop, both at
+	// startup (the worker may launch before the hub listens) and when
+	// redialing after a severed connection; 0 means 15s.
+	ConnectTimeout time.Duration
+	// Checksum requests the CRC32C frame trailer on this worker's binary
+	// connections; it takes effect only when the hub armed WireChecksum
+	// too.
+	Checksum bool
+	// Heartbeat is the idle-link beacon period (0 = 500ms, negative
+	// disables) and DeadPeerTimeout the hub-silence bound after which a
+	// node abandons its connection and redials (0 = 4× the heartbeat).
+	// They should match the hub's settings.
+	Heartbeat       time.Duration
+	DeadPeerTimeout time.Duration
+}
+
+// TCPWorkerStats reports one worker process's transport totals after
+// SolveTCPWorker returns — the worker-side view of the reliability counters
+// the hub's Result carries for in-process runs.
+type TCPWorkerStats struct {
+	// Reconnects counts node sessions re-established after a severed
+	// connection.
+	Reconnects int64
+	// Retransmits counts frames resent past a lost ack.
+	Retransmits int64
+	// DuplicatesSuppressed counts deliveries absorbed by the dedup layer.
+	DuplicatesSuppressed int64
+	// CorruptFrames counts inbound frames rejected by the CRC32C trailer
+	// and recovered by hub-side retransmission.
+	CorruptFrames int64
 }
 
 // SolveTCPWorker runs agent nodes for a subset of p's variables against an
@@ -633,23 +692,36 @@ type TCPWorkerOptions struct {
 // supplies the algorithm configuration, which must match the hub's problem,
 // and the wire options (WireCodec, WireNoBatch) for this worker's
 // connections. It blocks until the hub finishes the run and tears the
-// connections down; the hub's SolveTCP result carries the verdict.
-func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) error {
+// connections down; the hub's SolveTCP result carries the verdict, and the
+// returned stats carry this worker's transport totals. Workers survive a
+// hub that is not yet listening (dial retry until ConnectTimeout) and
+// connections severed mid-solve (redial, re-hello, and replay).
+func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) (TCPWorkerStats, error) {
 	init, err := opts.initial(p)
 	if err != nil {
-		return err
+		return TCPWorkerStats{}, err
 	}
 	codec, err := opts.wireCodec()
 	if err != nil {
-		return err
+		return TCPWorkerStats{}, err
 	}
-	return netrun.RunWorker(p, opts.makeAgent(p, init), netrun.WorkerOptions{
-		Addrs:       w.Addrs,
-		Vars:        w.Vars,
-		Codec:       codec,
-		NoBatch:     opts.WireNoBatch,
-		DrainWindow: w.DrainWindow,
+	st, err := netrun.RunWorker(p, opts.makeAgent(p, init), netrun.WorkerOptions{
+		Addrs:           w.Addrs,
+		Vars:            w.Vars,
+		Codec:           codec,
+		NoBatch:         opts.WireNoBatch,
+		DrainWindow:     w.DrainWindow,
+		ConnectTimeout:  w.ConnectTimeout,
+		Checksum:        w.Checksum,
+		Heartbeat:       w.Heartbeat,
+		DeadPeerTimeout: w.DeadPeerTimeout,
 	})
+	return TCPWorkerStats{
+		Reconnects:           st.Reconnects,
+		Retransmits:          st.Retransmits,
+		DuplicatesSuppressed: st.DuplicatesSuppressed,
+		CorruptFrames:        st.CorruptFrames,
+	}, err
 }
 
 // IsTimeout reports whether err is (or wraps) a runtime deadline expiry

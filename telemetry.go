@@ -49,6 +49,9 @@ func (r Result) Transport() TransportCounters {
 		Restarts:             r.Restarts,
 		Partitioned:          r.Partitioned,
 		PartitionHeals:       r.PartitionHeals,
+		Reconnects:           r.Reconnects,
+		HeartbeatTimeouts:    r.HeartbeatTimeouts,
+		CorruptFrames:        r.CorruptFrames,
 		BytesSent:            r.BytesSent,
 		BytesRecv:            r.BytesRecv,
 		BatchedFrames:        r.BatchedFrames,
