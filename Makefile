@@ -5,11 +5,12 @@ GO ?= go
 
 # The concurrency-heavy packages the race job covers.
 RACE_PKGS = ./internal/async/... ./internal/netrun/... ./internal/multi/... \
-            ./internal/sim/... ./internal/experiments/... ./internal/service/...
+            ./internal/sim/... ./internal/experiments/... ./internal/service/... \
+            ./internal/causal/...
 
-.PHONY: all build test vet fmt-check race chaos chaos-proc telemetry bench-smoke \
-        bench-json bench-gate bench-warm bench-wire scale-smoke service-smoke soak \
-        staticcheck govulncheck ci
+.PHONY: all build test vet fmt-check race chaos chaos-proc telemetry trace \
+        bench-smoke bench-json bench-gate bench-warm bench-wire scale-smoke \
+        service-smoke soak staticcheck govulncheck ci
 
 # The paired (ref vs dense) benchmarks bench-json compares.
 BENCH_PAIRED = BenchmarkProbeViewCheckLoop|BenchmarkStoreAddPruning|BenchmarkResolventDerivation|BenchmarkTable1Representations
@@ -79,6 +80,25 @@ chaos-proc:
 telemetry:
 	$(GO) test -race -timeout 10m -run 'TestTelemetryInert|TestServeMetrics' .
 	$(GO) test -race -timeout 5m -run 'TestStore.*Instrument|TestStoreRestore' ./internal/nogood/
+
+# The causal-tracing job (CI trace-smoke): the tracing on/off inertness,
+# critical-path, provenance-termination, and failure-path tests under the
+# race detector, then the binary smoke — a seeded solve with -causal piped
+# through dcsptrace's critical-path and Perfetto exports, asserting a
+# non-empty path and valid JSON.
+trace:
+	$(GO) test -race -timeout 10m -run 'TestCausal' . ./internal/netrun/
+	$(GO) test -timeout 5m ./internal/causal/ ./cmd/dcsptrace/
+	$(GO) build -o dcspgen ./cmd/dcspgen
+	$(GO) build -o dcspsolve ./cmd/dcspsolve
+	$(GO) build -o dcsptrace ./cmd/dcsptrace
+	./dcspgen -family d3c -n 30 -seed 11 -o trace-smoke.col
+	./dcspsolve -causal -trace-out trace-smoke.jsonl -seed 11 trace-smoke.col
+	./dcsptrace -critical-path trace-smoke.jsonl | tee trace-smoke-path.txt
+	grep -Eq 'critical path: [1-9][0-9]* steps' trace-smoke-path.txt
+	./dcsptrace -provenance all trace-smoke.jsonl > /dev/null
+	./dcsptrace -perfetto trace-smoke-perfetto.json trace-smoke.jsonl
+	python3 -m json.tool trace-smoke-perfetto.json > /dev/null
 
 bench-smoke:
 	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run='^$$' -timeout 10m .
@@ -163,4 +183,4 @@ govulncheck:
 		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build vet fmt-check staticcheck govulncheck test race chaos chaos-proc telemetry bench-smoke bench-gate scale-smoke service-smoke
+ci: build vet fmt-check staticcheck govulncheck test race chaos chaos-proc telemetry trace bench-smoke bench-gate scale-smoke service-smoke

@@ -84,6 +84,8 @@ func run() error {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule in -faults")
 		shards    = flag.Int("shards", 0, "shard the -runtimes tcp leg's hub across N relay listeners; 0 = one")
 		wireCodec = flag.String("wire-codec", "binary", "-runtimes tcp leg wire codec: binary or json")
+		causalOn  = flag.Bool("causal", false, "causally trace the -runtimes tcp leg (spans, message trace IDs, nogood lineage); needs -trace-out")
+		causalOut = flag.String("trace-out", "", "write the -causal trace stream to this file (read it with dcsptrace)")
 
 		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream (per-trial events + metrics snapshots) to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address while the run is live")
@@ -156,6 +158,9 @@ func run() error {
 	if *warmOut != "" && *warmstart == "" {
 		return fmt.Errorf("-warmout needs -warmstart")
 	}
+	if (*causalOn || *causalOut != "") && *runtimes == "" {
+		return fmt.Errorf("-causal/-trace-out trace the -runtimes tcp leg; pass -runtimes FAMILY")
+	}
 
 	// Telemetry: the grids emit one trial event per completed trial (in
 	// deterministic aggregation order) plus a metrics snapshot per grid;
@@ -213,6 +218,23 @@ func run() error {
 			return err
 		}
 		tcp := experiments.TCPOptions{Shards: *shards, Codec: codec}
+		if *causalOn != (*causalOut != "") {
+			return fmt.Errorf("-causal and -trace-out go together")
+		}
+		if *causalOn {
+			f, err := os.Create(*causalOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			ct := telemetry.NewRun(nil, f)
+			defer func() {
+				if err := ct.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "dcspbench: causal trace stream:", err)
+				}
+			}()
+			tcp.Causal = ct
+		}
 		return printRuntimes(*runtimes, *sweepN, scale, fcfg, tcp, markdown)
 	case *blocks != "":
 		return printBlockSweep(*blocks, *sweepN, scale)

@@ -12,6 +12,9 @@
 //	curl -s http://127.0.0.1:7433/v1/jobs/j00000001
 //	# follow its progress events
 //	curl -sN 'http://127.0.0.1:7433/v1/jobs/j00000001/events?follow=1'
+//	# fetch a causally-traced job's span stream ("causal": true in the spec)
+//	curl -s http://127.0.0.1:7433/v1/jobs/j00000001/trace > t.jsonl
+//	dcsptrace -critical-path t.jsonl
 //
 // Robustness contract (see DESIGN.md §13):
 //

@@ -59,6 +59,8 @@ func run() error {
 		connTO    = flag.Duration("connect-timeout", 0, "how long each node keeps retrying its dial — at startup before the hub listens, and when redialing after a severed connection; 0 = 15s default")
 		heartbeat = flag.Duration("heartbeat", 0, "idle-link liveness beacon period, matching the hub's; 0 = 500ms default, negative disables")
 		deadPeer  = flag.Duration("dead-peer", 0, "hub silence after which a node abandons its connection and redials; 0 = 4x the heartbeat period")
+		causalOn  = flag.Bool("causal", false, "trace this worker's nodes and request trace-ID propagation (effective when the hub's run set -causal too); needs -trace-out")
+		causalOut = flag.String("trace-out", "", "write this worker's causal trace stream to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -113,6 +115,27 @@ func run() error {
 	}
 	opts.Retention = ret
 
+	// Causal tracing is per-process: this worker's spans and stamped trace
+	// IDs go to its own stream file, self-consistent on its own (message
+	// edges into sibling workers resolve in their streams).
+	var ct *discsp.Telemetry
+	if *causalOn != (*causalOut != "") {
+		return fmt.Errorf("-causal and -trace-out go together")
+	}
+	if *causalOn {
+		f, err := os.Create(*causalOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ct = discsp.NewTelemetry(nil, f)
+		defer func() {
+			if err := ct.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "dcspnode: causal trace stream:", err)
+			}
+		}()
+	}
+
 	fmt.Fprintf(os.Stderr, "dcspnode: %d nodes (%s) dialing %d relays\n",
 		len(vars), *varsArg, len(addrs))
 	stats, err := discsp.SolveTCPWorker(problem, opts, discsp.TCPWorkerOptions{
@@ -123,6 +146,7 @@ func run() error {
 		Checksum:        *wireCRC,
 		Heartbeat:       *heartbeat,
 		DeadPeerTimeout: *deadPeer,
+		Causal:          ct,
 	})
 	if err != nil {
 		return err

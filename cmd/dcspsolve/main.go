@@ -12,6 +12,7 @@
 //	dcspsolve -async -faults chaos problem.cnf         # adversarial network
 //	dcspsolve -trials 50 -journal t.jsonl problem.cnf  # journal trials
 //	dcspsolve -trials 50 -journal t.jsonl -resume ...  # resume after a crash
+//	dcspsolve -causal -trace-out t.jsonl problem.cnf   # causal trace (dcsptrace)
 //
 // File type is inferred from the extension: .cnf is DIMACS CNF, .col is
 // DIMACS COL (solved as 3-coloring unless -colors overrides).
@@ -87,6 +88,9 @@ func run() error {
 		resume    = flag.Bool("resume", false, "replay trials already in -journal instead of recomputing them")
 		retention = flag.String("retention", "all", "nogood-store retention policy: all, lru:<cap>, or activity:<cap> (cap bounds learned nogoods per agent)")
 		warmCache = flag.String("warm-cache", "", "persistent warm-start nogood cache file: seed AWC from it before solving, harvest survivors into it after (sync runs)")
+
+		causalOn  = flag.Bool("causal", false, "attach the causal-tracing layer: deterministic trace IDs on every message, one span per agent activation, nogood lineage (read the stream with dcsptrace)")
+		causalOut = flag.String("trace-out", "", "write the causal trace stream to this file (default: interleave spans with the -telemetry stream)")
 
 		telemetryOut = flag.String("telemetry", "", "write the schema-2 telemetry JSONL stream to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars, and /debug/pprof on this address (e.g. :9090, or :0 for an ephemeral port)")
@@ -261,6 +265,40 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "dcspsolve: telemetry stream:", err)
 			}
 		}()
+	}
+
+	// Causal tracing: the span stream goes to its own -trace-out file, or
+	// interleaves with the -telemetry stream. A trace stream holds exactly
+	// one run (trace IDs are unique per run), so -trials > 1 is rejected.
+	if *causalOut != "" && !*causalOn {
+		return fmt.Errorf("-trace-out needs -causal")
+	}
+	if *causalOn {
+		if *trials > 1 {
+			return fmt.Errorf("-causal traces a single run; drop -trials or set it to 1")
+		}
+		if *block > 1 {
+			return fmt.Errorf("-causal does not support the -block multi-variable path")
+		}
+		switch {
+		case *causalOut != "":
+			f, err := os.Create(*causalOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			ct := discsp.NewTelemetry(nil, f)
+			defer func() {
+				if err := ct.Flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "dcspsolve: causal trace stream:", err)
+				}
+			}()
+			opts.Causal = ct
+		case tel != nil:
+			opts.Causal = tel
+		default:
+			return fmt.Errorf("-causal needs -trace-out FILE (or -telemetry FILE) to receive the span stream")
+		}
 	}
 
 	if *trials > 1 {

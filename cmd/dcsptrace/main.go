@@ -1,8 +1,11 @@
 // Command dcsptrace summarizes the JSONL streams the solvers write: the
-// legacy v1 cycle trace (dcspsolve -trace) and the schema-2 telemetry
-// stream (dcspsolve/dcspbench -telemetry). The format is detected from the
-// stream's first event; feeding the wrong reader yields a versioned error
-// naming the producing flag instead of a raw JSON field error.
+// legacy v1 cycle trace (dcspsolve -trace), the schema-2/3 telemetry
+// stream (dcspsolve/dcspbench -telemetry), and the causal trace stream
+// (dcspsolve -causal). The format is detected from the stream's first
+// event; feeding the wrong reader yields a versioned error naming the
+// producing flag instead of a raw JSON field error, and a stream whose
+// tail was torn (the writer died mid-run) is refused with a truncation
+// error instead of rendering a silently partial table.
 //
 // Usage:
 //
@@ -13,6 +16,11 @@
 //	dcspsolve -async -telemetry t.jsonl problem.cnf
 //	dcsptrace t.jsonl                # verdict, store growth, agent table
 //	dcsptrace -agents t.jsonl        # per-agent progress timelines
+//
+//	dcspsolve -causal -trace-out c.jsonl problem.cnf
+//	dcsptrace -critical-path c.jsonl    # longest causal chain to verdict
+//	dcsptrace -provenance all c.jsonl   # nogood derivation DAG + use counts
+//	dcsptrace -perfetto out.json c.jsonl  # open out.json at ui.perfetto.dev
 package main
 
 import (
@@ -20,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/telemetry"
 	"github.com/discsp/discsp/internal/trace"
 )
@@ -35,11 +45,36 @@ func main() {
 func run() error {
 	cycles := flag.Bool("cycles", false, "print the per-cycle table")
 	agents := flag.Bool("agents", false, "print per-agent progress timelines (telemetry streams)")
+	critical := flag.Bool("critical-path", false, "print the causal critical path: the longest chain of activations and message hops ending at the verdict (needs a -causal stream)")
+	provenance := flag.String("provenance", "", `print the nogood derivation DAG for a trace ID, a canonical nogood key, or "all" learn events (needs a -causal stream)`)
+	perfetto := flag.String("perfetto", "", `write a Chrome trace-event (Perfetto) JSON export to this file, "-" for stdout; open it at ui.perfetto.dev (needs a -causal stream)`)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("expected exactly one trace file, got %d", flag.NArg())
 	}
-	f, err := os.Open(flag.Arg(0))
+	return analyze(flag.Arg(0), analysis{
+		cycles:     *cycles,
+		agents:     *agents,
+		critical:   *critical,
+		provenance: *provenance,
+		perfetto:   *perfetto,
+	})
+}
+
+// analysis is the flag set in struct form, so tests can drive analyze
+// without a flag.CommandLine round trip.
+type analysis struct {
+	cycles, agents, critical bool
+	provenance, perfetto     string
+}
+
+// analyze dispatches one trace file to the reader its format calls for and
+// runs the requested analyses. Errors wrap the package-level sentinel of
+// whichever reader refused the stream, so callers (and exit codes) can
+// distinguish a torn tail from a wrong format.
+func analyze(path string, a analysis) error {
+	wantCausal := a.critical || a.provenance != "" || a.perfetto != ""
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
@@ -48,12 +83,21 @@ func run() error {
 	events, err := telemetry.Read(f)
 	switch {
 	case err == nil:
-		return printTelemetry(events, *cycles, *agents)
+		if err := telemetry.CheckComplete(events); err != nil {
+			return err
+		}
+		if wantCausal {
+			return runCausal(events, a.critical, a.provenance, a.perfetto)
+		}
+		return printTelemetry(events, a.cycles, a.agents)
 	case errors.Is(err, telemetry.ErrLegacyTrace):
+		if wantCausal {
+			return fmt.Errorf("causal analyses need a -causal telemetry stream, not a v1 cycle trace: %w", err)
+		}
 		if _, err := f.Seek(0, 0); err != nil {
 			return err
 		}
-		return printTrace(f, *cycles)
+		return printTrace(f, a.cycles)
 	default:
 		return err
 	}
@@ -63,6 +107,9 @@ func run() error {
 func printTrace(f *os.File, cycles bool) error {
 	events, err := trace.Read(f)
 	if err != nil {
+		return err
+	}
+	if err := trace.CheckComplete(events); err != nil {
 		return err
 	}
 	s := trace.Summarize(events)
@@ -104,6 +151,104 @@ func printTelemetry(events []telemetry.Event, cycles, agents bool) error {
 		printAgentTimelines(events)
 	}
 	return nil
+}
+
+// runCausal runs the requested causal analyses on one graph build. A
+// dangling cause warns rather than fails: a per-worker stream from an
+// external-worker run legitimately references message IDs whose emitting
+// spans live in a sibling worker's stream.
+func runCausal(events []telemetry.Event, critical bool, provTarget, perfettoOut string) error {
+	g, err := causal.BuildGraph(events)
+	if err != nil {
+		return err
+	}
+	if dang := g.Dangling(); len(dang) > 0 {
+		fmt.Fprintf(os.Stderr, "dcsptrace: %d dangling cause IDs (first: %s) — partial stream from a multi-worker run?\n",
+			len(dang), dang[0])
+	}
+	if critical {
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return err
+		}
+		printCriticalPath(cp)
+	}
+	if provTarget != "" {
+		p, err := g.Provenance(provTarget)
+		if err != nil {
+			return err
+		}
+		printProvenance(p)
+	}
+	if perfettoOut != "" {
+		w := os.Stdout
+		if perfettoOut != "-" {
+			f, err := os.Create(perfettoOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := causal.WritePerfetto(w, events); err != nil {
+			return err
+		}
+		if perfettoOut != "-" {
+			fmt.Printf("perfetto export: %s (open at ui.perfetto.dev)\n", perfettoOut)
+		}
+	}
+	return nil
+}
+
+// printCriticalPath renders the critical path: one row per activation on
+// the chain, with each step's compute time and the transit latency of the
+// message edge that released it.
+func printCriticalPath(cp *causal.CriticalPath) {
+	fmt.Printf("critical path: %d steps spanning %dus (compute %dus, %s %dus)\n",
+		len(cp.Steps), cp.TotalUS, cp.ComputeUS, cp.TransitKind, cp.TransitUS)
+	fmt.Printf("\n%4s  %6s  %-12s  %-5s  %10s  %10s  %s\n",
+		"step", "agent", "span", "kind", "computeUs", "transitUs", "via")
+	for i, s := range cp.Steps {
+		via := ""
+		if s.Msg != nil {
+			via = fmt.Sprintf("%s %s", s.Msg.Type, s.Msg.ID)
+		}
+		fmt.Printf("%4d  %6d  %-12s  %-5s  %10d  %10d  %s\n",
+			i, s.Span.Agent, s.Span.ID, s.Span.Kind, s.ComputeUS, s.TransitUS, via)
+	}
+	ids := make([]int, 0, len(cp.PerAgent))
+	for a := range cp.PerAgent {
+		ids = append(ids, a)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\nper-agent compute on the path:\n")
+	for _, a := range ids {
+		fmt.Printf("  agent %-4d %dus\n", a, cp.PerAgent[a])
+	}
+}
+
+// printProvenance renders the derivation DAG: the queried roots, the
+// terminal frontier they bottom out on, and per-nogood use counts.
+func printProvenance(p *causal.Provenance) {
+	terms := p.Terminals()
+	fmt.Printf("provenance: %d roots, %d reachable nodes, %d terminals\n",
+		len(p.Roots), len(p.Reach), len(terms))
+	if len(p.Dangling) > 0 {
+		fmt.Printf("dangling causes (partial stream?): %v\n", p.Dangling)
+	}
+	fmt.Printf("\nroots:\n")
+	for _, r := range p.Roots {
+		key := r.NogoodKey
+		if r.Kind == causal.SpanLearn && key == "" {
+			key = "⊥ (insoluble)"
+		}
+		fmt.Printf("  %-12s agent=%-4d %-6s uses=%-4d %s\n",
+			r.ID, r.Agent, r.Kind, p.UseCounts[r.ID], key)
+	}
+	fmt.Printf("\nterminals:\n")
+	for _, t := range terms {
+		fmt.Printf("  %-12s %-10s uses=%-4d %s\n", t.ID, t.Kind, p.UseCounts[t.ID], t.NogoodKey)
+	}
 }
 
 // printAgentTimelines renders each agent's processed-message count across

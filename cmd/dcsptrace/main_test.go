@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/discsp/discsp"
+	"github.com/discsp/discsp/internal/sim"
+	"github.com/discsp/discsp/internal/telemetry"
+	"github.com/discsp/discsp/internal/trace"
+)
+
+// writeFixture drops content into a temp file and returns its path.
+func writeFixture(t *testing.T, name string, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tornTail drops the stream's closing events — the shape a writer that
+// died mid-run (or a torn filesystem tail) leaves behind. The JSONL stays
+// well-formed; only the terminator lines are gone (a telemetry stream
+// closes with an end event plus a metrics snapshot, so both are torn).
+func tornTail(t *testing.T, stream []byte) []byte {
+	t.Helper()
+	out := stream
+	for {
+		trimmed := bytes.TrimSuffix(out, []byte("\n"))
+		i := bytes.LastIndexByte(trimmed, '\n')
+		if i < 0 {
+			t.Fatal("tore the fixture down to a single line")
+		}
+		last := trimmed[i:]
+		out = trimmed[:i+1]
+		if bytes.Contains(last, []byte(`"kind":"end"`)) ||
+			bytes.Contains(last, []byte(`"kind":"snapshot"`)) {
+			continue
+		}
+		return out
+	}
+}
+
+// solveStreams produces matched v1-trace and telemetry streams from one
+// real solve, so the fixtures are byte-genuine writer output.
+func solveStreams(t *testing.T) (v1, tel []byte) {
+	t.Helper()
+	col, err := discsp.GenerateColoring(8, 12, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf, telBuf bytes.Buffer
+	rec := trace.NewRecorder(&traceBuf)
+	rec.Start(trace.Meta{
+		Algorithm: "AWC-rslv",
+		Vars:      col.Problem.NumVars(),
+		Nogoods:   col.Problem.NumNogoods(),
+	})
+	opts := discsp.Options{
+		InitialSeed: 3,
+		Trace:       rec.Hook(),
+		Telemetry:   discsp.NewTelemetry(nil, &telBuf),
+	}
+	res, err := discsp.Solve(col.Problem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.End(sim.Result{
+		Solved:      res.Solved,
+		Insoluble:   res.Insoluble,
+		Cycles:      res.Cycles,
+		MaxCCK:      res.MaxCCK,
+		TotalChecks: res.TotalChecks,
+		Messages:    int(res.Messages),
+	})
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.Telemetry.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return traceBuf.Bytes(), telBuf.Bytes()
+}
+
+func TestAnalyzeAcceptsCompleteStreams(t *testing.T) {
+	v1, tel := solveStreams(t)
+	if err := analyze(writeFixture(t, "v1.jsonl", v1), analysis{}); err != nil {
+		t.Errorf("complete v1 trace refused: %v", err)
+	}
+	if err := analyze(writeFixture(t, "tel.jsonl", tel), analysis{}); err != nil {
+		t.Errorf("complete telemetry stream refused: %v", err)
+	}
+}
+
+// TestAnalyzeRefusesTornTails is the satellite's contract: a stream whose
+// tail was torn exits with the reader's versioned truncation error instead
+// of rendering a silently partial table.
+func TestAnalyzeRefusesTornTails(t *testing.T) {
+	v1, tel := solveStreams(t)
+	err := analyze(writeFixture(t, "v1-torn.jsonl", tornTail(t, v1)), analysis{})
+	if !errors.Is(err, trace.ErrTruncatedTrace) {
+		t.Errorf("torn v1 trace: want ErrTruncatedTrace, got %v", err)
+	}
+	err = analyze(writeFixture(t, "tel-torn.jsonl", tornTail(t, tel)), analysis{})
+	if !errors.Is(err, telemetry.ErrTruncatedStream) {
+		t.Errorf("torn telemetry stream: want ErrTruncatedStream, got %v", err)
+	}
+}
+
+// TestAnalyzeCausalOnLegacyTrace: asking a v1 cycle trace for causal
+// analyses names the producing flag via the versioned legacy-trace error.
+func TestAnalyzeCausalOnLegacyTrace(t *testing.T) {
+	v1, _ := solveStreams(t)
+	err := analyze(writeFixture(t, "v1.jsonl", v1), analysis{critical: true})
+	if !errors.Is(err, telemetry.ErrLegacyTrace) {
+		t.Errorf("want ErrLegacyTrace, got %v", err)
+	}
+}

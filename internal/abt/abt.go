@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
@@ -25,6 +26,8 @@ type Ok struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
 	Value    csp.Value
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -33,11 +36,19 @@ func (m Ok) From() sim.AgentID { return m.Sender }
 // To implements sim.Message.
 func (m Ok) To() sim.AgentID { return m.Receiver }
 
+// CausalID implements causal.Traced.
+func (m Ok) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Ok) WithCausalID(id causal.ID) any { m.TID = id; return m }
+
 // NogoodMsg carries a derived nogood to the lowest-priority agent in it.
 type NogoodMsg struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
 	Nogood   csp.Nogood
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -46,11 +57,22 @@ func (m NogoodMsg) From() sim.AgentID { return m.Sender }
 // To implements sim.Message.
 func (m NogoodMsg) To() sim.AgentID { return m.Receiver }
 
+// CausalID implements causal.Traced.
+func (m NogoodMsg) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m NogoodMsg) WithCausalID(id causal.ID) any { m.TID = id; return m }
+
+// CarriedNogoodKey implements causal.NogoodCarrier.
+func (m NogoodMsg) CarriedNogoodKey() string { return m.Nogood.Key() }
+
 // Request asks the receiver to add the sender as an outgoing link (sent when
 // a received nogood mentions an unknown higher-priority variable).
 type Request struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -58,6 +80,12 @@ func (m Request) From() sim.AgentID { return m.Sender }
 
 // To implements sim.Message.
 func (m Request) To() sim.AgentID { return m.Receiver }
+
+// CausalID implements causal.Traced.
+func (m Request) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Request) WithCausalID(id causal.ID) any { m.TID = id; return m }
 
 // Stats exposes per-agent bookkeeping.
 type Stats struct {
@@ -82,6 +110,10 @@ type Agent struct {
 
 	insoluble bool
 	stats     Stats
+
+	// causalT, when non-nil, records nogood lineage (store and learn
+	// events). Nil when tracing is off.
+	causalT *causal.AgentTracer
 }
 
 var _ sim.Agent = (*Agent)(nil)
@@ -162,6 +194,11 @@ func (a *Agent) StoreLearnedLen() int { return a.store.LearnedLen() }
 func (a *Agent) Instrument(m telemetry.StoreMetrics) {
 	a.store.Instrument(m)
 }
+
+// SetCausal attaches the causal tracing handle (nil disables lineage
+// recording). Restarted incarnations receive the same handle, keeping
+// trace IDs stable.
+func (a *Agent) SetCausal(at *causal.AgentTracer) { a.causalT = at }
 
 // Stats returns the agent's bookkeeping counters.
 func (a *Agent) Stats() Stats { return a.stats }
@@ -250,6 +287,7 @@ func (a *Agent) receiveNogood(msg NogoodMsg) []sim.Message {
 	}
 	if a.store.Add(ng) {
 		a.stats.NogoodsRecorded++
+		a.causalT.Store(ng, msg.TID)
 	}
 	return out
 }
@@ -292,6 +330,10 @@ func (a *Agent) checkAgentView(out []sim.Message) []sim.Message {
 			lits = append(lits, csp.Lit{Var: v, Val: val})
 		}
 		ng := csp.MustNogood(lits...)
+		// ABT's nogood is the agent_view itself; the derivation consults no
+		// store entries, so the learn event's cause is just the enclosing
+		// span (whose causes are the ok? messages that built the view).
+		a.causalT.Learn(ng)
 		if ng.Empty() {
 			a.insoluble = true
 			return out

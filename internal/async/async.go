@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/progress"
@@ -117,6 +118,11 @@ type Options struct {
 	// nogood-store sizes). Nil disables all instrumentation; the runtime
 	// behaves identically either way apart from the observation itself.
 	Telemetry *telemetry.Run
+	// Causal, when non-nil, records one span per agent activation and
+	// stamps outgoing messages with trace IDs (see internal/causal). Agent
+	// handles are per-variable and survive crash-restarts, so a restarted
+	// incarnation continues its predecessor's trace-ID counter.
+	Causal *causal.Tracer
 }
 
 // Result reports a completed asynchronous run.
@@ -187,6 +193,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		processed: make([]atomic.Int64, n),
 		stop:      make(chan struct{}),
 		tel:       opts.Telemetry,
+		causal:    opts.Causal,
 	}
 	if reg := opts.Telemetry.Registry(); reg != nil {
 		// Resolve per-agent metrics up front (lookups mutate the registry
@@ -252,7 +259,12 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		rt.published[v].Store(int64(a.CurrentValue()))
 	}
 	for _, a := range rt.agents {
-		rt.route(a.Init())
+		at := rt.causal.Agent(int(a.ID()))
+		at.Begin(causal.SpanInit, 0)
+		out := a.Init()
+		stampBatch(at, out)
+		at.End()
+		rt.route(out)
 	}
 
 	var wg sync.WaitGroup
@@ -324,6 +336,7 @@ type runtime struct {
 	partitioned    atomic.Int64
 
 	tel         *telemetry.Run
+	causal      *causal.Tracer
 	storeGauges []*telemetry.Gauge
 	queueHist   *telemetry.Histogram
 
@@ -416,6 +429,10 @@ type delayedMsg struct {
 func (rt *runtime) agentLoop(v int) {
 	a := rt.agents[v]
 	mb := rt.mailboxes[v]
+	// One tracer handle per variable for the whole loop: a restarted
+	// incarnation keeps its predecessor's trace-ID counter, so cause IDs
+	// stay stable across crash-restarts. Nil when tracing is off.
+	at := rt.causal.Agent(v)
 	var crash faults.Crash
 	crashPending := false
 	if rt.inj != nil {
@@ -457,7 +474,11 @@ func (rt *runtime) agentLoop(v int) {
 			// redelivered by retransmission.
 			rt.retransmits.Add(int64(len(batch)))
 		}
+		at.Begin(causal.SpanStep, steps)
+		causeBatch(at, batch)
 		out := a.Step(batch)
+		stampBatch(at, out)
+		at.End()
 		steps++
 		if crashPending {
 			if c, canSnap := a.(sim.Checkpointer); canSnap {
@@ -480,6 +501,28 @@ func (rt *runtime) agentLoop(v int) {
 // fail records the first fatal runtime error; the monitor surfaces it.
 func (rt *runtime) fail(err error) {
 	rt.runErr.CompareAndSwap(nil, err)
+}
+
+// causeBatch records the delivered batch as the open span's cause set.
+// No-op (no allocation, no timestamp) when tracing is off.
+func causeBatch(at *causal.AgentTracer, in []sim.Message) {
+	if at == nil {
+		return
+	}
+	for _, m := range in {
+		at.Cause(m)
+	}
+}
+
+// stampBatch assigns trace IDs to outgoing messages in place. No-op when
+// tracing is off.
+func stampBatch(at *causal.AgentTracer, out []sim.Message) {
+	if at == nil {
+		return
+	}
+	for i, m := range out {
+		out[i] = at.Stamp(m, int(m.To()), sim.TypeName(m)).(sim.Message)
+	}
 }
 
 // route delivers messages, applying the fault schedule and optional jitter.

@@ -14,6 +14,7 @@ package breakout
 import (
 	"fmt"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
@@ -25,6 +26,8 @@ type Ok struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
 	Value    csp.Value
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -33,12 +36,20 @@ func (m Ok) From() sim.AgentID { return m.Sender }
 // To implements sim.Message.
 func (m Ok) To() sim.AgentID { return m.Receiver }
 
+// CausalID implements causal.Traced.
+func (m Ok) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Ok) WithCausalID(id causal.ID) any { m.TID = id; return m }
+
 // Improve carries the sender's possible improvement and current cost.
 type Improve struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
 	Improve  int
 	Eval     int
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -46,6 +57,12 @@ func (m Improve) From() sim.AgentID { return m.Sender }
 
 // To implements sim.Message.
 func (m Improve) To() sim.AgentID { return m.Receiver }
+
+// CausalID implements causal.Traced.
+func (m Improve) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Improve) WithCausalID(id causal.ID) any { m.TID = id; return m }
 
 type mode int
 

@@ -1,0 +1,600 @@
+package causal
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/discsp/discsp/internal/csp"
+	"github.com/discsp/discsp/internal/telemetry"
+)
+
+func TestParseIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ID
+	}{
+		{"0:1", ID{Agent: 0, Seq: 1}},
+		{"17:9000000000", ID{Agent: 17, Seq: 9000000000}},
+		{"c:0", ID{Agent: ConstraintAgent, Seq: 0}},
+		{"c:42", ID{Agent: ConstraintAgent, Seq: 42}},
+	}
+	for _, c := range cases {
+		got, err := ParseID(c.in)
+		if err != nil {
+			t.Errorf("ParseID(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseID(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if s := got.String(); s != c.in {
+			t.Errorf("%+v.String() = %q, want %q", got, s, c.in)
+		}
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		id := ID{Agent: int32(r.Intn(1 << 20)), Seq: r.Int63()}
+		back, err := ParseID(id.String())
+		if err != nil || back != id {
+			t.Fatalf("round trip %+v -> %q -> %+v, err=%v", id, id.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"", "7", "x:1", "1:y", "1:", ":3"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestZeroIDIsUntraced(t *testing.T) {
+	if !(ID{}).IsZero() {
+		t.Error("zero ID not IsZero")
+	}
+	if (ID{Agent: 0, Seq: 1}).IsZero() {
+		t.Error("allocated ID reads as zero")
+	}
+}
+
+// nilsafe: a disabled tracer (nil sink) must hand out nil handles whose
+// every method is an immediate no-op — the inertness guarantee's first leg.
+func TestNilTracerIsInert(t *testing.T) {
+	tr := New(nil, testProblem(t))
+	if tr != nil {
+		t.Fatal("New(nil, ...) did not return a nil tracer")
+	}
+	at := tr.Agent(3)
+	if at != nil {
+		t.Fatal("nil tracer handed out a non-nil agent handle")
+	}
+	// None of these may panic.
+	at.Begin(SpanStep, 1)
+	at.Cause(testMsg{})
+	if m := at.Stamp(testMsg{payload: 9}, 2, "ok"); m.(testMsg).payload != 9 {
+		t.Error("nil Stamp did not pass the message through unchanged")
+	}
+	at.Consult(mustNogood(t, csp.Lit{Var: 0, Val: 1}))
+	at.Learn(mustNogood(t, csp.Lit{Var: 0, Val: 1}))
+	at.Store(mustNogood(t, csp.Lit{Var: 0, Val: 1}), ID{Agent: 1, Seq: 1})
+	at.End()
+}
+
+// testMsg is a minimal Traced + NogoodCarrier message.
+type testMsg struct {
+	tid     ID
+	payload int
+	carries string
+}
+
+func (m testMsg) CausalID() ID             { return m.tid }
+func (m testMsg) WithCausalID(id ID) any   { m.tid = id; return m }
+func (m testMsg) CarriedNogoodKey() string { return m.carries }
+
+// untracedMsg does not implement Traced; Stamp must pass it through.
+type untracedMsg struct{ payload int }
+
+func mustNogood(t *testing.T, lits ...csp.Lit) csp.Nogood {
+	t.Helper()
+	ng, err := csp.NewNogood(lits...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
+// testProblem builds a 3-variable chain with two not-equal constraints.
+func testProblem(t *testing.T) *csp.Problem {
+	t.Helper()
+	p := csp.NewProblemUniform(3, 2)
+	for i := 0; i < 2; i++ {
+		if err := p.AddNotEqual(csp.Var(i), csp.Var(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// record runs fn against a fresh tracer and returns the decoded stream.
+func record(t *testing.T, p *csp.Problem, fn func(*Tracer)) []telemetry.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	run := telemetry.NewRun(telemetry.NewRegistry(), &buf)
+	run.Emit(telemetry.Event{Kind: telemetry.KindMeta, Runtime: "sync"})
+	tr := New(run, p)
+	if tr == nil {
+		t.Fatal("tracer nil with live sink")
+	}
+	fn(tr)
+	run.Emit(telemetry.Event{Kind: telemetry.KindEnd, Solved: true})
+	if err := run.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestConstraintFrontier: New numbers the problem's canonical nogoods as
+// c:0..c:k-1 in index order, one SpanConstraint each.
+func TestConstraintFrontier(t *testing.T) {
+	p := testProblem(t)
+	events := record(t, p, func(tr *Tracer) {})
+	var ids []string
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindSpan {
+			if ev.SpanKind != SpanConstraint {
+				t.Errorf("unexpected span kind %q", ev.SpanKind)
+			}
+			if ev.Agent != ConstraintAgent || ev.NogoodKey == "" {
+				t.Errorf("constraint span malformed: %+v", ev)
+			}
+			ids = append(ids, ev.SpanID)
+		}
+	}
+	if len(ids) != p.NumNogoods() {
+		t.Fatalf("got %d constraint spans, want %d", len(ids), p.NumNogoods())
+	}
+	for i, id := range ids {
+		want := ID{Agent: ConstraintAgent, Seq: int64(i)}.String()
+		if id != want {
+			t.Errorf("constraint %d numbered %s, want %s", i, id, want)
+		}
+	}
+}
+
+// TestSpanLifecycle drives one agent through a full activation — cause,
+// stamp, store, consult, learn — and checks the resulting graph wires every
+// edge the way the analyses rely on.
+func TestSpanLifecycle(t *testing.T) {
+	p := testProblem(t)
+	stored := mustNogood(t, csp.Lit{Var: 0, Val: 1}, csp.Lit{Var: 1, Val: 0})
+	learned := mustNogood(t, csp.Lit{Var: 0, Val: 1})
+	var stampedOut any
+	events := record(t, p, func(tr *Tracer) {
+		a0 := tr.Agent(0)
+		a0.Begin(SpanInit, 0)
+		stampedOut = a0.Stamp(testMsg{payload: 7}, 1, "ok")
+		a0.End()
+
+		a1 := tr.Agent(1)
+		a1.Begin(SpanStep, 2)
+		a1.Cause(stampedOut)
+		a1.Store(stored, stampedOut.(testMsg).CausalID())
+		a1.Consult(stored)
+		a1.Consult(p.Nogood(0)) // initial constraint: resolves to c:0
+		a1.Learn(learned)
+		// The outgoing nogood message links back to the learn event.
+		out := a1.Stamp(testMsg{carries: learned.Key()}, 0, "nogood")
+		a1.End()
+		if out.(testMsg).CausalID().IsZero() {
+			t.Error("stamped message has no trace ID")
+		}
+
+		// Untraced messages pass through Stamp unchanged.
+		a1.Begin(SpanStep, 3)
+		if m := a1.Stamp(untracedMsg{payload: 4}, 0, "raw"); m.(untracedMsg).payload != 4 {
+			t.Error("non-Traced message mutated by Stamp")
+		}
+		a1.End()
+
+		// An activation with no causes, emits, or inner events is dropped.
+		a1.Begin(SpanStep, 4)
+		a1.End()
+	})
+
+	g, err := BuildGraph(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dang := g.Dangling(); len(dang) != 0 {
+		t.Fatalf("dangling causes: %v", dang)
+	}
+
+	msgID := stampedOut.(testMsg).CausalID().String()
+	msg := g.Nodes[msgID]
+	if msg == nil || msg.Kind != KindMessage || msg.To != 1 || msg.Type != "ok" {
+		t.Fatalf("message node wrong: %+v", msg)
+	}
+
+	var step, store, learn *Node
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		switch {
+		case n.Kind == SpanStep && n.Agent == 1 && n.Cycle == 2:
+			step = n
+		case n.Kind == SpanStore:
+			store = n
+		case n.Kind == SpanLearn:
+			learn = n
+		}
+	}
+	if step == nil || store == nil || learn == nil {
+		t.Fatalf("missing nodes: step=%v store=%v learn=%v", step, store, learn)
+	}
+	if len(step.Causes) != 1 || step.Causes[0] != msgID {
+		t.Errorf("step causes = %v, want [%s]", step.Causes, msgID)
+	}
+	if len(store.Causes) != 1 || store.Causes[0] != msgID {
+		t.Errorf("store causes = %v, want [%s]", store.Causes, msgID)
+	}
+	// Learn causes: enclosing span, then the consulted store entry and the
+	// consulted initial constraint.
+	wantCauses := map[string]bool{step.ID: true, store.ID: true, "c:0": true}
+	if len(learn.Causes) != 3 {
+		t.Fatalf("learn causes = %v, want 3 entries", learn.Causes)
+	}
+	for _, c := range learn.Causes {
+		if !wantCauses[c] {
+			t.Errorf("unexpected learn cause %s (want one of %v)", c, wantCauses)
+		}
+	}
+	if learn.NogoodKey == "" {
+		t.Error("learn event lost its nogood key")
+	}
+
+	// The nogood-carrying emission records the learn event as extra cause.
+	var carrier *Node
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		if n.Kind == KindMessage && n.Type == "nogood" {
+			carrier = n
+		}
+	}
+	if carrier == nil {
+		t.Fatal("nogood-carrying message not materialized")
+	}
+	found := false
+	for _, c := range carrier.Causes {
+		if c == learn.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("carrier causes %v do not include learn %s", carrier.Causes, learn.ID)
+	}
+
+	// The idle activation (cycle 4) must have been dropped.
+	for _, id := range g.Order {
+		if n := g.Nodes[id]; n.Kind == SpanStep && n.Cycle == 4 {
+			t.Error("idle activation was emitted")
+		}
+	}
+}
+
+// TestAgentHandleStableAcrossRestart pins the crash-restart contract: the
+// handle (and its counter) belongs to the Tracer, so a restarted incarnation
+// continues its predecessor's numbering instead of reissuing IDs.
+func TestAgentHandleStableAcrossRestart(t *testing.T) {
+	events := record(t, testProblem(t), func(tr *Tracer) {
+		first := tr.Agent(5)
+		first.Begin(SpanInit, 0)
+		first.Stamp(testMsg{}, 1, "ok")
+		first.End()
+
+		// "Restart": a new incarnation asks for the same agent's handle.
+		second := tr.Agent(5)
+		if second != first {
+			t.Fatal("restarted incarnation got a fresh handle")
+		}
+		second.Begin(SpanStep, 0)
+		second.Stamp(testMsg{}, 1, "ok")
+		second.End()
+	})
+	g, err := BuildGraph(events)
+	if err != nil {
+		t.Fatal(err) // a reset counter would produce duplicate IDs here
+	}
+	var maxSeq int64
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		if n.PID.Agent == 5 && n.PID.Seq > maxSeq {
+			maxSeq = n.PID.Seq
+		}
+	}
+	if maxSeq != 4 { // span, msg, span, msg
+		t.Errorf("agent 5 counter reached %d, want 4", maxSeq)
+	}
+}
+
+// TestConsultUnknownOriginSeeds: consulting a nogood the tracer never saw
+// (a warm-start entry recorded before tracing attached) registers a seed
+// node, so the provenance walk never dangles.
+func TestConsultUnknownOriginSeeds(t *testing.T) {
+	foreign := mustNogood(t, csp.Lit{Var: 2, Val: 1})
+	events := record(t, testProblem(t), func(tr *Tracer) {
+		a := tr.Agent(0)
+		a.Begin(SpanStep, 1)
+		a.Consult(foreign)
+		a.Learn(mustNogood(t, csp.Lit{Var: 0, Val: 0}))
+		a.End()
+	})
+	g, err := BuildGraph(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dang := g.Dangling(); len(dang) != 0 {
+		t.Fatalf("dangling causes: %v", dang)
+	}
+	seeds := 0
+	for _, id := range g.Order {
+		if n := g.Nodes[id]; n.Kind == SpanSeed {
+			seeds++
+			if n.NogoodKey != foreign.Key() {
+				t.Errorf("seed key = %q, want %q", n.NogoodKey, foreign.Key())
+			}
+		}
+	}
+	if seeds != 1 {
+		t.Errorf("got %d seed nodes, want 1", seeds)
+	}
+}
+
+// span builds a synthetic activation-span event for graph tests.
+func span(id, kind string, agent int, start, end int64, causes []string, emits ...[4]string) telemetry.Event {
+	ev := telemetry.Event{
+		Kind: telemetry.KindSpan, SpanKind: kind, SpanID: id, Agent: agent,
+		StartUS: start, EndUS: end, Causes: causes,
+	}
+	for _, e := range emits {
+		ev.Emits = append(ev.Emits, e[0])
+		ev.EmitTo = append(ev.EmitTo, int(e[1][0]-'0'))
+		ev.EmitType = append(ev.EmitType, e[2])
+		ev.EmitCause = append(ev.EmitCause, e[3])
+	}
+	return ev
+}
+
+// chainEvents is a hand-built three-hop implication chain:
+//
+//	agent 0 init [0,10]  — emits 0:2 to agent 1
+//	agent 1 step [15,40] — caused by 0:2, emits 1:2 to agent 2
+//	agent 2 step [50,60] — caused by 1:2
+//	agent 0 step [5,8]   — a short decoy off the critical chain
+func chainEvents(runtime string) []telemetry.Event {
+	return []telemetry.Event{
+		{Kind: telemetry.KindMeta, Runtime: runtime},
+		span("0:1", SpanInit, 0, 0, 10, nil, [4]string{"0:2", "1", "ok", ""}),
+		span("0:3", SpanStep, 0, 5, 8, nil),
+		span("1:1", SpanStep, 1, 15, 40, []string{"0:2"}, [4]string{"1:2", "2", "ok", ""}),
+		span("2:1", SpanStep, 2, 50, 60, []string{"1:2"}),
+		{Kind: telemetry.KindEnd, Solved: true, DurationUS: 60},
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	g, err := BuildGraph(chainEvents("async"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TransitKind != "queue" {
+		t.Errorf("TransitKind = %q, want queue", cp.TransitKind)
+	}
+	wantSpans := []string{"0:1", "1:1", "2:1"}
+	if len(cp.Steps) != len(wantSpans) {
+		t.Fatalf("path has %d steps, want %d: %+v", len(cp.Steps), len(wantSpans), cp.Steps)
+	}
+	for i, s := range cp.Steps {
+		if s.Span.ID != wantSpans[i] {
+			t.Errorf("step %d span %s, want %s", i, s.Span.ID, wantSpans[i])
+		}
+	}
+	if cp.Steps[0].Msg != nil {
+		t.Error("first step has an inbound message")
+	}
+	if cp.Steps[1].Msg == nil || cp.Steps[1].Msg.ID != "0:2" {
+		t.Errorf("step 1 message = %+v, want 0:2", cp.Steps[1].Msg)
+	}
+	// compute: 10 + 25 + 10 = 45; transit: (15-10) + (50-40) = 15; total 60.
+	if cp.ComputeUS != 45 || cp.TransitUS != 15 || cp.TotalUS != 60 {
+		t.Errorf("compute=%d transit=%d total=%d, want 45/15/60",
+			cp.ComputeUS, cp.TransitUS, cp.TotalUS)
+	}
+	if cp.PerAgent[1] != 25 {
+		t.Errorf("agent 1 compute = %d, want 25", cp.PerAgent[1])
+	}
+
+	// The tcp runtime classifies the same hand-offs as wire latency.
+	g2, err := BuildGraph(chainEvents("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := g2.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.TransitKind != "wire" {
+		t.Errorf("tcp TransitKind = %q, want wire", cp2.TransitKind)
+	}
+}
+
+func TestBuildGraphRejectsDuplicateIDs(t *testing.T) {
+	events := []telemetry.Event{
+		span("0:1", SpanStep, 0, 0, 1, nil),
+		span("0:1", SpanStep, 0, 2, 3, nil),
+	}
+	if _, err := BuildGraph(events); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("want duplicate-id error, got %v", err)
+	}
+}
+
+func TestBuildGraphNoTrace(t *testing.T) {
+	events := []telemetry.Event{
+		{Kind: telemetry.KindMeta, Runtime: "sync"},
+		{Kind: telemetry.KindEnd, Solved: true},
+	}
+	if _, err := BuildGraph(events); err != ErrNoTrace {
+		t.Errorf("want ErrNoTrace, got %v", err)
+	}
+}
+
+func TestDangling(t *testing.T) {
+	events := []telemetry.Event{
+		span("1:1", SpanStep, 1, 0, 1, []string{"0:9", "0:9", "2:7"}),
+	}
+	g, err := BuildGraph(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dang := g.Dangling()
+	if len(dang) != 2 || dang[0] != "0:9" || dang[1] != "2:7" {
+		t.Errorf("Dangling() = %v, want [0:9 2:7]", dang)
+	}
+}
+
+// provenanceEvents: constraint c:0 → store 1:2 (via message 0:2) and learn
+// 1:3 consulting the store entry; learn 2:2 consults nothing but its span.
+func provenanceEvents() []telemetry.Event {
+	return []telemetry.Event{
+		{Kind: telemetry.KindMeta, Runtime: "sync"},
+		{Kind: telemetry.KindSpan, SpanKind: SpanConstraint, SpanID: "c:0", Agent: ConstraintAgent, NogoodKey: "0=1"},
+		span("0:1", SpanInit, 0, 0, 10, nil, [4]string{"0:2", "1", "nogood", "c:0"}),
+		span("1:1", SpanStep, 1, 12, 20, []string{"0:2"}),
+		{Kind: telemetry.KindSpan, SpanKind: SpanStore, SpanID: "1:2", Agent: 1, Causes: []string{"0:2"}, NogoodKey: "0=1"},
+		{Kind: telemetry.KindSpan, SpanKind: SpanLearn, SpanID: "1:3", Agent: 1, Causes: []string{"1:1", "1:2"}, NogoodKey: "1=0"},
+		span("2:1", SpanStep, 2, 30, 35, nil),
+		{Kind: telemetry.KindSpan, SpanKind: SpanLearn, SpanID: "2:2", Agent: 2, Causes: []string{"2:1"}, NogoodKey: "2=1"},
+		{Kind: telemetry.KindEnd, Solved: true},
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	g, err := BuildGraph(provenanceEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := g.Provenance("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Roots) != 2 || all.Roots[0].ID != "1:3" || all.Roots[1].ID != "2:2" {
+		t.Fatalf("roots = %+v, want learn nodes 1:3, 2:2", all.Roots)
+	}
+	if len(all.Dangling) != 0 {
+		t.Errorf("dangling: %v", all.Dangling)
+	}
+	// Terminal frontier of the full walk: the constraint node and the two
+	// cause-free activation spans.
+	terms := all.Terminals()
+	var termIDs []string
+	for _, n := range terms {
+		termIDs = append(termIDs, n.ID)
+	}
+	wantTerms := map[string]bool{"c:0": true, "0:1": true, "2:1": true}
+	if len(terms) != len(wantTerms) {
+		t.Fatalf("terminals = %v, want %v", termIDs, wantTerms)
+	}
+	for _, id := range termIDs {
+		if !wantTerms[id] {
+			t.Errorf("unexpected terminal %s", id)
+		}
+	}
+	// 1:3 consulted the store node 1:2 — one use.
+	if all.UseCounts["1:2"] != 1 {
+		t.Errorf("UseCounts[1:2] = %d, want 1", all.UseCounts["1:2"])
+	}
+
+	// Query by trace ID walks only that root's cone.
+	one, err := g.Provenance("1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Roots) != 1 || one.Roots[0].ID != "1:3" {
+		t.Fatalf("roots = %+v", one.Roots)
+	}
+	if _, reached := one.Reach["2:2"]; reached {
+		t.Error("1:3's cone reaches unrelated learn 2:2")
+	}
+	if _, reached := one.Reach["c:0"]; !reached {
+		t.Error("1:3's cone misses the constraint terminal")
+	}
+
+	// Query by canonical nogood key.
+	byKey, err := g.Provenance("0=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byKey.Roots) != 2 { // the constraint node and the store node share the key
+		t.Fatalf("key query roots = %+v, want 2", byKey.Roots)
+	}
+
+	// A non-nogood node is rejected by ID.
+	if _, err := g.Provenance("1:1"); err == nil {
+		t.Error("Provenance accepted an activation span as root")
+	}
+	if _, err := g.Provenance("no-such"); err == nil {
+		t.Error("Provenance accepted an unknown target")
+	}
+}
+
+// TestWritePerfetto: the export is valid JSON in Chrome trace-event shape —
+// a traceEvents array with metadata, complete spans, and flow s/f pairs.
+func TestWritePerfetto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, chainEvents("async")); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TID   int    `json:"tid"`
+			ID    string `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	flows := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		counts[ev.Phase]++
+		if ev.Phase == "s" || ev.Phase == "f" {
+			flows[ev.ID]++
+		}
+	}
+	if counts["X"] != 4 { // four activation spans
+		t.Errorf("complete spans = %d, want 4", counts["X"])
+	}
+	if counts["M"] == 0 {
+		t.Error("no metadata events (process/thread names)")
+	}
+	// Both consumed messages (0:2, 1:2) get an s/f pair.
+	if counts["s"] != 2 || counts["f"] != 2 {
+		t.Errorf("flow events s=%d f=%d, want 2/2", counts["s"], counts["f"])
+	}
+	for id, n := range flows {
+		if n != 2 {
+			t.Errorf("flow %s has %d endpoints, want 2", id, n)
+		}
+	}
+}

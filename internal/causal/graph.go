@@ -1,0 +1,393 @@
+package causal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/discsp/discsp/internal/telemetry"
+)
+
+// This file is the read side: it reconstructs the causal graph from a
+// schema-3 telemetry stream and runs the dcsptrace analyses on it.
+
+// Node kinds beyond the span kinds written by the tracer.
+const (
+	// KindMessage is a reconstructed message node: the write side records
+	// emissions inline on their span (Emits/EmitTo/EmitType/EmitCause), and
+	// the graph builder materializes each as its own node whose causes are
+	// the emitting span plus the carried-nogood node.
+	KindMessage = "message"
+)
+
+// Node is one vertex of the causal graph.
+type Node struct {
+	ID    string
+	PID   ID     // parsed form of ID
+	Kind  string // SpanInit, SpanStep, SpanLearn, SpanStore, SpanSeed, SpanConstraint, or KindMessage
+	Agent int
+	Cycle int
+
+	// Message-node fields.
+	To   int
+	Type string
+
+	// Span timestamps (activation spans only), µs since tracing started.
+	StartUS, EndUS int64
+
+	Causes    []string
+	NogoodKey string
+}
+
+// Graph is the reconstructed causal graph of one traced run.
+type Graph struct {
+	Nodes map[string]*Node
+	// Order lists node IDs in stream order, for deterministic iteration.
+	Order []string
+
+	// Runtime is the traced run's runtime ("sync", "async", "tcp"), from
+	// the stream's meta event; it classifies inter-span latency as queue
+	// (in-process hand-off) or wire (TCP hop).
+	Runtime string
+	// Verdict fields from the stream's end event, when present.
+	Solved     bool
+	Insoluble  bool
+	DurationUS int64
+
+	// consumer maps a message node to the span that listed it as a cause.
+	consumer map[string]string
+}
+
+// ErrNoTrace marks a stream without span events (the run was not traced
+// with -causal).
+var ErrNoTrace = errors.New("causal: stream contains no span events (was the run traced with -causal?)")
+
+// BuildGraph reconstructs the causal graph from a telemetry stream.
+func BuildGraph(events []telemetry.Event) (*Graph, error) {
+	g := &Graph{Nodes: make(map[string]*Node), consumer: make(map[string]string)}
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.KindMeta:
+			if g.Runtime == "" && ev.Runtime != "" {
+				g.Runtime = ev.Runtime
+			}
+		case telemetry.KindEnd:
+			g.Solved, g.Insoluble, g.DurationUS = ev.Solved, ev.Insoluble, ev.DurationUS
+		case telemetry.KindSpan:
+			if err := g.addSpan(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(g.Nodes) == 0 {
+		return nil, ErrNoTrace
+	}
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		if n.Kind != SpanInit && n.Kind != SpanStep {
+			continue
+		}
+		for _, c := range n.Causes {
+			if m, ok := g.Nodes[c]; ok && m.Kind == KindMessage {
+				g.consumer[c] = n.ID
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addSpan(ev telemetry.Event) error {
+	pid, err := ParseID(ev.SpanID)
+	if err != nil {
+		return err
+	}
+	n := &Node{
+		ID:        ev.SpanID,
+		PID:       pid,
+		Kind:      ev.SpanKind,
+		Agent:     ev.Agent,
+		Cycle:     ev.Cycle,
+		StartUS:   ev.StartUS,
+		EndUS:     ev.EndUS,
+		Causes:    ev.Causes,
+		NogoodKey: ev.NogoodKey,
+	}
+	if err := g.add(n); err != nil {
+		return err
+	}
+	if len(ev.Emits) != len(ev.EmitTo) || len(ev.Emits) != len(ev.EmitType) || len(ev.Emits) != len(ev.EmitCause) {
+		return fmt.Errorf("causal: span %s has ragged emit columns", ev.SpanID)
+	}
+	for i, mid := range ev.Emits {
+		mpid, err := ParseID(mid)
+		if err != nil {
+			return err
+		}
+		causes := []string{ev.SpanID}
+		if ev.EmitCause[i] != "" {
+			causes = append(causes, ev.EmitCause[i])
+		}
+		if err := g.add(&Node{
+			ID:        mid,
+			PID:       mpid,
+			Kind:      KindMessage,
+			Agent:     ev.Agent,
+			Cycle:     ev.Cycle,
+			To:        ev.EmitTo[i],
+			Type:      ev.EmitType[i],
+			StartUS:   ev.EndUS, // send instant: when the emitting span closed
+			EndUS:     ev.EndUS,
+			Causes:    causes,
+			NogoodKey: "",
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Graph) add(n *Node) error {
+	if _, dup := g.Nodes[n.ID]; dup {
+		return fmt.Errorf("causal: duplicate trace id %s (streams hold at most one traced run)", n.ID)
+	}
+	g.Nodes[n.ID] = n
+	g.Order = append(g.Order, n.ID)
+	return nil
+}
+
+// Dangling returns every cause ID referenced by some node but defined by
+// none, in first-reference order. A correct trace returns an empty slice:
+// provenance chains terminate at constraint/seed/init nodes, which exist
+// and have no causes.
+func (g *Graph) Dangling() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, id := range g.Order {
+		for _, c := range g.Nodes[id].Causes {
+			if _, ok := g.Nodes[c]; !ok && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// before orders nodes deterministically: by agent, then seq.
+func before(a, b *Node) bool {
+	if a.PID.Agent != b.PID.Agent {
+		return a.PID.Agent < b.PID.Agent
+	}
+	return a.PID.Seq < b.PID.Seq
+}
+
+// PathStep is one hop of the critical path: an activation span, the
+// message that delivered its critical dependency (nil on the first step),
+// and the split of the step's latency contribution.
+type PathStep struct {
+	Span *Node
+	Msg  *Node
+	// TransitUS is the latency between the sending span's end and this
+	// span's start (message queued or on the wire); ComputeUS is this
+	// span's own duration.
+	TransitUS int64
+	ComputeUS int64
+}
+
+// CriticalPath is the longest causal chain ending at the verdict: starting
+// from the last span to finish, each step walks back through the
+// dependency that arrived last — the edge that determined when the span
+// could run, and therefore the run's wall clock.
+type CriticalPath struct {
+	Steps []PathStep
+	// TotalUS is the span of the path: last end minus first start.
+	TotalUS int64
+	// ComputeUS and TransitUS split the path's latency into agent compute
+	// and message hand-off; TransitKind names the hand-off medium ("wire"
+	// on the tcp runtime, "queue" otherwise).
+	ComputeUS   int64
+	TransitUS   int64
+	TransitKind string
+	// PerAgent is each agent's compute contribution along the path.
+	PerAgent map[int]int64
+}
+
+// CriticalPath extracts the critical path. The terminal span is the last
+// activation to finish (ties broken by trace ID, so extraction is
+// deterministic for a given stream).
+func (g *Graph) CriticalPath() (*CriticalPath, error) {
+	var terminal *Node
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		if n.Kind != SpanInit && n.Kind != SpanStep {
+			continue
+		}
+		if terminal == nil || n.EndUS > terminal.EndUS ||
+			(n.EndUS == terminal.EndUS && before(n, terminal)) {
+			terminal = n
+		}
+	}
+	if terminal == nil {
+		return nil, ErrNoTrace
+	}
+
+	cp := &CriticalPath{PerAgent: make(map[int]int64)}
+	cp.TransitKind = "queue"
+	if g.Runtime == "tcp" {
+		cp.TransitKind = "wire"
+	}
+
+	// Walk backwards: at each span, the critical dependency is the message
+	// whose sender finished last; without message causes the chain starts.
+	cur := terminal
+	var rev []PathStep
+	visited := make(map[string]bool)
+	for {
+		if visited[cur.ID] {
+			return nil, fmt.Errorf("causal: cycle through %s", cur.ID)
+		}
+		visited[cur.ID] = true
+		var critMsg, critSender *Node
+		for _, c := range cur.Causes {
+			m, ok := g.Nodes[c]
+			if !ok || m.Kind != KindMessage {
+				continue
+			}
+			s, ok := g.Nodes[m.Causes[0]]
+			if !ok {
+				continue
+			}
+			if critSender == nil || s.EndUS > critSender.EndUS ||
+				(s.EndUS == critSender.EndUS && before(s, critSender)) {
+				critMsg, critSender = m, s
+			}
+		}
+		step := PathStep{Span: cur, ComputeUS: cur.EndUS - cur.StartUS}
+		if critMsg != nil {
+			step.Msg = critMsg
+			if t := cur.StartUS - critSender.EndUS; t > 0 {
+				step.TransitUS = t
+			}
+		}
+		rev = append(rev, step)
+		if critSender == nil {
+			break
+		}
+		cur = critSender
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		cp.Steps = append(cp.Steps, rev[i])
+	}
+	for _, s := range cp.Steps {
+		cp.ComputeUS += s.ComputeUS
+		cp.TransitUS += s.TransitUS
+		cp.PerAgent[s.Span.Agent] += s.ComputeUS
+	}
+	cp.TotalUS = terminal.EndUS - cp.Steps[0].Span.StartUS
+	return cp, nil
+}
+
+// Provenance is the derivation DAG of one or more nogood nodes, walked
+// back to its terminal frontier (constraints and seeds).
+type Provenance struct {
+	// Roots are the queried nogood nodes, in stream order.
+	Roots []*Node
+	// Reach is the reachable subgraph, keyed by node ID.
+	Reach map[string]*Node
+	// UseCounts maps each nogood node's ID to the number of times a learn
+	// event consulted it — the audit signal for retention policy: an
+	// evicted nogood with a high use count was evicted too early.
+	UseCounts map[string]int
+	// Dangling lists cause IDs that resolve to no node; empty on a
+	// well-formed trace.
+	Dangling []string
+}
+
+// nogoodNode reports whether n introduces a nogood.
+func nogoodNode(n *Node) bool {
+	switch n.Kind {
+	case SpanLearn, SpanStore, SpanSeed, SpanConstraint:
+		return true
+	}
+	return false
+}
+
+// Provenance builds the derivation DAG for target: a trace ID, a canonical
+// nogood key, or "" / "all" for every learn node in the trace. Use counts
+// are computed over the whole trace regardless of target, so the audit
+// view is stable.
+func (g *Graph) Provenance(target string) (*Provenance, error) {
+	p := &Provenance{Reach: make(map[string]*Node), UseCounts: make(map[string]int)}
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		if n.Kind != SpanLearn {
+			continue
+		}
+		for _, c := range n.Causes {
+			if m, ok := g.Nodes[c]; ok && nogoodNode(m) {
+				p.UseCounts[c]++
+			}
+		}
+	}
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		switch {
+		case target == "" || target == "all":
+			if n.Kind == SpanLearn {
+				p.Roots = append(p.Roots, n)
+			}
+		case n.ID == target:
+			if !nogoodNode(n) {
+				return nil, fmt.Errorf("causal: node %s is a %s, not a nogood node", n.ID, n.Kind)
+			}
+			p.Roots = append(p.Roots, n)
+		case n.NogoodKey == target && nogoodNode(n):
+			p.Roots = append(p.Roots, n)
+		}
+	}
+	if len(p.Roots) == 0 {
+		return nil, fmt.Errorf("causal: no nogood node matches %q", target)
+	}
+	queue := make([]*Node, 0, len(p.Roots))
+	seenDangling := make(map[string]bool)
+	for _, r := range p.Roots {
+		if _, ok := p.Reach[r.ID]; !ok {
+			p.Reach[r.ID] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Causes {
+			m, ok := g.Nodes[c]
+			if !ok {
+				if !seenDangling[c] {
+					seenDangling[c] = true
+					p.Dangling = append(p.Dangling, c)
+				}
+				continue
+			}
+			if _, ok := p.Reach[m.ID]; !ok {
+				p.Reach[m.ID] = m
+				queue = append(queue, m)
+			}
+		}
+	}
+	sort.Strings(p.Dangling)
+	return p, nil
+}
+
+// Terminals returns the reachable frontier nodes (no causes), in
+// deterministic order. On a well-formed trace every walk bottoms out here:
+// constraint, seed, and init nodes.
+func (p *Provenance) Terminals() []*Node {
+	var out []*Node
+	for _, n := range p.Reach {
+		if len(n.Causes) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return before(out[i], out[j]) })
+	return out
+}

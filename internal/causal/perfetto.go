@@ -1,0 +1,129 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/discsp/discsp/internal/telemetry"
+)
+
+// Chrome trace-event (Perfetto) export: a traced solve opens in
+// ui.perfetto.dev as one track per agent, complete activation spans as
+// duration events, learn/store nodes as instants, and every traced message
+// as a flow arrow from the emitting span to the consuming one.
+//
+// Reference: the Trace Event Format spec (the "JSON Object Format" with a
+// traceEvents array). Timestamps are microseconds, which is the tracer's
+// native unit.
+
+// perfettoEvent is one trace-event record; fields follow the spec's names.
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// WritePerfetto renders a telemetry stream's causal trace as Chrome
+// trace-event JSON on w.
+func WritePerfetto(w io.Writer, events []telemetry.Event) error {
+	g, err := BuildGraph(events)
+	if err != nil {
+		return err
+	}
+	return writePerfettoGraph(w, g)
+}
+
+func writePerfettoGraph(w io.Writer, g *Graph) error {
+	f := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "discsp " + g.Runtime},
+	})
+	named := make(map[int]bool)
+	nameTrack := func(agent int) {
+		if named[agent] {
+			return
+		}
+		named[agent] = true
+		f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: agent,
+			Args: map[string]any{"name": fmt.Sprintf("agent %d", agent)},
+		})
+	}
+
+	for _, id := range g.Order {
+		n := g.Nodes[id]
+		switch n.Kind {
+		case SpanInit, SpanStep:
+			nameTrack(n.Agent)
+			dur := n.EndUS - n.StartUS
+			if dur < 1 {
+				dur = 1 // zero-width spans are invisible; clamp to 1µs
+			}
+			args := map[string]any{"spanId": n.ID}
+			if n.Cycle > 0 {
+				args["cycle"] = n.Cycle
+			}
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: n.Kind, Phase: "X", Cat: "span",
+				TS: n.StartUS, Dur: dur, PID: 0, TID: n.Agent, Args: args,
+			})
+		case SpanLearn, SpanStore:
+			nameTrack(n.Agent)
+			ts := int64(0)
+			if len(n.Causes) > 0 {
+				if sp, ok := g.Nodes[n.Causes[0]]; ok {
+					ts = sp.EndUS
+				}
+			}
+			name := n.Kind + " " + n.NogoodKey
+			if n.Kind == SpanLearn && n.NogoodKey == "" {
+				name = "learn ⊥ (insoluble)"
+			}
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: name, Phase: "i", Scope: "t", Cat: "nogood",
+				TS: ts, PID: 0, TID: n.Agent,
+				Args: map[string]any{"spanId": n.ID},
+			})
+		}
+	}
+
+	// Flow arrows: one s/f pair per message that some span consumed.
+	for _, id := range g.Order {
+		m := g.Nodes[id]
+		if m.Kind != KindMessage {
+			continue
+		}
+		consumerID, consumed := g.consumer[m.ID]
+		if !consumed {
+			continue
+		}
+		dst := g.Nodes[consumerID]
+		f.TraceEvents = append(f.TraceEvents,
+			perfettoEvent{
+				Name: m.Type, Phase: "s", Cat: "msg", ID: m.ID,
+				TS: m.StartUS, PID: 0, TID: m.Agent,
+			},
+			perfettoEvent{
+				Name: m.Type, Phase: "f", BP: "e", Cat: "msg", ID: m.ID,
+				TS: dst.StartUS, PID: 0, TID: dst.Agent,
+			})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
@@ -83,6 +84,12 @@ type Agent struct {
 	insoluble     bool
 	stats         Stats
 	rng           *rand.Rand // non-nil only under TieBreakRandom
+
+	// causalT, when non-nil, records nogood lineage: store events for
+	// recorded nogoods, learn events (with the consulted store entries as
+	// causes) for derivations. Nil when tracing is off; every use is
+	// nil-checked in the tracer, so the hot paths stay allocation-free.
+	causalT *causal.AgentTracer
 
 	// scratch reused across check_agent_view invocations.
 	violatedHigher [][]csp.Nogood
@@ -202,6 +209,12 @@ func (a *Agent) StoreEvictions() int64 { return a.store.Evictions() }
 // StoreLearnedLen returns the number of learned (unpinned, evictable)
 // nogoods currently stored — the population a retention cap bounds.
 func (a *Agent) StoreLearnedLen() int { return a.store.LearnedLen() }
+
+// SetCausal attaches the causal tracing handle. Called after construction
+// (and again on each crash-restart incarnation, which receives the same
+// handle so trace IDs stay stable). A nil handle disables lineage
+// recording.
+func (a *Agent) SetCausal(at *causal.AgentTracer) { a.causalT = at }
 
 // Instrument attaches telemetry to the agent's nogood store: Size tracks
 // the live store size, Lengths the distribution of learned-nogood
@@ -324,7 +337,7 @@ func (a *Agent) Step(in []sim.Message) []sim.Message {
 			a.addLink(v)
 			mustAnswer = append(mustAnswer, v)
 		case NogoodMsg:
-			out = append(out, a.receiveNogood(msg.Nogood)...)
+			out = append(out, a.receiveNogood(msg)...)
 		default:
 			panic(fmt.Sprintf("core: unexpected message type %T", m))
 		}
@@ -401,7 +414,8 @@ func (a *Agent) addLink(v csp.Var) {
 // receiveNogood implements the nogood-message handler of Section 2.2:
 // record the nogood (subject to the learning configuration's recording
 // rules), and request values for unknown variables.
-func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
+func (a *Agent) receiveNogood(msg NogoodMsg) []sim.Message {
+	ng := msg.Nogood
 	var out []sim.Message
 	for i := 0; i < ng.Len(); i++ {
 		l := ng.At(i)
@@ -420,6 +434,7 @@ func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
 			added, removed := a.store.AddPruning(ng, &a.counter)
 			if added {
 				a.stats.NogoodsRecorded++
+				a.causalT.Store(ng, msg.TID)
 			}
 			if added || removed > 0 {
 				a.higherValid = false
@@ -428,6 +443,7 @@ func (a *Agent) receiveNogood(ng csp.Nogood) []sim.Message {
 		} else if a.store.Add(ng) {
 			a.stats.NogoodsRecorded++
 			a.higherValid = false
+			a.causalT.Store(ng, msg.TID)
 		}
 	}
 	return out
@@ -562,6 +578,10 @@ func (a *Agent) checkAgentView() (bool, []sim.Message) {
 		}
 		cp := learned
 		a.lastLearned = &cp
+		// Record the derivation (causes: the enclosing span plus the store
+		// entries the learner consulted). The empty resolvent is recorded
+		// too — it is the insolubility proof, the provenance DAG's root.
+		a.causalT.Learn(learned)
 		if learned.Empty() {
 			a.insoluble = true
 			return false, nil

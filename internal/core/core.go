@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/nogood"
 	"github.com/discsp/discsp/internal/sim"
@@ -187,6 +188,8 @@ type Ok struct {
 	Receiver sim.AgentID
 	Value    csp.Value
 	Priority int
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -195,12 +198,20 @@ func (m Ok) From() sim.AgentID { return m.Sender }
 // To implements sim.Message.
 func (m Ok) To() sim.AgentID { return m.Receiver }
 
+// CausalID implements causal.Traced.
+func (m Ok) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Ok) WithCausalID(id causal.ID) any { m.TID = id; return m }
+
 // NogoodMsg carries a newly derived nogood to an agent whose variable
 // appears in it.
 type NogoodMsg struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
 	Nogood   csp.Nogood
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -209,6 +220,16 @@ func (m NogoodMsg) From() sim.AgentID { return m.Sender }
 // To implements sim.Message.
 func (m NogoodMsg) To() sim.AgentID { return m.Receiver }
 
+// CausalID implements causal.Traced.
+func (m NogoodMsg) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m NogoodMsg) WithCausalID(id causal.ID) any { m.TID = id; return m }
+
+// CarriedNogoodKey implements causal.NogoodCarrier: the stamping path links
+// this message to the learn/store node that introduced its nogood.
+func (m NogoodMsg) CarriedNogoodKey() string { return m.Nogood.Key() }
+
 // Request asks the receiver to add the sender to its ok? recipients and to
 // answer with its current value (the add-link mechanism of Section 2.2:
 // "if the new nogood includes an unknown variable, the agent has to request
@@ -216,6 +237,8 @@ func (m NogoodMsg) To() sim.AgentID { return m.Receiver }
 type Request struct {
 	Sender   sim.AgentID
 	Receiver sim.AgentID
+	// TID is the message's causal trace ID; zero when tracing is off.
+	TID causal.ID
 }
 
 // From implements sim.Message.
@@ -223,3 +246,9 @@ func (m Request) From() sim.AgentID { return m.Sender }
 
 // To implements sim.Message.
 func (m Request) To() sim.AgentID { return m.Receiver }
+
+// CausalID implements causal.Traced.
+func (m Request) CausalID() causal.ID { return m.TID }
+
+// WithCausalID implements causal.Traced.
+func (m Request) WithCausalID(id causal.ID) any { m.TID = id; return m }

@@ -45,6 +45,9 @@ func (a *Agent) resolventNogood() csp.Nogood {
 	a.litScratch = a.litScratch[:0]
 	for i := range a.domain {
 		selected := a.selectNogoodForValue(a.violatedHigher[i])
+		// The selected entries are the derivation's cause set; the next
+		// Learn event lists them. Nil-checked inside the tracer.
+		a.causalT.Consult(selected)
 		for j := 0; j < selected.Len(); j++ {
 			if l := selected.At(j); l.Var != a.id {
 				a.litScratch = append(a.litScratch, l)

@@ -137,6 +137,7 @@ func (a *Agent) resolventRef() csp.Nogood {
 	result := csp.MustNogood()
 	for i := range a.domain {
 		selected := a.selectNogoodForValue(a.violatedHigher[i])
+		a.causalT.Consult(selected)
 		union, err := result.Union(selected.Without(a.id))
 		if err != nil {
 			// Impossible: every selected nogood is violated under the same

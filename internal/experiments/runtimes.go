@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/discsp/discsp/internal/async"
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
@@ -57,6 +58,11 @@ type TCPOptions struct {
 	Shards  int
 	Codec   wire.Codec
 	NoBatch bool
+	// Causal, when non-nil, causally traces the tcp leg (the leg whose
+	// transit edges cross real sockets) into this stream: meta, the span
+	// events, and the leg's end verdict. The sync and async legs run
+	// untraced, so the stream holds exactly one traced run.
+	Causal *telemetry.Run
 }
 
 // CompareRuntimesWith is CompareRuntimes with explicit tcp wire options.
@@ -100,15 +106,43 @@ func CompareRuntimesWith(problem *csp.Problem, initial csp.SliceAssignment, lear
 		},
 	})
 
-	tcpRes, err := netrun.Run(problem, makeAgent, netrun.Options{
+	tcpAgent := makeAgent
+	var tracer *causal.Tracer
+	if tcp.Causal != nil {
+		tcp.Causal.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "tcp",
+			Algorithm: "AWC-" + learning.Name(),
+			Vars:      problem.NumVars(),
+			Nogoods:   problem.NumNogoods(),
+		})
+		tracer = causal.New(tcp.Causal, problem)
+		tcpAgent = func(v csp.Var) sim.Agent {
+			a := core.NewAgent(v, problem, initial[v], learning)
+			a.SetCausal(tracer.Agent(int(v)))
+			return a
+		}
+	}
+	tcpRes, err := netrun.Run(problem, tcpAgent, netrun.Options{
 		Timeout: timeout,
 		Faults:  fcfg,
 		Shards:  tcp.Shards,
 		Codec:   tcp.Codec,
 		NoBatch: tcp.NoBatch,
+		Causal:  tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("tcp: %w", err)
+	}
+	if tcp.Causal != nil {
+		tcp.Causal.Emit(telemetry.Event{
+			Kind:        telemetry.KindEnd,
+			Solved:      tcpRes.Solved,
+			Insoluble:   tcpRes.Insoluble,
+			TotalChecks: tcpRes.TotalChecks,
+			Messages:    tcpRes.Messages,
+			DurationUS:  tcpRes.Duration.Microseconds(),
+		})
 	}
 	out = append(out, RuntimeResult{
 		Runtime:  "tcp",

@@ -62,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/progress"
@@ -132,6 +133,18 @@ type Options struct {
 	// Nil disables all instrumentation without any other behavioral
 	// difference.
 	Telemetry *telemetry.Run
+	// Causal, when non-nil, traces the in-process nodes: one span per step,
+	// trace IDs on every message (carried across the sockets in
+	// Envelope.TSeq, negotiated per connection like Crc). Agent tracer
+	// handles survive crash-restarts and reconnections, so cause IDs stay
+	// stable across incarnations and link resets. Ignored (hub-side) under
+	// External; set CausalRelay there instead.
+	Causal *causal.Tracer
+	// CausalRelay lets the hub confirm causal negotiation with external
+	// workers that request it, so their trace IDs relay through even though
+	// the hub itself holds no tracer. Without it (and without Causal) every
+	// welcome declines, and traced workers degrade to untraced links.
+	CausalRelay bool
 
 	// Shards is the number of relay listeners the hub splits its socket
 	// plane across; 0 or 1 means a single listener. Node v connects to
@@ -395,6 +408,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 		deadPeer:       deadPeer,
 		reconnectGrace: grace,
 		checksum:       opts.Checksum,
+		causalOn:       opts.Causal != nil || opts.CausalRelay,
 		external:       opts.External,
 		lastSeen:       make([]time.Time, n),
 		deadNotified:   make([]bool, n),
@@ -469,6 +483,7 @@ func Run(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts Options
 					codec:     opts.Codec,
 					noBatch:   opts.NoBatch,
 					crc:       opts.Checksum,
+					causal:    opts.Causal,
 					hb:        heartbeat,
 					inj:       inj,
 					ckpts:     ckpts,
@@ -625,6 +640,7 @@ type hub struct {
 	deadPeer       time.Duration
 	reconnectGrace time.Duration
 	checksum       bool
+	causalOn       bool
 	external       bool
 	lastSeen       []time.Time       // last inbound frame per node
 	deadNotified   []bool            // dead-peer already counted (in-process runs)
@@ -970,7 +986,8 @@ func (h *hub) register(rc *relayConn, hello wire.Envelope) error {
 		neg = wire.CodecJSON // unknown request: the safe common ground
 	}
 	crcOn := h.checksum && hello.Crc && neg == wire.CodecBinary
-	welcome := wire.Envelope{Type: wire.TypeWelcome, To: from, Codec: neg.String(), Crc: crcOn}
+	causalOn := h.causalOn && hello.Causal
+	welcome := wire.Envelope{Type: wire.TypeWelcome, To: from, Codec: neg.String(), Crc: crcOn, Causal: causalOn}
 	if err := rc.fw.Send(&welcome); err != nil {
 		return h.writeFailed(rc, from, err)
 	}
@@ -980,6 +997,10 @@ func (h *hub) register(rc *relayConn, hello wire.Envelope) error {
 	if crcOn {
 		rc.fw.EnableChecksum()
 		rc.crcOn = true
+	}
+	if causalOn {
+		// Trace IDs relay through: frames toward this node keep TSeq.
+		rc.fw.EnableCausal()
 	}
 	if !h.noBatch {
 		rc.fw.EnableBatching(batchMaxFrames, batchMaxBytes)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/discsp/discsp/internal/backoff"
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
 	"github.com/discsp/discsp/internal/sim"
@@ -28,8 +29,9 @@ type nodeConfig struct {
 	makeAgent func(v csp.Var) sim.Agent
 	codec     wire.Codec // requested in the hello; the welcome decides
 	noBatch   bool
-	crc       bool          // request the CRC32C frame trailer in the hello
-	hb        time.Duration // idle-link heartbeat period; 0 disables
+	crc       bool           // request the CRC32C frame trailer in the hello
+	causal    *causal.Tracer // non-nil requests causal tracing in the hello
+	hb        time.Duration  // idle-link heartbeat period; 0 disables
 	inj       *faults.Injector
 	ckpts     *faults.Checkpoints
 	ctr       *nodeCounters
@@ -59,6 +61,28 @@ type nodeConfig struct {
 
 // defaultDrainWindow is the write-error classifier's inbound-drain bound.
 const defaultDrainWindow = time.Second
+
+// causeIn records the released batch as the open span's cause set; no-op
+// when tracing is off.
+func causeIn(at *causal.AgentTracer, in []sim.Message) {
+	if at == nil {
+		return
+	}
+	for _, m := range in {
+		at.Cause(m)
+	}
+}
+
+// stampOut assigns trace IDs to outgoing messages in place; no-op when
+// tracing is off.
+func stampOut(at *causal.AgentTracer, out []sim.Message) {
+	if at == nil {
+		return
+	}
+	for i, m := range out {
+		out[i] = at.Stamp(m, int(m.To()), sim.TypeName(m)).(sim.Message)
+	}
+}
 
 // defaultConnectTimeout bounds a worker node's dial-with-retry loop: long
 // enough to ride out a hub that launches after the worker or rebinds after
@@ -336,7 +360,8 @@ func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, sessi
 	// registration tells the hub this is a cold relaunch: it resets the
 	// node's links everywhere.
 	resume := st.restored || session > 0
-	hello := wire.Envelope{Type: wire.TypeHello, From: int(v), Codec: cfg.codec.String(), Crc: cfg.crc, Resume: resume}
+	hello := wire.Envelope{Type: wire.TypeHello, From: int(v), Codec: cfg.codec.String(),
+		Crc: cfg.crc, Causal: cfg.causal != nil, Resume: resume}
 	if err := send(hello); err != nil {
 		return fail(err)
 	}
@@ -369,6 +394,17 @@ func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, sessi
 		fr.EnableChecksum()
 		fw.EnableChecksum()
 	}
+	// The node's tracer handle. It survives sessions and incarnations (the
+	// Tracer keeps one handle per variable), so trace-ID counters continue
+	// across reconnections and crash-restarts — cause IDs stay stable even
+	// through a TypeReset link renumbering, which renumbers Seq, not TSeq.
+	// IDs are only emitted onto the socket when the welcome confirmed the
+	// negotiation; the spans themselves are still recorded so a trace of a
+	// mixed fleet keeps this node's side of the story.
+	at := cfg.causal.Agent(int(v))
+	if welcome.Causal {
+		fw.EnableCausal()
+	}
 	if !cfg.noBatch {
 		fw.EnableBatching(batchMaxFrames, batchMaxBytes)
 	}
@@ -391,7 +427,11 @@ func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, sessi
 		}
 		st.pendingReport = 0
 	} else {
-		for _, m := range agent.Init() {
+		at.Begin(causal.SpanInit, 0)
+		out := agent.Init()
+		stampOut(at, out)
+		at.End()
+		for _, m := range out {
 			env, err := wire.Encode(m)
 			if err != nil {
 				return endStop, err
@@ -535,7 +575,11 @@ func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, sessi
 				// its hold); without this, both sides idle believing they
 				// are mutually consistent and the run stalls to timeout.
 				if ra, ok := agent.(sim.Reannouncer); ok {
-					for _, m := range ra.Reannounce(sim.AgentID(b)) {
+					ms := ra.Reannounce(sim.AgentID(b))
+					at.Begin(causal.SpanStep, st.steps)
+					stampOut(at, ms)
+					at.End()
+					for _, m := range ms {
 						env, err := wire.Encode(m)
 						if err != nil {
 							return endStop, err
@@ -586,7 +630,11 @@ func runSession(cfg nodeConfig, st *nodeState, conn net.Conn, incarnation, sessi
 				}
 				batch = append(batch, msg)
 			}
+			at.Begin(causal.SpanStep, st.steps)
+			causeIn(at, batch)
 			out := agent.Step(batch)
+			stampOut(at, out)
+			at.End()
 			st.steps++
 			// Stamp the output into the send links BEFORE checkpointing:
 			// if the crash hits after the checkpoint, the output survives

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/sim"
 	"github.com/discsp/discsp/internal/wire"
@@ -47,6 +48,12 @@ type WorkerOptions struct {
 	// connection and redial. 0 means 4× the heartbeat period; it is
 	// disabled when heartbeats are.
 	DeadPeerTimeout time.Duration
+	// Causal, when non-nil, traces this worker's nodes and requests causal
+	// trace-ID propagation in each hello; the hub confirms only when its
+	// run enabled Causal or CausalRelay. The caller owns the tracer (and
+	// its sink), so a worker relaunched with the same tracer keeps its
+	// trace-ID counters — cause IDs stay stable across cold reconnections.
+	Causal *causal.Tracer
 }
 
 // WorkerStats reports one worker's transport totals after RunWorker
@@ -115,6 +122,7 @@ func RunWorker(problem *csp.Problem, makeAgent func(v csp.Var) sim.Agent, opts W
 				codec:          opts.Codec,
 				noBatch:        opts.NoBatch,
 				crc:            opts.Checksum,
+				causal:         opts.Causal,
 				hb:             hb,
 				ctr:            &ctr,
 				done:           done,

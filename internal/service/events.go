@@ -12,6 +12,11 @@ import "sync"
 // defaultEventLimit bounds one job's captured event bytes.
 const defaultEventLimit = 256 << 10
 
+// defaultTraceLimit bounds one job's captured causal-trace bytes. Span
+// streams record every activation and message emission, so they run far
+// larger than progress events.
+const defaultTraceLimit = 4 << 20
+
 // eventLog is an append-only byte log with follow semantics. It implements
 // io.Writer so a telemetry Recorder can write JSONL into it directly.
 type eventLog struct {
@@ -46,6 +51,21 @@ func (l *eventLog) Write(p []byte) (int, error) {
 	l.buf = append(l.buf, p...)
 	l.signalLocked()
 	return len(p), nil
+}
+
+// reset discards everything captured so far so a retried attempt starts a
+// fresh stream — a causal trace must hold exactly one traced run, and the
+// crashed attempt's torn tail is noise. Followers mid-stream see their
+// offset rewind and re-read from the top.
+func (l *eventLog) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.buf = nil
+	l.truncated = false
+	l.signalLocked()
 }
 
 // closeLog marks the stream complete and wakes followers.

@@ -26,6 +26,8 @@ import (
 //	GET    /v1/jobs/{id}       status
 //	GET    /v1/jobs/{id}/events  stream the job's JSONL progress events
 //	                             (?follow=1 keeps the stream open until done)
+//	GET    /v1/jobs/{id}/trace   stream the job's causal trace (jobs
+//	                             submitted with "causal": true; same ?follow=1)
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/stats           queue shape
 //	GET    /healthz            200 serving / 503 draining
@@ -63,6 +65,9 @@ func Handler(d *Daemon) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(d, w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		serveTrace(d, w, r)
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := d.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -89,19 +94,41 @@ func Handler(d *Daemon) http.Handler {
 	return mux
 }
 
-// serveEvents streams a job's captured schema-2 JSONL events. Without
-// ?follow=1 it returns the buffer as-is; with it, the response stays open
-// and flushes new events until the job completes or the client goes away.
+// serveEvents streams a job's captured schema-2 JSONL events.
 func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
 	log, ok := d.events(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	serveLog(log, "X-Events-Truncated", w, r)
+}
+
+// serveTrace streams a job's captured causal trace — the schema-3 span
+// stream dcsptrace's -critical-path / -provenance / -perfetto analyses
+// read. 404 for jobs not submitted with "causal": true: absence of capture
+// is a submit-time choice, not an empty stream.
+func serveTrace(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	log, ok := d.trace(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if log == nil {
+		httpError(w, http.StatusNotFound, `job was not submitted with "causal": true`)
+		return
+	}
+	serveLog(log, "X-Trace-Truncated", w, r)
+}
+
+// serveLog streams one bounded JSONL log. Without ?follow=1 it returns the
+// buffer as-is; with it, the response stays open and flushes new events
+// until the job completes or the client goes away.
+func serveLog(log *eventLog, truncHeader string, w http.ResponseWriter, r *http.Request) {
 	follow := r.URL.Query().Get("follow") != ""
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if log.Truncated() {
-		w.Header().Set("X-Events-Truncated", "true")
+		w.Header().Set(truncHeader, "true")
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)

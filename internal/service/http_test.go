@@ -10,6 +10,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/discsp/discsp/internal/causal"
+	"github.com/discsp/discsp/internal/telemetry"
 )
 
 func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) *http.Response {
@@ -263,5 +266,74 @@ func TestHTTPMetricsExposition(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
 		}
+	}
+}
+
+// TestHTTPTraceEndpoint: a job submitted with "causal": true serves its
+// span stream on /trace as a complete, well-formed single-run trace; a job
+// without the flag gets a 404 naming the missing option, as does an unknown
+// id.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	d := newTestDaemon(t, Config{Workers: 1})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	spec := coloringSpec(t, 1)
+	spec.Causal = true
+	st := decodeStatus(t, postJob(t, srv, spec))
+	done := waitDone(t, d, st.ID)
+	if done.Verdict != VerdictSolved {
+		t.Fatalf("verdict = %+v", done)
+	}
+	if done.TraceTruncated {
+		t.Fatalf("trace truncated on a small instance: %+v", done)
+	}
+
+	r, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content-type = %q", ct)
+	}
+	events, err := telemetry.Read(r.Body)
+	if err != nil {
+		t.Fatalf("served trace unreadable: %v", err)
+	}
+	if err := telemetry.CheckComplete(events); err != nil {
+		t.Fatalf("served trace incomplete: %v", err)
+	}
+	g, err := causal.BuildGraph(events)
+	if err != nil {
+		t.Fatalf("served trace graph: %v", err)
+	}
+	if dang := g.Dangling(); len(dang) > 0 {
+		t.Fatalf("%d dangling cause IDs in served trace", len(dang))
+	}
+
+	// A job submitted without the flag has no capture: distinct 404.
+	plain := decodeStatus(t, postJob(t, srv, coloringSpec(t, 2)))
+	waitDone(t, d, plain.ID)
+	r2, err := http.Get(srv.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	body, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "causal") {
+		t.Fatalf("non-causal trace: status=%d body=%q", r2.StatusCode, body)
+	}
+
+	r3, err := http.Get(srv.URL + "/v1/jobs/zzz/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace status = %d", r3.StatusCode)
 	}
 }

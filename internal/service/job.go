@@ -106,6 +106,13 @@ type JobSpec struct {
 	// crash-testing aid (it widens the window in which a job is observably
 	// running). Rejected unless the daemon enables synthetic faults.
 	SyntheticDelayMS int64 `json:"synthetic_delay_ms,omitempty"`
+	// Causal captures the job's causal trace stream (schema-3 span events)
+	// into a second bounded buffer served by GET /v1/jobs/{id}/trace —
+	// feed it to dcsptrace -critical-path / -provenance / -perfetto. The
+	// buffer is memory-only: a restart replays the job's verdict from the
+	// journal, not its trace bytes. Tracing is observationally inert; the
+	// verdict is identical with it on or off.
+	Causal bool `json:"causal,omitempty"`
 }
 
 // SpecError marks a permanently malformed submission: the request is
@@ -335,6 +342,10 @@ type JobStatus struct {
 	// EventsTruncated reports that the job's progress-event buffer hit its
 	// cap and later events were dropped (the job itself was unaffected).
 	EventsTruncated bool `json:"events_truncated,omitempty"`
+	// TraceTruncated reports that the job's causal-trace buffer hit its cap;
+	// the served trace will fail dcsptrace's completeness check (its closing
+	// end event was dropped with the rest of the tail).
+	TraceTruncated bool `json:"trace_truncated,omitempty"`
 }
 
 // job is the daemon's in-memory record of one accepted submission.
@@ -346,6 +357,7 @@ type job struct {
 	submitted time.Time
 	deadline  time.Time
 	events    *eventLog
+	trace     *eventLog // causal trace capture; nil unless spec.Causal
 
 	mu        sync.Mutex
 	state     State
@@ -358,8 +370,8 @@ type job struct {
 	fromCache bool // completed result restored from the journal
 }
 
-func newJob(id string, seq int64, spec JobSpec, p *csp.Problem, now time.Time, eventLimit int) *job {
-	return &job{
+func newJob(id string, seq int64, spec JobSpec, p *csp.Problem, now time.Time, eventLimit, traceLimit int) *job {
+	j := &job{
 		id:        id,
 		seq:       seq,
 		spec:      spec,
@@ -370,6 +382,10 @@ func newJob(id string, seq int64, spec JobSpec, p *csp.Problem, now time.Time, e
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	if spec.Causal {
+		j.trace = newEventLog(traceLimit)
+	}
+	return j
 }
 
 // snapshot renders the job's current JobStatus.
@@ -383,6 +399,9 @@ func (j *job) snapshot(now time.Time) JobStatus {
 	st.Attempts = j.attempts
 	st.FromJournal = j.fromCache
 	st.EventsTruncated = j.events.Truncated()
+	if j.trace != nil {
+		st.TraceTruncated = j.trace.Truncated()
+	}
 	switch j.state {
 	case StateQueued:
 		st.QueueMS = now.Sub(j.submitted).Milliseconds()
@@ -414,6 +433,9 @@ func (j *job) complete(st JobStatus) {
 	j.status = st
 	j.mu.Unlock()
 	j.events.closeLog()
+	if j.trace != nil {
+		j.trace.closeLog()
+	}
 	close(j.done)
 }
 

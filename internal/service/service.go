@@ -94,6 +94,9 @@ type Config struct {
 	// EventBufLimit bounds one job's captured progress events; default
 	// 256 KiB.
 	EventBufLimit int
+	// TraceBufLimit bounds one job's captured causal-trace bytes (jobs
+	// submitted with "causal": true); default 4 MiB.
+	TraceBufLimit int
 	// AllowSyntheticDelay accepts specs with synthetic_delay_ms — the
 	// load/crash-testing knob. Off by default.
 	AllowSyntheticDelay bool
@@ -144,6 +147,9 @@ func (c *Config) fill() {
 	}
 	if c.EventBufLimit <= 0 {
 		c.EventBufLimit = defaultEventLimit
+	}
+	if c.TraceBufLimit <= 0 {
+		c.TraceBufLimit = defaultTraceLimit
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -261,7 +267,7 @@ func (d *Daemon) replay() error {
 			// rather than refusing to start.
 			p = nil
 		}
-		j := newJob(e.accept.ID, e.accept.Seq, spec, p, now, d.cfg.EventBufLimit)
+		j := newJob(e.accept.ID, e.accept.Seq, spec, p, now, d.cfg.EventBufLimit, d.cfg.TraceBufLimit)
 		j.replayed = true
 		if e.accept.Seq > d.seq {
 			d.seq = e.accept.Seq
@@ -312,7 +318,7 @@ func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	d.seq++
 	id := fmt.Sprintf("j%08d", d.seq)
-	j := newJob(id, d.seq, spec, p, time.Now(), d.cfg.EventBufLimit)
+	j := newJob(id, d.seq, spec, p, time.Now(), d.cfg.EventBufLimit, d.cfg.TraceBufLimit)
 	d.mu.Unlock()
 
 	// Enqueue before journaling would admit a job that a crash forgets;
@@ -357,6 +363,19 @@ func (d *Daemon) events(id string) (*eventLog, bool) {
 		return nil, false
 	}
 	return j.events, true
+}
+
+// trace returns a job's causal-trace log for streaming. The bool reports
+// whether the job exists; the log is nil when the job was not submitted
+// with causal capture.
+func (d *Daemon) trace(id string) (*eventLog, bool) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.trace, true
 }
 
 // Wait blocks until the job completes or ctx expires, then returns its
@@ -565,6 +584,13 @@ func (d *Daemon) attempt(j *job, attempt int, start time.Time) (st JobStatus, tr
 	tel := discsp.NewTelemetry(d.reg, j.events)
 	opts := j.spec.options(remaining, d.cfg.Retention, d.cache)
 	opts.Telemetry = tel
+	if j.spec.Causal {
+		// Each attempt restarts the trace stream: a causal trace holds
+		// exactly one traced run, and a crashed attempt leaves a torn tail
+		// the completeness check would (rightly) refuse.
+		j.trace.reset()
+		opts.Causal = discsp.NewTelemetry(nil, j.trace)
+	}
 	var res discsp.Result
 	var err error
 	switch j.spec.Runtime {
@@ -577,6 +603,11 @@ func (d *Daemon) attempt(j *job, attempt int, start time.Time) (st JobStatus, tr
 	}
 	if ferr := tel.Flush(); ferr != nil {
 		d.cfg.Logf("dcspd: job %s: event stream: %v", j.id, ferr)
+	}
+	if opts.Causal != nil {
+		if ferr := opts.Causal.Flush(); ferr != nil {
+			d.cfg.Logf("dcspd: job %s: causal trace stream: %v", j.id, ferr)
+		}
 	}
 	st = JobStatus{
 		Solved:      res.Solved,

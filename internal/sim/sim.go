@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/csp"
 )
 
@@ -107,6 +108,11 @@ type Options struct {
 	// Trace, when non-nil, receives one event per cycle after delivery and
 	// computation. Intended for debugging and the dcspsolve -v flag.
 	Trace func(ev CycleEvent)
+	// Causal, when non-nil, records one span per agent activation and
+	// stamps every traced outgoing message with its trace ID (see
+	// internal/causal). Nil disables tracing with zero overhead: the loop
+	// holds nil handles and every tracing call returns immediately.
+	Causal *causal.Tracer
 }
 
 // CycleEvent describes one completed cycle for tracing.
@@ -182,10 +188,30 @@ func RunAgents(agents []Agent, opts Options, solved func() bool) (Result, error)
 	// messages. Startup is not counted as a cycle (the paper counts cycles
 	// of the message-driven loop), but its checks do count toward maxcck as
 	// a cycle-0 contribution so no computation escapes accounting.
+	// Per-agent tracing handles; all nil when tracing is off, so the loop
+	// body's tracing calls are no-ops.
+	var tracers []*causal.AgentTracer
+	if opts.Causal != nil {
+		tracers = make([]*causal.AgentTracer, len(agents))
+		for i, a := range agents {
+			tracers[i] = opts.Causal.Agent(int(a.ID()))
+		}
+	}
+	tracerOf := func(i int) *causal.AgentTracer {
+		if tracers == nil {
+			return nil
+		}
+		return tracers[i]
+	}
+
 	inbox := make(map[AgentID][]Message)
 	var startupMax int64
-	for _, a := range agents {
+	for i, a := range agents {
+		at := tracerOf(i)
+		at.Begin(causal.SpanInit, 0)
 		out := a.Init()
+		stampBatch(at, out)
+		at.End()
 		route(inbox, out, len(agents))
 		if c := a.Checks(); c > startupMax {
 			startupMax = c
@@ -219,9 +245,14 @@ func RunAgents(agents []Agent, opts Options, solved func() bool) (Result, error)
 				if res.MessagesByType == nil {
 					res.MessagesByType = make(map[string]int)
 				}
-				res.MessagesByType[typeName(m)]++
+				res.MessagesByType[TypeName(m)]++
 			}
+			at := tracerOf(i)
+			at.Begin(causal.SpanStep, cycle)
+			causeBatch(at, in)
 			out := a.Step(in)
+			stampBatch(at, out)
+			at.End()
 			messagesOut += len(out)
 			route(next, out, len(agents))
 			delta := a.Checks() - prevChecks[i]
@@ -285,9 +316,32 @@ func sortBatch(batch []Message) []Message {
 	return batch
 }
 
-// typeName renders a message's concrete type as "pkg.Type" for the
-// per-kind delivery counts.
-func typeName(m Message) string {
+// causeBatch records a delivery batch's trace IDs as causes of the open
+// span. No-op on a nil handle.
+func causeBatch(at *causal.AgentTracer, in []Message) {
+	if at == nil {
+		return
+	}
+	for _, m := range in {
+		at.Cause(m)
+	}
+}
+
+// stampBatch assigns trace IDs to an outgoing batch in place, recording
+// each emission on the open span. No-op on a nil handle; messages that do
+// not implement causal.Traced pass through unchanged.
+func stampBatch(at *causal.AgentTracer, out []Message) {
+	if at == nil {
+		return
+	}
+	for i, m := range out {
+		out[i] = at.Stamp(m, int(m.To()), TypeName(m)).(Message)
+	}
+}
+
+// TypeName renders a message's concrete type as "pkg.Type" — the key used
+// for per-kind delivery counts and causal emission records.
+func TypeName(m Message) string {
 	t := reflect.TypeOf(m)
 	for t.Kind() == reflect.Pointer {
 		t = t.Elem()

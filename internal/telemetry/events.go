@@ -14,7 +14,14 @@ import (
 // writer's schema so readers can fail with a versioned error instead of a
 // raw decode error (the v1 internal/trace format had no version marker; it
 // is recognized by its "start" first event).
-const SchemaVersion = 2
+//
+// Schema 3 added the span event kind (causal tracing, internal/causal);
+// schema-2 streams contain a strict subset of the schema-3 kinds, so this
+// binary reads both (MinSchemaVersion).
+const SchemaVersion = 3
+
+// MinSchemaVersion is the oldest stream schema Read still accepts.
+const MinSchemaVersion = 2
 
 // Kind labels one telemetry event.
 type Kind string
@@ -40,6 +47,11 @@ const (
 	KindShard Kind = "shard"
 	// KindSnapshot embeds a full metrics snapshot.
 	KindSnapshot Kind = "snapshot"
+	// KindSpan is one causal-trace node (schema 3): an agent activation
+	// span with its received-message causes and stamped emissions, or a
+	// learn/store/seed/constraint node in the nogood derivation DAG. See
+	// internal/causal.
+	KindSpan Kind = "span"
 	// KindEnd closes the stream with the run verdict.
 	KindEnd Kind = "end"
 )
@@ -99,6 +111,27 @@ type Event struct {
 	Forwarded int64 `json:"forwarded,omitempty"`
 	BytesIn   int64 `json:"bytesIn,omitempty"`
 	BytesOut  int64 `json:"bytesOut,omitempty"`
+
+	// span (schema 3, causal tracing). SpanID is the node's trace ID in
+	// "agent:seq" form; Causes the trace IDs this node depends on. For
+	// activation spans (init/step) the four Emit slices run in parallel,
+	// one entry per stamped outgoing message: its trace ID, recipient,
+	// concrete type, and the nogood node it carries ("" when none).
+	// StartUS/EndUS are microseconds since tracing started — observational
+	// timestamps for the critical-path and Perfetto analyses, never part
+	// of a trace ID. NogoodKey is the canonical nogood on learn, store,
+	// seed, and constraint nodes ("" on a learn node means the empty
+	// nogood: the insolubility proof).
+	SpanID    string   `json:"spanId,omitempty"`
+	SpanKind  string   `json:"spanKind,omitempty"`
+	Causes    []string `json:"causes,omitempty"`
+	Emits     []string `json:"emits,omitempty"`
+	EmitTo    []int    `json:"emitTo,omitempty"`
+	EmitType  []string `json:"emitType,omitempty"`
+	EmitCause []string `json:"emitCause,omitempty"`
+	StartUS   int64    `json:"startUs,omitempty"`
+	EndUS     int64    `json:"endUs,omitempty"`
+	NogoodKey string   `json:"nogoodKey,omitempty"`
 
 	// snapshot
 	Metrics *Snapshot `json:"metrics,omitempty"`
@@ -173,11 +206,25 @@ var (
 	// ErrMalformedStream marks structural damage: not JSONL, missing meta,
 	// or an unknown event kind.
 	ErrMalformedStream = errors.New("telemetry: malformed stream")
+	// ErrTruncatedStream marks a stream cut off at a line boundary: the
+	// JSONL is well-formed but the closing end/snapshot event never
+	// arrived (the writer died mid-run, or the file was torn). Reported by
+	// CheckComplete, not Read, because a mid-run stream is a legitimate
+	// read for followers; table-rendering consumers (dcsptrace) must
+	// refuse it.
+	ErrTruncatedStream = errors.New("telemetry: truncated stream")
 )
 
 var knownKinds = map[Kind]bool{
 	KindMeta: true, KindCycle: true, KindSample: true, KindTrial: true,
-	KindAgent: true, KindLink: true, KindShard: true, KindSnapshot: true, KindEnd: true,
+	KindAgent: true, KindLink: true, KindShard: true, KindSnapshot: true,
+	KindSpan: true, KindEnd: true,
+}
+
+// Kinds lists every event kind this schema defines, for exhaustive tests.
+func Kinds() []Kind {
+	return []Kind{KindMeta, KindCycle, KindSample, KindTrial, KindAgent,
+		KindLink, KindShard, KindSnapshot, KindSpan, KindEnd}
 }
 
 // v1 trace kinds, used to recognize a legacy stream by its first event.
@@ -211,8 +258,8 @@ func Read(r io.Reader) ([]Event, error) {
 			if ev.Schema > SchemaVersion {
 				return nil, fmt.Errorf("%w: stream schema %d, this binary reads <= %d — rebuild dcsptrace from a newer checkout", ErrSchemaUnsupported, ev.Schema, SchemaVersion)
 			}
-			if ev.Schema < SchemaVersion {
-				return nil, fmt.Errorf("%w: stream schema %d predates this binary's %d", ErrSchemaUnsupported, ev.Schema, SchemaVersion)
+			if ev.Schema < MinSchemaVersion {
+				return nil, fmt.Errorf("%w: stream schema %d predates this binary's oldest supported %d", ErrSchemaUnsupported, ev.Schema, MinSchemaVersion)
 			}
 		}
 		if !knownKinds[ev.Kind] {
@@ -227,6 +274,22 @@ func Read(r io.Reader) ([]Event, error) {
 		return nil, fmt.Errorf("%w: empty stream", ErrMalformedStream)
 	}
 	return events, nil
+}
+
+// CheckComplete reports whether a fully-read stream reached its closing
+// event. Every writer in this repo ends a stream with the run verdict
+// (KindEnd) and/or a metrics snapshot (KindSnapshot, always last when
+// present); a stream whose final event is anything else was cut off at a
+// line boundary and returns ErrTruncatedStream.
+func CheckComplete(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("%w: empty stream", ErrTruncatedStream)
+	}
+	last := events[len(events)-1].Kind
+	if last != KindEnd && last != KindSnapshot {
+		return fmt.Errorf("%w: last event kind %q, want %q or %q", ErrTruncatedStream, last, KindEnd, KindSnapshot)
+	}
+	return nil
 }
 
 // Run bundles a metrics registry and an event recorder for one solving

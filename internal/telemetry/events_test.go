@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -70,11 +71,12 @@ func TestReadRejectsLegacyTrace(t *testing.T) {
 }
 
 func TestReadRejectsNewerSchema(t *testing.T) {
-	_, err := Read(strings.NewReader(`{"kind":"meta","schema":3}` + "\n"))
+	next := SchemaVersion + 1
+	_, err := Read(strings.NewReader(fmt.Sprintf(`{"kind":"meta","schema":%d}`+"\n", next)))
 	if !errors.Is(err, ErrSchemaUnsupported) {
 		t.Fatalf("want ErrSchemaUnsupported, got %v", err)
 	}
-	if !strings.Contains(err.Error(), "schema 3") {
+	if !strings.Contains(err.Error(), fmt.Sprintf("schema %d", next)) {
 		t.Fatalf("error does not name the offending schema: %v", err)
 	}
 }

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`with"quote`, `with\"quote`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\nthree", `all\\\"\nthree`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Exposition-format grammar (version 0.0.4): metric and label names, and a
+// label value where the only escapes are \\, \", and \n.
+var (
+	promSeriesRe = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\\n])*")*\})? -?[0-9]+$`)
+	promHelpRe = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) \S.*$`)
+	promTypeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// TestPrometheusExpositionConformance feeds the writer label values with
+// every character the format escapes and validates each output line against
+// the exposition grammar: series lines parse, every family is announced by
+// a # HELP line immediately followed by its # TYPE line before any of its
+// series, and neither header repeats.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("discsp_checks_total").Add(1)
+	r.Counter(Name("dcspd_jobs_done_total", "tenant", `evil"tenant`)).Add(2)
+	r.Gauge(Name("dcspd_queue_depth", "pool", `back\slash`)).Set(3)
+	r.Gauge(Name("custom_family", "note", "line\nbreak")).Set(-4)
+	h := r.Histogram(Name("dcspd_queue_wait_ms", "tenant", `q"t`), []int64{1, 10})
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	helped := make(map[string]int)
+	typed := make(map[string]int)
+	lastHelp := ""
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := promHelpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("line %d: malformed HELP: %q", i+1, line)
+				continue
+			}
+			helped[m[1]]++
+			lastHelp = m[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("line %d: malformed TYPE: %q", i+1, line)
+				continue
+			}
+			typed[m[1]]++
+			if lastHelp != m[1] {
+				t.Errorf("line %d: TYPE %s not preceded by its HELP line", i+1, m[1])
+			}
+		default:
+			if !promSeriesRe.MatchString(line) {
+				t.Errorf("line %d: series fails exposition grammar: %q", i+1, line)
+				continue
+			}
+			family := line[:strings.IndexAny(line, "{ ")]
+			family = strings.TrimSuffix(family, "_bucket")
+			family = strings.TrimSuffix(family, "_sum")
+			family = strings.TrimSuffix(family, "_count")
+			if typed[family] == 0 {
+				t.Errorf("line %d: series %q precedes its TYPE header", i+1, line)
+			}
+		}
+	}
+	for fam, n := range typed {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", fam, n)
+		}
+		if helped[fam] != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", fam, helped[fam])
+		}
+	}
+
+	for _, want := range []string{
+		`dcspd_jobs_done_total{tenant="evil\"tenant"} 2`,
+		`dcspd_queue_depth{pool="back\\slash"} 3`,
+		`custom_family{note="line\nbreak"} -4`,
+		`dcspd_queue_wait_ms_bucket{tenant="q\"t",le="+Inf"} 3`,
+		"# HELP discsp_checks_total Consistency checks performed.",
+		"# HELP custom_family discsp gauge metric.",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -212,10 +212,37 @@ func Name(base string, labels ...string) string {
 		}
 		b.WriteString(labels[i])
 		b.WriteString(`="`)
-		b.WriteString(labels[i+1])
+		b.WriteString(EscapeLabelValue(labels[i+1]))
 		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus exposition
+// format: backslash, double quote, and newline are the only characters with
+// escape sequences (\\, \", \n). Values without them pass through unchanged
+// (and unallocated). Name applies it at composition time, so the registry's
+// flat names hold the already-escaped form and the exposition writer can
+// emit label blocks verbatim.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }
 

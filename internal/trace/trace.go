@@ -133,6 +133,26 @@ var ErrMalformedTrace = errors.New("trace: malformed trace")
 // reader instead.
 var ErrTelemetryStream = errors.New("trace: schema-2 telemetry stream (dcspsolve -telemetry format); read it with the telemetry reader")
 
+// ErrTruncatedTrace marks a trace cut off at a line boundary: the JSONL is
+// well-formed but the closing end event never arrived — the writer died
+// mid-run, or the file's tail was torn. Reported by CheckComplete, not
+// Read, so mid-run followers can still tail a live trace; table-rendering
+// consumers (dcsptrace) must refuse it instead of printing a silently
+// partial summary.
+var ErrTruncatedTrace = errors.New("trace: truncated trace")
+
+// CheckComplete reports whether a fully-read trace reached its closing end
+// event.
+func CheckComplete(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("%w: empty trace", ErrTruncatedTrace)
+	}
+	if last := events[len(events)-1].Kind; last != KindEnd {
+		return fmt.Errorf("%w: last event kind %q, want %q", ErrTruncatedTrace, last, KindEnd)
+	}
+	return nil
+}
+
 // Read parses a JSONL trace. A telemetry stream (recognized by its opening
 // meta event) returns ErrTelemetryStream so callers can dispatch to the
 // telemetry reader instead of surfacing a confusing field-level error.

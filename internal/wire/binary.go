@@ -16,6 +16,7 @@
 //	[uvarint len][bytes]       Codec
 //	[uvarint n] n×(zig,zig)    Lits   (Var, Val)
 //	[uvarint n] n×(zig,zig)    Values (Var, Val)
+//	[zigzag TSeq]              only when bit4 (flagTSeq) is set
 //
 // Every integer field is zigzag-encoded so the codec is total over the
 // envelope's value space; the type string is the one field compressed to a
@@ -117,6 +118,12 @@ const (
 	flagInsoluble = 1 << 0
 	flagCrc       = 1 << 1
 	flagResume    = 1 << 2
+	flagCausal    = 1 << 3
+	// flagTSeq marks a frame whose layout is extended by a trailing zigzag
+	// TSeq. The flag (not the field) is what old decoders would trip over as
+	// trailing bytes, which is why FrameWriter strips TSeq unless the peer
+	// negotiated causal tracing (EnableCausal).
+	flagTSeq = 1 << 4
 )
 
 // appendZig appends v as a zigzag-encoded uvarint.
@@ -151,6 +158,12 @@ func (e *Envelope) appendBinary(buf []byte) ([]byte, error) {
 	if e.Resume {
 		flags |= flagResume
 	}
+	if e.Causal {
+		flags |= flagCausal
+	}
+	if e.TSeq != 0 {
+		flags |= flagTSeq
+	}
 	buf = append(buf, flags)
 	buf = appendZig(buf, int64(e.From))
 	buf = appendZig(buf, int64(e.To))
@@ -172,6 +185,9 @@ func (e *Envelope) appendBinary(buf []byte) ([]byte, error) {
 	for _, l := range e.Values {
 		buf = appendZig(buf, int64(l.Var))
 		buf = appendZig(buf, int64(l.Val))
+	}
+	if e.TSeq != 0 {
+		buf = appendZig(buf, e.TSeq)
 	}
 	return buf, nil
 }
@@ -269,6 +285,7 @@ func (d *Decoder) Decode(b []byte) (Envelope, int, error) {
 	e.Insoluble = flags&flagInsoluble != 0
 	e.Crc = flags&flagCrc != 0
 	e.Resume = flags&flagResume != 0
+	e.Causal = flags&flagCausal != 0
 	e.From = int(r.zig())
 	e.To = int(r.zig())
 	e.Value = int(r.zig())
@@ -289,6 +306,9 @@ func (d *Decoder) Decode(b []byte) (Envelope, int, error) {
 	nv := r.count(2)
 	for i := 0; i < nv; i++ {
 		d.lits = append(d.lits, Lit{Var: int(r.zig()), Val: int(r.zig())})
+	}
+	if flags&flagTSeq != 0 {
+		e.TSeq = r.zig()
 	}
 	if r.err != nil {
 		return Envelope{}, 0, r.err

@@ -27,6 +27,10 @@ func sampleEnvelopes() []Envelope {
 		{Type: TypeAck, From: 2, To: 3, Ack: 99},
 		{Type: TypeHello, From: 12, To: -1, Codec: "binary"},
 		{Type: TypeWelcome, From: -1, To: 12, Codec: "json"},
+		{Type: TypeHello, From: 13, To: -1, Codec: "binary", Causal: true},
+		{Type: TypeWelcome, From: -1, To: 13, Codec: "binary", Crc: true, Causal: true},
+		{Type: TypeCoreOk, From: 3, To: 5, Value: 1, Priority: 2, Seq: 7, TSeq: 42},
+		{Type: TypeCoreNogood, From: 5, To: 3, Lits: []Lit{{Var: 4, Val: 1}}, Seq: 8, TSeq: 1 << 40},
 		{Type: TypeState, From: 4, To: -1, Value: 1, Insoluble: true, Processed: 12345},
 		{Type: TypeStop, From: -1, To: 4},
 	}

@@ -40,6 +40,10 @@ func (e *Envelope) appendJSON(buf []byte) []byte {
 	if e.Resume {
 		buf = append(buf, `,"resume":true`...)
 	}
+	if e.Causal {
+		buf = append(buf, `,"causal":true`...)
+	}
+	buf = appendIntField(buf, `,"tseq":`, e.TSeq)
 	return append(buf, '}')
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"github.com/discsp/discsp/internal/abt"
 	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/multi"
@@ -119,6 +120,19 @@ type Envelope struct {
 	// relaunched cold, and the hub triggers the TypeReset link-renumbering
 	// protocol.
 	Resume bool `json:"resume,omitempty"`
+
+	// Causal is the tracing half of the handshake, negotiated exactly like
+	// Crc: a hello sets it to request causal trace-ID propagation, the
+	// welcome sets it to confirm. Only after a confirming welcome does
+	// either side emit TSeq on data frames, so mixed fleets with untraced
+	// peers degrade gracefully (their messages simply carry no trace ID).
+	Causal bool `json:"causal,omitempty"`
+	// TSeq is the message's causal trace-ID sequence number (the Seq half
+	// of a causal.ID; the Agent half is From). 0 means untraced. Unlike
+	// Seq, TSeq is assigned by the sending agent's tracer and survives the
+	// TypeReset link renumbering — trace IDs stay stable across cold
+	// reconnections.
+	TSeq int64 `json:"tseq,omitempty"`
 }
 
 // Detach deep-copies the envelope's slice fields so it no longer aliases a
@@ -156,8 +170,21 @@ func litsIn(lits []Lit) ([]csp.Lit, error) {
 }
 
 // Encode converts a message into its envelope. It fails on message types
-// outside the four algorithm packages.
+// outside the four algorithm packages. A message carrying a causal trace ID
+// (causal.Traced with a nonzero ID) lands in the envelope's TSeq field; the
+// ID's agent half is redundant with From and is not sent.
 func Encode(m sim.Message) (Envelope, error) {
+	e, err := encode(m)
+	if err != nil {
+		return e, err
+	}
+	if tm, ok := m.(causal.Traced); ok {
+		e.TSeq = tm.CausalID().Seq
+	}
+	return e, nil
+}
+
+func encode(m sim.Message) (Envelope, error) {
 	switch msg := m.(type) {
 	case core.Ok:
 		return Envelope{Type: TypeCoreOk, From: int(msg.Sender), To: int(msg.Receiver),
@@ -198,8 +225,20 @@ func Encode(m sim.Message) (Envelope, error) {
 	}
 }
 
-// Decode converts an envelope back into the concrete message.
+// Decode converts an envelope back into the concrete message, restoring the
+// causal trace ID from (From, TSeq) when the envelope carries one.
 func Decode(e Envelope) (sim.Message, error) {
+	m, err := decode(e)
+	if err != nil || e.TSeq == 0 {
+		return m, err
+	}
+	if tm, ok := m.(causal.Traced); ok {
+		m = tm.WithCausalID(causal.ID{Agent: int32(e.From), Seq: e.TSeq}).(sim.Message)
+	}
+	return m, nil
+}
+
+func decode(e Envelope) (sim.Message, error) {
 	from, to := sim.AgentID(e.From), sim.AgentID(e.To)
 	switch e.Type {
 	case TypeCoreOk:

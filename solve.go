@@ -9,6 +9,7 @@ import (
 	"github.com/discsp/discsp/internal/abt"
 	"github.com/discsp/discsp/internal/async"
 	"github.com/discsp/discsp/internal/breakout"
+	"github.com/discsp/discsp/internal/causal"
 	"github.com/discsp/discsp/internal/core"
 	"github.com/discsp/discsp/internal/csp"
 	"github.com/discsp/discsp/internal/faults"
@@ -156,6 +157,19 @@ type Options struct {
 	// frames awaiting its re-hello (a worker redial or process relaunch)
 	// before failing the run; 0 means 3s, negative fails immediately.
 	TCPReconnectGrace time.Duration
+	// Causal, when non-nil, attaches the causal-tracing layer
+	// (internal/causal): every delivered message carries a deterministic
+	// (agent, counter) trace ID, every agent activation is recorded as a
+	// recv→compute→sends span, and every learned or stored nogood records
+	// its cause set — the schema-3 span events dcsptrace turns into the
+	// critical path, the nogood provenance DAG, and the Perfetto export.
+	// The stream may be the run's Telemetry bundle (spans interleave with
+	// the other events) or a separate one (a dedicated -trace-out file);
+	// a separate stream gets its own meta and end events so dcsptrace
+	// sees the runtime and verdict. Causal tracing is observationally
+	// inert: enabling it never changes verdicts, assignments, message
+	// counts, or any non-span event (pinned by TestCausalInert).
+	Causal *Telemetry
 	// WarmCache, when non-nil, warm-starts AWC from nogoods learned by
 	// previous runs: before the run each agent is seeded with the cached
 	// nogoods mentioning its variable (when the cache holds an entry
@@ -366,6 +380,67 @@ func harvestWarmCache(cache *NogoodCache, p *Problem, agents []sim.Agent) {
 	cache.Put(p, all)
 }
 
+// causalStart builds the run's tracer from Options.Causal. A causal stream
+// separate from the run's Telemetry stream gets its own meta event so the
+// graph builder learns the runtime (it classifies inter-span latency as
+// queue vs. wire from it).
+func (o Options) causalStart(p *Problem, runtime string) *causal.Tracer {
+	if o.Causal == nil {
+		return nil
+	}
+	if o.Causal != o.Telemetry {
+		o.Causal.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   runtime,
+			Algorithm: o.AlgorithmName(),
+			Vars:      p.NumVars(),
+			Nogoods:   p.NumNogoods(),
+		})
+	}
+	return causal.New(o.Causal, p)
+}
+
+// causalEnd closes a separate causal stream with the run verdict — which
+// doubles as the stream-completeness marker dcsptrace requires. When the
+// causal stream is the Telemetry stream, the telemetry finalizers already
+// close it.
+func (o Options) causalEnd(out Result) {
+	if o.Causal == nil || o.Causal == o.Telemetry {
+		return
+	}
+	o.Causal.Emit(telemetry.Event{
+		Kind:        telemetry.KindEnd,
+		Solved:      out.Solved,
+		Insoluble:   out.Insoluble,
+		Cycles:      out.Cycles,
+		MaxCCK:      out.MaxCCK,
+		TotalChecks: out.TotalChecks,
+		Messages:    out.Messages,
+		DurationUS:  out.Duration.Microseconds(),
+	})
+}
+
+// causalAttach is implemented by agents that record learn/store/consult
+// events against their tracer handle.
+type causalAttach interface{ SetCausal(*causal.AgentTracer) }
+
+// withCausal wraps makeAgent so every built agent — including a
+// crash-restarted incarnation, which the runtimes rebuild through the same
+// constructor — attaches its tracer handle. Tracer.Agent returns the same
+// handle every time, so restarts continue their predecessor's numbering.
+func withCausal(tr *causal.Tracer, makeAgent func(v csp.Var) sim.Agent) func(v csp.Var) sim.Agent {
+	if tr == nil {
+		return makeAgent
+	}
+	return func(v csp.Var) sim.Agent {
+		a := makeAgent(v)
+		if ca, ok := a.(causalAttach); ok {
+			ca.SetCausal(tr.Agent(int(v)))
+		}
+		return a
+	}
+}
+
 // Solve runs the selected algorithm on the deterministic synchronous
 // simulator and reports the paper's cost metrics.
 func Solve(p *Problem, opts Options) (Result, error) {
@@ -373,7 +448,8 @@ func Solve(p *Problem, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	agents := buildAgents(p.NumVars(), opts.makeAgent(p, init))
+	tracer := opts.causalStart(p, "sync")
+	agents := buildAgents(p.NumVars(), withCausal(tracer, opts.makeAgent(p, init)))
 	trace := opts.Trace
 	tel := opts.Telemetry
 	if tel != nil {
@@ -387,7 +463,7 @@ func Solve(p *Problem, opts Options) (Result, error) {
 		instrumentAgents(tel.Registry(), agents)
 		trace = teeCycleEvents(tel, agents, opts.Trace)
 	}
-	res, err := sim.Run(p, agents, sim.Options{MaxCycles: opts.MaxCycles, Trace: trace})
+	res, err := sim.Run(p, agents, sim.Options{MaxCycles: opts.MaxCycles, Trace: trace, Causal: tracer})
 	if err != nil {
 		return Result{}, err
 	}
@@ -404,6 +480,7 @@ func Solve(p *Problem, opts Options) (Result, error) {
 	if tel != nil {
 		emitSyncFinal(tel, agents, out)
 	}
+	opts.causalEnd(out)
 	if opts.Algorithm == AWC || opts.Algorithm == 0 {
 		harvestWarmCache(opts.WarmCache, p, agents)
 	}
@@ -536,13 +613,15 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 			Nogoods:   p.NumNogoods(),
 		})
 	}
-	res, err := async.Run(p, opts.makeAgent(p, init), async.Options{
+	tracer := opts.causalStart(p, "async")
+	res, err := async.Run(p, withCausal(tracer, opts.makeAgent(p, init)), async.Options{
 		Timeout:         opts.Timeout,
 		MaxJitter:       opts.MaxJitter,
 		Seed:            opts.InitialSeed,
 		Faults:          fcfg,
 		WatchdogCadence: opts.WatchdogCadence,
 		Telemetry:       opts.Telemetry,
+		Causal:          tracer,
 	})
 	out := Result{
 		Solved:               res.Solved,
@@ -558,6 +637,7 @@ func SolveAsync(p *Problem, opts Options) (Result, error) {
 		PartitionHeals:       res.PartitionHeals,
 	}
 	emitNetFinal(opts.Telemetry, out)
+	opts.causalEnd(out)
 	return out, err
 }
 
@@ -600,11 +680,14 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 			Nogoods:   p.NumNogoods(),
 		})
 	}
-	res, err := netrun.Run(p, opts.makeAgent(p, init), netrun.Options{
+	tracer := opts.causalStart(p, "tcp")
+	res, err := netrun.Run(p, withCausal(tracer, opts.makeAgent(p, init)), netrun.Options{
 		Timeout:         opts.Timeout,
 		Faults:          fcfg,
 		WatchdogCadence: opts.WatchdogCadence,
 		Telemetry:       opts.Telemetry,
+		Causal:          tracer,
+		CausalRelay:     opts.Causal != nil,
 		Shards:          opts.TCPShards,
 		Codec:           codec,
 		NoBatch:         opts.WireNoBatch,
@@ -637,6 +720,7 @@ func SolveTCP(p *Problem, opts Options) (Result, error) {
 		BinaryConns:          res.BinaryConns,
 	}
 	emitNetFinal(opts.Telemetry, out)
+	opts.causalEnd(out)
 	return out, err
 }
 
@@ -668,6 +752,13 @@ type TCPWorkerOptions struct {
 	// They should match the hub's settings.
 	Heartbeat       time.Duration
 	DeadPeerTimeout time.Duration
+	// Causal, when non-nil, traces this worker's nodes: spans and stamped
+	// trace IDs are written to the stream, and each node's hello requests
+	// trace-ID propagation (the hub confirms when its run set Causal).
+	// Worker streams carry no verdict — the hub's stream does — but are
+	// closed with an end marker so dcsptrace accepts them. Each worker
+	// process's stream is self-consistent on its own.
+	Causal *Telemetry
 }
 
 // TCPWorkerStats reports one worker process's transport totals after
@@ -705,7 +796,18 @@ func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) (TCPWorkerStat
 	if err != nil {
 		return TCPWorkerStats{}, err
 	}
-	st, err := netrun.RunWorker(p, opts.makeAgent(p, init), netrun.WorkerOptions{
+	var tracer *causal.Tracer
+	if w.Causal != nil {
+		w.Causal.Emit(telemetry.Event{
+			Kind:      telemetry.KindMeta,
+			Runtime:   "tcp",
+			Algorithm: opts.AlgorithmName(),
+			Vars:      p.NumVars(),
+			Nogoods:   p.NumNogoods(),
+		})
+		tracer = causal.New(w.Causal, p)
+	}
+	st, err := netrun.RunWorker(p, withCausal(tracer, opts.makeAgent(p, init)), netrun.WorkerOptions{
 		Addrs:           w.Addrs,
 		Vars:            w.Vars,
 		Codec:           codec,
@@ -715,7 +817,11 @@ func SolveTCPWorker(p *Problem, opts Options, w TCPWorkerOptions) (TCPWorkerStat
 		Checksum:        w.Checksum,
 		Heartbeat:       w.Heartbeat,
 		DeadPeerTimeout: w.DeadPeerTimeout,
+		Causal:          tracer,
 	})
+	if w.Causal != nil {
+		w.Causal.Emit(telemetry.Event{Kind: telemetry.KindEnd})
+	}
 	return TCPWorkerStats{
 		Reconnects:           st.Reconnects,
 		Retransmits:          st.Retransmits,
